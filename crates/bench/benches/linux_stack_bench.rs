@@ -1,0 +1,124 @@
+//! Simulated kernel data-path benchmarks: forwarding, NAT, XFRM.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::net::Ipv4Addr;
+use un_linux::netfilter::{Chain, NfRule, NfTable, RuleMatch, Target};
+use un_linux::{Host, MAIN_TABLE};
+use un_packet::ethernet::MacAddr;
+use un_packet::PacketBuilder;
+use un_sim::CostModel;
+
+fn forwarding_host() -> (Host, un_linux::IfaceId) {
+    let mut h = Host::new("bench", CostModel::default());
+    let ns = h.add_namespace("router");
+    let lan = h.add_external(ns, "lan", 1).unwrap();
+    let wan = h.add_external(ns, "wan", 2).unwrap();
+    h.addr_add(lan, "192.168.1.1/24".parse().unwrap()).unwrap();
+    h.addr_add(wan, "203.0.113.1/24".parse().unwrap()).unwrap();
+    h.set_up(lan, true).unwrap();
+    h.set_up(wan, true).unwrap();
+    h.sysctl_ip_forward(ns, true).unwrap();
+    h.route_add(ns, MAIN_TABLE, "0.0.0.0/0".parse().unwrap(),
+                Some(Ipv4Addr::new(203, 0, 113, 254)), wan, 0).unwrap();
+    h.neigh_add(ns, Ipv4Addr::new(203, 0, 113, 254), MacAddr::local(99)).unwrap();
+    h.nf_append(ns, NfTable::Nat, Chain::Postrouting,
+                NfRule::new(RuleMatch::default(), Target::Masquerade)).unwrap();
+    (h, lan)
+}
+
+fn frame(h: &Host, lan: un_linux::IfaceId, sport: u16) -> un_packet::Packet {
+    PacketBuilder::new()
+        .ethernet(MacAddr::local(50), h.iface(lan).unwrap().mac)
+        .ipv4(Ipv4Addr::new(192, 168, 1, 10), Ipv4Addr::new(8, 8, 8, 8))
+        .udp(sport, 53)
+        .payload(&[0u8; 1400])
+        .build()
+}
+
+fn nat_forward_established(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_nat_forward");
+    group.throughput(Throughput::Bytes(1442));
+    group.bench_function("established_flow", |b| {
+        let (mut h, lan) = forwarding_host();
+        let pkt = frame(&h, lan, 5000);
+        h.inject(lan, pkt.clone()); // create the conntrack entry once
+        b.iter(|| std::hint::black_box(h.inject(lan, pkt.clone())));
+    });
+    group.bench_function("new_flow_each_packet", |b| {
+        let (mut h, lan) = forwarding_host();
+        let mut sport = 1024u16;
+        b.iter(|| {
+            sport = if sport >= 60_000 { 1024 } else { sport + 1 };
+            std::hint::black_box(h.inject(lan, frame(&h, lan, sport)))
+        });
+    });
+    group.finish();
+}
+
+fn xfrm_output(c: &mut Criterion) {
+    use un_ipsec::sa::SecurityAssociation;
+    use un_ipsec::spd::{PolicyAction, PolicyDirection, SecurityPolicy, TrafficSelector};
+    let mut group = c.benchmark_group("kernel_xfrm_output");
+    group.throughput(Throughput::Bytes(1428));
+    group.bench_function("esp_tunnel_1400B", |b| {
+        let mut x = un_linux::xfrm::Xfrm::new();
+        x.sad.install(SecurityAssociation::outbound(
+            0x1,
+            Ipv4Addr::new(192, 0, 2, 1),
+            Ipv4Addr::new(192, 0, 2, 2),
+            [7u8; 32],
+            [1, 2, 3, 4],
+        ));
+        x.spd.install(SecurityPolicy {
+            selector: TrafficSelector::any(),
+            direction: PolicyDirection::Out,
+            action: PolicyAction::Protect(0x1),
+            priority: 1,
+        });
+        let inner = PacketBuilder::new()
+            .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .udp(1, 2)
+            .payload(&[0u8; 1400])
+            .build();
+        let bytes = inner.data().to_vec();
+        let costs = CostModel::default();
+        b.iter(|| {
+            let mut cost = un_sim::Cost::ZERO;
+            std::hint::black_box(x.output(&bytes, &costs, &mut cost))
+        });
+    });
+    group.finish();
+}
+
+fn bridge_path(c: &mut Criterion) {
+    c.bench_function("kernel_bridge_forward", |b| {
+        let mut h = Host::new("br", CostModel::default());
+        let ns = h.add_namespace("bridge");
+        let br = h.add_bridge(ns, "br0").unwrap();
+        let p1 = h.add_external(ns, "p1", 1).unwrap();
+        let p2 = h.add_external(ns, "p2", 2).unwrap();
+        for i in [br, p1, p2] {
+            h.set_up(i, true).unwrap();
+        }
+        h.bridge_attach(br, p1).unwrap();
+        h.bridge_attach(br, p2).unwrap();
+        let fwd = PacketBuilder::new()
+            .ethernet(MacAddr::local(10), MacAddr::local(11))
+            .ipv4(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2))
+            .udp(1, 2)
+            .payload(&[0u8; 1400])
+            .build();
+        let rev = PacketBuilder::new()
+            .ethernet(MacAddr::local(11), MacAddr::local(10))
+            .ipv4(Ipv4Addr::new(2, 2, 2, 2), Ipv4Addr::new(1, 1, 1, 1))
+            .udp(2, 1)
+            .payload(&[0u8; 64])
+            .build();
+        h.inject(p1, fwd.clone());
+        h.inject(p2, rev); // learn both MACs
+        b.iter(|| std::hint::black_box(h.inject(p1, fwd.clone())));
+    });
+}
+
+criterion_group!(benches, nat_forward_established, xfrm_output, bridge_path);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! NF-FG control-plane benchmarks: JSON codec, validation, diffing,
+//! and a full orchestrator deploy/undeploy cycle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use un_nffg::{diff, from_json, to_json, validate, NfFgBuilder};
+use un_core::UniversalNode;
+use un_sim::mem::mb;
+
+fn big_graph(id: &str, nfs: usize) -> un_nffg::NfFg {
+    let ids: Vec<String> = (0..nfs).map(|i| format!("nf{i}")).collect();
+    let mut b = NfFgBuilder::new(id, "bench")
+        .interface_endpoint("lan", "eth0")
+        .interface_endpoint("wan", "eth1");
+    for id in &ids {
+        b = b.nf(id, "bridge", 2);
+    }
+    let refs: Vec<&str> = ids.iter().map(|s| s.as_str()).collect();
+    b.chain("lan", &refs, "wan").build()
+}
+
+fn json_roundtrip(c: &mut Criterion) {
+    let g = big_graph("g", 10);
+    c.bench_function("nffg_to_json_10nf", |b| {
+        b.iter(|| std::hint::black_box(to_json(&g)))
+    });
+    let json = to_json(&g);
+    c.bench_function("nffg_from_json_10nf", |b| {
+        b.iter(|| std::hint::black_box(from_json(&json).unwrap()))
+    });
+}
+
+fn validation(c: &mut Criterion) {
+    let g = big_graph("g", 10);
+    c.bench_function("nffg_validate_10nf", |b| {
+        b.iter(|| std::hint::black_box(validate(&g)))
+    });
+}
+
+fn diffing(c: &mut Criterion) {
+    let g1 = big_graph("g", 10);
+    let mut g2 = g1.clone();
+    g2.flow_rules[3].priority = 77;
+    g2.nfs[5].config = un_nffg::NfConfig::default().with_param("x", "y");
+    c.bench_function("nffg_diff_10nf", |b| {
+        b.iter(|| std::hint::black_box(diff(&g1, &g2)))
+    });
+}
+
+fn orchestrator_cycle(c: &mut Criterion) {
+    c.bench_function("deploy_undeploy_native_bridge", |b| {
+        let mut node = UniversalNode::new("bench", mb(4096));
+        node.add_physical_port("eth0");
+        node.add_physical_port("eth1");
+        let g = big_graph("g", 1);
+        b.iter(|| {
+            node.deploy(&g).unwrap();
+            node.undeploy("g").unwrap();
+        });
+    });
+}
+
+criterion_group!(benches, json_roundtrip, validation, diffing, orchestrator_cycle);
+criterion_main!(benches);

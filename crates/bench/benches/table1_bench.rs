@@ -1,0 +1,35 @@
+//! Criterion wrapper around the Table 1 per-packet path: real wall-clock
+//! nanoseconds per frame for each flavor (the `table1` binary reports
+//! the virtual-time Mbps the paper's table uses; this bench tracks the
+//! real CPU cost of the simulation itself, per flavor).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use un_bench::{build_ipsec_node, lan_spec, GatewayPeer};
+use un_traffic::StreamGenerator;
+
+fn per_flavor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_per_packet");
+    group.throughput(Throughput::Bytes(1500));
+    for flavor in ["native", "docker", "vm"] {
+        group.bench_function(flavor, |b| {
+            let (mut node, _) = build_ipsec_node(flavor);
+            let spec = lan_spec(&node);
+            let mut generator = StreamGenerator::new(spec, 1500);
+            let mut gateway = GatewayPeer::new();
+            b.iter(|| {
+                let frame = generator.next_frame();
+                let io = node.inject("eth0", frame);
+                for (port, pkt) in &io.emitted {
+                    if port == "eth1" {
+                        std::hint::black_box(gateway.receive(pkt));
+                    }
+                }
+                std::hint::black_box(io.cost)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, per_flavor);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ext-D ablation: node memory vs number of deployed graphs per flavor.
+//!
+//! Usage: `cargo run -p un-bench --bin memory_scaling [max_graphs]`
+//!
+//! Each graph is one bridge NF between VLAN endpoints. The RAM column of
+//! Table 1 becomes a *slope* here: every additional VM costs ~326 MB,
+//! every container ~8 MB, every native instance well under 1 MB — this
+//! is the paper's "not suitable for low-cost devices" argument made
+//! quantitative.
+
+use un_nffg::NfFgBuilder;
+use un_core::UniversalNode;
+use un_sim::mem::mb;
+
+fn run(n_graphs: u32, flavor: &str) -> Option<u64> {
+    let mut node = UniversalNode::new("cpe", mb(8_192));
+    node.add_physical_port("eth0");
+    node.add_physical_port("eth1");
+    for i in 1..=n_graphs {
+        let g = NfFgBuilder::new(&format!("g{i}"), "bridge")
+            .vlan_endpoint("lan", "eth0", (100 + i) as u16)
+            .vlan_endpoint("wan", "eth1", (100 + i) as u16)
+            .nf("br", "bridge", 2)
+            .with_flavor(flavor)
+            .chain("lan", &["br"], "wan")
+            .build();
+        if node.deploy(&g).is_err() {
+            return None; // admission control refused (capacity exceeded)
+        }
+    }
+    Some(node.memory_used())
+}
+
+fn main() {
+    let max: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+
+    println!("Ext-D: node memory (MB) vs deployed graphs (8 GB CPE)\n");
+    println!("{:>7} {:>12} {:>12} {:>12}", "graphs", "native", "docker", "vm");
+    for n in (2..=max).step_by(2) {
+        let fmt = |v: Option<u64>| match v {
+            Some(bytes) => format!("{:.1}", bytes as f64 / 1e6),
+            None => "REFUSED".to_string(),
+        };
+        println!(
+            "{:>7} {:>12} {:>12} {:>12}",
+            n,
+            fmt(run(n, "native")),
+            fmt(run(n, "docker")),
+            fmt(run(n, "vm")),
+        );
+    }
+    println!(
+        "\nREFUSED = the resource manager's admission control rejected the\n\
+         deployment; on this 8 GB node the VM flavor runs out first."
+    );
+}

@@ -1,0 +1,30 @@
+//! Regenerates the paper's Table 1: "Results with IPSec client VNFs".
+//!
+//! Usage: `cargo run --release -p un-bench --bin table1 [packets]`
+//!
+//! For each flavor (KVM/QEMU, Docker, Native NF) the harness deploys the
+//! same IPSec NF-FG on a fresh CPE node, saturates it with 1500-byte
+//! frames from the customer LAN, terminates the ESP tunnel at a remote
+//! gateway, and reports virtual-time throughput plus the RAM and image
+//! footprint queried from the node's resource ledger.
+
+use un_bench::{render_table1, run_table1_flavor};
+
+fn main() {
+    let packets: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+
+    println!("Reproducing Table 1 with {packets} frames of 1500 B per flavor…\n");
+    let rows = [
+        run_table1_flavor("vm", 1500, packets),
+        run_table1_flavor("docker", 1500, packets),
+        run_table1_flavor("native", 1500, packets),
+    ];
+    println!("{}", render_table1(&rows));
+    println!("Paper reference:");
+    println!("  KVM/QEMU      796 Mbps   390.6 MB   522 MB");
+    println!("  Docker       1095 Mbps    24.2 MB   240 MB");
+    println!("  Native NF    1094 Mbps    19.4 MB     5 MB");
+}

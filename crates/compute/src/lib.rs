@@ -1,0 +1,33 @@
+//! # un-compute — the compute manager and its management drivers
+//!
+//! Figure 1 of the paper: "VNFs are instantiated and managed by a
+//! compute manager through ad-hoc drivers matching the specific VNF
+//! support technology (e.g., VM, Docker, DPDK process) … all the above
+//! drivers must implement a specific abstraction defined by the local
+//! orchestrator, which enables multiple drivers to coexist."
+//!
+//! * [`types`] — that abstraction: [`types::Flavor`],
+//!   [`types::FlavorSpec`], instance handles, the unified
+//!   deliver-a-packet result.
+//! * [`drivers`] — the four drivers:
+//!   * [`drivers::VmDriver`] — KVM/QEMU via `un-hypervisor`;
+//!   * [`drivers::DockerDriver`] — containers via `un-container`
+//!     (kernel state configured by the same plugins as native — which is
+//!     exactly why Docker matches native throughput in Table 1);
+//!   * [`drivers::DpdkDriver`] — poll-mode userspace processes (fast,
+//!     but each instance pins a core);
+//!   * [`drivers::NativeDriver`] — the paper's contribution: NNFs via
+//!     `un-nnf` plugins, namespaces and the adaptation layer.
+//! * [`manager`] — the compute manager: instance table, lifecycle
+//!   fan-out, unified packet delivery, resource queries.
+
+#![forbid(unsafe_code)]
+
+pub mod drivers;
+pub mod manager;
+pub mod types;
+
+pub use manager::{ComputeManager, NodeEnv};
+pub use types::{
+    ComputeError, Flavor, FlavorSpec, GuestAppKind, InstanceId, InstanceState, IoOutcome,
+};

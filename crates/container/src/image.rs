@@ -1,0 +1,226 @@
+//! Layered container images with content-addressed storage.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// One image layer: a content digest plus its size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layer {
+    /// Content digest (any stable string; registries use sha256 hex).
+    pub digest: String,
+    /// Layer size in bytes.
+    pub size: u64,
+}
+
+impl Layer {
+    /// Convenience constructor.
+    pub fn new(digest: &str, size: u64) -> Self {
+        Layer {
+            digest: digest.to_string(),
+            size,
+        }
+    }
+}
+
+/// An image: an ordered list of layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Repository name, e.g. `"strongswan"`.
+    pub name: String,
+    /// Tag, e.g. `"latest"`.
+    pub tag: String,
+    /// Layers, base first.
+    pub layers: Vec<Layer>,
+}
+
+impl Image {
+    /// Total (un-deduplicated) size of the image.
+    pub fn virtual_size(&self) -> u64 {
+        self.layers.iter().map(|l| l.size).sum()
+    }
+
+    /// `name:tag`.
+    pub fn reference(&self) -> String {
+        format!("{}:{}", self.name, self.tag)
+    }
+}
+
+/// A remote registry: a catalog images can be pulled from.
+#[derive(Debug, Default)]
+pub struct Registry {
+    images: BTreeMap<String, Image>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish an image.
+    pub fn push(&mut self, image: Image) {
+        self.images.insert(image.reference(), image);
+    }
+
+    /// Fetch an image manifest.
+    pub fn manifest(&self, name: &str, tag: &str) -> Option<&Image> {
+        self.images.get(&format!("{name}:{tag}"))
+    }
+}
+
+/// Local content-addressed layer store + image catalog.
+#[derive(Debug, Default)]
+pub struct ImageStore {
+    /// digest → (size, refcount).
+    layers: HashMap<String, (u64, u32)>,
+    images: BTreeMap<String, Image>,
+}
+
+impl ImageStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pull an image from a registry. Layers already present locally are
+    /// shared, not duplicated. Returns the number of bytes actually
+    /// downloaded (new layers only).
+    pub fn pull(&mut self, registry: &Registry, name: &str, tag: &str) -> Option<u64> {
+        let manifest = registry.manifest(name, tag)?.clone();
+        if self.images.contains_key(&manifest.reference()) {
+            return Some(0);
+        }
+        let mut downloaded = 0;
+        for layer in &manifest.layers {
+            match self.layers.get_mut(&layer.digest) {
+                Some((_, rc)) => *rc += 1,
+                None => {
+                    self.layers.insert(layer.digest.clone(), (layer.size, 1));
+                    downloaded += layer.size;
+                }
+            }
+        }
+        self.images.insert(manifest.reference(), manifest);
+        Some(downloaded)
+    }
+
+    /// Remove an image; layers are freed when their refcount drops to 0.
+    /// Returns bytes reclaimed.
+    pub fn remove(&mut self, name: &str, tag: &str) -> u64 {
+        let Some(image) = self.images.remove(&format!("{name}:{tag}")) else {
+            return 0;
+        };
+        let mut reclaimed = 0;
+        for layer in &image.layers {
+            if let Some((size, rc)) = self.layers.get_mut(&layer.digest) {
+                *rc -= 1;
+                if *rc == 0 {
+                    reclaimed += *size;
+                    self.layers.remove(&layer.digest);
+                }
+            }
+        }
+        reclaimed
+    }
+
+    /// A locally available image.
+    pub fn image(&self, name: &str, tag: &str) -> Option<&Image> {
+        self.images.get(&format!("{name}:{tag}"))
+    }
+
+    /// Bytes of unique layers on disk — this is the number the paper's
+    /// "image size" column reports for Docker.
+    pub fn disk_usage(&self) -> u64 {
+        self.layers.values().map(|(size, _)| size).sum()
+    }
+
+    /// The on-disk footprint attributable to one image (its share of
+    /// unique bytes — full layer size counted once per image referencing
+    /// it would double count; this reports the image's virtual size).
+    pub fn image_virtual_size(&self, name: &str, tag: &str) -> Option<u64> {
+        self.image(name, tag).map(|i| i.virtual_size())
+    }
+
+    /// Number of locally stored images.
+    pub fn image_count(&self) -> usize {
+        self.images.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use un_sim::mem::mb;
+
+    fn registry() -> Registry {
+        let mut r = Registry::new();
+        r.push(Image {
+            name: "strongswan".into(),
+            tag: "latest".into(),
+            layers: vec![
+                Layer::new("sha256:base-os", mb(235)),
+                Layer::new("sha256:swan-pkg", mb(5)),
+            ],
+        });
+        r.push(Image {
+            name: "firewall".into(),
+            tag: "latest".into(),
+            layers: vec![
+                Layer::new("sha256:base-os", mb(235)),
+                Layer::new("sha256:iptables-pkg", mb(2)),
+            ],
+        });
+        r
+    }
+
+    #[test]
+    fn pull_and_sizes() {
+        let r = registry();
+        let mut s = ImageStore::new();
+        let dl = s.pull(&r, "strongswan", "latest").unwrap();
+        assert_eq!(dl, mb(240));
+        assert_eq!(s.disk_usage(), mb(240));
+        assert_eq!(s.image_virtual_size("strongswan", "latest"), Some(mb(240)));
+    }
+
+    #[test]
+    fn shared_base_layer_dedup() {
+        let r = registry();
+        let mut s = ImageStore::new();
+        s.pull(&r, "strongswan", "latest").unwrap();
+        let dl2 = s.pull(&r, "firewall", "latest").unwrap();
+        assert_eq!(dl2, mb(2), "base layer must not be re-downloaded");
+        assert_eq!(s.disk_usage(), mb(242));
+        assert_eq!(s.image_count(), 2);
+    }
+
+    #[test]
+    fn repull_is_noop() {
+        let r = registry();
+        let mut s = ImageStore::new();
+        s.pull(&r, "strongswan", "latest").unwrap();
+        assert_eq!(s.pull(&r, "strongswan", "latest"), Some(0));
+        assert_eq!(s.disk_usage(), mb(240));
+    }
+
+    #[test]
+    fn remove_respects_refcounts() {
+        let r = registry();
+        let mut s = ImageStore::new();
+        s.pull(&r, "strongswan", "latest").unwrap();
+        s.pull(&r, "firewall", "latest").unwrap();
+        // Removing strongswan only reclaims its unique layer.
+        assert_eq!(s.remove("strongswan", "latest"), mb(5));
+        assert_eq!(s.disk_usage(), mb(237));
+        // Removing the last user of the base reclaims it too.
+        assert_eq!(s.remove("firewall", "latest"), mb(237));
+        assert_eq!(s.disk_usage(), 0);
+    }
+
+    #[test]
+    fn missing_image_errors() {
+        let r = registry();
+        let mut s = ImageStore::new();
+        assert!(s.pull(&r, "nope", "latest").is_none());
+        assert_eq!(s.remove("nope", "latest"), 0);
+    }
+}

@@ -1,0 +1,300 @@
+//! Container lifecycle and memory accounting.
+//!
+//! A container is a process (or processes) in dedicated namespaces on
+//! the *host* kernel, plus a runtime shim. The data path of a
+//! containerized NF therefore lives entirely in `un-linux` — the
+//! runtime's job here is lifecycle + footprint.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use un_linux::NsId;
+use un_sim::mem::mb_f;
+use un_sim::{AccountId, MemLedger};
+
+use crate::image::ImageStore;
+
+/// Container handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContainerId(pub u32);
+
+/// Lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainerState {
+    /// Created but not started.
+    Created,
+    /// Running.
+    Running,
+    /// Stopped (resources released except image).
+    Stopped,
+}
+
+/// Runtime errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// Image not present in the local store.
+    NoSuchImage(String),
+    /// Container id unknown.
+    NoSuchContainer(u32),
+    /// Invalid state transition.
+    BadState {
+        /// Attempted operation.
+        op: &'static str,
+        /// Current state.
+        state: ContainerState,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::NoSuchImage(i) => write!(f, "no such image {i}"),
+            RuntimeError::NoSuchContainer(c) => write!(f, "no such container {c}"),
+            RuntimeError::BadState { op, state } => {
+                write!(f, "cannot {op} a container in state {state:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// One container.
+#[derive(Debug)]
+pub struct Container {
+    /// Handle.
+    pub id: ContainerId,
+    /// Name.
+    pub name: String,
+    /// Image reference (`name:tag`).
+    pub image: String,
+    /// Network namespace on the host kernel.
+    pub netns: NsId,
+    /// Lifecycle state.
+    pub state: ContainerState,
+    /// Memory account (shim + process RSS).
+    pub account: AccountId,
+    /// Entrypoint process RSS in bytes while running.
+    pub process_rss: u64,
+}
+
+/// Per-container runtime shim overhead (containerd-shim + pause-ish),
+/// in MB. Part of why Docker's RAM column exceeds native's in Table 1.
+pub const SHIM_OVERHEAD_MB: f64 = 4.8;
+
+/// The container engine.
+#[derive(Debug, Default)]
+pub struct ContainerRuntime {
+    /// Local image store.
+    pub store: ImageStore,
+    containers: BTreeMap<u32, Container>,
+    next_id: u32,
+}
+
+impl ContainerRuntime {
+    /// A fresh engine with an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a container from a locally available image.
+    ///
+    /// `netns` is the (already created) host network namespace the
+    /// container joins; `process_rss` is the entrypoint's runtime RSS.
+    /// Memory is recorded under a child of `parent_account`.
+    pub fn create(
+        &mut self,
+        name: &str,
+        image: &str,
+        tag: &str,
+        netns: NsId,
+        process_rss: u64,
+        ledger: &mut MemLedger,
+        parent_account: AccountId,
+    ) -> Result<ContainerId, RuntimeError> {
+        if self.store.image(image, tag).is_none() {
+            return Err(RuntimeError::NoSuchImage(format!("{image}:{tag}")));
+        }
+        let id = ContainerId(self.next_id);
+        self.next_id += 1;
+        let account = ledger.create_account(&format!("container:{name}"), Some(parent_account));
+        self.containers.insert(
+            id.0,
+            Container {
+                id,
+                name: name.to_string(),
+                image: format!("{image}:{tag}"),
+                netns,
+                state: ContainerState::Created,
+                account,
+                process_rss,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Start a created/stopped container: allocates shim + process RSS.
+    pub fn start(&mut self, id: ContainerId, ledger: &mut MemLedger) -> Result<(), RuntimeError> {
+        let c = self
+            .containers
+            .get_mut(&id.0)
+            .ok_or(RuntimeError::NoSuchContainer(id.0))?;
+        match c.state {
+            ContainerState::Created | ContainerState::Stopped => {
+                ledger
+                    .alloc(c.account, "runtime-shim", mb_f(SHIM_OVERHEAD_MB))
+                    .expect("account alive");
+                ledger
+                    .alloc(c.account, "process-rss", c.process_rss)
+                    .expect("account alive");
+                c.state = ContainerState::Running;
+                Ok(())
+            }
+            s => Err(RuntimeError::BadState { op: "start", state: s }),
+        }
+    }
+
+    /// Stop a running container: releases its runtime memory.
+    pub fn stop(&mut self, id: ContainerId, ledger: &mut MemLedger) -> Result<(), RuntimeError> {
+        let c = self
+            .containers
+            .get_mut(&id.0)
+            .ok_or(RuntimeError::NoSuchContainer(id.0))?;
+        match c.state {
+            ContainerState::Running => {
+                ledger
+                    .free(c.account, "runtime-shim", mb_f(SHIM_OVERHEAD_MB))
+                    .expect("allocated at start");
+                ledger
+                    .free(c.account, "process-rss", c.process_rss)
+                    .expect("allocated at start");
+                c.state = ContainerState::Stopped;
+                Ok(())
+            }
+            s => Err(RuntimeError::BadState { op: "stop", state: s }),
+        }
+    }
+
+    /// Remove a stopped container.
+    pub fn remove(&mut self, id: ContainerId) -> Result<Container, RuntimeError> {
+        match self.containers.get(&id.0) {
+            None => Err(RuntimeError::NoSuchContainer(id.0)),
+            Some(c) if c.state == ContainerState::Running => Err(RuntimeError::BadState {
+                op: "remove",
+                state: ContainerState::Running,
+            }),
+            Some(_) => Ok(self.containers.remove(&id.0).unwrap()),
+        }
+    }
+
+    /// Look up a container.
+    pub fn get(&self, id: ContainerId) -> Option<&Container> {
+        self.containers.get(&id.0)
+    }
+
+    /// Iterate containers.
+    pub fn iter(&self) -> impl Iterator<Item = &Container> {
+        self.containers.values()
+    }
+
+    /// Number of containers (any state).
+    pub fn len(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// True if no containers exist.
+    pub fn is_empty(&self) -> bool {
+        self.containers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{Image, Layer, Registry};
+    use un_sim::mem::mb;
+
+    fn engine_with_image() -> ContainerRuntime {
+        let mut registry = Registry::new();
+        registry.push(Image {
+            name: "strongswan".into(),
+            tag: "latest".into(),
+            layers: vec![
+                Layer::new("sha256:base", mb(235)),
+                Layer::new("sha256:swan", mb(5)),
+            ],
+        });
+        let mut rt = ContainerRuntime::new();
+        rt.store.pull(&registry, "strongswan", "latest").unwrap();
+        rt
+    }
+
+    #[test]
+    fn lifecycle_and_memory() {
+        let mut rt = engine_with_image();
+        let mut ledger = MemLedger::new();
+        let node = ledger.create_account("node", None);
+
+        let id = rt
+            .create("ipsec-1", "strongswan", "latest", NsId(3), mb_f(19.4), &mut ledger, node)
+            .unwrap();
+        assert_eq!(ledger.usage(node), 0, "creation allocates nothing yet");
+
+        rt.start(id, &mut ledger).unwrap();
+        let ram = ledger.usage(node);
+        // 19.4 process + 4.8 shim = 24.2 MB — the paper's Docker RAM cell.
+        assert_eq!(ram, mb_f(19.4) + mb_f(4.8));
+        assert_eq!(rt.get(id).unwrap().state, ContainerState::Running);
+
+        rt.stop(id, &mut ledger).unwrap();
+        assert_eq!(ledger.usage(node), 0);
+        rt.remove(id).unwrap();
+        assert!(rt.is_empty());
+    }
+
+    #[test]
+    fn create_requires_local_image() {
+        let mut rt = ContainerRuntime::new();
+        let mut ledger = MemLedger::new();
+        let node = ledger.create_account("node", None);
+        let err = rt
+            .create("x", "ghost", "latest", NsId(0), 0, &mut ledger, node)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::NoSuchImage(_)));
+    }
+
+    #[test]
+    fn state_machine_guards() {
+        let mut rt = engine_with_image();
+        let mut ledger = MemLedger::new();
+        let node = ledger.create_account("node", None);
+        let id = rt
+            .create("c", "strongswan", "latest", NsId(0), mb(1), &mut ledger, node)
+            .unwrap();
+        // stop before start
+        assert!(matches!(
+            rt.stop(id, &mut ledger),
+            Err(RuntimeError::BadState { op: "stop", .. })
+        ));
+        rt.start(id, &mut ledger).unwrap();
+        // double start
+        assert!(matches!(
+            rt.start(id, &mut ledger),
+            Err(RuntimeError::BadState { op: "start", .. })
+        ));
+        // remove while running
+        assert!(matches!(
+            rt.remove(id),
+            Err(RuntimeError::BadState { op: "remove", .. })
+        ));
+        rt.stop(id, &mut ledger).unwrap();
+        // restart works
+        rt.start(id, &mut ledger).unwrap();
+        rt.stop(id, &mut ledger).unwrap();
+        rt.remove(id).unwrap();
+        assert!(matches!(
+            rt.remove(id),
+            Err(RuntimeError::NoSuchContainer(_))
+        ));
+    }
+}

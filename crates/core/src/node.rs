@@ -1,0 +1,1242 @@
+//! The Universal Node: orchestrator + steering + fabric.
+//!
+//! One [`UniversalNode`] is the whole compute node of Figure 1. It owns
+//! the CPE kernel ([`un_linux::Host`]), the compute manager with its
+//! four drivers, the base LSI (LSI-0) and one LSI per deployed NF-FG,
+//! and the virtual links between them. Deploying an NF-FG:
+//!
+//! 1. validate the graph;
+//! 2. for every NF, run the placement policy (NNF vs VNF) and create /
+//!    reuse an instance through the compute manager;
+//! 3. create the per-graph LSI, one virtual link per endpoint (plus one
+//!    per *shared* NNF), and LSI-0 classification rules;
+//! 4. compile the graph's big-switch rules into LSI flow entries —
+//!    including the VLAN push/pop translation for sharable NNFs behind
+//!    the adaptation layer;
+//! 5. admission-check memory; roll everything back on failure.
+//!
+//! The data plane is a synchronous work-queue fabric: a packet injected
+//! on a physical port traverses LSI-0, virtual links, graph LSIs and NF
+//! instances until it is emitted or dropped, accumulating virtual-time
+//! cost along the way.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use un_compute::{
+    ComputeError, ComputeManager, Flavor, FlavorSpec, InstanceId, IoOutcome, NodeEnv,
+};
+use un_linux::Host;
+use un_nffg::{validate, EndpointKind, NfFg, PortRef, RuleAction, TrafficMatch};
+use un_nnf::GraphBinding;
+use un_packet::ethernet::MacAddr;
+use un_packet::{Ipv4Cidr, Packet};
+use un_sim::mem::format_bytes;
+use un_sim::{AccountId, Cost, CostModel, MemLedger, SimTime, TraceLog};
+use un_switch::{Backend, FlowAction, FlowEntry, FlowMatch, LogicalSwitch, PortNo, VlanSpec};
+
+use crate::placement::{decide, Decision, NativeStatus};
+use crate::repository::{provision_standard_images, VnfRepository};
+
+/// Why a deployment failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeployError {
+    /// Static validation failed.
+    Invalid(Vec<un_nffg::ValidationError>),
+    /// A graph with this id is already deployed.
+    AlreadyDeployed(String),
+    /// No graph with this id.
+    NoSuchGraph(String),
+    /// The referenced physical interface does not exist on the node.
+    NoSuchInterface(String),
+    /// Another deployed graph already owns this traffic.
+    EndpointConflict(String),
+    /// The repository has no template for a functional type.
+    NoTemplate(String),
+    /// The compute layer failed.
+    Compute(String),
+    /// Admission control: node memory exhausted.
+    InsufficientMemory {
+        /// Bytes needed.
+        needed: u64,
+        /// Bytes available.
+        capacity: u64,
+    },
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::Invalid(errs) => write!(f, "invalid NF-FG: {} problems", errs.len()),
+            DeployError::AlreadyDeployed(g) => write!(f, "graph '{g}' already deployed"),
+            DeployError::NoSuchGraph(g) => write!(f, "no such graph '{g}'"),
+            DeployError::NoSuchInterface(i) => write!(f, "no such interface '{i}'"),
+            DeployError::EndpointConflict(e) => write!(f, "endpoint conflict on '{e}'"),
+            DeployError::NoTemplate(t) => write!(f, "no template for '{t}'"),
+            DeployError::Compute(e) => write!(f, "compute error: {e}"),
+            DeployError::InsufficientMemory { needed, capacity } => write!(
+                f,
+                "insufficient memory: need {needed}, capacity {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+impl From<ComputeError> for DeployError {
+    fn from(e: ComputeError) -> Self {
+        DeployError::Compute(e.to_string())
+    }
+}
+
+/// What `deploy` reports back (the REST layer serializes this).
+#[derive(Debug, Clone)]
+pub struct DeployReport {
+    /// Graph id.
+    pub graph: String,
+    /// Per-NF placements: (nf id, flavor, instance, shared?).
+    pub placements: Vec<(String, Flavor, InstanceId, bool)>,
+    /// Flow entries installed across LSIs.
+    pub flow_entries: usize,
+}
+
+/// Result of injecting one packet into the node.
+#[derive(Debug, Default)]
+pub struct NodeIo {
+    /// Frames leaving the node: (physical port name, packet).
+    pub emitted: Vec<(String, Packet)>,
+    /// Virtual time consumed.
+    pub cost: Cost,
+}
+
+/// Where a packet currently is inside the fabric.
+#[derive(Debug, Clone, Copy)]
+enum Loc {
+    L0(PortNo),
+    Graph(u32, PortNo), // graph slot index
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum VlinkKey {
+    Endpoint(String),
+    SharedNf(String),
+}
+
+#[derive(Debug, Clone)]
+enum L0Port {
+    Physical(String),
+    Vlink { graph_slot: u32, peer: PortNo },
+    SharedAttach(InstanceId),
+}
+
+#[derive(Debug, Clone)]
+enum GPort {
+    Vlink { l0_port: PortNo },
+    Nf(InstanceId, u32),
+}
+
+#[derive(Debug, Clone)]
+struct PlacedNf {
+    instance: InstanceId,
+    flavor: Flavor,
+    shared: Option<GraphBinding>,
+    /// True if this graph created the instance (owns its lifecycle).
+    owned: bool,
+}
+
+struct DeployedGraph {
+    nffg: NfFg,
+    lsi: LogicalSwitch,
+    slot: u32,
+    ports: BTreeMap<PortNo, GPort>,
+    vlinks: BTreeMap<VlinkKey, PortNo>, // graph-side port
+    rev_nf: BTreeMap<(InstanceId, u32), PortNo>,
+    nfs: BTreeMap<String, PlacedNf>,
+    next_port: u32,
+}
+
+struct SharedInfo {
+    instance: InstanceId,
+    attach_port: PortNo,
+    graphs: Vec<String>,
+}
+
+/// Serializable node self-description ("node description, capabilities
+/// and resources" in Figure 1).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct NodeDescription {
+    /// Node name.
+    pub name: String,
+    /// Supported flavors.
+    pub flavors: Vec<String>,
+    /// Native NFs offered: (type, sharable, multi-instance).
+    pub nnfs: Vec<(String, bool, bool)>,
+    /// Deployed graph ids.
+    pub graphs: Vec<String>,
+    /// Running instances: (name, flavor, functional type).
+    pub instances: Vec<(String, String, String)>,
+    /// Memory in use (bytes).
+    pub memory_used: u64,
+    /// Memory capacity (bytes).
+    pub memory_capacity: u64,
+}
+
+/// The compute node.
+pub struct UniversalNode {
+    /// Node name.
+    pub name: String,
+    /// The CPE kernel.
+    pub host: Host,
+    /// Memory accounting.
+    pub ledger: MemLedger,
+    node_account: AccountId,
+    /// Cost model (shared by every component).
+    pub costs: CostModel,
+    /// The compute manager.
+    pub compute: ComputeManager,
+    /// The VNF repository.
+    pub repository: VnfRepository,
+    lsi0: LogicalSwitch,
+    l0_ports: BTreeMap<PortNo, L0Port>,
+    physical: BTreeMap<String, PortNo>,
+    next_l0_port: u32,
+    graphs: BTreeMap<String, DeployedGraph>,
+    slots: Vec<Option<String>>, // slot index → graph id
+    shared: BTreeMap<String, SharedInfo>, // functional type → info
+    internal_groups: BTreeMap<String, Vec<PortNo>>, // group → lsi0 vlink ports
+    next_mark: u32,
+    next_dpid: u64,
+    clock: SimTime,
+    /// Node-level trace/counters.
+    pub trace: TraceLog,
+    mem_capacity: u64,
+}
+
+fn fnv1a(data: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl UniversalNode {
+    /// A node with the standard repository, catalogue and images, a
+    /// given memory capacity, and LSI-0 using the OvS-like backend.
+    pub fn new(name: &str, mem_capacity: u64) -> Self {
+        let mut ledger = MemLedger::new();
+        let node_account = ledger.create_account(&format!("node:{name}"), None);
+        let mut compute = ComputeManager::new();
+        provision_standard_images(&mut compute);
+        UniversalNode {
+            name: name.to_string(),
+            host: Host::new(name, CostModel::default()),
+            ledger,
+            node_account,
+            costs: CostModel::default(),
+            compute,
+            repository: VnfRepository::standard(),
+            lsi0: LogicalSwitch::new("LSI-0", 1, Backend::SingleTableCached),
+            l0_ports: BTreeMap::new(),
+            physical: BTreeMap::new(),
+            next_l0_port: 1,
+            graphs: BTreeMap::new(),
+            slots: Vec::new(),
+            shared: BTreeMap::new(),
+            internal_groups: BTreeMap::new(),
+            next_mark: 1,
+            next_dpid: 2,
+            clock: SimTime::ZERO,
+            trace: TraceLog::new(16_384),
+            mem_capacity,
+        }
+    }
+
+    /// Register a physical interface (e.g. `"eth0"`) as an LSI-0 port.
+    pub fn add_physical_port(&mut self, name: &str) -> PortNo {
+        let port = PortNo(self.next_l0_port);
+        self.next_l0_port += 1;
+        self.lsi0
+            .add_port(port, name)
+            .expect("fresh port number cannot collide");
+        self.l0_ports.insert(port, L0Port::Physical(name.to_string()));
+        self.physical.insert(name.to_string(), port);
+        port
+    }
+
+    /// Advance the node clock (stamps traces, host time).
+    pub fn set_time(&mut self, now: SimTime) {
+        self.clock = now;
+        self.host.set_time(now);
+    }
+
+    /// Current virtual time.
+    pub fn time(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Deployed graph ids.
+    pub fn graph_ids(&self) -> Vec<String> {
+        self.graphs.keys().cloned().collect()
+    }
+
+    /// The stored NF-FG of a deployed graph.
+    pub fn graph(&self, id: &str) -> Option<&NfFg> {
+        self.graphs.get(id).map(|g| &g.nffg)
+    }
+
+    /// Instance placed for an NF of a deployed graph.
+    pub fn instance_of(&self, graph: &str, nf: &str) -> Option<(InstanceId, Flavor)> {
+        self.graphs
+            .get(graph)
+            .and_then(|g| g.nfs.get(nf))
+            .map(|p| (p.instance, p.flavor))
+    }
+
+    /// RAM currently attributed to one NF of a graph.
+    pub fn nf_ram_usage(&self, graph: &str, nf: &str) -> u64 {
+        self.instance_of(graph, nf)
+            .map(|(id, _)| self.compute.ram_usage(&self.ledger, id))
+            .unwrap_or(0)
+    }
+
+    /// Image footprint of one NF of a graph.
+    pub fn nf_image_footprint(&self, graph: &str, nf: &str) -> u64 {
+        self.instance_of(graph, nf)
+            .map(|(id, _)| self.compute.image_footprint(id))
+            .unwrap_or(0)
+    }
+
+    /// Total memory in use on the node.
+    pub fn memory_used(&self) -> u64 {
+        self.ledger.usage(self.node_account)
+    }
+
+    // ------------------------------------------------------------------
+    // Deploy / undeploy / update
+    // ------------------------------------------------------------------
+
+    /// Deploy an NF-FG.
+    pub fn deploy(&mut self, nffg: &NfFg) -> Result<DeployReport, DeployError> {
+        let errs = validate(nffg);
+        if !errs.is_empty() {
+            return Err(DeployError::Invalid(errs));
+        }
+        if self.graphs.contains_key(&nffg.id) {
+            return Err(DeployError::AlreadyDeployed(nffg.id.clone()));
+        }
+        // Endpoints must reference existing physical interfaces.
+        for ep in &nffg.endpoints {
+            match &ep.kind {
+                EndpointKind::Interface { if_name } | EndpointKind::Vlan { if_name, .. } => {
+                    if !self.physical.contains_key(if_name) {
+                        return Err(DeployError::NoSuchInterface(if_name.clone()));
+                    }
+                }
+                EndpointKind::Internal { .. } => {}
+            }
+        }
+
+        let slot = self
+            .slots
+            .iter()
+            .position(|s| s.is_none())
+            .unwrap_or_else(|| {
+                self.slots.push(None);
+                self.slots.len() - 1
+            }) as u32;
+
+        let dpid = self.next_dpid;
+        self.next_dpid += 1;
+        let mut graph = DeployedGraph {
+            nffg: nffg.clone(),
+            lsi: LogicalSwitch::new(&format!("LSI-{}", nffg.id), dpid, Backend::SingleTableCached),
+            slot,
+            ports: BTreeMap::new(),
+            vlinks: BTreeMap::new(),
+            rev_nf: BTreeMap::new(),
+            nfs: BTreeMap::new(),
+            next_port: 1,
+        };
+
+        // Track created state for rollback.
+        let mut created_instances: Vec<InstanceId> = Vec::new();
+        let mut created_l0_ports: Vec<PortNo> = Vec::new();
+        let result = self.deploy_inner(
+            nffg,
+            &mut graph,
+            &mut created_instances,
+            &mut created_l0_ports,
+        );
+        match result {
+            Ok(report) => {
+                self.slots[slot as usize] = Some(nffg.id.clone());
+                self.graphs.insert(nffg.id.clone(), graph);
+                self.trace.count("graphs_deployed", 1);
+                Ok(report)
+            }
+            Err(e) => {
+                // Roll back: instances, LSI-0 ports+rules, shared bindings.
+                let cookie = fnv1a(&nffg.id);
+                self.lsi0.remove_by_cookie(cookie);
+                for p in created_l0_ports {
+                    let _ = self.lsi0.remove_port(p);
+                    self.l0_ports.remove(&p);
+                }
+                for (_, info) in self.shared.iter_mut() {
+                    info.graphs.retain(|g| g != &nffg.id);
+                }
+                let mut env = NodeEnv {
+                    host: &mut self.host,
+                    ledger: &mut self.ledger,
+                    costs: &self.costs,
+                };
+                for id in created_instances {
+                    let _ = self.compute.stop(&mut env, id);
+                    let _ = self.compute.destroy(&mut env, id);
+                }
+                self.shared.retain(|_, info| {
+                    !info.graphs.is_empty() || {
+                        // Drop owner-less shared instances created here.
+                        true
+                    }
+                });
+                Err(e)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn deploy_inner(
+        &mut self,
+        nffg: &NfFg,
+        graph: &mut DeployedGraph,
+        created_instances: &mut Vec<InstanceId>,
+        created_l0_ports: &mut Vec<PortNo>,
+    ) -> Result<DeployReport, DeployError> {
+        let cookie = fnv1a(&nffg.id);
+        let mut placements = Vec::new();
+
+        // ---- NF placement + instantiation ----
+        struct Status<'a>(&'a BTreeMap<String, SharedInfo>, &'a ComputeManager);
+        impl NativeStatus for Status<'_> {
+            fn existing(&self, ft: &str) -> Option<(InstanceId, bool)> {
+                if let Some(info) = self.0.get(ft) {
+                    return Some((info.instance, true));
+                }
+                self.1
+                    .native
+                    .existing_instance(ft)
+                    .map(|k| (InstanceId(k), false))
+            }
+        }
+
+        for nf in &nffg.nfs {
+            let template = self
+                .repository
+                .resolve(&nf.functional_type)
+                .ok_or_else(|| DeployError::NoTemplate(nf.functional_type.clone()))?
+                .clone();
+            let decision = decide(
+                &template,
+                nf.flavor.as_deref(),
+                &self.compute.native.catalog,
+                &Status(&self.shared, &self.compute),
+            )
+            .map_err(DeployError::from)?;
+
+            let n_ports = nf.ports.len().max(1);
+            // Bindings must be allocated before `env` borrows the node.
+            let prebinding = match &decision {
+                Decision::NativeNewShared | Decision::NativeShare(_) => {
+                    Some(self.make_binding(&nffg.id, nf))
+                }
+                _ => None,
+            };
+            let mut env = NodeEnv {
+                host: &mut self.host,
+                ledger: &mut self.ledger,
+                costs: &self.costs,
+            };
+            let placed = match decision {
+                Decision::NativeNew => {
+                    let id = self.compute.create(
+                        &mut env,
+                        &format!("{}-{}", nffg.id, nf.id),
+                        &nf.functional_type,
+                        &FlavorSpec::Native,
+                        n_ports,
+                        &nf.config,
+                        false,
+                        self.node_account,
+                    )?;
+                    self.compute.start(&mut env, id)?;
+                    created_instances.push(id);
+                    PlacedNf {
+                        instance: id,
+                        flavor: Flavor::Native,
+                        shared: None,
+                        owned: true,
+                    }
+                }
+                Decision::NativeNewShared => {
+                    let id = self.compute.create(
+                        &mut env,
+                        &format!("shared-{}", nf.functional_type),
+                        &nf.functional_type,
+                        &FlavorSpec::Native,
+                        n_ports,
+                        &nf.config,
+                        true,
+                        self.node_account,
+                    )?;
+                    self.compute.start(&mut env, id)?;
+                    created_instances.push(id);
+                    let binding = prebinding.clone().expect("allocated above");
+                    self.compute.bind_native_graph(&mut env, id, &binding)?;
+                    // Attach port on LSI-0.
+                    let attach = PortNo(self.next_l0_port);
+                    self.next_l0_port += 1;
+                    self.lsi0
+                        .add_port(attach, &format!("nnf-{}", nf.functional_type))
+                        .expect("fresh port");
+                    created_l0_ports.push(attach);
+                    self.l0_ports.insert(attach, L0Port::SharedAttach(id));
+                    self.shared.insert(
+                        nf.functional_type.clone(),
+                        SharedInfo {
+                            instance: id,
+                            attach_port: attach,
+                            graphs: vec![nffg.id.clone()],
+                        },
+                    );
+                    PlacedNf {
+                        instance: id,
+                        flavor: Flavor::Native,
+                        shared: Some(binding),
+                        owned: true,
+                    }
+                }
+                Decision::NativeShare(id) => {
+                    let binding = prebinding.clone().expect("allocated above");
+                    self.compute.bind_native_graph(&mut env, id, &binding)?;
+                    if let Some(info) = self.shared.get_mut(&nf.functional_type) {
+                        info.graphs.push(nffg.id.clone());
+                    }
+                    self.trace.count("nnf_shares", 1);
+                    PlacedNf {
+                        instance: id,
+                        flavor: Flavor::Native,
+                        shared: Some(binding),
+                        owned: false,
+                    }
+                }
+                Decision::Vnf(spec) => {
+                    let id = self.compute.create(
+                        &mut env,
+                        &format!("{}-{}", nffg.id, nf.id),
+                        &nf.functional_type,
+                        &spec,
+                        n_ports,
+                        &nf.config,
+                        false,
+                        self.node_account,
+                    )?;
+                    self.compute.start(&mut env, id)?;
+                    created_instances.push(id);
+                    PlacedNf {
+                        instance: id,
+                        flavor: spec.flavor(),
+                        shared: None,
+                        owned: true,
+                    }
+                }
+            };
+            placements.push((
+                nf.id.clone(),
+                placed.flavor,
+                placed.instance,
+                placed.shared.is_some(),
+            ));
+            graph.nfs.insert(nf.id.clone(), placed);
+        }
+
+        // ---- Admission control ----
+        let used = self.ledger.usage(self.node_account);
+        if used > self.mem_capacity {
+            return Err(DeployError::InsufficientMemory {
+                needed: used,
+                capacity: self.mem_capacity,
+            });
+        }
+
+        // ---- Ports & virtual links ----
+        // Graph-LSI ports for dedicated NF ports.
+        for nf in &nffg.nfs {
+            let placed = graph.nfs.get(&nf.id).unwrap().clone();
+            if placed.shared.is_some() {
+                continue; // shared NFs are reached via LSI-0
+            }
+            for port in &nf.ports {
+                let p = PortNo(graph.next_port);
+                graph.next_port += 1;
+                graph
+                    .lsi
+                    .add_port(p, &format!("to-{}:{}", nf.id, port.id))
+                    .expect("fresh port");
+                graph.ports.insert(p, GPort::Nf(placed.instance, port.id));
+                graph.rev_nf.insert((placed.instance, port.id), p);
+            }
+        }
+        // Virtual links per endpoint.
+        for ep in &nffg.endpoints {
+            let l0_port = PortNo(self.next_l0_port);
+            self.next_l0_port += 1;
+            self.lsi0
+                .add_port(l0_port, &format!("vlink-{}-{}", nffg.id, ep.id))
+                .expect("fresh port");
+            created_l0_ports.push(l0_port);
+            let g_port = PortNo(graph.next_port);
+            graph.next_port += 1;
+            graph
+                .lsi
+                .add_port(g_port, &format!("vlink-{}", ep.id))
+                .expect("fresh port");
+            self.l0_ports.insert(
+                l0_port,
+                L0Port::Vlink {
+                    graph_slot: graph.slot,
+                    peer: g_port,
+                },
+            );
+            graph.ports.insert(g_port, GPort::Vlink { l0_port });
+            graph
+                .vlinks
+                .insert(VlinkKey::Endpoint(ep.id.clone()), g_port);
+
+            // LSI-0 classification rules for this endpoint.
+            match &ep.kind {
+                EndpointKind::Interface { if_name } => {
+                    let phys = *self.physical.get(if_name).unwrap();
+                    // Conflict detection: untagged traffic of this iface
+                    // must not already be claimed.
+                    let m = FlowMatch::in_port(phys).with_vlan(VlanSpec::Untagged);
+                    if self.lsi0.table(0).map(|t| t.find(5, &m).is_some()).unwrap_or(false) {
+                        return Err(DeployError::EndpointConflict(if_name.clone()));
+                    }
+                    self.lsi0
+                        .install(
+                            0,
+                            FlowEntry::new(5, m, vec![FlowAction::Output(l0_port)])
+                                .with_cookie(cookie),
+                        )
+                        .expect("table 0 exists");
+                    self.lsi0
+                        .install(
+                            0,
+                            FlowEntry::new(
+                                5,
+                                FlowMatch::in_port(l0_port),
+                                vec![FlowAction::Output(phys)],
+                            )
+                            .with_cookie(cookie),
+                        )
+                        .expect("table 0 exists");
+                }
+                EndpointKind::Vlan { if_name, vlan_id } => {
+                    let phys = *self.physical.get(if_name).unwrap();
+                    self.lsi0
+                        .install(
+                            0,
+                            FlowEntry::new(
+                                10,
+                                FlowMatch::in_port(phys).with_vlan(VlanSpec::Id(*vlan_id)),
+                                vec![FlowAction::PopVlan, FlowAction::Output(l0_port)],
+                            )
+                            .with_cookie(cookie),
+                        )
+                        .expect("table 0 exists");
+                    self.lsi0
+                        .install(
+                            0,
+                            FlowEntry::new(
+                                10,
+                                FlowMatch::in_port(l0_port),
+                                vec![FlowAction::PushVlan(*vlan_id), FlowAction::Output(phys)],
+                            )
+                            .with_cookie(cookie),
+                        )
+                        .expect("table 0 exists");
+                }
+                EndpointKind::Internal { group } => {
+                    let members = self.internal_groups.entry(group.clone()).or_default();
+                    // Cross-connect with every existing member.
+                    for other in members.clone() {
+                        self.lsi0
+                            .install(
+                                0,
+                                FlowEntry::new(
+                                    7,
+                                    FlowMatch::in_port(l0_port),
+                                    vec![FlowAction::Output(other)],
+                                )
+                                .with_cookie(cookie),
+                            )
+                            .expect("table 0 exists");
+                        self.lsi0
+                            .install(
+                                0,
+                                FlowEntry::new(
+                                    7,
+                                    FlowMatch::in_port(other),
+                                    vec![FlowAction::Output(l0_port)],
+                                )
+                                .with_cookie(cookie),
+                            )
+                            .expect("table 0 exists");
+                    }
+                    members.push(l0_port);
+                }
+            }
+        }
+        // Virtual links + LSI-0 rules per shared NF used by this graph.
+        for nf in &nffg.nfs {
+            let placed = graph.nfs.get(&nf.id).unwrap().clone();
+            let Some(binding) = placed.shared.as_ref() else {
+                continue;
+            };
+            let attach = self
+                .shared
+                .get(&nf.functional_type)
+                .map(|i| i.attach_port)
+                .expect("shared info recorded");
+
+            let l0_port = PortNo(self.next_l0_port);
+            self.next_l0_port += 1;
+            self.lsi0
+                .add_port(l0_port, &format!("vlink-{}-{}", nffg.id, nf.id))
+                .expect("fresh port");
+            created_l0_ports.push(l0_port);
+            let g_port = PortNo(graph.next_port);
+            graph.next_port += 1;
+            graph
+                .lsi
+                .add_port(g_port, &format!("vlink-shared-{}", nf.id))
+                .expect("fresh port");
+            self.l0_ports.insert(
+                l0_port,
+                L0Port::Vlink {
+                    graph_slot: graph.slot,
+                    peer: g_port,
+                },
+            );
+            graph.ports.insert(g_port, GPort::Vlink { l0_port });
+            graph
+                .vlinks
+                .insert(VlinkKey::SharedNf(nf.id.clone()), g_port);
+
+            for vid in [binding.vid_lan, binding.vid_wan] {
+                self.lsi0
+                    .install(
+                        0,
+                        FlowEntry::new(
+                            20,
+                            FlowMatch::in_port(l0_port).with_vlan(VlanSpec::Id(vid)),
+                            vec![FlowAction::Output(attach)],
+                        )
+                        .with_cookie(cookie),
+                    )
+                    .expect("table 0 exists");
+                self.lsi0
+                    .install(
+                        0,
+                        FlowEntry::new(
+                            20,
+                            FlowMatch::in_port(attach).with_vlan(VlanSpec::Id(vid)),
+                            vec![FlowAction::Output(l0_port)],
+                        )
+                        .with_cookie(cookie),
+                    )
+                    .expect("table 0 exists");
+            }
+        }
+
+        // ---- Compile the graph's big-switch rules ----
+        let mut flow_entries = self.lsi0.flow_count();
+        for rule in &nffg.flow_rules {
+            let entry = compile_rule(nffg, graph, rule)
+                .map_err(DeployError::Compute)?
+                .with_cookie(fnv1a(&format!("{}/{}", nffg.id, rule.id)));
+            graph.lsi.install(0, entry).expect("table 0 exists");
+        }
+        flow_entries += graph.lsi.flow_count();
+
+        Ok(DeployReport {
+            graph: nffg.id.clone(),
+            placements,
+            flow_entries,
+        })
+    }
+
+    fn make_binding(&mut self, graph_id: &str, nf: &un_nffg::NetworkFunction) -> GraphBinding {
+        let mark = self.next_mark;
+        self.next_mark += 1;
+        GraphBinding {
+            graph: graph_id.to_string(),
+            mark,
+            zone: mark as u16,
+            vid_lan: (100 + mark * 2) as u16,
+            vid_wan: (101 + mark * 2) as u16,
+            params: nf.config.params.clone(),
+        }
+    }
+
+    /// Undeploy a graph: remove rules, virtual links, and instances
+    /// (shared NNF instances survive until their last graph leaves).
+    pub fn undeploy(&mut self, graph_id: &str) -> Result<(), DeployError> {
+        let graph = self
+            .graphs
+            .remove(graph_id)
+            .ok_or_else(|| DeployError::NoSuchGraph(graph_id.to_string()))?;
+        let cookie = fnv1a(graph_id);
+        self.lsi0.remove_by_cookie(cookie);
+
+        // Remove the graph's LSI-0 vlink ports.
+        let to_remove: Vec<PortNo> = self
+            .l0_ports
+            .iter()
+            .filter(|(_, k)| matches!(k, L0Port::Vlink { graph_slot, .. } if *graph_slot == graph.slot))
+            .map(|(p, _)| *p)
+            .collect();
+        for p in to_remove {
+            let _ = self.lsi0.remove_port(p);
+            self.l0_ports.remove(&p);
+            for members in self.internal_groups.values_mut() {
+                members.retain(|m| *m != p);
+            }
+        }
+
+        let mut env = NodeEnv {
+            host: &mut self.host,
+            ledger: &mut self.ledger,
+            costs: &self.costs,
+        };
+        for (nf_id, placed) in &graph.nfs {
+            match &placed.shared {
+                None => {
+                    debug_assert!(placed.owned, "dedicated instances are always owned");
+                    self.compute.stop(&mut env, placed.instance)?;
+                    self.compute.destroy(&mut env, placed.instance)?;
+                }
+                Some(_binding) => {
+                    self.compute
+                        .unbind_native_graph(&mut env, placed.instance, graph_id)?;
+                    let ft = self
+                        .compute
+                        .functional_type(placed.instance)
+                        .unwrap_or(nf_id)
+                        .to_string();
+                    let mut drop_shared = false;
+                    if let Some(info) = self.shared.get_mut(&ft) {
+                        info.graphs.retain(|g| g != graph_id);
+                        drop_shared = info.graphs.is_empty();
+                    }
+                    if drop_shared {
+                        let info = self.shared.remove(&ft).unwrap();
+                        let _ = self.lsi0.remove_port(info.attach_port);
+                        self.l0_ports.remove(&info.attach_port);
+                        self.compute.stop(&mut env, info.instance)?;
+                        self.compute.destroy(&mut env, info.instance)?;
+                    }
+                }
+            }
+        }
+        self.slots[graph.slot as usize] = None;
+        self.trace.count("graphs_undeployed", 1);
+        Ok(())
+    }
+
+    /// Update a deployed graph.
+    ///
+    /// Rule-only changes are applied in place (remove + reinstall flow
+    /// entries); structural changes (NFs or endpoints) trigger an
+    /// undeploy + redeploy of the graph.
+    pub fn update(&mut self, nffg: &NfFg) -> Result<DeployReport, DeployError> {
+        let old = self
+            .graphs
+            .get(&nffg.id)
+            .ok_or_else(|| DeployError::NoSuchGraph(nffg.id.clone()))?;
+        let diff = un_nffg::diff(&old.nffg, nffg);
+        let structural = !diff.added_nfs.is_empty()
+            || !diff.removed_nfs.is_empty()
+            || !diff.changed_nfs.is_empty()
+            || !diff.added_endpoints.is_empty()
+            || !diff.removed_endpoints.is_empty();
+        if structural {
+            self.undeploy(&nffg.id)?;
+            self.trace.count("graph_updates_structural", 1);
+            return self.deploy(nffg);
+        }
+        // Rule-level update.
+        let errs = validate(nffg);
+        if !errs.is_empty() {
+            return Err(DeployError::Invalid(errs));
+        }
+        let graph = self.graphs.get_mut(&nffg.id).unwrap();
+        for rule_id in diff
+            .removed_rules
+            .iter()
+            .chain(diff.changed_rules.iter().map(|r| &r.id))
+        {
+            graph
+                .lsi
+                .remove_by_cookie(fnv1a(&format!("{}/{}", nffg.id, rule_id)));
+        }
+        for rule in diff.added_rules.iter().chain(diff.changed_rules.iter()) {
+            let entry = compile_rule(nffg, graph, rule)
+                .map_err(DeployError::Compute)?
+                .with_cookie(fnv1a(&format!("{}/{}", nffg.id, rule.id)));
+            graph.lsi.install(0, entry).expect("table 0 exists");
+        }
+        graph.nffg = nffg.clone();
+        self.trace.count("graph_updates_rules", 1);
+        let placements = graph
+            .nfs
+            .iter()
+            .map(|(id, p)| (id.clone(), p.flavor, p.instance, p.shared.is_some()))
+            .collect();
+        let flow_entries = graph.lsi.flow_count() + self.lsi0.flow_count();
+        Ok(DeployReport {
+            graph: nffg.id.clone(),
+            placements,
+            flow_entries,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane
+    // ------------------------------------------------------------------
+
+    /// Inject a frame on a physical port and run it to completion.
+    pub fn inject(&mut self, port_name: &str, pkt: Packet) -> NodeIo {
+        let mut io = NodeIo::default();
+        let Some(&port) = self.physical.get(port_name) else {
+            self.trace.count("inject_unknown_port", 1);
+            return io;
+        };
+        let mut queue: Vec<(Loc, Packet)> = vec![(Loc::L0(port), pkt)];
+        let mut budget = 256u32;
+        while let Some((loc, pkt)) = queue.pop() {
+            if budget == 0 {
+                self.trace.count("fabric_loop_drops", 1);
+                break;
+            }
+            budget -= 1;
+            match loc {
+                Loc::L0(p) => {
+                    let res = self.lsi0.process(p, pkt, &self.costs);
+                    io.cost += res.cost;
+                    for (out, out_pkt) in res.outputs {
+                        match self.l0_ports.get(&out).cloned() {
+                            Some(L0Port::Physical(name)) => {
+                                io.emitted.push((name, out_pkt));
+                            }
+                            Some(L0Port::Vlink { graph_slot, peer }) => {
+                                io.cost += Cost::from_nanos(self.costs.virtual_link_ns);
+                                queue.push((Loc::Graph(graph_slot, peer), out_pkt));
+                            }
+                            Some(L0Port::SharedAttach(inst)) => {
+                                let mut env = NodeEnv {
+                                    host: &mut self.host,
+                                    ledger: &mut self.ledger,
+                                    costs: &self.costs,
+                                };
+                                let out_io: IoOutcome =
+                                    self.compute.deliver(&mut env, inst, 0, out_pkt);
+                                io.cost += out_io.cost;
+                                for (_p, p2) in out_io.outputs {
+                                    queue.push((Loc::L0(out), p2));
+                                }
+                            }
+                            None => {
+                                self.trace.count("l0_unmapped_port", 1);
+                            }
+                        }
+                    }
+                }
+                Loc::Graph(slot, p) => {
+                    let Some(gid) = self.slots.get(slot as usize).and_then(|s| s.clone()) else {
+                        continue;
+                    };
+                    // Collect port kinds first so the graph borrow ends
+                    // before packets are delivered to instances.
+                    let mapped: Vec<(Option<GPort>, Packet)> = {
+                        let graph = self.graphs.get_mut(&gid).expect("slot consistent");
+                        let res = graph.lsi.process(p, pkt, &self.costs);
+                        io.cost += res.cost;
+                        res.outputs
+                            .into_iter()
+                            .map(|(out, out_pkt)| (graph.ports.get(&out).cloned(), out_pkt))
+                            .collect()
+                    };
+                    for (kind, out_pkt) in mapped {
+                        match kind {
+                            Some(GPort::Vlink { l0_port }) => {
+                                io.cost += Cost::from_nanos(self.costs.virtual_link_ns);
+                                queue.push((Loc::L0(l0_port), out_pkt));
+                            }
+                            Some(GPort::Nf(inst, nf_port)) => {
+                                let mut env = NodeEnv {
+                                    host: &mut self.host,
+                                    ledger: &mut self.ledger,
+                                    costs: &self.costs,
+                                };
+                                let out_io = self.compute.deliver(&mut env, inst, nf_port, out_pkt);
+                                io.cost += out_io.cost;
+                                let graph = self.graphs.get(&gid).expect("still there");
+                                for (p2, pkt2) in out_io.outputs {
+                                    if let Some(&gp) = graph.rev_nf.get(&(inst, p2)) {
+                                        queue.push((Loc::Graph(slot, gp), pkt2));
+                                    }
+                                }
+                            }
+                            None => {
+                                self.trace.count("graph_unmapped_port", 1);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        io
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// The node's self-description.
+    pub fn describe(&self) -> NodeDescription {
+        NodeDescription {
+            name: self.name.clone(),
+            flavors: vec!["vm".into(), "docker".into(), "dpdk".into(), "native".into()],
+            nnfs: self
+                .compute
+                .native
+                .catalog
+                .iter()
+                .map(|d| (d.functional_type.to_string(), d.sharable, d.multi_instance))
+                .collect(),
+            graphs: self.graph_ids(),
+            instances: self
+                .compute
+                .iter()
+                .map(|(id, flavor, name)| {
+                    (
+                        name.to_string(),
+                        flavor.to_string(),
+                        self.compute
+                            .functional_type(id)
+                            .unwrap_or_default()
+                            .to_string(),
+                    )
+                })
+                .collect(),
+            memory_used: self.memory_used(),
+            memory_capacity: self.mem_capacity,
+        }
+    }
+
+    /// Render the node architecture as an ASCII tree (the Figure 1
+    /// reproduction; validated structurally in tests).
+    pub fn architecture_diagram(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("NFV Compute Node '{}'\n", self.name));
+        out.push_str("└─ Local Orchestrator (REST → deploy/update/undeploy)\n");
+        out.push_str(&format!(
+            "   ├─ VNF repository: {} templates\n",
+            self.repository.len()
+        ));
+        out.push_str(&format!(
+            "   ├─ NNF catalogue: {} native functions\n",
+            self.compute.native.catalog.len()
+        ));
+        out.push_str(&format!(
+            "   ├─ Resource manager: {} / {} used\n",
+            format_bytes(self.memory_used()),
+            format_bytes(self.mem_capacity)
+        ));
+        out.push_str("   ├─ Traffic steering\n");
+        out.push_str(&format!(
+            "   │  ├─ {} (dpid {}): {} ports, {} flows\n",
+            self.lsi0.name,
+            self.lsi0.dpid,
+            self.lsi0.port_count(),
+            self.lsi0.flow_count()
+        ));
+        for (pno, kind) in &self.l0_ports {
+            let desc = match kind {
+                L0Port::Physical(n) => format!("physical '{n}'"),
+                L0Port::Vlink { graph_slot, .. } => {
+                    let g = self.slots[*graph_slot as usize].clone().unwrap_or_default();
+                    format!("virtual link → LSI-{g}")
+                }
+                L0Port::SharedAttach(i) => format!("shared NNF attach ({i})"),
+            };
+            out.push_str(&format!("   │  │   {pno}: {desc}\n"));
+        }
+        for graph in self.graphs.values() {
+            out.push_str(&format!(
+                "   │  ├─ {} (dpid {}): {} ports, {} flows\n",
+                graph.lsi.name,
+                graph.lsi.dpid,
+                graph.lsi.port_count(),
+                graph.lsi.flow_count()
+            ));
+        }
+        out.push_str("   └─ Compute manager\n");
+        for (id, flavor, name) in self.compute.iter() {
+            let driver = match flavor {
+                Flavor::Vm => "VM driver (libvirt/KVM)",
+                Flavor::Docker => "Docker driver",
+                Flavor::Dpdk => "DPDK driver",
+                Flavor::Native => "Native driver (NNF)",
+            };
+            out.push_str(&format!("      ├─ {id} '{name}' via {driver}\n"));
+        }
+        out
+    }
+
+    /// LSI-0 statistics (tests / metrics endpoint).
+    pub fn lsi0_stats(&self) -> un_switch::SwitchStats {
+        self.lsi0.stats
+    }
+
+    /// Flow count across all LSIs.
+    pub fn total_flows(&self) -> usize {
+        self.lsi0.flow_count() + self.graphs.values().map(|g| g.lsi.flow_count()).sum::<usize>()
+    }
+}
+
+/// Compile one NF-FG rule into a graph-LSI flow entry.
+fn compile_rule(
+    _nffg: &NfFg,
+    graph: &DeployedGraph,
+    rule: &un_nffg::FlowRule,
+) -> Result<FlowEntry, String> {
+    let mut m = FlowMatch::any();
+    let mut actions: Vec<FlowAction> = Vec::new();
+
+    let resolve = |r: &PortRef| -> Result<(PortNo, Option<u16>), String> {
+        match r {
+            PortRef::Endpoint(ep) => graph
+                .vlinks
+                .get(&VlinkKey::Endpoint(ep.clone()))
+                .map(|p| (*p, None))
+                .ok_or_else(|| format!("endpoint '{ep}' has no vlink")),
+            PortRef::Nf(nf, port) => {
+                let placed = graph
+                    .nfs
+                    .get(nf)
+                    .ok_or_else(|| format!("NF '{nf}' not placed"))?;
+                match &placed.shared {
+                    None => graph
+                        .rev_nf
+                        .get(&(placed.instance, *port))
+                        .map(|p| (*p, None))
+                        .ok_or_else(|| format!("NF '{nf}' port {port} not mapped")),
+                    Some(binding) => {
+                        let vid = if *port == 0 {
+                            binding.vid_lan
+                        } else {
+                            binding.vid_wan
+                        };
+                        graph
+                            .vlinks
+                            .get(&VlinkKey::SharedNf(nf.clone()))
+                            .map(|p| (*p, Some(vid)))
+                            .ok_or_else(|| format!("shared NF '{nf}' has no vlink"))
+                    }
+                }
+            }
+        }
+    };
+
+    // port-in (validated earlier to be present).
+    let port_in = rule
+        .matches
+        .port_in
+        .as_ref()
+        .ok_or_else(|| "rule missing port-in".to_string())?;
+    let (in_port, in_vid) = resolve(port_in)?;
+    m.in_port = Some(in_port);
+    if let Some(vid) = in_vid {
+        // Traffic from a shared NNF arrives tagged: match + strip.
+        m.vlan = Some(VlanSpec::Id(vid));
+        actions.push(FlowAction::PopVlan);
+    }
+
+    apply_match_fields(&rule.matches, &mut m)?;
+
+    for action in &rule.actions {
+        match action {
+            RuleAction::Output(r) => {
+                let (out_port, out_vid) = resolve(r)?;
+                if let Some(vid) = out_vid {
+                    actions.push(FlowAction::PushVlan(vid));
+                }
+                actions.push(FlowAction::Output(out_port));
+            }
+            RuleAction::PushVlan(v) => actions.push(FlowAction::PushVlan(*v)),
+            RuleAction::PopVlan => actions.push(FlowAction::PopVlan),
+            RuleAction::SetFwmark(mark) => actions.push(FlowAction::SetFwmark(*mark)),
+        }
+    }
+
+    Ok(FlowEntry::new(rule.priority, m, actions))
+}
+
+fn apply_match_fields(tm: &TrafficMatch, m: &mut FlowMatch) -> Result<(), String> {
+    if let Some(s) = &tm.eth_src {
+        m.eth_src = Some(s.parse::<MacAddr>().map_err(|_| format!("bad MAC '{s}'"))?);
+    }
+    if let Some(s) = &tm.eth_dst {
+        m.eth_dst = Some(s.parse::<MacAddr>().map_err(|_| format!("bad MAC '{s}'"))?);
+    }
+    if let Some(t) = tm.ether_type {
+        m.eth_type = Some(t);
+    }
+    if let Some(v) = tm.vlan_id {
+        m.vlan = Some(VlanSpec::Id(v));
+    }
+    if let Some(s) = &tm.ip_src {
+        m.ip_src = Some(parse_prefix(s)?);
+    }
+    if let Some(s) = &tm.ip_dst {
+        m.ip_dst = Some(parse_prefix(s)?);
+    }
+    if let Some(p) = tm.ip_proto {
+        m.ip_proto = Some(p);
+    }
+    if let Some(p) = tm.src_port {
+        m.l4_src = Some(p);
+    }
+    if let Some(p) = tm.dst_port {
+        m.l4_dst = Some(p);
+    }
+    Ok(())
+}
+
+fn parse_prefix(s: &str) -> Result<Ipv4Cidr, String> {
+    if s.contains('/') {
+        s.parse().map_err(|_| format!("bad prefix '{s}'"))
+    } else {
+        let ip: std::net::Ipv4Addr = s.parse().map_err(|_| format!("bad address '{s}'"))?;
+        Ok(Ipv4Cidr::new(ip, 32))
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,173 @@
+//! The ChaCha20 stream cipher, per RFC 8439 §2.3–2.4.
+//!
+//! State is sixteen 32-bit words: 4 constants, 8 key words, a 32-bit block
+//! counter and a 96-bit nonce. Each 64-byte keystream block is produced by
+//! 20 rounds (10 column/diagonal double-rounds) plus the feed-forward add.
+
+/// Key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce length in bytes (the IETF 96-bit variant).
+pub const NONCE_LEN: usize = 12;
+/// Keystream block length in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// A ChaCha20 cipher instance bound to a key and nonce.
+#[derive(Clone)]
+pub struct ChaCha20 {
+    key: [u32; 8],
+    nonce: [u32; 3],
+}
+
+impl ChaCha20 {
+    /// Create a cipher for `key` and `nonce`.
+    pub fn new(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN]) -> Self {
+        let mut k = [0u32; 8];
+        for (i, w) in k.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        let mut n = [0u32; 3];
+        for (i, w) in n.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        ChaCha20 { key: k, nonce: n }
+    }
+
+    /// Compute the raw 64-byte block for `counter` (RFC 8439 §2.3).
+    pub fn block(&self, counter: u32) -> [u8; BLOCK_LEN] {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = counter;
+        state[13..16].copy_from_slice(&self.nonce);
+
+        let mut working = state;
+        for _ in 0..10 {
+            // column rounds
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // diagonal rounds
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; BLOCK_LEN];
+        for i in 0..16 {
+            let word = working[i].wrapping_add(state[i]);
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// XOR `data` in place with the keystream starting at block `counter`
+    /// (RFC 8439 §2.4). Encryption and decryption are the same operation.
+    pub fn apply_keystream(&self, counter: u32, data: &mut [u8]) {
+        let mut ctr = counter;
+        for chunk in data.chunks_mut(BLOCK_LEN) {
+            let ks = self.block(ctr);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            ctr = ctr.wrapping_add(1);
+        }
+    }
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        let s: String = s.chars().filter(|c| c.is_ascii_hexdigit()).collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rfc8439_block_function_vector() {
+        // RFC 8439 §2.3.2
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let nonce: [u8; 12] = hex("000000090000004a00000000").try_into().unwrap();
+        let cipher = ChaCha20::new(&key, &nonce);
+        let block = cipher.block(1);
+        let expected = hex(
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e",
+        );
+        assert_eq!(block.to_vec(), expected);
+    }
+
+    #[test]
+    fn rfc8439_encryption_vector() {
+        // RFC 8439 §2.4.2: the "sunscreen" plaintext.
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let nonce: [u8; 12] = hex("000000000000004a00000000").try_into().unwrap();
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could \
+offer you only one tip for the future, sunscreen would be it.";
+        let mut data = plaintext.to_vec();
+        let cipher = ChaCha20::new(&key, &nonce);
+        cipher.apply_keystream(1, &mut data);
+        let expected = hex(
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b
+             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8
+             07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736
+             5af90bbf74a35be6b40b8eedf2785e42874d",
+        );
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn keystream_roundtrip() {
+        let key = [7u8; 32];
+        let nonce = [9u8; 12];
+        let cipher = ChaCha20::new(&key, &nonce);
+        let mut data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let orig = data.clone();
+        cipher.apply_keystream(5, &mut data);
+        assert_ne!(data, orig);
+        cipher.apply_keystream(5, &mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn multiblock_counter_advances() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let cipher = ChaCha20::new(&key, &nonce);
+        // Encrypting 130 bytes in one call == encrypting per-64B-block
+        // with manually advanced counters.
+        let mut whole = vec![0u8; 130];
+        cipher.apply_keystream(0, &mut whole);
+        let mut parts = vec![0u8; 130];
+        cipher.apply_keystream(0, &mut parts[..64]);
+        cipher.apply_keystream(1, &mut parts[64..128]);
+        cipher.apply_keystream(2, &mut parts[128..]);
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn different_nonces_differ() {
+        let key = [3u8; 32];
+        let c1 = ChaCha20::new(&key, &[0u8; 12]);
+        let c2 = ChaCha20::new(&key, &[1u8; 12]);
+        assert_ne!(c1.block(0), c2.block(0));
+    }
+}

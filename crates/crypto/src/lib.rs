@@ -1,0 +1,34 @@
+//! # un-crypto — from-scratch primitives for the IPsec data plane
+//!
+//! The paper's evaluation runs strongSwan with ESP in tunnel mode. Rather
+//! than stubbing "encryption happened", this crate implements the actual
+//! primitives a modern ESP deployment uses, so the data path performs real
+//! cryptographic work and the micro-benchmarks (`cargo bench -p un-bench
+//! --bench crypto_bench`) measure something genuine:
+//!
+//! * [`chacha20`] — the ChaCha20 stream cipher (RFC 8439 §2.3–2.4).
+//! * [`poly1305`] — the Poly1305 one-time authenticator (RFC 8439 §2.5).
+//! * [`aead`] — the ChaCha20-Poly1305 AEAD construction (RFC 8439 §2.8),
+//!   as used by ESP per RFC 7634.
+//! * [`sha256`] — SHA-256 (FIPS 180-4).
+//! * [`hmac`] — HMAC-SHA-256 (RFC 2104) and HKDF (RFC 5869), used by the
+//!   IKE-lite control plane in `un-ipsec` to derive SA keys.
+//!
+//! All implementations are constant-timeish pure Rust with no unsafe code
+//! and are validated against the RFC/FIPS test vectors in their unit
+//! tests. They are **not** intended for production use outside this
+//! reproduction — no side-channel hardening has been attempted.
+
+#![forbid(unsafe_code)]
+
+pub mod aead;
+pub mod chacha20;
+pub mod hmac;
+pub mod poly1305;
+pub mod sha256;
+
+pub use aead::{open, seal, AeadError, KEY_LEN, NONCE_LEN, TAG_LEN};
+pub use chacha20::ChaCha20;
+pub use hmac::{hkdf_expand, hkdf_extract, hmac_sha256};
+pub use poly1305::Poly1305;
+pub use sha256::Sha256;

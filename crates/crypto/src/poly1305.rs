@@ -1,0 +1,288 @@
+//! The Poly1305 one-time authenticator, per RFC 8439 §2.5.
+//!
+//! Arithmetic is carried out modulo 2^130 − 5 using five 26-bit limbs
+//! (the classic "donna" representation), which keeps every intermediate
+//! product within u64 range without needing 128-bit multiplies per limb
+//! pair beyond what u64×u64→u128 provides.
+
+/// Key length in bytes (r || s).
+pub const KEY_LEN: usize = 32;
+/// Tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Incremental Poly1305 MAC computation.
+#[derive(Clone)]
+pub struct Poly1305 {
+    r: [u32; 5],
+    s: [u32; 4],
+    acc: [u32; 5],
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl Poly1305 {
+    /// Initialize with a 32-byte one-time key (r clamped per the RFC).
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        let t0 = u32::from_le_bytes(key[0..4].try_into().unwrap());
+        let t1 = u32::from_le_bytes(key[4..8].try_into().unwrap());
+        let t2 = u32::from_le_bytes(key[8..12].try_into().unwrap());
+        let t3 = u32::from_le_bytes(key[12..16].try_into().unwrap());
+
+        // Clamp and split into 26-bit limbs.
+        let r = [
+            t0 & 0x3ff_ffff,
+            ((t0 >> 26) | (t1 << 6)) & 0x3ff_ff03,
+            ((t1 >> 20) | (t2 << 12)) & 0x3ff_c0ff,
+            ((t2 >> 14) | (t3 << 18)) & 0x3f0_3fff,
+            (t3 >> 8) & 0x00f_ffff,
+        ];
+        let s = [
+            u32::from_le_bytes(key[16..20].try_into().unwrap()),
+            u32::from_le_bytes(key[20..24].try_into().unwrap()),
+            u32::from_le_bytes(key[24..28].try_into().unwrap()),
+            u32::from_le_bytes(key[28..32].try_into().unwrap()),
+        ];
+        Poly1305 {
+            r,
+            s,
+            acc: [0; 5],
+            buf: [0; 16],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorb message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let want = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + want].copy_from_slice(&data[..want]);
+            self.buf_len += want;
+            data = &data[want..];
+            if self.buf_len == 16 {
+                let block = self.buf;
+                self.process_block(&block, false);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let block: [u8; 16] = data[..16].try_into().unwrap();
+            self.process_block(&block, false);
+            data = &data[16..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finish and produce the 16-byte tag.
+    pub fn finalize(mut self) -> [u8; TAG_LEN] {
+        if self.buf_len > 0 {
+            let mut block = [0u8; 16];
+            block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            block[self.buf_len] = 1; // the padding 0x01 byte for a short block
+            self.process_block(&block, true);
+        }
+
+        // Full carry propagation.
+        let mut h = self.acc;
+        let mut c;
+        c = h[1] >> 26;
+        h[1] &= 0x3ff_ffff;
+        h[2] += c;
+        c = h[2] >> 26;
+        h[2] &= 0x3ff_ffff;
+        h[3] += c;
+        c = h[3] >> 26;
+        h[3] &= 0x3ff_ffff;
+        h[4] += c;
+        c = h[4] >> 26;
+        h[4] &= 0x3ff_ffff;
+        h[0] += c * 5;
+        c = h[0] >> 26;
+        h[0] &= 0x3ff_ffff;
+        h[1] += c;
+
+        // Compute h + -p and select.
+        let mut g = [0u32; 5];
+        let mut carry = 5u32;
+        for i in 0..5 {
+            let t = h[i] + carry;
+            carry = t >> 26;
+            g[i] = t & 0x3ff_ffff;
+        }
+        g[4] = g[4].wrapping_sub(1 << 26);
+
+        let mask = (g[4] >> 31).wrapping_sub(1); // all-ones if h >= p
+        for i in 0..5 {
+            h[i] = (h[i] & !mask) | (g[i] & mask);
+        }
+
+        // Serialize to 128 bits and add s.
+        let h0 = h[0] | (h[1] << 26);
+        let h1 = (h[1] >> 6) | (h[2] << 20);
+        let h2 = (h[2] >> 12) | (h[3] << 14);
+        let h3 = (h[3] >> 18) | (h[4] << 8);
+
+        let mut tag = [0u8; TAG_LEN];
+        let mut acc: u64;
+        acc = h0 as u64 + self.s[0] as u64;
+        tag[0..4].copy_from_slice(&(acc as u32).to_le_bytes());
+        acc = h1 as u64 + self.s[1] as u64 + (acc >> 32);
+        tag[4..8].copy_from_slice(&(acc as u32).to_le_bytes());
+        acc = h2 as u64 + self.s[2] as u64 + (acc >> 32);
+        tag[8..12].copy_from_slice(&(acc as u32).to_le_bytes());
+        acc = h3 as u64 + self.s[3] as u64 + (acc >> 32);
+        tag[12..16].copy_from_slice(&(acc as u32).to_le_bytes());
+        tag
+    }
+
+    /// One-shot MAC.
+    pub fn mac(key: &[u8; KEY_LEN], data: &[u8]) -> [u8; TAG_LEN] {
+        let mut p = Poly1305::new(key);
+        p.update(data);
+        p.finalize()
+    }
+
+    fn process_block(&mut self, block: &[u8; 16], partial: bool) {
+        let hibit: u32 = if partial { 0 } else { 1 << 24 };
+
+        let t0 = u32::from_le_bytes(block[0..4].try_into().unwrap());
+        let t1 = u32::from_le_bytes(block[4..8].try_into().unwrap());
+        let t2 = u32::from_le_bytes(block[8..12].try_into().unwrap());
+        let t3 = u32::from_le_bytes(block[12..16].try_into().unwrap());
+
+        self.acc[0] += t0 & 0x3ff_ffff;
+        self.acc[1] += ((t0 >> 26) | (t1 << 6)) & 0x3ff_ffff;
+        self.acc[2] += ((t1 >> 20) | (t2 << 12)) & 0x3ff_ffff;
+        self.acc[3] += ((t2 >> 14) | (t3 << 18)) & 0x3ff_ffff;
+        self.acc[4] += (t3 >> 8) | hibit;
+
+        // acc *= r (mod 2^130 - 5)
+        let [r0, r1, r2, r3, r4] = self.r.map(|x| x as u64);
+        let s1 = r1 * 5;
+        let s2 = r2 * 5;
+        let s3 = r3 * 5;
+        let s4 = r4 * 5;
+        let [h0, h1, h2, h3, h4] = self.acc.map(|x| x as u64);
+
+        let d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+        let d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+        let d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+        let d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+        let d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+        // Partial carry propagation back into 26-bit limbs.
+        let mut c: u64;
+        let mut out = [0u64; 5];
+        c = d0 >> 26;
+        out[0] = d0 & 0x3ff_ffff;
+        let d1 = d1 + c;
+        c = d1 >> 26;
+        out[1] = d1 & 0x3ff_ffff;
+        let d2 = d2 + c;
+        c = d2 >> 26;
+        out[2] = d2 & 0x3ff_ffff;
+        let d3 = d3 + c;
+        c = d3 >> 26;
+        out[3] = d3 & 0x3ff_ffff;
+        let d4 = d4 + c;
+        c = d4 >> 26;
+        out[4] = d4 & 0x3ff_ffff;
+        out[0] += c * 5;
+        c = out[0] >> 26;
+        out[0] &= 0x3ff_ffff;
+        out[1] += c;
+
+        self.acc = out.map(|x| x as u32);
+    }
+}
+
+/// Constant-time tag comparison.
+pub fn tags_equal(a: &[u8; TAG_LEN], b: &[u8; TAG_LEN]) -> bool {
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        let s: String = s.chars().filter(|c| c.is_ascii_hexdigit()).collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rfc8439_vector() {
+        // RFC 8439 §2.5.2
+        let key: [u8; 32] = hex(
+            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
+        )
+        .try_into()
+        .unwrap();
+        let msg = b"Cryptographic Forum Research Group";
+        let tag = Poly1305::mac(&key, msg);
+        assert_eq!(tag.to_vec(), hex("a8061dc1305136c6c22b8baf0c0127a9"));
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let key = [0x42u8; 32];
+        let msg: Vec<u8> = (0..200u8).collect();
+        let oneshot = Poly1305::mac(&key, &msg);
+        for split in [0usize, 1, 15, 16, 17, 33, 199, 200] {
+            let mut p = Poly1305::new(&key);
+            p.update(&msg[..split]);
+            p.update(&msg[split..]);
+            assert_eq!(p.finalize(), oneshot, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn empty_message() {
+        let key = [1u8; 32];
+        // Tag of an empty message is just `s` (r*0 + s).
+        let tag = Poly1305::mac(&key, b"");
+        assert_eq!(&tag[..], &key[16..32]);
+    }
+
+    #[test]
+    fn tags_equal_constant_time_semantics() {
+        let a = [1u8; 16];
+        let mut b = [1u8; 16];
+        assert!(tags_equal(&a, &b));
+        b[15] ^= 1;
+        assert!(!tags_equal(&a, &b));
+    }
+
+    #[test]
+    fn tag_changes_with_message() {
+        let key = [9u8; 32];
+        let t1 = Poly1305::mac(&key, b"hello");
+        let t2 = Poly1305::mac(&key, b"hellp");
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn donna_boundary_block_sizes() {
+        // Exercise the final-block padding path at every size mod 16.
+        let key: [u8; 32] = hex(
+            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
+        )
+        .try_into()
+        .unwrap();
+        let data = [0xAAu8; 64];
+        let mut tags = std::collections::HashSet::new();
+        for len in 0..=64 {
+            let tag = Poly1305::mac(&key, &data[..len]);
+            assert!(tags.insert(tag.to_vec()), "duplicate tag at len {len}");
+        }
+    }
+}

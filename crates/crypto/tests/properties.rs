@@ -1,0 +1,69 @@
+//! Property-based tests for the crypto primitives.
+
+use proptest::prelude::*;
+
+proptest! {
+    /// Seal/open is the identity for any key, nonce, AAD and plaintext.
+    #[test]
+    fn aead_roundtrip(
+        key in prop::array::uniform32(any::<u8>()),
+        nonce in prop::array::uniform12(any::<u8>()),
+        aad in prop::collection::vec(any::<u8>(), 0..64),
+        plaintext in prop::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let mut data = plaintext.clone();
+        let tag = un_crypto::seal(&key, &nonce, &aad, &mut data);
+        if !plaintext.is_empty() {
+            prop_assert_ne!(&data, &plaintext, "ciphertext differs from plaintext");
+        }
+        un_crypto::open(&key, &nonce, &aad, &mut data, &tag).unwrap();
+        prop_assert_eq!(data, plaintext);
+    }
+
+    /// Any single bit flip in the ciphertext is detected.
+    #[test]
+    fn aead_tamper_detection(
+        key in prop::array::uniform32(any::<u8>()),
+        nonce in prop::array::uniform12(any::<u8>()),
+        plaintext in prop::collection::vec(any::<u8>(), 1..512),
+        flip_byte in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut data = plaintext.clone();
+        let tag = un_crypto::seal(&key, &nonce, b"", &mut data);
+        let idx = flip_byte.index(data.len());
+        data[idx] ^= 1 << flip_bit;
+        prop_assert!(un_crypto::open(&key, &nonce, b"", &mut data, &tag).is_err());
+    }
+
+    /// Incremental SHA-256 equals one-shot for any split.
+    #[test]
+    fn sha256_incremental(
+        data in prop::collection::vec(any::<u8>(), 0..1024),
+        split in any::<prop::sample::Index>(),
+    ) {
+        let oneshot = un_crypto::Sha256::digest(&data);
+        let k = split.index(data.len() + 1);
+        let mut h = un_crypto::Sha256::new();
+        h.update(&data[..k]);
+        h.update(&data[k..]);
+        prop_assert_eq!(h.finalize(), oneshot);
+    }
+
+    /// HKDF output is a prefix-stable function of its inputs.
+    #[test]
+    fn hkdf_prefix_stability(
+        ikm in prop::collection::vec(any::<u8>(), 1..64),
+        info in prop::collection::vec(any::<u8>(), 0..32),
+        len_a in 1usize..64,
+        len_b in 1usize..64,
+    ) {
+        let prk = un_crypto::hkdf_extract(b"salt", &ikm);
+        let mut a = vec![0u8; len_a];
+        let mut b = vec![0u8; len_b];
+        un_crypto::hkdf_expand(&prk, &info, &mut a);
+        un_crypto::hkdf_expand(&prk, &info, &mut b);
+        let n = len_a.min(len_b);
+        prop_assert_eq!(&a[..n], &b[..n]);
+    }
+}

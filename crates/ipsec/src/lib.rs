@@ -1,0 +1,35 @@
+//! # un-ipsec — ESP tunnel mode and the IKE-lite control plane
+//!
+//! The paper's evaluation workload is a strongSwan IPsec endpoint using
+//! "the ESP protocol in tunnel mode", with data-plane processing in the
+//! kernel (the property that makes the native/Docker flavors fast and
+//! the VM flavor slow). This crate is that IPsec implementation:
+//!
+//! * [`replay`] — the RFC 4303 §3.4.3 anti-replay sliding window.
+//! * [`sa`] — Security Associations (keys, SPI, sequence numbers,
+//!   lifetime counters) and the SAD.
+//! * [`esp`] — actual ESP tunnel-mode encapsulation/decapsulation with
+//!   ChaCha20-Poly1305 (RFC 7634 style: 4-byte salt + 8-byte wire IV),
+//!   RFC 4303 padding, and strict replay/auth checks.
+//! * [`spd`] — Security Policy Database entries (traffic selectors →
+//!   protect/bypass/discard), shared with the kernel XFRM layer in
+//!   `un-linux`.
+//! * [`ike`] — "IKE-lite": a two-message PSK-authenticated handshake that
+//!   derives child-SA keys with HKDF, playing the role of the strongSwan
+//!   daemon. It is deliberately *not* IKEv2, but it occupies the same
+//!   place in the architecture (userspace control plane installing
+//!   kernel SAs) and runs over UDP/500 in the simulation.
+
+#![forbid(unsafe_code)]
+
+pub mod esp;
+pub mod ike;
+pub mod replay;
+pub mod sa;
+pub mod spd;
+
+pub use esp::{decapsulate, encapsulate, IpsecError};
+pub use ike::{IkeConfig, IkeInitiator, IkeResponder};
+pub use replay::ReplayWindow;
+pub use sa::{SaDirection, Sad, SecurityAssociation, SpiValue};
+pub use spd::{PolicyAction, SecurityPolicy, Spd, TrafficSelector};

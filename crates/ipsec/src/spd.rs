@@ -1,0 +1,241 @@
+//! The Security Policy Database (RFC 4301 §4.4.1, simplified).
+//!
+//! Policies map traffic selectors to protect/bypass/discard decisions.
+//! The kernel XFRM layer in `un-linux` consults the SPD on output (to
+//! decide whether to encapsulate) and on input after decapsulation (to
+//! verify the inner packet was allowed to arrive protected).
+
+use std::net::Ipv4Addr;
+
+use un_packet::Ipv4Cidr;
+
+use crate::sa::SpiValue;
+
+/// Which traffic a policy applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficSelector {
+    /// Inner source prefix.
+    pub src: Ipv4Cidr,
+    /// Inner destination prefix.
+    pub dst: Ipv4Cidr,
+    /// IP protocol restriction (None = any).
+    pub proto: Option<u8>,
+}
+
+impl TrafficSelector {
+    /// Selector matching everything.
+    pub fn any() -> Self {
+        TrafficSelector {
+            src: Ipv4Cidr::new(Ipv4Addr::UNSPECIFIED, 0),
+            dst: Ipv4Cidr::new(Ipv4Addr::UNSPECIFIED, 0),
+            proto: None,
+        }
+    }
+
+    /// Selector for a src/dst prefix pair.
+    pub fn between(src: Ipv4Cidr, dst: Ipv4Cidr) -> Self {
+        TrafficSelector { src, dst, proto: None }
+    }
+
+    /// Does a packet with these addresses/protocol match?
+    pub fn matches(&self, src: Ipv4Addr, dst: Ipv4Addr, proto: u8) -> bool {
+        self.src.contains(src)
+            && self.dst.contains(dst)
+            && self.proto.map(|p| p == proto).unwrap_or(true)
+    }
+}
+
+/// What to do with matching traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyAction {
+    /// ESP-protect with the SA identified by this SPI.
+    Protect(SpiValue),
+    /// Let it pass in the clear.
+    Bypass,
+    /// Drop it.
+    Discard,
+}
+
+/// Direction a policy applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyDirection {
+    /// Outbound traffic (encapsulation decision).
+    Out,
+    /// Inbound traffic (verification after decapsulation).
+    In,
+}
+
+/// One SPD entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecurityPolicy {
+    /// Which traffic.
+    pub selector: TrafficSelector,
+    /// Which direction.
+    pub direction: PolicyDirection,
+    /// What to do.
+    pub action: PolicyAction,
+    /// Priority; higher wins on overlap.
+    pub priority: u16,
+}
+
+/// The ordered policy database.
+#[derive(Debug, Default)]
+pub struct Spd {
+    policies: Vec<SecurityPolicy>,
+}
+
+impl Spd {
+    /// An empty SPD.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a policy (kept sorted by priority, stable).
+    pub fn install(&mut self, policy: SecurityPolicy) {
+        let pos = self
+            .policies
+            .iter()
+            .position(|p| p.priority < policy.priority)
+            .unwrap_or(self.policies.len());
+        self.policies.insert(pos, policy);
+    }
+
+    /// Remove all policies protecting with a given SPI; returns count.
+    pub fn remove_by_spi(&mut self, spi: SpiValue) -> usize {
+        let before = self.policies.len();
+        self.policies
+            .retain(|p| !matches!(p.action, PolicyAction::Protect(s) if s == spi));
+        before - self.policies.len()
+    }
+
+    /// Find the decision for a packet in a direction.
+    pub fn lookup(
+        &self,
+        direction: PolicyDirection,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        proto: u8,
+    ) -> Option<&SecurityPolicy> {
+        self.policies
+            .iter()
+            .find(|p| p.direction == direction && p.selector.matches(src, dst, proto))
+    }
+
+    /// Number of installed policies.
+    pub fn len(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// True if no policies are installed.
+    pub fn is_empty(&self) -> bool {
+        self.policies.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cidr(s: &str) -> Ipv4Cidr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn selector_matching() {
+        let sel = TrafficSelector::between(cidr("10.0.0.0/24"), cidr("192.168.0.0/16"));
+        assert!(sel.matches(
+            Ipv4Addr::new(10, 0, 0, 5),
+            Ipv4Addr::new(192, 168, 3, 1),
+            17
+        ));
+        assert!(!sel.matches(
+            Ipv4Addr::new(10, 0, 1, 5),
+            Ipv4Addr::new(192, 168, 3, 1),
+            17
+        ));
+        let mut with_proto = sel;
+        with_proto.proto = Some(6);
+        assert!(!with_proto.matches(
+            Ipv4Addr::new(10, 0, 0, 5),
+            Ipv4Addr::new(192, 168, 3, 1),
+            17
+        ));
+    }
+
+    #[test]
+    fn priority_ordering() {
+        let mut spd = Spd::new();
+        spd.install(SecurityPolicy {
+            selector: TrafficSelector::any(),
+            direction: PolicyDirection::Out,
+            action: PolicyAction::Bypass,
+            priority: 1,
+        });
+        spd.install(SecurityPolicy {
+            selector: TrafficSelector::between(cidr("10.0.0.0/8"), cidr("0.0.0.0/0")),
+            direction: PolicyDirection::Out,
+            action: PolicyAction::Protect(0x99),
+            priority: 10,
+        });
+        let p = spd
+            .lookup(
+                PolicyDirection::Out,
+                Ipv4Addr::new(10, 1, 1, 1),
+                Ipv4Addr::new(8, 8, 8, 8),
+                17,
+            )
+            .unwrap();
+        assert_eq!(p.action, PolicyAction::Protect(0x99));
+        let p = spd
+            .lookup(
+                PolicyDirection::Out,
+                Ipv4Addr::new(172, 16, 0, 1),
+                Ipv4Addr::new(8, 8, 8, 8),
+                17,
+            )
+            .unwrap();
+        assert_eq!(p.action, PolicyAction::Bypass);
+    }
+
+    #[test]
+    fn direction_separation() {
+        let mut spd = Spd::new();
+        spd.install(SecurityPolicy {
+            selector: TrafficSelector::any(),
+            direction: PolicyDirection::In,
+            action: PolicyAction::Discard,
+            priority: 5,
+        });
+        assert!(spd
+            .lookup(
+                PolicyDirection::Out,
+                Ipv4Addr::UNSPECIFIED,
+                Ipv4Addr::UNSPECIFIED,
+                0
+            )
+            .is_none());
+        assert!(spd
+            .lookup(
+                PolicyDirection::In,
+                Ipv4Addr::UNSPECIFIED,
+                Ipv4Addr::UNSPECIFIED,
+                0
+            )
+            .is_some());
+    }
+
+    #[test]
+    fn remove_by_spi() {
+        let mut spd = Spd::new();
+        for spi in [1u32, 2, 1] {
+            spd.install(SecurityPolicy {
+                selector: TrafficSelector::any(),
+                direction: PolicyDirection::Out,
+                action: PolicyAction::Protect(spi),
+                priority: 1,
+            });
+        }
+        assert_eq!(spd.remove_by_spi(1), 2);
+        assert_eq!(spd.len(), 1);
+    }
+}

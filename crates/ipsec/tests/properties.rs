@@ -1,0 +1,88 @@
+//! Property-based tests for the ESP data plane.
+
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use un_ipsec::replay::{ReplayVerdict, ReplayWindow, WINDOW_SIZE};
+use un_ipsec::sa::SecurityAssociation;
+use un_ipsec::{decapsulate, encapsulate};
+
+fn pair(key: [u8; 32], salt: [u8; 4]) -> (SecurityAssociation, SecurityAssociation) {
+    let a = Ipv4Addr::new(192, 0, 2, 1);
+    let b = Ipv4Addr::new(203, 0, 113, 7);
+    (
+        SecurityAssociation::outbound(0x77, a, b, key, salt),
+        SecurityAssociation::inbound(0x77, a, b, key, salt),
+    )
+}
+
+proptest! {
+    /// Tunnel-mode encap/decap is the identity for any inner packet.
+    #[test]
+    fn esp_roundtrip(
+        key in prop::array::uniform32(any::<u8>()),
+        salt in prop::array::uniform4(any::<u8>()),
+        inner in prop::collection::vec(any::<u8>(), 0..1600),
+        count in 1usize..8,
+    ) {
+        let (mut tx, mut rx) = pair(key, salt);
+        for _ in 0..count {
+            let wire = encapsulate(&mut tx, &inner).unwrap();
+            // Alignment invariant from RFC 4303.
+            prop_assert_eq!((wire.len() - 32) % 4, 0);
+            let back = decapsulate(&mut rx, &wire).unwrap();
+            prop_assert_eq!(&back, &inner);
+        }
+    }
+
+    /// The replay window accepts each sequence number at most once, in
+    /// any arrival order.
+    #[test]
+    fn replay_accepts_each_seq_once(
+        mut seqs in prop::collection::vec(1u32..5000, 1..200),
+    ) {
+        let mut w = ReplayWindow::new();
+        let mut accepted = std::collections::HashSet::new();
+        for &seq in &seqs {
+            match w.check(seq) {
+                ReplayVerdict::Ok => {
+                    w.update(seq);
+                    prop_assert!(accepted.insert(seq), "seq {seq} accepted twice");
+                }
+                ReplayVerdict::Replayed => {
+                    prop_assert!(accepted.contains(&seq), "fresh seq {seq} called replay");
+                }
+                ReplayVerdict::TooOld => {
+                    prop_assert!(w.top() >= WINDOW_SIZE, "too-old before window filled");
+                    prop_assert!(seq + WINDOW_SIZE <= w.top());
+                }
+                ReplayVerdict::Zero => prop_assert_eq!(seq, 0),
+            }
+        }
+        seqs.clear();
+    }
+
+    /// Wire-format corruption never yields a different plaintext — it is
+    /// always rejected outright.
+    #[test]
+    fn corruption_always_rejected(
+        key in prop::array::uniform32(any::<u8>()),
+        inner in prop::collection::vec(any::<u8>(), 1..512),
+        corrupt in any::<prop::sample::Index>(),
+    ) {
+        let (mut tx, mut rx) = pair(key, [9, 9, 9, 9]);
+        let mut wire = encapsulate(&mut tx, &inner).unwrap();
+        let idx = corrupt.index(wire.len());
+        wire[idx] ^= 0x01;
+        // Either framing fails, the SPI/seq no longer match, auth fails,
+        // or — never — success with the same bytes.
+        match decapsulate(&mut rx, &wire) {
+            Err(_) => {}
+            Ok(_decoded) => {
+                // The only way corruption can "succeed" is a bit flip in
+                // the header that still maps to this SA and seq — but
+                // AAD covers SPI/seq, so even that must fail.
+                prop_assert!(false, "corrupted packet at byte {idx} was accepted");
+            }
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Connection tracking and NAT.
+//!
+//! The NAT NNF is `iptables -t nat` + this engine. Entries are keyed by
+//! `(zone, 5-tuple)`; **zones** give each service graph sharing a single
+//! NAT NNF instance its own tracking space, so overlapping customer
+//! address plans cannot collide — this is one half of the paper's
+//! sharable-NNF isolation story (the other half is policy routing).
+//!
+//! NAT model: every connection stores its pre-NAT original tuple and the
+//! post-NAT translated tuple. Packets in the original direction are
+//! rewritten `orig → trans`; replies matching `reverse(trans)` are
+//! rewritten back to `reverse(orig)`.
+
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Conntrack flow state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtState {
+    /// First packet(s) of a flow; no reply seen yet.
+    New,
+    /// A reply has been seen.
+    Established,
+}
+
+/// A 5-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowTuple {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// IP protocol.
+    pub proto: u8,
+    /// L4 source port (0 for port-less protocols).
+    pub sport: u16,
+    /// L4 destination port.
+    pub dport: u16,
+}
+
+impl FlowTuple {
+    /// The reply-direction tuple.
+    pub fn reversed(&self) -> FlowTuple {
+        FlowTuple {
+            src: self.dst,
+            dst: self.src,
+            proto: self.proto,
+            sport: self.dport,
+            dport: self.sport,
+        }
+    }
+}
+
+/// Handle to a tracked connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnId(usize);
+
+/// Direction of a packet relative to its connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtDirection {
+    /// Same direction as the first packet.
+    Original,
+    /// Reply direction.
+    Reply,
+}
+
+#[derive(Debug, Clone)]
+struct ConnEntry {
+    zone: u16,
+    /// Pre-NAT tuple of the original direction.
+    orig: FlowTuple,
+    /// Post-NAT tuple of the original direction.
+    trans: FlowTuple,
+    state: CtState,
+    confirmed: bool,
+    packets: u64,
+}
+
+/// The connection tracking table.
+#[derive(Debug, Default)]
+pub struct Conntrack {
+    conns: Vec<ConnEntry>,
+    lookup: HashMap<(u16, FlowTuple), usize>,
+    used_ports: HashSet<(u16, Ipv4Addr, u8, u16)>,
+}
+
+/// First port used for masquerade allocations (Linux default range).
+pub const NAT_PORT_MIN: u16 = 32768;
+
+impl Conntrack {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of confirmed connections.
+    pub fn len(&self) -> usize {
+        self.conns.iter().filter(|c| c.confirmed).count()
+    }
+
+    /// True if nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Find the connection a packet belongs to.
+    pub fn find(&self, zone: u16, tuple: &FlowTuple) -> Option<(ConnId, CtDirection)> {
+        if let Some(&idx) = self.lookup.get(&(zone, *tuple)) {
+            let c = &self.conns[idx];
+            if c.orig == *tuple {
+                return Some((ConnId(idx), CtDirection::Original));
+            }
+            return Some((ConnId(idx), CtDirection::Reply));
+        }
+        None
+    }
+
+    /// Begin tracking a new flow (unconfirmed until [`confirm`](Self::confirm)).
+    pub fn begin(&mut self, zone: u16, tuple: FlowTuple) -> ConnId {
+        let idx = self.conns.len();
+        self.conns.push(ConnEntry {
+            zone,
+            orig: tuple,
+            trans: tuple,
+            state: CtState::New,
+            confirmed: false,
+            packets: 0,
+        });
+        ConnId(idx)
+    }
+
+    /// Apply a DNAT decision to a new connection.
+    pub fn set_dnat(&mut self, id: ConnId, to: Ipv4Addr, port: Option<u16>) {
+        let c = &mut self.conns[id.0];
+        debug_assert!(!c.confirmed, "NAT after confirmation is invalid");
+        c.trans.dst = to;
+        if let Some(p) = port {
+            c.trans.dport = p;
+        }
+    }
+
+    /// Apply an SNAT/masquerade decision. If the requested (or current)
+    /// source port collides with another translation to the same
+    /// address, a fresh port is allocated deterministically from
+    /// [`NAT_PORT_MIN`].
+    pub fn set_snat(&mut self, id: ConnId, to: Ipv4Addr, port: Option<u16>) {
+        let c = &mut self.conns[id.0];
+        debug_assert!(!c.confirmed, "NAT after confirmation is invalid");
+        c.trans.src = to;
+        let zone = c.zone;
+        let proto = c.trans.proto;
+        let mut candidate = port.unwrap_or(c.trans.sport);
+        if candidate == 0 {
+            candidate = NAT_PORT_MIN;
+        }
+        while self.used_ports.contains(&(zone, to, proto, candidate)) {
+            candidate = if candidate < NAT_PORT_MIN {
+                NAT_PORT_MIN
+            } else {
+                candidate.checked_add(1).unwrap_or(NAT_PORT_MIN)
+            };
+        }
+        self.conns[id.0].trans.sport = candidate;
+        self.used_ports.insert((zone, to, proto, candidate));
+    }
+
+    /// Confirm a connection after POSTROUTING: it becomes visible to
+    /// lookups in both directions.
+    pub fn confirm(&mut self, id: ConnId) {
+        let c = &mut self.conns[id.0];
+        if c.confirmed {
+            return;
+        }
+        c.confirmed = true;
+        let zone = c.zone;
+        let orig = c.orig;
+        let reply_key = c.trans.reversed();
+        self.lookup.insert((zone, orig), id.0);
+        self.lookup.insert((zone, reply_key), id.0);
+    }
+
+    /// The tuple a packet should carry after NAT, given its direction.
+    pub fn rewrite(&self, id: ConnId, dir: CtDirection) -> FlowTuple {
+        let c = &self.conns[id.0];
+        match dir {
+            CtDirection::Original => c.trans,
+            CtDirection::Reply => c.orig.reversed(),
+        }
+    }
+
+    /// Current state of a connection.
+    pub fn state(&self, id: ConnId) -> CtState {
+        self.conns[id.0].state
+    }
+
+    /// Record a packet on the connection; a reply-direction packet
+    /// promotes the flow to Established.
+    pub fn note_packet(&mut self, id: ConnId, dir: CtDirection) {
+        let c = &mut self.conns[id.0];
+        c.packets += 1;
+        if dir == CtDirection::Reply {
+            c.state = CtState::Established;
+        }
+    }
+
+    /// Packets seen on a connection.
+    pub fn packet_count(&self, id: ConnId) -> u64 {
+        self.conns[id.0].packets
+    }
+
+    /// Drop everything (e.g. NNF teardown).
+    pub fn clear(&mut self) {
+        self.conns.clear();
+        self.lookup.clear();
+        self.used_ports.clear();
+    }
+
+    /// Iterate confirmed connections of a zone (diagnostics).
+    pub fn zone_conns(&self, zone: u16) -> impl Iterator<Item = (&FlowTuple, &FlowTuple, CtState)> {
+        self.conns
+            .iter()
+            .filter(move |c| c.zone == zone && c.confirmed)
+            .map(|c| (&c.orig, &c.trans, c.state))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(src: [u8; 4], sport: u16, dst: [u8; 4], dport: u16) -> FlowTuple {
+        FlowTuple {
+            src: Ipv4Addr::from(src),
+            dst: Ipv4Addr::from(dst),
+            proto: 17,
+            sport,
+            dport,
+        }
+    }
+
+    #[test]
+    fn track_and_establish() {
+        let mut ct = Conntrack::new();
+        let t = tuple([10, 0, 0, 2], 5000, [8, 8, 8, 8], 53);
+        assert!(ct.find(0, &t).is_none());
+        let id = ct.begin(0, t);
+        ct.confirm(id);
+        ct.note_packet(id, CtDirection::Original);
+        assert_eq!(ct.state(id), CtState::New);
+
+        let (id2, dir) = ct.find(0, &t.reversed()).unwrap();
+        assert_eq!(id2, id);
+        assert_eq!(dir, CtDirection::Reply);
+        ct.note_packet(id2, CtDirection::Reply);
+        assert_eq!(ct.state(id), CtState::Established);
+        assert_eq!(ct.packet_count(id), 2);
+    }
+
+    #[test]
+    fn snat_rewrites_and_reverses() {
+        let mut ct = Conntrack::new();
+        let orig = tuple([192, 168, 1, 10], 5000, [8, 8, 8, 8], 53);
+        let id = ct.begin(0, orig);
+        ct.set_snat(id, Ipv4Addr::new(203, 0, 113, 1), None);
+        ct.confirm(id);
+
+        let out = ct.rewrite(id, CtDirection::Original);
+        assert_eq!(out.src, Ipv4Addr::new(203, 0, 113, 1));
+        assert_eq!(out.dst, Ipv4Addr::new(8, 8, 8, 8));
+
+        // Reply arrives addressed to the translated source.
+        let reply = out.reversed();
+        let (rid, dir) = ct.find(0, &reply).unwrap();
+        assert_eq!(rid, id);
+        assert_eq!(dir, CtDirection::Reply);
+        let back = ct.rewrite(rid, dir);
+        assert_eq!(back.dst, Ipv4Addr::new(192, 168, 1, 10));
+        assert_eq!(back.dport, 5000);
+    }
+
+    #[test]
+    fn dnat_rewrites() {
+        let mut ct = Conntrack::new();
+        let orig = tuple([1, 2, 3, 4], 9999, [203, 0, 113, 1], 8080);
+        let id = ct.begin(0, orig);
+        ct.set_dnat(id, Ipv4Addr::new(192, 168, 1, 20), Some(80));
+        ct.confirm(id);
+        let fwd = ct.rewrite(id, CtDirection::Original);
+        assert_eq!(fwd.dst, Ipv4Addr::new(192, 168, 1, 20));
+        assert_eq!(fwd.dport, 80);
+        // Server's reply (from 192.168.1.20:80) maps back to the public tuple.
+        let (rid, dir) = ct.find(0, &fwd.reversed()).unwrap();
+        let back = ct.rewrite(rid, dir);
+        assert_eq!(back.src, Ipv4Addr::new(203, 0, 113, 1));
+        assert_eq!(back.sport, 8080);
+    }
+
+    #[test]
+    fn port_collision_allocates_fresh_port() {
+        let mut ct = Conntrack::new();
+        let pub_ip = Ipv4Addr::new(203, 0, 113, 1);
+        // Two inside hosts use the same source port to the same server.
+        let a = tuple([192, 168, 1, 10], 5000, [8, 8, 8, 8], 53);
+        let b = tuple([192, 168, 1, 11], 5000, [8, 8, 8, 8], 53);
+        let ia = ct.begin(0, a);
+        ct.set_snat(ia, pub_ip, None);
+        ct.confirm(ia);
+        let ib = ct.begin(0, b);
+        ct.set_snat(ib, pub_ip, None);
+        ct.confirm(ib);
+
+        let ta = ct.rewrite(ia, CtDirection::Original);
+        let tb = ct.rewrite(ib, CtDirection::Original);
+        assert_eq!(ta.src, pub_ip);
+        assert_eq!(tb.src, pub_ip);
+        assert_ne!(ta.sport, tb.sport, "translations must not collide");
+
+        // Replies demux to the right inside host.
+        let (ra, _) = ct.find(0, &ta.reversed()).unwrap();
+        let (rb, _) = ct.find(0, &tb.reversed()).unwrap();
+        assert_eq!(ct.rewrite(ra, CtDirection::Reply).dst, a.src);
+        assert_eq!(ct.rewrite(rb, CtDirection::Reply).dst, b.src);
+    }
+
+    #[test]
+    fn zones_isolate_identical_tuples() {
+        let mut ct = Conntrack::new();
+        let t = tuple([192, 168, 1, 10], 5000, [8, 8, 8, 8], 53);
+        let id1 = ct.begin(1, t);
+        ct.set_snat(id1, Ipv4Addr::new(203, 0, 113, 1), None);
+        ct.confirm(id1);
+        let id2 = ct.begin(2, t);
+        ct.set_snat(id2, Ipv4Addr::new(198, 51, 100, 1), None);
+        ct.confirm(id2);
+
+        let (f1, d1) = ct.find(1, &t).unwrap();
+        let (f2, d2) = ct.find(2, &t).unwrap();
+        assert_ne!(f1, f2);
+        assert_eq!(d1, CtDirection::Original);
+        assert_eq!(d2, CtDirection::Original);
+        assert_eq!(ct.rewrite(f1, d1).src, Ipv4Addr::new(203, 0, 113, 1));
+        assert_eq!(ct.rewrite(f2, d2).src, Ipv4Addr::new(198, 51, 100, 1));
+        assert!(ct.find(3, &t).is_none());
+    }
+
+    #[test]
+    fn unconfirmed_invisible() {
+        let mut ct = Conntrack::new();
+        let t = tuple([1, 1, 1, 1], 1, [2, 2, 2, 2], 2);
+        let _id = ct.begin(0, t);
+        assert!(ct.find(0, &t).is_none(), "unconfirmed entries must not match");
+        assert_eq!(ct.len(), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut ct = Conntrack::new();
+        let t = tuple([1, 1, 1, 1], 1, [2, 2, 2, 2], 2);
+        let id = ct.begin(0, t);
+        ct.confirm(id);
+        assert_eq!(ct.len(), 1);
+        ct.clear();
+        assert!(ct.is_empty());
+        assert!(ct.find(0, &t).is_none());
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for routing and NAT invariants.
+
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use un_linux::conntrack::{Conntrack, CtDirection, FlowTuple};
+use un_linux::route::{Route, RouteTable};
+use un_linux::IfaceId;
+use un_packet::Ipv4Cidr;
+
+proptest! {
+    /// LPM lookup agrees with a brute-force reference.
+    #[test]
+    fn lpm_matches_reference(
+        routes in prop::collection::vec((any::<u32>(), 0u8..=32, 0u32..8, 0u32..4), 0..32),
+        probes in prop::collection::vec(any::<u32>(), 1..32),
+    ) {
+        let mut table = RouteTable::new();
+        for (addr, plen, dev, metric) in &routes {
+            table.add(Route {
+                dst: Ipv4Cidr::new(Ipv4Addr::from(*addr), *plen),
+                via: None,
+                dev: IfaceId(*dev),
+                metric: *metric,
+            });
+        }
+        for probe in &probes {
+            let ip = Ipv4Addr::from(*probe);
+            let got = table.lookup(ip).map(|r| (r.dst.prefix_len(), r.metric));
+            // Reference: max prefix length among containing routes, then
+            // min metric.
+            let reference = routes
+                .iter()
+                .filter(|(addr, plen, _, _)| {
+                    Ipv4Cidr::new(Ipv4Addr::from(*addr), *plen).contains(ip)
+                })
+                .map(|(_, plen, _, metric)| (*plen, *metric))
+                .max_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+            prop_assert_eq!(got, reference);
+        }
+    }
+
+    /// Masquerade translations to one public IP never collide: distinct
+    /// flows get distinct (ip, port) translations within a zone, and
+    /// every reply maps back to exactly the right flow.
+    #[test]
+    fn nat_translations_never_collide(
+        flows in prop::collection::hash_set((any::<u32>(), 1024u16..60000, 1u16..3), 1..64),
+    ) {
+        let public = Ipv4Addr::new(203, 0, 113, 1);
+        let mut ct = Conntrack::new();
+        let mut translations = std::collections::HashSet::new();
+        let mut ids = Vec::new();
+        for (src, sport, zone) in &flows {
+            let tuple = FlowTuple {
+                src: Ipv4Addr::from(*src),
+                dst: Ipv4Addr::new(8, 8, 8, 8),
+                proto: 17,
+                sport: *sport,
+                dport: 53,
+            };
+            // Skip duplicate tuples within a zone (same flow).
+            if ct.find(*zone, &tuple).is_some() {
+                continue;
+            }
+            let id = ct.begin(*zone, tuple);
+            ct.set_snat(id, public, None);
+            ct.confirm(id);
+            let trans = ct.rewrite(id, CtDirection::Original);
+            prop_assert!(
+                translations.insert((*zone, trans.src, trans.sport)),
+                "collision on {:?}", (trans.src, trans.sport)
+            );
+            ids.push((id, *zone, tuple, trans));
+        }
+        // Every reply finds its flow and maps back to the original.
+        for (id, zone, orig, trans) in ids {
+            let (found, dir) = ct.find(zone, &trans.reversed()).unwrap();
+            prop_assert_eq!(found, id);
+            prop_assert_eq!(dir, CtDirection::Reply);
+            prop_assert_eq!(ct.rewrite(found, dir), orig.reversed());
+        }
+    }
+}

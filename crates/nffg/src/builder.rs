@@ -1,0 +1,248 @@
+//! Ergonomic construction of NF-FGs for tests, examples and harnesses.
+
+use crate::model::{
+    Endpoint, EndpointKind, FlowRule, NetworkFunction, NfConfig, NfFg, NfPort, PortRef,
+    RuleAction, TrafficMatch,
+};
+
+/// Anything that can designate a port in builder calls: `"ep-id"` for an
+/// endpoint, or `("nf-id", port_index)` for an NF port.
+pub trait IntoPortRef {
+    /// Convert to a [`PortRef`].
+    fn into_port_ref(self) -> PortRef;
+}
+
+impl IntoPortRef for &str {
+    fn into_port_ref(self) -> PortRef {
+        PortRef::Endpoint(self.to_string())
+    }
+}
+
+impl IntoPortRef for (&str, u32) {
+    fn into_port_ref(self) -> PortRef {
+        PortRef::Nf(self.0.to_string(), self.1)
+    }
+}
+
+impl IntoPortRef for PortRef {
+    fn into_port_ref(self) -> PortRef {
+        self
+    }
+}
+
+/// Fluent NF-FG builder.
+#[derive(Debug, Clone)]
+pub struct NfFgBuilder {
+    graph: NfFg,
+}
+
+impl NfFgBuilder {
+    /// Start a graph with the given id and name.
+    pub fn new(id: &str, name: &str) -> Self {
+        NfFgBuilder {
+            graph: NfFg {
+                id: id.to_string(),
+                name: name.to_string(),
+                nfs: Vec::new(),
+                endpoints: Vec::new(),
+                flow_rules: Vec::new(),
+            },
+        }
+    }
+
+    /// Add an interface endpoint.
+    pub fn interface_endpoint(mut self, id: &str, if_name: &str) -> Self {
+        self.graph.endpoints.push(Endpoint {
+            id: id.to_string(),
+            kind: EndpointKind::Interface {
+                if_name: if_name.to_string(),
+            },
+        });
+        self
+    }
+
+    /// Add a VLAN endpoint.
+    pub fn vlan_endpoint(mut self, id: &str, if_name: &str, vlan_id: u16) -> Self {
+        self.graph.endpoints.push(Endpoint {
+            id: id.to_string(),
+            kind: EndpointKind::Vlan {
+                if_name: if_name.to_string(),
+                vlan_id,
+            },
+        });
+        self
+    }
+
+    /// Add an internal (graph-to-graph) endpoint.
+    pub fn internal_endpoint(mut self, id: &str, group: &str) -> Self {
+        self.graph.endpoints.push(Endpoint {
+            id: id.to_string(),
+            kind: EndpointKind::Internal {
+                group: group.to_string(),
+            },
+        });
+        self
+    }
+
+    /// Add an NF with `n_ports` ports numbered 0..n.
+    pub fn nf(mut self, id: &str, functional_type: &str, n_ports: u32) -> Self {
+        self.graph.nfs.push(NetworkFunction {
+            id: id.to_string(),
+            functional_type: functional_type.to_string(),
+            ports: (0..n_ports).map(|i| NfPort { id: i, name: None }).collect(),
+            config: NfConfig::default(),
+            flavor: None,
+        });
+        self
+    }
+
+    /// Add an NF with configuration.
+    pub fn nf_with_config(
+        mut self,
+        id: &str,
+        functional_type: &str,
+        n_ports: u32,
+        config: NfConfig,
+    ) -> Self {
+        self.graph.nfs.push(NetworkFunction {
+            id: id.to_string(),
+            functional_type: functional_type.to_string(),
+            ports: (0..n_ports).map(|i| NfPort { id: i, name: None }).collect(),
+            config,
+            flavor: None,
+        });
+        self
+    }
+
+    /// Force a flavor on the most recently added NF.
+    pub fn with_flavor(mut self, flavor: &str) -> Self {
+        if let Some(nf) = self.graph.nfs.last_mut() {
+            nf.flavor = Some(flavor.to_string());
+        }
+        self
+    }
+
+    /// Add a simple "everything from A goes to B" steering rule.
+    pub fn rule_through(
+        mut self,
+        id: &str,
+        priority: u16,
+        from: impl IntoPortRef,
+        to: impl IntoPortRef,
+    ) -> Self {
+        self.graph.flow_rules.push(FlowRule {
+            id: id.to_string(),
+            priority,
+            matches: TrafficMatch::from_port(from.into_port_ref()),
+            actions: vec![RuleAction::Output(to.into_port_ref())],
+        });
+        self
+    }
+
+    /// Add a rule with a full match and action list.
+    pub fn rule(mut self, id: &str, priority: u16, matches: TrafficMatch, actions: Vec<RuleAction>) -> Self {
+        self.graph.flow_rules.push(FlowRule {
+            id: id.to_string(),
+            priority,
+            matches,
+            actions,
+        });
+        self
+    }
+
+    /// Convenience: a bidirectional chain `ep_a <-> nf1 <-> nf2 … <-> ep_b`,
+    /// where each NF uses port 0 toward `ep_a` and port 1 toward `ep_b`.
+    /// Rules are named `c<idx>-fwd` / `c<idx>-rev`.
+    pub fn chain(mut self, ep_a: &str, nf_ids: &[&str], ep_b: &str) -> Self {
+        let mut hops: Vec<(PortRef, PortRef)> = Vec::new(); // (toward a, toward b)
+        hops.push((
+            PortRef::Endpoint(ep_a.to_string()),
+            PortRef::Endpoint(ep_a.to_string()),
+        ));
+        for nf in nf_ids {
+            hops.push((PortRef::Nf(nf.to_string(), 0), PortRef::Nf(nf.to_string(), 1)));
+        }
+        hops.push((
+            PortRef::Endpoint(ep_b.to_string()),
+            PortRef::Endpoint(ep_b.to_string()),
+        ));
+
+        for i in 0..hops.len() - 1 {
+            let from_fwd = hops[i].1.clone();
+            let to_fwd = hops[i + 1].0.clone();
+            let from_rev = hops[i + 1].0.clone();
+            let to_rev = hops[i].1.clone();
+            self.graph.flow_rules.push(FlowRule {
+                id: format!("c{i}-fwd"),
+                priority: 10,
+                matches: TrafficMatch::from_port(from_fwd),
+                actions: vec![RuleAction::Output(to_fwd)],
+            });
+            self.graph.flow_rules.push(FlowRule {
+                id: format!("c{i}-rev"),
+                priority: 10,
+                matches: TrafficMatch::from_port(from_rev),
+                actions: vec![RuleAction::Output(to_rev)],
+            });
+        }
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> NfFg {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn chain_builder_produces_valid_graph() {
+        let g = NfFgBuilder::new("g1", "chain")
+            .interface_endpoint("lan", "eth0")
+            .interface_endpoint("wan", "eth1")
+            .nf("fw", "firewall", 2)
+            .nf("nat", "nat", 2)
+            .chain("lan", &["fw", "nat"], "wan")
+            .build();
+        assert!(validate(&g).is_empty(), "{:?}", validate(&g));
+        // 3 hops x 2 directions = 6 rules.
+        assert_eq!(g.flow_rules.len(), 6);
+    }
+
+    #[test]
+    fn flavor_applies_to_last_nf() {
+        let g = NfFgBuilder::new("g", "f")
+            .interface_endpoint("e", "eth0")
+            .nf("a", "firewall", 2)
+            .nf("b", "nat", 2)
+            .with_flavor("native")
+            .rule_through("r1", 1, "e", ("a", 0))
+            .rule_through("r2", 1, ("a", 1), ("b", 0))
+            .rule_through("r3", 1, ("b", 1), "e")
+            .build();
+        assert_eq!(g.nf("a").unwrap().flavor, None);
+        assert_eq!(g.nf("b").unwrap().flavor.as_deref(), Some("native"));
+    }
+
+    #[test]
+    fn endpoint_kinds() {
+        let g = NfFgBuilder::new("g", "eps")
+            .interface_endpoint("i", "eth0")
+            .vlan_endpoint("v", "eth0", 10)
+            .internal_endpoint("x", "shared")
+            .build();
+        assert_eq!(g.endpoints.len(), 3);
+        assert!(matches!(
+            g.endpoint("v").unwrap().kind,
+            EndpointKind::Vlan { vlan_id: 10, .. }
+        ));
+        assert!(matches!(
+            g.endpoint("x").unwrap().kind,
+            EndpointKind::Internal { .. }
+        ));
+    }
+}

@@ -1,0 +1,125 @@
+//! JSON wire format.
+//!
+//! Graphs travel over the REST API wrapped in a `forwarding-graph`
+//! envelope, as in the original un-orchestrator:
+//!
+//! ```json
+//! { "forwarding-graph": { "id": "g1", "name": "…", "VNFs": […],
+//!   "end-points": […], "flow-rules": […] } }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::NfFg;
+
+#[derive(Serialize, Deserialize)]
+struct Envelope {
+    #[serde(rename = "forwarding-graph")]
+    forwarding_graph: NfFg,
+}
+
+/// Serialize a graph to its wire JSON (compact).
+pub fn to_json(graph: &NfFg) -> String {
+    serde_json::to_string(&Envelope {
+        forwarding_graph: graph.clone(),
+    })
+    .expect("NF-FG serialization cannot fail")
+}
+
+/// Serialize a graph to pretty-printed wire JSON.
+pub fn to_json_pretty(graph: &NfFg) -> String {
+    serde_json::to_string_pretty(&Envelope {
+        forwarding_graph: graph.clone(),
+    })
+    .expect("NF-FG serialization cannot fail")
+}
+
+/// Parse wire JSON into a graph.
+pub fn from_json(json: &str) -> Result<NfFg, serde_json::Error> {
+    serde_json::from_str::<Envelope>(json).map(|e| e.forwarding_graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NfFgBuilder;
+    use crate::model::*;
+
+    fn sample() -> NfFg {
+        NfFgBuilder::new("g-0001", "ipsec-cpe")
+            .interface_endpoint("lan", "eth0")
+            .vlan_endpoint("wan", "eth1", 42)
+            .nf_with_config(
+                "ipsec",
+                "ipsec",
+                2,
+                NfConfig::default()
+                    .with_param("remote-peer", "203.0.113.7")
+                    .with_param("psk", "secret"),
+            )
+            .with_flavor("native")
+            .chain("lan", &["ipsec"], "wan")
+            .build()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = sample();
+        let json = to_json(&g);
+        let back = from_json(&json).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn pretty_roundtrip_and_envelope() {
+        let g = sample();
+        let json = to_json_pretty(&g);
+        assert!(json.contains("\"forwarding-graph\""));
+        assert!(json.contains("\"VNFs\""));
+        assert!(json.contains("\"end-points\""));
+        assert!(json.contains("\"flow-rules\""));
+        assert_eq!(from_json(&json).unwrap(), g);
+    }
+
+    #[test]
+    fn parses_handwritten_json() {
+        let json = r#"{
+          "forwarding-graph": {
+            "id": "g9",
+            "name": "manual",
+            "VNFs": [
+              { "id": "fw", "functional-type": "firewall",
+                "ports": [ {"id": 0}, {"id": 1, "name": "wan"} ] }
+            ],
+            "end-points": [
+              { "id": "in", "type": "interface", "if-name": "eth0" },
+              { "id": "out", "type": "vlan", "if-name": "eth1", "vlan-id": 7 }
+            ],
+            "flow-rules": [
+              { "id": "r1", "priority": 5,
+                "match": { "port-in": "endpoint:in", "ip-proto": 17 },
+                "actions": [ { "output": "vnf:fw:0" } ] }
+            ]
+          }
+        }"#;
+        let g = from_json(json).unwrap();
+        assert_eq!(g.id, "g9");
+        assert_eq!(g.nfs[0].ports[1].name.as_deref(), Some("wan"));
+        assert!(matches!(
+            g.endpoints[1].kind,
+            EndpointKind::Vlan { vlan_id: 7, .. }
+        ));
+        assert_eq!(g.flow_rules[0].matches.ip_proto, Some(17));
+        assert_eq!(
+            g.flow_rules[0].actions[0],
+            RuleAction::Output(PortRef::Nf("fw".into(), 0))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(from_json("{}").is_err());
+        assert!(from_json("not json").is_err());
+        assert!(from_json(r#"{"forwarding-graph": {"name": "no-id"}}"#).is_err());
+    }
+}

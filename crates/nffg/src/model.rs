@@ -1,0 +1,332 @@
+//! Data model for the NF-FG.
+//!
+//! Addresses are kept as strings at this layer (as in the original JSON
+//! schema); they are parsed into typed values when the orchestrator
+//! compiles rules for an LSI. This keeps the graph format independent of
+//! any particular switch implementation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A network function inside a graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkFunction {
+    /// Graph-unique id, e.g. `"vnf1"`.
+    pub id: String,
+    /// The functional type resolved against the VNF repository,
+    /// e.g. `"ipsec"`, `"firewall"`, `"nat"`, `"bridge"`.
+    #[serde(rename = "functional-type")]
+    pub functional_type: String,
+    /// Ordered ports; rules reference them by index.
+    pub ports: Vec<NfPort>,
+    /// Generic configuration passed to whichever flavor is selected.
+    #[serde(default, skip_serializing_if = "NfConfig::is_empty")]
+    pub config: NfConfig,
+    /// Optional explicit flavor request (`"vm"`, `"docker"`, `"dpdk"`,
+    /// `"native"`); `None` lets the orchestrator decide.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub flavor: Option<String>,
+}
+
+/// A named NF port.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NfPort {
+    /// Port index, unique within the NF.
+    pub id: u32,
+    /// Optional human-readable name (`"in"`, `"out"`, `"wan"`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub name: Option<String>,
+}
+
+/// Generic, flavor-agnostic NF configuration: scalar parameters plus an
+/// ordered list of rule-like entries (firewall rules, NAT mappings…).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NfConfig {
+    /// Scalar parameters, e.g. `{"remote-peer": "203.0.113.7", "psk": …}`.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub params: BTreeMap<String, String>,
+    /// Ordered structured entries, e.g. one map per firewall rule.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub rules: Vec<BTreeMap<String, String>>,
+}
+
+impl NfConfig {
+    /// True if there is no configuration at all.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty() && self.rules.is_empty()
+    }
+
+    /// Convenience lookup.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params.get(key).map(|s| s.as_str())
+    }
+
+    /// Set a scalar parameter (builder style).
+    pub fn with_param(mut self, key: &str, value: &str) -> Self {
+        self.params.insert(key.to_string(), value.to_string());
+        self
+    }
+}
+
+/// Where traffic enters or leaves the graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// Graph-unique id, e.g. `"ep-lan"`.
+    pub id: String,
+    /// What the endpoint is attached to.
+    #[serde(flatten)]
+    pub kind: EndpointKind,
+}
+
+/// Endpoint attachment kinds (subset of the un-orchestrator schema).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "lowercase")]
+pub enum EndpointKind {
+    /// A physical/host interface on the node, e.g. `eth0`.
+    Interface {
+        /// Node interface name.
+        #[serde(rename = "if-name")]
+        if_name: String,
+    },
+    /// A VLAN sub-interface.
+    Vlan {
+        /// Node interface name.
+        #[serde(rename = "if-name")]
+        if_name: String,
+        /// VLAN id on that interface.
+        #[serde(rename = "vlan-id")]
+        vlan_id: u16,
+    },
+    /// An internal endpoint used to join graphs on the same node.
+    Internal {
+        /// Rendezvous group name.
+        group: String,
+    },
+}
+
+/// A reference to a traffic source/sink inside the graph.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PortRef {
+    /// An endpoint, by id.
+    Endpoint(String),
+    /// A port of an NF: (nf id, port index).
+    Nf(String, u32),
+}
+
+impl fmt::Display for PortRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortRef::Endpoint(id) => write!(f, "endpoint:{id}"),
+            PortRef::Nf(nf, port) => write!(f, "vnf:{nf}:{port}"),
+        }
+    }
+}
+
+impl PortRef {
+    /// Parse the `endpoint:<id>` / `vnf:<id>:<port>` syntax.
+    pub fn parse(s: &str) -> Option<PortRef> {
+        if let Some(id) = s.strip_prefix("endpoint:") {
+            if id.is_empty() {
+                return None;
+            }
+            return Some(PortRef::Endpoint(id.to_string()));
+        }
+        if let Some(rest) = s.strip_prefix("vnf:") {
+            let (nf, port) = rest.rsplit_once(':')?;
+            if nf.is_empty() {
+                return None;
+            }
+            return Some(PortRef::Nf(nf.to_string(), port.parse().ok()?));
+        }
+        None
+    }
+}
+
+impl Serialize for PortRef {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for PortRef {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        PortRef::parse(&s).ok_or_else(|| serde::de::Error::custom(format!("bad port ref '{s}'")))
+    }
+}
+
+/// Traffic classifier for a flow rule. All fields other than `port_in`
+/// are optional; an omitted field is a wildcard.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TrafficMatch {
+    /// Where the traffic comes from (required).
+    #[serde(rename = "port-in")]
+    pub port_in: Option<PortRef>,
+    /// Source MAC, `aa:bb:cc:dd:ee:ff`.
+    #[serde(default, skip_serializing_if = "Option::is_none", rename = "eth-src")]
+    pub eth_src: Option<String>,
+    /// Destination MAC.
+    #[serde(default, skip_serializing_if = "Option::is_none", rename = "eth-dst")]
+    pub eth_dst: Option<String>,
+    /// EtherType, decimal.
+    #[serde(default, skip_serializing_if = "Option::is_none", rename = "ether-type")]
+    pub ether_type: Option<u16>,
+    /// VLAN id.
+    #[serde(default, skip_serializing_if = "Option::is_none", rename = "vlan-id")]
+    pub vlan_id: Option<u16>,
+    /// Source IPv4 prefix, `10.0.0.0/24` or bare address.
+    #[serde(default, skip_serializing_if = "Option::is_none", rename = "ip-src")]
+    pub ip_src: Option<String>,
+    /// Destination IPv4 prefix.
+    #[serde(default, skip_serializing_if = "Option::is_none", rename = "ip-dst")]
+    pub ip_dst: Option<String>,
+    /// IP protocol number.
+    #[serde(default, skip_serializing_if = "Option::is_none", rename = "ip-proto")]
+    pub ip_proto: Option<u8>,
+    /// L4 source port.
+    #[serde(default, skip_serializing_if = "Option::is_none", rename = "port-src")]
+    pub src_port: Option<u16>,
+    /// L4 destination port.
+    #[serde(default, skip_serializing_if = "Option::is_none", rename = "port-dst")]
+    pub dst_port: Option<u16>,
+}
+
+impl TrafficMatch {
+    /// Match everything arriving from `port_in`.
+    pub fn from_port(port_in: PortRef) -> Self {
+        TrafficMatch {
+            port_in: Some(port_in),
+            ..Default::default()
+        }
+    }
+}
+
+/// What to do with matched traffic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum RuleAction {
+    /// Forward to an endpoint or NF port.
+    Output(PortRef),
+    /// Push an 802.1Q tag before forwarding.
+    PushVlan(u16),
+    /// Pop the outermost 802.1Q tag.
+    PopVlan,
+    /// Set the firewall mark (used by the NNF adaptation layer).
+    SetFwmark(u32),
+}
+
+/// One big-switch steering rule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowRule {
+    /// Graph-unique rule id.
+    pub id: String,
+    /// Priority; higher wins.
+    pub priority: u16,
+    /// Classifier.
+    #[serde(rename = "match")]
+    pub matches: TrafficMatch,
+    /// Action list, applied in order; must contain exactly one `Output`.
+    pub actions: Vec<RuleAction>,
+}
+
+/// The forwarding graph itself.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NfFg {
+    /// Graph id (unique per node), e.g. `"g-0001"`.
+    pub id: String,
+    /// Human-readable name.
+    pub name: String,
+    /// Network functions.
+    #[serde(rename = "VNFs", default)]
+    pub nfs: Vec<NetworkFunction>,
+    /// Traffic endpoints.
+    #[serde(rename = "end-points", default)]
+    pub endpoints: Vec<Endpoint>,
+    /// Big-switch flow rules.
+    #[serde(rename = "flow-rules", default)]
+    pub flow_rules: Vec<FlowRule>,
+}
+
+impl NfFg {
+    /// Look up an NF by id.
+    pub fn nf(&self, id: &str) -> Option<&NetworkFunction> {
+        self.nfs.iter().find(|n| n.id == id)
+    }
+
+    /// Look up an endpoint by id.
+    pub fn endpoint(&self, id: &str) -> Option<&Endpoint> {
+        self.endpoints.iter().find(|e| e.id == id)
+    }
+
+    /// All port refs mentioned by rules (both match and actions).
+    pub fn referenced_ports(&self) -> Vec<&PortRef> {
+        let mut out = Vec::new();
+        for r in &self.flow_rules {
+            if let Some(p) = &r.matches.port_in {
+                out.push(p);
+            }
+            for a in &r.actions {
+                if let RuleAction::Output(p) = a {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portref_parse_display_roundtrip() {
+        for s in ["endpoint:ep1", "vnf:fw:0", "vnf:my-nf:3"] {
+            let p = PortRef::parse(s).unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+        assert_eq!(
+            PortRef::parse("vnf:a:1"),
+            Some(PortRef::Nf("a".into(), 1))
+        );
+        assert!(PortRef::parse("endpoint:").is_none());
+        assert!(PortRef::parse("vnf:a").is_none());
+        assert!(PortRef::parse("vnf::1").is_none());
+        assert!(PortRef::parse("garbage").is_none());
+        assert!(PortRef::parse("vnf:a:x").is_none());
+    }
+
+    #[test]
+    fn config_helpers() {
+        let c = NfConfig::default()
+            .with_param("psk", "hunter2")
+            .with_param("peer", "203.0.113.7");
+        assert_eq!(c.param("psk"), Some("hunter2"));
+        assert_eq!(c.param("missing"), None);
+        assert!(!c.is_empty());
+        assert!(NfConfig::default().is_empty());
+    }
+
+    #[test]
+    fn referenced_ports_collects_all() {
+        let g = NfFg {
+            id: "g1".into(),
+            name: "t".into(),
+            nfs: vec![],
+            endpoints: vec![],
+            flow_rules: vec![FlowRule {
+                id: "r1".into(),
+                priority: 1,
+                matches: TrafficMatch::from_port(PortRef::Endpoint("a".into())),
+                actions: vec![
+                    RuleAction::PushVlan(5),
+                    RuleAction::Output(PortRef::Nf("fw".into(), 0)),
+                ],
+            }],
+        };
+        let refs = g.referenced_ports();
+        assert_eq!(refs.len(), 2);
+    }
+}

@@ -1,0 +1,315 @@
+//! Static validation of an NF-FG before deployment.
+//!
+//! The local orchestrator rejects invalid graphs up front (the original
+//! un-orchestrator returns HTTP 400); these are the structural rules.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::model::{NfFg, PortRef, RuleAction};
+
+/// Why a graph was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Graph id is empty.
+    EmptyGraphId,
+    /// Two NFs share an id.
+    DuplicateNfId(String),
+    /// Two endpoints share an id.
+    DuplicateEndpointId(String),
+    /// Two rules share an id.
+    DuplicateRuleId(String),
+    /// An NF has two ports with the same index.
+    DuplicateNfPort { nf: String, port: u32 },
+    /// An NF declares no ports.
+    NfWithoutPorts(String),
+    /// A rule references an unknown endpoint or NF port.
+    DanglingRef { rule: String, port: String },
+    /// A rule has no `port-in` in its match.
+    MissingPortIn(String),
+    /// A rule has no Output action, or more than one.
+    BadOutputCount { rule: String, count: usize },
+    /// VLAN id out of the valid 1..=4094 range.
+    BadVlanId { rule: String, vid: u16 },
+    /// The graph has no endpoints (traffic could never enter).
+    NoEndpoints,
+    /// An IPv4 prefix/address string failed to parse.
+    BadIpField { rule: String, value: String },
+    /// A MAC address string failed to parse.
+    BadMacField { rule: String, value: String },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::EmptyGraphId => write!(f, "graph id is empty"),
+            ValidationError::DuplicateNfId(id) => write!(f, "duplicate NF id '{id}'"),
+            ValidationError::DuplicateEndpointId(id) => {
+                write!(f, "duplicate endpoint id '{id}'")
+            }
+            ValidationError::DuplicateRuleId(id) => write!(f, "duplicate rule id '{id}'"),
+            ValidationError::DuplicateNfPort { nf, port } => {
+                write!(f, "NF '{nf}' has duplicate port {port}")
+            }
+            ValidationError::NfWithoutPorts(id) => write!(f, "NF '{id}' has no ports"),
+            ValidationError::DanglingRef { rule, port } => {
+                write!(f, "rule '{rule}' references unknown port '{port}'")
+            }
+            ValidationError::MissingPortIn(rule) => {
+                write!(f, "rule '{rule}' has no port-in")
+            }
+            ValidationError::BadOutputCount { rule, count } => {
+                write!(f, "rule '{rule}' must have exactly one output action, has {count}")
+            }
+            ValidationError::BadVlanId { rule, vid } => {
+                write!(f, "rule '{rule}' pushes invalid VLAN id {vid}")
+            }
+            ValidationError::NoEndpoints => write!(f, "graph has no endpoints"),
+            ValidationError::BadIpField { rule, value } => {
+                write!(f, "rule '{rule}' has unparseable IP field '{value}'")
+            }
+            ValidationError::BadMacField { rule, value } => {
+                write!(f, "rule '{rule}' has unparseable MAC field '{value}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+fn ip_field_ok(s: &str) -> bool {
+    if let Some((addr, plen)) = s.split_once('/') {
+        addr.parse::<std::net::Ipv4Addr>().is_ok()
+            && plen.parse::<u8>().map(|p| p <= 32).unwrap_or(false)
+    } else {
+        s.parse::<std::net::Ipv4Addr>().is_ok()
+    }
+}
+
+fn mac_field_ok(s: &str) -> bool {
+    let parts: Vec<&str> = s.split(':').collect();
+    parts.len() == 6 && parts.iter().all(|p| u8::from_str_radix(p, 16).is_ok())
+}
+
+/// Validate a graph; returns every problem found (empty = valid).
+pub fn validate(graph: &NfFg) -> Vec<ValidationError> {
+    let mut errs = Vec::new();
+
+    if graph.id.is_empty() {
+        errs.push(ValidationError::EmptyGraphId);
+    }
+    if graph.endpoints.is_empty() {
+        errs.push(ValidationError::NoEndpoints);
+    }
+
+    let mut nf_ids = HashSet::new();
+    for nf in &graph.nfs {
+        if !nf_ids.insert(nf.id.as_str()) {
+            errs.push(ValidationError::DuplicateNfId(nf.id.clone()));
+        }
+        if nf.ports.is_empty() {
+            errs.push(ValidationError::NfWithoutPorts(nf.id.clone()));
+        }
+        let mut ports = HashSet::new();
+        for p in &nf.ports {
+            if !ports.insert(p.id) {
+                errs.push(ValidationError::DuplicateNfPort {
+                    nf: nf.id.clone(),
+                    port: p.id,
+                });
+            }
+        }
+    }
+
+    let mut ep_ids = HashSet::new();
+    for ep in &graph.endpoints {
+        if !ep_ids.insert(ep.id.as_str()) {
+            errs.push(ValidationError::DuplicateEndpointId(ep.id.clone()));
+        }
+    }
+
+    let port_exists = |p: &PortRef| -> bool {
+        match p {
+            PortRef::Endpoint(id) => graph.endpoint(id).is_some(),
+            PortRef::Nf(nf, port) => graph
+                .nf(nf)
+                .map(|n| n.ports.iter().any(|pp| pp.id == *port))
+                .unwrap_or(false),
+        }
+    };
+
+    let mut rule_ids = HashSet::new();
+    for rule in &graph.flow_rules {
+        if !rule_ids.insert(rule.id.as_str()) {
+            errs.push(ValidationError::DuplicateRuleId(rule.id.clone()));
+        }
+        match &rule.matches.port_in {
+            None => errs.push(ValidationError::MissingPortIn(rule.id.clone())),
+            Some(p) => {
+                if !port_exists(p) {
+                    errs.push(ValidationError::DanglingRef {
+                        rule: rule.id.clone(),
+                        port: p.to_string(),
+                    });
+                }
+            }
+        }
+        let mut outputs = 0;
+        for a in &rule.actions {
+            match a {
+                RuleAction::Output(p) => {
+                    outputs += 1;
+                    if !port_exists(p) {
+                        errs.push(ValidationError::DanglingRef {
+                            rule: rule.id.clone(),
+                            port: p.to_string(),
+                        });
+                    }
+                }
+                RuleAction::PushVlan(vid) => {
+                    if *vid == 0 || *vid > 4094 {
+                        errs.push(ValidationError::BadVlanId {
+                            rule: rule.id.clone(),
+                            vid: *vid,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        if outputs != 1 {
+            errs.push(ValidationError::BadOutputCount {
+                rule: rule.id.clone(),
+                count: outputs,
+            });
+        }
+        for (field, as_ip) in [
+            (&rule.matches.ip_src, true),
+            (&rule.matches.ip_dst, true),
+            (&rule.matches.eth_src, false),
+            (&rule.matches.eth_dst, false),
+        ] {
+            if let Some(v) = field {
+                let ok = if as_ip { ip_field_ok(v) } else { mac_field_ok(v) };
+                if !ok {
+                    if as_ip {
+                        errs.push(ValidationError::BadIpField {
+                            rule: rule.id.clone(),
+                            value: v.clone(),
+                        });
+                    } else {
+                        errs.push(ValidationError::BadMacField {
+                            rule: rule.id.clone(),
+                            value: v.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NfFgBuilder;
+    use crate::model::*;
+
+    fn valid_graph() -> NfFg {
+        NfFgBuilder::new("g1", "test")
+            .interface_endpoint("ep-lan", "eth0")
+            .interface_endpoint("ep-wan", "eth1")
+            .nf("fw", "firewall", 2)
+            .rule_through("r1", 10, "ep-lan", ("fw", 0))
+            .rule_through("r2", 10, ("fw", 1), "ep-wan")
+            .build()
+    }
+
+    #[test]
+    fn valid_graph_passes() {
+        assert!(validate(&valid_graph()).is_empty());
+    }
+
+    #[test]
+    fn detects_duplicates() {
+        let mut g = valid_graph();
+        g.nfs.push(g.nfs[0].clone());
+        g.endpoints.push(g.endpoints[0].clone());
+        g.flow_rules.push(g.flow_rules[0].clone());
+        let errs = validate(&g);
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::DuplicateNfId(_))));
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::DuplicateEndpointId(_))));
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::DuplicateRuleId(_))));
+    }
+
+    #[test]
+    fn detects_dangling_refs() {
+        let mut g = valid_graph();
+        g.flow_rules[0].matches.port_in = Some(PortRef::Endpoint("nope".into()));
+        g.flow_rules[1].actions = vec![RuleAction::Output(PortRef::Nf("ghost".into(), 0))];
+        let errs = validate(&g);
+        assert_eq!(
+            errs.iter()
+                .filter(|e| matches!(e, ValidationError::DanglingRef { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn detects_missing_port_in_and_output() {
+        let mut g = valid_graph();
+        g.flow_rules[0].matches.port_in = None;
+        g.flow_rules[1].actions = vec![RuleAction::PopVlan];
+        let errs = validate(&g);
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::MissingPortIn(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::BadOutputCount { count: 0, .. })));
+    }
+
+    #[test]
+    fn detects_bad_vlan_and_fields() {
+        let mut g = valid_graph();
+        g.flow_rules[0].actions.insert(0, RuleAction::PushVlan(5000));
+        g.flow_rules[0].matches.ip_src = Some("999.0.0.1".into());
+        g.flow_rules[0].matches.eth_dst = Some("zz:00:00:00:00:01".into());
+        let errs = validate(&g);
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::BadVlanId { .. })));
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::BadIpField { .. })));
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::BadMacField { .. })));
+    }
+
+    #[test]
+    fn detects_structural_emptiness() {
+        let g = NfFg {
+            id: "".into(),
+            name: "x".into(),
+            nfs: vec![NetworkFunction {
+                id: "n".into(),
+                functional_type: "t".into(),
+                ports: vec![],
+                config: NfConfig::default(),
+                flavor: None,
+            }],
+            endpoints: vec![],
+            flow_rules: vec![],
+        };
+        let errs = validate(&g);
+        assert!(errs.contains(&ValidationError::EmptyGraphId));
+        assert!(errs.contains(&ValidationError::NoEndpoints));
+        assert!(errs.contains(&ValidationError::NfWithoutPorts("n".into())));
+    }
+
+    #[test]
+    fn accepts_cidr_and_bare_ip() {
+        let mut g = valid_graph();
+        g.flow_rules[0].matches.ip_src = Some("10.0.0.0/24".into());
+        g.flow_rules[0].matches.ip_dst = Some("192.168.1.1".into());
+        assert!(validate(&g).is_empty());
+        g.flow_rules[0].matches.ip_src = Some("10.0.0.0/40".into());
+        assert!(!validate(&g).is_empty());
+    }
+}

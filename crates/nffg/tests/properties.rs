@@ -1,0 +1,77 @@
+//! Property-based tests for the NF-FG model.
+
+use proptest::prelude::*;
+use un_nffg::{diff, from_json, to_json, NfConfig, NfFg, NfFgBuilder};
+
+fn arb_graph() -> impl Strategy<Value = NfFg> {
+    (
+        "[a-z]{1,8}",
+        prop::collection::vec(("[a-z]{1,6}", 0usize..3), 1..5),
+        1usize..4,
+        prop::collection::vec(("[a-z]{1,8}", "[a-z0-9.]{0,12}"), 0..4),
+    )
+        .prop_map(|(id, nf_specs, n_eps, params)| {
+            let mut b = NfFgBuilder::new(&format!("g-{id}"), "prop");
+            for i in 0..n_eps {
+                b = b.interface_endpoint(&format!("ep{i}"), &format!("eth{i}"));
+            }
+            let mut cfg = NfConfig::default();
+            for (k, v) in params {
+                cfg.params.insert(k, v);
+            }
+            let mut names = Vec::new();
+            for (i, (name, kind)) in nf_specs.into_iter().enumerate() {
+                let ft = ["bridge", "firewall", "nat"][kind % 3];
+                let unique = format!("{name}{i}");
+                b = b.nf_with_config(&unique, ft, 2, cfg.clone());
+                names.push(unique);
+            }
+            // A rule per NF to make the graph non-trivial.
+            for (i, nf) in names.iter().enumerate() {
+                b = b.rule_through(&format!("r{i}"), (i + 1) as u16, "ep0", (nf.as_str(), 0));
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    /// JSON serialization round-trips every generated graph exactly.
+    #[test]
+    fn json_roundtrip(g in arb_graph()) {
+        let json = to_json(&g);
+        let back = from_json(&json).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    /// diff(g, g) is empty; diff is consistent with its inverse.
+    #[test]
+    fn diff_identity_and_symmetry(a in arb_graph(), b in arb_graph()) {
+        prop_assert!(diff(&a, &a).is_empty());
+        let d_ab = diff(&a, &b);
+        let d_ba = diff(&b, &a);
+        // NFs added one way are removed the other way.
+        let added_ab: Vec<&str> = d_ab.added_nfs.iter().map(|n| n.id.as_str()).collect();
+        let removed_ba: Vec<&str> = d_ba.removed_nfs.iter().map(|s| s.as_str()).collect();
+        let mut x = added_ab.clone();
+        x.sort_unstable();
+        let mut y = removed_ba.clone();
+        y.sort_unstable();
+        prop_assert_eq!(x, y);
+        prop_assert_eq!(d_ab.changed_nfs.len(), d_ba.changed_nfs.len());
+    }
+
+    /// Builder-produced chains always validate.
+    #[test]
+    fn builder_chains_validate(n_nfs in 1usize..6) {
+        let ids: Vec<String> = (0..n_nfs).map(|i| format!("nf{i}")).collect();
+        let mut b = NfFgBuilder::new("g", "chain")
+            .interface_endpoint("in", "eth0")
+            .interface_endpoint("out", "eth1");
+        for id in &ids {
+            b = b.nf(id, "bridge", 2);
+        }
+        let refs: Vec<&str> = ids.iter().map(|s| s.as_str()).collect();
+        let g = b.chain("in", &refs, "out").build();
+        prop_assert!(un_nffg::validate(&g).is_empty());
+    }
+}

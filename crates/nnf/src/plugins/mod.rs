@@ -1,0 +1,96 @@
+//! Concrete NNF plugins and the shared command executor.
+
+pub mod bridge;
+pub mod firewall;
+pub mod ipsec;
+pub mod nat;
+pub mod router;
+
+pub use bridge::BridgeNnf;
+pub use firewall::FirewallNnf;
+pub use ipsec::IpsecNnf;
+pub use nat::NatNnf;
+pub use router::RouterNnf;
+
+use un_ipsec::sa::SecurityAssociation;
+use un_ipsec::spd::{PolicyAction, PolicyDirection, SecurityPolicy, TrafficSelector};
+use un_linux::IfaceId;
+
+use crate::plugin::{NnfContext, NnfError};
+use crate::translate::NnfCommand;
+
+/// Execute translated commands against the NNF's namespace.
+///
+/// This is the plugin scripts' shared "shell": every [`NnfCommand`]
+/// corresponds to one `ip`/`iptables`/`sysctl` invocation.
+pub fn execute(
+    ctx: &mut NnfContext<'_>,
+    ports: &[IfaceId],
+    cmds: &[NnfCommand],
+) -> Result<(), NnfError> {
+    for cmd in cmds {
+        match cmd {
+            NnfCommand::Sysctl { ip_forward } => {
+                ctx.host.sysctl_ip_forward(ctx.ns, *ip_forward)?;
+            }
+            NnfCommand::IptablesAppend { table, chain, rule } => {
+                ctx.host.nf_append(ctx.ns, *table, *chain, rule.clone())?;
+            }
+            NnfCommand::IptablesPolicy {
+                table,
+                chain,
+                accept,
+            } => {
+                ctx.host.nf_policy(ctx.ns, *table, *chain, *accept)?;
+            }
+            NnfCommand::IpRoute {
+                table,
+                dst,
+                via,
+                dev_port,
+                metric,
+            } => {
+                let dev = *ports.get(*dev_port).ok_or(NnfError::NotEnoughPorts {
+                    need: dev_port + 1,
+                    have: ports.len(),
+                })?;
+                ctx.host.route_add(ctx.ns, *table, *dst, *via, dev, *metric)?;
+            }
+            NnfCommand::IpAddr { cidr, dev_port } => {
+                let dev = *ports.get(*dev_port).ok_or(NnfError::NotEnoughPorts {
+                    need: dev_port + 1,
+                    have: ports.len(),
+                })?;
+                ctx.host.addr_add(dev, *cidr)?;
+            }
+            NnfCommand::XfrmState {
+                spi,
+                outbound,
+                src,
+                dst,
+                key,
+                salt,
+            } => {
+                let sa = if *outbound {
+                    SecurityAssociation::outbound(*spi, *src, *dst, *key, *salt)
+                } else {
+                    SecurityAssociation::inbound(*spi, *src, *dst, *key, *salt)
+                };
+                ctx.host.xfrm_mut(ctx.ns)?.sad.install(sa);
+            }
+            NnfCommand::XfrmPolicy {
+                src_sel,
+                dst_sel,
+                spi,
+            } => {
+                ctx.host.xfrm_mut(ctx.ns)?.spd.install(SecurityPolicy {
+                    selector: TrafficSelector::between(*src_sel, *dst_sel),
+                    direction: PolicyDirection::Out,
+                    action: PolicyAction::Protect(*spi),
+                    priority: 10,
+                });
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,472 @@
+//! Generic-config → NNF-command translation (the paper's future work).
+//!
+//! "Support for a dynamic configuration mechanism able to translate a
+//! generic NF configuration, provided by the orchestrator, in commands
+//! appropriate to the specific NNF is not in the scope of this initial
+//! implementation and will be targeted by future work." — §2.
+//!
+//! This module implements that mechanism: a [`NfConfig`] (the
+//! orchestrator's NF-agnostic configuration) is compiled into a list of
+//! [`NnfCommand`]s, the typed equivalent of the shell commands a plugin
+//! script would run (`iptables -A …`, `ip route add …`, `ip xfrm state
+//! add …`). Plugins execute the commands against the simulated kernel.
+
+use std::net::Ipv4Addr;
+
+use un_crypto::{hkdf_expand, hkdf_extract};
+use un_linux::netfilter::{Chain, NfRule, NfTable, RuleMatch, Target};
+use un_linux::conntrack::CtState;
+use un_nffg::NfConfig;
+use un_packet::Ipv4Cidr;
+
+/// Translation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// A required parameter is absent.
+    Missing(&'static str),
+    /// A parameter failed to parse.
+    Bad {
+        /// Parameter name.
+        key: String,
+        /// Offending value.
+        value: String,
+    },
+    /// The functional type has no translator.
+    UnknownFunction(String),
+}
+
+impl std::fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranslateError::Missing(k) => write!(f, "missing parameter '{k}'"),
+            TranslateError::Bad { key, value } => write!(f, "bad parameter {key}='{value}'"),
+            TranslateError::UnknownFunction(t) => write!(f, "no translator for '{t}'"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// A typed NNF configuration command (what the bash scripts would run).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnfCommand {
+    /// `sysctl net.ipv4.ip_forward=…`
+    Sysctl {
+        /// Enable forwarding.
+        ip_forward: bool,
+    },
+    /// `iptables -t <table> -A <chain> …`
+    IptablesAppend {
+        /// Table.
+        table: NfTable,
+        /// Chain.
+        chain: Chain,
+        /// The rule.
+        rule: NfRule,
+    },
+    /// `iptables -t <table> -P <chain> <policy>`
+    IptablesPolicy {
+        /// Table.
+        table: NfTable,
+        /// Chain.
+        chain: Chain,
+        /// ACCEPT (true) or DROP (false).
+        accept: bool,
+    },
+    /// `ip route add <dst> via <via> dev <port idx> table <table>`
+    IpRoute {
+        /// Routing table id.
+        table: u32,
+        /// Destination prefix.
+        dst: Ipv4Cidr,
+        /// Gateway (None = on-link).
+        via: Option<Ipv4Addr>,
+        /// NF port index to use as device.
+        dev_port: usize,
+        /// Metric.
+        metric: u32,
+    },
+    /// `ip addr add <cidr> dev <port idx>`
+    IpAddr {
+        /// Address with prefix.
+        cidr: Ipv4Cidr,
+        /// NF port index.
+        dev_port: usize,
+    },
+    /// `ip xfrm state add … spi <spi>`
+    XfrmState {
+        /// SPI.
+        spi: u32,
+        /// Outbound (true) or inbound.
+        outbound: bool,
+        /// Tunnel source.
+        src: Ipv4Addr,
+        /// Tunnel destination.
+        dst: Ipv4Addr,
+        /// AEAD key.
+        key: [u8; 32],
+        /// AEAD salt.
+        salt: [u8; 4],
+    },
+    /// `ip xfrm policy add … dir out tmpl … spi <spi>`
+    XfrmPolicy {
+        /// Protected source selector.
+        src_sel: Ipv4Cidr,
+        /// Protected destination selector.
+        dst_sel: Ipv4Cidr,
+        /// SPI of the protecting SA.
+        spi: u32,
+    },
+}
+
+fn req<'a>(c: &'a NfConfig, key: &'static str) -> Result<&'a str, TranslateError> {
+    c.param(key).ok_or(TranslateError::Missing(key))
+}
+
+fn parse<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, TranslateError> {
+    v.parse().map_err(|_| TranslateError::Bad {
+        key: key.to_string(),
+        value: v.to_string(),
+    })
+}
+
+/// Derive deterministic tunnel keys from a PSK.
+///
+/// Both tunnel ends run the same derivation with opposite `initiator`
+/// flags and agree on keys and SPIs — this is the "predefined
+/// configuration script" mode the paper's initial implementation uses
+/// (the full IKE exchange lives in `un-ipsec::ike`).
+pub fn derive_psk_tunnel(psk: &[u8], initiator: bool) -> ([u8; 32], [u8; 4], [u8; 32], [u8; 4], u32, u32) {
+    let prk = hkdf_extract(b"un-nnf-ipsec-static", psk);
+    let mut okm = [0u8; 80];
+    hkdf_expand(&prk, b"tunnel-keys", &mut okm);
+    let key_i: [u8; 32] = okm[0..32].try_into().unwrap();
+    let salt_i: [u8; 4] = okm[32..36].try_into().unwrap();
+    let key_r: [u8; 32] = okm[36..68].try_into().unwrap();
+    let salt_r: [u8; 4] = okm[68..72].try_into().unwrap();
+    let spi_i = u32::from_be_bytes(okm[72..76].try_into().unwrap()) | 0x1000_0000;
+    let spi_r = u32::from_be_bytes(okm[76..80].try_into().unwrap()) | 0x2000_0000;
+    if initiator {
+        // (out key, out salt, in key, in salt, out spi, in spi)
+        (key_i, salt_i, key_r, salt_r, spi_i, spi_r)
+    } else {
+        (key_r, salt_r, key_i, salt_i, spi_r, spi_i)
+    }
+}
+
+/// Translate a generic configuration into commands for `functional_type`.
+pub fn translate(functional_type: &str, config: &NfConfig) -> Result<Vec<NnfCommand>, TranslateError> {
+    match functional_type {
+        "ipsec" => translate_ipsec(config),
+        "firewall" => translate_firewall(config),
+        "nat" => translate_nat(config),
+        "router" => translate_router(config),
+        "bridge" => Ok(Vec::new()), // bridges are pure topology; no commands
+        other => Err(TranslateError::UnknownFunction(other.to_string())),
+    }
+}
+
+fn translate_ipsec(c: &NfConfig) -> Result<Vec<NnfCommand>, TranslateError> {
+    let psk = req(c, "psk")?;
+    let local: Ipv4Addr = parse("local-addr", req(c, "local-addr")?)?;
+    let peer: Ipv4Addr = parse("peer-addr", req(c, "peer-addr")?)?;
+    let prot_local: Ipv4Cidr = parse("protected-local", req(c, "protected-local")?)?;
+    let prot_remote: Ipv4Cidr = parse("protected-remote", req(c, "protected-remote")?)?;
+    let initiator = c.param("role").unwrap_or("initiator") == "initiator";
+
+    let (key_out, salt_out, key_in, salt_in, spi_out, spi_in) =
+        derive_psk_tunnel(psk.as_bytes(), initiator);
+
+    Ok(vec![
+        NnfCommand::Sysctl { ip_forward: true },
+        NnfCommand::XfrmState {
+            spi: spi_out,
+            outbound: true,
+            src: local,
+            dst: peer,
+            key: key_out,
+            salt: salt_out,
+        },
+        NnfCommand::XfrmState {
+            spi: spi_in,
+            outbound: false,
+            src: peer,
+            dst: local,
+            key: key_in,
+            salt: salt_in,
+        },
+        NnfCommand::XfrmPolicy {
+            src_sel: prot_local,
+            dst_sel: prot_remote,
+            spi: spi_out,
+        },
+    ])
+}
+
+fn translate_firewall(c: &NfConfig) -> Result<Vec<NnfCommand>, TranslateError> {
+    let mut cmds = vec![NnfCommand::Sysctl { ip_forward: true }];
+    let policy_accept = c.param("policy").unwrap_or("drop") != "drop";
+    cmds.push(NnfCommand::IptablesPolicy {
+        table: NfTable::Filter,
+        chain: Chain::Forward,
+        accept: policy_accept,
+    });
+    // Stateful default: replies always pass.
+    if c.param("stateful").unwrap_or("true") == "true" {
+        cmds.push(NnfCommand::IptablesAppend {
+            table: NfTable::Filter,
+            chain: Chain::Forward,
+            rule: NfRule::new(
+                RuleMatch {
+                    ct_state: Some(CtState::Established),
+                    ..Default::default()
+                },
+                Target::Accept,
+            ),
+        });
+    }
+    for (i, r) in c.rules.iter().enumerate() {
+        let mut m = RuleMatch::default();
+        if let Some(v) = r.get("src") {
+            m.src = Some(parse(&format!("rules[{i}].src"), v)?);
+        }
+        if let Some(v) = r.get("dst") {
+            m.dst = Some(parse(&format!("rules[{i}].dst"), v)?);
+        }
+        if let Some(v) = r.get("proto") {
+            m.proto = Some(match v.as_str() {
+                "tcp" => 6,
+                "udp" => 17,
+                "icmp" => 1,
+                other => parse(&format!("rules[{i}].proto"), other)?,
+            });
+        }
+        if let Some(v) = r.get("dport") {
+            m.dport = Some(parse(&format!("rules[{i}].dport"), v)?);
+        }
+        if let Some(v) = r.get("sport") {
+            m.sport = Some(parse(&format!("rules[{i}].sport"), v)?);
+        }
+        let action = r.get("action").map(|s| s.as_str()).unwrap_or("accept");
+        let target = match action {
+            "accept" => Target::Accept,
+            "drop" => Target::Drop,
+            other => {
+                return Err(TranslateError::Bad {
+                    key: format!("rules[{i}].action"),
+                    value: other.to_string(),
+                })
+            }
+        };
+        cmds.push(NnfCommand::IptablesAppend {
+            table: NfTable::Filter,
+            chain: Chain::Forward,
+            rule: NfRule::new(m, target),
+        });
+    }
+    Ok(cmds)
+}
+
+fn translate_nat(c: &NfConfig) -> Result<Vec<NnfCommand>, TranslateError> {
+    let mut cmds = vec![NnfCommand::Sysctl { ip_forward: true }];
+    // Masquerade out the WAN port (port index 1 by convention; the
+    // plugin resolves the index to a concrete interface).
+    cmds.push(NnfCommand::IptablesAppend {
+        table: NfTable::Nat,
+        chain: Chain::Postrouting,
+        rule: NfRule::new(RuleMatch::default(), Target::Masquerade),
+    });
+    // Optional static DNAT entries ("port forwardings").
+    for (i, r) in c.rules.iter().enumerate() {
+        if r.get("kind").map(|s| s.as_str()) != Some("dnat") {
+            continue;
+        }
+        let to: Ipv4Addr = parse(
+            &format!("rules[{i}].to"),
+            r.get("to").ok_or(TranslateError::Missing("to"))?,
+        )?;
+        let dport: u16 = parse(
+            &format!("rules[{i}].dport"),
+            r.get("dport").ok_or(TranslateError::Missing("dport"))?,
+        )?;
+        let to_port = match r.get("to-port") {
+            Some(v) => Some(parse(&format!("rules[{i}].to-port"), v)?),
+            None => None,
+        };
+        cmds.push(NnfCommand::IptablesAppend {
+            table: NfTable::Nat,
+            chain: Chain::Prerouting,
+            rule: NfRule::new(
+                RuleMatch {
+                    dport: Some(dport),
+                    ..Default::default()
+                },
+                Target::Dnat { to, port: to_port },
+            ),
+        });
+    }
+    Ok(cmds)
+}
+
+fn translate_router(c: &NfConfig) -> Result<Vec<NnfCommand>, TranslateError> {
+    let mut cmds = vec![NnfCommand::Sysctl { ip_forward: true }];
+    for (i, r) in c.rules.iter().enumerate() {
+        let dst: Ipv4Cidr = parse(
+            &format!("rules[{i}].dst"),
+            r.get("dst").ok_or(TranslateError::Missing("dst"))?,
+        )?;
+        let via = match r.get("via") {
+            Some(v) => Some(parse(&format!("rules[{i}].via"), v)?),
+            None => None,
+        };
+        let dev_port: usize = parse(
+            &format!("rules[{i}].port"),
+            r.get("port").ok_or(TranslateError::Missing("port"))?,
+        )?;
+        cmds.push(NnfCommand::IpRoute {
+            table: un_linux::MAIN_TABLE,
+            dst,
+            via,
+            dev_port,
+            metric: 0,
+        });
+    }
+    Ok(cmds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipsec_translation_and_key_agreement() {
+        let cfg = NfConfig::default()
+            .with_param("psk", "s3cret")
+            .with_param("local-addr", "192.0.2.1")
+            .with_param("peer-addr", "203.0.113.7")
+            .with_param("protected-local", "192.168.1.0/24")
+            .with_param("protected-remote", "172.16.0.0/16");
+        let cmds = translate("ipsec", &cfg).unwrap();
+        assert_eq!(cmds.len(), 4);
+        assert!(matches!(cmds[0], NnfCommand::Sysctl { ip_forward: true }));
+        assert!(matches!(cmds[1], NnfCommand::XfrmState { outbound: true, .. }));
+        assert!(matches!(cmds[2], NnfCommand::XfrmState { outbound: false, .. }));
+        assert!(matches!(cmds[3], NnfCommand::XfrmPolicy { .. }));
+
+        // Both roles agree crosswise.
+        let (ko_i, so_i, ki_i, si_i, spo_i, spi_i) = derive_psk_tunnel(b"s3cret", true);
+        let (ko_r, so_r, ki_r, si_r, spo_r, spi_r) = derive_psk_tunnel(b"s3cret", false);
+        assert_eq!(ko_i, ki_r);
+        assert_eq!(so_i, si_r);
+        assert_eq!(ki_i, ko_r);
+        assert_eq!(si_i, so_r);
+        assert_eq!(spo_i, spi_r);
+        assert_eq!(spi_i, spo_r);
+        // Different PSKs give different keys.
+        let (ko2, ..) = derive_psk_tunnel(b"other", true);
+        assert_ne!(ko_i, ko2);
+    }
+
+    #[test]
+    fn ipsec_requires_params() {
+        let err = translate("ipsec", &NfConfig::default()).unwrap_err();
+        assert_eq!(err, TranslateError::Missing("psk"));
+        let cfg = NfConfig::default()
+            .with_param("psk", "x")
+            .with_param("local-addr", "not-an-ip");
+        assert!(matches!(
+            translate("ipsec", &cfg).unwrap_err(),
+            TranslateError::Missing(_) | TranslateError::Bad { .. }
+        ));
+    }
+
+    #[test]
+    fn firewall_translation() {
+        let mut cfg = NfConfig::default().with_param("policy", "drop");
+        let mut rule = std::collections::BTreeMap::new();
+        rule.insert("action".into(), "accept".into());
+        rule.insert("proto".into(), "udp".into());
+        rule.insert("dport".into(), "53".into());
+        cfg.rules.push(rule);
+        let cmds = translate("firewall", &cfg).unwrap();
+        // sysctl + policy + established + 1 rule.
+        assert_eq!(cmds.len(), 4);
+        assert!(matches!(
+            cmds[1],
+            NnfCommand::IptablesPolicy { accept: false, .. }
+        ));
+        match &cmds[3] {
+            NnfCommand::IptablesAppend { rule, .. } => {
+                assert_eq!(rule.matches.proto, Some(17));
+                assert_eq!(rule.matches.dport, Some(53));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn firewall_rejects_bad_action() {
+        let mut cfg = NfConfig::default();
+        let mut rule = std::collections::BTreeMap::new();
+        rule.insert("action".into(), "explode".into());
+        cfg.rules.push(rule);
+        assert!(matches!(
+            translate("firewall", &cfg).unwrap_err(),
+            TranslateError::Bad { .. }
+        ));
+    }
+
+    #[test]
+    fn nat_translation_with_dnat() {
+        let mut cfg = NfConfig::default();
+        let mut fwd = std::collections::BTreeMap::new();
+        fwd.insert("kind".into(), "dnat".into());
+        fwd.insert("dport".into(), "8080".into());
+        fwd.insert("to".into(), "192.168.1.20".into());
+        fwd.insert("to-port".into(), "80".into());
+        cfg.rules.push(fwd);
+        let cmds = translate("nat", &cfg).unwrap();
+        assert_eq!(cmds.len(), 3);
+        assert!(matches!(
+            cmds[1],
+            NnfCommand::IptablesAppend {
+                chain: Chain::Postrouting,
+                ..
+            }
+        ));
+        match &cmds[2] {
+            NnfCommand::IptablesAppend { rule, .. } => {
+                assert_eq!(
+                    rule.target,
+                    Target::Dnat {
+                        to: Ipv4Addr::new(192, 168, 1, 20),
+                        port: Some(80)
+                    }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn router_translation() {
+        let mut cfg = NfConfig::default();
+        let mut r = std::collections::BTreeMap::new();
+        r.insert("dst".into(), "0.0.0.0/0".into());
+        r.insert("via".into(), "10.0.0.254".into());
+        r.insert("port".into(), "1".into());
+        cfg.rules.push(r);
+        let cmds = translate("router", &cfg).unwrap();
+        assert_eq!(cmds.len(), 2);
+        assert!(matches!(cmds[1], NnfCommand::IpRoute { dev_port: 1, .. }));
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        assert!(matches!(
+            translate("quantum-fw", &NfConfig::default()).unwrap_err(),
+            TranslateError::UnknownFunction(_)
+        ));
+        assert_eq!(translate("bridge", &NfConfig::default()).unwrap(), vec![]);
+    }
+}

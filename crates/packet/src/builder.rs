@@ -1,0 +1,357 @@
+//! A fluent builder for composing well-formed frames in tests, traffic
+//! generators and control planes.
+//!
+//! ```
+//! use un_packet::{PacketBuilder, MacAddr};
+//! use std::net::Ipv4Addr;
+//!
+//! let pkt = PacketBuilder::new()
+//!     .ethernet(MacAddr::local(1), MacAddr::local(2))
+//!     .vlan(100)
+//!     .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+//!     .udp(5001, 5201)
+//!     .payload(&[0xAB; 64])
+//!     .build();
+//! assert_eq!(pkt.vlan_id(), Some(100));
+//! ```
+
+use std::net::Ipv4Addr;
+
+use crate::ethernet::{EtherType, MacAddr, ETHERNET_HEADER_LEN};
+use crate::icmp::{IcmpKind, IcmpMessage, ICMP_HEADER_LEN};
+use crate::ipv4::{IpProtocol, Ipv4Packet, IPV4_HEADER_LEN};
+use crate::packet::Packet;
+use crate::tcp::{TcpFlags, TcpSegment, TCP_HEADER_LEN};
+use crate::udp::{UdpDatagram, UDP_HEADER_LEN};
+use crate::vlan::VLAN_HEADER_LEN;
+
+#[derive(Debug, Clone, Copy)]
+enum L4 {
+    None,
+    Udp { src: u16, dst: u16 },
+    Tcp { src: u16, dst: u16, seq: u32, ack: u32, flags: u8 },
+    Icmp { kind: IcmpKind, code: u8, ident: u16, seq: u16 },
+    Raw(IpProtocol),
+}
+
+/// Composes Ethernet(/VLAN)/IPv4/L4 frames with checksums filled.
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    eth: Option<(MacAddr, MacAddr)>,
+    vlan: Option<u16>,
+    ip: Option<(Ipv4Addr, Ipv4Addr)>,
+    ttl: u8,
+    tos: u8,
+    ident: u16,
+    l4: L4,
+    payload: Vec<u8>,
+}
+
+impl Default for PacketBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PacketBuilder {
+    /// A fresh builder (TTL defaults to 64).
+    pub fn new() -> Self {
+        PacketBuilder {
+            eth: None,
+            vlan: None,
+            ip: None,
+            ttl: 64,
+            tos: 0,
+            ident: 0,
+            l4: L4::None,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Add an Ethernet header.
+    pub fn ethernet(mut self, src: MacAddr, dst: MacAddr) -> Self {
+        self.eth = Some((src, dst));
+        self
+    }
+
+    /// Add an 802.1Q tag (requires `ethernet`).
+    pub fn vlan(mut self, vid: u16) -> Self {
+        self.vlan = Some(vid & 0x0fff);
+        self
+    }
+
+    /// Add an IPv4 header.
+    pub fn ipv4(mut self, src: Ipv4Addr, dst: Ipv4Addr) -> Self {
+        self.ip = Some((src, dst));
+        self
+    }
+
+    /// Override the IPv4 TTL.
+    pub fn ttl(mut self, ttl: u8) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Override the IPv4 TOS/DSCP byte.
+    pub fn tos(mut self, tos: u8) -> Self {
+        self.tos = tos;
+        self
+    }
+
+    /// Override the IPv4 identification field.
+    pub fn ident(mut self, id: u16) -> Self {
+        self.ident = id;
+        self
+    }
+
+    /// UDP header.
+    pub fn udp(mut self, src: u16, dst: u16) -> Self {
+        self.l4 = L4::Udp { src, dst };
+        self
+    }
+
+    /// TCP header with explicit flags.
+    pub fn tcp(mut self, src: u16, dst: u16, seq: u32, ack: u32, flags: u8) -> Self {
+        self.l4 = L4::Tcp { src, dst, seq, ack, flags };
+        self
+    }
+
+    /// TCP data segment (ACK|PSH).
+    pub fn tcp_data(self, src: u16, dst: u16, seq: u32, ack: u32) -> Self {
+        self.tcp(src, dst, seq, ack, TcpFlags::ACK | TcpFlags::PSH)
+    }
+
+    /// ICMP echo message.
+    pub fn icmp_echo(mut self, kind: IcmpKind, ident: u16, seq: u16) -> Self {
+        self.l4 = L4::Icmp { kind, code: 0, ident, seq };
+        self
+    }
+
+    /// Raw IP payload with an explicit protocol number (e.g. ESP).
+    pub fn ip_proto(mut self, proto: IpProtocol) -> Self {
+        self.l4 = L4::Raw(proto);
+        self
+    }
+
+    /// Set the application payload.
+    pub fn payload(mut self, data: &[u8]) -> Self {
+        self.payload = data.to_vec();
+        self
+    }
+
+    /// Assemble the packet. Panics on nonsensical combinations
+    /// (e.g. VLAN without Ethernet) — builders are test/generator code.
+    pub fn build(self) -> Packet {
+        let l4_len = match self.l4 {
+            L4::None => self.payload.len(),
+            L4::Udp { .. } => UDP_HEADER_LEN + self.payload.len(),
+            L4::Tcp { .. } => TCP_HEADER_LEN + self.payload.len(),
+            L4::Icmp { .. } => ICMP_HEADER_LEN + self.payload.len(),
+            L4::Raw(_) => self.payload.len(),
+        };
+        let ip_len = if self.ip.is_some() { IPV4_HEADER_LEN + l4_len } else { l4_len };
+        let vlan_len = if self.vlan.is_some() { VLAN_HEADER_LEN } else { 0 };
+        let eth_len = if self.eth.is_some() { ETHERNET_HEADER_LEN } else { 0 };
+        let total = eth_len + vlan_len + ip_len;
+
+        let mut pkt = Packet::zeroed(total);
+        let buf = pkt.data_mut();
+        let mut off = 0;
+
+        if let Some((src, dst)) = self.eth {
+            buf[0..6].copy_from_slice(&dst.octets());
+            buf[6..12].copy_from_slice(&src.octets());
+            let outer_type: u16 = if self.vlan.is_some() {
+                EtherType::Vlan.into()
+            } else if self.ip.is_some() {
+                EtherType::Ipv4.into()
+            } else {
+                0xffff
+            };
+            buf[12..14].copy_from_slice(&outer_type.to_be_bytes());
+            off = ETHERNET_HEADER_LEN;
+            if let Some(vid) = self.vlan {
+                buf[off..off + 2].copy_from_slice(&vid.to_be_bytes());
+                let inner: u16 = if self.ip.is_some() {
+                    EtherType::Ipv4.into()
+                } else {
+                    0xffff
+                };
+                buf[off + 2..off + 4].copy_from_slice(&inner.to_be_bytes());
+                off += VLAN_HEADER_LEN;
+            }
+        } else {
+            assert!(self.vlan.is_none(), "VLAN tag requires an Ethernet header");
+        }
+
+        if let Some((src, dst)) = self.ip {
+            let proto = match self.l4 {
+                L4::None => IpProtocol::Unknown(253), // RFC 3692 experimental
+                L4::Udp { .. } => IpProtocol::Udp,
+                L4::Tcp { .. } => IpProtocol::Tcp,
+                L4::Icmp { .. } => IpProtocol::Icmp,
+                L4::Raw(p) => p,
+            };
+            {
+                let ip_buf = &mut buf[off..off + ip_len];
+                let mut ip = Ipv4Packet::new_unchecked(ip_buf);
+                ip.init();
+                ip.set_total_len(ip_len as u16);
+                ip.set_ttl(self.ttl);
+                ip.set_tos(self.tos);
+                ip.set_ident(self.ident);
+                ip.set_protocol(proto);
+                ip.set_src(src);
+                ip.set_dst(dst);
+                ip.fill_checksum();
+            }
+            let l4_off = off + IPV4_HEADER_LEN;
+            match self.l4 {
+                L4::None | L4::Raw(_) => {
+                    buf[l4_off..l4_off + self.payload.len()].copy_from_slice(&self.payload);
+                }
+                L4::Udp { src: sp, dst: dp } => {
+                    let udp_buf = &mut buf[l4_off..l4_off + l4_len];
+                    let mut u = UdpDatagram::new_unchecked(udp_buf);
+                    u.set_src_port(sp);
+                    u.set_dst_port(dp);
+                    u.set_length(l4_len as u16);
+                    u.payload_mut().copy_from_slice(&self.payload);
+                    u.fill_checksum(src, dst);
+                }
+                L4::Tcp { src: sp, dst: dp, seq, ack, flags } => {
+                    let tcp_buf = &mut buf[l4_off..l4_off + l4_len];
+                    let mut t = TcpSegment::new_unchecked(tcp_buf);
+                    t.init();
+                    t.set_src_port(sp);
+                    t.set_dst_port(dp);
+                    t.set_seq(seq);
+                    t.set_ack_num(ack);
+                    t.set_flags(TcpFlags(flags));
+                    t.set_window(65535);
+                    t.payload_mut().copy_from_slice(&self.payload);
+                    t.fill_checksum(src, dst);
+                }
+                L4::Icmp { kind, code, ident, seq } => {
+                    let icmp_buf = &mut buf[l4_off..l4_off + l4_len];
+                    let mut m = IcmpMessage::new_unchecked(icmp_buf);
+                    m.set_kind(kind);
+                    m.set_code(code);
+                    m.set_echo_ident(ident);
+                    m.set_echo_seq(seq);
+                    m.payload_mut().copy_from_slice(&self.payload);
+                    m.fill_checksum();
+                }
+            }
+        } else {
+            assert!(
+                matches!(self.l4, L4::None),
+                "L4 headers require an IPv4 header"
+            );
+            buf[off..off + self.payload.len()].copy_from_slice(&self.payload);
+        }
+
+        pkt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ethernet::EthernetFrame;
+
+    #[test]
+    fn udp_frame_is_fully_valid() {
+        let src_ip = Ipv4Addr::new(10, 0, 0, 1);
+        let dst_ip = Ipv4Addr::new(10, 0, 0, 2);
+        let pkt = PacketBuilder::new()
+            .ethernet(MacAddr::local(1), MacAddr::local(2))
+            .ipv4(src_ip, dst_ip)
+            .udp(5001, 5201)
+            .payload(b"measurement")
+            .build();
+
+        let eth = EthernetFrame::new_checked(pkt.data()).unwrap();
+        assert_eq!(eth.ethertype(), EtherType::Ipv4);
+        let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+        assert!(ip.verify_checksum());
+        assert_eq!(ip.protocol(), IpProtocol::Udp);
+        assert_eq!(ip.src(), src_ip);
+        let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
+        assert_eq!(udp.dst_port(), 5201);
+        assert!(udp.verify_checksum(src_ip, dst_ip));
+        assert_eq!(udp.payload(), b"measurement");
+    }
+
+    #[test]
+    fn vlan_tagged_frame() {
+        let pkt = PacketBuilder::new()
+            .ethernet(MacAddr::local(1), MacAddr::local(2))
+            .vlan(100)
+            .ipv4(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2))
+            .udp(1, 2)
+            .payload(b"x")
+            .build();
+        assert_eq!(pkt.vlan_id(), Some(100));
+        let mut p = pkt.clone();
+        assert_eq!(p.vlan_pop().unwrap(), 100);
+        let eth = EthernetFrame::new_checked(p.data()).unwrap();
+        assert_eq!(eth.ethertype(), EtherType::Ipv4);
+    }
+
+    #[test]
+    fn tcp_frame_checksums() {
+        let s = Ipv4Addr::new(10, 1, 0, 1);
+        let d = Ipv4Addr::new(10, 1, 0, 2);
+        let pkt = PacketBuilder::new()
+            .ethernet(MacAddr::local(3), MacAddr::local(4))
+            .ipv4(s, d)
+            .tcp(80, 1234, 100, 200, TcpFlags::SYN | TcpFlags::ACK)
+            .build();
+        let eth = EthernetFrame::new_checked(pkt.data()).unwrap();
+        let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+        let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
+        assert!(tcp.flags().syn() && tcp.flags().ack());
+        assert!(tcp.verify_checksum(s, d));
+    }
+
+    #[test]
+    fn icmp_echo_frame() {
+        let pkt = PacketBuilder::new()
+            .ethernet(MacAddr::local(1), MacAddr::local(2))
+            .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .icmp_echo(IcmpKind::EchoRequest, 7, 3)
+            .payload(b"ping-data")
+            .build();
+        let eth = EthernetFrame::new_checked(pkt.data()).unwrap();
+        let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+        assert_eq!(ip.protocol(), IpProtocol::Icmp);
+        let icmp = IcmpMessage::new_checked(ip.payload()).unwrap();
+        assert_eq!(icmp.kind(), IcmpKind::EchoRequest);
+        assert!(icmp.verify_checksum());
+    }
+
+    #[test]
+    fn bare_ip_packet_without_l2() {
+        let pkt = PacketBuilder::new()
+            .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .udp(9, 9)
+            .payload(b"no-ethernet")
+            .build();
+        let ip = Ipv4Packet::new_checked(pkt.data()).unwrap();
+        assert!(ip.verify_checksum());
+    }
+
+    #[test]
+    fn ttl_and_tos_applied() {
+        let pkt = PacketBuilder::new()
+            .ipv4(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2))
+            .ttl(3)
+            .tos(0xb8)
+            .udp(1, 2)
+            .build();
+        let ip = Ipv4Packet::new_checked(pkt.data()).unwrap();
+        assert_eq!(ip.ttl(), 3);
+        assert_eq!(ip.tos(), 0xb8);
+    }
+}

@@ -1,0 +1,33 @@
+//! Parse/validation errors shared by all header views.
+
+use std::fmt;
+
+/// Why a byte buffer could not be interpreted as a given header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// Buffer shorter than the fixed header.
+    Truncated,
+    /// A length field disagrees with the buffer (e.g. IPv4 total length).
+    BadLength,
+    /// A version/format field has an unsupported value.
+    BadVersion,
+    /// A checksum failed verification.
+    BadChecksum,
+    /// A field value is not valid for this protocol.
+    BadField,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ParseError::Truncated => "buffer truncated",
+            ParseError::BadLength => "length field mismatch",
+            ParseError::BadVersion => "unsupported version",
+            ParseError::BadChecksum => "checksum mismatch",
+            ParseError::BadField => "invalid field value",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ParseError {}

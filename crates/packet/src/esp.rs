@@ -1,0 +1,95 @@
+//! ESP framing (RFC 4303): the 8-byte header (SPI + sequence number).
+//!
+//! The trailer (padding, pad length, next header) and the ICV are managed
+//! by the cryptographic transform in `un-ipsec`, because their layout
+//! depends on the negotiated algorithm. This view only exposes the
+//! cleartext header that conntrack/flow-matching can observe.
+
+use crate::error::ParseError;
+
+/// ESP header length (SPI + sequence number).
+pub const ESP_HEADER_LEN: usize = 8;
+
+/// A typed view over an ESP packet (header + opaque body).
+#[derive(Debug, Clone)]
+pub struct EspPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> EspPacket<T> {
+    /// Wrap a buffer, validating the header is present.
+    pub fn new_checked(buffer: T) -> Result<Self, ParseError> {
+        if buffer.as_ref().len() < ESP_HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        Ok(EspPacket { buffer })
+    }
+
+    /// Wrap without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        EspPacket { buffer }
+    }
+
+    /// Security Parameters Index.
+    pub fn spi(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[4], b[5], b[6], b[7]])
+    }
+
+    /// The opaque encrypted body (ciphertext + trailer + ICV).
+    pub fn body(&self) -> &[u8] {
+        &self.buffer.as_ref()[ESP_HEADER_LEN..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EspPacket<T> {
+    /// Set the SPI.
+    pub fn set_spi(&mut self, spi: u32) {
+        self.buffer.as_mut()[0..4].copy_from_slice(&spi.to_be_bytes());
+    }
+
+    /// Set the sequence number.
+    pub fn set_seq(&mut self, seq: u32) {
+        self.buffer.as_mut()[4..8].copy_from_slice(&seq.to_be_bytes());
+    }
+
+    /// Mutable body access.
+    pub fn body_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[ESP_HEADER_LEN..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = vec![0u8; ESP_HEADER_LEN + 16];
+        {
+            let mut e = EspPacket::new_unchecked(&mut buf[..]);
+            e.set_spi(0xc0ffee01);
+            e.set_seq(42);
+            e.body_mut().fill(0xAB);
+        }
+        let e = EspPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(e.spi(), 0xc0ffee01);
+        assert_eq!(e.seq(), 42);
+        assert_eq!(e.body().len(), 16);
+        assert!(e.body().iter().all(|&b| b == 0xAB));
+    }
+
+    #[test]
+    fn truncated() {
+        assert_eq!(
+            EspPacket::new_checked(&[0u8; 7][..]).unwrap_err(),
+            ParseError::Truncated
+        );
+    }
+}

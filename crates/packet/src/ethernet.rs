@@ -1,0 +1,229 @@
+//! Ethernet II frames and MAC addresses.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ParseError;
+
+/// Length of an Ethernet II header (dst + src + ethertype).
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address ff:ff:ff:ff:ff:ff.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero address.
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// A locally-administered unicast address derived from an index
+    /// (02:00:00:xx:xx:xx) — handy for generating stable interface MACs.
+    pub fn local(index: u32) -> MacAddr {
+        let b = index.to_be_bytes();
+        MacAddr([0x02, 0x00, b[1], b[1], b[2], b[3]])
+    }
+
+    /// True for ff:ff:ff:ff:ff:ff.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True if the group bit (LSB of first octet) is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// Raw octets.
+    pub fn octets(&self) -> [u8; 6] {
+        self.0
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+impl FromStr for MacAddr {
+    type Err = ParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut out = [0u8; 6];
+        let mut parts = s.split(':');
+        for slot in out.iter_mut() {
+            let p = parts.next().ok_or(ParseError::BadField)?;
+            *slot = u8::from_str_radix(p, 16).map_err(|_| ParseError::BadField)?;
+        }
+        if parts.next().is_some() {
+            return Err(ParseError::BadField);
+        }
+        Ok(MacAddr(out))
+    }
+}
+
+/// Well-known EtherType values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// 0x0800
+    Ipv4,
+    /// 0x0806
+    Arp,
+    /// 0x8100 (802.1Q tag follows)
+    Vlan,
+    /// Anything else.
+    Unknown(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x8100 => EtherType::Vlan,
+            other => EtherType::Unknown(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(t: EtherType) -> u16 {
+        match t {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Vlan => 0x8100,
+            EtherType::Unknown(v) => v,
+        }
+    }
+}
+
+/// A typed view over an Ethernet II frame.
+#[derive(Debug, Clone)]
+pub struct EthernetFrame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> EthernetFrame<T> {
+    /// Wrap a buffer, validating the fixed header is present.
+    pub fn new_checked(buffer: T) -> Result<Self, ParseError> {
+        if buffer.as_ref().len() < ETHERNET_HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        Ok(EthernetFrame { buffer })
+    }
+
+    /// Wrap without validation (caller guarantees length).
+    pub fn new_unchecked(buffer: T) -> Self {
+        EthernetFrame { buffer }
+    }
+
+    /// Destination MAC.
+    pub fn dst(&self) -> MacAddr {
+        MacAddr(self.buffer.as_ref()[0..6].try_into().unwrap())
+    }
+
+    /// Source MAC.
+    pub fn src(&self) -> MacAddr {
+        MacAddr(self.buffer.as_ref()[6..12].try_into().unwrap())
+    }
+
+    /// EtherType field.
+    pub fn ethertype(&self) -> EtherType {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[12], b[13]]).into()
+    }
+
+    /// Bytes after the Ethernet header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[ETHERNET_HEADER_LEN..]
+    }
+
+    /// Release the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EthernetFrame<T> {
+    /// Set the destination MAC.
+    pub fn set_dst(&mut self, mac: MacAddr) {
+        self.buffer.as_mut()[0..6].copy_from_slice(&mac.0);
+    }
+
+    /// Set the source MAC.
+    pub fn set_src(&mut self, mac: MacAddr) {
+        self.buffer.as_mut()[6..12].copy_from_slice(&mac.0);
+    }
+
+    /// Set the EtherType.
+    pub fn set_ethertype(&mut self, t: EtherType) {
+        self.buffer.as_mut()[12..14].copy_from_slice(&u16::from(t).to_be_bytes());
+    }
+
+    /// Mutable payload access.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[ETHERNET_HEADER_LEN..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_display_and_parse() {
+        let m: MacAddr = "02:00:00:00:00:2a".parse().unwrap();
+        assert_eq!(m.0, [2, 0, 0, 0, 0, 42]);
+        assert_eq!(m.to_string(), "02:00:00:00:00:2a");
+        assert!("zz:00:00:00:00:00".parse::<MacAddr>().is_err());
+        assert!("02:00:00".parse::<MacAddr>().is_err());
+        assert!("02:00:00:00:00:2a:ff".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn mac_classification() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(MacAddr([0x01, 0, 0x5e, 0, 0, 1]).is_multicast());
+        assert!(!MacAddr::local(5).is_multicast());
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = vec![0u8; 20];
+        {
+            let mut f = EthernetFrame::new_checked(&mut buf[..]).unwrap();
+            f.set_dst(MacAddr::BROADCAST);
+            f.set_src(MacAddr::local(1));
+            f.set_ethertype(EtherType::Ipv4);
+            f.payload_mut().copy_from_slice(&[1, 2, 3, 4, 5, 6]);
+        }
+        let f = EthernetFrame::new_checked(&buf[..]).unwrap();
+        assert_eq!(f.dst(), MacAddr::BROADCAST);
+        assert_eq!(f.src(), MacAddr::local(1));
+        assert_eq!(f.ethertype(), EtherType::Ipv4);
+        assert_eq!(f.payload(), &[1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let buf = [0u8; 13];
+        assert_eq!(
+            EthernetFrame::new_checked(&buf[..]).unwrap_err(),
+            ParseError::Truncated
+        );
+    }
+
+    #[test]
+    fn ethertype_mapping() {
+        assert_eq!(EtherType::from(0x0800), EtherType::Ipv4);
+        assert_eq!(EtherType::from(0x8100), EtherType::Vlan);
+        assert_eq!(u16::from(EtherType::Arp), 0x0806);
+        assert_eq!(EtherType::from(0x86dd), EtherType::Unknown(0x86dd));
+    }
+}

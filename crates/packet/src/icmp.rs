@@ -1,0 +1,186 @@
+//! ICMPv4 messages (RFC 792): echo request/reply and destination
+//! unreachable, which is what the simulated stack generates.
+
+use crate::checksum;
+use crate::error::ParseError;
+
+/// ICMP header length (type, code, checksum, rest-of-header).
+pub const ICMP_HEADER_LEN: usize = 8;
+
+/// ICMP message kinds used by the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcmpKind {
+    /// Type 0: echo reply.
+    EchoReply,
+    /// Type 3: destination unreachable (code carried separately).
+    DestUnreachable,
+    /// Type 8: echo request.
+    EchoRequest,
+    /// Type 11: time exceeded (TTL expired in transit).
+    TimeExceeded,
+    /// Anything else.
+    Other(u8),
+}
+
+impl From<u8> for IcmpKind {
+    fn from(v: u8) -> Self {
+        match v {
+            0 => IcmpKind::EchoReply,
+            3 => IcmpKind::DestUnreachable,
+            8 => IcmpKind::EchoRequest,
+            11 => IcmpKind::TimeExceeded,
+            other => IcmpKind::Other(other),
+        }
+    }
+}
+
+impl From<IcmpKind> for u8 {
+    fn from(k: IcmpKind) -> u8 {
+        match k {
+            IcmpKind::EchoReply => 0,
+            IcmpKind::DestUnreachable => 3,
+            IcmpKind::EchoRequest => 8,
+            IcmpKind::TimeExceeded => 11,
+            IcmpKind::Other(v) => v,
+        }
+    }
+}
+
+/// A typed view over an ICMPv4 message.
+#[derive(Debug, Clone)]
+pub struct IcmpMessage<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> IcmpMessage<T> {
+    /// Wrap a buffer, validating length.
+    pub fn new_checked(buffer: T) -> Result<Self, ParseError> {
+        if buffer.as_ref().len() < ICMP_HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        Ok(IcmpMessage { buffer })
+    }
+
+    /// Wrap without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        IcmpMessage { buffer }
+    }
+
+    /// Message kind.
+    pub fn kind(&self) -> IcmpKind {
+        self.buffer.as_ref()[0].into()
+    }
+
+    /// Code field.
+    pub fn code(&self) -> u8 {
+        self.buffer.as_ref()[1]
+    }
+
+    /// Echo identifier (meaningful for echo request/reply).
+    pub fn echo_ident(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    /// Echo sequence number.
+    pub fn echo_seq(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[6], b[7]])
+    }
+
+    /// Payload after the 8-byte header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[ICMP_HEADER_LEN..]
+    }
+
+    /// True if the checksum verifies over the whole message.
+    pub fn verify_checksum(&self) -> bool {
+        checksum::verify(self.buffer.as_ref())
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> IcmpMessage<T> {
+    /// Set kind.
+    pub fn set_kind(&mut self, k: IcmpKind) {
+        self.buffer.as_mut()[0] = k.into();
+    }
+
+    /// Set code.
+    pub fn set_code(&mut self, c: u8) {
+        self.buffer.as_mut()[1] = c;
+    }
+
+    /// Set echo identifier.
+    pub fn set_echo_ident(&mut self, i: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&i.to_be_bytes());
+    }
+
+    /// Set echo sequence.
+    pub fn set_echo_seq(&mut self, s: u16) {
+        self.buffer.as_mut()[6..8].copy_from_slice(&s.to_be_bytes());
+    }
+
+    /// Compute and fill the checksum.
+    pub fn fill_checksum(&mut self) {
+        let b = self.buffer.as_mut();
+        b[2..4].fill(0);
+        let c = checksum::checksum(b);
+        b[2..4].copy_from_slice(&c.to_be_bytes());
+    }
+
+    /// Mutable payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[ICMP_HEADER_LEN..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let mut buf = vec![0u8; ICMP_HEADER_LEN + 4];
+        {
+            let mut m = IcmpMessage::new_unchecked(&mut buf[..]);
+            m.set_kind(IcmpKind::EchoRequest);
+            m.set_code(0);
+            m.set_echo_ident(0x42);
+            m.set_echo_seq(7);
+            m.payload_mut().copy_from_slice(b"ping");
+            m.fill_checksum();
+        }
+        let m = IcmpMessage::new_checked(&buf[..]).unwrap();
+        assert_eq!(m.kind(), IcmpKind::EchoRequest);
+        assert_eq!(m.echo_ident(), 0x42);
+        assert_eq!(m.echo_seq(), 7);
+        assert_eq!(m.payload(), b"ping");
+        assert!(m.verify_checksum());
+    }
+
+    #[test]
+    fn corrupt_detected() {
+        let mut buf = vec![0u8; ICMP_HEADER_LEN];
+        {
+            let mut m = IcmpMessage::new_unchecked(&mut buf[..]);
+            m.set_kind(IcmpKind::EchoReply);
+            m.fill_checksum();
+        }
+        buf[7] ^= 1;
+        let m = IcmpMessage::new_checked(&buf[..]).unwrap();
+        assert!(!m.verify_checksum());
+    }
+
+    #[test]
+    fn kind_mapping() {
+        assert_eq!(IcmpKind::from(8), IcmpKind::EchoRequest);
+        assert_eq!(IcmpKind::from(3), IcmpKind::DestUnreachable);
+        assert_eq!(u8::from(IcmpKind::TimeExceeded), 11);
+        assert_eq!(IcmpKind::from(42), IcmpKind::Other(42));
+    }
+
+    #[test]
+    fn truncated() {
+        assert!(IcmpMessage::new_checked(&[0u8; 7][..]).is_err());
+    }
+}

@@ -1,0 +1,434 @@
+//! IPv4 headers (RFC 791) and CIDR prefixes.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+use crate::checksum;
+use crate::error::ParseError;
+
+/// Length of an IPv4 header without options.
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// IP protocol numbers used in this workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpProtocol {
+    /// 1
+    Icmp,
+    /// 6
+    Tcp,
+    /// 17
+    Udp,
+    /// 50 (IPsec ESP)
+    Esp,
+    /// Anything else.
+    Unknown(u8),
+}
+
+impl From<u8> for IpProtocol {
+    fn from(v: u8) -> Self {
+        match v {
+            1 => IpProtocol::Icmp,
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            50 => IpProtocol::Esp,
+            other => IpProtocol::Unknown(other),
+        }
+    }
+}
+
+impl From<IpProtocol> for u8 {
+    fn from(p: IpProtocol) -> u8 {
+        match p {
+            IpProtocol::Icmp => 1,
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Esp => 50,
+            IpProtocol::Unknown(v) => v,
+        }
+    }
+}
+
+impl fmt::Display for IpProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpProtocol::Icmp => write!(f, "icmp"),
+            IpProtocol::Tcp => write!(f, "tcp"),
+            IpProtocol::Udp => write!(f, "udp"),
+            IpProtocol::Esp => write!(f, "esp"),
+            IpProtocol::Unknown(v) => write!(f, "proto-{v}"),
+        }
+    }
+}
+
+/// An IPv4 prefix, e.g. `10.0.1.0/24`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ipv4Cidr {
+    addr: Ipv4Addr,
+    prefix_len: u8,
+}
+
+impl Ipv4Cidr {
+    /// Construct; panics if `prefix_len > 32`.
+    pub fn new(addr: Ipv4Addr, prefix_len: u8) -> Self {
+        assert!(prefix_len <= 32, "prefix length out of range");
+        Ipv4Cidr { addr, prefix_len }
+    }
+
+    /// The (unmasked) address as given.
+    pub fn addr(&self) -> Ipv4Addr {
+        self.addr
+    }
+
+    /// Prefix length in bits.
+    pub fn prefix_len(&self) -> u8 {
+        self.prefix_len
+    }
+
+    /// The netmask as a u32.
+    pub fn mask(&self) -> u32 {
+        if self.prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.prefix_len)
+        }
+    }
+
+    /// The network (masked) address.
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(u32::from(self.addr) & self.mask())
+    }
+
+    /// True if `ip` falls inside this prefix.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        (u32::from(ip) & self.mask()) == (u32::from(self.addr) & self.mask())
+    }
+}
+
+impl fmt::Display for Ipv4Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.prefix_len)
+    }
+}
+
+impl FromStr for Ipv4Cidr {
+    type Err = ParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (a, p) = s.split_once('/').ok_or(ParseError::BadField)?;
+        let addr: Ipv4Addr = a.parse().map_err(|_| ParseError::BadField)?;
+        let prefix_len: u8 = p.parse().map_err(|_| ParseError::BadField)?;
+        if prefix_len > 32 {
+            return Err(ParseError::BadField);
+        }
+        Ok(Ipv4Cidr::new(addr, prefix_len))
+    }
+}
+
+/// A typed view over an IPv4 packet (header + payload).
+#[derive(Debug, Clone)]
+pub struct Ipv4Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv4Packet<T> {
+    /// Wrap a buffer, validating version, IHL and total length.
+    pub fn new_checked(buffer: T) -> Result<Self, ParseError> {
+        let len = buffer.as_ref().len();
+        if len < IPV4_HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let pkt = Ipv4Packet { buffer };
+        if pkt.version() != 4 {
+            return Err(ParseError::BadVersion);
+        }
+        if pkt.header_len() < IPV4_HEADER_LEN || pkt.header_len() > len {
+            return Err(ParseError::BadLength);
+        }
+        if (pkt.total_len() as usize) < pkt.header_len() || pkt.total_len() as usize > len {
+            return Err(ParseError::BadLength);
+        }
+        Ok(pkt)
+    }
+
+    /// Wrap without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Ipv4Packet { buffer }
+    }
+
+    /// IP version field.
+    pub fn version(&self) -> u8 {
+        self.buffer.as_ref()[0] >> 4
+    }
+
+    /// Header length in bytes (IHL × 4).
+    pub fn header_len(&self) -> usize {
+        ((self.buffer.as_ref()[0] & 0x0f) as usize) * 4
+    }
+
+    /// DSCP/ECN byte.
+    pub fn tos(&self) -> u8 {
+        self.buffer.as_ref()[1]
+    }
+
+    /// Total length field (header + payload).
+    pub fn total_len(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Identification field.
+    pub fn ident(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    /// Don't-fragment flag.
+    pub fn dont_frag(&self) -> bool {
+        self.buffer.as_ref()[6] & 0x40 != 0
+    }
+
+    /// More-fragments flag.
+    pub fn more_frags(&self) -> bool {
+        self.buffer.as_ref()[6] & 0x20 != 0
+    }
+
+    /// Fragment offset in 8-byte units.
+    pub fn frag_offset(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[6], b[7]]) & 0x1fff
+    }
+
+    /// Time to live.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[8]
+    }
+
+    /// Payload protocol.
+    pub fn protocol(&self) -> IpProtocol {
+        self.buffer.as_ref()[9].into()
+    }
+
+    /// Header checksum field.
+    pub fn header_checksum(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[10], b[11]])
+    }
+
+    /// Source address.
+    pub fn src(&self) -> Ipv4Addr {
+        let b = self.buffer.as_ref();
+        Ipv4Addr::new(b[12], b[13], b[14], b[15])
+    }
+
+    /// Destination address.
+    pub fn dst(&self) -> Ipv4Addr {
+        let b = self.buffer.as_ref();
+        Ipv4Addr::new(b[16], b[17], b[18], b[19])
+    }
+
+    /// True if the header checksum verifies.
+    pub fn verify_checksum(&self) -> bool {
+        let hl = self.header_len();
+        checksum::verify(&self.buffer.as_ref()[..hl])
+    }
+
+    /// Payload bytes (after the header, bounded by total length).
+    pub fn payload(&self) -> &[u8] {
+        let hl = self.header_len();
+        let tl = self.total_len() as usize;
+        &self.buffer.as_ref()[hl..tl]
+    }
+
+    /// Release the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
+    /// Initialize version=4, IHL=5, everything else zero.
+    pub fn init(&mut self) {
+        let b = self.buffer.as_mut();
+        b[..IPV4_HEADER_LEN].fill(0);
+        b[0] = 0x45;
+    }
+
+    /// Set DSCP/ECN.
+    pub fn set_tos(&mut self, tos: u8) {
+        self.buffer.as_mut()[1] = tos;
+    }
+
+    /// Set total length.
+    pub fn set_total_len(&mut self, len: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Set identification.
+    pub fn set_ident(&mut self, id: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&id.to_be_bytes());
+    }
+
+    /// Set the don't-fragment flag.
+    pub fn set_dont_frag(&mut self, df: bool) {
+        let b = self.buffer.as_mut();
+        if df {
+            b[6] |= 0x40;
+        } else {
+            b[6] &= !0x40;
+        }
+    }
+
+    /// Set TTL.
+    pub fn set_ttl(&mut self, ttl: u8) {
+        self.buffer.as_mut()[8] = ttl;
+    }
+
+    /// Decrement TTL (saturating at 0), returning the new value.
+    pub fn decrement_ttl(&mut self) -> u8 {
+        let b = self.buffer.as_mut();
+        b[8] = b[8].saturating_sub(1);
+        b[8]
+    }
+
+    /// Set payload protocol.
+    pub fn set_protocol(&mut self, p: IpProtocol) {
+        self.buffer.as_mut()[9] = p.into();
+    }
+
+    /// Set source address.
+    pub fn set_src(&mut self, a: Ipv4Addr) {
+        self.buffer.as_mut()[12..16].copy_from_slice(&a.octets());
+    }
+
+    /// Set destination address.
+    pub fn set_dst(&mut self, a: Ipv4Addr) {
+        self.buffer.as_mut()[16..20].copy_from_slice(&a.octets());
+    }
+
+    /// Zero then recompute the header checksum.
+    pub fn fill_checksum(&mut self) {
+        let hl = self.header_len();
+        let b = self.buffer.as_mut();
+        b[10..12].fill(0);
+        let c = checksum::checksum(&b[..hl]);
+        b[10..12].copy_from_slice(&c.to_be_bytes());
+    }
+
+    /// Mutable payload access.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let hl = self.header_len();
+        let tl = self.total_len() as usize;
+        &mut self.buffer.as_mut()[hl..tl]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(payload_len: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; IPV4_HEADER_LEN + payload_len];
+        let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+        p.init();
+        p.set_total_len((IPV4_HEADER_LEN + payload_len) as u16);
+        p.set_ttl(64);
+        p.set_protocol(IpProtocol::Udp);
+        p.set_src(Ipv4Addr::new(10, 0, 0, 1));
+        p.set_dst(Ipv4Addr::new(192, 168, 1, 2));
+        p.set_ident(0x1234);
+        p.fill_checksum();
+        buf
+    }
+
+    #[test]
+    fn roundtrip_and_checksum() {
+        let buf = sample(8);
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.version(), 4);
+        assert_eq!(p.header_len(), 20);
+        assert_eq!(p.ttl(), 64);
+        assert_eq!(p.protocol(), IpProtocol::Udp);
+        assert_eq!(p.src(), Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(p.dst(), Ipv4Addr::new(192, 168, 1, 2));
+        assert!(p.verify_checksum());
+        assert_eq!(p.payload().len(), 8);
+    }
+
+    #[test]
+    fn corrupt_checksum_detected() {
+        let mut buf = sample(0);
+        buf[8] = 63; // change TTL without refreshing checksum
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert!(!p.verify_checksum());
+    }
+
+    #[test]
+    fn rejects_bad_version_and_lengths() {
+        let mut buf = sample(0);
+        buf[0] = 0x65; // version 6
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            ParseError::BadVersion
+        );
+        let mut buf = sample(0);
+        buf[0] = 0x4f; // IHL = 60 bytes > buffer
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            ParseError::BadLength
+        );
+        let mut buf = sample(0);
+        buf[2..4].copy_from_slice(&100u16.to_be_bytes()); // total_len > buffer
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            ParseError::BadLength
+        );
+        assert_eq!(
+            Ipv4Packet::new_checked(&[0u8; 10][..]).unwrap_err(),
+            ParseError::Truncated
+        );
+    }
+
+    #[test]
+    fn ttl_decrement() {
+        let mut buf = sample(0);
+        let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+        assert_eq!(p.decrement_ttl(), 63);
+        p.set_ttl(0);
+        assert_eq!(p.decrement_ttl(), 0);
+    }
+
+    #[test]
+    fn cidr_contains() {
+        let c: Ipv4Cidr = "10.0.1.0/24".parse().unwrap();
+        assert!(c.contains(Ipv4Addr::new(10, 0, 1, 200)));
+        assert!(!c.contains(Ipv4Addr::new(10, 0, 2, 1)));
+        assert_eq!(c.network(), Ipv4Addr::new(10, 0, 1, 0));
+        assert_eq!(c.to_string(), "10.0.1.0/24");
+
+        let all: Ipv4Cidr = "0.0.0.0/0".parse().unwrap();
+        assert!(all.contains(Ipv4Addr::new(8, 8, 8, 8)));
+
+        let host: Ipv4Cidr = "10.1.1.1/32".parse().unwrap();
+        assert!(host.contains(Ipv4Addr::new(10, 1, 1, 1)));
+        assert!(!host.contains(Ipv4Addr::new(10, 1, 1, 2)));
+    }
+
+    #[test]
+    fn cidr_parse_errors() {
+        assert!("10.0.0.0".parse::<Ipv4Cidr>().is_err());
+        assert!("10.0.0.0/33".parse::<Ipv4Cidr>().is_err());
+        assert!("not-an-ip/8".parse::<Ipv4Cidr>().is_err());
+    }
+
+    #[test]
+    fn fragment_fields() {
+        let mut buf = sample(0);
+        let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+        p.set_dont_frag(true);
+        assert!(p.dont_frag());
+        assert!(!p.more_frags());
+        assert_eq!(p.frag_offset(), 0);
+        p.set_dont_frag(false);
+        assert!(!p.dont_frag());
+    }
+}

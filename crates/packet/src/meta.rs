@@ -1,0 +1,69 @@
+//! Out-of-band packet metadata — the simulated skb fields.
+//!
+//! Metadata travels with a [`crate::Packet`] but is never serialized onto
+//! the wire. The firewall mark (`fwmark`) is central to the paper's
+//! sharable-NNF mechanism: the adaptation layer marks traffic per service
+//! graph so a single NNF instance can keep the streams apart.
+
+use un_sim::SimTime;
+
+/// Metadata carried alongside packet bytes inside one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketMeta {
+    /// Firewall mark (Linux `skb->mark`); 0 = unmarked.
+    pub fwmark: u32,
+    /// Conntrack zone for NAT isolation between service graphs.
+    pub ct_zone: u16,
+    /// Opaque identifier of the ingress port/interface, set by the
+    /// component that received the packet (0 = unknown).
+    pub ingress: u32,
+    /// When the packet entered the node (for latency accounting).
+    pub ingress_time: SimTime,
+    /// Unique id for tracing a packet's journey through components.
+    pub trace_id: u64,
+}
+
+impl Default for PacketMeta {
+    fn default() -> Self {
+        PacketMeta {
+            fwmark: 0,
+            ct_zone: 0,
+            ingress: 0,
+            ingress_time: SimTime::ZERO,
+            trace_id: 0,
+        }
+    }
+}
+
+impl PacketMeta {
+    /// Fresh metadata stamped with an ingress time and trace id.
+    pub fn at(ingress_time: SimTime, trace_id: u64) -> Self {
+        PacketMeta {
+            ingress_time,
+            trace_id,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let m = PacketMeta::default();
+        assert_eq!(m.fwmark, 0);
+        assert_eq!(m.ct_zone, 0);
+        assert_eq!(m.ingress, 0);
+        assert_eq!(m.ingress_time, SimTime::ZERO);
+    }
+
+    #[test]
+    fn at_stamps_fields() {
+        let m = PacketMeta::at(SimTime::from_micros(5), 99);
+        assert_eq!(m.ingress_time, SimTime::from_micros(5));
+        assert_eq!(m.trace_id, 99);
+        assert_eq!(m.fwmark, 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! The owned packet buffer that moves through the simulated node.
+//!
+//! [`Packet`] is deliberately shaped like a kernel skbuff: a contiguous
+//! byte buffer with *headroom* in front of the data so encapsulation
+//! (VLAN push, IPsec tunnel mode, virtio framing) can prepend headers
+//! without shifting the payload in the common case.
+
+use crate::error::ParseError;
+use crate::ethernet::{EtherType, EthernetFrame, MacAddr, ETHERNET_HEADER_LEN};
+use crate::meta::PacketMeta;
+use crate::vlan::{VlanTag, VLAN_HEADER_LEN};
+
+/// Default headroom reserved in front of packet data.
+pub const DEFAULT_HEADROOM: usize = 96;
+
+/// An owned packet: bytes + headroom + metadata.
+///
+/// Equality compares the packet *bytes and metadata*, not the internal
+/// headroom layout.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    buf: Vec<u8>,
+    head: usize,
+    /// Out-of-band metadata (marks, timestamps, ingress).
+    pub meta: PacketMeta,
+}
+
+impl PartialEq for Packet {
+    fn eq(&self, other: &Self) -> bool {
+        self.data() == other.data() && self.meta == other.meta
+    }
+}
+
+impl Eq for Packet {}
+
+impl Packet {
+    /// Build a packet from wire bytes, reserving default headroom.
+    pub fn from_slice(data: &[u8]) -> Self {
+        let mut buf = vec![0u8; DEFAULT_HEADROOM + data.len()];
+        buf[DEFAULT_HEADROOM..].copy_from_slice(data);
+        Packet {
+            buf,
+            head: DEFAULT_HEADROOM,
+            meta: PacketMeta::default(),
+        }
+    }
+
+    /// Build an empty packet of `len` zero bytes with default headroom.
+    pub fn zeroed(len: usize) -> Self {
+        Packet {
+            buf: vec![0u8; DEFAULT_HEADROOM + len],
+            head: DEFAULT_HEADROOM,
+            meta: PacketMeta::default(),
+        }
+    }
+
+    /// Current packet length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    /// True if the packet carries no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Packet bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.buf[self.head..]
+    }
+
+    /// Mutable packet bytes.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.buf[self.head..]
+    }
+
+    /// Prepend `hdr`, using headroom if available (O(len) otherwise).
+    pub fn push_front(&mut self, hdr: &[u8]) {
+        if hdr.len() <= self.head {
+            self.head -= hdr.len();
+            self.buf[self.head..self.head + hdr.len()].copy_from_slice(hdr);
+        } else {
+            let mut nbuf = vec![0u8; DEFAULT_HEADROOM + hdr.len() + self.len()];
+            nbuf[DEFAULT_HEADROOM..DEFAULT_HEADROOM + hdr.len()].copy_from_slice(hdr);
+            nbuf[DEFAULT_HEADROOM + hdr.len()..].copy_from_slice(self.data());
+            self.buf = nbuf;
+            self.head = DEFAULT_HEADROOM;
+        }
+    }
+
+    /// Remove `n` bytes from the front, returning them as a Vec.
+    /// Fails if the packet is shorter than `n`.
+    pub fn pull_front(&mut self, n: usize) -> Result<Vec<u8>, ParseError> {
+        if self.len() < n {
+            return Err(ParseError::Truncated);
+        }
+        let out = self.buf[self.head..self.head + n].to_vec();
+        self.head += n;
+        Ok(out)
+    }
+
+    /// Append bytes to the tail.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Shorten the packet to `len` bytes (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len() {
+            self.buf.truncate(self.head + len);
+        }
+    }
+
+    /// Replace the entire contents with `data`, keeping metadata.
+    pub fn set_data(&mut self, data: &[u8]) {
+        self.buf.resize(DEFAULT_HEADROOM + data.len(), 0);
+        self.head = DEFAULT_HEADROOM;
+        self.buf[self.head..].copy_from_slice(data);
+    }
+
+    // ---- Ethernet/VLAN convenience (used heavily by the LSIs and the
+    //      NNF adaptation layer) ----
+
+    /// Interpret the packet as an Ethernet frame.
+    pub fn ethernet(&self) -> Result<EthernetFrame<&[u8]>, ParseError> {
+        EthernetFrame::new_checked(self.data())
+    }
+
+    /// The outermost VLAN ID, if the frame is 802.1Q-tagged.
+    pub fn vlan_id(&self) -> Option<u16> {
+        let eth = self.ethernet().ok()?;
+        if eth.ethertype() != EtherType::Vlan {
+            return None;
+        }
+        VlanTag::new_checked(eth.payload()).ok().map(|t| t.vid())
+    }
+
+    /// Push an 802.1Q tag with `vid` directly after the MAC addresses.
+    /// Fails if the frame is not valid Ethernet.
+    pub fn vlan_push(&mut self, vid: u16) -> Result<(), ParseError> {
+        let eth = self.ethernet()?;
+        let (dst, src, inner_type) = (eth.dst(), eth.src(), u16::from(eth.ethertype()));
+        let payload = eth.payload().to_vec();
+
+        let mut out = Vec::with_capacity(self.len() + VLAN_HEADER_LEN);
+        out.extend_from_slice(&dst.octets());
+        out.extend_from_slice(&src.octets());
+        out.extend_from_slice(&u16::from(EtherType::Vlan).to_be_bytes());
+        let tci = vid & 0x0fff;
+        out.extend_from_slice(&tci.to_be_bytes());
+        out.extend_from_slice(&inner_type.to_be_bytes());
+        out.extend_from_slice(&payload);
+        self.set_data(&out);
+        Ok(())
+    }
+
+    /// Pop the outermost 802.1Q tag, returning its VID.
+    /// Fails if the frame is untagged or malformed.
+    pub fn vlan_pop(&mut self) -> Result<u16, ParseError> {
+        let eth = self.ethernet()?;
+        if eth.ethertype() != EtherType::Vlan {
+            return Err(ParseError::BadField);
+        }
+        let tag = VlanTag::new_checked(eth.payload())?;
+        let vid = tag.vid();
+        let inner_type = tag.inner_ethertype();
+        let (dst, src) = (eth.dst(), eth.src());
+        let payload = tag.payload().to_vec();
+
+        let mut out = Vec::with_capacity(self.len() - VLAN_HEADER_LEN);
+        out.extend_from_slice(&dst.octets());
+        out.extend_from_slice(&src.octets());
+        out.extend_from_slice(&inner_type.to_be_bytes());
+        out.extend_from_slice(&payload);
+        self.set_data(&out);
+        Ok(vid)
+    }
+
+    /// Rewrite the Ethernet source/destination MACs in place.
+    pub fn set_eth_addrs(&mut self, src: MacAddr, dst: MacAddr) -> Result<(), ParseError> {
+        if self.len() < ETHERNET_HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let mut eth = EthernetFrame::new_unchecked(self.data_mut());
+        eth.set_src(src);
+        eth.set_dst(dst);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PacketBuilder;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn from_slice_and_accessors() {
+        let p = Packet::from_slice(&[1, 2, 3]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.data(), &[1, 2, 3]);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn push_pull_front_uses_headroom() {
+        let mut p = Packet::from_slice(&[9, 9]);
+        p.push_front(&[1, 2, 3]);
+        assert_eq!(p.data(), &[1, 2, 3, 9, 9]);
+        let hdr = p.pull_front(3).unwrap();
+        assert_eq!(hdr, vec![1, 2, 3]);
+        assert_eq!(p.data(), &[9, 9]);
+        assert!(p.pull_front(5).is_err());
+    }
+
+    #[test]
+    fn push_front_beyond_headroom_reallocates() {
+        let mut p = Packet::from_slice(&[7]);
+        let big = vec![0xEE; DEFAULT_HEADROOM + 10];
+        p.push_front(&big);
+        assert_eq!(p.len(), DEFAULT_HEADROOM + 11);
+        assert_eq!(p.data()[0], 0xEE);
+        assert_eq!(*p.data().last().unwrap(), 7);
+    }
+
+    #[test]
+    fn vlan_push_pop_roundtrip() {
+        let mut p = PacketBuilder::new()
+            .ethernet(MacAddr::local(1), MacAddr::local(2))
+            .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .udp(1000, 2000)
+            .payload(b"hello")
+            .build();
+        let orig = p.data().to_vec();
+        assert_eq!(p.vlan_id(), None);
+
+        p.vlan_push(42).unwrap();
+        assert_eq!(p.vlan_id(), Some(42));
+        assert_eq!(p.len(), orig.len() + VLAN_HEADER_LEN);
+        // MACs preserved.
+        let eth = p.ethernet().unwrap();
+        assert_eq!(eth.dst(), MacAddr::local(2));
+        assert_eq!(eth.ethertype(), EtherType::Vlan);
+
+        let vid = p.vlan_pop().unwrap();
+        assert_eq!(vid, 42);
+        assert_eq!(p.data(), &orig[..]);
+        assert!(p.vlan_pop().is_err(), "untagged pop must fail");
+    }
+
+    #[test]
+    fn double_tagging() {
+        let mut p = PacketBuilder::new()
+            .ethernet(MacAddr::local(1), MacAddr::local(2))
+            .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .udp(1, 2)
+            .payload(b"x")
+            .build();
+        p.vlan_push(10).unwrap();
+        p.vlan_push(20).unwrap();
+        assert_eq!(p.vlan_id(), Some(20));
+        assert_eq!(p.vlan_pop().unwrap(), 20);
+        assert_eq!(p.vlan_id(), Some(10));
+        assert_eq!(p.vlan_pop().unwrap(), 10);
+        assert_eq!(p.vlan_id(), None);
+    }
+
+    #[test]
+    fn truncate_and_set_data() {
+        let mut p = Packet::from_slice(&[1, 2, 3, 4, 5]);
+        p.truncate(3);
+        assert_eq!(p.data(), &[1, 2, 3]);
+        p.truncate(10); // no-op
+        assert_eq!(p.len(), 3);
+        p.set_data(&[9]);
+        assert_eq!(p.data(), &[9]);
+    }
+
+    #[test]
+    fn metadata_survives_mutation() {
+        let mut p = Packet::from_slice(&[0; 20]);
+        p.meta.fwmark = 7;
+        p.vlan_push(5).ok();
+        p.set_data(&[1, 2, 3]);
+        assert_eq!(p.meta.fwmark, 7);
+    }
+}

@@ -1,0 +1,162 @@
+//! UDP datagrams (RFC 768).
+
+use std::net::Ipv4Addr;
+
+use crate::checksum;
+use crate::error::ParseError;
+
+/// UDP header length.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A typed view over a UDP datagram (header + payload).
+#[derive(Debug, Clone)]
+pub struct UdpDatagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpDatagram<T> {
+    /// Wrap a buffer, validating header presence and the length field.
+    pub fn new_checked(buffer: T) -> Result<Self, ParseError> {
+        let len = buffer.as_ref().len();
+        if len < UDP_HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let dg = UdpDatagram { buffer };
+        let l = dg.length() as usize;
+        if l < UDP_HEADER_LEN || l > len {
+            return Err(ParseError::BadLength);
+        }
+        Ok(dg)
+    }
+
+    /// Wrap without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        UdpDatagram { buffer }
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Length field (header + payload).
+    pub fn length(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    /// Checksum field.
+    pub fn checksum_field(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[6], b[7]])
+    }
+
+    /// Payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[UDP_HEADER_LEN..self.length() as usize]
+    }
+
+    /// Verify the checksum given the pseudo-header addresses.
+    /// A zero checksum means "not computed" and passes (RFC 768).
+    pub fn verify_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        if self.checksum_field() == 0 {
+            return true;
+        }
+        let l = self.length() as usize;
+        checksum::pseudo_header_checksum(src, dst, 17, &self.buffer.as_ref()[..l]) == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpDatagram<T> {
+    /// Set source port.
+    pub fn set_src_port(&mut self, p: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Set destination port.
+    pub fn set_dst_port(&mut self, p: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Set the length field.
+    pub fn set_length(&mut self, l: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&l.to_be_bytes());
+    }
+
+    /// Compute and fill the checksum for the pseudo-header addresses.
+    pub fn fill_checksum(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
+        let l = self.length() as usize;
+        let b = self.buffer.as_mut();
+        b[6..8].fill(0);
+        let mut c = checksum::pseudo_header_checksum(src, dst, 17, &b[..l]);
+        if c == 0 {
+            c = 0xffff; // RFC 768: transmitted as all-ones if computed zero
+        }
+        b[6..8].copy_from_slice(&c.to_be_bytes());
+    }
+
+    /// Mutable payload access.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let l = self.length() as usize;
+        &mut self.buffer.as_mut()[UDP_HEADER_LEN..l]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_checksum() {
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let mut buf = vec![0u8; UDP_HEADER_LEN + 5];
+        {
+            let mut d = UdpDatagram::new_unchecked(&mut buf[..]);
+            d.set_src_port(5001);
+            d.set_dst_port(5201);
+            d.set_length((UDP_HEADER_LEN + 5) as u16);
+            d.payload_mut().copy_from_slice(b"iperf");
+            d.fill_checksum(src, dst);
+        }
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(d.src_port(), 5001);
+        assert_eq!(d.dst_port(), 5201);
+        assert_eq!(d.payload(), b"iperf");
+        assert!(d.verify_checksum(src, dst));
+        assert!(!d.verify_checksum(src, Ipv4Addr::new(10, 0, 0, 3)));
+    }
+
+    #[test]
+    fn zero_checksum_passes() {
+        let mut buf = vec![0u8; UDP_HEADER_LEN];
+        let mut d = UdpDatagram::new_unchecked(&mut buf[..]);
+        d.set_length(8);
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(d.verify_checksum(Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED));
+    }
+
+    #[test]
+    fn length_validation() {
+        let mut buf = vec![0u8; UDP_HEADER_LEN];
+        {
+            let mut d = UdpDatagram::new_unchecked(&mut buf[..]);
+            d.set_length(100);
+        }
+        assert_eq!(
+            UdpDatagram::new_checked(&buf[..]).unwrap_err(),
+            ParseError::BadLength
+        );
+        assert_eq!(
+            UdpDatagram::new_checked(&[0u8; 4][..]).unwrap_err(),
+            ParseError::Truncated
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! 802.1Q VLAN tags.
+//!
+//! In this reproduction VLAN tags play a second role beyond switching:
+//! they are the **ad-hoc marking mechanism** the paper requires for
+//! *sharable* NNFs — traffic of different service graphs traversing the
+//! same native function instance is tagged with a per-graph VID by the
+//! adaptation layer, and demultiplexed on the way out (see `un-nnf`).
+
+use crate::error::ParseError;
+
+/// Length of one 802.1Q tag (TCI + inner EtherType).
+pub const VLAN_HEADER_LEN: usize = 4;
+
+/// Maximum valid VLAN ID.
+pub const MAX_VID: u16 = 4094;
+
+/// A typed view over the 4 bytes following an 0x8100 EtherType:
+/// `| PCP(3) DEI(1) VID(12) | inner EtherType(16) |`.
+#[derive(Debug, Clone)]
+pub struct VlanTag<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> VlanTag<T> {
+    /// Wrap a buffer, validating length.
+    pub fn new_checked(buffer: T) -> Result<Self, ParseError> {
+        if buffer.as_ref().len() < VLAN_HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        Ok(VlanTag { buffer })
+    }
+
+    /// Priority code point (0..=7).
+    pub fn pcp(&self) -> u8 {
+        self.buffer.as_ref()[0] >> 5
+    }
+
+    /// Drop-eligible indicator.
+    pub fn dei(&self) -> bool {
+        self.buffer.as_ref()[0] & 0x10 != 0
+    }
+
+    /// VLAN ID (0..=4095; 0 means "priority tag", 4095 reserved).
+    pub fn vid(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]]) & 0x0fff
+    }
+
+    /// EtherType of the encapsulated payload.
+    pub fn inner_ethertype(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Bytes after the tag.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[VLAN_HEADER_LEN..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> VlanTag<T> {
+    /// Set priority code point (masked to 3 bits).
+    pub fn set_pcp(&mut self, pcp: u8) {
+        let b = self.buffer.as_mut();
+        b[0] = (b[0] & 0x1f) | ((pcp & 0x7) << 5);
+    }
+
+    /// Set the VLAN ID (masked to 12 bits).
+    pub fn set_vid(&mut self, vid: u16) {
+        let b = self.buffer.as_mut();
+        let tci = (u16::from_be_bytes([b[0], b[1]]) & 0xf000) | (vid & 0x0fff);
+        b[0..2].copy_from_slice(&tci.to_be_bytes());
+    }
+
+    /// Set the inner EtherType.
+    pub fn set_inner_ethertype(&mut self, t: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&t.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip() {
+        let mut buf = [0u8; 4];
+        {
+            let mut t = VlanTag::new_checked(&mut buf[..]).unwrap();
+            t.set_vid(100);
+            t.set_pcp(5);
+            t.set_inner_ethertype(0x0800);
+        }
+        let t = VlanTag::new_checked(&buf[..]).unwrap();
+        assert_eq!(t.vid(), 100);
+        assert_eq!(t.pcp(), 5);
+        assert!(!t.dei());
+        assert_eq!(t.inner_ethertype(), 0x0800);
+    }
+
+    #[test]
+    fn vid_masked_to_12_bits() {
+        let mut buf = [0u8; 4];
+        let mut t = VlanTag::new_checked(&mut buf[..]).unwrap();
+        t.set_pcp(7);
+        t.set_vid(0xffff);
+        assert_eq!(t.vid(), 0x0fff);
+        assert_eq!(t.pcp(), 7, "setting VID must not clobber PCP");
+    }
+
+    #[test]
+    fn truncated() {
+        assert!(VlanTag::new_checked(&[0u8; 3][..]).is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for packet codecs.
+
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use un_packet::ethernet::{EthernetFrame, MacAddr};
+use un_packet::ipv4::Ipv4Packet;
+use un_packet::udp::UdpDatagram;
+use un_packet::{Ipv4Cidr, PacketBuilder};
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+proptest! {
+    /// Built frames always parse back with the same fields, and the
+    /// checksums always verify.
+    #[test]
+    fn udp_frame_roundtrip(
+        src in arb_ip(),
+        dst in arb_ip(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        payload in prop::collection::vec(any::<u8>(), 0..1400),
+        ttl in 1u8..=255,
+    ) {
+        let pkt = PacketBuilder::new()
+            .ethernet(MacAddr::local(1), MacAddr::local(2))
+            .ipv4(src, dst)
+            .ttl(ttl)
+            .udp(sport, dport)
+            .payload(&payload)
+            .build();
+        let eth = EthernetFrame::new_checked(pkt.data()).unwrap();
+        let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+        prop_assert!(ip.verify_checksum());
+        prop_assert_eq!(ip.src(), src);
+        prop_assert_eq!(ip.dst(), dst);
+        prop_assert_eq!(ip.ttl(), ttl);
+        let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
+        prop_assert!(udp.verify_checksum(src, dst));
+        prop_assert_eq!(udp.src_port(), sport);
+        prop_assert_eq!(udp.dst_port(), dport);
+        prop_assert_eq!(udp.payload(), &payload[..]);
+    }
+
+    /// VLAN push then pop restores the original bytes, for any stack of
+    /// pushes in LIFO order.
+    #[test]
+    fn vlan_stack_roundtrip(
+        vids in prop::collection::vec(1u16..4095, 1..4),
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut pkt = PacketBuilder::new()
+            .ethernet(MacAddr::local(1), MacAddr::local(2))
+            .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .udp(1, 2)
+            .payload(&payload)
+            .build();
+        let original = pkt.data().to_vec();
+        for vid in &vids {
+            pkt.vlan_push(*vid).unwrap();
+        }
+        for vid in vids.iter().rev() {
+            prop_assert_eq!(pkt.vlan_pop().unwrap(), *vid);
+        }
+        prop_assert_eq!(pkt.data(), &original[..]);
+    }
+
+    /// A CIDR contains exactly the addresses sharing its masked prefix.
+    #[test]
+    fn cidr_membership(addr in any::<u32>(), probe in any::<u32>(), len in 0u8..=32) {
+        let cidr = Ipv4Cidr::new(Ipv4Addr::from(addr), len);
+        let mask = cidr.mask();
+        let expected = (addr & mask) == (probe & mask);
+        prop_assert_eq!(cidr.contains(Ipv4Addr::from(probe)), expected);
+    }
+
+    /// Corrupting any header byte breaks at least one checksum.
+    #[test]
+    fn corruption_detected(
+        payload in prop::collection::vec(any::<u8>(), 8..256),
+        corrupt in any::<prop::sample::Index>(),
+    ) {
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let pkt = PacketBuilder::new()
+            .ipv4(src, dst)
+            .udp(1111, 2222)
+            .payload(&payload)
+            .build();
+        let mut bytes = pkt.data().to_vec();
+        let idx = corrupt.index(bytes.len());
+        bytes[idx] ^= 0xFF;
+        let ok = match Ipv4Packet::new_checked(&bytes[..]) {
+            Err(_) => false,
+            Ok(ip) => {
+                ip.verify_checksum()
+                    && match UdpDatagram::new_checked(ip.payload()) {
+                        Err(_) => false,
+                        Ok(udp) => udp.verify_checksum(ip.src(), ip.dst()),
+                    }
+            }
+        };
+        prop_assert!(!ok, "corruption at byte {idx} must be detected");
+    }
+}

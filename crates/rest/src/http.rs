@@ -1,0 +1,164 @@
+//! Minimal HTTP/1.1 request parsing and response serialization.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method (uppercased).
+    pub method: String,
+    /// Path (no query parsing; the API doesn't need it).
+    pub path: String,
+    /// Body bytes (Content-Length respected).
+    pub body: Vec<u8>,
+}
+
+/// Response status codes used by the API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatusCode {
+    /// 200
+    Ok,
+    /// 201
+    Created,
+    /// 400
+    BadRequest,
+    /// 404
+    NotFound,
+    /// 405
+    MethodNotAllowed,
+    /// 500
+    InternalError,
+}
+
+impl StatusCode {
+    /// Numeric code and reason phrase.
+    pub fn parts(self) -> (u16, &'static str) {
+        match self {
+            StatusCode::Ok => (200, "OK"),
+            StatusCode::Created => (201, "Created"),
+            StatusCode::BadRequest => (400, "Bad Request"),
+            StatusCode::NotFound => (404, "Not Found"),
+            StatusCode::MethodNotAllowed => (405, "Method Not Allowed"),
+            StatusCode::InternalError => (500, "Internal Server Error"),
+        }
+    }
+}
+
+/// A response to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status.
+    pub status: StatusCode,
+    /// Body (JSON unless stated otherwise).
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: StatusCode, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            body: body.into(),
+        }
+    }
+
+    /// An error response with a JSON `{"error": …}` body.
+    pub fn error(status: StatusCode, msg: &str) -> Self {
+        Response {
+            status,
+            body: format!("{{\"error\":{}}}", serde_json::to_string(msg).unwrap()),
+        }
+    }
+}
+
+/// Parse one request from a stream. Returns `None` on EOF/garbage.
+pub fn read_request<R: Read>(stream: R) -> Option<Request> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line).ok()? == 0 {
+        return None;
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_uppercase();
+    let path = parts.next()?.to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header).ok()? == 0 {
+            break;
+        }
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body).ok()?;
+    }
+    Some(Request { method, path, body })
+}
+
+/// Serialize a response onto a stream.
+pub fn write_response<W: Write>(mut stream: W, resp: &Response) -> std::io::Result<()> {
+    let (code, reason) = resp.status.parts();
+    write!(
+        stream,
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        resp.body.len(),
+        resp.body
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_put_with_body() {
+        let raw = b"PUT /nffg/g1 HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&raw[..]).unwrap();
+        assert_eq!(req.method, "PUT");
+        assert_eq!(req.path, "/nffg/g1");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let raw = b"GET /node HTTP/1.1\r\n\r\n";
+        let req = read_request(&raw[..]).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/node");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_request(&b""[..]).is_none());
+        assert!(read_request(&b"\r\n"[..]).is_none());
+    }
+
+    #[test]
+    fn serializes_response() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(StatusCode::Ok, "{\"a\":1}")).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("Content-Length: 7"));
+        assert!(s.ends_with("{\"a\":1}"));
+    }
+
+    #[test]
+    fn error_body_is_json() {
+        let r = Response::error(StatusCode::NotFound, "no such graph 'x'");
+        assert!(r.body.contains("\"error\""));
+        assert_eq!(r.status.parts().0, 404);
+    }
+}

@@ -1,0 +1,25 @@
+//! # un-rest — the orchestrator's REST interface
+//!
+//! Figure 1 shows the NF-FG arriving at the local orchestrator through a
+//! REST server. This crate provides one over real TCP sockets — a small
+//! hand-rolled HTTP/1.1 implementation (no async runtime; a thread per
+//! connection, which is plenty for a control plane):
+//!
+//! | Method | Path | Body | Action |
+//! |---|---|---|---|
+//! | `PUT` | `/nffg/<id>` | NF-FG JSON | deploy (or update if deployed) |
+//! | `GET` | `/nffg/<id>` | — | fetch the deployed graph |
+//! | `DELETE` | `/nffg/<id>` | — | undeploy |
+//! | `GET` | `/nffg` | — | list deployed graph ids |
+//! | `GET` | `/node` | — | node description & capabilities |
+//!
+//! [`http`] contains the protocol plumbing (parser/serializer, tested in
+//! isolation); [`api`] maps requests onto a shared [`un_core::UniversalNode`].
+
+#![forbid(unsafe_code)]
+
+pub mod api;
+pub mod http;
+
+pub use api::{serve, NodeHandle, RestServer};
+pub use http::{Request, Response, StatusCode};

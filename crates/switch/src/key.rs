@@ -1,0 +1,189 @@
+//! One-pass packet header extraction.
+//!
+//! [`PacketKey`] is the flattened set of header fields a flow table can
+//! match on — extracted once per packet, then matched against any number
+//! of flow entries (and used directly as the hash key of the microflow
+//! cache). This mirrors Open vSwitch's miniflow design.
+
+use un_packet::ethernet::{EtherType, EthernetFrame, MacAddr};
+use un_packet::ipv4::Ipv4Packet;
+use un_packet::tcp::TcpSegment;
+use un_packet::udp::UdpDatagram;
+use un_packet::vlan::VlanTag;
+use un_packet::{IpProtocol, Packet};
+
+use crate::lsi::PortNo;
+
+/// Flattened header fields of one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketKey {
+    /// Ingress port.
+    pub in_port: PortNo,
+    /// Ethernet source.
+    pub eth_src: MacAddr,
+    /// Ethernet destination.
+    pub eth_dst: MacAddr,
+    /// EtherType *after* any VLAN tag (the payload protocol).
+    pub eth_type: u16,
+    /// Outermost VLAN id, if tagged.
+    pub vlan: Option<u16>,
+    /// IPv4 source, if IPv4.
+    pub ip_src: Option<std::net::Ipv4Addr>,
+    /// IPv4 destination, if IPv4.
+    pub ip_dst: Option<std::net::Ipv4Addr>,
+    /// IPv4 protocol, if IPv4.
+    pub ip_proto: Option<u8>,
+    /// L4 source port (TCP/UDP), if present.
+    pub l4_src: Option<u16>,
+    /// L4 destination port (TCP/UDP), if present.
+    pub l4_dst: Option<u16>,
+    /// Firewall mark from packet metadata.
+    pub fwmark: u32,
+}
+
+impl PacketKey {
+    /// Extract the key from a packet arriving on `in_port`.
+    ///
+    /// Unparseable layers simply leave their fields as `None`/defaults —
+    /// a malformed packet still gets a key (and can be matched on the
+    /// fields that did parse), it is never dropped at extraction time.
+    pub fn extract(in_port: PortNo, pkt: &Packet) -> PacketKey {
+        let mut key = PacketKey {
+            in_port,
+            eth_src: MacAddr::ZERO,
+            eth_dst: MacAddr::ZERO,
+            eth_type: 0,
+            vlan: None,
+            ip_src: None,
+            ip_dst: None,
+            ip_proto: None,
+            l4_src: None,
+            l4_dst: None,
+            fwmark: pkt.meta.fwmark,
+        };
+
+        let Ok(eth) = EthernetFrame::new_checked(pkt.data()) else {
+            return key;
+        };
+        key.eth_src = eth.src();
+        key.eth_dst = eth.dst();
+
+        let (l3_type, l3): (u16, &[u8]) = match eth.ethertype() {
+            EtherType::Vlan => match VlanTag::new_checked(eth.payload()) {
+                Ok(tag) => {
+                    key.vlan = Some(tag.vid());
+                    let inner = tag.inner_ethertype();
+                    // Borrow payload after tag from original buffer.
+                    let data = pkt.data();
+                    (inner, &data[14 + 4..])
+                }
+                Err(_) => {
+                    key.eth_type = u16::from(EtherType::Vlan);
+                    return key;
+                }
+            },
+            t => {
+                let data = pkt.data();
+                (u16::from(t), &data[14..])
+            }
+        };
+        key.eth_type = l3_type;
+
+        if l3_type == u16::from(EtherType::Ipv4) {
+            if let Ok(ip) = Ipv4Packet::new_checked(l3) {
+                key.ip_src = Some(ip.src());
+                key.ip_dst = Some(ip.dst());
+                let proto = ip.protocol();
+                key.ip_proto = Some(u8::from(proto));
+                match proto {
+                    IpProtocol::Udp => {
+                        if let Ok(u) = UdpDatagram::new_checked(ip.payload()) {
+                            key.l4_src = Some(u.src_port());
+                            key.l4_dst = Some(u.dst_port());
+                        }
+                    }
+                    IpProtocol::Tcp => {
+                        if let Ok(t) = TcpSegment::new_checked(ip.payload()) {
+                            key.l4_src = Some(t.src_port());
+                            key.l4_dst = Some(t.dst_port());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use un_packet::PacketBuilder;
+
+    #[test]
+    fn extracts_udp_frame() {
+        let pkt = PacketBuilder::new()
+            .ethernet(MacAddr::local(1), MacAddr::local(2))
+            .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .udp(5001, 5201)
+            .payload(b"x")
+            .build();
+        let key = PacketKey::extract(PortNo(3), &pkt);
+        assert_eq!(key.in_port, PortNo(3));
+        assert_eq!(key.eth_src, MacAddr::local(1));
+        assert_eq!(key.eth_type, 0x0800);
+        assert_eq!(key.vlan, None);
+        assert_eq!(key.ip_src, Some(Ipv4Addr::new(10, 0, 0, 1)));
+        assert_eq!(key.ip_proto, Some(17));
+        assert_eq!(key.l4_dst, Some(5201));
+    }
+
+    #[test]
+    fn extracts_vlan_tagged_frame() {
+        let pkt = PacketBuilder::new()
+            .ethernet(MacAddr::local(1), MacAddr::local(2))
+            .vlan(77)
+            .ipv4(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2))
+            .udp(1, 2)
+            .build();
+        let key = PacketKey::extract(PortNo(0), &pkt);
+        assert_eq!(key.vlan, Some(77));
+        assert_eq!(key.eth_type, 0x0800, "eth_type must see through the tag");
+        assert_eq!(key.ip_dst, Some(Ipv4Addr::new(2, 2, 2, 2)));
+    }
+
+    #[test]
+    fn malformed_packet_still_keyed() {
+        let pkt = Packet::from_slice(&[0u8; 6]); // shorter than Ethernet
+        let key = PacketKey::extract(PortNo(1), &pkt);
+        assert_eq!(key.eth_type, 0);
+        assert_eq!(key.ip_src, None);
+    }
+
+    #[test]
+    fn fwmark_copied_from_meta() {
+        let mut pkt = PacketBuilder::new()
+            .ethernet(MacAddr::local(1), MacAddr::local(2))
+            .ipv4(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2))
+            .udp(1, 2)
+            .build();
+        pkt.meta.fwmark = 1234;
+        let key = PacketKey::extract(PortNo(0), &pkt);
+        assert_eq!(key.fwmark, 1234);
+    }
+
+    #[test]
+    fn tcp_ports_extracted() {
+        let pkt = PacketBuilder::new()
+            .ethernet(MacAddr::local(1), MacAddr::local(2))
+            .ipv4(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2))
+            .tcp(80, 443, 0, 0, 0x10)
+            .build();
+        let key = PacketKey::extract(PortNo(0), &pkt);
+        assert_eq!(key.ip_proto, Some(6));
+        assert_eq!(key.l4_src, Some(80));
+        assert_eq!(key.l4_dst, Some(443));
+    }
+}

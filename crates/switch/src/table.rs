@@ -1,0 +1,249 @@
+//! A priority-ordered flow table with an exact-match microflow cache.
+//!
+//! The slow path scans entries in (priority desc, insertion order): the
+//! first match wins, as in OpenFlow with distinct priorities. The fast
+//! path memoizes `PacketKey → entry index` — the moral equivalent of the
+//! Open vSwitch microflow cache — and is invalidated wholesale whenever
+//! the table is modified.
+
+use std::collections::HashMap;
+
+use crate::flow::{FlowEntry, FlowMatch};
+use crate::key::PacketKey;
+
+/// Result of a lookup, distinguishing the path taken (for cost charging).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupPath {
+    /// Served by the exact-match cache.
+    CacheHit,
+    /// Required a linear scan.
+    Miss,
+}
+
+/// A single flow table.
+#[derive(Debug, Default)]
+pub struct FlowTable {
+    /// Entries sorted by (priority desc, insertion seq asc).
+    entries: Vec<FlowEntry>,
+    /// Insertion sequence numbers parallel to `entries`.
+    seqs: Vec<u64>,
+    next_seq: u64,
+    cache: HashMap<PacketKey, usize>,
+    /// Cache hits since creation.
+    pub cache_hits: u64,
+    /// Cache misses since creation.
+    pub cache_misses: u64,
+}
+
+impl FlowTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Install an entry, keeping priority order. Invalidates the cache.
+    pub fn insert(&mut self, entry: FlowEntry) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        // Find insert position: after all entries with priority >= new
+        // (stable among equal priorities).
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| e.priority < entry.priority)
+            .unwrap_or(self.entries.len());
+        self.entries.insert(pos, entry);
+        self.seqs.insert(pos, seq);
+        self.cache.clear();
+    }
+
+    /// Remove all entries with the given cookie; returns how many.
+    pub fn remove_by_cookie(&mut self, cookie: u64) -> usize {
+        let before = self.entries.len();
+        let mut i = 0;
+        while i < self.entries.len() {
+            if self.entries[i].cookie == cookie {
+                self.entries.remove(i);
+                self.seqs.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        let removed = before - self.entries.len();
+        if removed > 0 {
+            self.cache.clear();
+        }
+        removed
+    }
+
+    /// Remove every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.seqs.clear();
+        self.cache.clear();
+    }
+
+    /// Look up the best entry for `key`, updating its counters by
+    /// `bytes`. Returns a clone of the matched actions (cheap: small
+    /// vectors) plus the path taken, or `None` on table miss.
+    pub fn lookup(
+        &mut self,
+        key: &PacketKey,
+        bytes: usize,
+    ) -> Option<(Vec<crate::flow::FlowAction>, LookupPath)> {
+        if let Some(&idx) = self.cache.get(key) {
+            // Defensive: the cache is cleared on every mutation, so idx
+            // is always in range, but stay safe.
+            if let Some(entry) = self.entries.get_mut(idx) {
+                self.cache_hits += 1;
+                entry.packet_count += 1;
+                entry.byte_count += bytes as u64;
+                return Some((entry.actions.clone(), LookupPath::CacheHit));
+            }
+        }
+        self.cache_misses += 1;
+        let idx = self.entries.iter().position(|e| e.matches.matches(key))?;
+        let entry = &mut self.entries[idx];
+        entry.packet_count += 1;
+        entry.byte_count += bytes as u64;
+        let actions = entry.actions.clone();
+        self.cache.insert(*key, idx);
+        Some((actions, LookupPath::Miss))
+    }
+
+    /// Find entries matching a predicate over (priority, match).
+    pub fn find(&self, priority: u16, matches: &FlowMatch) -> Option<&FlowEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.priority == priority && &e.matches == matches)
+    }
+
+    /// Iterate entries in match order.
+    pub fn entries(&self) -> impl Iterator<Item = &FlowEntry> {
+        self.entries.iter()
+    }
+
+    /// Sum of packet counters (for stats endpoints).
+    pub fn total_packets(&self) -> u64 {
+        self.entries.iter().map(|e| e.packet_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowAction;
+    use crate::lsi::PortNo;
+    use un_packet::ethernet::MacAddr;
+
+    fn key(port: u32) -> PacketKey {
+        PacketKey {
+            in_port: PortNo(port),
+            eth_src: MacAddr::ZERO,
+            eth_dst: MacAddr::ZERO,
+            eth_type: 0x0800,
+            vlan: None,
+            ip_src: None,
+            ip_dst: None,
+            ip_proto: None,
+            l4_src: None,
+            l4_dst: None,
+            fwmark: 0,
+        }
+    }
+
+    fn entry(prio: u16, port: Option<u32>, out: u32) -> FlowEntry {
+        let m = match port {
+            Some(p) => FlowMatch::in_port(PortNo(p)),
+            None => FlowMatch::any(),
+        };
+        FlowEntry::new(prio, m, vec![FlowAction::Output(PortNo(out))])
+    }
+
+    #[test]
+    fn highest_priority_wins() {
+        let mut t = FlowTable::new();
+        t.insert(entry(1, None, 99)); // default
+        t.insert(entry(10, Some(1), 2));
+        let (actions, _) = t.lookup(&key(1), 100).unwrap();
+        assert_eq!(actions, vec![FlowAction::Output(PortNo(2))]);
+        let (actions, _) = t.lookup(&key(5), 100).unwrap();
+        assert_eq!(actions, vec![FlowAction::Output(PortNo(99))]);
+    }
+
+    #[test]
+    fn equal_priority_first_inserted_wins() {
+        let mut t = FlowTable::new();
+        t.insert(entry(5, Some(1), 10));
+        t.insert(entry(5, Some(1), 20));
+        let (actions, _) = t.lookup(&key(1), 1).unwrap();
+        assert_eq!(actions, vec![FlowAction::Output(PortNo(10))]);
+    }
+
+    #[test]
+    fn cache_hit_after_miss_and_invalidation() {
+        let mut t = FlowTable::new();
+        t.insert(entry(1, Some(1), 2));
+        let (_, path) = t.lookup(&key(1), 1).unwrap();
+        assert_eq!(path, LookupPath::Miss);
+        let (_, path) = t.lookup(&key(1), 1).unwrap();
+        assert_eq!(path, LookupPath::CacheHit);
+        assert_eq!(t.cache_hits, 1);
+
+        // Any modification invalidates.
+        t.insert(entry(9, Some(1), 3));
+        let (actions, path) = t.lookup(&key(1), 1).unwrap();
+        assert_eq!(path, LookupPath::Miss);
+        assert_eq!(actions, vec![FlowAction::Output(PortNo(3))]);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = FlowTable::new();
+        t.insert(entry(1, Some(1), 2));
+        t.lookup(&key(1), 100);
+        t.lookup(&key(1), 50);
+        let e = t.entries().next().unwrap();
+        assert_eq!(e.packet_count, 2);
+        assert_eq!(e.byte_count, 150);
+        assert_eq!(t.total_packets(), 2);
+    }
+
+    #[test]
+    fn remove_by_cookie() {
+        let mut t = FlowTable::new();
+        t.insert(entry(1, Some(1), 2).with_cookie(0xAA));
+        t.insert(entry(2, Some(2), 3).with_cookie(0xAA));
+        t.insert(entry(3, Some(3), 4).with_cookie(0xBB));
+        assert_eq!(t.remove_by_cookie(0xAA), 2);
+        assert_eq!(t.len(), 1);
+        assert!(t.lookup(&key(1), 1).is_none());
+        assert!(t.lookup(&key(3), 1).is_some());
+    }
+
+    #[test]
+    fn table_miss_returns_none() {
+        let mut t = FlowTable::new();
+        t.insert(entry(1, Some(7), 2));
+        assert!(t.lookup(&key(1), 1).is_none());
+        assert_eq!(t.cache_misses, 1);
+    }
+
+    #[test]
+    fn find_locates_exact_entry() {
+        let mut t = FlowTable::new();
+        t.insert(entry(4, Some(1), 2));
+        assert!(t.find(4, &FlowMatch::in_port(PortNo(1))).is_some());
+        assert!(t.find(5, &FlowMatch::in_port(PortNo(1))).is_none());
+    }
+}

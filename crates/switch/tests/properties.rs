@@ -1,0 +1,117 @@
+//! Property-based tests for the flow table: the cached/slow paths must
+//! agree with a reference model.
+
+use proptest::prelude::*;
+use un_packet::ethernet::MacAddr;
+use un_switch::{FlowAction, FlowEntry, FlowMatch, FlowTable, PacketKey, PortNo};
+
+fn key_strategy() -> impl Strategy<Value = PacketKey> {
+    (0u32..4, any::<u16>(), prop::option::of(0u8..4), 0u32..3).prop_map(
+        |(port, dport, proto, mark)| PacketKey {
+            in_port: PortNo(port),
+            eth_src: MacAddr::local(1),
+            eth_dst: MacAddr::local(2),
+            eth_type: 0x0800,
+            vlan: None,
+            ip_src: Some(std::net::Ipv4Addr::new(10, 0, 0, 1)),
+            ip_dst: Some(std::net::Ipv4Addr::new(10, 0, 0, 2)),
+            ip_proto: proto.map(|p| p + 6),
+            l4_src: Some(1000),
+            l4_dst: Some(dport % 8), // small space → frequent matches
+            fwmark: mark,
+        },
+    )
+}
+
+#[derive(Debug, Clone)]
+struct RuleSpec {
+    priority: u16,
+    in_port: Option<u32>,
+    l4_dst: Option<u16>,
+    fwmark: Option<u32>,
+    out: u32,
+}
+
+fn rule_strategy() -> impl Strategy<Value = RuleSpec> {
+    (
+        0u16..8,
+        prop::option::of(0u32..4),
+        prop::option::of(0u16..8),
+        prop::option::of(0u32..3),
+        0u32..16,
+    )
+        .prop_map(|(priority, in_port, l4_dst, fwmark, out)| RuleSpec {
+            priority,
+            in_port,
+            l4_dst,
+            fwmark,
+            out,
+        })
+}
+
+fn to_match(spec: &RuleSpec) -> FlowMatch {
+    let mut m = FlowMatch::any();
+    m.in_port = spec.in_port.map(PortNo);
+    m.l4_dst = spec.l4_dst;
+    m.fwmark = spec.fwmark;
+    m
+}
+
+/// Reference model: scan rules sorted by (priority desc, insertion asc).
+fn reference_lookup(rules: &[RuleSpec], key: &PacketKey) -> Option<u32> {
+    let mut indexed: Vec<(usize, &RuleSpec)> = rules.iter().enumerate().collect();
+    indexed.sort_by(|(ia, a), (ib, b)| b.priority.cmp(&a.priority).then(ia.cmp(ib)));
+    indexed
+        .into_iter()
+        .find(|(_, r)| to_match(r).matches(key))
+        .map(|(_, r)| r.out)
+}
+
+proptest! {
+    /// The flow table (with its microflow cache) always agrees with the
+    /// reference model, including on repeated lookups (cache hits).
+    #[test]
+    fn table_matches_reference(
+        rules in prop::collection::vec(rule_strategy(), 0..24),
+        keys in prop::collection::vec(key_strategy(), 1..48),
+    ) {
+        let mut table = FlowTable::new();
+        for r in &rules {
+            table.insert(FlowEntry::new(
+                r.priority,
+                to_match(r),
+                vec![FlowAction::Output(PortNo(r.out))],
+            ));
+        }
+        for key in &keys {
+            // Look each key up twice: slow path then cache path.
+            for _ in 0..2 {
+                let got = table.lookup(key, 100).map(|(actions, _)| {
+                    match &actions[0] {
+                        FlowAction::Output(p) => p.0,
+                        other => panic!("unexpected action {other:?}"),
+                    }
+                });
+                prop_assert_eq!(got, reference_lookup(&rules, key));
+            }
+        }
+    }
+
+    /// Removing by cookie removes exactly the matching entries.
+    #[test]
+    fn cookie_removal(
+        rules in prop::collection::vec((rule_strategy(), 0u64..4), 1..24),
+        victim in 0u64..4,
+    ) {
+        let mut table = FlowTable::new();
+        for (r, cookie) in &rules {
+            table.insert(
+                FlowEntry::new(r.priority, to_match(r), vec![FlowAction::Output(PortNo(r.out))])
+                    .with_cookie(*cookie),
+            );
+        }
+        let expect_removed = rules.iter().filter(|(_, c)| *c == victim).count();
+        prop_assert_eq!(table.remove_by_cookie(victim), expect_removed);
+        prop_assert_eq!(table.len(), rules.len() - expect_removed);
+    }
+}

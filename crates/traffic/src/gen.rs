@@ -1,0 +1,173 @@
+//! Deterministic frame generators.
+
+use std::net::Ipv4Addr;
+
+use un_packet::ethernet::MacAddr;
+use un_packet::{Packet, PacketBuilder};
+
+/// What every generated frame looks like (L2–L4 envelope).
+#[derive(Debug, Clone)]
+pub struct FrameSpec {
+    /// Ethernet source.
+    pub eth_src: MacAddr,
+    /// Ethernet destination (the first NF port's MAC, or anything the
+    /// chain's classifier accepts).
+    pub eth_dst: MacAddr,
+    /// IPv4 source.
+    pub ip_src: Ipv4Addr,
+    /// IPv4 destination.
+    pub ip_dst: Ipv4Addr,
+    /// UDP source port.
+    pub sport: u16,
+    /// UDP destination port.
+    pub dport: u16,
+}
+
+impl FrameSpec {
+    /// A spec with placeholder MACs (chains that steer by port ignore
+    /// them).
+    pub fn udp(ip_src: Ipv4Addr, ip_dst: Ipv4Addr, sport: u16, dport: u16) -> Self {
+        FrameSpec {
+            eth_src: MacAddr::local(0xE0),
+            eth_dst: MacAddr::local(0xE1),
+            ip_src,
+            ip_dst,
+            sport,
+            dport,
+        }
+    }
+
+    /// Builder-style MAC override.
+    pub fn with_macs(mut self, src: MacAddr, dst: MacAddr) -> Self {
+        self.eth_src = src;
+        self.eth_dst = dst;
+        self
+    }
+
+    /// Build one frame with `frame_len` total bytes on the wire
+    /// (Ethernet + IP + UDP + payload). Panics if `frame_len` is too
+    /// small to hold the headers (42 bytes).
+    pub fn frame(&self, frame_len: usize, seq: u64) -> Packet {
+        const HDR: usize = 14 + 20 + 8;
+        assert!(frame_len >= HDR + 8, "frame too small");
+        let payload_len = frame_len - HDR;
+        let mut payload = vec![0u8; payload_len];
+        payload[..8].copy_from_slice(&seq.to_be_bytes());
+        PacketBuilder::new()
+            .ethernet(self.eth_src, self.eth_dst)
+            .ipv4(self.ip_src, self.ip_dst)
+            .udp(self.sport, self.dport)
+            .payload(&payload)
+            .build()
+    }
+}
+
+/// Constant-size back-to-back stream.
+#[derive(Debug)]
+pub struct StreamGenerator {
+    spec: FrameSpec,
+    frame_len: usize,
+    seq: u64,
+}
+
+impl StreamGenerator {
+    /// A stream of `frame_len`-byte frames.
+    pub fn new(spec: FrameSpec, frame_len: usize) -> Self {
+        StreamGenerator {
+            spec,
+            frame_len,
+            seq: 0,
+        }
+    }
+
+    /// Next frame.
+    pub fn next_frame(&mut self) -> Packet {
+        let f = self.spec.frame(self.frame_len, self.seq);
+        self.seq += 1;
+        f
+    }
+
+    /// Frames generated so far.
+    pub fn generated(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// The classic simple IMIX: 7×64B : 4×576B : 1×1500B (weights repeat
+/// deterministically).
+#[derive(Debug)]
+pub struct ImixGenerator {
+    spec: FrameSpec,
+    seq: u64,
+}
+
+/// The IMIX size pattern.
+pub const IMIX_PATTERN: [usize; 12] = [
+    64, 64, 64, 64, 64, 64, 64, 576, 576, 576, 576, 1500,
+];
+
+impl ImixGenerator {
+    /// An IMIX stream.
+    pub fn new(spec: FrameSpec) -> Self {
+        ImixGenerator { spec, seq: 0 }
+    }
+
+    /// Next frame (sizes cycle through [`IMIX_PATTERN`]).
+    pub fn next_frame(&mut self) -> Packet {
+        let len = IMIX_PATTERN[(self.seq % IMIX_PATTERN.len() as u64) as usize].max(50);
+        let f = self.spec.frame(len, self.seq);
+        self.seq += 1;
+        f
+    }
+
+    /// Average frame size of the pattern.
+    pub fn average_size() -> f64 {
+        IMIX_PATTERN.iter().map(|s| (*s).max(50)).sum::<usize>() as f64
+            / IMIX_PATTERN.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FrameSpec {
+        FrameSpec::udp(
+            Ipv4Addr::new(192, 168, 1, 10),
+            Ipv4Addr::new(172, 16, 0, 9),
+            5001,
+            5201,
+        )
+    }
+
+    #[test]
+    fn frames_have_requested_size_and_seq() {
+        let mut g = StreamGenerator::new(spec(), 1500);
+        let f1 = g.next_frame();
+        let f2 = g.next_frame();
+        assert_eq!(f1.len(), 1500);
+        assert_eq!(f2.len(), 1500);
+        assert_ne!(f1.data(), f2.data(), "sequence number varies");
+        assert_eq!(g.generated(), 2);
+        // Well-formed.
+        let eth = f1.ethernet().unwrap();
+        let ip = un_packet::Ipv4Packet::new_checked(eth.payload()).unwrap();
+        assert!(ip.verify_checksum());
+    }
+
+    #[test]
+    #[should_panic(expected = "frame too small")]
+    fn tiny_frames_rejected() {
+        let _ = spec().frame(40, 0);
+    }
+
+    #[test]
+    fn imix_cycles_sizes() {
+        let mut g = ImixGenerator::new(spec());
+        let sizes: Vec<usize> = (0..12).map(|_| g.next_frame().len()).collect();
+        assert_eq!(sizes.iter().filter(|s| **s == 64).count(), 7);
+        assert_eq!(sizes.iter().filter(|s| **s == 576).count(), 4);
+        assert_eq!(sizes.iter().filter(|s| **s == 1500).count(), 1);
+        assert!(ImixGenerator::average_size() > 64.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # un-traffic — iperf-like load generation and measurement
+//!
+//! The paper measured "the maximum throughput that can be obtained by
+//! the three NF flavors … using iPerf". This crate reproduces that
+//! measurement procedure over the simulated node:
+//!
+//! * [`gen`] — deterministic frame generators (constant-size streams,
+//!   the classic IMIX mix, tunable 5-tuples).
+//! * [`measure`] — the meter: drive the node **back-to-back** (a new
+//!   frame enters the moment the previous one finishes processing —
+//!   iperf's saturating behaviour on a bottleneck), account delivered
+//!   bytes against elapsed *virtual time*, and report Mbps, loss and
+//!   per-packet latency percentiles.
+//!
+//! [`fault`] adds smoltcp-style drop/corrupt fault injection for
+//! robustness tests (the IPsec chain must fail *closed* under
+//! corruption, never deliver wrong bytes).
+//!
+//! A second helper measures *via an external peer* (e.g. the IPsec
+//! gateway terminating the tunnel outside the CPE) so only traffic that
+//! truly completed the service — decrypted, verified, delivered — is
+//! counted, exactly like iperf counting only received bytes.
+
+#![forbid(unsafe_code)]
+
+pub mod fault;
+pub mod gen;
+pub mod measure;
+
+pub use fault::{FaultInjector, FaultOutcome};
+pub use gen::{FrameSpec, ImixGenerator, StreamGenerator};
+pub use measure::{measure_chain, measure_via_peer, Measurement, PeerFn};

@@ -1,0 +1,225 @@
+//! The meter: saturate a deployed chain, report virtual-time Mbps.
+
+use un_core::UniversalNode;
+use un_packet::Packet;
+use un_sim::{Histogram, SimDuration, SimTime};
+
+use crate::gen::StreamGenerator;
+
+/// What a measurement run produced.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Frames offered.
+    pub sent: u64,
+    /// Frames delivered end-to-end.
+    pub delivered: u64,
+    /// Bytes delivered (inner/wire bytes as seen at the egress).
+    pub bytes: u64,
+    /// Elapsed virtual time.
+    pub elapsed: SimDuration,
+    /// Mean per-frame processing latency.
+    pub mean_latency: SimDuration,
+    /// 99th percentile latency (bucketed).
+    pub p99_latency: SimDuration,
+}
+
+impl Measurement {
+    /// Goodput in Mbps over virtual time.
+    pub fn mbps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.bytes as f64 * 8.0 / 1e6 / secs
+    }
+
+    /// Loss ratio.
+    pub fn loss(&self) -> f64 {
+        if self.sent == 0 {
+            return 0.0;
+        }
+        1.0 - (self.delivered as f64 / self.sent as f64)
+    }
+
+    /// Packets per second.
+    pub fn pps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.delivered as f64 / secs
+    }
+}
+
+/// Drive `count` back-to-back frames from `ingress` and count what
+/// leaves on `egress`. This is the iperf saturation measurement: the
+/// source always has the next frame ready, so throughput equals the
+/// bottleneck service rate.
+pub fn measure_chain(
+    node: &mut UniversalNode,
+    ingress: &str,
+    egress: &str,
+    generator: &mut StreamGenerator,
+    count: u64,
+) -> Measurement {
+    let mut hist = Histogram::new();
+    let mut delivered = 0u64;
+    let mut bytes = 0u64;
+    let mut clock = SimTime::ZERO;
+
+    for _ in 0..count {
+        node.set_time(clock);
+        let frame = generator.next_frame();
+        let io = node.inject(ingress, frame);
+        clock += io.cost.duration();
+        hist.record(io.cost.duration());
+        for (port, pkt) in &io.emitted {
+            if port == egress {
+                delivered += 1;
+                bytes += pkt.len() as u64;
+            }
+        }
+    }
+
+    Measurement {
+        sent: count,
+        delivered,
+        bytes,
+        elapsed: clock.duration_since(SimTime::ZERO),
+        mean_latency: hist.mean(),
+        p99_latency: hist.quantile(0.99),
+    }
+}
+
+/// A peer beyond the node's egress (e.g. the remote IPsec gateway): it
+/// receives each emitted frame and returns the bytes that count as
+/// *delivered application traffic* (0 = frame discarded / not for us).
+pub type PeerFn<'a> = dyn FnMut(&Packet) -> u64 + 'a;
+
+/// Like [`measure_chain`], but delivery is judged by an external peer —
+/// used when the service terminates off-node (ESP tunnel to a gateway):
+/// only traffic the peer successfully consumes (e.g. decrypts and
+/// verifies) is counted, like iperf counting received bytes.
+pub fn measure_via_peer(
+    node: &mut UniversalNode,
+    ingress: &str,
+    egress: &str,
+    generator: &mut StreamGenerator,
+    count: u64,
+    peer: &mut PeerFn<'_>,
+) -> Measurement {
+    let mut hist = Histogram::new();
+    let mut delivered = 0u64;
+    let mut bytes = 0u64;
+    let mut clock = SimTime::ZERO;
+
+    for _ in 0..count {
+        node.set_time(clock);
+        let frame = generator.next_frame();
+        let io = node.inject(ingress, frame);
+        clock += io.cost.duration();
+        hist.record(io.cost.duration());
+        for (port, pkt) in &io.emitted {
+            if port == egress {
+                let b = peer(pkt);
+                if b > 0 {
+                    delivered += 1;
+                    bytes += b;
+                }
+            }
+        }
+    }
+
+    Measurement {
+        sent: count,
+        delivered,
+        bytes,
+        elapsed: clock.duration_since(SimTime::ZERO),
+        mean_latency: hist.mean(),
+        p99_latency: hist.quantile(0.99),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::FrameSpec;
+    use un_nffg::NfFgBuilder;
+    use un_sim::mem::mb;
+
+    fn bridge_node() -> UniversalNode {
+        let mut n = UniversalNode::new("meter-test", mb(2048));
+        n.add_physical_port("eth0");
+        n.add_physical_port("eth1");
+        let g = NfFgBuilder::new("g1", "l2")
+            .interface_endpoint("lan", "eth0")
+            .interface_endpoint("wan", "eth1")
+            .nf("br", "bridge", 2)
+            .chain("lan", &["br"], "wan")
+            .build();
+        n.deploy(&g).unwrap();
+        n
+    }
+
+    #[test]
+    fn measures_bridge_chain() {
+        let mut n = bridge_node();
+        let spec = FrameSpec::udp(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            5001,
+            5201,
+        );
+        let mut gen = StreamGenerator::new(spec, 1500);
+        let m = measure_chain(&mut n, "eth0", "eth1", &mut gen, 500);
+        assert_eq!(m.sent, 500);
+        assert_eq!(m.delivered, 500, "bridge must not drop");
+        assert_eq!(m.loss(), 0.0);
+        assert!(m.mbps() > 100.0, "got {}", m.mbps());
+        assert!(m.mean_latency.as_nanos() > 0);
+        assert!(m.p99_latency >= m.mean_latency);
+        assert!(m.pps() > 0.0);
+    }
+
+    #[test]
+    fn undeployed_chain_measures_zero() {
+        let mut n = UniversalNode::new("empty", mb(256));
+        n.add_physical_port("eth0");
+        n.add_physical_port("eth1");
+        let spec = FrameSpec::udp(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            1,
+            2,
+        );
+        let mut gen = StreamGenerator::new(spec, 200);
+        let m = measure_chain(&mut n, "eth0", "eth1", &mut gen, 50);
+        assert_eq!(m.delivered, 0);
+        assert_eq!(m.loss(), 1.0);
+        assert_eq!(m.mbps(), 0.0);
+    }
+
+    #[test]
+    fn peer_filter_counts_only_accepted() {
+        let mut n = bridge_node();
+        let spec = FrameSpec::udp(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            5001,
+            5201,
+        );
+        let mut gen = StreamGenerator::new(spec, 1000);
+        let mut count = 0u64;
+        let mut peer = |p: &Packet| {
+            count += 1;
+            if count % 2 == 0 {
+                p.len() as u64
+            } else {
+                0
+            }
+        };
+        let m = measure_via_peer(&mut n, "eth0", "eth1", &mut gen, 100, &mut peer);
+        assert_eq!(m.delivered, 50);
+        assert!(m.loss() > 0.49 && m.loss() < 0.51);
+    }
+}

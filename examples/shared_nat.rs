@@ -1,0 +1,88 @@
+//! Sharable NNFs: two customers, overlapping address plans, ONE native
+//! NAT instance.
+//!
+//! ```sh
+//! cargo run -p un-core --example shared_nat
+//! ```
+//!
+//! The kernel's NAT cannot be instantiated twice in one namespace — the
+//! exact situation the paper's sharability mechanism addresses. The
+//! orchestrator deploys the first customer's NAT in shared single-port
+//! mode; the second customer's graph *binds* to the same instance. VLAN
+//! marking, fwmarks, conntrack zones and per-graph routing tables keep
+//! the two customers apart even though both use 192.168.1.0/24 inside.
+
+use un_core::UniversalNode;
+use un_nffg::{NfConfig, NfFgBuilder};
+use un_packet::{MacAddr, PacketBuilder};
+use un_sim::mem::mb;
+
+fn customer_graph(n: u32, wan_cidr: &str) -> un_nffg::NfFg {
+    let mut cfg = NfConfig::default();
+    cfg.params.insert("lan-addr".into(), "192.168.1.1/24".into()); // both the same!
+    cfg.params.insert("wan-addr".into(), wan_cidr.into());
+    NfFgBuilder::new(&format!("customer-{n}"), "nat service")
+        .vlan_endpoint("lan", "eth0", (10 + n) as u16)
+        .vlan_endpoint("wan", "eth1", (10 + n) as u16)
+        .nf_with_config("nat", "nat", 2, cfg)
+        .chain("lan", &["nat"], "wan")
+        .build()
+}
+
+fn main() {
+    let mut node = UniversalNode::new("multi-tenant-cpe", mb(1024));
+    node.add_physical_port("eth0");
+    node.add_physical_port("eth1");
+
+    let r1 = node.deploy(&customer_graph(1, "203.0.113.1/24")).unwrap();
+    let r2 = node.deploy(&customer_graph(2, "198.51.100.1/24")).unwrap();
+    println!(
+        "customer-1 NAT: {} (shared: {})",
+        r1.placements[0].2, r1.placements[0].3
+    );
+    println!(
+        "customer-2 NAT: {} (shared: {})",
+        r2.placements[0].2, r2.placements[0].3
+    );
+    assert_eq!(r1.placements[0].2, r2.placements[0].2, "same instance!");
+    println!(
+        "\n→ ONE native NAT instance serves both graphs; total node RAM {:.1} MB\n",
+        node.memory_used() as f64 / 1e6
+    );
+
+    // Identical inner packets from both customers (VLAN 11 vs 12).
+    let mk = |vid: u16| {
+        PacketBuilder::new()
+            .ethernet(MacAddr::local(5), MacAddr::BROADCAST)
+            .vlan(vid)
+            .ipv4("192.168.1.10".parse().unwrap(), "8.8.8.8".parse().unwrap())
+            .udp(5000, 53)
+            .payload(b"dns?")
+            .build()
+    };
+    // The shared NNF's namespace needs an upstream neighbor.
+    let (inst, _) = node.instance_of("customer-1", "nat").unwrap();
+    let ns = node.compute.native.namespace_of(inst.0).unwrap();
+    node.host
+        .neigh_add(ns, "8.8.8.8".parse().unwrap(), MacAddr::local(0x99))
+        .unwrap();
+
+    for (customer, vid) in [(1u16, 11u16), (2, 12)] {
+        let io = node.inject("eth0", mk(vid));
+        let (port, wire) = &io.emitted[0];
+        let mut inner = wire.clone();
+        let outer_vid = inner.vlan_pop().unwrap();
+        let eth = inner.ethernet().unwrap();
+        let ip = un_packet::Ipv4Packet::new_checked(eth.payload()).unwrap();
+        println!(
+            "customer-{customer}: 192.168.1.10 → 8.8.8.8 left '{port}' (VLAN {outer_vid}) \
+             with source translated to {}",
+            ip.src()
+        );
+    }
+    println!(
+        "\nSame inner five-tuple, different translations, zero leakage:\n\
+         marking (VLAN→fwmark), conntrack zones and per-graph routing\n\
+         tables are the paper's 'multiple internal paths' at work."
+    );
+}

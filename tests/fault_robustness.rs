@@ -1,0 +1,109 @@
+//! Robustness under adverse network conditions: the IPsec service must
+//! fail *closed* — a lossy/corrupting WAN reduces goodput but never
+//! delivers unauthentic bytes.
+
+use un_bench::{build_ipsec_node, lan_spec, GatewayPeer};
+use un_traffic::{FaultInjector, StreamGenerator};
+
+#[test]
+fn corrupted_wan_frames_never_deliver_wrong_bytes() {
+    // The security property: corruption is either harmless (L2/outer-IP
+    // header bits outside the authenticated ESP payload — a real NIC's
+    // FCS would catch those) or *rejected*. A corrupted ESP payload must
+    // never decrypt.
+    const ESP_START: usize = 14 + 20; // Ethernet + outer IPv4 header
+
+    let (mut node, _) = build_ipsec_node("native");
+    let spec = lan_spec(&node);
+    let mut generator = StreamGenerator::new(spec, 1000);
+    let mut faults = FaultInjector::new(0.0, 1.0, 7); // corrupt everything
+    let mut gateway = GatewayPeer::new();
+
+    let mut payload_corruptions = 0u64;
+    for _ in 0..100 {
+        let io = node.inject("eth0", generator.next_frame());
+        for (_, wire) in io.emitted {
+            let pristine = wire.data().to_vec();
+            if let (Some(frame), _) = faults.apply(wire) {
+                let payload_intact = frame.data()[ESP_START..] == pristine[ESP_START..];
+                if !payload_intact {
+                    payload_corruptions += 1;
+                }
+                let delivered = gateway.receive(&frame);
+                if delivered > 0 {
+                    assert!(
+                        payload_intact,
+                        "a frame with corrupted ESP payload was delivered"
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(faults.corrupted, 100);
+    assert!(payload_corruptions > 50, "most flips land in the payload");
+    assert_eq!(
+        gateway.rejected, payload_corruptions,
+        "every payload corruption rejected, every header-only flip tolerated"
+    );
+}
+
+#[test]
+fn lossy_wan_degrades_goodput_but_preserves_integrity() {
+    let (mut node, _) = build_ipsec_node("native");
+    let spec = lan_spec(&node);
+    let mut generator = StreamGenerator::new(spec, 1000);
+    let mut faults = FaultInjector::new(0.3, 0.1, 11);
+    let mut gateway = GatewayPeer::new();
+
+    let total = 500u64;
+    for _ in 0..total {
+        let io = node.inject("eth0", generator.next_frame());
+        for (_, wire) in io.emitted {
+            if let (Some(frame), _) = faults.apply(wire) {
+                gateway.receive(&frame);
+            }
+        }
+    }
+    // ~30% dropped, ~7% (0.7 × 0.1) corrupted-and-rejected, rest good.
+    let good_rate = gateway.accepted as f64 / total as f64;
+    assert!(
+        (0.50..0.80).contains(&good_rate),
+        "goodput ratio {good_rate} outside the expected band"
+    );
+    assert_eq!(
+        gateway.accepted + gateway.rejected + faults.dropped,
+        total,
+        "every frame accounted: delivered, rejected or dropped"
+    );
+    assert_eq!(gateway.rejected, faults.corrupted, "all corruption caught");
+}
+
+#[test]
+fn gateway_recovers_after_fault_burst() {
+    // After a burst of drops/corruption, clean traffic flows again —
+    // the anti-replay window must not have been poisoned.
+    let (mut node, _) = build_ipsec_node("native");
+    let spec = lan_spec(&node);
+    let mut generator = StreamGenerator::new(spec, 1000);
+    let mut gateway = GatewayPeer::new();
+
+    // Phase 1: fault burst.
+    let mut faults = FaultInjector::new(0.5, 0.5, 13);
+    for _ in 0..100 {
+        let io = node.inject("eth0", generator.next_frame());
+        for (_, wire) in io.emitted {
+            if let (Some(frame), _) = faults.apply(wire) {
+                gateway.receive(&frame);
+            }
+        }
+    }
+    // Phase 2: clean channel; everything must deliver.
+    let before = gateway.accepted;
+    for _ in 0..50 {
+        let io = node.inject("eth0", generator.next_frame());
+        for (_, wire) in io.emitted {
+            assert!(gateway.receive(&wire) > 0, "clean frame rejected after burst");
+        }
+    }
+    assert_eq!(gateway.accepted - before, 50);
+}

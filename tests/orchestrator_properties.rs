@@ -1,0 +1,84 @@
+//! Property-based orchestrator invariants: any deployable chain leaves
+//! the node exactly as it found it after undeploy, and forwards traffic
+//! while deployed.
+
+use proptest::prelude::*;
+use un_core::UniversalNode;
+use un_nffg::NfFgBuilder;
+use un_packet::{MacAddr, PacketBuilder};
+use un_sim::mem::mb;
+
+fn chain_graph(flavors: &[&str]) -> un_nffg::NfFg {
+    let ids: Vec<String> = (0..flavors.len()).map(|i| format!("nf{i}")).collect();
+    let mut b = NfFgBuilder::new("prop-g", "chain")
+        .interface_endpoint("lan", "eth0")
+        .interface_endpoint("wan", "eth1");
+    for (id, flavor) in ids.iter().zip(flavors) {
+        b = b.nf(id, "bridge", 2).with_flavor(flavor);
+    }
+    let refs: Vec<&str> = ids.iter().map(|s| s.as_str()).collect();
+    b.chain("lan", &refs, "wan").build()
+}
+
+fn frame(seq: u16) -> un_packet::Packet {
+    PacketBuilder::new()
+        .ethernet(MacAddr::local(1), MacAddr::local(2))
+        .ipv4("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap())
+        .udp(seq, 2000)
+        .payload(b"prop")
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Deploy → traffic flows → undeploy → node pristine, for any mix of
+    /// flavors in a 1–3 NF chain.
+    #[test]
+    fn deploy_undeploy_is_clean(
+        flavors in prop::collection::vec(
+            prop::sample::select(vec!["native", "docker", "vm"]), 1..4
+        ),
+    ) {
+        let mut node = UniversalNode::new("prop", mb(8192));
+        node.add_physical_port("eth0");
+        node.add_physical_port("eth1");
+        let g = chain_graph(&flavors.iter().map(|s| *s).collect::<Vec<_>>());
+
+        node.deploy(&g).unwrap();
+        // Bidirectional traffic crosses the whole chain.
+        let io = node.inject("eth0", frame(1));
+        prop_assert_eq!(io.emitted.len(), 1);
+        prop_assert_eq!(io.emitted[0].0.as_str(), "eth1");
+        let io = node.inject("eth1", frame(2));
+        prop_assert_eq!(io.emitted.len(), 1);
+        prop_assert_eq!(io.emitted[0].0.as_str(), "eth0");
+
+        node.undeploy("prop-g").unwrap();
+        prop_assert_eq!(node.memory_used(), 0);
+        prop_assert_eq!(node.total_flows(), 0);
+        prop_assert_eq!(node.compute.len(), 0);
+        prop_assert!(node.inject("eth0", frame(3)).emitted.is_empty());
+
+        // And the node is reusable.
+        node.deploy(&g).unwrap();
+        prop_assert_eq!(node.inject("eth0", frame(4)).emitted.len(), 1);
+    }
+
+    /// Longer chains never cost less virtual time than shorter ones of
+    /// the same flavor (cost monotonicity across the fabric).
+    #[test]
+    fn chain_cost_monotonic(len in 1usize..4, flavor in prop::sample::select(vec!["native", "vm"])) {
+        let run = |n: usize| {
+            let mut node = UniversalNode::new("mono", mb(8192));
+            node.add_physical_port("eth0");
+            node.add_physical_port("eth1");
+            let flavors = vec![flavor; n];
+            node.deploy(&chain_graph(&flavors)).unwrap();
+            node.inject("eth0", frame(9)).cost.as_nanos()
+        };
+        let shorter = run(len);
+        let longer = run(len + 1);
+        prop_assert!(longer > shorter, "{longer} !> {shorter} at len {len}");
+    }
+}
