@@ -18,11 +18,24 @@ fn forwarding_host() -> (Host, un_linux::IfaceId) {
     h.set_up(lan, true).unwrap();
     h.set_up(wan, true).unwrap();
     h.sysctl_ip_forward(ns, true).unwrap();
-    h.route_add(ns, MAIN_TABLE, "0.0.0.0/0".parse().unwrap(),
-                Some(Ipv4Addr::new(203, 0, 113, 254)), wan, 0).unwrap();
-    h.neigh_add(ns, Ipv4Addr::new(203, 0, 113, 254), MacAddr::local(99)).unwrap();
-    h.nf_append(ns, NfTable::Nat, Chain::Postrouting,
-                NfRule::new(RuleMatch::default(), Target::Masquerade)).unwrap();
+    h.route_add(
+        ns,
+        MAIN_TABLE,
+        "0.0.0.0/0".parse().unwrap(),
+        Some(Ipv4Addr::new(203, 0, 113, 254)),
+        wan,
+        0,
+    )
+    .unwrap();
+    h.neigh_add(ns, Ipv4Addr::new(203, 0, 113, 254), MacAddr::local(99))
+        .unwrap();
+    h.nf_append(
+        ns,
+        NfTable::Nat,
+        Chain::Postrouting,
+        NfRule::new(RuleMatch::default(), Target::Masquerade),
+    )
+    .unwrap();
     (h, lan)
 }
 

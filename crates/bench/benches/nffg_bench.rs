@@ -2,8 +2,8 @@
 //! and a full orchestrator deploy/undeploy cycle.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use un_nffg::{diff, from_json, to_json, validate, NfFgBuilder};
 use un_core::UniversalNode;
+use un_nffg::{diff, from_json, to_json, validate, NfFgBuilder};
 use un_sim::mem::mb;
 
 fn big_graph(id: &str, nfs: usize) -> un_nffg::NfFg {
@@ -59,5 +59,11 @@ fn orchestrator_cycle(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, json_roundtrip, validation, diffing, orchestrator_cycle);
+criterion_group!(
+    benches,
+    json_roundtrip,
+    validation,
+    diffing,
+    orchestrator_cycle
+);
 criterion_main!(benches);

@@ -25,13 +25,20 @@ fn lsi_with_rules(backend: Backend, n_rules: u16) -> LogicalSwitch {
         let mut m = FlowMatch::in_port(PortNo(1));
         m.l4_dst = Some(10_000 + i);
         m.ip_dst = Some(Ipv4Cidr::new(Ipv4Addr::new(10, 0, 0, 2), 32));
-        sw.install(0, FlowEntry::new(100, m, vec![FlowAction::Output(PortNo(2))]))
-            .unwrap();
+        sw.install(
+            0,
+            FlowEntry::new(100, m, vec![FlowAction::Output(PortNo(2))]),
+        )
+        .unwrap();
     }
     // Catch-all at the bottom.
     sw.install(
         0,
-        FlowEntry::new(1, FlowMatch::in_port(PortNo(1)), vec![FlowAction::Output(PortNo(2))]),
+        FlowEntry::new(
+            1,
+            FlowMatch::in_port(PortNo(1)),
+            vec![FlowAction::Output(PortNo(2))],
+        ),
     )
     .unwrap();
     sw
@@ -95,8 +102,11 @@ fn backend_comparison(c: &mut Criterion) {
         for i in 0..100u16 {
             let mut m = FlowMatch::any().with_fwmark(1);
             m.l4_dst = Some(10_000 + i);
-            sw.install(1, FlowEntry::new(100, m, vec![FlowAction::Output(PortNo(2))]))
-                .unwrap();
+            sw.install(
+                1,
+                FlowEntry::new(100, m, vec![FlowAction::Output(PortNo(2))]),
+            )
+            .unwrap();
         }
         let costs = CostModel::default();
         let pkt = packet(10_050);
@@ -116,5 +126,11 @@ fn vlan_ops(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, cached_fast_path, uncached_slow_path, backend_comparison, vlan_ops);
+criterion_group!(
+    benches,
+    cached_fast_path,
+    uncached_slow_path,
+    backend_comparison,
+    vlan_ops
+);
 criterion_main!(benches);

@@ -7,8 +7,8 @@
 //! compounds with chain length — the longer the chain, the stronger the
 //! case for native components on a CPE.
 
-use un_nffg::NfFgBuilder;
 use un_core::UniversalNode;
+use un_nffg::NfFgBuilder;
 use un_sim::mem::mb;
 use un_traffic::{measure_chain, FrameSpec, StreamGenerator};
 

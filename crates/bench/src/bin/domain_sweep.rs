@@ -1,0 +1,155 @@
+//! Ext-E: partitioned-chain throughput vs. single-node.
+//!
+//! Deploys the same bridge chain (length 1..=4) three ways — wholly on
+//! one node, split across two nodes over the plain overlay, and split
+//! over the ESP-protected overlay — and drives an iperf-like saturation
+//! run through each, reporting virtual-time throughput. The gap between
+//! the columns is the price of the inter-node wire (and of protecting
+//! it), mirroring how the paper's Table 1 prices NF flavors.
+//!
+//! ```sh
+//! cargo run --release -p un-bench --bin domain_sweep
+//! ```
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use un_core::UniversalNode;
+use un_domain::{DeployHints, Domain, DomainConfig};
+use un_nffg::{NfFg, NfFgBuilder};
+use un_packet::ethernet::MacAddr;
+use un_packet::PacketBuilder;
+use un_sim::mem::mb;
+use un_sim::SimTime;
+
+const FRAMES: u64 = 2_000;
+const PAYLOAD: usize = 1400;
+
+fn chain(len: usize) -> NfFg {
+    let ids: Vec<String> = (0..len).map(|i| format!("br{i}")).collect();
+    let mut b = NfFgBuilder::new("sweep", "chain")
+        .interface_endpoint("lan", "eth0")
+        .interface_endpoint("wan", "eth1");
+    for id in &ids {
+        b = b.nf(id, "bridge", 2);
+    }
+    let refs: Vec<&str> = ids.iter().map(|s| s.as_str()).collect();
+    b.chain("lan", &refs, "wan").build()
+}
+
+/// Split hints: first half of the chain on n1, second half on n2.
+fn split_hints(len: usize) -> DeployHints {
+    let nf_node: BTreeMap<String, String> = (0..len)
+        .map(|i| {
+            let node = if i < len.div_ceil(2) { "n1" } else { "n2" };
+            (format!("br{i}"), node.to_string())
+        })
+        .collect();
+    DeployHints {
+        nf_node,
+        ..Default::default()
+    }
+}
+
+fn single_node_domain() -> Domain {
+    let mut d = Domain::with_defaults();
+    let mut n = UniversalNode::new("n1", mb(4096));
+    n.add_physical_port("eth0");
+    n.add_physical_port("eth1");
+    d.add_node(n);
+    d
+}
+
+fn two_node_domain(protect: bool) -> Domain {
+    let mut d = Domain::new(DomainConfig {
+        protect_overlay: protect,
+        ..DomainConfig::default()
+    });
+    let mut n1 = UniversalNode::new("n1", mb(4096));
+    n1.add_physical_port("eth0");
+    let mut n2 = UniversalNode::new("n2", mb(4096));
+    n2.add_physical_port("eth1");
+    d.add_node(n1);
+    d.add_node(n2);
+    d
+}
+
+/// Saturating measurement across the domain: back-to-back frames from
+/// `n1/eth0`, counting bytes that leave on `eth1` anywhere.
+fn measure(domain: &mut Domain) -> (f64, f64, u64) {
+    let mut clock = SimTime::ZERO;
+    let mut bytes = 0u64;
+    let mut delivered = 0u64;
+    let mut hops = 0u64;
+    for i in 0..FRAMES {
+        domain.set_time(clock);
+        let frame = PacketBuilder::new()
+            .ethernet(MacAddr::local(1), MacAddr::local(2))
+            .ipv4(
+                Ipv4Addr::new(10, 0, (i >> 8) as u8, i as u8),
+                Ipv4Addr::new(192, 0, 2, 9),
+            )
+            .udp(5000, 5001)
+            .payload(&[0x5A; PAYLOAD])
+            .build();
+        let io = domain.inject("n1", "eth0", frame);
+        clock += io.cost.duration();
+        hops += u64::from(io.overlay_hops);
+        for (_node, port, pkt) in &io.emitted {
+            if port == "eth1" {
+                delivered += 1;
+                bytes += pkt.len() as u64;
+            }
+        }
+    }
+    let secs = clock.duration_since(SimTime::ZERO).as_secs_f64();
+    let mbps = if secs > 0.0 {
+        bytes as f64 * 8.0 / 1e6 / secs
+    } else {
+        0.0
+    };
+    let loss = 1.0 - delivered as f64 / FRAMES as f64;
+    (mbps, loss, hops)
+}
+
+fn main() {
+    println!("Ext-E: partitioned chain vs single node ({FRAMES} frames of {PAYLOAD} B payload)\n");
+    println!(
+        "{:<6} {:>14} {:>16} {:>18} {:>10}",
+        "chain", "1-node Mbps", "2-node Mbps", "2-node+ESP Mbps", "overlay%"
+    );
+    for len in 1..=4usize {
+        let g = chain(len);
+
+        let mut single = single_node_domain();
+        single.deploy(&g).expect("single-node deploy");
+        let (mbps_single, loss_s, _) = measure(&mut single);
+
+        let mut split = two_node_domain(false);
+        split
+            .deploy_with(&g, &split_hints(len))
+            .expect("split deploy");
+        let (mbps_split, loss_p, hops) = measure(&mut split);
+
+        let mut protected = two_node_domain(true);
+        protected
+            .deploy_with(&g, &split_hints(len))
+            .expect("protected deploy");
+        let (mbps_esp, loss_e, _) = measure(&mut protected);
+
+        assert!(
+            loss_s == 0.0 && loss_p == 0.0 && loss_e == 0.0,
+            "lossless chains expected (got {loss_s}/{loss_p}/{loss_e})"
+        );
+        println!(
+            "{:<6} {:>14.0} {:>16.0} {:>18.0} {:>9.0}%",
+            len,
+            mbps_single,
+            mbps_split,
+            mbps_esp,
+            100.0 * mbps_split / mbps_single.max(1.0) - 100.0,
+        );
+        let _ = hops;
+    }
+    println!("\n(negative overlay% = slowdown from crossing the inter-node wire)");
+}

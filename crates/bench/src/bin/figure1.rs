@@ -9,9 +9,9 @@
 //! prints the resulting architecture tree.
 
 use un_bench::ipsec_config;
+use un_core::UniversalNode;
 use un_nffg::{NfConfig, NfFgBuilder};
 use un_sim::mem::mb;
-use un_core::UniversalNode;
 
 fn main() {
     let mut node = UniversalNode::new("universal-node", mb(8192));
@@ -43,8 +43,12 @@ fn main() {
     // Graph 2: a VLAN-classified customer sharing the node, using the
     // sharable NAT NNF and a DPDK fast path.
     let mut nat_cfg = NfConfig::default();
-    nat_cfg.params.insert("lan-addr".into(), "192.168.2.1/24".into());
-    nat_cfg.params.insert("wan-addr".into(), "203.0.113.2/24".into());
+    nat_cfg
+        .params
+        .insert("lan-addr".into(), "192.168.2.1/24".into());
+    nat_cfg
+        .params
+        .insert("wan-addr".into(), "203.0.113.2/24".into());
     let g2 = NfFgBuilder::new("g2", "shared-nat-customer")
         .vlan_endpoint("lan", "eth0", 200)
         .vlan_endpoint("wan", "eth1", 200)
@@ -57,7 +61,10 @@ fn main() {
     println!("{}", node.architecture_diagram());
     println!("Deploy reports:");
     for report in [r1, r2] {
-        println!("  graph '{}' → {} flow entries", report.graph, report.flow_entries);
+        println!(
+            "  graph '{}' → {} flow entries",
+            report.graph, report.flow_entries
+        );
         for (nf, flavor, inst, shared) in &report.placements {
             println!(
                 "    {nf}: {flavor} as {inst}{}",
@@ -66,8 +73,5 @@ fn main() {
         }
     }
     println!("\nNode description (the REST /node payload):");
-    println!(
-        "{}",
-        serde_json::to_string_pretty(&node.describe()).expect("serializable")
-    );
+    println!("{}", node.describe().to_json_pretty());
 }

@@ -8,8 +8,8 @@
 //! is the paper's "not suitable for low-cost devices" argument made
 //! quantitative.
 
-use un_nffg::NfFgBuilder;
 use un_core::UniversalNode;
+use un_nffg::NfFgBuilder;
 use un_sim::mem::mb;
 
 fn run(n_graphs: u32, flavor: &str) -> Option<u64> {
@@ -38,7 +38,10 @@ fn main() {
         .unwrap_or(10);
 
     println!("Ext-D: node memory (MB) vs deployed graphs (8 GB CPE)\n");
-    println!("{:>7} {:>12} {:>12} {:>12}", "graphs", "native", "docker", "vm");
+    println!(
+        "{:>7} {:>12} {:>12} {:>12}",
+        "graphs", "native", "docker", "vm"
+    );
     for n in (2..=max).step_by(2) {
         let fmt = |v: Option<u64>| match v {
             Some(bytes) => format!("{:.1}", bytes as f64 / 1e6),

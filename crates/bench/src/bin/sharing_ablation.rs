@@ -9,8 +9,8 @@
 //! paths) and once with a dedicated Docker NAT per graph, and compare
 //! node memory.
 
-use un_nffg::{NfConfig, NfFgBuilder};
 use un_core::UniversalNode;
+use un_nffg::{NfConfig, NfFgBuilder};
 use un_sim::mem::mb;
 
 fn nat_graph(i: u32, flavor: Option<&str>) -> un_nffg::NfFg {

@@ -92,7 +92,11 @@ pub fn build_ipsec_node(flavor_hint: &str) -> (UniversalNode, DeployReport) {
     };
     if let Some(ns) = ns {
         node.host
-            .neigh_add(ns, Ipv4Addr::new(192, 0, 2, 2), un_packet::MacAddr::local(0xBEEF))
+            .neigh_add(
+                ns,
+                Ipv4Addr::new(192, 0, 2, 2),
+                un_packet::MacAddr::local(0xBEEF),
+            )
             .expect("namespace exists");
     }
     (node, report)
@@ -144,8 +148,7 @@ pub struct GatewayPeer {
 impl GatewayPeer {
     /// A gateway sharing the scenario PSK (responder role).
     pub fn new() -> Self {
-        let (_ko, _so, key_in, salt_in, _spo, spi_in) =
-            derive_psk_tunnel(PSK.as_bytes(), false);
+        let (_ko, _so, key_in, salt_in, _spo, spi_in) = derive_psk_tunnel(PSK.as_bytes(), false);
         GatewayPeer {
             sa_in: SecurityAssociation::inbound(
                 spi_in,
@@ -199,8 +202,14 @@ pub fn run_table1_flavor(flavor_hint: &str, frame_len: usize, packets: u64) -> T
     let mut generator = StreamGenerator::new(spec, frame_len);
     let mut gateway = GatewayPeer::new();
     let mut peer = |p: &Packet| gateway.receive(p);
-    let m: Measurement =
-        measure_via_peer(&mut node, "eth0", "eth1", &mut generator, packets, &mut peer);
+    let m: Measurement = measure_via_peer(
+        &mut node,
+        "eth0",
+        "eth1",
+        &mut generator,
+        packets,
+        &mut peer,
+    );
 
     let platform = match flavor_hint {
         "vm" => "KVM/QEMU",
@@ -262,7 +271,12 @@ mod tests {
         ];
         let (vm, docker, native) = (&rows[0], &rows[1], &rows[2]);
         // Throughput: VM well below the other two; Docker ≈ Native.
-        assert!(vm.mbps < docker.mbps * 0.85, "{} vs {}", vm.mbps, docker.mbps);
+        assert!(
+            vm.mbps < docker.mbps * 0.85,
+            "{} vs {}",
+            vm.mbps,
+            docker.mbps
+        );
         assert!((docker.mbps - native.mbps).abs() / native.mbps < 0.05);
         // RAM: VM ≫ Docker > Native.
         assert!(vm.ram_bytes > 10 * docker.ram_bytes);

@@ -73,14 +73,15 @@ impl DockerDriver {
         ledger: &mut MemLedger,
         account: AccountId,
     ) -> Result<(), ComputeError> {
-        let plugin = self
-            .catalog
-            .instantiate(functional_type)
-            .ok_or_else(|| ComputeError::Unsupported(format!("no container entrypoint for '{functional_type}'")))?;
+        let plugin = self.catalog.instantiate(functional_type).ok_or_else(|| {
+            ComputeError::Unsupported(format!("no container entrypoint for '{functional_type}'"))
+        })?;
         self.runtime
             .store
             .pull(&self.registry, image, tag)
-            .ok_or_else(|| ComputeError::Substrate(format!("image {image}:{tag} not in registry")))?;
+            .ok_or_else(|| {
+                ComputeError::Substrate(format!("image {image}:{tag} not in registry"))
+            })?;
 
         let ns = host.add_namespace(&format!("docker-{name}"));
         let mut ports = Vec::with_capacity(n_ports);
@@ -255,8 +256,18 @@ mod tests {
         let mut d = DockerDriver::new();
         d.registry = registry();
         d.create(
-            1, "ipsec-1", "ipsec", "strongswan", "latest", mb_f(19.4),
-            2, 16, &ipsec_config(), &mut host, &mut ledger, acct,
+            1,
+            "ipsec-1",
+            "ipsec",
+            "strongswan",
+            "latest",
+            mb_f(19.4),
+            2,
+            16,
+            &ipsec_config(),
+            &mut host,
+            &mut ledger,
+            acct,
         )
         .unwrap();
         d.start(1, &mut host, &mut ledger).unwrap();
@@ -268,14 +279,21 @@ mod tests {
         // Static neighbor toward the peer, then traffic through port 0
         // leaves encrypted on port 1 — all in the *host* kernel.
         let ns = d.namespace_of(1).unwrap();
-        host.neigh_add(ns, "192.0.2.2".parse().unwrap(), un_packet::MacAddr::local(99))
-            .unwrap();
+        host.neigh_add(
+            ns,
+            "192.0.2.2".parse().unwrap(),
+            un_packet::MacAddr::local(99),
+        )
+        .unwrap();
         let lan_iface = host.iface_by_name(ns, "eth0").unwrap().id;
         let lan_mac = host.iface(lan_iface).unwrap().mac;
         let payload = vec![0x77u8; 333];
         let pkt = un_packet::PacketBuilder::new()
             .ethernet(un_packet::MacAddr::local(5), lan_mac)
-            .ipv4("192.168.1.10".parse().unwrap(), "172.16.0.9".parse().unwrap())
+            .ipv4(
+                "192.168.1.10".parse().unwrap(),
+                "172.16.0.9".parse().unwrap(),
+            )
             .udp(1000, 2000)
             .payload(&payload)
             .build();
@@ -304,14 +322,38 @@ mod tests {
         let mut d = DockerDriver::new();
         // No such functional type.
         assert!(matches!(
-            d.create(1, "x", "quantum", "img", "latest", 0, 2, 0,
-                     &NfConfig::default(), &mut host, &mut ledger, acct),
+            d.create(
+                1,
+                "x",
+                "quantum",
+                "img",
+                "latest",
+                0,
+                2,
+                0,
+                &NfConfig::default(),
+                &mut host,
+                &mut ledger,
+                acct
+            ),
             Err(ComputeError::Unsupported(_))
         ));
         // Image not in registry.
         assert!(matches!(
-            d.create(1, "x", "ipsec", "ghost", "latest", 0, 2, 0,
-                     &NfConfig::default(), &mut host, &mut ledger, acct),
+            d.create(
+                1,
+                "x",
+                "ipsec",
+                "ghost",
+                "latest",
+                0,
+                2,
+                0,
+                &NfConfig::default(),
+                &mut host,
+                &mut ledger,
+                acct
+            ),
             Err(ComputeError::Substrate(_))
         ));
     }

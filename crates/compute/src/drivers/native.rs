@@ -63,7 +63,10 @@ impl NativeDriver {
 
     /// Graphs bound to an instance (shared mode).
     pub fn binding_count(&self, key: u64) -> usize {
-        self.instances.get(&key).map(|i| i.bindings.len()).unwrap_or(0)
+        self.instances
+            .get(&key)
+            .map(|i| i.bindings.len())
+            .unwrap_or(0)
     }
 
     /// Create an NNF instance in a fresh namespace with external ports.
@@ -102,7 +105,11 @@ impl NativeDriver {
             .ok_or_else(|| ComputeError::NoSuchNnf(functional_type.to_string()))?;
 
         let ns = host.add_namespace(&format!("nnf-{name}"));
-        let port_count = if shared { 1 } else { n_ports.max(desc.min_ports) };
+        let port_count = if shared {
+            1
+        } else {
+            n_ports.max(desc.min_ports)
+        };
         let mut ports = Vec::with_capacity(port_count);
         for i in 0..port_count {
             let ifc = host
@@ -317,20 +324,60 @@ mod tests {
         let a1 = ledger.create_account("i1", None);
         let a2 = ledger.create_account("i2", None);
         let mut d = NativeDriver::new();
-        d.create(1, "ipsec-a", "ipsec", 2, 16, false, &ipsec_config(), &mut host, a1)
-            .unwrap();
+        d.create(
+            1,
+            "ipsec-a",
+            "ipsec",
+            2,
+            16,
+            false,
+            &ipsec_config(),
+            &mut host,
+            a1,
+        )
+        .unwrap();
         // A second native IPsec must be refused (charon is a singleton).
         let err = d
-            .create(2, "ipsec-b", "ipsec", 2, 32, false, &ipsec_config(), &mut host, a2)
+            .create(
+                2,
+                "ipsec-b",
+                "ipsec",
+                2,
+                32,
+                false,
+                &ipsec_config(),
+                &mut host,
+                a2,
+            )
             .unwrap_err();
         assert!(matches!(err, ComputeError::NnfBusy(_)));
         assert_eq!(d.existing_instance("ipsec"), Some(1));
 
         // Multi-instance NNFs are fine twice.
-        d.create(3, "fw-a", "firewall", 2, 48, false, &NfConfig::default(), &mut host, a1)
-            .unwrap();
-        d.create(4, "fw-b", "firewall", 2, 64, false, &NfConfig::default(), &mut host, a2)
-            .unwrap();
+        d.create(
+            3,
+            "fw-a",
+            "firewall",
+            2,
+            48,
+            false,
+            &NfConfig::default(),
+            &mut host,
+            a1,
+        )
+        .unwrap();
+        d.create(
+            4,
+            "fw-b",
+            "firewall",
+            2,
+            64,
+            false,
+            &NfConfig::default(),
+            &mut host,
+            a2,
+        )
+        .unwrap();
     }
 
     #[test]
@@ -341,12 +388,32 @@ mod tests {
         let mut d = NativeDriver::new();
         // firewall is not sharable.
         assert!(matches!(
-            d.create(1, "fw", "firewall", 2, 16, true, &NfConfig::default(), &mut host, a),
+            d.create(
+                1,
+                "fw",
+                "firewall",
+                2,
+                16,
+                true,
+                &NfConfig::default(),
+                &mut host,
+                a
+            ),
             Err(ComputeError::Unsupported(_))
         ));
         // nat is sharable; shared instance gets a single port.
-        d.create(2, "nat", "nat", 2, 32, true, &NfConfig::default(), &mut host, a)
-            .unwrap();
+        d.create(
+            2,
+            "nat",
+            "nat",
+            2,
+            32,
+            true,
+            &NfConfig::default(),
+            &mut host,
+            a,
+        )
+        .unwrap();
         d.start(2, &mut host, &mut ledger).unwrap();
 
         let mut params = std::collections::BTreeMap::new();
@@ -376,18 +443,35 @@ mod tests {
         let mut ledger = MemLedger::new();
         let a = ledger.create_account("i", None);
         let mut d = NativeDriver::new();
-        d.create(1, "swan", "ipsec", 2, 16, false, &ipsec_config(), &mut host, a)
-            .unwrap();
+        d.create(
+            1,
+            "swan",
+            "ipsec",
+            2,
+            16,
+            false,
+            &ipsec_config(),
+            &mut host,
+            a,
+        )
+        .unwrap();
         d.start(1, &mut host, &mut ledger).unwrap();
 
         let ns = d.namespace_of(1).unwrap();
-        host.neigh_add(ns, "192.0.2.2".parse().unwrap(), un_packet::MacAddr::local(99))
-            .unwrap();
+        host.neigh_add(
+            ns,
+            "192.0.2.2".parse().unwrap(),
+            un_packet::MacAddr::local(99),
+        )
+        .unwrap();
         let lan = host.iface_by_name(ns, "port0").unwrap().id;
         let lan_mac = host.iface(lan).unwrap().mac;
         let pkt = un_packet::PacketBuilder::new()
             .ethernet(un_packet::MacAddr::local(5), lan_mac)
-            .ipv4("192.168.1.10".parse().unwrap(), "172.16.0.9".parse().unwrap())
+            .ipv4(
+                "192.168.1.10".parse().unwrap(),
+                "172.16.0.9".parse().unwrap(),
+            )
             .udp(1, 2)
             .payload(&[0xEE; 100])
             .build();
@@ -403,7 +487,17 @@ mod tests {
         d.destroy(1).unwrap();
         assert_eq!(d.existing_instance("ipsec"), None);
         let a2 = ledger.create_account("i2", None);
-        d.create(9, "swan2", "ipsec", 2, 64, false, &ipsec_config(), &mut host, a2)
-            .unwrap();
+        d.create(
+            9,
+            "swan2",
+            "ipsec",
+            2,
+            64,
+            false,
+            &ipsec_config(),
+            &mut host,
+            a2,
+        )
+        .unwrap();
     }
 }

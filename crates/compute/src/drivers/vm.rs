@@ -35,7 +35,9 @@ impl VmDriver {
                 let local: std::net::Ipv4Addr = config
                     .param("local-addr")
                     .and_then(|v| v.parse().ok())
-                    .ok_or(ComputeError::Substrate("ipsec VM needs 'local-addr'".into()))?;
+                    .ok_or(ComputeError::Substrate(
+                        "ipsec VM needs 'local-addr'".into(),
+                    ))?;
                 let peer: std::net::Ipv4Addr = config
                     .param("peer-addr")
                     .and_then(|v| v.parse().ok())
@@ -90,7 +92,9 @@ impl VmDriver {
     ) -> Result<VmId, ComputeError> {
         let guest_app = Self::build_app(app, config)?;
         self.hypervisor
-            .create_vm(name, image, vcpus, mem_mb, n_ports, guest_app, ledger, account)
+            .create_vm(
+                name, image, vcpus, mem_mb, n_ports, guest_app, ledger, account,
+            )
             .map_err(|e| ComputeError::Substrate(e.to_string()))
     }
 
@@ -160,8 +164,15 @@ mod tests {
         // Missing image.
         assert!(matches!(
             d.create(
-                "x", "ghost", 1, 64, 2, GuestAppKind::L2Forward,
-                &NfConfig::default(), &mut ledger, acct
+                "x",
+                "ghost",
+                1,
+                64,
+                2,
+                GuestAppKind::L2Forward,
+                &NfConfig::default(),
+                &mut ledger,
+                acct
             ),
             Err(ComputeError::Substrate(_))
         ));
@@ -172,25 +183,34 @@ mod tests {
         // IPsec app without PSK.
         assert!(matches!(
             d.create(
-                "x", "img", 1, 64, 2, GuestAppKind::IpsecUserspace,
-                &NfConfig::default(), &mut ledger, acct
+                "x",
+                "img",
+                1,
+                64,
+                2,
+                GuestAppKind::IpsecUserspace,
+                &NfConfig::default(),
+                &mut ledger,
+                acct
             ),
             Err(ComputeError::Substrate(_))
         ));
         // Forwarder needs nothing.
         let vm = d
             .create(
-                "x", "img", 1, 64, 2, GuestAppKind::L2Forward,
-                &NfConfig::default(), &mut ledger, acct,
+                "x",
+                "img",
+                1,
+                64,
+                2,
+                GuestAppKind::L2Forward,
+                &NfConfig::default(),
+                &mut ledger,
+                acct,
             )
             .unwrap();
         d.start(vm, &mut ledger).unwrap();
-        let io = d.deliver(
-            vm,
-            0,
-            Packet::from_slice(&[0u8; 64]),
-            &CostModel::default(),
-        );
+        let io = d.deliver(vm, 0, Packet::from_slice(&[0u8; 64]), &CostModel::default());
         assert_eq!(io.outputs.len(), 1);
         assert_eq!(d.image_footprint("img"), mb(522));
         assert_eq!(d.image_footprint("ghost"), 0);

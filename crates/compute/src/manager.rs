@@ -119,8 +119,18 @@ impl ComputeManager {
                 process_rss,
             } => {
                 self.docker.create(
-                    id, name, functional_type, image, tag, *process_rss, n_ports, base_tag,
-                    config, env.host, env.ledger, account,
+                    id,
+                    name,
+                    functional_type,
+                    image,
+                    tag,
+                    *process_rss,
+                    n_ports,
+                    base_tag,
+                    config,
+                    env.host,
+                    env.ledger,
+                    account,
                 )?;
                 (Handle::Docker, (image.clone(), tag.clone()))
             }
@@ -128,13 +138,21 @@ impl ComputeManager {
                 cores,
                 hugepages_mb,
             } => {
-                self.dpdk.create(id, *cores, *hugepages_mb, n_ports, account)?;
+                self.dpdk
+                    .create(id, *cores, *hugepages_mb, n_ports, account)?;
                 (Handle::Dpdk, (String::new(), String::new()))
             }
             FlavorSpec::Native => {
                 self.native.create(
-                    id, name, functional_type, n_ports, base_tag, shared_native, config,
-                    env.host, account,
+                    id,
+                    name,
+                    functional_type,
+                    n_ports,
+                    base_tag,
+                    shared_native,
+                    config,
+                    env.host,
+                    account,
                 )?;
                 (Handle::Native, (functional_type.to_string(), String::new()))
             }
@@ -287,7 +305,9 @@ impl ComputeManager {
 
     /// Functional type of an instance.
     pub fn functional_type(&self, id: InstanceId) -> Option<&str> {
-        self.instances.get(&id.0).map(|i| i.functional_type.as_str())
+        self.instances
+            .get(&id.0)
+            .map(|i| i.functional_type.as_str())
     }
 
     /// Iterate (id, flavor, name) of all instances.
@@ -311,10 +331,10 @@ impl ComputeManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::types::GuestAppKind;
     use un_container::{Image, Layer};
     use un_hypervisor::DiskImage;
     use un_sim::mem::{mb, mb_f};
-    use crate::types::GuestAppKind;
 
     fn provision(mgr: &mut ComputeManager) {
         mgr.vm.hypervisor.images.add(DiskImage {
@@ -360,31 +380,47 @@ mod tests {
 
         let vm = mgr
             .create(
-                &mut env, "ipsec-vm", "ipsec",
+                &mut env,
+                "ipsec-vm",
+                "ipsec",
                 &FlavorSpec::Vm {
                     image: "strongswan-vm".into(),
                     vcpus: 1,
                     mem_mb: 320,
                     app: GuestAppKind::IpsecUserspace,
                 },
-                2, &ipsec_config(), false, node,
+                2,
+                &ipsec_config(),
+                false,
+                node,
             )
             .unwrap();
         let docker = mgr
             .create(
-                &mut env, "ipsec-docker", "ipsec",
+                &mut env,
+                "ipsec-docker",
+                "ipsec",
                 &FlavorSpec::Docker {
                     image: "strongswan".into(),
                     tag: "latest".into(),
                     process_rss: mb_f(19.4) - mb_f(0.9), // plugin adds tooling RSS
                 },
-                2, &ipsec_config(), false, node,
+                2,
+                &ipsec_config(),
+                false,
+                node,
             )
             .unwrap();
         let native = mgr
             .create(
-                &mut env, "ipsec-native", "ipsec", &FlavorSpec::Native,
-                2, &ipsec_config(), false, node,
+                &mut env,
+                "ipsec-native",
+                "ipsec",
+                &FlavorSpec::Native,
+                2,
+                &ipsec_config(),
+                false,
+                node,
             )
             .unwrap();
 
@@ -428,12 +464,17 @@ mod tests {
         };
         let id = mgr
             .create(
-                &mut env, "fastpath", "l2fwd",
+                &mut env,
+                "fastpath",
+                "l2fwd",
                 &FlavorSpec::Dpdk {
                     cores: 1,
                     hugepages_mb: 256,
                 },
-                2, &NfConfig::default(), false, node,
+                2,
+                &NfConfig::default(),
+                false,
+                node,
             )
             .unwrap();
         mgr.start(&mut env, id).unwrap();
@@ -458,8 +499,14 @@ mod tests {
         };
         let id = mgr
             .create(
-                &mut env, "n", "ipsec", &FlavorSpec::Native, 2,
-                &ipsec_config(), false, node,
+                &mut env,
+                "n",
+                "ipsec",
+                &FlavorSpec::Native,
+                2,
+                &ipsec_config(),
+                false,
+                node,
             )
             .unwrap();
         mgr.start(&mut env, id).unwrap();

@@ -102,6 +102,7 @@ impl ContainerRuntime {
     /// `netns` is the (already created) host network namespace the
     /// container joins; `process_rss` is the entrypoint's runtime RSS.
     /// Memory is recorded under a child of `parent_account`.
+    #[allow(clippy::too_many_arguments)]
     pub fn create(
         &mut self,
         name: &str,
@@ -150,7 +151,10 @@ impl ContainerRuntime {
                 c.state = ContainerState::Running;
                 Ok(())
             }
-            s => Err(RuntimeError::BadState { op: "start", state: s }),
+            s => Err(RuntimeError::BadState {
+                op: "start",
+                state: s,
+            }),
         }
     }
 
@@ -171,7 +175,10 @@ impl ContainerRuntime {
                 c.state = ContainerState::Stopped;
                 Ok(())
             }
-            s => Err(RuntimeError::BadState { op: "stop", state: s }),
+            s => Err(RuntimeError::BadState {
+                op: "stop",
+                state: s,
+            }),
         }
     }
 
@@ -236,7 +243,15 @@ mod tests {
         let node = ledger.create_account("node", None);
 
         let id = rt
-            .create("ipsec-1", "strongswan", "latest", NsId(3), mb_f(19.4), &mut ledger, node)
+            .create(
+                "ipsec-1",
+                "strongswan",
+                "latest",
+                NsId(3),
+                mb_f(19.4),
+                &mut ledger,
+                node,
+            )
             .unwrap();
         assert_eq!(ledger.usage(node), 0, "creation allocates nothing yet");
 
@@ -269,7 +284,15 @@ mod tests {
         let mut ledger = MemLedger::new();
         let node = ledger.create_account("node", None);
         let id = rt
-            .create("c", "strongswan", "latest", NsId(0), mb(1), &mut ledger, node)
+            .create(
+                "c",
+                "strongswan",
+                "latest",
+                NsId(0),
+                mb(1),
+                &mut ledger,
+                node,
+            )
             .unwrap();
         // stop before start
         assert!(matches!(

@@ -74,10 +74,9 @@ impl fmt::Display for DeployError {
             DeployError::EndpointConflict(e) => write!(f, "endpoint conflict on '{e}'"),
             DeployError::NoTemplate(t) => write!(f, "no template for '{t}'"),
             DeployError::Compute(e) => write!(f, "compute error: {e}"),
-            DeployError::InsufficientMemory { needed, capacity } => write!(
-                f,
-                "insufficient memory: need {needed}, capacity {capacity}"
-            ),
+            DeployError::InsufficientMemory { needed, capacity } => {
+                write!(f, "insufficient memory: need {needed}, capacity {capacity}")
+            }
         }
     }
 }
@@ -164,7 +163,7 @@ struct SharedInfo {
 
 /// Serializable node self-description ("node description, capabilities
 /// and resources" in Figure 1).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct NodeDescription {
     /// Node name.
     pub name: String,
@@ -180,6 +179,69 @@ pub struct NodeDescription {
     pub memory_used: u64,
     /// Memory capacity (bytes).
     pub memory_capacity: u64,
+}
+
+impl NodeDescription {
+    fn json_value(&self) -> un_nffg::Json {
+        use un_nffg::Json;
+        Json::obj()
+            .set("name", self.name.as_str())
+            .set(
+                "flavors",
+                Json::Arr(
+                    self.flavors
+                        .iter()
+                        .map(|f| Json::from(f.as_str()))
+                        .collect(),
+                ),
+            )
+            .set(
+                "nnfs",
+                Json::Arr(
+                    self.nnfs
+                        .iter()
+                        .map(|(ft, sharable, multi)| {
+                            Json::Arr(vec![
+                                Json::from(ft.as_str()),
+                                Json::from(*sharable),
+                                Json::from(*multi),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )
+            .set(
+                "graphs",
+                Json::Arr(self.graphs.iter().map(|g| Json::from(g.as_str())).collect()),
+            )
+            .set(
+                "instances",
+                Json::Arr(
+                    self.instances
+                        .iter()
+                        .map(|(name, flavor, ft)| {
+                            Json::Arr(vec![
+                                Json::from(name.as_str()),
+                                Json::from(flavor.as_str()),
+                                Json::from(ft.as_str()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )
+            .set("memory_used", self.memory_used)
+            .set("memory_capacity", self.memory_capacity)
+    }
+
+    /// Compact JSON rendering (the REST `/node` document).
+    pub fn to_json(&self) -> String {
+        self.json_value().render()
+    }
+
+    /// Pretty JSON rendering.
+    pub fn to_json_pretty(&self) -> String {
+        self.json_value().render_pretty()
+    }
 }
 
 /// The compute node.
@@ -202,7 +264,7 @@ pub struct UniversalNode {
     physical: BTreeMap<String, PortNo>,
     next_l0_port: u32,
     graphs: BTreeMap<String, DeployedGraph>,
-    slots: Vec<Option<String>>, // slot index → graph id
+    slots: Vec<Option<String>>,           // slot index → graph id
     shared: BTreeMap<String, SharedInfo>, // functional type → info
     internal_groups: BTreeMap<String, Vec<PortNo>>, // group → lsi0 vlink ports
     next_mark: u32,
@@ -261,7 +323,8 @@ impl UniversalNode {
         self.lsi0
             .add_port(port, name)
             .expect("fresh port number cannot collide");
-        self.l0_ports.insert(port, L0Port::Physical(name.to_string()));
+        self.l0_ports
+            .insert(port, L0Port::Physical(name.to_string()));
         self.physical.insert(name.to_string(), port);
         port
     }
@@ -314,6 +377,79 @@ impl UniversalNode {
         self.ledger.usage(self.node_account)
     }
 
+    /// Configured memory capacity.
+    pub fn mem_capacity(&self) -> u64 {
+        self.mem_capacity
+    }
+
+    /// Memory still available for admission.
+    pub fn free_memory(&self) -> u64 {
+        self.mem_capacity.saturating_sub(self.memory_used())
+    }
+
+    /// Names of the node's physical interfaces.
+    pub fn physical_port_names(&self) -> Vec<String> {
+        self.physical.keys().cloned().collect()
+    }
+
+    /// True if a physical interface with this name exists.
+    pub fn has_physical_port(&self, name: &str) -> bool {
+        self.physical.contains_key(name)
+    }
+
+    /// Functional types this node offers as native NFs.
+    pub fn native_nnf_types(&self) -> Vec<String> {
+        self.compute
+            .native
+            .catalog
+            .iter()
+            .map(|d| d.functional_type.to_string())
+            .collect()
+    }
+
+    /// Functional types with a *shared* native instance currently
+    /// running (joinable by further graphs).
+    pub fn shared_nnf_types(&self) -> Vec<String> {
+        self.shared.keys().cloned().collect()
+    }
+
+    /// Rough RAM a new NF of this type would consume, for fleet-level
+    /// bin-packing. Mirrors the placement policy: a joinable shared
+    /// instance costs ~nothing extra, native instances are cheap, VNF
+    /// flavors carry their guest/runtime footprints. Real admission
+    /// still happens at deploy time; this is only a scheduler estimate.
+    pub fn estimate_nf_ram(&self, functional_type: &str, flavor_hint: Option<&str>) -> Option<u64> {
+        use un_sim::mem::mb;
+        struct Status<'a>(&'a BTreeMap<String, SharedInfo>, &'a ComputeManager);
+        impl NativeStatus for Status<'_> {
+            fn existing(&self, ft: &str) -> Option<(InstanceId, bool)> {
+                if let Some(info) = self.0.get(ft) {
+                    return Some((info.instance, true));
+                }
+                self.1
+                    .native
+                    .existing_instance(ft)
+                    .map(|k| (InstanceId(k), false))
+            }
+        }
+        let template = self.repository.resolve(functional_type)?;
+        let decision = decide(
+            template,
+            flavor_hint,
+            &self.compute.native.catalog,
+            &Status(&self.shared, &self.compute),
+        )
+        .ok()?;
+        Some(match decision {
+            Decision::NativeShare(_) => 0,
+            Decision::NativeNew | Decision::NativeNewShared => mb(24),
+            Decision::Vnf(FlavorSpec::Vm { mem_mb, .. }) => mb(mem_mb) + mb(71),
+            Decision::Vnf(FlavorSpec::Docker { process_rss, .. }) => process_rss + mb(25),
+            Decision::Vnf(FlavorSpec::Dpdk { hugepages_mb, .. }) => mb(hugepages_mb),
+            Decision::Vnf(FlavorSpec::Native) => mb(24),
+        })
+    }
+
     // ------------------------------------------------------------------
     // Deploy / undeploy / update
     // ------------------------------------------------------------------
@@ -352,7 +488,11 @@ impl UniversalNode {
         self.next_dpid += 1;
         let mut graph = DeployedGraph {
             nffg: nffg.clone(),
-            lsi: LogicalSwitch::new(&format!("LSI-{}", nffg.id), dpid, Backend::SingleTableCached),
+            lsi: LogicalSwitch::new(
+                &format!("LSI-{}", nffg.id),
+                dpid,
+                Backend::SingleTableCached,
+            ),
             slot,
             ports: BTreeMap::new(),
             vlinks: BTreeMap::new(),
@@ -623,7 +763,12 @@ impl UniversalNode {
                     // Conflict detection: untagged traffic of this iface
                     // must not already be claimed.
                     let m = FlowMatch::in_port(phys).with_vlan(VlanSpec::Untagged);
-                    if self.lsi0.table(0).map(|t| t.find(5, &m).is_some()).unwrap_or(false) {
+                    if self
+                        .lsi0
+                        .table(0)
+                        .map(|t| t.find(5, &m).is_some())
+                        .unwrap_or(false)
+                    {
                         return Err(DeployError::EndpointConflict(if_name.clone()));
                     }
                     self.lsi0
@@ -807,7 +952,9 @@ impl UniversalNode {
         let to_remove: Vec<PortNo> = self
             .l0_ports
             .iter()
-            .filter(|(_, k)| matches!(k, L0Port::Vlink { graph_slot, .. } if *graph_slot == graph.slot))
+            .filter(
+                |(_, k)| matches!(k, L0Port::Vlink { graph_slot, .. } if *graph_slot == graph.slot),
+            )
             .map(|(p, _)| *p)
             .collect();
         for p in to_remove {
@@ -1116,7 +1263,12 @@ impl UniversalNode {
 
     /// Flow count across all LSIs.
     pub fn total_flows(&self) -> usize {
-        self.lsi0.flow_count() + self.graphs.values().map(|g| g.lsi.flow_count()).sum::<usize>()
+        self.lsi0.flow_count()
+            + self
+                .graphs
+                .values()
+                .map(|g| g.lsi.flow_count())
+                .sum::<usize>()
     }
 }
 

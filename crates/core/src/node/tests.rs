@@ -77,10 +77,7 @@ fn deploy_validation_failures() {
     let g = NfFgBuilder::new("g", "x")
         .interface_endpoint("lan", "eth9")
         .build();
-    assert!(matches!(
-        n.deploy(&g),
-        Err(DeployError::NoSuchInterface(_))
-    ));
+    assert!(matches!(n.deploy(&g), Err(DeployError::NoSuchInterface(_))));
     // Invalid graph (no endpoints).
     let g = NfFgBuilder::new("g", "x").build();
     assert!(matches!(n.deploy(&g), Err(DeployError::Invalid(_))));

@@ -73,7 +73,10 @@ fn decide_native(
     template: &NfTemplate,
     catalog: &NnfCatalog,
     status: &dyn NativeStatus,
-    strict: bool,
+    // The hinted-native and preference paths currently behave the same
+    // on a busy singleton (hard error); the flag documents intent at
+    // the call sites and keeps the signature stable.
+    _strict: bool,
 ) -> Result<Decision, ComputeError> {
     let ft = template.functional_type.as_str();
     let Some(desc) = catalog.get(ft) else {
@@ -95,9 +98,10 @@ fn decide_native(
                 Ok(Decision::NativeNew)
             } else if desc.sharable && shared {
                 Ok(Decision::NativeShare(id))
-            } else if strict {
-                Err(ComputeError::NnfBusy(ft.to_string()))
             } else {
+                // Busy singleton: hard error whether the native flavor
+                // was demanded (`strict`) or merely preferred — the
+                // caller decides whether to fall back to a VNF.
                 Err(ComputeError::NnfBusy(ft.to_string()))
             }
         }

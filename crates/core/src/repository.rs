@@ -167,7 +167,11 @@ mod tests {
         assert!(ipsec.spec_for(Flavor::Docker).is_some());
         assert!(ipsec.spec_for(Flavor::Vm).is_some());
         assert!(ipsec.spec_for(Flavor::Dpdk).is_none());
-        assert!(r.resolve("l2fwd-fast").unwrap().spec_for(Flavor::Dpdk).is_some());
+        assert!(r
+            .resolve("l2fwd-fast")
+            .unwrap()
+            .spec_for(Flavor::Dpdk)
+            .is_some());
         assert!(r.resolve("quantum").is_none());
     }
 

@@ -222,11 +222,9 @@ mod tests {
     #[test]
     fn rfc8439_vector() {
         // RFC 8439 §2.5.2
-        let key: [u8; 32] = hex(
-            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] = hex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+            .try_into()
+            .unwrap();
         let msg = b"Cryptographic Forum Research Group";
         let tag = Poly1305::mac(&key, msg);
         assert_eq!(tag.to_vec(), hex("a8061dc1305136c6c22b8baf0c0127a9"));
@@ -273,11 +271,9 @@ mod tests {
     #[test]
     fn donna_boundary_block_sizes() {
         // Exercise the final-block padding path at every size mod 16.
-        let key: [u8; 32] = hex(
-            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] = hex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+            .try_into()
+            .unwrap();
         let data = [0xAAu8; 64];
         let mut tags = std::collections::HashSet::new();
         for len in 0..=64 {

@@ -1,0 +1,1075 @@
+//! The domain orchestrator: a fleet of Universal Nodes behaving as one.
+//!
+//! [`Domain`] owns N [`UniversalNode`]s, accepts whole NF-FGs, splits
+//! them with [`crate::placement`] + [`crate::partition`], deploys the
+//! parts, and stitches cut edges with **inter-node overlay links**:
+//! VLAN-tagged virtual wires riding a dedicated fabric interface on
+//! every node, optionally ESP-protected with `un-ipsec` (real
+//! encrypt/verify per shuttled frame, so corruption on the inter-node
+//! wire can never deliver wrong bytes).
+//!
+//! The data plane is the same synchronous work-queue style as the node
+//! fabric one layer down: [`Domain::inject`] drives a frame through a
+//! node, and every frame the node emits on the fabric port is carried
+//! to the link's peer node and re-injected until the packet leaves the
+//! domain on a real egress or dies.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use un_core::{DeployReport, UniversalNode};
+use un_ipsec::{esp, SecurityAssociation};
+use un_nffg::{validate, NfFg, ValidationError};
+use un_packet::Packet;
+use un_sim::{Cost, DetRng, SimTime, TraceLog};
+
+use crate::partition::{partition, OverlayLink, Partition, PartitionError};
+use crate::placement::{assign, assign_endpoints, NodeView, PlaceError, PlacementStrategy};
+
+/// First VLAN id of the overlay pool (up to 4094 inclusive).
+const OVERLAY_VID_BASE: u16 = 3000;
+
+/// Domain-wide settings.
+#[derive(Debug, Clone)]
+pub struct DomainConfig {
+    /// Physical interface reserved on every node for overlay traffic.
+    pub fabric_port: String,
+    /// Protect overlay frames with ESP (encrypt on egress, verify on
+    /// ingress) while crossing between nodes.
+    pub protect_overlay: bool,
+    /// Propagation + switching cost of one overlay hop.
+    pub overlay_link_ns: u64,
+    /// Fixed ESP cost per protected frame (each direction).
+    pub esp_fixed_ns: u64,
+    /// Per-byte ESP cost (each direction), in nanoseconds.
+    pub esp_ns_per_byte: f64,
+    /// Heartbeats older than this mark a node failed at [`Domain::tick`].
+    pub heartbeat_timeout_ns: u64,
+    /// Placement tie-break goal.
+    pub strategy: PlacementStrategy,
+    /// Seed for overlay SA key derivation.
+    pub seed: u64,
+}
+
+impl Default for DomainConfig {
+    fn default() -> Self {
+        DomainConfig {
+            fabric_port: "fab0".to_string(),
+            protect_overlay: false,
+            overlay_link_ns: 5_000,
+            esp_fixed_ns: 700,
+            esp_ns_per_byte: 2.0,
+            heartbeat_timeout_ns: 3_000_000_000, // 3 virtual seconds
+            strategy: PlacementStrategy::Pack,
+            seed: 0x5eed_d0ca_1000_0001,
+        }
+    }
+}
+
+/// Caller-supplied placement constraints for one graph.
+#[derive(Debug, Clone, Default)]
+pub struct DeployHints {
+    /// Endpoint id → node name.
+    pub endpoint_node: BTreeMap<String, String>,
+    /// NF id → node name (pin).
+    pub nf_node: BTreeMap<String, String>,
+    /// Override the domain's default placement strategy.
+    pub strategy: Option<PlacementStrategy>,
+}
+
+/// Why a domain operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomainError {
+    /// Static validation failed.
+    Invalid(Vec<ValidationError>),
+    /// A graph with this id is already deployed.
+    AlreadyDeployed(String),
+    /// No graph with this id.
+    NoSuchGraph(String),
+    /// No node with this name.
+    NoSuchNode(String),
+    /// Fleet-level placement failed.
+    Place(PlaceError),
+    /// Graph partitioning failed.
+    Partition(PartitionError),
+    /// A node rejected its part.
+    Deploy {
+        /// The node that failed.
+        node: String,
+        /// Its error, stringified.
+        error: String,
+    },
+}
+
+impl fmt::Display for DomainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainError::Invalid(errs) => {
+                write!(f, "invalid NF-FG ({} problems): ", errs.len())?;
+                for (i, e) in errs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                Ok(())
+            }
+            DomainError::AlreadyDeployed(g) => write!(f, "graph '{g}' already deployed"),
+            DomainError::NoSuchGraph(g) => write!(f, "no such graph '{g}'"),
+            DomainError::NoSuchNode(n) => write!(f, "no such node '{n}'"),
+            DomainError::Place(e) => write!(f, "placement: {e}"),
+            DomainError::Partition(e) => write!(f, "partition: {e}"),
+            DomainError::Deploy { node, error } => write!(f, "deploy on '{node}': {error}"),
+        }
+    }
+}
+
+impl std::error::Error for DomainError {}
+
+impl From<PlaceError> for DomainError {
+    fn from(e: PlaceError) -> Self {
+        DomainError::Place(e)
+    }
+}
+
+impl From<PartitionError> for DomainError {
+    fn from(e: PartitionError) -> Self {
+        DomainError::Partition(e)
+    }
+}
+
+/// What a domain deploy reports back.
+#[derive(Debug, Clone)]
+pub struct DomainReport {
+    /// Graph id.
+    pub graph: String,
+    /// Per-node deploy reports, in node-name order.
+    pub per_node: Vec<(String, DeployReport)>,
+    /// Overlay links stitched for this graph.
+    pub overlay_links: usize,
+}
+
+/// Result of injecting one frame at a domain ingress.
+#[derive(Debug, Default)]
+pub struct DomainIo {
+    /// Frames leaving the domain: (node, physical port, packet).
+    pub emitted: Vec<(String, String, Packet)>,
+    /// Total virtual time consumed, across nodes and overlay hops.
+    pub cost: Cost,
+    /// Overlay link traversals.
+    pub overlay_hops: u32,
+    /// Bytes that crossed ESP-protected links (0 when unprotected).
+    pub protected_bytes: u64,
+}
+
+/// Liveness view of one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeHealth {
+    /// Heartbeating normally.
+    Alive,
+    /// Declared failed (by timeout or explicitly).
+    Failed,
+}
+
+/// Outcome of a node failure: which graphs were re-placed.
+#[derive(Debug, Clone, Default)]
+pub struct ReplacementReport {
+    /// Graphs successfully re-deployed on the surviving fleet.
+    pub replaced: Vec<String>,
+    /// Graphs that could not be re-placed (kept as pending specs).
+    pub stranded: Vec<String>,
+}
+
+struct ManagedNode {
+    node: UniversalNode,
+    health: NodeHealth,
+    last_heartbeat: SimTime,
+}
+
+struct LinkState {
+    link: OverlayLink,
+    graph: String,
+    /// Outbound + inbound SA pair protecting this wire (ESP mode).
+    sas: Option<Box<(SecurityAssociation, SecurityAssociation)>>,
+    packets: u64,
+    bytes: u64,
+}
+
+struct DomainGraph {
+    original: NfFg,
+    hints: DeployHints,
+    assignment: BTreeMap<String, String>,
+    partition: Partition,
+}
+
+/// The domain orchestrator.
+pub struct Domain {
+    /// Settings.
+    pub config: DomainConfig,
+    nodes: BTreeMap<String, ManagedNode>,
+    graphs: BTreeMap<String, DomainGraph>,
+    /// Graphs lost in a failure that no surviving fleet could host.
+    pending: BTreeMap<String, (NfFg, DeployHints)>,
+    links: BTreeMap<u16, LinkState>,
+    free_vids: Vec<u16>,
+    next_vid: u16,
+    clock: SimTime,
+    /// Domain-level counters (`graphs_deployed`, `overlay_frames`, …).
+    pub trace: TraceLog,
+}
+
+impl Domain {
+    /// An empty domain with the given settings.
+    pub fn new(config: DomainConfig) -> Self {
+        Domain {
+            config,
+            nodes: BTreeMap::new(),
+            graphs: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            links: BTreeMap::new(),
+            free_vids: Vec::new(),
+            next_vid: OVERLAY_VID_BASE,
+            clock: SimTime::ZERO,
+            trace: TraceLog::new(4096),
+        }
+    }
+
+    /// An empty domain with default settings.
+    pub fn with_defaults() -> Self {
+        Self::new(DomainConfig::default())
+    }
+
+    // ------------------------------------------------------------------
+    // Fleet management
+    // ------------------------------------------------------------------
+
+    /// Adopt a node into the fleet. The fabric interface is created if
+    /// the node does not already expose it.
+    ///
+    /// A node may *rejoin* under the name of a **failed** node (its
+    /// partitions were already re-placed or parked by `fail_node`, so
+    /// replacing the carcass is safe). Registering a second node under
+    /// the name of an **alive** one would silently orphan every graph
+    /// partition the original hosts, so that is a hard error.
+    ///
+    /// # Panics
+    ///
+    /// If a node with this name is already alive in the fleet.
+    pub fn add_node(&mut self, mut node: UniversalNode) -> String {
+        if !node.has_physical_port(&self.config.fabric_port) {
+            node.add_physical_port(&self.config.fabric_port);
+        }
+        let name = node.name.clone();
+        match self.nodes.get(&name) {
+            Some(m) if m.health == NodeHealth::Alive => {
+                panic!("node '{name}' is already registered and alive")
+            }
+            Some(_) => self.trace.count("nodes_rejoined", 1),
+            None => self.trace.count("nodes_added", 1),
+        }
+        self.nodes.insert(
+            name.clone(),
+            ManagedNode {
+                node,
+                health: NodeHealth::Alive,
+                last_heartbeat: self.clock,
+            },
+        );
+        name
+    }
+
+    /// Fleet size (including failed nodes).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Names of alive nodes.
+    pub fn alive_nodes(&self) -> Vec<String> {
+        self.nodes
+            .iter()
+            .filter(|(_, m)| m.health == NodeHealth::Alive)
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, name: &str) -> Option<&UniversalNode> {
+        self.nodes.get(name).map(|m| &m.node)
+    }
+
+    /// Borrow a node mutably (tests / harnesses).
+    pub fn node_mut(&mut self, name: &str) -> Option<&mut UniversalNode> {
+        self.nodes.get_mut(name).map(|m| &mut m.node)
+    }
+
+    /// Health of one node.
+    pub fn health(&self, name: &str) -> Option<NodeHealth> {
+        self.nodes.get(name).map(|m| m.health.clone())
+    }
+
+    /// Advance the domain clock (propagates to alive nodes).
+    pub fn set_time(&mut self, now: SimTime) {
+        self.clock = now;
+        for managed in self.nodes.values_mut() {
+            if managed.health == NodeHealth::Alive {
+                managed.node.set_time(now);
+            }
+        }
+    }
+
+    /// Record a node heartbeat.
+    pub fn heartbeat(&mut self, name: &str, now: SimTime) -> Result<(), DomainError> {
+        let managed = self
+            .nodes
+            .get_mut(name)
+            .ok_or_else(|| DomainError::NoSuchNode(name.to_string()))?;
+        managed.last_heartbeat = now;
+        Ok(())
+    }
+
+    /// Advance time and fail every node whose heartbeat is stale.
+    /// Returns the re-placement outcome per newly failed node.
+    pub fn tick(&mut self, now: SimTime) -> Vec<(String, ReplacementReport)> {
+        self.set_time(now);
+        let timeout = self.config.heartbeat_timeout_ns;
+        let stale: Vec<String> = self
+            .nodes
+            .iter()
+            .filter(|(_, m)| {
+                m.health == NodeHealth::Alive
+                    && now.duration_since(m.last_heartbeat).as_nanos() > timeout
+            })
+            .map(|(n, _)| n.clone())
+            .collect();
+        // Mark the whole stale set failed *before* re-placing anything,
+        // so a graph from the first dead node is never re-placed onto a
+        // node that the same sweep is about to declare dead.
+        for name in &stale {
+            if let Some(m) = self.nodes.get_mut(name) {
+                m.health = NodeHealth::Failed;
+                self.trace.count("nodes_failed", 1);
+            }
+        }
+        stale
+            .into_iter()
+            .map(|n| {
+                let report = self.replace_lost_partitions(&n);
+                (n, report)
+            })
+            .collect()
+    }
+
+    /// The scheduler's view of the fleet.
+    pub fn views(&self) -> Vec<NodeView> {
+        self.nodes
+            .values()
+            .map(|m| NodeView {
+                name: m.node.name.clone(),
+                free_memory: m.node.free_memory(),
+                capacity: m.node.mem_capacity(),
+                native_types: m.node.native_nnf_types().into_iter().collect(),
+                shared_running: m.node.shared_nnf_types().into_iter().collect(),
+                ports: m
+                    .node
+                    .physical_port_names()
+                    .into_iter()
+                    .filter(|p| *p != self.config.fabric_port)
+                    .collect(),
+                alive: m.health == NodeHealth::Alive,
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Graph lifecycle
+    // ------------------------------------------------------------------
+
+    /// Deploy a graph with default hints.
+    pub fn deploy(&mut self, graph: &NfFg) -> Result<DomainReport, DomainError> {
+        self.deploy_with(graph, &DeployHints::default())
+    }
+
+    /// Deploy a graph across the fleet.
+    pub fn deploy_with(
+        &mut self,
+        graph: &NfFg,
+        hints: &DeployHints,
+    ) -> Result<DomainReport, DomainError> {
+        let errs = validate(graph);
+        if !errs.is_empty() {
+            return Err(DomainError::Invalid(errs));
+        }
+        if self.graphs.contains_key(&graph.id) {
+            return Err(DomainError::AlreadyDeployed(graph.id.clone()));
+        }
+        let (assignment, part) = self.plan(graph, hints, &BTreeMap::new(), &BTreeMap::new())?;
+        let report = self.install(graph, hints, assignment, part)?;
+        // An explicit deploy supersedes any copy parked by an earlier
+        // failure; otherwise retry_pending could double-deploy it.
+        self.pending.remove(&graph.id);
+        self.trace.count("graphs_deployed", 1);
+        Ok(report)
+    }
+
+    /// Compute assignment + partition without touching any node.
+    ///
+    /// `reuse` maps cut-edge identities to the VLAN ids a live
+    /// deployment of this graph already uses, so re-planning keeps
+    /// unchanged overlay links (and their synthesized endpoint ids)
+    /// stable — the property that lets rule-only updates apply in
+    /// place instead of forcing a structural redeploy per node.
+    fn plan(
+        &mut self,
+        graph: &NfFg,
+        hints: &DeployHints,
+        pins: &BTreeMap<String, String>,
+        reuse: &BTreeMap<(String, String, un_nffg::PortRef), u16>,
+    ) -> Result<(BTreeMap<String, String>, Partition), DomainError> {
+        let views = self.views();
+        let endpoint_node = assign_endpoints(graph, &views, &hints.endpoint_node)?;
+        let estimates = self.estimates(graph);
+        let mut merged_pins = pins.clone();
+        merged_pins.extend(hints.nf_node.clone());
+        let assignment = assign(
+            graph,
+            &views,
+            &estimates,
+            &endpoint_node,
+            &merged_pins,
+            hints.strategy.unwrap_or(self.config.strategy),
+        )?;
+        // Reserve VLAN ids (fresh ones only; reused ids stay owned by
+        // the live deployment); fresh ids return to the pool if
+        // installation fails.
+        let fabric = self.config.fabric_port.clone();
+        let mut taken: Vec<u16> = Vec::new();
+        let part = {
+            let free_vids = &mut self.free_vids;
+            let next_vid = &mut self.next_vid;
+            let mut alloc = |from: &str, to: &str, target: &un_nffg::PortRef| {
+                if let Some(vid) = reuse.get(&(from.to_string(), to.to_string(), target.clone())) {
+                    return Some(*vid);
+                }
+                let vid = free_vids.pop().or_else(|| {
+                    if *next_vid > 4094 {
+                        None
+                    } else {
+                        let v = *next_vid;
+                        *next_vid += 1;
+                        Some(v)
+                    }
+                })?;
+                taken.push(vid);
+                Some(vid)
+            };
+            partition(graph, &assignment, &endpoint_node, &fabric, &mut alloc)
+        };
+        match part {
+            Ok(part) => Ok((assignment, part)),
+            Err(e) => {
+                self.free_vids.extend(taken);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Deploy the parts of a planned graph; rolls back on failure.
+    fn install(
+        &mut self,
+        graph: &NfFg,
+        hints: &DeployHints,
+        assignment: BTreeMap<String, String>,
+        part: Partition,
+    ) -> Result<DomainReport, DomainError> {
+        let mut per_node: Vec<(String, DeployReport)> = Vec::new();
+        let mut deployed: Vec<String> = Vec::new();
+        for (node_name, sub) in &part.parts {
+            let managed = self
+                .nodes
+                .get_mut(node_name)
+                .expect("assignment uses fleet");
+            match managed.node.deploy(sub) {
+                Ok(report) => {
+                    per_node.push((node_name.clone(), report));
+                    deployed.push(node_name.clone());
+                }
+                Err(e) => {
+                    for prior in &deployed {
+                        let m = self.nodes.get_mut(prior).expect("deployed above");
+                        let _ = m.node.undeploy(&graph.id);
+                    }
+                    self.free_vids.extend(part.links.iter().map(|l| l.vid));
+                    self.trace.count("deploys_rolled_back", 1);
+                    return Err(DomainError::Deploy {
+                        node: node_name.clone(),
+                        error: e.to_string(),
+                    });
+                }
+            }
+        }
+        // Stitch the overlay.
+        self.register_links(&graph.id, &part.links);
+        let report = DomainReport {
+            graph: graph.id.clone(),
+            per_node,
+            overlay_links: part.links.len(),
+        };
+        self.graphs.insert(
+            graph.id.clone(),
+            DomainGraph {
+                original: graph.clone(),
+                hints: hints.clone(),
+                assignment,
+                partition: part,
+            },
+        );
+        Ok(report)
+    }
+
+    /// Register overlay link state (deriving SA pairs in ESP mode) for
+    /// a graph's freshly partitioned links.
+    fn register_links(&mut self, graph_id: &str, links: &[OverlayLink]) {
+        for link in links {
+            let sas = self
+                .config
+                .protect_overlay
+                .then(|| Box::new(derive_link_sas(self.config.seed, link)));
+            self.links.insert(
+                link.vid,
+                LinkState {
+                    link: link.clone(),
+                    graph: graph_id.to_string(),
+                    sas,
+                    packets: 0,
+                    bytes: 0,
+                },
+            );
+        }
+        self.trace.count("overlay_links_up", links.len() as u64);
+    }
+
+    /// Scheduler RAM estimates for every NF of a graph (representative
+    /// node; the fleet shares one repository).
+    fn estimates(&self, graph: &NfFg) -> BTreeMap<String, u64> {
+        let probe = self
+            .nodes
+            .values()
+            .find(|m| m.health == NodeHealth::Alive)
+            .map(|m| &m.node);
+        graph
+            .nfs
+            .iter()
+            .map(|nf| {
+                let est = probe
+                    .and_then(|n| n.estimate_nf_ram(&nf.functional_type, nf.flavor.as_deref()))
+                    .unwrap_or(64 << 20);
+                (nf.id.clone(), est)
+            })
+            .collect()
+    }
+
+    /// Update a deployed graph (rule-level changes update parts in
+    /// place; structural changes re-plan, keeping surviving NFs on
+    /// their nodes).
+    pub fn update(&mut self, graph: &NfFg) -> Result<DomainReport, DomainError> {
+        let errs = validate(graph);
+        if !errs.is_empty() {
+            return Err(DomainError::Invalid(errs));
+        }
+        let Some(existing) = self.graphs.get(&graph.id) else {
+            return Err(DomainError::NoSuchGraph(graph.id.clone()));
+        };
+        let diff = un_nffg::diff(&existing.original, graph);
+        if diff.is_empty() {
+            return Ok(DomainReport {
+                graph: graph.id.clone(),
+                per_node: Vec::new(),
+                overlay_links: existing.partition.links.len(),
+            });
+        }
+        let structural = !diff.added_nfs.is_empty()
+            || !diff.removed_nfs.is_empty()
+            || !diff.changed_nfs.is_empty()
+            || !diff.added_endpoints.is_empty()
+            || !diff.removed_endpoints.is_empty();
+        self.trace.count(
+            if structural {
+                "graph_updates_structural"
+            } else {
+                "graph_updates_rules"
+            },
+            1,
+        );
+
+        let hints = existing.hints.clone();
+        // Keep surviving NFs where they run today.
+        let alive: Vec<String> = self.alive_nodes();
+        let pins: BTreeMap<String, String> = existing
+            .assignment
+            .iter()
+            .filter(|(nf, node)| graph.nf(nf).is_some() && alive.iter().any(|a| a == *node))
+            .map(|(nf, node)| (nf.clone(), node.clone()))
+            .collect();
+        let old_parts: BTreeMap<String, NfFg> = existing.partition.parts.clone();
+        let old_links: Vec<u16> = existing.partition.links.iter().map(|l| l.vid).collect();
+        // Unchanged cut edges keep their VLAN id (and thus their
+        // synthesized endpoint id), so a rules-only update leaves the
+        // parts' endpoint sets intact and applies in place per node.
+        let reuse: BTreeMap<(String, String, un_nffg::PortRef), u16> = existing
+            .partition
+            .links
+            .iter()
+            .map(|l| {
+                (
+                    (l.from_node.clone(), l.to_node.clone(), l.dst_target.clone()),
+                    l.vid,
+                )
+            })
+            .collect();
+
+        let (assignment, part) = self.plan(graph, &hints, &pins, &reuse)?;
+
+        // Reconcile per node.
+        let mut per_node: Vec<(String, DeployReport)> = Vec::new();
+        let mut failure: Option<DomainError> = None;
+        for (node_name, sub) in &part.parts {
+            let managed = self
+                .nodes
+                .get_mut(node_name)
+                .expect("assignment uses fleet");
+            let result = if old_parts.contains_key(node_name) {
+                managed.node.update(sub)
+            } else {
+                managed.node.deploy(sub)
+            };
+            match result {
+                Ok(report) => per_node.push((node_name.clone(), report)),
+                Err(e) => {
+                    failure = Some(DomainError::Deploy {
+                        node: node_name.clone(),
+                        error: e.to_string(),
+                    });
+                    break;
+                }
+            }
+        }
+        if failure.is_none() {
+            for node_name in old_parts.keys() {
+                if !part.parts.contains_key(node_name) {
+                    if let Some(m) = self.nodes.get_mut(node_name) {
+                        let _ = m.node.undeploy(&graph.id);
+                    }
+                }
+            }
+        }
+        if let Some(err) = failure {
+            // Best-effort cleanup: drop the graph everywhere; the caller
+            // holds the spec and can redeploy.
+            for node_name in part.parts.keys().chain(old_parts.keys()) {
+                if let Some(m) = self.nodes.get_mut(node_name) {
+                    let _ = m.node.undeploy(&graph.id);
+                }
+            }
+            // Reused vids appear in both link sets — free each once.
+            let all: std::collections::BTreeSet<u16> = old_links
+                .iter()
+                .copied()
+                .chain(part.links.iter().map(|l| l.vid))
+                .collect();
+            for vid in all {
+                self.links.remove(&vid);
+                self.free_vids.push(vid);
+            }
+            self.graphs.remove(&graph.id);
+            self.trace.count("updates_failed", 1);
+            return Err(err);
+        }
+
+        // Swap overlay link state: free vids the new partition no
+        // longer uses, then (re-)register the new link set (reused vids
+        // get fresh LinkState; counters restart, SAs re-derive to the
+        // same keys).
+        let kept: std::collections::BTreeSet<u16> = part.links.iter().map(|l| l.vid).collect();
+        for vid in old_links {
+            self.links.remove(&vid);
+            if !kept.contains(&vid) {
+                self.free_vids.push(vid);
+            }
+        }
+        self.register_links(&graph.id, &part.links);
+        let overlay_links = part.links.len();
+        self.graphs.insert(
+            graph.id.clone(),
+            DomainGraph {
+                original: graph.clone(),
+                hints,
+                assignment,
+                partition: part,
+            },
+        );
+        Ok(DomainReport {
+            graph: graph.id.clone(),
+            per_node,
+            overlay_links,
+        })
+    }
+
+    /// Undeploy a graph from every node that hosts a part of it (and
+    /// drop any copy parked for re-placement — an undeployed graph
+    /// must never resurrect through `retry_pending`).
+    pub fn undeploy(&mut self, graph_id: &str) -> Result<(), DomainError> {
+        let was_pending = self.pending.remove(graph_id).is_some();
+        let Some(entry) = self.graphs.remove(graph_id) else {
+            if was_pending {
+                return Ok(());
+            }
+            return Err(DomainError::NoSuchGraph(graph_id.to_string()));
+        };
+        for node_name in entry.partition.parts.keys() {
+            if let Some(m) = self.nodes.get_mut(node_name) {
+                if m.health == NodeHealth::Alive {
+                    let _ = m.node.undeploy(graph_id);
+                }
+            }
+        }
+        for link in &entry.partition.links {
+            self.links.remove(&link.vid);
+            self.free_vids.push(link.vid);
+        }
+        self.trace.count("graphs_undeployed", 1);
+        Ok(())
+    }
+
+    /// Deployed graph ids (pending re-placement excluded).
+    pub fn graph_ids(&self) -> Vec<String> {
+        self.graphs.keys().cloned().collect()
+    }
+
+    /// The original (whole) NF-FG of a deployed graph.
+    pub fn graph(&self, id: &str) -> Option<&NfFg> {
+        self.graphs.get(id).map(|g| &g.original)
+    }
+
+    /// The current partition of a deployed graph.
+    pub fn partition_of(&self, id: &str) -> Option<&Partition> {
+        self.graphs.get(id).map(|g| &g.partition)
+    }
+
+    /// Node assignment of a deployed graph's NFs.
+    pub fn assignment_of(&self, id: &str) -> Option<&BTreeMap<String, String>> {
+        self.graphs.get(id).map(|g| &g.assignment)
+    }
+
+    /// Graphs waiting for capacity after a failure.
+    pub fn pending_graphs(&self) -> Vec<String> {
+        self.pending.keys().cloned().collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Failure handling
+    // ------------------------------------------------------------------
+
+    /// Declare a node failed and re-place every partition it hosted
+    /// onto the surviving fleet.
+    pub fn fail_node(&mut self, name: &str) -> Result<ReplacementReport, DomainError> {
+        let managed = self
+            .nodes
+            .get_mut(name)
+            .ok_or_else(|| DomainError::NoSuchNode(name.to_string()))?;
+        if managed.health == NodeHealth::Failed {
+            return Ok(ReplacementReport::default());
+        }
+        managed.health = NodeHealth::Failed;
+        self.trace.count("nodes_failed", 1);
+        Ok(self.replace_lost_partitions(name))
+    }
+
+    /// Re-place every graph hosting a part on the (already marked
+    /// failed) node `name` onto the surviving fleet.
+    fn replace_lost_partitions(&mut self, name: &str) -> ReplacementReport {
+        // Graphs with a part on the dead node.
+        let affected: Vec<String> = self
+            .graphs
+            .iter()
+            .filter(|(_, g)| g.partition.parts.contains_key(name))
+            .map(|(id, _)| id.clone())
+            .collect();
+
+        let mut report = ReplacementReport::default();
+        for gid in affected {
+            let entry = self.graphs.remove(&gid).expect("listed above");
+            // Tear down surviving parts; the dead node's state is gone
+            // with the node.
+            for node_name in entry.partition.parts.keys() {
+                if node_name == name {
+                    continue;
+                }
+                if let Some(m) = self.nodes.get_mut(node_name) {
+                    if m.health == NodeHealth::Alive {
+                        let _ = m.node.undeploy(&gid);
+                    }
+                }
+            }
+            for link in &entry.partition.links {
+                self.links.remove(&link.vid);
+                self.free_vids.push(link.vid);
+            }
+            // Drop pins that no longer point at an alive node (this one
+            // or any other casualty of the same sweep) so the scheduler
+            // may move them (interface availability decides).
+            let alive = self.alive_nodes();
+            let mut hints = entry.hints.clone();
+            hints.endpoint_node.retain(|_, n| alive.contains(n));
+            hints.nf_node.retain(|_, n| alive.contains(n));
+            match self
+                .plan(&entry.original, &hints, &BTreeMap::new(), &BTreeMap::new())
+                .and_then(|(assignment, part)| {
+                    self.install(&entry.original, &hints, assignment, part)
+                }) {
+                Ok(_) => {
+                    self.trace.count("graphs_replaced", 1);
+                    report.replaced.push(gid);
+                }
+                Err(_) => {
+                    self.trace.count("graphs_stranded", 1);
+                    self.pending.insert(gid.clone(), (entry.original, hints));
+                    report.stranded.push(gid);
+                }
+            }
+        }
+        report
+    }
+
+    /// Try to deploy graphs stranded by earlier failures (call after
+    /// adding capacity).
+    pub fn retry_pending(&mut self) -> Vec<String> {
+        let pending: Vec<(String, (NfFg, DeployHints))> =
+            std::mem::take(&mut self.pending).into_iter().collect();
+        let mut deployed = Vec::new();
+        for (gid, (graph, hints)) in pending {
+            if self.graphs.contains_key(&gid) {
+                // A live deployment supersedes the parked copy (the
+                // operator re-deployed it since the failure).
+                continue;
+            }
+            match self
+                .plan(&graph, &hints, &BTreeMap::new(), &BTreeMap::new())
+                .and_then(|(assignment, part)| self.install(&graph, &hints, assignment, part))
+            {
+                Ok(_) => deployed.push(gid),
+                Err(_) => {
+                    self.pending.insert(gid, (graph, hints));
+                }
+            }
+        }
+        deployed
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane
+    // ------------------------------------------------------------------
+
+    /// Inject a frame on a node's physical port and run it across the
+    /// domain until every resulting frame left on a real egress.
+    pub fn inject(&mut self, node: &str, port: &str, pkt: Packet) -> DomainIo {
+        let mut io = DomainIo::default();
+        let mut queue: Vec<(String, String, Packet)> = vec![(node.into(), port.into(), pkt)];
+        let mut budget = 64u32;
+        while let Some((node_name, port_name, pkt)) = queue.pop() {
+            if budget == 0 {
+                self.trace.count("overlay_loop_drops", 1);
+                break;
+            }
+            budget -= 1;
+            let Some(managed) = self.nodes.get_mut(&node_name) else {
+                self.trace.count("inject_unknown_node", 1);
+                continue;
+            };
+            if managed.health != NodeHealth::Alive {
+                self.trace.count("inject_dead_node", 1);
+                continue;
+            }
+            let node_io = managed.node.inject(&port_name, pkt);
+            io.cost += node_io.cost;
+            for (out_port, out_pkt) in node_io.emitted {
+                if out_port != self.config.fabric_port {
+                    io.emitted.push((node_name.clone(), out_port, out_pkt));
+                    continue;
+                }
+                // Overlay shuttle: the VLAN tag is the link identity.
+                let Some(vid) = out_pkt.vlan_id() else {
+                    self.trace.count("overlay_untagged_drop", 1);
+                    continue;
+                };
+                let Some(state) = self.links.get_mut(&vid) else {
+                    self.trace.count("overlay_unroutable_drop", 1);
+                    continue;
+                };
+                let peer = if state.link.from_node == node_name {
+                    state.link.to_node.clone()
+                } else if state.link.to_node == node_name {
+                    state.link.from_node.clone()
+                } else {
+                    self.trace.count("overlay_foreign_drop", 1);
+                    continue;
+                };
+                let len = out_pkt.len();
+                state.packets += 1;
+                state.bytes += len as u64;
+                io.overlay_hops += 1;
+                io.cost += Cost::from_nanos(self.config.overlay_link_ns);
+                if let Some(sas) = state.sas.as_deref_mut() {
+                    // Protect the wire: real ESP seal on egress, real
+                    // verify+open on ingress. A frame that fails to
+                    // verify never reaches the peer.
+                    let (sa_out, sa_in) = sas;
+                    let per_dir =
+                        self.config.esp_fixed_ns as f64 + self.config.esp_ns_per_byte * len as f64;
+                    io.cost += Cost::from_nanos((2.0 * per_dir) as u64);
+                    let sealed = match esp::encapsulate(sa_out, out_pkt.data()) {
+                        Ok(s) => s,
+                        Err(_) => {
+                            self.trace.count("overlay_esp_seal_fail", 1);
+                            continue;
+                        }
+                    };
+                    match esp::decapsulate(sa_in, &sealed) {
+                        Ok(inner) if inner == out_pkt.data() => {
+                            io.protected_bytes += len as u64;
+                        }
+                        _ => {
+                            self.trace.count("overlay_esp_verify_fail", 1);
+                            continue;
+                        }
+                    }
+                }
+                self.trace.count("overlay_frames", 1);
+                let fabric = self.config.fabric_port.clone();
+                queue.push((peer, fabric, out_pkt));
+            }
+        }
+        io
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Per-link counters: (vid, graph, from, to, packets, bytes).
+    pub fn link_stats(&self) -> Vec<(u16, String, String, String, u64, u64)> {
+        self.links
+            .values()
+            .map(|s| {
+                (
+                    s.link.vid,
+                    s.graph.clone(),
+                    s.link.from_node.clone(),
+                    s.link.to_node.clone(),
+                    s.packets,
+                    s.bytes,
+                )
+            })
+            .collect()
+    }
+
+    /// The domain's self-description as a JSON document.
+    pub fn describe(&self) -> un_nffg::Json {
+        use un_nffg::Json;
+        Json::obj()
+            .set(
+                "nodes",
+                Json::Arr(
+                    self.nodes
+                        .values()
+                        .map(|m| {
+                            Json::obj()
+                                .set("name", m.node.name.as_str())
+                                .set("alive", m.health == NodeHealth::Alive)
+                                .set("memory_used", m.node.memory_used())
+                                .set("memory_capacity", m.node.mem_capacity())
+                                .set(
+                                    "graphs",
+                                    Json::Arr(
+                                        m.node
+                                            .graph_ids()
+                                            .iter()
+                                            .map(|g| Json::from(g.as_str()))
+                                            .collect(),
+                                    ),
+                                )
+                        })
+                        .collect(),
+                ),
+            )
+            .set(
+                "graphs",
+                Json::Arr(
+                    self.graphs
+                        .iter()
+                        .map(|(id, g)| {
+                            Json::obj()
+                                .set("id", id.as_str())
+                                .set(
+                                    "nodes",
+                                    Json::Arr(
+                                        g.partition
+                                            .parts
+                                            .keys()
+                                            .map(|n| Json::from(n.as_str()))
+                                            .collect(),
+                                    ),
+                                )
+                                .set("overlay_links", g.partition.links.len())
+                        })
+                        .collect(),
+                ),
+            )
+            .set(
+                "links",
+                Json::Arr(
+                    self.links
+                        .values()
+                        .map(|s| {
+                            Json::obj()
+                                .set("vid", s.link.vid)
+                                .set("graph", s.graph.as_str())
+                                .set("from", s.link.from_node.as_str())
+                                .set("to", s.link.to_node.as_str())
+                                .set("protected", s.sas.is_some())
+                                .set("packets", s.packets)
+                                .set("bytes", s.bytes)
+                        })
+                        .collect(),
+                ),
+            )
+            .set(
+                "pending",
+                Json::Arr(
+                    self.pending
+                        .keys()
+                        .map(|g| Json::from(g.as_str()))
+                        .collect(),
+                ),
+            )
+    }
+}
+
+/// Derive a deterministic SA pair for one overlay link.
+fn derive_link_sas(seed: u64, link: &OverlayLink) -> (SecurityAssociation, SecurityAssociation) {
+    let mut rng = DetRng::new(seed ^ (u64::from(link.vid) << 16));
+    let mut key = [0u8; 32];
+    let mut salt = [0u8; 4];
+    rng.fill(&mut key);
+    rng.fill(&mut salt);
+    let spi = 0x4f56_0000 | u32::from(link.vid); // 'OV' + vid
+    let src = Ipv4Addr::new(10, 255, 255, 1);
+    let dst = Ipv4Addr::new(10, 255, 255, 2);
+    (
+        SecurityAssociation::outbound(spi, src, dst, key, salt),
+        SecurityAssociation::inbound(spi, src, dst, key, salt),
+    )
+}
+
+#[cfg(test)]
+mod tests;

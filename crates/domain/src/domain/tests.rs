@@ -1,0 +1,418 @@
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use un_core::UniversalNode;
+use un_nffg::{NfFg, NfFgBuilder};
+use un_packet::ethernet::MacAddr;
+use un_packet::PacketBuilder;
+use un_sim::mem::mb;
+use un_sim::SimTime;
+
+use super::*;
+use crate::PlacementStrategy;
+
+fn two_node_domain() -> Domain {
+    let mut d = Domain::with_defaults();
+    let mut n1 = UniversalNode::new("n1", mb(2048));
+    n1.add_physical_port("eth0");
+    let mut n2 = UniversalNode::new("n2", mb(2048));
+    n2.add_physical_port("eth1");
+    d.add_node(n1);
+    d.add_node(n2);
+    d
+}
+
+fn split_bridge_chain() -> NfFg {
+    // Two bridges so the chain can split lan→br1 | br2→wan.
+    NfFgBuilder::new("g1", "split")
+        .interface_endpoint("lan", "eth0")
+        .interface_endpoint("wan", "eth1")
+        .nf("br1", "bridge", 2)
+        .nf("br2", "bridge", 2)
+        .chain("lan", &["br1", "br2"], "wan")
+        .build()
+}
+
+fn split_hints() -> DeployHints {
+    DeployHints {
+        endpoint_node: BTreeMap::new(),
+        nf_node: [
+            ("br1".to_string(), "n1".to_string()),
+            ("br2".to_string(), "n2".to_string()),
+        ]
+        .into(),
+        strategy: Some(PlacementStrategy::Spread),
+    }
+}
+
+fn frame() -> un_packet::Packet {
+    PacketBuilder::new()
+        .ethernet(MacAddr::local(1), MacAddr::local(2))
+        .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(192, 0, 2, 9))
+        .udp(5000, 5001)
+        .payload(&[0xAB; 64])
+        .build()
+}
+
+#[test]
+fn deploy_splits_across_two_nodes() {
+    let mut d = two_node_domain();
+    let report = d
+        .deploy_with(&split_bridge_chain(), &split_hints())
+        .unwrap();
+    assert_eq!(report.per_node.len(), 2);
+    assert_eq!(report.overlay_links, 2); // fwd + rev cut
+    assert_eq!(d.node("n1").unwrap().graph_ids(), vec!["g1"]);
+    assert_eq!(d.node("n2").unwrap().graph_ids(), vec!["g1"]);
+    assert_eq!(d.assignment_of("g1").unwrap()["br1"], "n1");
+    assert_eq!(d.assignment_of("g1").unwrap()["br2"], "n2");
+}
+
+#[test]
+fn traffic_crosses_the_overlay_both_ways() {
+    let mut d = two_node_domain();
+    d.deploy_with(&split_bridge_chain(), &split_hints())
+        .unwrap();
+
+    let io = d.inject("n1", "eth0", frame());
+    assert_eq!(io.emitted.len(), 1, "trace: {:?}", io);
+    let (node, port, _) = &io.emitted[0];
+    assert_eq!((node.as_str(), port.as_str()), ("n2", "eth1"));
+    assert_eq!(io.overlay_hops, 1);
+    assert!(io.cost.as_nanos() > 0);
+
+    // Reverse direction uses the other overlay link.
+    let io = d.inject("n2", "eth1", frame());
+    assert_eq!(io.emitted.len(), 1);
+    let (node, port, _) = &io.emitted[0];
+    assert_eq!((node.as_str(), port.as_str()), ("n1", "eth0"));
+    assert_eq!(d.trace.counter("overlay_frames"), 2);
+}
+
+#[test]
+fn protected_overlay_verifies_frames_with_esp() {
+    let mut d = Domain::new(DomainConfig {
+        protect_overlay: true,
+        ..DomainConfig::default()
+    });
+    let mut n1 = UniversalNode::new("n1", mb(2048));
+    n1.add_physical_port("eth0");
+    let mut n2 = UniversalNode::new("n2", mb(2048));
+    n2.add_physical_port("eth1");
+    d.add_node(n1);
+    d.add_node(n2);
+    d.deploy_with(&split_bridge_chain(), &split_hints())
+        .unwrap();
+
+    let unprotected_cost = {
+        let mut plain = two_node_domain();
+        plain
+            .deploy_with(&split_bridge_chain(), &split_hints())
+            .unwrap();
+        plain.inject("n1", "eth0", frame()).cost
+    };
+    let io = d.inject("n1", "eth0", frame());
+    assert_eq!(io.emitted.len(), 1);
+    assert!(io.protected_bytes > 0);
+    assert!(
+        io.cost > unprotected_cost,
+        "ESP must charge crypto cost ({} <= {})",
+        io.cost.as_nanos(),
+        unprotected_cost.as_nanos()
+    );
+    assert_eq!(d.trace.counter("overlay_esp_verify_fail"), 0);
+}
+
+#[test]
+fn single_node_graph_needs_no_overlay() {
+    let mut d = two_node_domain();
+    let g = NfFgBuilder::new("solo", "local")
+        .interface_endpoint("lan", "eth0")
+        .nf("br", "bridge", 2)
+        .rule_through("r1", 10, "lan", ("br", 0))
+        .rule_through("r2", 10, ("br", 0), "lan")
+        .build();
+    let report = d.deploy(&g).unwrap();
+    assert_eq!(report.per_node.len(), 1);
+    assert_eq!(report.overlay_links, 0);
+}
+
+#[test]
+fn undeploy_releases_links_and_parts() {
+    let mut d = two_node_domain();
+    d.deploy_with(&split_bridge_chain(), &split_hints())
+        .unwrap();
+    assert_eq!(d.link_stats().len(), 2);
+    d.undeploy("g1").unwrap();
+    assert!(d.link_stats().is_empty());
+    assert!(d.node("n1").unwrap().graph_ids().is_empty());
+    assert!(d.node("n2").unwrap().graph_ids().is_empty());
+    // The freed VLAN ids are reused by the next deploy.
+    let report = d
+        .deploy_with(&split_bridge_chain(), &split_hints())
+        .unwrap();
+    assert_eq!(report.overlay_links, 2);
+    assert!(d.link_stats().iter().all(|(vid, ..)| *vid < 3002 + 2));
+}
+
+#[test]
+fn node_failure_replaces_partition() {
+    let mut d = two_node_domain();
+    // n1 also exposes eth1 so the wan endpoint survives n2's death.
+    d.node_mut("n1").unwrap().add_physical_port("eth1");
+    d.deploy_with(&split_bridge_chain(), &split_hints())
+        .unwrap();
+    assert_eq!(d.assignment_of("g1").unwrap()["br2"], "n2");
+
+    let report = d.fail_node("n2").unwrap();
+    assert_eq!(report.replaced, vec!["g1".to_string()]);
+    assert!(report.stranded.is_empty());
+    // Everything now runs on n1, no overlay needed.
+    let assignment = d.assignment_of("g1").unwrap();
+    assert!(assignment.values().all(|n| n == "n1"));
+    assert!(d.link_stats().is_empty());
+    // End-to-end traffic still flows, wholly on n1.
+    let io = d.inject("n1", "eth0", frame());
+    assert_eq!(io.emitted.len(), 1);
+    assert_eq!(io.emitted[0].0, "n1");
+    assert_eq!(io.emitted[0].1, "eth1");
+    assert_eq!(io.overlay_hops, 0);
+}
+
+#[test]
+fn failure_without_capacity_strands_then_recovers() {
+    let mut d = Domain::with_defaults();
+    let mut n1 = UniversalNode::new("n1", mb(2048));
+    n1.add_physical_port("eth0");
+    n1.add_physical_port("eth1");
+    d.add_node(n1);
+    d.deploy(&split_bridge_chain()).unwrap();
+
+    let report = d.fail_node("n1").unwrap();
+    assert_eq!(report.stranded, vec!["g1".to_string()]);
+    assert!(d.graph_ids().is_empty());
+    assert_eq!(d.pending_graphs(), vec!["g1".to_string()]);
+
+    // Capacity returns: a fresh node with the needed interfaces.
+    let mut n2 = UniversalNode::new("n2", mb(2048));
+    n2.add_physical_port("eth0");
+    n2.add_physical_port("eth1");
+    d.add_node(n2);
+    assert_eq!(d.retry_pending(), vec!["g1".to_string()]);
+    assert!(d.pending_graphs().is_empty());
+    let io = d.inject("n2", "eth0", frame());
+    assert_eq!(io.emitted.len(), 1);
+}
+
+#[test]
+fn explicit_redeploy_supersedes_pending_copy() {
+    let mut d = Domain::with_defaults();
+    let mut n1 = UniversalNode::new("n1", mb(2048));
+    n1.add_physical_port("eth0");
+    n1.add_physical_port("eth1");
+    d.add_node(n1);
+    d.deploy(&split_bridge_chain()).unwrap();
+    d.fail_node("n1").unwrap();
+    assert_eq!(d.pending_graphs(), vec!["g1".to_string()]);
+
+    // The operator re-deploys g1 on fresh capacity: the parked copy
+    // must be dropped, and a later retry must not double-deploy.
+    let mut n2 = UniversalNode::new("n2", mb(2048));
+    n2.add_physical_port("eth0");
+    n2.add_physical_port("eth1");
+    d.add_node(n2);
+    d.deploy(&split_bridge_chain()).unwrap();
+    assert!(d.pending_graphs().is_empty());
+    assert!(d.retry_pending().is_empty());
+    assert_eq!(d.link_stats().len(), 0, "single-node redeploy, no links");
+
+    // And an undeployed graph never resurrects from pending.
+    d.fail_node("n2").unwrap();
+    assert_eq!(d.pending_graphs(), vec!["g1".to_string()]);
+    d.undeploy("g1").unwrap();
+    let mut n3 = UniversalNode::new("n3", mb(2048));
+    n3.add_physical_port("eth0");
+    n3.add_physical_port("eth1");
+    d.add_node(n3);
+    assert!(d.retry_pending().is_empty());
+    assert!(d.graph_ids().is_empty());
+}
+
+#[test]
+fn failed_node_may_rejoin_alive_duplicate_panics() {
+    let mut d = two_node_domain();
+    d.node_mut("n1").unwrap().add_physical_port("eth1");
+    d.deploy_with(&split_bridge_chain(), &split_hints())
+        .unwrap();
+    d.fail_node("n2").unwrap();
+
+    // Rejoin under the failed name: clean slate, counted as a rejoin.
+    let mut again = UniversalNode::new("n2", mb(2048));
+    again.add_physical_port("eth1");
+    d.add_node(again);
+    assert_eq!(d.health("n2"), Some(NodeHealth::Alive));
+    assert_eq!(d.trace.counter("nodes_rejoined"), 1);
+
+    // Registering over an *alive* node is a programming error.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        d.add_node(UniversalNode::new("n1", mb(64)));
+    }));
+    assert!(result.is_err(), "duplicate alive registration must panic");
+}
+
+#[test]
+fn heartbeat_timeout_detects_failure() {
+    let mut d = two_node_domain();
+    d.node_mut("n1").unwrap().add_physical_port("eth1");
+    d.deploy_with(&split_bridge_chain(), &split_hints())
+        .unwrap();
+
+    // n1 heartbeats; n2 goes silent past the timeout.
+    let later = SimTime::from_nanos(d.config.heartbeat_timeout_ns + 1);
+    d.heartbeat("n1", later).unwrap();
+    let failed = d.tick(later);
+    assert_eq!(failed.len(), 1);
+    assert_eq!(failed[0].0, "n2");
+    assert_eq!(d.health("n2"), Some(NodeHealth::Failed));
+    assert_eq!(d.health("n1"), Some(NodeHealth::Alive));
+    assert_eq!(failed[0].1.replaced, vec!["g1".to_string()]);
+}
+
+#[test]
+fn rule_update_rewires_overlay() {
+    let mut d = two_node_domain();
+    d.deploy_with(&split_bridge_chain(), &split_hints())
+        .unwrap();
+    let links_before = d.link_stats().len();
+
+    // Drop the reverse path: rules now only flow lan→wan.
+    let mut g = split_bridge_chain();
+    g.flow_rules.retain(|r| r.id.ends_with("-fwd"));
+    let report = d.update(&g).unwrap();
+    assert_eq!(report.overlay_links, 1);
+    assert!(report.overlay_links < links_before);
+    let io = d.inject("n1", "eth0", frame());
+    assert_eq!(io.emitted.len(), 1);
+}
+
+#[test]
+fn rule_only_update_applies_in_place() {
+    let mut d = two_node_domain();
+    d.deploy_with(&split_bridge_chain(), &split_hints())
+        .unwrap();
+    let vids_before: Vec<u16> = d.link_stats().iter().map(|(v, ..)| *v).collect();
+
+    // Tweak one rule's priority: topology (NFs, endpoints, cut edges)
+    // is unchanged, so every node must take the update rule-level —
+    // no instance teardown, and the overlay keeps its VLAN ids.
+    let mut g = split_bridge_chain();
+    g.flow_rules[0].priority = 42;
+    d.update(&g).unwrap();
+
+    for node in ["n1", "n2"] {
+        let n = d.node(node).unwrap();
+        assert_eq!(
+            n.trace.counter("graph_updates_structural"),
+            0,
+            "{node} redeployed structurally for a rule tweak"
+        );
+        assert_eq!(n.trace.counter("graphs_undeployed"), 0);
+        assert_eq!(n.trace.counter("graph_updates_rules"), 1);
+    }
+    let vids_after: Vec<u16> = d.link_stats().iter().map(|(v, ..)| *v).collect();
+    assert_eq!(vids_before, vids_after, "overlay VLAN ids must be stable");
+    // And traffic still flows end-to-end.
+    let io = d.inject("n1", "eth0", frame());
+    assert_eq!(io.emitted.len(), 1);
+}
+
+#[test]
+fn tick_with_correlated_failures_never_places_on_a_stale_node() {
+    let mut d = two_node_domain();
+    d.node_mut("n1").unwrap().add_physical_port("eth1");
+    // A third node that also survives nothing — only n3 stays alive.
+    let mut n3 = UniversalNode::new("n3", mb(2048));
+    n3.add_physical_port("eth0");
+    n3.add_physical_port("eth1");
+    d.add_node(n3);
+    d.deploy_with(&split_bridge_chain(), &split_hints())
+        .unwrap();
+
+    // n1 and n2 both go silent; only n3 heartbeats.
+    let later = SimTime::from_nanos(d.config.heartbeat_timeout_ns + 1);
+    d.heartbeat("n3", later).unwrap();
+    let failed = d.tick(later);
+    assert_eq!(failed.len(), 2);
+    // The graph was re-placed exactly once, straight onto n3 — never
+    // bounced through the other stale node.
+    assert_eq!(d.trace.counter("graphs_replaced"), 1);
+    assert_eq!(d.trace.counter("graphs_stranded"), 0);
+    let assignment = d.assignment_of("g1").unwrap();
+    assert!(assignment.values().all(|n| n == "n3"), "{assignment:?}");
+    let io = d.inject("n3", "eth0", frame());
+    assert_eq!(io.emitted.len(), 1);
+}
+
+#[test]
+fn structural_update_moves_nfs() {
+    let mut d = two_node_domain();
+    d.deploy_with(&split_bridge_chain(), &split_hints())
+        .unwrap();
+
+    // Insert a third NF; surviving NFs must stay put.
+    let g = NfFgBuilder::new("g1", "longer")
+        .interface_endpoint("lan", "eth0")
+        .interface_endpoint("wan", "eth1")
+        .nf("br1", "bridge", 2)
+        .nf("mid", "bridge", 2)
+        .nf("br2", "bridge", 2)
+        .chain("lan", &["br1", "mid", "br2"], "wan")
+        .build();
+    d.update(&g).unwrap();
+    let assignment = d.assignment_of("g1").unwrap();
+    assert_eq!(assignment["br1"], "n1");
+    assert_eq!(assignment["br2"], "n2");
+    assert!(assignment.contains_key("mid"));
+    let io = d.inject("n1", "eth0", frame());
+    assert_eq!(io.emitted.len(), 1, "3-NF chain must still forward");
+}
+
+#[test]
+fn rejects_bad_requests() {
+    let mut d = two_node_domain();
+    let g = split_bridge_chain();
+    d.deploy_with(&g, &split_hints()).unwrap();
+    assert!(matches!(d.deploy(&g), Err(DomainError::AlreadyDeployed(_))));
+    assert!(matches!(
+        d.undeploy("ghost"),
+        Err(DomainError::NoSuchGraph(_))
+    ));
+    assert!(matches!(
+        d.update(
+            &NfFgBuilder::new("ghost", "x")
+                .interface_endpoint("e", "eth0")
+                .build()
+        ),
+        Err(DomainError::NoSuchGraph(_))
+    ));
+    let mut invalid = split_bridge_chain();
+    invalid.id = "g2".into();
+    invalid.flow_rules[0].matches.port_in = None;
+    assert!(matches!(d.deploy(&invalid), Err(DomainError::Invalid(_))));
+    assert!(matches!(
+        d.fail_node("ghost"),
+        Err(DomainError::NoSuchNode(_))
+    ));
+}
+
+#[test]
+fn describe_reports_fleet_and_links() {
+    let mut d = two_node_domain();
+    d.deploy_with(&split_bridge_chain(), &split_hints())
+        .unwrap();
+    let json = d.describe().render();
+    assert!(json.contains("\"n1\""));
+    assert!(json.contains("\"n2\""));
+    assert!(json.contains("\"g1\""));
+    assert!(json.contains("\"vid\""));
+}

@@ -1,0 +1,42 @@
+//! # un-domain — the domain orchestrator above the Universal Nodes
+//!
+//! The paper's Universal Node is one CPE; its Figure 1 architecture
+//! explicitly sits *under* an overarching orchestrator that dispatches
+//! NF-FGs to many nodes. This crate is that layer:
+//!
+//! ```text
+//!                       Domain Orchestrator  ←  NF-FG (cluster REST)
+//!        ┌──────────────────┬──────────────────┬────────────────┐
+//!   Fleet registry     Global placement    Graph partitioner   Overlay mgr
+//!   (views, health)    (bin-pack + NNF     (per-node parts +   (VLAN wires,
+//!                       preference)         cut-edge synth)     opt. ESP)
+//!        └──────────────────┴────────┬─────────┴────────────────┘
+//!              UniversalNode #1 │ UniversalNode #2 │ … │ #N
+//! ```
+//!
+//! * [`placement`] — the fleet-level scheduler: assign every NF of a
+//!   graph to a node, respecting per-node NNF catalogs, memory
+//!   admission estimates, and sharable-NNF reuse; bin-packing (`Pack`)
+//!   or load-spreading (`Spread`).
+//! * [`partition`] — pure graph surgery: split one NF-FG into per-node
+//!   sub-graphs and synthesize endpoint pairs for every cut edge.
+//!   Reassembly ([`partition::reassemble`]) is the exact inverse,
+//!   which the property tests exploit.
+//! * [`domain`] — [`domain::Domain`]: owns the fleet, deploys /
+//!   updates / undeploys partitioned graphs, shuttles frames across
+//!   **inter-node overlay links** (VLAN-tagged virtual wires on a
+//!   dedicated fabric port, optionally ESP-protected via `un-ipsec`),
+//!   detects node failures and re-places the lost partitions.
+
+#![forbid(unsafe_code)]
+
+pub mod domain;
+pub mod partition;
+pub mod placement;
+
+pub use domain::{
+    DeployHints, Domain, DomainConfig, DomainError, DomainIo, DomainReport, NodeHealth,
+    ReplacementReport,
+};
+pub use partition::{partition, reassemble, OverlayLink, Partition, PartitionError};
+pub use placement::{assign, assign_endpoints, NodeView, PlaceError, PlacementStrategy};

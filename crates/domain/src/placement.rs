@@ -1,0 +1,435 @@
+//! Fleet-level placement: which node runs each NF of a graph.
+//!
+//! Layered on `un_core::placement` conceptually: that module answers
+//! *how* an NF runs on a node (NNF vs VNF flavor); this one answers
+//! *where*. The policy mirrors the paper's preferences at domain scale:
+//!
+//! 1. a node already running a joinable **shared NNF** of the type is
+//!    free capacity — reuse it;
+//! 2. a node whose NNF catalog offers the type natively beats one that
+//!    would have to fall back to Docker/VM;
+//! 3. co-locating rule-adjacent NFs avoids overlay hops;
+//! 4. ties break by memory: [`PlacementStrategy::Pack`] fills the
+//!    fullest feasible node (classic bin-packing, frees whole nodes),
+//!    [`PlacementStrategy::Spread`] picks the emptiest (load balance).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use un_nffg::{NfFg, PortRef};
+
+/// What the domain scheduler knows about one node.
+#[derive(Debug, Clone)]
+pub struct NodeView {
+    /// Node name (fleet-unique).
+    pub name: String,
+    /// Memory not yet committed.
+    pub free_memory: u64,
+    /// Total memory capacity.
+    pub capacity: u64,
+    /// Functional types offered as native NFs.
+    pub native_types: BTreeSet<String>,
+    /// Functional types with a running, joinable shared NNF.
+    pub shared_running: BTreeSet<String>,
+    /// Physical interface names (for endpoint placement).
+    pub ports: BTreeSet<String>,
+    /// False once the node is considered failed.
+    pub alive: bool,
+}
+
+/// Tie-breaking goal of the assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementStrategy {
+    /// Bin-pack: fill the fullest feasible node first.
+    #[default]
+    Pack,
+    /// Spread: place on the emptiest feasible node.
+    Spread,
+}
+
+/// Why an assignment could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// No node is alive.
+    NoNodes,
+    /// No alive node can fit this NF (estimated bytes needed).
+    NoCapacity { nf: String, needed: u64 },
+    /// A pinned node is unknown or dead.
+    BadPin { nf: String, node: String },
+    /// An interface endpoint names an interface no alive node has.
+    NoSuchInterface { endpoint: String, if_name: String },
+    /// A pinned endpoint node is unknown, dead, or lacks the interface.
+    BadEndpointPin { endpoint: String, node: String },
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::NoNodes => write!(f, "no alive nodes in the domain"),
+            PlaceError::NoCapacity { nf, needed } => {
+                write!(f, "no node can fit NF '{nf}' ({needed} bytes)")
+            }
+            PlaceError::BadPin { nf, node } => {
+                write!(f, "NF '{nf}' pinned to unusable node '{node}'")
+            }
+            PlaceError::NoSuchInterface { endpoint, if_name } => {
+                write!(
+                    f,
+                    "endpoint '{endpoint}': no alive node has interface '{if_name}'"
+                )
+            }
+            PlaceError::BadEndpointPin { endpoint, node } => {
+                write!(f, "endpoint '{endpoint}' pinned to unusable node '{node}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+/// Assign every endpoint of `graph` to a node.
+///
+/// Pinned endpoints are honored (and verified); interface/VLAN
+/// endpoints otherwise go to the first alive node exposing the
+/// interface, internal endpoints to the anchor (first alive) node.
+pub fn assign_endpoints(
+    graph: &NfFg,
+    views: &[NodeView],
+    pins: &BTreeMap<String, String>,
+) -> Result<BTreeMap<String, String>, PlaceError> {
+    let anchor = views
+        .iter()
+        .find(|v| v.alive)
+        .map(|v| v.name.clone())
+        .ok_or(PlaceError::NoNodes)?;
+    let mut out = BTreeMap::new();
+    for ep in &graph.endpoints {
+        let if_name = match &ep.kind {
+            un_nffg::EndpointKind::Interface { if_name }
+            | un_nffg::EndpointKind::Vlan { if_name, .. } => Some(if_name.clone()),
+            un_nffg::EndpointKind::Internal { .. } => None,
+        };
+        let node = if let Some(pin) = pins.get(&ep.id) {
+            let ok = views.iter().any(|v| {
+                v.alive && v.name == *pin && if_name.as_ref().is_none_or(|i| v.ports.contains(i))
+            });
+            if !ok {
+                return Err(PlaceError::BadEndpointPin {
+                    endpoint: ep.id.clone(),
+                    node: pin.clone(),
+                });
+            }
+            pin.clone()
+        } else if let Some(if_name) = &if_name {
+            views
+                .iter()
+                .find(|v| v.alive && v.ports.contains(if_name))
+                .map(|v| v.name.clone())
+                .ok_or_else(|| PlaceError::NoSuchInterface {
+                    endpoint: ep.id.clone(),
+                    if_name: if_name.clone(),
+                })?
+        } else {
+            anchor.clone()
+        };
+        out.insert(ep.id.clone(), node);
+    }
+    Ok(out)
+}
+
+/// Assign every NF of `graph` to a node.
+///
+/// `estimates` maps NF id → estimated RAM; `endpoint_node` is the
+/// (already computed) endpoint assignment, used for adjacency scoring;
+/// `pins` forces specific NFs onto specific nodes (used to keep
+/// surviving NFs in place across updates and re-placements).
+pub fn assign(
+    graph: &NfFg,
+    views: &[NodeView],
+    estimates: &BTreeMap<String, u64>,
+    endpoint_node: &BTreeMap<String, String>,
+    pins: &BTreeMap<String, String>,
+    strategy: PlacementStrategy,
+) -> Result<BTreeMap<String, String>, PlaceError> {
+    if !views.iter().any(|v| v.alive) {
+        return Err(PlaceError::NoNodes);
+    }
+    // Running free-memory picture as NFs are placed.
+    let mut free: BTreeMap<&str, u64> = views
+        .iter()
+        .filter(|v| v.alive)
+        .map(|v| (v.name.as_str(), v.free_memory))
+        .collect();
+
+    // Rule adjacency: NF ↔ NF and NF ↔ endpoint, for co-location.
+    let mut adjacent: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for rule in &graph.flow_rules {
+        let ends: Vec<&PortRef> = rule
+            .matches
+            .port_in
+            .iter()
+            .chain(rule.actions.iter().filter_map(|a| match a {
+                un_nffg::RuleAction::Output(p) => Some(p),
+                _ => None,
+            }))
+            .collect();
+        for a in &ends {
+            for b in &ends {
+                if let (PortRef::Nf(na, _), other) = (a, b) {
+                    let peer = match other {
+                        PortRef::Nf(nb, _) if nb != na => nb.as_str(),
+                        PortRef::Endpoint(e) => e.as_str(),
+                        _ => continue,
+                    };
+                    adjacent.entry(na.as_str()).or_default().insert(peer);
+                }
+            }
+        }
+    }
+
+    let mut out: BTreeMap<String, String> = BTreeMap::new();
+    for nf in &graph.nfs {
+        let needed = estimates.get(&nf.id).copied().unwrap_or(0);
+        if let Some(pin) = pins.get(&nf.id) {
+            let alive = views.iter().any(|v| v.alive && v.name == *pin);
+            if !alive {
+                return Err(PlaceError::BadPin {
+                    nf: nf.id.clone(),
+                    node: pin.clone(),
+                });
+            }
+            *free.entry(pin.as_str()).or_default() = free
+                .get(pin.as_str())
+                .copied()
+                .unwrap_or(0)
+                .saturating_sub(needed);
+            out.insert(nf.id.clone(), pin.clone());
+            continue;
+        }
+
+        let mut best: Option<(i64, &NodeView)> = None;
+        for view in views.iter().filter(|v| v.alive) {
+            let avail = free.get(view.name.as_str()).copied().unwrap_or(0);
+            // A shared joinable instance costs nothing extra; otherwise
+            // the estimate must fit.
+            let reusable = view.shared_running.contains(&nf.functional_type);
+            if !reusable && avail < needed {
+                continue;
+            }
+            let mut score: i64 = 0;
+            if reusable {
+                score += 1_000_000;
+            }
+            if view.native_types.contains(&nf.functional_type) {
+                score += 100_000;
+            }
+            // Co-location: neighbors already resolved to this node.
+            if let Some(peers) = adjacent.get(nf.id.as_str()) {
+                for peer in peers {
+                    let here = out.get(*peer).map(String::as_str) == Some(view.name.as_str())
+                        || endpoint_node.get(*peer).map(String::as_str) == Some(view.name.as_str());
+                    if here {
+                        score += 10_000;
+                    }
+                }
+            }
+            // Memory tie-break, bounded to keep it below the other terms.
+            let mem_term = (avail / (1 << 20)).min(9_999) as i64;
+            score += match strategy {
+                PlacementStrategy::Pack => -mem_term,
+                PlacementStrategy::Spread => mem_term,
+            };
+            if best
+                .as_ref()
+                .is_none_or(|(s, b)| score > *s || (score == *s && view.name < b.name))
+            {
+                best = Some((score, view));
+            }
+        }
+        let Some((_, view)) = best else {
+            return Err(PlaceError::NoCapacity {
+                nf: nf.id.clone(),
+                needed,
+            });
+        };
+        let reusable = view.shared_running.contains(&nf.functional_type);
+        if !reusable {
+            let slot = free.get_mut(view.name.as_str()).expect("alive node");
+            *slot = slot.saturating_sub(needed);
+        }
+        out.insert(nf.id.clone(), view.name.clone());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use un_nffg::NfFgBuilder;
+
+    fn view(
+        name: &str,
+        free_mb: u64,
+        native: &[&str],
+        shared: &[&str],
+        ports: &[&str],
+    ) -> NodeView {
+        NodeView {
+            name: name.into(),
+            free_memory: free_mb << 20,
+            capacity: free_mb << 20,
+            native_types: native.iter().map(|s| s.to_string()).collect(),
+            shared_running: shared.iter().map(|s| s.to_string()).collect(),
+            ports: ports.iter().map(|s| s.to_string()).collect(),
+            alive: true,
+        }
+    }
+
+    fn chain() -> NfFg {
+        NfFgBuilder::new("g1", "chain")
+            .interface_endpoint("lan", "eth0")
+            .interface_endpoint("wan", "eth1")
+            .nf("fw", "firewall", 2)
+            .nf("gw", "ipsec", 2)
+            .chain("lan", &["fw", "gw"], "wan")
+            .build()
+    }
+
+    fn est(graph: &NfFg, mb: u64) -> BTreeMap<String, u64> {
+        graph.nfs.iter().map(|n| (n.id.clone(), mb << 20)).collect()
+    }
+
+    #[test]
+    fn prefers_shared_then_native() {
+        let g = chain();
+        let views = vec![
+            view("plain", 4096, &[], &[], &["eth0", "eth1"]),
+            view("native", 4096, &["firewall", "ipsec"], &[], &[]),
+            view("sharing", 64, &[], &["firewall", "ipsec"], &[]),
+        ];
+        let eps = assign_endpoints(&g, &views, &BTreeMap::new()).unwrap();
+        let a = assign(
+            &g,
+            &views,
+            &est(&g, 512),
+            &eps,
+            &BTreeMap::new(),
+            PlacementStrategy::Pack,
+        )
+        .unwrap();
+        // Shared reuse wins even though the sharing node is almost full.
+        assert_eq!(a["fw"], "sharing");
+        assert_eq!(a["gw"], "sharing");
+    }
+
+    #[test]
+    fn respects_capacity_and_reports_overflow() {
+        let g = chain();
+        let views = vec![view(
+            "tiny",
+            100,
+            &["firewall", "ipsec"],
+            &[],
+            &["eth0", "eth1"],
+        )];
+        let eps = assign_endpoints(&g, &views, &BTreeMap::new()).unwrap();
+        let err = assign(
+            &g,
+            &views,
+            &est(&g, 512),
+            &eps,
+            &BTreeMap::new(),
+            PlacementStrategy::Pack,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlaceError::NoCapacity { .. }));
+    }
+
+    #[test]
+    fn pack_fills_one_node_spread_distributes() {
+        let g = chain();
+        let views = vec![
+            view("n1", 4096, &["firewall", "ipsec"], &[], &["eth0", "eth1"]),
+            view("n2", 8192, &["firewall", "ipsec"], &[], &[]),
+        ];
+        let eps = assign_endpoints(&g, &views, &BTreeMap::new()).unwrap();
+        let pack = assign(
+            &g,
+            &views,
+            &est(&g, 512),
+            &eps,
+            &BTreeMap::new(),
+            PlacementStrategy::Pack,
+        )
+        .unwrap();
+        // Pack: both NFs land together (adjacency + fullest node).
+        assert_eq!(pack["fw"], pack["gw"]);
+
+        // Spread with no adjacency pull: strip the rules so only the
+        // memory term differs.
+        let mut sparse = g.clone();
+        sparse.flow_rules.clear();
+        let spread = assign(
+            &sparse,
+            &views,
+            &est(&g, 512),
+            &eps,
+            &BTreeMap::new(),
+            PlacementStrategy::Spread,
+        )
+        .unwrap();
+        assert_eq!(spread["fw"], "n2"); // emptiest first
+    }
+
+    #[test]
+    fn pins_and_dead_nodes() {
+        let g = chain();
+        let mut views = vec![
+            view("n1", 4096, &[], &[], &["eth0", "eth1"]),
+            view("n2", 4096, &[], &[], &[]),
+        ];
+        let eps = assign_endpoints(&g, &views, &BTreeMap::new()).unwrap();
+        let pins: BTreeMap<String, String> = [("fw".to_string(), "n2".to_string())].into();
+        let a = assign(
+            &g,
+            &views,
+            &est(&g, 64),
+            &eps,
+            &pins,
+            PlacementStrategy::Pack,
+        )
+        .unwrap();
+        assert_eq!(a["fw"], "n2");
+
+        views[1].alive = false;
+        let err = assign(
+            &g,
+            &views,
+            &est(&g, 64),
+            &eps,
+            &pins,
+            PlacementStrategy::Pack,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlaceError::BadPin { .. }));
+    }
+
+    #[test]
+    fn endpoint_assignment_follows_interfaces() {
+        let g = chain();
+        let views = vec![
+            view("n1", 1024, &[], &[], &["eth0"]),
+            view("n2", 1024, &[], &[], &["eth1"]),
+        ];
+        let eps = assign_endpoints(&g, &views, &BTreeMap::new()).unwrap();
+        assert_eq!(eps["lan"], "n1");
+        assert_eq!(eps["wan"], "n2");
+        let err = assign_endpoints(
+            &g,
+            &[view("n1", 1024, &[], &[], &["eth0"])],
+            &BTreeMap::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlaceError::NoSuchInterface { .. }));
+    }
+}

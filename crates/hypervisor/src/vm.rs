@@ -109,6 +109,7 @@ impl Default for UserspaceIpsecApp {
 
 /// What runs inside the guest.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
 pub enum GuestApp {
     /// Userspace IPsec endpoint (the paper's VM workload).
     UserspaceIpsec(UserspaceIpsecApp),
@@ -182,9 +183,12 @@ impl Vm {
 
     /// Virtqueue statistics of a NIC: (kicks, ring-full drops).
     pub fn nic_stats(&self, nic: usize) -> Option<(u64, u64)> {
-        self.nics
-            .get(nic)
-            .map(|n| (n.rx.kicks + n.tx.kicks, n.rx.ring_full_drops + n.tx.ring_full_drops))
+        self.nics.get(nic).map(|n| {
+            (
+                n.rx.kicks + n.tx.kicks,
+                n.rx.ring_full_drops + n.tx.ring_full_drops,
+            )
+        })
     }
 
     /// Deliver a frame from the host side into `nic`.
@@ -305,7 +309,8 @@ fn ipsec_process(
         match esp::encapsulate(sa, &ip_bytes) {
             Ok(esp_payload) => {
                 app.processed += 1;
-                let outer = build_outer_frame(eth_src, eth_dst, sa.tunnel_src, sa.tunnel_dst, &esp_payload);
+                let outer =
+                    build_outer_frame(eth_src, eth_dst, sa.tunnel_src, sa.tunnel_dst, &esp_payload);
                 vec![(1, outer)]
             }
             Err(_) => {
@@ -454,7 +459,10 @@ impl Hypervisor {
                 vm.state = VmState::Running;
                 Ok(())
             }
-            s => Err(VmError::BadState { op: "start", state: s }),
+            s => Err(VmError::BadState {
+                op: "start",
+                state: s,
+            }),
         }
     }
 
@@ -466,7 +474,10 @@ impl Hypervisor {
                 vm.state = VmState::Paused;
                 Ok(())
             }
-            s => Err(VmError::BadState { op: "pause", state: s }),
+            s => Err(VmError::BadState {
+                op: "pause",
+                state: s,
+            }),
         }
     }
 
@@ -478,7 +489,10 @@ impl Hypervisor {
                 vm.state = VmState::Running;
                 Ok(())
             }
-            s => Err(VmError::BadState { op: "resume", state: s }),
+            s => Err(VmError::BadState {
+                op: "resume",
+                state: s,
+            }),
         }
     }
 
@@ -496,7 +510,10 @@ impl Hypervisor {
                 vm.state = VmState::Stopped;
                 Ok(())
             }
-            s => Err(VmError::BadState { op: "stop", state: s }),
+            s => Err(VmError::BadState {
+                op: "stop",
+                state: s,
+            }),
         }
     }
 

@@ -51,7 +51,16 @@ fn lifecycle_and_memory_composition() {
     let mut ledger = MemLedger::new();
     let node = ledger.create_account("node", None);
     let id = hv
-        .create_vm("ipsec-vm", "strongswan-vm", 1, 320, 2, ipsec_app(), &mut ledger, node)
+        .create_vm(
+            "ipsec-vm",
+            "strongswan-vm",
+            1,
+            320,
+            2,
+            ipsec_app(),
+            &mut ledger,
+            node,
+        )
         .unwrap();
     assert_eq!(ledger.usage(node), 0);
 
@@ -73,11 +82,29 @@ fn state_machine_guards() {
     let mut ledger = MemLedger::new();
     let node = ledger.create_account("node", None);
     assert!(matches!(
-        hv.create_vm("x", "ghost", 1, 64, 1, GuestApp::Reflector, &mut ledger, node),
+        hv.create_vm(
+            "x",
+            "ghost",
+            1,
+            64,
+            1,
+            GuestApp::Reflector,
+            &mut ledger,
+            node
+        ),
         Err(VmError::NoSuchImage(_))
     ));
     let id = hv
-        .create_vm("x", "strongswan-vm", 1, 64, 1, GuestApp::Reflector, &mut ledger, node)
+        .create_vm(
+            "x",
+            "strongswan-vm",
+            1,
+            64,
+            1,
+            GuestApp::Reflector,
+            &mut ledger,
+            node,
+        )
         .unwrap();
     assert!(matches!(hv.pause(id), Err(VmError::BadState { .. })));
     hv.start(id, &mut ledger).unwrap();
@@ -93,7 +120,16 @@ fn stopped_vm_drops_packets() {
     let mut ledger = MemLedger::new();
     let node = ledger.create_account("node", None);
     let id = hv
-        .create_vm("x", "strongswan-vm", 1, 64, 2, GuestApp::L2Forward, &mut ledger, node)
+        .create_vm(
+            "x",
+            "strongswan-vm",
+            1,
+            64,
+            2,
+            GuestApp::L2Forward,
+            &mut ledger,
+            node,
+        )
         .unwrap();
     let io = hv.deliver(id, 0, lan_frame(100), &CostModel::default());
     assert!(io.outputs.is_empty());
@@ -106,7 +142,16 @@ fn l2_forward_crosses_nics() {
     let mut ledger = MemLedger::new();
     let node = ledger.create_account("node", None);
     let id = hv
-        .create_vm("fwd", "strongswan-vm", 1, 64, 2, GuestApp::L2Forward, &mut ledger, node)
+        .create_vm(
+            "fwd",
+            "strongswan-vm",
+            1,
+            64,
+            2,
+            GuestApp::L2Forward,
+            &mut ledger,
+            node,
+        )
         .unwrap();
     hv.start(id, &mut ledger).unwrap();
     let io = hv.deliver(id, 0, lan_frame(64), &CostModel::default());
@@ -123,7 +168,16 @@ fn userspace_ipsec_encapsulates_and_wire_is_opaque() {
     let mut ledger = MemLedger::new();
     let node = ledger.create_account("node", None);
     let id = hv
-        .create_vm("swan", "strongswan-vm", 1, 320, 2, ipsec_app(), &mut ledger, node)
+        .create_vm(
+            "swan",
+            "strongswan-vm",
+            1,
+            320,
+            2,
+            ipsec_app(),
+            &mut ledger,
+            node,
+        )
         .unwrap();
     hv.start(id, &mut ledger).unwrap();
 
@@ -164,7 +218,16 @@ fn userspace_ipsec_decapsulates_inbound() {
     let mut ledger = MemLedger::new();
     let node = ledger.create_account("node", None);
     let id = hv
-        .create_vm("swan", "strongswan-vm", 1, 320, 2, ipsec_app(), &mut ledger, node)
+        .create_vm(
+            "swan",
+            "strongswan-vm",
+            1,
+            320,
+            2,
+            ipsec_app(),
+            &mut ledger,
+            node,
+        )
         .unwrap();
     hv.start(id, &mut ledger).unwrap();
 
@@ -241,7 +304,16 @@ fn vm_path_costs_more_than_kernel_path() {
     let mut ledger = MemLedger::new();
     let node = ledger.create_account("node", None);
     let id = hv
-        .create_vm("swan", "strongswan-vm", 1, 320, 2, ipsec_app(), &mut ledger, node)
+        .create_vm(
+            "swan",
+            "strongswan-vm",
+            1,
+            320,
+            2,
+            ipsec_app(),
+            &mut ledger,
+            node,
+        )
         .unwrap();
     hv.start(id, &mut ledger).unwrap();
     let io = hv.deliver(id, 0, lan_frame(1400), &CostModel::default());
@@ -262,7 +334,16 @@ fn virtqueue_kicks_counted_per_packet() {
     let mut ledger = MemLedger::new();
     let node = ledger.create_account("node", None);
     let id = hv
-        .create_vm("fwd", "strongswan-vm", 1, 64, 2, GuestApp::L2Forward, &mut ledger, node)
+        .create_vm(
+            "fwd",
+            "strongswan-vm",
+            1,
+            64,
+            2,
+            GuestApp::L2Forward,
+            &mut ledger,
+            node,
+        )
         .unwrap();
     hv.start(id, &mut ledger).unwrap();
     for _ in 0..10 {

@@ -78,10 +78,7 @@ fn aad_for(spi: u32, seq: u32) -> [u8; 8] {
 /// SA, producing the ESP payload for the outer packet.
 ///
 /// Advances the SA sequence number and lifetime counters.
-pub fn encapsulate(
-    sa: &mut SecurityAssociation,
-    inner: &[u8],
-) -> Result<Vec<u8>, IpsecError> {
+pub fn encapsulate(sa: &mut SecurityAssociation, inner: &[u8]) -> Result<Vec<u8>, IpsecError> {
     if sa.direction != SaDirection::Out {
         return Err(IpsecError::WrongDirection);
     }
@@ -153,8 +150,7 @@ pub fn decapsulate(
 
     let nonce = nonce_for(sa, &iv);
     let aad = aad_for(spi, seq);
-    aead::open(&sa.key, &nonce, &aad, &mut ciphertext, &tag)
-        .map_err(|_| IpsecError::AuthFailed)?;
+    aead::open(&sa.key, &nonce, &aad, &mut ciphertext, &tag).map_err(|_| IpsecError::AuthFailed)?;
 
     // Auth passed: now (and only now) slide the replay window.
     sa.replay.update(seq);
@@ -206,7 +202,10 @@ mod tests {
             let inner: Vec<u8> = (0..len).map(|i| i as u8).collect();
             let wire = encapsulate(&mut tx, &inner).unwrap();
             // Framing: alignment of the encrypted body.
-            assert_eq!((wire.len() - ESP_HEADER_LEN - ESP_IV_LEN - ESP_ICV_LEN) % 4, 0);
+            assert_eq!(
+                (wire.len() - ESP_HEADER_LEN - ESP_IV_LEN - ESP_ICV_LEN) % 4,
+                0
+            );
             let back = decapsulate(&mut rx, &wire).unwrap();
             assert_eq!(back, inner, "len {len}");
         }
@@ -253,7 +252,10 @@ mod tests {
         let mut wire = encapsulate(&mut tx, b"secret").unwrap();
         let mid = wire.len() / 2;
         wire[mid] ^= 0x01;
-        assert_eq!(decapsulate(&mut rx, &wire).unwrap_err(), IpsecError::AuthFailed);
+        assert_eq!(
+            decapsulate(&mut rx, &wire).unwrap_err(),
+            IpsecError::AuthFailed
+        );
         // The genuine packet must still be accepted afterwards: failed
         // auth must not advance the replay window.
         let mut wire2 = wire;
@@ -289,7 +291,10 @@ mod tests {
         let (mut tx, mut rx) = pair();
         rx.key = [0x43u8; 32];
         let wire = encapsulate(&mut tx, b"x").unwrap();
-        assert_eq!(decapsulate(&mut rx, &wire).unwrap_err(), IpsecError::AuthFailed);
+        assert_eq!(
+            decapsulate(&mut rx, &wire).unwrap_err(),
+            IpsecError::AuthFailed
+        );
     }
 
     #[test]

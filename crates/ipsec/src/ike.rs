@@ -218,8 +218,7 @@ impl IkeResponder {
             return Err(IkeError::Truncated);
         }
         let id = String::from_utf8_lossy(&msg[5..5 + id_len]).to_string();
-        let nonce_i: [u8; NONCE_LEN] =
-            msg[5 + id_len..5 + id_len + NONCE_LEN].try_into().unwrap();
+        let nonce_i: [u8; NONCE_LEN] = msg[5 + id_len..5 + id_len + NONCE_LEN].try_into().unwrap();
         let spi_i = u32::from_be_bytes(
             msg[5 + id_len + NONCE_LEN..5 + id_len + NONCE_LEN + 4]
                 .try_into()
@@ -237,8 +236,7 @@ impl IkeResponder {
         out.extend_from_slice(&spi_r.to_be_bytes());
         out.extend_from_slice(&auth);
 
-        let (key_i2r, salt_i2r, key_r2i, salt_r2i) =
-            derive_keys(&self.cfg.psk, &nonce_i, &nonce_r);
+        let (key_i2r, salt_i2r, key_r2i, salt_r2i) = derive_keys(&self.cfg.psk, &nonce_i, &nonce_r);
         let pair = SaPair {
             // Responder sends r→i traffic under the initiator's SPI.
             outbound: SecurityAssociation::outbound(
@@ -278,7 +276,8 @@ mod tests {
     fn handshake_yields_working_tunnel() {
         let mut rng_i = DetRng::new(1);
         let mut rng_r = DetRng::new(2);
-        let mut init = IkeInitiator::new(cfg([192, 0, 2, 1], [203, 0, 113, 7], "s3cret"), &mut rng_i);
+        let mut init =
+            IkeInitiator::new(cfg([192, 0, 2, 1], [203, 0, 113, 7], "s3cret"), &mut rng_i);
         let mut resp = IkeResponder::new(cfg([203, 0, 113, 7], [192, 0, 2, 1], "s3cret"));
 
         let m1 = init.initial_message();
@@ -305,8 +304,7 @@ mod tests {
     #[test]
     fn wrong_psk_detected_at_auth() {
         let mut rng = DetRng::new(3);
-        let mut init =
-            IkeInitiator::new(cfg([1, 1, 1, 1], [2, 2, 2, 2], "alpha"), &mut rng);
+        let mut init = IkeInitiator::new(cfg([1, 1, 1, 1], [2, 2, 2, 2], "alpha"), &mut rng);
         let mut resp = IkeResponder::new(cfg([2, 2, 2, 2], [1, 1, 1, 1], "beta"));
         let m1 = init.initial_message();
         let (m2, _, _) = resp.handle_initial(&m1, &mut rng).unwrap();
@@ -316,8 +314,7 @@ mod tests {
     #[test]
     fn tampered_response_detected() {
         let mut rng = DetRng::new(4);
-        let mut init =
-            IkeInitiator::new(cfg([1, 1, 1, 1], [2, 2, 2, 2], "psk"), &mut rng);
+        let mut init = IkeInitiator::new(cfg([1, 1, 1, 1], [2, 2, 2, 2], "psk"), &mut rng);
         let mut resp = IkeResponder::new(cfg([2, 2, 2, 2], [1, 1, 1, 1], "psk"));
         let m1 = init.initial_message();
         let (mut m2, _, _) = resp.handle_initial(&m1, &mut rng).unwrap();
@@ -340,7 +337,10 @@ mod tests {
         );
         let mut init = IkeInitiator::new(cfg([1, 1, 1, 1], [2, 2, 2, 2], "psk"), &mut rng);
         let _ = init.initial_message();
-        assert_eq!(init.handle_response(b"short").unwrap_err(), IkeError::Truncated);
+        assert_eq!(
+            init.handle_response(b"short").unwrap_err(),
+            IkeError::Truncated
+        );
     }
 
     #[test]

@@ -155,7 +155,10 @@ mod tests {
         assert_eq!(sad.len(), 2);
         assert!(sad.get(0x100).is_some());
         assert!(sad.get(0x300).is_none());
-        assert_eq!(sad.get(0x200).unwrap().tunnel_dst, Ipv4Addr::new(203, 0, 113, 7));
+        assert_eq!(
+            sad.get(0x200).unwrap().tunnel_dst,
+            Ipv4Addr::new(203, 0, 113, 7)
+        );
     }
 
     #[test]

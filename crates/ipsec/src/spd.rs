@@ -34,7 +34,11 @@ impl TrafficSelector {
 
     /// Selector for a src/dst prefix pair.
     pub fn between(src: Ipv4Cidr, dst: Ipv4Cidr) -> Self {
-        TrafficSelector { src, dst, proto: None }
+        TrafficSelector {
+            src,
+            dst,
+            proto: None,
+        }
     }
 
     /// Does a packet with these addresses/protocol match?

@@ -348,7 +348,10 @@ mod tests {
         let mut ct = Conntrack::new();
         let t = tuple([1, 1, 1, 1], 1, [2, 2, 2, 2], 2);
         let _id = ct.begin(0, t);
-        assert!(ct.find(0, &t).is_none(), "unconfirmed entries must not match");
+        assert!(
+            ct.find(0, &t).is_none(),
+            "unconfirmed entries must not match"
+        );
         assert_eq!(ct.len(), 0);
     }
 

@@ -155,7 +155,9 @@ impl Host {
             dropped: 0,
         });
         let lo = self.push_iface(id, "lo", IfaceKind::Loopback);
-        self.ifaces[lo.0 as usize].addrs.push(Ipv4Cidr::new(Ipv4Addr::LOCALHOST, 8));
+        self.ifaces[lo.0 as usize]
+            .addrs
+            .push(Ipv4Cidr::new(Ipv4Addr::LOCALHOST, 8));
         self.ifaces[lo.0 as usize].up = true;
         id
     }
@@ -288,12 +290,15 @@ impl Host {
         self.iface_check(iface)?;
         let ns = self.ifaces[iface.0 as usize].ns;
         self.ifaces[iface.0 as usize].addrs.push(cidr);
-        self.namespaces[ns.0 as usize].routing.main_mut().add(Route {
-            dst: Ipv4Cidr::new(cidr.network(), cidr.prefix_len()),
-            via: None,
-            dev: iface,
-            metric: 0,
-        });
+        self.namespaces[ns.0 as usize]
+            .routing
+            .main_mut()
+            .add(Route {
+                dst: Ipv4Cidr::new(cidr.network(), cidr.prefix_len()),
+                via: None,
+                dev: iface,
+                metric: 0,
+            });
         Ok(())
     }
 
@@ -367,7 +372,9 @@ impl Host {
         rule: crate::netfilter::NfRule,
     ) -> Result<(), HostError> {
         self.ns_check(ns)?;
-        self.namespaces[ns.0 as usize].netfilter.append(table, chain, rule);
+        self.namespaces[ns.0 as usize]
+            .netfilter
+            .append(table, chain, rule);
         Ok(())
     }
 
@@ -438,12 +445,7 @@ impl Host {
     // ------------------------------------------------------------------
 
     /// Bind a UDP socket.
-    pub fn udp_bind(
-        &mut self,
-        ns: NsId,
-        addr: Ipv4Addr,
-        port: u16,
-    ) -> Result<SocketId, HostError> {
+    pub fn udp_bind(&mut self, ns: NsId, addr: Ipv4Addr, port: u16) -> Result<SocketId, HostError> {
         self.ns_check(ns)?;
         self.sockets
             .bind(ns, addr, port)
@@ -609,10 +611,14 @@ impl Host {
 
     fn bridge_master(&self, iface: IfaceId) -> Option<IfaceId> {
         let ns = self.ifaces[iface.0 as usize].ns;
-        self.namespaces[ns.0 as usize].ifaces.iter().copied().find(|&b| {
-            matches!(&self.ifaces[b.0 as usize].kind,
+        self.namespaces[ns.0 as usize]
+            .ifaces
+            .iter()
+            .copied()
+            .find(|&b| {
+                matches!(&self.ifaces[b.0 as usize].kind,
                      IfaceKind::Bridge { members, .. } if members.contains(&iface))
-        })
+            })
     }
 
     fn vlan_sub_of(&self, parent: IfaceId, vid: u16) -> Option<IfaceId> {
@@ -702,7 +708,10 @@ impl Host {
         // Learn/refresh the sender and flush any parked packets.
         let pending = {
             let nsr = &mut self.namespaces[ns.0 as usize];
-            match nsr.neigh.insert(sender_ip, NeighState::Reachable(sender_mac)) {
+            match nsr
+                .neigh
+                .insert(sender_ip, NeighState::Reachable(sender_mac))
+            {
                 Some(NeighState::Incomplete { pending }) => pending,
                 _ => Vec::new(),
             }
@@ -809,14 +818,20 @@ impl Host {
                 Some((id, d)) => (id, d, false),
                 None => {
                     ctx.charge(self.costs.conntrack_new_ns);
-                    (nsr.conntrack.begin(zone, tuple), CtDirection::Original, true)
+                    (
+                        nsr.conntrack.begin(zone, tuple),
+                        CtDirection::Original,
+                        true,
+                    )
                 }
             }
         };
         // Record the packet at conntrack time (kernel semantics): the
         // first reply-direction packet itself already matches ESTABLISHED
         // in later chains.
-        self.namespaces[ns.0 as usize].conntrack.note_packet(conn, dir);
+        self.namespaces[ns.0 as usize]
+            .conntrack
+            .note_packet(conn, dir);
         nfp.ct_state = self.namespaces[ns.0 as usize].conntrack.state(conn);
 
         // nat/PREROUTING (DNAT) for new original-direction flows.
@@ -1029,8 +1044,7 @@ impl Host {
                         .map(|p| p.dst())
                         .unwrap_or(Ipv4Addr::UNSPECIFIED);
                     ctx.charge(self.costs.route_lookup_ns);
-                    let Some((dev2, nh2)) = self.route_lookup(ns, outer_dst, meta.fwmark)
-                    else {
+                    let Some((dev2, nh2)) = self.route_lookup(ns, outer_dst, meta.fwmark) else {
                         self.trace.count("no_route", 1);
                         self.namespaces[ns.0 as usize].dropped += 1;
                         return;

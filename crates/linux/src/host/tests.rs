@@ -92,10 +92,24 @@ fn routed_host() -> (Host, NsId, NsId, NsId) {
     }
     h.sysctl_ip_forward(router, true).unwrap();
     // Default routes.
-    h.route_add(client, crate::route::MAIN_TABLE, cidr("0.0.0.0/0"),
-                Some(Ipv4Addr::new(192, 168, 1, 1)), c0, 0).unwrap();
-    h.route_add(server, crate::route::MAIN_TABLE, cidr("0.0.0.0/0"),
-                Some(Ipv4Addr::new(203, 0, 113, 1)), s0, 0).unwrap();
+    h.route_add(
+        client,
+        crate::route::MAIN_TABLE,
+        cidr("0.0.0.0/0"),
+        Some(Ipv4Addr::new(192, 168, 1, 1)),
+        c0,
+        0,
+    )
+    .unwrap();
+    h.route_add(
+        server,
+        crate::route::MAIN_TABLE,
+        cidr("0.0.0.0/0"),
+        Some(Ipv4Addr::new(203, 0, 113, 1)),
+        s0,
+        0,
+    )
+    .unwrap();
     (h, client, router, server)
 }
 
@@ -120,7 +134,8 @@ fn forwarding_with_masquerade_nat() {
 
     let srv = h.udp_bind(server, Ipv4Addr::UNSPECIFIED, 53).unwrap();
     let cli = h.udp_bind(client, Ipv4Addr::UNSPECIFIED, 5000).unwrap();
-    h.udp_send(cli, Ipv4Addr::new(203, 0, 113, 9), 53, b"query").unwrap();
+    h.udp_send(cli, Ipv4Addr::new(203, 0, 113, 9), 53, b"query")
+        .unwrap();
 
     let dg = h.udp_recv(srv).expect("query forwarded");
     assert_eq!(
@@ -145,7 +160,8 @@ fn forwarding_with_masquerade_nat() {
 fn stateful_firewall_allows_replies_only() {
     let (mut h, client, router, server) = routed_host();
     // FORWARD policy DROP; allow LAN->WAN new, and only ESTABLISHED back.
-    h.nf_policy(router, NfTable::Filter, Chain::Forward, false).unwrap();
+    h.nf_policy(router, NfTable::Filter, Chain::Forward, false)
+        .unwrap();
     let lan = h.iface_by_name(router, "lan").unwrap().id;
     h.nf_append(
         router,
@@ -183,7 +199,8 @@ fn stateful_firewall_allows_replies_only() {
     assert!(h.udp_recv(cli).is_none(), "firewall must block unsolicited");
 
     // Client-initiated flow passes, and its reply passes (ESTABLISHED).
-    h.udp_send(cli, Ipv4Addr::new(203, 0, 113, 9), 53, b"query").unwrap();
+    h.udp_send(cli, Ipv4Addr::new(203, 0, 113, 9), 53, b"query")
+        .unwrap();
     let dg = h.udp_recv(srv).expect("outbound allowed");
     h.udp_send(srv, dg.src, dg.sport, b"answer").unwrap();
     assert!(h.udp_recv(cli).is_some(), "reply must pass as ESTABLISHED");
@@ -204,13 +221,37 @@ fn policy_routing_by_fwmark() {
         h.set_up(i, true).unwrap();
     }
     h.sysctl_ip_forward(r, true).unwrap();
-    h.route_add(r, crate::route::MAIN_TABLE, cidr("0.0.0.0/0"),
-                Some(Ipv4Addr::new(198, 51, 100, 254)), wan1, 0).unwrap();
-    h.route_add(r, 102, cidr("0.0.0.0/0"),
-                Some(Ipv4Addr::new(203, 0, 113, 254)), wan2, 0).unwrap();
-    h.rule_add(r, IpRule { priority: 100, fwmark: Some(2), table: 102 }).unwrap();
-    h.neigh_add(r, Ipv4Addr::new(198, 51, 100, 254), MacAddr::local(900)).unwrap();
-    h.neigh_add(r, Ipv4Addr::new(203, 0, 113, 254), MacAddr::local(901)).unwrap();
+    h.route_add(
+        r,
+        crate::route::MAIN_TABLE,
+        cidr("0.0.0.0/0"),
+        Some(Ipv4Addr::new(198, 51, 100, 254)),
+        wan1,
+        0,
+    )
+    .unwrap();
+    h.route_add(
+        r,
+        102,
+        cidr("0.0.0.0/0"),
+        Some(Ipv4Addr::new(203, 0, 113, 254)),
+        wan2,
+        0,
+    )
+    .unwrap();
+    h.rule_add(
+        r,
+        IpRule {
+            priority: 100,
+            fwmark: Some(2),
+            table: 102,
+        },
+    )
+    .unwrap();
+    h.neigh_add(r, Ipv4Addr::new(198, 51, 100, 254), MacAddr::local(900))
+        .unwrap();
+    h.neigh_add(r, Ipv4Addr::new(203, 0, 113, 254), MacAddr::local(901))
+        .unwrap();
     // Mark traffic from 192.168.2.0/24 with 2 (mangle PREROUTING).
     h.nf_append(
         r,
@@ -309,7 +350,8 @@ fn vlan_subinterface_demux_and_tagging() {
         .icmp_echo(un_packet::icmp::IcmpKind::EchoRequest, 1, 1)
         .build();
     // Static neighbor so the reply needs no ARP.
-    h.neigh_add(r, Ipv4Addr::new(10, 10, 0, 2), MacAddr::local(77)).unwrap();
+    h.neigh_add(r, Ipv4Addr::new(10, 10, 0, 2), MacAddr::local(77))
+        .unwrap();
     let res = h.inject(eth, echo);
     assert_eq!(res.emitted.len(), 1);
     let (tag, reply) = &res.emitted[0];
@@ -346,7 +388,8 @@ fn xfrm_tunnel_between_two_hosts() {
     // A protects traffic to 172.16.0.0/16 via SPI 0x700.
     {
         let x = ha.xfrm_mut(NsId(0)).unwrap();
-        x.sad.install(SecurityAssociation::outbound(0x700, a_ip, b_ip, key, salt));
+        x.sad
+            .install(SecurityAssociation::outbound(0x700, a_ip, b_ip, key, salt));
         x.spd.install(SecurityPolicy {
             selector: TrafficSelector::between(cidr("0.0.0.0/0"), cidr("172.16.0.0/16")),
             direction: PolicyDirection::Out,
@@ -356,7 +399,8 @@ fn xfrm_tunnel_between_two_hosts() {
     }
     {
         let x = hb.xfrm_mut(NsId(0)).unwrap();
-        x.sad.install(SecurityAssociation::inbound(0x700, a_ip, b_ip, key, salt));
+        x.sad
+            .install(SecurityAssociation::inbound(0x700, a_ip, b_ip, key, salt));
     }
     // A routes the protected subnet toward the gateway (the SPD then
     // decides to encapsulate).
@@ -415,7 +459,10 @@ fn ttl_expiry_drops() {
     let sock = h.udp_bind(client, Ipv4Addr::UNSPECIFIED, 5000).unwrap();
     let _ = sock;
     let pkt = un_packet::PacketBuilder::new()
-        .ipv4(Ipv4Addr::new(192, 168, 1, 10), Ipv4Addr::new(203, 0, 113, 9))
+        .ipv4(
+            Ipv4Addr::new(192, 168, 1, 10),
+            Ipv4Addr::new(203, 0, 113, 9),
+        )
         .ttl(1)
         .udp(5000, 53)
         .build();
@@ -429,7 +476,10 @@ fn forwarding_disabled_drops() {
     let (mut h, client, router, _server) = routed_host();
     h.sysctl_ip_forward(router, false).unwrap();
     let pkt = un_packet::PacketBuilder::new()
-        .ipv4(Ipv4Addr::new(192, 168, 1, 10), Ipv4Addr::new(203, 0, 113, 9))
+        .ipv4(
+            Ipv4Addr::new(192, 168, 1, 10),
+            Ipv4Addr::new(203, 0, 113, 9),
+        )
         .udp(5000, 53)
         .build();
     h.raw_send(client, pkt.data().to_vec()).unwrap();
@@ -526,9 +576,13 @@ fn costs_accumulate_along_path() {
         .udp_send(cli, Ipv4Addr::new(10, 0, 0, 2), 7, &[0u8; 1000])
         .unwrap();
     // user/kernel crossing + ip + veth + l4 at least.
-    let floor = CostModel::default().user_kernel_crossing_ns
-        + CostModel::default().veth_crossing_ns;
-    assert!(res.cost.as_nanos() > floor, "cost {} too small", res.cost.as_nanos());
+    let floor =
+        CostModel::default().user_kernel_crossing_ns + CostModel::default().veth_crossing_ns;
+    assert!(
+        res.cost.as_nanos() > floor,
+        "cost {} too small",
+        res.cost.as_nanos()
+    );
     assert!(h.udp_recv(srv).is_some());
     let _ = cli;
 }

@@ -181,7 +181,7 @@ pub struct ChainEffects {
 }
 
 /// One (table, chain) rule list with a default policy.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RuleChain {
     /// Rules in evaluation order.
     pub rules: Vec<NfRule>,
@@ -189,11 +189,11 @@ pub struct RuleChain {
     pub policy_accept: bool,
 }
 
-impl RuleChain {
-    fn new() -> Self {
+impl Default for RuleChain {
+    fn default() -> Self {
         RuleChain {
             rules: Vec::new(),
-            policy_accept: true,
+            policy_accept: true, // iptables ships with ACCEPT policies
         }
     }
 }
@@ -274,17 +274,14 @@ impl Netfilter {
     pub fn append(&mut self, table: NfTable, chain: Chain, rule: NfRule) {
         self.chains
             .entry((table, chain))
-            .or_insert_with(RuleChain::new)
+            .or_default()
             .rules
             .push(rule);
     }
 
     /// Set a chain's default policy (`iptables -P`).
     pub fn set_policy(&mut self, table: NfTable, chain: Chain, accept: bool) {
-        self.chains
-            .entry((table, chain))
-            .or_insert_with(RuleChain::new)
-            .policy_accept = accept;
+        self.chains.entry((table, chain)).or_default().policy_accept = accept;
     }
 
     /// Delete the first rule with this exact match+target

@@ -220,8 +220,14 @@ mod tests {
             dev: IfaceId(3),
             metric: 0,
         });
-        assert_eq!(t.lookup(Ipv4Addr::new(10, 1, 2, 3)).unwrap().dev, IfaceId(3));
-        assert_eq!(t.lookup(Ipv4Addr::new(10, 1, 9, 9)).unwrap().dev, IfaceId(2));
+        assert_eq!(
+            t.lookup(Ipv4Addr::new(10, 1, 2, 3)).unwrap().dev,
+            IfaceId(3)
+        );
+        assert_eq!(
+            t.lookup(Ipv4Addr::new(10, 1, 9, 9)).unwrap().dev,
+            IfaceId(2)
+        );
         assert_eq!(t.lookup(Ipv4Addr::new(8, 8, 8, 8)).unwrap().dev, IfaceId(1));
     }
 
@@ -240,7 +246,10 @@ mod tests {
             dev: IfaceId(2),
             metric: 10,
         });
-        assert_eq!(t.lookup(Ipv4Addr::new(10, 5, 5, 5)).unwrap().dev, IfaceId(2));
+        assert_eq!(
+            t.lookup(Ipv4Addr::new(10, 5, 5, 5)).unwrap().dev,
+            IfaceId(2)
+        );
     }
 
     #[test]
@@ -298,7 +307,10 @@ mod tests {
             fwmark: Some(7),
             table: 107, // never populated
         });
-        assert_eq!(p.lookup(Ipv4Addr::new(1, 2, 3, 4), 7).unwrap().dev, IfaceId(1));
+        assert_eq!(
+            p.lookup(Ipv4Addr::new(1, 2, 3, 4), 7).unwrap().dev,
+            IfaceId(1)
+        );
     }
 
     #[test]

@@ -59,6 +59,7 @@ impl SocketTable {
     }
 
     /// Bind a UDP socket in a namespace.
+    #[allow(clippy::result_unit_err)]
     pub fn bind(&mut self, ns: NsId, addr: Ipv4Addr, port: u16) -> Result<SocketId, ()> {
         if self.bound.contains_key(&(ns, port)) {
             return Err(());

@@ -65,7 +65,9 @@ impl fmt::Display for HostError {
             HostError::NoSuchNamespace(id) => write!(f, "no such namespace ns{id}"),
             HostError::NoSuchIface(id) => write!(f, "no such interface if{id}"),
             HostError::IfaceNameInUse(n) => write!(f, "interface name '{n}' in use"),
-            HostError::WrongIfaceKind(op) => write!(f, "operation '{op}' invalid for this interface kind"),
+            HostError::WrongIfaceKind(op) => {
+                write!(f, "operation '{op}' invalid for this interface kind")
+            }
             HostError::AddrInUse(a) => write!(f, "address in use: {a}"),
             HostError::NoSuchSocket(id) => write!(f, "no such socket {id}"),
             HostError::NoRoute(d) => write!(f, "no route to {d}"),

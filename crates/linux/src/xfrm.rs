@@ -84,11 +84,7 @@ impl Xfrm {
                 *cost_acc += costs.aead_kernel(ip_bytes.len());
                 match esp::encapsulate(sa, ip_bytes) {
                     Ok(esp_payload) => {
-                        let outer = build_outer(
-                            sa.tunnel_src,
-                            sa.tunnel_dst,
-                            &esp_payload,
-                        );
+                        let outer = build_outer(sa.tunnel_src, sa.tunnel_dst, &esp_payload);
                         self.encap_count += 1;
                         XfrmOutput::Encapsulated(outer)
                     }
@@ -245,7 +241,10 @@ mod tests {
             .build()
             .data()
             .to_vec();
-        assert!(matches!(left.output(&other, &costs, &mut cost), XfrmOutput::Pass));
+        assert!(matches!(
+            left.output(&other, &costs, &mut cost),
+            XfrmOutput::Pass
+        ));
     }
 
     #[test]

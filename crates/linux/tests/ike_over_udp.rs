@@ -7,7 +7,7 @@ use std::net::Ipv4Addr;
 
 use un_ipsec::spd::{PolicyAction, PolicyDirection, SecurityPolicy, TrafficSelector};
 use un_ipsec::{IkeConfig, IkeInitiator, IkeResponder};
-use un_linux::{Host, NsId, MAIN_TABLE};
+use un_linux::{Host, MAIN_TABLE};
 use un_packet::Ipv4Cidr;
 use un_sim::{CostModel, DetRng};
 
@@ -121,7 +121,10 @@ fn ike_negotiation_over_simulated_udp_then_esp_flows() {
     );
     let m1 = rogue.initial_message();
     let (m2, _, _) = responder.handle_initial(&m1, &mut rng_r).unwrap();
-    assert!(rogue.handle_response(&m2).is_err(), "PSK mismatch must fail");
+    assert!(
+        rogue.handle_response(&m2).is_err(),
+        "PSK mismatch must fail"
+    );
 }
 
 #[test]

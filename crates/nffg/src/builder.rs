@@ -1,8 +1,8 @@
 //! Ergonomic construction of NF-FGs for tests, examples and harnesses.
 
 use crate::model::{
-    Endpoint, EndpointKind, FlowRule, NetworkFunction, NfConfig, NfFg, NfPort, PortRef,
-    RuleAction, TrafficMatch,
+    Endpoint, EndpointKind, FlowRule, NetworkFunction, NfConfig, NfFg, NfPort, PortRef, RuleAction,
+    TrafficMatch,
 };
 
 /// Anything that can designate a port in builder calls: `"ep-id"` for an
@@ -140,7 +140,13 @@ impl NfFgBuilder {
     }
 
     /// Add a rule with a full match and action list.
-    pub fn rule(mut self, id: &str, priority: u16, matches: TrafficMatch, actions: Vec<RuleAction>) -> Self {
+    pub fn rule(
+        mut self,
+        id: &str,
+        priority: u16,
+        matches: TrafficMatch,
+        actions: Vec<RuleAction>,
+    ) -> Self {
         self.graph.flow_rules.push(FlowRule {
             id: id.to_string(),
             priority,
@@ -160,7 +166,10 @@ impl NfFgBuilder {
             PortRef::Endpoint(ep_a.to_string()),
         ));
         for nf in nf_ids {
-            hops.push((PortRef::Nf(nf.to_string(), 0), PortRef::Nf(nf.to_string(), 1)));
+            hops.push((
+                PortRef::Nf(nf.to_string(), 0),
+                PortRef::Nf(nf.to_string(), 1),
+            ));
         }
         hops.push((
             PortRef::Endpoint(ep_b.to_string()),

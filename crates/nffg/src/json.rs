@@ -7,36 +7,356 @@
 //! { "forwarding-graph": { "id": "g1", "name": "…", "VNFs": […],
 //!   "end-points": […], "flow-rules": […] } }
 //! ```
+//!
+//! The mapping is hand-written over [`crate::jsonval`] (the workspace
+//! builds offline, without serde); field names and shapes match the
+//! schema the previous serde derives produced.
 
-use serde::{Deserialize, Serialize};
-
-use crate::model::NfFg;
-
-#[derive(Serialize, Deserialize)]
-struct Envelope {
-    #[serde(rename = "forwarding-graph")]
-    forwarding_graph: NfFg,
-}
+use crate::jsonval::{err, Json, JsonError};
+use crate::model::{
+    Endpoint, EndpointKind, FlowRule, NetworkFunction, NfConfig, NfFg, NfPort, PortRef, RuleAction,
+    TrafficMatch,
+};
+use std::collections::BTreeMap;
 
 /// Serialize a graph to its wire JSON (compact).
 pub fn to_json(graph: &NfFg) -> String {
-    serde_json::to_string(&Envelope {
-        forwarding_graph: graph.clone(),
-    })
-    .expect("NF-FG serialization cannot fail")
+    envelope(graph).render()
 }
 
 /// Serialize a graph to pretty-printed wire JSON.
 pub fn to_json_pretty(graph: &NfFg) -> String {
-    serde_json::to_string_pretty(&Envelope {
-        forwarding_graph: graph.clone(),
-    })
-    .expect("NF-FG serialization cannot fail")
+    envelope(graph).render_pretty()
 }
 
 /// Parse wire JSON into a graph.
-pub fn from_json(json: &str) -> Result<NfFg, serde_json::Error> {
-    serde_json::from_str::<Envelope>(json).map(|e| e.forwarding_graph)
+pub fn from_json(json: &str) -> Result<NfFg, JsonError> {
+    let doc = crate::jsonval::parse(json)?;
+    let inner = doc
+        .get("forwarding-graph")
+        .ok_or_else(|| JsonError("missing 'forwarding-graph' envelope".into()))?;
+    graph_from(inner)
+}
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+fn envelope(graph: &NfFg) -> Json {
+    Json::obj().set("forwarding-graph", graph_to(graph))
+}
+
+fn graph_to(g: &NfFg) -> Json {
+    Json::obj()
+        .set("id", g.id.as_str())
+        .set("name", g.name.as_str())
+        .set("VNFs", Json::Arr(g.nfs.iter().map(nf_to).collect()))
+        .set(
+            "end-points",
+            Json::Arr(g.endpoints.iter().map(endpoint_to).collect()),
+        )
+        .set(
+            "flow-rules",
+            Json::Arr(g.flow_rules.iter().map(rule_to).collect()),
+        )
+}
+
+fn nf_to(nf: &NetworkFunction) -> Json {
+    let mut out = Json::obj()
+        .set("id", nf.id.as_str())
+        .set("functional-type", nf.functional_type.as_str())
+        .set(
+            "ports",
+            Json::Arr(
+                nf.ports
+                    .iter()
+                    .map(|p| {
+                        let mut port = Json::obj().set("id", p.id);
+                        if let Some(name) = &p.name {
+                            port = port.set("name", name.as_str());
+                        }
+                        port
+                    })
+                    .collect(),
+            ),
+        );
+    if !nf.config.is_empty() {
+        out = out.set("config", config_to(&nf.config));
+    }
+    if let Some(flavor) = &nf.flavor {
+        out = out.set("flavor", flavor.as_str());
+    }
+    out
+}
+
+fn config_to(c: &NfConfig) -> Json {
+    let mut out = Json::obj();
+    if !c.params.is_empty() {
+        out = out.set("params", Json::from(&c.params));
+    }
+    if !c.rules.is_empty() {
+        out = out.set("rules", Json::Arr(c.rules.iter().map(Json::from).collect()));
+    }
+    out
+}
+
+fn endpoint_to(ep: &Endpoint) -> Json {
+    let out = Json::obj().set("id", ep.id.as_str());
+    match &ep.kind {
+        EndpointKind::Interface { if_name } => out
+            .set("type", "interface")
+            .set("if-name", if_name.as_str()),
+        EndpointKind::Vlan { if_name, vlan_id } => out
+            .set("type", "vlan")
+            .set("if-name", if_name.as_str())
+            .set("vlan-id", *vlan_id),
+        EndpointKind::Internal { group } => {
+            out.set("type", "internal").set("group", group.as_str())
+        }
+    }
+}
+
+fn rule_to(r: &FlowRule) -> Json {
+    Json::obj()
+        .set("id", r.id.as_str())
+        .set("priority", r.priority)
+        .set("match", match_to(&r.matches))
+        .set(
+            "actions",
+            Json::Arr(r.actions.iter().map(action_to).collect()),
+        )
+}
+
+fn match_to(m: &TrafficMatch) -> Json {
+    let mut out = Json::obj();
+    if let Some(p) = &m.port_in {
+        out = out.set("port-in", p.to_string());
+    }
+    if let Some(v) = &m.eth_src {
+        out = out.set("eth-src", v.as_str());
+    }
+    if let Some(v) = &m.eth_dst {
+        out = out.set("eth-dst", v.as_str());
+    }
+    if let Some(v) = m.ether_type {
+        out = out.set("ether-type", v);
+    }
+    if let Some(v) = m.vlan_id {
+        out = out.set("vlan-id", v);
+    }
+    if let Some(v) = &m.ip_src {
+        out = out.set("ip-src", v.as_str());
+    }
+    if let Some(v) = &m.ip_dst {
+        out = out.set("ip-dst", v.as_str());
+    }
+    if let Some(v) = m.ip_proto {
+        out = out.set("ip-proto", v);
+    }
+    if let Some(v) = m.src_port {
+        out = out.set("port-src", v);
+    }
+    if let Some(v) = m.dst_port {
+        out = out.set("port-dst", v);
+    }
+    out
+}
+
+fn action_to(a: &RuleAction) -> Json {
+    match a {
+        RuleAction::Output(p) => Json::obj().set("output", p.to_string()),
+        RuleAction::PushVlan(v) => Json::obj().set("push-vlan", *v),
+        RuleAction::PopVlan => Json::Str("pop-vlan".into()),
+        RuleAction::SetFwmark(m) => Json::obj().set("set-fwmark", *m),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialization
+// ---------------------------------------------------------------------
+
+fn graph_from(v: &Json) -> Result<NfFg, JsonError> {
+    Ok(NfFg {
+        id: v.req_str("id")?,
+        name: v.req_str("name")?,
+        nfs: opt_arr(v, "VNFs")?
+            .iter()
+            .map(nf_from)
+            .collect::<Result<_, _>>()?,
+        endpoints: opt_arr(v, "end-points")?
+            .iter()
+            .map(endpoint_from)
+            .collect::<Result<_, _>>()?,
+        flow_rules: opt_arr(v, "flow-rules")?
+            .iter()
+            .map(rule_from)
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+fn opt_arr<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], JsonError> {
+    match v.get(key) {
+        None => Ok(&[]),
+        Some(j) => j
+            .as_arr()
+            .ok_or_else(|| JsonError(format!("field '{key}' is not an array"))),
+    }
+}
+
+fn nf_from(v: &Json) -> Result<NetworkFunction, JsonError> {
+    let ports = v
+        .get("ports")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| JsonError("NF missing 'ports' array".into()))?
+        .iter()
+        .map(|p| {
+            Ok(NfPort {
+                id: int(p, "id")?,
+                name: opt_str(p, "name"),
+            })
+        })
+        .collect::<Result<_, JsonError>>()?;
+    Ok(NetworkFunction {
+        id: v.req_str("id")?,
+        functional_type: v.req_str("functional-type")?,
+        ports,
+        config: match v.get("config") {
+            None => NfConfig::default(),
+            Some(c) => config_from(c)?,
+        },
+        flavor: opt_str(v, "flavor"),
+    })
+}
+
+fn config_from(v: &Json) -> Result<NfConfig, JsonError> {
+    let params = match v.get("params") {
+        None => BTreeMap::new(),
+        Some(p) => str_map(p)?,
+    };
+    let rules = match v.get("rules") {
+        None => Vec::new(),
+        Some(r) => r
+            .as_arr()
+            .ok_or_else(|| JsonError("'rules' is not an array".into()))?
+            .iter()
+            .map(str_map)
+            .collect::<Result<_, _>>()?,
+    };
+    Ok(NfConfig { params, rules })
+}
+
+fn str_map(v: &Json) -> Result<BTreeMap<String, String>, JsonError> {
+    let members = v
+        .members()
+        .ok_or_else(|| JsonError("expected a string map".into()))?;
+    members
+        .iter()
+        .map(|(k, val)| {
+            val.as_str()
+                .map(|s| (k.clone(), s.to_string()))
+                .ok_or_else(|| JsonError(format!("map value '{k}' is not a string")))
+        })
+        .collect()
+}
+
+fn endpoint_from(v: &Json) -> Result<Endpoint, JsonError> {
+    let id = v.req_str("id")?;
+    let kind = match v.req_str("type")?.as_str() {
+        "interface" => EndpointKind::Interface {
+            if_name: v.req_str("if-name")?,
+        },
+        "vlan" => EndpointKind::Vlan {
+            if_name: v.req_str("if-name")?,
+            vlan_id: int(v, "vlan-id")?,
+        },
+        "internal" => EndpointKind::Internal {
+            group: v.req_str("group")?,
+        },
+        other => return err(format!("unknown endpoint type '{other}'")),
+    };
+    Ok(Endpoint { id, kind })
+}
+
+fn rule_from(v: &Json) -> Result<FlowRule, JsonError> {
+    Ok(FlowRule {
+        id: v.req_str("id")?,
+        priority: int(v, "priority")?,
+        matches: match_from(
+            v.get("match")
+                .ok_or_else(|| JsonError("rule missing 'match'".into()))?,
+        )?,
+        actions: v
+            .get("actions")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| JsonError("rule missing 'actions' array".into()))?
+            .iter()
+            .map(action_from)
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+fn match_from(v: &Json) -> Result<TrafficMatch, JsonError> {
+    Ok(TrafficMatch {
+        port_in: match v.get("port-in").and_then(Json::as_str) {
+            None => None,
+            Some(s) => {
+                Some(PortRef::parse(s).ok_or_else(|| JsonError(format!("bad port ref '{s}'")))?)
+            }
+        },
+        eth_src: opt_str(v, "eth-src"),
+        eth_dst: opt_str(v, "eth-dst"),
+        ether_type: opt_int(v, "ether-type")?,
+        vlan_id: opt_int(v, "vlan-id")?,
+        ip_src: opt_str(v, "ip-src"),
+        ip_dst: opt_str(v, "ip-dst"),
+        ip_proto: opt_int(v, "ip-proto")?,
+        src_port: opt_int(v, "port-src")?,
+        dst_port: opt_int(v, "port-dst")?,
+    })
+}
+
+fn action_from(v: &Json) -> Result<RuleAction, JsonError> {
+    if v.as_str() == Some("pop-vlan") {
+        return Ok(RuleAction::PopVlan);
+    }
+    if let Some(p) = v.get("output") {
+        let s = p
+            .as_str()
+            .ok_or_else(|| JsonError("'output' is not a string".into()))?;
+        return PortRef::parse(s)
+            .map(RuleAction::Output)
+            .ok_or_else(|| JsonError(format!("bad port ref '{s}'")));
+    }
+    if v.get("push-vlan").is_some() {
+        return Ok(RuleAction::PushVlan(int(v, "push-vlan")?));
+    }
+    if v.get("set-fwmark").is_some() {
+        return Ok(RuleAction::SetFwmark(int(v, "set-fwmark")?));
+    }
+    err("unknown rule action")
+}
+
+fn opt_str(v: &Json, key: &str) -> Option<String> {
+    v.get(key).and_then(Json::as_str).map(str::to_string)
+}
+
+fn int<T: TryFrom<u64>>(v: &Json, key: &str) -> Result<T, JsonError> {
+    let raw = v.req_u64(key)?;
+    T::try_from(raw).map_err(|_| JsonError(format!("field '{key}' out of range")))
+}
+
+fn opt_int<T: TryFrom<u64>>(v: &Json, key: &str) -> Result<Option<T>, JsonError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(j) => {
+            let raw = j
+                .as_u64()
+                .ok_or_else(|| JsonError(format!("field '{key}' is not an integer")))?;
+            T::try_from(raw)
+                .map(Some)
+                .map_err(|_| JsonError(format!("field '{key}' out of range")))
+        }
+    }
 }
 
 #[cfg(test)]

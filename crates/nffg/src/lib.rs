@@ -21,14 +21,16 @@
 pub mod builder;
 pub mod diff;
 pub mod json;
+pub mod jsonval;
 pub mod model;
 pub mod validate;
 
 pub use builder::NfFgBuilder;
 pub use diff::{diff, GraphDiff};
 pub use json::{from_json, to_json, to_json_pretty};
+pub use jsonval::{Json, JsonError};
 pub use model::{
-    Endpoint, EndpointKind, FlowRule, NetworkFunction, NfConfig, NfFg, NfPort, PortRef,
-    RuleAction, TrafficMatch,
+    Endpoint, EndpointKind, FlowRule, NetworkFunction, NfConfig, NfFg, NfPort, PortRef, RuleAction,
+    TrafficMatch,
 };
 pub use validate::{validate, ValidationError};

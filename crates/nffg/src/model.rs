@@ -8,47 +8,39 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A network function inside a graph.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetworkFunction {
     /// Graph-unique id, e.g. `"vnf1"`.
     pub id: String,
     /// The functional type resolved against the VNF repository,
     /// e.g. `"ipsec"`, `"firewall"`, `"nat"`, `"bridge"`.
-    #[serde(rename = "functional-type")]
     pub functional_type: String,
     /// Ordered ports; rules reference them by index.
     pub ports: Vec<NfPort>,
     /// Generic configuration passed to whichever flavor is selected.
-    #[serde(default, skip_serializing_if = "NfConfig::is_empty")]
     pub config: NfConfig,
     /// Optional explicit flavor request (`"vm"`, `"docker"`, `"dpdk"`,
     /// `"native"`); `None` lets the orchestrator decide.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub flavor: Option<String>,
 }
 
 /// A named NF port.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NfPort {
     /// Port index, unique within the NF.
     pub id: u32,
     /// Optional human-readable name (`"in"`, `"out"`, `"wan"`).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub name: Option<String>,
 }
 
 /// Generic, flavor-agnostic NF configuration: scalar parameters plus an
 /// ordered list of rule-like entries (firewall rules, NAT mappings…).
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct NfConfig {
     /// Scalar parameters, e.g. `{"remote-peer": "203.0.113.7", "psk": …}`.
-    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
     pub params: BTreeMap<String, String>,
     /// Ordered structured entries, e.g. one map per firewall rule.
-    #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub rules: Vec<BTreeMap<String, String>>,
 }
 
@@ -71,32 +63,27 @@ impl NfConfig {
 }
 
 /// Where traffic enters or leaves the graph.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Endpoint {
     /// Graph-unique id, e.g. `"ep-lan"`.
     pub id: String,
     /// What the endpoint is attached to.
-    #[serde(flatten)]
     pub kind: EndpointKind,
 }
 
 /// Endpoint attachment kinds (subset of the un-orchestrator schema).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(tag = "type", rename_all = "lowercase")]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EndpointKind {
     /// A physical/host interface on the node, e.g. `eth0`.
     Interface {
         /// Node interface name.
-        #[serde(rename = "if-name")]
         if_name: String,
     },
     /// A VLAN sub-interface.
     Vlan {
         /// Node interface name.
-        #[serde(rename = "if-name")]
         if_name: String,
         /// VLAN id on that interface.
-        #[serde(rename = "vlan-id")]
         vlan_id: u16,
     },
     /// An internal endpoint used to join graphs on the same node.
@@ -144,52 +131,29 @@ impl PortRef {
     }
 }
 
-impl Serialize for PortRef {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_str(&self.to_string())
-    }
-}
-
-impl<'de> Deserialize<'de> for PortRef {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(d)?;
-        PortRef::parse(&s).ok_or_else(|| serde::de::Error::custom(format!("bad port ref '{s}'")))
-    }
-}
-
 /// Traffic classifier for a flow rule. All fields other than `port_in`
 /// are optional; an omitted field is a wildcard.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TrafficMatch {
     /// Where the traffic comes from (required).
-    #[serde(rename = "port-in")]
     pub port_in: Option<PortRef>,
     /// Source MAC, `aa:bb:cc:dd:ee:ff`.
-    #[serde(default, skip_serializing_if = "Option::is_none", rename = "eth-src")]
     pub eth_src: Option<String>,
     /// Destination MAC.
-    #[serde(default, skip_serializing_if = "Option::is_none", rename = "eth-dst")]
     pub eth_dst: Option<String>,
     /// EtherType, decimal.
-    #[serde(default, skip_serializing_if = "Option::is_none", rename = "ether-type")]
     pub ether_type: Option<u16>,
     /// VLAN id.
-    #[serde(default, skip_serializing_if = "Option::is_none", rename = "vlan-id")]
     pub vlan_id: Option<u16>,
     /// Source IPv4 prefix, `10.0.0.0/24` or bare address.
-    #[serde(default, skip_serializing_if = "Option::is_none", rename = "ip-src")]
     pub ip_src: Option<String>,
     /// Destination IPv4 prefix.
-    #[serde(default, skip_serializing_if = "Option::is_none", rename = "ip-dst")]
     pub ip_dst: Option<String>,
     /// IP protocol number.
-    #[serde(default, skip_serializing_if = "Option::is_none", rename = "ip-proto")]
     pub ip_proto: Option<u8>,
     /// L4 source port.
-    #[serde(default, skip_serializing_if = "Option::is_none", rename = "port-src")]
     pub src_port: Option<u16>,
     /// L4 destination port.
-    #[serde(default, skip_serializing_if = "Option::is_none", rename = "port-dst")]
     pub dst_port: Option<u16>,
 }
 
@@ -204,8 +168,7 @@ impl TrafficMatch {
 }
 
 /// What to do with matched traffic.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "kebab-case")]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RuleAction {
     /// Forward to an endpoint or NF port.
     Output(PortRef),
@@ -218,34 +181,30 @@ pub enum RuleAction {
 }
 
 /// One big-switch steering rule.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlowRule {
     /// Graph-unique rule id.
     pub id: String,
     /// Priority; higher wins.
     pub priority: u16,
     /// Classifier.
-    #[serde(rename = "match")]
     pub matches: TrafficMatch,
     /// Action list, applied in order; must contain exactly one `Output`.
     pub actions: Vec<RuleAction>,
 }
 
 /// The forwarding graph itself.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NfFg {
     /// Graph id (unique per node), e.g. `"g-0001"`.
     pub id: String,
     /// Human-readable name.
     pub name: String,
     /// Network functions.
-    #[serde(rename = "VNFs", default)]
     pub nfs: Vec<NetworkFunction>,
     /// Traffic endpoints.
-    #[serde(rename = "end-points", default)]
     pub endpoints: Vec<Endpoint>,
     /// Big-switch flow rules.
-    #[serde(rename = "flow-rules", default)]
     pub flow_rules: Vec<FlowRule>,
 }
 
@@ -287,10 +246,7 @@ mod tests {
             let p = PortRef::parse(s).unwrap();
             assert_eq!(p.to_string(), s);
         }
-        assert_eq!(
-            PortRef::parse("vnf:a:1"),
-            Some(PortRef::Nf("a".into(), 1))
-        );
+        assert_eq!(PortRef::parse("vnf:a:1"), Some(PortRef::Nf("a".into(), 1)));
         assert!(PortRef::parse("endpoint:").is_none());
         assert!(PortRef::parse("vnf:a").is_none());
         assert!(PortRef::parse("vnf::1").is_none());

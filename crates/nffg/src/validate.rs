@@ -59,7 +59,10 @@ impl fmt::Display for ValidationError {
                 write!(f, "rule '{rule}' has no port-in")
             }
             ValidationError::BadOutputCount { rule, count } => {
-                write!(f, "rule '{rule}' must have exactly one output action, has {count}")
+                write!(
+                    f,
+                    "rule '{rule}' must have exactly one output action, has {count}"
+                )
             }
             ValidationError::BadVlanId { rule, vid } => {
                 write!(f, "rule '{rule}' pushes invalid VLAN id {vid}")
@@ -166,13 +169,11 @@ pub fn validate(graph: &NfFg) -> Vec<ValidationError> {
                         });
                     }
                 }
-                RuleAction::PushVlan(vid) => {
-                    if *vid == 0 || *vid > 4094 {
-                        errs.push(ValidationError::BadVlanId {
-                            rule: rule.id.clone(),
-                            vid: *vid,
-                        });
-                    }
+                RuleAction::PushVlan(vid) if (*vid == 0 || *vid > 4094) => {
+                    errs.push(ValidationError::BadVlanId {
+                        rule: rule.id.clone(),
+                        vid: *vid,
+                    });
                 }
                 _ => {}
             }
@@ -190,7 +191,11 @@ pub fn validate(graph: &NfFg) -> Vec<ValidationError> {
             (&rule.matches.eth_dst, false),
         ] {
             if let Some(v) = field {
-                let ok = if as_ip { ip_field_ok(v) } else { mac_field_ok(v) };
+                let ok = if as_ip {
+                    ip_field_ok(v)
+                } else {
+                    mac_field_ok(v)
+                };
                 if !ok {
                     if as_ip {
                         errs.push(ValidationError::BadIpField {
@@ -239,9 +244,15 @@ mod tests {
         g.endpoints.push(g.endpoints[0].clone());
         g.flow_rules.push(g.flow_rules[0].clone());
         let errs = validate(&g);
-        assert!(errs.iter().any(|e| matches!(e, ValidationError::DuplicateNfId(_))));
-        assert!(errs.iter().any(|e| matches!(e, ValidationError::DuplicateEndpointId(_))));
-        assert!(errs.iter().any(|e| matches!(e, ValidationError::DuplicateRuleId(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::DuplicateNfId(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::DuplicateEndpointId(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::DuplicateRuleId(_))));
     }
 
     #[test]
@@ -264,7 +275,9 @@ mod tests {
         g.flow_rules[0].matches.port_in = None;
         g.flow_rules[1].actions = vec![RuleAction::PopVlan];
         let errs = validate(&g);
-        assert!(errs.iter().any(|e| matches!(e, ValidationError::MissingPortIn(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::MissingPortIn(_))));
         assert!(errs
             .iter()
             .any(|e| matches!(e, ValidationError::BadOutputCount { count: 0, .. })));
@@ -273,13 +286,21 @@ mod tests {
     #[test]
     fn detects_bad_vlan_and_fields() {
         let mut g = valid_graph();
-        g.flow_rules[0].actions.insert(0, RuleAction::PushVlan(5000));
+        g.flow_rules[0]
+            .actions
+            .insert(0, RuleAction::PushVlan(5000));
         g.flow_rules[0].matches.ip_src = Some("999.0.0.1".into());
         g.flow_rules[0].matches.eth_dst = Some("zz:00:00:00:00:01".into());
         let errs = validate(&g);
-        assert!(errs.iter().any(|e| matches!(e, ValidationError::BadVlanId { .. })));
-        assert!(errs.iter().any(|e| matches!(e, ValidationError::BadIpField { .. })));
-        assert!(errs.iter().any(|e| matches!(e, ValidationError::BadMacField { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::BadVlanId { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::BadIpField { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::BadMacField { .. })));
     }
 
     #[test]

@@ -115,7 +115,8 @@ impl AdaptationLayer {
             },
         )?;
 
-        self.attached.push((binding.clone(), GraphIfaces { lan, wan }));
+        self.attached
+            .push((binding.clone(), GraphIfaces { lan, wan }));
         Ok(GraphIfaces { lan, wan })
     }
 

@@ -112,7 +112,9 @@ mod tests {
                 ledger: &mut ledger,
                 account,
             };
-            plugin.start(&mut ctx, &[p0, p1, p2], &NfConfig::default()).unwrap();
+            plugin
+                .start(&mut ctx, &[p0, p1, p2], &NfConfig::default())
+                .unwrap();
         }
 
         let frame = un_packet::PacketBuilder::new()
@@ -146,7 +148,9 @@ mod tests {
             plugin.start(&mut ctx, &[p0], &NfConfig::default()),
             Err(NnfError::NotEnoughPorts { .. })
         ));
-        plugin.start(&mut ctx, &[p0, p1], &NfConfig::default()).unwrap();
+        plugin
+            .start(&mut ctx, &[p0, p1], &NfConfig::default())
+            .unwrap();
         assert!(plugin.bridge_iface().is_some());
         assert_eq!(ctx.ledger.usage(account), BRIDGE_RSS);
         plugin.stop(&mut ctx).unwrap();

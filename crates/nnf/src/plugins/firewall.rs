@@ -181,7 +181,11 @@ mod tests {
         }
         // Neighbor for the outside next hops.
         f.host
-            .neigh_add(f.ns, "10.0.0.9".parse().unwrap(), un_packet::MacAddr::local(9))
+            .neigh_add(
+                f.ns,
+                "10.0.0.9".parse().unwrap(),
+                un_packet::MacAddr::local(9),
+            )
             .unwrap();
 
         let in_mac = f.host.iface(f.ports[0]).unwrap().mac;
@@ -227,7 +231,9 @@ mod tests {
         assert_eq!(before, 2, "established + dns");
 
         // New config: accept-all policy, no rules.
-        let cfg = NfConfig::default().with_param("policy", "accept").with_param("stateful", "false");
+        let cfg = NfConfig::default()
+            .with_param("policy", "accept")
+            .with_param("stateful", "false");
         plugin.update(&mut ctx, &cfg).unwrap();
         let after = ctx
             .host

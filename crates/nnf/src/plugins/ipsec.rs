@@ -214,10 +214,7 @@ mod tests {
             ledger: &mut ledger,
             account,
         };
-        assert!(matches!(
-            plugin.stop(&mut ctx),
-            Err(NnfError::BadState(_))
-        ));
+        assert!(matches!(plugin.stop(&mut ctx), Err(NnfError::BadState(_))));
         assert!(matches!(
             plugin.start(&mut ctx, &[p0], &config()),
             Err(NnfError::NotEnoughPorts { need: 2, have: 1 })
@@ -280,7 +277,9 @@ mod tests {
                 ledger: &mut l1,
                 account: a1,
             };
-            cpe_plugin.start(&mut ctx, &[cpe_lan, cpe_wan], &cpe_cfg).unwrap();
+            cpe_plugin
+                .start(&mut ctx, &[cpe_lan, cpe_wan], &cpe_cfg)
+                .unwrap();
         }
         {
             let mut ctx = NnfContext {
@@ -289,7 +288,9 @@ mod tests {
                 ledger: &mut l2,
                 account: a2,
             };
-            gw_plugin.start(&mut ctx, &[gw_lan, gw_wan], &gw_cfg).unwrap();
+            gw_plugin
+                .start(&mut ctx, &[gw_lan, gw_wan], &gw_cfg)
+                .unwrap();
         }
         // Static neighbors (the fabric's LSIs would let ARP resolve).
         let cpe_wan_mac = cpe.iface(cpe_wan).unwrap().mac;
@@ -318,20 +319,30 @@ mod tests {
         let (tag, wire) = &out.emitted[0];
         assert_eq!(*tag, 11);
         assert!(
-            !wire.data().windows(payload.len()).any(|w| w == &payload[..]),
+            !wire
+                .data()
+                .windows(payload.len())
+                .any(|w| w == &payload[..]),
             "payload must be encrypted on the WAN"
         );
 
         // Gateway decapsulates and forwards into its LAN. It needs a
         // neighbor for the inner destination on its LAN side.
-        gw.neigh_add(gw_ns, "172.16.0.9".parse().unwrap(), un_packet::MacAddr::local(88))
-            .unwrap();
+        gw.neigh_add(
+            gw_ns,
+            "172.16.0.9".parse().unwrap(),
+            un_packet::MacAddr::local(88),
+        )
+        .unwrap();
         let out = gw.inject(gw_wan, wire.clone());
         assert_eq!(out.emitted.len(), 1, "plaintext delivered to gw LAN");
         let (tag, plain) = &out.emitted[0];
         assert_eq!(*tag, 20);
         assert!(
-            plain.data().windows(payload.len()).any(|w| w == &payload[..]),
+            plain
+                .data()
+                .windows(payload.len())
+                .any(|w| w == &payload[..]),
             "payload restored in the clear"
         );
         assert_eq!(cpe.trace.counter("xfrm_encap"), 1);

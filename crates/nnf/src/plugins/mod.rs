@@ -54,7 +54,8 @@ pub fn execute(
                     need: dev_port + 1,
                     have: ports.len(),
                 })?;
-                ctx.host.route_add(ctx.ns, *table, *dst, *via, dev, *metric)?;
+                ctx.host
+                    .route_add(ctx.ns, *table, *dst, *via, dev, *metric)?;
             }
             NnfCommand::IpAddr { cidr, dev_port } => {
                 let dev = *ports.get(*dev_port).ok_or(NnfError::NotEnoughPorts {

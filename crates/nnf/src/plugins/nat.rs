@@ -49,7 +49,10 @@ impl NatNnf {
 
     /// Number of graphs bound in shared mode.
     pub fn bound_graphs(&self) -> usize {
-        self.adaptation.as_ref().map(|a| a.graph_count()).unwrap_or(0)
+        self.adaptation
+            .as_ref()
+            .map(|a| a.graph_count())
+            .unwrap_or(0)
     }
 }
 
@@ -305,7 +308,10 @@ mod tests {
         let lan_mac = host.iface(p0).unwrap().mac;
         let pkt = un_packet::PacketBuilder::new()
             .ethernet(MacAddr::local(50), lan_mac)
-            .ipv4("192.168.1.10".parse().unwrap(), "203.0.113.9".parse().unwrap())
+            .ipv4(
+                "192.168.1.10".parse().unwrap(),
+                "203.0.113.9".parse().unwrap(),
+            )
             .udp(5000, 53)
             .payload(b"q")
             .build();
@@ -342,7 +348,9 @@ mod tests {
                 ledger: &mut ledger,
                 account,
             };
-            plugin.start(&mut ctx, &[port], &NfConfig::default()).unwrap();
+            plugin
+                .start(&mut ctx, &[port], &NfConfig::default())
+                .unwrap();
             plugin.bind_graph(&mut ctx, &b1).unwrap();
             plugin.bind_graph(&mut ctx, &b2).unwrap();
         }
@@ -366,24 +374,36 @@ mod tests {
         let out1 = host.inject(port, mk(b1.vid_lan));
         assert_eq!(out1.emitted.len(), 1, "graph 1 forwarded");
         let w1 = &out1.emitted[0].1;
-        assert_eq!(w1.vlan_id(), Some(b1.vid_wan), "egress re-tagged for graph 1");
+        assert_eq!(
+            w1.vlan_id(),
+            Some(b1.vid_wan),
+            "egress re-tagged for graph 1"
+        );
         let mut w1c = w1.clone();
         w1c.vlan_pop().unwrap();
         let ip1 = {
             let eth = w1c.ethernet().unwrap();
-            un_packet::Ipv4Packet::new_checked(eth.payload()).unwrap().src()
+            un_packet::Ipv4Packet::new_checked(eth.payload())
+                .unwrap()
+                .src()
         };
         assert_eq!(ip1, "203.0.113.1".parse::<std::net::Ipv4Addr>().unwrap());
 
         let out2 = host.inject(port, mk(b2.vid_lan));
         assert_eq!(out2.emitted.len(), 1, "graph 2 forwarded");
         let w2 = &out2.emitted[0].1;
-        assert_eq!(w2.vlan_id(), Some(b2.vid_wan), "egress re-tagged for graph 2");
+        assert_eq!(
+            w2.vlan_id(),
+            Some(b2.vid_wan),
+            "egress re-tagged for graph 2"
+        );
         let mut w2c = w2.clone();
         w2c.vlan_pop().unwrap();
         let ip2 = {
             let eth = w2c.ethernet().unwrap();
-            un_packet::Ipv4Packet::new_checked(eth.payload()).unwrap().src()
+            un_packet::Ipv4Packet::new_checked(eth.payload())
+                .unwrap()
+                .src()
         };
         assert_eq!(
             ip2,
@@ -413,7 +433,9 @@ mod tests {
             ledger: &mut ledger,
             account,
         };
-        plugin.start(&mut ctx, &[port], &NfConfig::default()).unwrap();
+        plugin
+            .start(&mut ctx, &[port], &NfConfig::default())
+            .unwrap();
         plugin.bind_graph(&mut ctx, &b1).unwrap();
         assert_eq!(plugin.bound_graphs(), 1);
         plugin.unbind_graph(&mut ctx, &b1).unwrap();

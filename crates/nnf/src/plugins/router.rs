@@ -140,6 +140,9 @@ mod tests {
             .build();
         let out = host.inject(p0, pkt);
         assert_eq!(out.emitted.len(), 1);
-        assert_eq!(out.emitted[0].0, 2, "routed out port 1 via the static route");
+        assert_eq!(
+            out.emitted[0].0, 2,
+            "routed out port 1 via the static route"
+        );
     }
 }

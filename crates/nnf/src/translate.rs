@@ -14,8 +14,8 @@
 use std::net::Ipv4Addr;
 
 use un_crypto::{hkdf_expand, hkdf_extract};
-use un_linux::netfilter::{Chain, NfRule, NfTable, RuleMatch, Target};
 use un_linux::conntrack::CtState;
+use un_linux::netfilter::{Chain, NfRule, NfTable, RuleMatch, Target};
 use un_nffg::NfConfig;
 use un_packet::Ipv4Cidr;
 
@@ -136,7 +136,10 @@ fn parse<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, TranslateError> 
 /// flags and agree on keys and SPIs — this is the "predefined
 /// configuration script" mode the paper's initial implementation uses
 /// (the full IKE exchange lives in `un-ipsec::ike`).
-pub fn derive_psk_tunnel(psk: &[u8], initiator: bool) -> ([u8; 32], [u8; 4], [u8; 32], [u8; 4], u32, u32) {
+pub fn derive_psk_tunnel(
+    psk: &[u8],
+    initiator: bool,
+) -> ([u8; 32], [u8; 4], [u8; 32], [u8; 4], u32, u32) {
     let prk = hkdf_extract(b"un-nnf-ipsec-static", psk);
     let mut okm = [0u8; 80];
     hkdf_expand(&prk, b"tunnel-keys", &mut okm);
@@ -155,7 +158,10 @@ pub fn derive_psk_tunnel(psk: &[u8], initiator: bool) -> ([u8; 32], [u8; 4], [u8
 }
 
 /// Translate a generic configuration into commands for `functional_type`.
-pub fn translate(functional_type: &str, config: &NfConfig) -> Result<Vec<NnfCommand>, TranslateError> {
+pub fn translate(
+    functional_type: &str,
+    config: &NfConfig,
+) -> Result<Vec<NnfCommand>, TranslateError> {
     match functional_type {
         "ipsec" => translate_ipsec(config),
         "firewall" => translate_firewall(config),
@@ -349,8 +355,17 @@ mod tests {
         let cmds = translate("ipsec", &cfg).unwrap();
         assert_eq!(cmds.len(), 4);
         assert!(matches!(cmds[0], NnfCommand::Sysctl { ip_forward: true }));
-        assert!(matches!(cmds[1], NnfCommand::XfrmState { outbound: true, .. }));
-        assert!(matches!(cmds[2], NnfCommand::XfrmState { outbound: false, .. }));
+        assert!(matches!(
+            cmds[1],
+            NnfCommand::XfrmState { outbound: true, .. }
+        ));
+        assert!(matches!(
+            cmds[2],
+            NnfCommand::XfrmState {
+                outbound: false,
+                ..
+            }
+        ));
         assert!(matches!(cmds[3], NnfCommand::XfrmPolicy { .. }));
 
         // Both roles agree crosswise.

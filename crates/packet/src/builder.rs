@@ -28,9 +28,23 @@ use crate::vlan::VLAN_HEADER_LEN;
 #[derive(Debug, Clone, Copy)]
 enum L4 {
     None,
-    Udp { src: u16, dst: u16 },
-    Tcp { src: u16, dst: u16, seq: u32, ack: u32, flags: u8 },
-    Icmp { kind: IcmpKind, code: u8, ident: u16, seq: u16 },
+    Udp {
+        src: u16,
+        dst: u16,
+    },
+    Tcp {
+        src: u16,
+        dst: u16,
+        seq: u32,
+        ack: u32,
+        flags: u8,
+    },
+    Icmp {
+        kind: IcmpKind,
+        code: u8,
+        ident: u16,
+        seq: u16,
+    },
     Raw(IpProtocol),
 }
 
@@ -112,7 +126,13 @@ impl PacketBuilder {
 
     /// TCP header with explicit flags.
     pub fn tcp(mut self, src: u16, dst: u16, seq: u32, ack: u32, flags: u8) -> Self {
-        self.l4 = L4::Tcp { src, dst, seq, ack, flags };
+        self.l4 = L4::Tcp {
+            src,
+            dst,
+            seq,
+            ack,
+            flags,
+        };
         self
     }
 
@@ -123,7 +143,12 @@ impl PacketBuilder {
 
     /// ICMP echo message.
     pub fn icmp_echo(mut self, kind: IcmpKind, ident: u16, seq: u16) -> Self {
-        self.l4 = L4::Icmp { kind, code: 0, ident, seq };
+        self.l4 = L4::Icmp {
+            kind,
+            code: 0,
+            ident,
+            seq,
+        };
         self
     }
 
@@ -149,9 +174,21 @@ impl PacketBuilder {
             L4::Icmp { .. } => ICMP_HEADER_LEN + self.payload.len(),
             L4::Raw(_) => self.payload.len(),
         };
-        let ip_len = if self.ip.is_some() { IPV4_HEADER_LEN + l4_len } else { l4_len };
-        let vlan_len = if self.vlan.is_some() { VLAN_HEADER_LEN } else { 0 };
-        let eth_len = if self.eth.is_some() { ETHERNET_HEADER_LEN } else { 0 };
+        let ip_len = if self.ip.is_some() {
+            IPV4_HEADER_LEN + l4_len
+        } else {
+            l4_len
+        };
+        let vlan_len = if self.vlan.is_some() {
+            VLAN_HEADER_LEN
+        } else {
+            0
+        };
+        let eth_len = if self.eth.is_some() {
+            ETHERNET_HEADER_LEN
+        } else {
+            0
+        };
         let total = eth_len + vlan_len + ip_len;
 
         let mut pkt = Packet::zeroed(total);
@@ -219,7 +256,13 @@ impl PacketBuilder {
                     u.payload_mut().copy_from_slice(&self.payload);
                     u.fill_checksum(src, dst);
                 }
-                L4::Tcp { src: sp, dst: dp, seq, ack, flags } => {
+                L4::Tcp {
+                    src: sp,
+                    dst: dp,
+                    seq,
+                    ack,
+                    flags,
+                } => {
                     let tcp_buf = &mut buf[l4_off..l4_off + l4_len];
                     let mut t = TcpSegment::new_unchecked(tcp_buf);
                     t.init();
@@ -232,7 +275,12 @@ impl PacketBuilder {
                     t.payload_mut().copy_from_slice(&self.payload);
                     t.fill_checksum(src, dst);
                 }
-                L4::Icmp { kind, code, ident, seq } => {
+                L4::Icmp {
+                    kind,
+                    code,
+                    ident,
+                    seq,
+                } => {
                     let icmp_buf = &mut buf[l4_off..l4_off + l4_len];
                     let mut m = IcmpMessage::new_unchecked(icmp_buf);
                     m.set_kind(kind);

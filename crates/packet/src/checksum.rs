@@ -28,12 +28,7 @@ pub fn checksum(data: &[u8]) -> u16 {
 }
 
 /// Checksum of a TCP/UDP segment including the IPv4 pseudo-header.
-pub fn pseudo_header_checksum(
-    src: Ipv4Addr,
-    dst: Ipv4Addr,
-    protocol: u8,
-    payload: &[u8],
-) -> u16 {
+pub fn pseudo_header_checksum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, payload: &[u8]) -> u16 {
     let mut sum = 0u32;
     sum += sum_be_words(&src.octets());
     sum += sum_be_words(&dst.octets());
@@ -68,8 +63,10 @@ mod tests {
 
     #[test]
     fn verify_roundtrip() {
-        let mut data = vec![0x45, 0x00, 0x00, 0x28, 0x12, 0x34, 0x40, 0x00, 0x40, 0x06, 0x00,
-                            0x00, 0x0a, 0x00, 0x00, 0x01, 0x0a, 0x00, 0x00, 0x02];
+        let mut data = vec![
+            0x45, 0x00, 0x00, 0x28, 0x12, 0x34, 0x40, 0x00, 0x40, 0x06, 0x00, 0x00, 0x0a, 0x00,
+            0x00, 0x01, 0x0a, 0x00, 0x00, 0x02,
+        ];
         let c = checksum(&data);
         data[10..12].copy_from_slice(&c.to_be_bytes());
         assert!(verify(&data));

@@ -71,7 +71,7 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let mut buf = vec![0u8; ESP_HEADER_LEN + 16];
+        let mut buf = [0u8; ESP_HEADER_LEN + 16];
         {
             let mut e = EspPacket::new_unchecked(&mut buf[..]);
             e.set_spi(0xc0ffee01);

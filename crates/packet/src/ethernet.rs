@@ -195,7 +195,7 @@ mod tests {
 
     #[test]
     fn frame_roundtrip() {
-        let mut buf = vec![0u8; 20];
+        let mut buf = [0u8; 20];
         {
             let mut f = EthernetFrame::new_checked(&mut buf[..]).unwrap();
             f.set_dst(MacAddr::BROADCAST);

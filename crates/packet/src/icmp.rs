@@ -140,7 +140,7 @@ mod tests {
 
     #[test]
     fn echo_roundtrip() {
-        let mut buf = vec![0u8; ICMP_HEADER_LEN + 4];
+        let mut buf = [0u8; ICMP_HEADER_LEN + 4];
         {
             let mut m = IcmpMessage::new_unchecked(&mut buf[..]);
             m.set_kind(IcmpKind::EchoRequest);
@@ -160,7 +160,7 @@ mod tests {
 
     #[test]
     fn corrupt_detected() {
-        let mut buf = vec![0u8; ICMP_HEADER_LEN];
+        let mut buf = [0u8; ICMP_HEADER_LEN];
         {
             let mut m = IcmpMessage::new_unchecked(&mut buf[..]);
             m.set_kind(IcmpKind::EchoReply);

@@ -189,7 +189,7 @@ mod tests {
     fn roundtrip() {
         let src = Ipv4Addr::new(192, 168, 0, 1);
         let dst = Ipv4Addr::new(192, 168, 0, 2);
-        let mut buf = vec![0u8; TCP_HEADER_LEN + 4];
+        let mut buf = [0u8; TCP_HEADER_LEN + 4];
         {
             let mut s = TcpSegment::new_unchecked(&mut buf[..]);
             s.init();
@@ -229,7 +229,7 @@ mod tests {
             TcpSegment::new_checked(&[0u8; 19][..]).unwrap_err(),
             ParseError::Truncated
         );
-        let mut buf = vec![0u8; TCP_HEADER_LEN];
+        let mut buf = [0u8; TCP_HEADER_LEN];
         buf[12] = 0x40; // data offset 16 bytes < 20
         assert_eq!(
             TcpSegment::new_checked(&buf[..]).unwrap_err(),

@@ -117,7 +117,7 @@ mod tests {
     fn roundtrip_with_checksum() {
         let src = Ipv4Addr::new(10, 0, 0, 1);
         let dst = Ipv4Addr::new(10, 0, 0, 2);
-        let mut buf = vec![0u8; UDP_HEADER_LEN + 5];
+        let mut buf = [0u8; UDP_HEADER_LEN + 5];
         {
             let mut d = UdpDatagram::new_unchecked(&mut buf[..]);
             d.set_src_port(5001);
@@ -136,7 +136,7 @@ mod tests {
 
     #[test]
     fn zero_checksum_passes() {
-        let mut buf = vec![0u8; UDP_HEADER_LEN];
+        let mut buf = [0u8; UDP_HEADER_LEN];
         let mut d = UdpDatagram::new_unchecked(&mut buf[..]);
         d.set_length(8);
         let d = UdpDatagram::new_checked(&buf[..]).unwrap();
@@ -145,7 +145,7 @@ mod tests {
 
     #[test]
     fn length_validation() {
-        let mut buf = vec![0u8; UDP_HEADER_LEN];
+        let mut buf = [0u8; UDP_HEADER_LEN];
         {
             let mut d = UdpDatagram::new_unchecked(&mut buf[..]);
             d.set_length(100);

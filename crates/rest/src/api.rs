@@ -8,6 +8,7 @@ use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 use un_core::UniversalNode;
+use un_nffg::Json;
 
 use crate::http::{read_request, write_response, Request, Response, StatusCode};
 
@@ -21,14 +22,12 @@ pub fn handle(node: &NodeHandle, req: &Request) -> Response {
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["node"]) => {
             let desc = node.lock().describe();
-            match serde_json::to_string(&desc) {
-                Ok(body) => Response::json(StatusCode::Ok, body),
-                Err(e) => Response::error(StatusCode::InternalError, &e.to_string()),
-            }
+            Response::json(StatusCode::Ok, desc.to_json())
         }
         ("GET", ["nffg"]) => {
             let ids = node.lock().graph_ids();
-            Response::json(StatusCode::Ok, serde_json::to_string(&ids).unwrap())
+            let list = Json::Arr(ids.iter().map(|i| Json::from(i.as_str())).collect());
+            Response::json(StatusCode::Ok, list.render())
         }
         ("GET", ["nffg", id]) => {
             let node = node.lock();
@@ -60,29 +59,27 @@ pub fn handle(node: &NodeHandle, req: &Request) -> Response {
             };
             match result {
                 Ok(report) => {
-                    let placements: Vec<_> = report
+                    let placements: Vec<Json> = report
                         .placements
                         .iter()
                         .map(|(nf, flavor, inst, shared)| {
-                            serde_json::json!({
-                                "nf": nf,
-                                "flavor": flavor.to_string(),
-                                "instance": inst.to_string(),
-                                "shared": shared,
-                            })
+                            Json::obj()
+                                .set("nf", nf.as_str())
+                                .set("flavor", flavor.to_string())
+                                .set("instance", inst.to_string())
+                                .set("shared", *shared)
                         })
                         .collect();
-                    let body = serde_json::json!({
-                        "graph": report.graph,
-                        "flow-entries": report.flow_entries,
-                        "placements": placements,
-                    });
+                    let body = Json::obj()
+                        .set("graph", report.graph.as_str())
+                        .set("flow-entries", report.flow_entries)
+                        .set("placements", Json::Arr(placements));
                     let status = if exists {
                         StatusCode::Ok
                     } else {
                         StatusCode::Created
                     };
-                    Response::json(status, body.to_string())
+                    Response::json(status, body.render())
                 }
                 Err(e) => Response::error(StatusCode::BadRequest, &e.to_string()),
             }

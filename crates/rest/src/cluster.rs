@@ -1,0 +1,337 @@
+//! The cluster-level API: one REST surface for a whole domain.
+//!
+//! Mirrors the per-node API one layer up:
+//!
+//! | Method | Path                       | Meaning                          |
+//! |--------|----------------------------|----------------------------------|
+//! | GET    | `/domain`                  | fleet + graphs + links document  |
+//! | GET    | `/domain/nodes`            | node names with liveness         |
+//! | POST   | `/domain/nodes/<n>/fail`   | declare a node failed (re-place) |
+//! | GET    | `/domain/nffg`             | deployed graph ids               |
+//! | GET    | `/domain/nffg/<id>`        | the original (whole) NF-FG       |
+//! | PUT    | `/domain/nffg/<id>`        | deploy or update a graph         |
+//! | DELETE | `/domain/nffg/<id>`        | undeploy everywhere              |
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use un_domain::Domain;
+use un_nffg::Json;
+
+use crate::http::{read_request, write_response, Request, Response, StatusCode};
+
+/// A shareable handle to the domain.
+pub type DomainHandle = Arc<Mutex<Domain>>;
+
+/// Handle one request against the domain (pure function; used directly
+/// by unit tests and by the TCP server loop).
+pub fn handle_cluster(domain: &DomainHandle, req: &Request) -> Response {
+    let segments: Vec<&str> = req.path.trim_matches('/').split('/').collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["domain"]) => Response::json(StatusCode::Ok, domain.lock().describe().render()),
+        ("GET", ["domain", "nodes"]) => {
+            let domain = domain.lock();
+            let alive = domain.alive_nodes();
+            let body = Json::Arr(alive.iter().map(|n| Json::from(n.as_str())).collect());
+            Response::json(StatusCode::Ok, body.render())
+        }
+        ("POST", ["domain", "nodes", name, "fail"]) => {
+            let mut domain = domain.lock();
+            match domain.fail_node(name) {
+                Ok(report) => {
+                    let body = Json::obj()
+                        .set("failed", *name)
+                        .set(
+                            "replaced",
+                            Json::Arr(
+                                report
+                                    .replaced
+                                    .iter()
+                                    .map(|g| Json::from(g.as_str()))
+                                    .collect(),
+                            ),
+                        )
+                        .set(
+                            "stranded",
+                            Json::Arr(
+                                report
+                                    .stranded
+                                    .iter()
+                                    .map(|g| Json::from(g.as_str()))
+                                    .collect(),
+                            ),
+                        );
+                    Response::json(StatusCode::Ok, body.render())
+                }
+                Err(e) => Response::error(StatusCode::NotFound, &e.to_string()),
+            }
+        }
+        ("GET", ["domain", "nffg"]) => {
+            let ids = domain.lock().graph_ids();
+            let body = Json::Arr(ids.iter().map(|i| Json::from(i.as_str())).collect());
+            Response::json(StatusCode::Ok, body.render())
+        }
+        ("GET", ["domain", "nffg", id]) => {
+            let domain = domain.lock();
+            match domain.graph(id) {
+                Some(g) => Response::json(StatusCode::Ok, un_nffg::to_json(g)),
+                None => Response::error(StatusCode::NotFound, &format!("no such graph '{id}'")),
+            }
+        }
+        ("PUT", ["domain", "nffg", id]) => {
+            let body = String::from_utf8_lossy(&req.body);
+            let graph = match un_nffg::from_json(&body) {
+                Ok(g) => g,
+                Err(e) => {
+                    return Response::error(StatusCode::BadRequest, &format!("bad NF-FG: {e}"))
+                }
+            };
+            if graph.id != *id {
+                return Response::error(
+                    StatusCode::BadRequest,
+                    &format!("path id '{id}' != body id '{}'", graph.id),
+                );
+            }
+            let mut domain = domain.lock();
+            let exists = domain.graph(id).is_some();
+            let result = if exists {
+                domain.update(&graph)
+            } else {
+                domain.deploy(&graph)
+            };
+            match result {
+                Ok(report) => {
+                    let body = Json::obj()
+                        .set("graph", report.graph.as_str())
+                        .set("overlay-links", report.overlay_links)
+                        .set(
+                            "nodes",
+                            Json::Arr(
+                                report
+                                    .per_node
+                                    .iter()
+                                    .map(|(node, r)| {
+                                        Json::obj()
+                                            .set("node", node.as_str())
+                                            .set("flow-entries", r.flow_entries)
+                                            .set("placements", r.placements.len())
+                                    })
+                                    .collect(),
+                            ),
+                        );
+                    let status = if exists {
+                        StatusCode::Ok
+                    } else {
+                        StatusCode::Created
+                    };
+                    Response::json(status, body.render())
+                }
+                Err(e) => Response::error(StatusCode::BadRequest, &e.to_string()),
+            }
+        }
+        ("DELETE", ["domain", "nffg", id]) => {
+            let mut domain = domain.lock();
+            match domain.undeploy(id) {
+                Ok(()) => Response::json(StatusCode::Ok, "{\"status\":\"undeployed\"}"),
+                Err(e) => Response::error(StatusCode::NotFound, &e.to_string()),
+            }
+        }
+        ("GET", _) | ("PUT", _) | ("DELETE", _) | ("POST", _) => {
+            Response::error(StatusCode::NotFound, "unknown resource")
+        }
+        _ => Response::error(StatusCode::MethodNotAllowed, "unsupported method"),
+    }
+}
+
+/// A running cluster REST server (thread per connection).
+pub struct ClusterServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ClusterServer {
+    /// The bound address (use port 0 to pick a free one).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the acceptor thread (same teardown as
+    /// `Drop`; this form just makes the stop explicit at call sites).
+    pub fn shutdown(self) {
+        drop(self);
+    }
+}
+
+impl Drop for ClusterServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Start serving the domain's API on `bind` (e.g. `"127.0.0.1:0"`).
+pub fn serve_cluster(domain: DomainHandle, bind: &str) -> io::Result<ClusterServer> {
+    let listener = TcpListener::bind(bind)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let thread = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if stop2.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let domain = domain.clone();
+            std::thread::spawn(move || {
+                let Ok(peer_read) = stream.try_clone() else {
+                    return;
+                };
+                if let Some(req) = read_request(peer_read) {
+                    let resp = handle_cluster(&domain, &req);
+                    let _ = write_response(&stream, &resp);
+                }
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            });
+        }
+    });
+    Ok(ClusterServer {
+        addr,
+        stop,
+        thread: Some(thread),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use un_core::UniversalNode;
+    use un_domain::DeployHints;
+    use un_nffg::NfFgBuilder;
+    use un_sim::mem::mb;
+
+    fn domain_handle() -> DomainHandle {
+        let mut d = Domain::with_defaults();
+        let mut n1 = UniversalNode::new("n1", mb(2048));
+        n1.add_physical_port("eth0");
+        let mut n2 = UniversalNode::new("n2", mb(2048));
+        n2.add_physical_port("eth1");
+        d.add_node(n1);
+        d.add_node(n2);
+        Arc::new(Mutex::new(d))
+    }
+
+    fn chain_json(id: &str) -> String {
+        let g = NfFgBuilder::new(id, "chain")
+            .interface_endpoint("lan", "eth0")
+            .interface_endpoint("wan", "eth1")
+            .nf("br1", "bridge", 2)
+            .nf("br2", "bridge", 2)
+            .chain("lan", &["br1", "br2"], "wan")
+            .build();
+        un_nffg::to_json(&g)
+    }
+
+    fn req(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.into(),
+            path: path.into(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn cluster_deploy_describe_delete() {
+        let d = domain_handle();
+        let r = handle_cluster(&d, &req("PUT", "/domain/nffg/g1", &chain_json("g1")));
+        assert_eq!(r.status, StatusCode::Created, "{}", r.body);
+        assert!(r.body.contains("overlay-links"));
+
+        let r = handle_cluster(&d, &req("GET", "/domain", ""));
+        assert_eq!(r.status, StatusCode::Ok);
+        assert!(r.body.contains("\"g1\""));
+        let r = handle_cluster(&d, &req("GET", "/domain/nodes", ""));
+        assert!(r.body.contains("n1") && r.body.contains("n2"));
+        let r = handle_cluster(&d, &req("GET", "/domain/nffg/g1", ""));
+        assert!(r.body.contains("forwarding-graph"));
+
+        let r = handle_cluster(&d, &req("DELETE", "/domain/nffg/g1", ""));
+        assert_eq!(r.status, StatusCode::Ok);
+        let r = handle_cluster(&d, &req("GET", "/domain/nffg/g1", ""));
+        assert_eq!(r.status, StatusCode::NotFound);
+    }
+
+    #[test]
+    fn cluster_fail_endpoint_reports_replacement() {
+        let d = domain_handle();
+        // Give n1 the wan interface so re-placement can succeed, and
+        // split the graph so n2 actually hosts a part.
+        d.lock().node_mut("n1").unwrap().add_physical_port("eth1");
+        {
+            let mut domain = d.lock();
+            let g = un_nffg::from_json(&chain_json("g1")).unwrap();
+            let hints = DeployHints {
+                nf_node: [
+                    ("br1".to_string(), "n1".to_string()),
+                    ("br2".to_string(), "n2".to_string()),
+                ]
+                .into(),
+                ..DeployHints::default()
+            };
+            domain.deploy_with(&g, &hints).unwrap();
+        }
+        let r = handle_cluster(&d, &req("POST", "/domain/nodes/n2/fail", ""));
+        assert_eq!(r.status, StatusCode::Ok, "{}", r.body);
+        assert!(r.body.contains("\"replaced\":[\"g1\"]"), "{}", r.body);
+        let r = handle_cluster(&d, &req("POST", "/domain/nodes/ghost/fail", ""));
+        assert_eq!(r.status, StatusCode::NotFound);
+    }
+
+    #[test]
+    fn cluster_rejects_bad_requests() {
+        let d = domain_handle();
+        let r = handle_cluster(&d, &req("PUT", "/domain/nffg/g1", "not json"));
+        assert_eq!(r.status, StatusCode::BadRequest);
+        let r = handle_cluster(&d, &req("PUT", "/domain/nffg/other", &chain_json("g1")));
+        assert_eq!(r.status, StatusCode::BadRequest);
+        let r = handle_cluster(&d, &req("PATCH", "/domain", ""));
+        assert_eq!(r.status, StatusCode::MethodNotAllowed);
+        let r = handle_cluster(&d, &req("GET", "/teapot", ""));
+        assert_eq!(r.status, StatusCode::NotFound);
+    }
+
+    #[test]
+    fn cluster_serves_over_real_tcp() {
+        use std::io::{Read, Write};
+        let d = domain_handle();
+        let server = serve_cluster(d, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let body = chain_json("g1");
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "PUT /domain/nffg/g1 HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 201 Created"), "{resp}");
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /domain HTTP/1.1\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.contains("\"g1\""), "{resp}");
+
+        server.shutdown();
+    }
+}

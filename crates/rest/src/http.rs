@@ -66,7 +66,7 @@ impl Response {
     pub fn error(status: StatusCode, msg: &str) -> Self {
         Response {
             status,
-            body: format!("{{\"error\":{}}}", serde_json::to_string(msg).unwrap()),
+            body: format!("{{\"error\":{}}}", un_nffg::jsonval::escape(msg)),
         }
     }
 }

@@ -15,11 +15,18 @@
 //!
 //! [`http`] contains the protocol plumbing (parser/serializer, tested in
 //! isolation); [`api`] maps requests onto a shared [`un_core::UniversalNode`].
+//!
+//! [`cluster`] is the same surface one layer up: a domain-level API
+//! (`/domain/…`) mapping onto a shared [`un_domain::Domain`] — deploy
+//! whole NF-FGs across the fleet, inspect the overlay, declare node
+//! failures.
 
 #![forbid(unsafe_code)]
 
 pub mod api;
+pub mod cluster;
 pub mod http;
 
 pub use api::{serve, NodeHandle, RestServer};
+pub use cluster::{handle_cluster, serve_cluster, ClusterServer, DomainHandle};
 pub use http::{Request, Response, StatusCode};

@@ -313,9 +313,7 @@ mod tests {
         // The VM flavor pays at least 4 copies + 2 vmexits + 2 crossings
         // more than the native flavor for the same packet.
         let m = CostModel::default();
-        let extra = m.copy(1500).as_nanos() * 4
-            + m.vmexit_ns * 2
-            + m.user_kernel_crossing_ns * 2;
+        let extra = m.copy(1500).as_nanos() * 4 + m.vmexit_ns * 2 + m.user_kernel_crossing_ns * 2;
         assert!(extra > 3_000, "VM overhead should be us-scale, got {extra}");
     }
 }

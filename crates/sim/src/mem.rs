@@ -79,7 +79,12 @@ impl MemLedger {
     }
 
     /// Record `bytes` under `label` in `account`.
-    pub fn alloc(&mut self, account: AccountId, label: &str, bytes: u64) -> Result<(), LedgerError> {
+    pub fn alloc(
+        &mut self,
+        account: AccountId,
+        label: &str,
+        bytes: u64,
+    ) -> Result<(), LedgerError> {
         let acc = &mut self.accounts[account.0];
         if acc.freed {
             return Err(LedgerError::AccountFreed(acc.name.clone()));

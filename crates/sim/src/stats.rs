@@ -263,7 +263,7 @@ mod tests {
         }
         h.record(SimDuration::from_nanos(1_000_000));
         let p50 = h.quantile(0.5).as_nanos();
-        assert!(p50 >= 1_000 && p50 <= 2_048, "p50={p50}");
+        assert!((1_000..=2_048).contains(&p50), "p50={p50}");
         let p999 = h.quantile(0.999).as_nanos();
         assert!(p999 >= 1_000_000, "p999={p999}");
         assert_eq!(h.count(), 100);

@@ -36,7 +36,7 @@ proptest! {
         let accounts: Vec<_> = (0..4)
             .map(|i| ledger.create_account(&format!("a{i}"), Some(root)))
             .collect();
-        let mut outstanding = vec![0u64; 4];
+        let mut outstanding = [0u64; 4];
         for (acct, bytes, is_free) in ops {
             if is_free {
                 let take = bytes.min(outstanding[acct]);

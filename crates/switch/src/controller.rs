@@ -83,11 +83,7 @@ impl Controller for LearningController {
                 m.eth_dst = Some(eth.dst());
                 cmds.push(ControllerCmd::FlowMod {
                     table: 0,
-                    entry: FlowEntry::new(
-                        self.rule_priority,
-                        m,
-                        vec![FlowAction::Output(out)],
-                    ),
+                    entry: FlowEntry::new(self.rule_priority, m, vec![FlowAction::Output(out)]),
                 });
                 cmds.push(ControllerCmd::PacketOut {
                     port: out,
@@ -178,9 +174,7 @@ mod tests {
         let cmds = c.packet_in(1, PortNo(2), &frame(b, a));
         assert_eq!(cmds.len(), 2);
         assert!(matches!(cmds[0], ControllerCmd::FlowMod { .. }));
-        assert!(
-            matches!(cmds[1], ControllerCmd::PacketOut { port, .. } if port == PortNo(1))
-        );
+        assert!(matches!(cmds[1], ControllerCmd::PacketOut { port, .. } if port == PortNo(1)));
         assert_eq!(c.lookup(1, b), Some(PortNo(2)));
     }
 
@@ -226,13 +220,23 @@ mod tests {
         // a -> b (flood expected)
         let res = sw.process(PortNo(1), frame(a, b), &costs);
         let punt = res.punted.unwrap();
-        let out = apply_cmds(&mut sw, ctl.packet_in(7, PortNo(1), &punt), &punt, PortNo(1));
+        let out = apply_cmds(
+            &mut sw,
+            ctl.packet_in(7, PortNo(1), &punt),
+            &punt,
+            PortNo(1),
+        );
         assert_eq!(out.len(), 2, "flooded to two other ports");
 
         // b -> a (directed + rule installed)
         let res = sw.process(PortNo(2), frame(b, a), &costs);
         let punt = res.punted.unwrap();
-        let out = apply_cmds(&mut sw, ctl.packet_in(7, PortNo(2), &punt), &punt, PortNo(2));
+        let out = apply_cmds(
+            &mut sw,
+            ctl.packet_in(7, PortNo(2), &punt),
+            &punt,
+            PortNo(2),
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, PortNo(1));
 

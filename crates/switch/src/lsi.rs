@@ -182,7 +182,10 @@ impl LogicalSwitch {
 
     /// Remove all entries with `cookie` across all tables; returns count.
     pub fn remove_by_cookie(&mut self, cookie: u64) -> usize {
-        self.tables.iter_mut().map(|t| t.remove_by_cookie(cookie)).sum()
+        self.tables
+            .iter_mut()
+            .map(|t| t.remove_by_cookie(cookie))
+            .sum()
     }
 
     /// Total installed entries across tables.
@@ -200,7 +203,12 @@ impl LogicalSwitch {
     /// Returns the emitted packets, any controller punt, and the virtual
     /// time charged. Unknown ingress port or a table miss counts as a
     /// drop (per OpenFlow default table-miss behaviour).
-    pub fn process(&mut self, in_port: PortNo, mut pkt: Packet, costs: &CostModel) -> ProcessResult {
+    pub fn process(
+        &mut self,
+        in_port: PortNo,
+        mut pkt: Packet,
+        costs: &CostModel,
+    ) -> ProcessResult {
         let mut cost = Cost::ZERO;
         let len = pkt.len();
 

@@ -102,9 +102,7 @@ pub struct ImixGenerator {
 }
 
 /// The IMIX size pattern.
-pub const IMIX_PATTERN: [usize; 12] = [
-    64, 64, 64, 64, 64, 64, 64, 576, 576, 576, 576, 1500,
-];
+pub const IMIX_PATTERN: [usize; 12] = [64, 64, 64, 64, 64, 64, 64, 576, 576, 576, 576, 1500];
 
 impl ImixGenerator {
     /// An IMIX stream.
@@ -122,8 +120,7 @@ impl ImixGenerator {
 
     /// Average frame size of the pattern.
     pub fn average_size() -> f64 {
-        IMIX_PATTERN.iter().map(|s| (*s).max(50)).sum::<usize>() as f64
-            / IMIX_PATTERN.len() as f64
+        IMIX_PATTERN.iter().map(|s| (*s).max(50)).sum::<usize>() as f64 / IMIX_PATTERN.len() as f64
     }
 }
 

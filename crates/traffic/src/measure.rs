@@ -212,7 +212,7 @@ mod tests {
         let mut count = 0u64;
         let mut peer = |p: &Packet| {
             count += 1;
-            if count % 2 == 0 {
+            if count.is_multiple_of(2) {
                 p.len() as u64
             } else {
                 0

@@ -58,7 +58,11 @@ fn main() {
     let (instance, _) = node.instance_of("ipsec-home", "ipsec").unwrap();
     let ns = node.compute.native.namespace_of(instance.0).unwrap();
     node.host
-        .neigh_add(ns, Ipv4Addr::new(192, 0, 2, 2), un_packet::MacAddr::local(0x6A))
+        .neigh_add(
+            ns,
+            Ipv4Addr::new(192, 0, 2, 2),
+            un_packet::MacAddr::local(0x6A),
+        )
         .unwrap();
 
     // One LAN frame toward the protected subnet.
@@ -96,7 +100,10 @@ fn main() {
         salt_in,
     );
     let inner = un_ipsec::decapsulate(&mut gw_sa, outer.payload()).unwrap();
-    println!("remote gateway decapsulated {} inner bytes successfully\n", inner.len());
+    println!(
+        "remote gateway decapsulated {} inner bytes successfully\n",
+        inner.len()
+    );
 
     // iperf-like saturation run.
     let mut gw_sa2 = SecurityAssociation::inbound(

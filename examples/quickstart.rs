@@ -31,7 +31,10 @@ fn main() {
     // 3. Deploy. The orchestrator validates, places (native wins on a
     //    CPE), instantiates, and installs the steering rules.
     let report = node.deploy(&graph).expect("deploy succeeds");
-    println!("deployed '{}' with {} flow entries", report.graph, report.flow_entries);
+    println!(
+        "deployed '{}' with {} flow entries",
+        report.graph, report.flow_entries
+    );
     for (nf, flavor, instance, _) in &report.placements {
         println!("  NF '{nf}' placed as {flavor} ({instance})");
     }
@@ -47,7 +50,10 @@ fn main() {
     println!(
         "\ninjected 1 frame on eth0 → {} frame(s) emitted on {:?} in {} virtual time",
         io.emitted.len(),
-        io.emitted.iter().map(|(p, _)| p.as_str()).collect::<Vec<_>>(),
+        io.emitted
+            .iter()
+            .map(|(p, _)| p.as_str())
+            .collect::<Vec<_>>(),
         io.cost.duration(),
     );
 
@@ -56,5 +62,8 @@ fn main() {
 
     // 6. Clean up.
     node.undeploy("quickstart").expect("undeploy succeeds");
-    println!("undeployed; node memory back to {} bytes", node.memory_used());
+    println!(
+        "undeployed; node memory back to {} bytes",
+        node.memory_used()
+    );
 }

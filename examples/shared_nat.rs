@@ -19,7 +19,8 @@ use un_sim::mem::mb;
 
 fn customer_graph(n: u32, wan_cidr: &str) -> un_nffg::NfFg {
     let mut cfg = NfConfig::default();
-    cfg.params.insert("lan-addr".into(), "192.168.1.1/24".into()); // both the same!
+    cfg.params
+        .insert("lan-addr".into(), "192.168.1.1/24".into()); // both the same!
     cfg.params.insert("wan-addr".into(), wan_cidr.into());
     NfFgBuilder::new(&format!("customer-{n}"), "nat service")
         .vlan_endpoint("lan", "eth0", (10 + n) as u16)

@@ -1,0 +1,11 @@
+//! Workspace façade: re-exports the Universal Node crates under one
+//! roof so the top-level `tests/` and `examples/` have a single anchor
+//! package. See `README.md` for the workspace map.
+
+pub use un_core as core;
+pub use un_domain as domain;
+pub use un_nffg as nffg;
+pub use un_packet as packet;
+pub use un_rest as rest;
+pub use un_sim as sim;
+pub use un_traffic as traffic;

@@ -35,8 +35,12 @@ fn figure1_node() -> UniversalNode {
 
     // Graph N: a second tenant (VLAN classified), DPDK + shared NAT.
     let mut nat_cfg = NfConfig::default();
-    nat_cfg.params.insert("lan-addr".into(), "192.168.9.1/24".into());
-    nat_cfg.params.insert("wan-addr".into(), "203.0.113.9/24".into());
+    nat_cfg
+        .params
+        .insert("lan-addr".into(), "192.168.9.1/24".into());
+    nat_cfg
+        .params
+        .insert("wan-addr".into(), "203.0.113.9/24".into());
     let gn = NfFgBuilder::new("graphN", "tenant")
         .vlan_endpoint("in", "eth0", 300)
         .vlan_endpoint("out", "eth1", 300)
@@ -75,7 +79,10 @@ fn all_figure1_components_present() {
     // Node description / capability set ("node description, capabilities
     // and resources" in the figure).
     assert_eq!(desc.graphs.len(), 2);
-    assert!(desc.nnfs.iter().any(|(t, sharable, _)| t == "nat" && *sharable));
+    assert!(desc
+        .nnfs
+        .iter()
+        .any(|(t, sharable, _)| t == "nat" && *sharable));
     assert!(desc.memory_used > 0);
     assert!(desc.memory_capacity >= desc.memory_used);
 }
@@ -89,7 +96,10 @@ fn per_graph_lsis_isolate_flow_tables() {
     let total = node.total_flows();
     let lsi0 = node.lsi0_stats();
     let _ = lsi0;
-    assert!(total > 10, "expected a meaningful rule population, got {total}");
+    assert!(
+        total > 10,
+        "expected a meaningful rule population, got {total}"
+    );
 }
 
 #[test]

@@ -14,7 +14,12 @@ fn table1_throughput_ordering_and_ratio() {
 
     // Docker ≈ Native (paper: 1095 vs 1094 — same kernel data path).
     let rel = (docker.mbps - native.mbps).abs() / native.mbps;
-    assert!(rel < 0.05, "docker {} vs native {}", docker.mbps, native.mbps);
+    assert!(
+        rel < 0.05,
+        "docker {} vs native {}",
+        docker.mbps,
+        native.mbps
+    );
 
     // VM ≈ 0.73× of native (paper: 796/1094 = 0.727). Allow ±10%.
     let ratio = vm.mbps / native.mbps;

@@ -88,9 +88,7 @@ fn update_narrows_classifier_in_place() {
         dst_port: Some(2000),
         ..Default::default()
     };
-    g.flow_rules[idx].actions = vec![RuleAction::Output(
-        un_nffg::PortRef::Nf("br".into(), 0),
-    )];
+    g.flow_rules[idx].actions = vec![RuleAction::Output(un_nffg::PortRef::Nf("br".into(), 0))];
     let r = un_rest::api::handle(&node, &req("PUT", "/nffg/life", &un_nffg::to_json(&g)));
     assert_eq!(r.status, StatusCode::Ok, "{}", r.body);
 

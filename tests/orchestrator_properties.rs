@@ -43,7 +43,7 @@ proptest! {
         let mut node = UniversalNode::new("prop", mb(8192));
         node.add_physical_port("eth0");
         node.add_physical_port("eth1");
-        let g = chain_graph(&flavors.iter().map(|s| *s).collect::<Vec<_>>());
+        let g = chain_graph(&flavors.to_vec());
 
         node.deploy(&g).unwrap();
         // Bidirectional traffic crosses the whole chain.

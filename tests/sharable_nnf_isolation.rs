@@ -10,7 +10,8 @@ use un_sim::mem::mb;
 fn customer(id: &str, vid: u16, wan_cidr: &str) -> un_nffg::NfFg {
     let mut cfg = NfConfig::default();
     // Deliberately identical LAN plans across customers.
-    cfg.params.insert("lan-addr".into(), "192.168.1.1/24".into());
+    cfg.params
+        .insert("lan-addr".into(), "192.168.1.1/24".into());
     cfg.params.insert("wan-addr".into(), wan_cidr.into());
     NfFgBuilder::new(id, "nat customer")
         .vlan_endpoint("lan", "eth0", vid)
@@ -76,8 +77,14 @@ fn identical_inner_tuples_translate_independently() {
             .unwrap()
             .src()
     };
-    assert_eq!(src(&io1.emitted[0].1), "203.0.113.1".parse::<std::net::Ipv4Addr>().unwrap());
-    assert_eq!(src(&io2.emitted[0].1), "198.51.100.1".parse::<std::net::Ipv4Addr>().unwrap());
+    assert_eq!(
+        src(&io1.emitted[0].1),
+        "203.0.113.1".parse::<std::net::Ipv4Addr>().unwrap()
+    );
+    assert_eq!(
+        src(&io2.emitted[0].1),
+        "198.51.100.1".parse::<std::net::Ipv4Addr>().unwrap()
+    );
 }
 
 #[test]

@@ -1,0 +1,261 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! benchmark groups, `Bencher::{iter, iter_batched}`, throughput
+//! annotation, and the `criterion_group!`/`criterion_main!` macros —
+//! backed by a simple calibrated wall-clock timer. Statistical analysis,
+//! plots and history are out of scope; each benchmark prints one line:
+//! mean ns/iter and derived throughput.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How much work one iteration represents.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; large batches.
+    SmallInput,
+    /// Large per-iteration inputs; batches of one.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Drives the measured closure.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by `iter*`.
+    ns_per_iter: f64,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly and record the mean time.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Calibrate: grow the batch until it is long enough to time.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        // Measure.
+        let deadline = Instant::now() + self.measure_for;
+        let mut iters: u64 = 0;
+        let mut spent = Duration::ZERO;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            spent += start.elapsed();
+            iters += batch;
+        }
+        self.ns_per_iter = spent.as_nanos() as f64 / iters.max(1) as f64;
+    }
+
+    /// Measure `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let deadline = Instant::now() + self.measure_for;
+        let mut iters: u64 = 0;
+        let mut spent = Duration::ZERO;
+        while Instant::now() < deadline || iters == 0 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            spent += start.elapsed();
+            iters += 1;
+            if iters >= 1 << 22 {
+                break;
+            }
+        }
+        self.ns_per_iter = spent.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+fn report(path: &str, ns: f64, throughput: Option<Throughput>) {
+    let time = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            let gib = b as f64 / ns; // bytes/ns == GB/s
+            format!("  ({:.3} GiB/s)", gib * 1e9 / (1u64 << 30) as f64)
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.3} Melem/s)", n as f64 / ns * 1e3)
+        }
+        None => String::new(),
+    };
+    println!("bench: {path:<48} {time:>12}/iter{rate}");
+}
+
+/// A set of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a work rate.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Override the sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let ns = self.criterion.run(f);
+        report(&format!("{}/{}", self.name, id.0), ns, self.throughput);
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let ns = self.criterion.run(|b| f(b, input));
+        report(&format!("{}/{}", self.name, id.0), ns, self.throughput);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep runs short: CI calls every bench; precision beyond ~2%
+        // is wasted in a virtual-time simulation anyway. The env var
+        // lets a local run ask for longer measurements.
+        let ms = std::env::var("UN_BENCH_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(120);
+        Criterion {
+            measure_for: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    fn run(&mut self, mut f: impl FnMut(&mut Bencher)) -> f64 {
+        let mut b = Bencher {
+            ns_per_iter: f64::NAN,
+            measure_for: self.measure_for,
+        };
+        f(&mut b);
+        b.ns_per_iter
+    }
+
+    /// Run one standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let ns = self.run(f);
+        report(name, ns, None);
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+}
+
+/// Collect benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
