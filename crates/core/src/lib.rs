@@ -29,6 +29,6 @@ pub mod node;
 pub mod placement;
 pub mod repository;
 
-pub use node::{DeployError, DeployReport, NodeDescription, NodeIo, UniversalNode};
+pub use node::{DeployError, DeployReport, Name, NodeDescription, NodeIo, PortId, UniversalNode};
 pub use placement::{decide, Decision};
 pub use repository::{NfTemplate, VnfRepository};

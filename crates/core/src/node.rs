@@ -22,6 +22,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use un_compute::{
     ComputeError, ComputeManager, Flavor, FlavorSpec, InstanceId, IoOutcome, NodeEnv,
@@ -100,20 +101,104 @@ pub struct DeployReport {
     pub flow_entries: usize,
 }
 
-/// Result of injecting one packet into the node.
+/// A cheaply-cloneable interned string for hot-path identifiers
+/// (physical port names, node names): cloning bumps an `Arc`, so the
+/// data plane never copies name bytes per frame.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Name(Arc<str>);
+
+impl Name {
+    /// Intern a string.
+    pub fn new(s: &str) -> Self {
+        Name(Arc::from(s))
+    }
+
+    /// The underlying string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for Name {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Self {
+        Name::new(s)
+    }
+}
+
+impl From<String> for Name {
+    fn from(s: String) -> Self {
+        Name(Arc::from(s))
+    }
+}
+
+impl std::borrow::Borrow<str> for Name {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq<str> for Name {
+    fn eq(&self, other: &str) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Name {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl PartialEq<String> for Name {
+    fn eq(&self, other: &String) -> bool {
+        &*self.0 == other.as_str()
+    }
+}
+
+impl PartialEq<Name> for str {
+    fn eq(&self, other: &Name) -> bool {
+        self == &*other.0
+    }
+}
+
+/// Opaque handle to a physical port, resolved from its name once per
+/// batch instead of one string lookup per frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(PortNo);
+
+/// Result of injecting packets into the node.
 #[derive(Debug, Default)]
 pub struct NodeIo {
     /// Frames leaving the node: (physical port name, packet).
-    pub emitted: Vec<(String, Packet)>,
+    pub emitted: Vec<(Name, Packet)>,
     /// Virtual time consumed.
     pub cost: Cost,
 }
 
-/// Where a packet currently is inside the fabric.
-#[derive(Debug, Clone, Copy)]
-enum Loc {
-    L0(PortNo),
-    Graph(u32, PortNo), // graph slot index
+/// Per-frame hop budget inside the node fabric: every virtual-link or
+/// NF crossing decrements it, so one looping frame dies alone instead
+/// of starving the rest of its batch.
+const FABRIC_TTL: u32 = 256;
+
+/// Where a burst currently is inside the fabric (ordered so the work
+/// list drains LSI-0 buckets before graph buckets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum LocKey {
+    L0(u32),
+    Graph(u32, u32), // (graph slot, graph-LSI port)
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -124,7 +209,7 @@ enum VlinkKey {
 
 #[derive(Debug, Clone)]
 enum L0Port {
-    Physical(String),
+    Physical(Name),
     Vlink { graph_slot: u32, peer: PortNo },
     SharedAttach(InstanceId),
 }
@@ -179,6 +264,10 @@ pub struct NodeDescription {
     pub memory_used: u64,
     /// Memory capacity (bytes).
     pub memory_capacity: u64,
+    /// Aggregated flow fast-path hits (microflow cache) across LSIs.
+    pub flow_cache_hits: u64,
+    /// Aggregated flow fast-path misses across LSIs.
+    pub flow_cache_misses: u64,
 }
 
 impl NodeDescription {
@@ -231,6 +320,8 @@ impl NodeDescription {
             )
             .set("memory_used", self.memory_used)
             .set("memory_capacity", self.memory_capacity)
+            .set("flow_cache_hits", self.flow_cache_hits)
+            .set("flow_cache_misses", self.flow_cache_misses)
     }
 
     /// Compact JSON rendering (the REST `/node` document).
@@ -273,6 +364,7 @@ pub struct UniversalNode {
     /// Node-level trace/counters.
     pub trace: TraceLog,
     mem_capacity: u64,
+    classifier_mode: un_switch::ClassifierMode,
 }
 
 fn fnv1a(data: &str) -> u64 {
@@ -313,6 +405,7 @@ impl UniversalNode {
             clock: SimTime::ZERO,
             trace: TraceLog::new(16_384),
             mem_capacity,
+            classifier_mode: un_switch::ClassifierMode::default(),
         }
     }
 
@@ -324,9 +417,36 @@ impl UniversalNode {
             .add_port(port, name)
             .expect("fresh port number cannot collide");
         self.l0_ports
-            .insert(port, L0Port::Physical(name.to_string()));
+            .insert(port, L0Port::Physical(Name::new(name)));
         self.physical.insert(name.to_string(), port);
         port
+    }
+
+    /// Resolve a physical port name to its interned id (for the batch
+    /// data-plane API).
+    pub fn port_id(&self, name: &str) -> Option<PortId> {
+        self.physical.get(name).copied().map(PortId)
+    }
+
+    /// Switch every LSI's classifier pipeline — existing LSIs and any
+    /// created by later deploys. `ClassifierMode::Linear` reproduces the
+    /// pre-optimization scan for baseline benchmarking.
+    pub fn set_classifier_mode(&mut self, mode: un_switch::ClassifierMode) {
+        self.classifier_mode = mode;
+        self.lsi0.set_classifier_mode(mode);
+        for g in self.graphs.values_mut() {
+            g.lsi.set_classifier_mode(mode);
+        }
+    }
+
+    /// Aggregated flow-table fast-path counters across LSI-0 and every
+    /// graph LSI (exported through [`NodeDescription`] and REST).
+    pub fn flow_cache_stats(&self) -> un_switch::TableStats {
+        let mut stats = self.lsi0.cache_stats();
+        for g in self.graphs.values() {
+            stats.merge(&g.lsi.cache_stats());
+        }
+        stats
     }
 
     /// Advance the node clock (stamps traces, host time).
@@ -500,6 +620,7 @@ impl UniversalNode {
             nfs: BTreeMap::new(),
             next_port: 1,
         };
+        graph.lsi.set_classifier_mode(self.classifier_mode);
 
         // Track created state for rollback.
         let mut created_instances: Vec<InstanceId> = Vec::new();
@@ -1067,72 +1188,131 @@ impl UniversalNode {
     // ------------------------------------------------------------------
 
     /// Inject a frame on a physical port and run it to completion.
+    ///
+    /// Thin wrapper over [`UniversalNode::inject_batch`] with a
+    /// one-frame burst.
     pub fn inject(&mut self, port_name: &str, pkt: Packet) -> NodeIo {
-        let mut io = NodeIo::default();
-        let Some(&port) = self.physical.get(port_name) else {
-            self.trace.count("inject_unknown_port", 1);
-            return io;
-        };
-        let mut queue: Vec<(Loc, Packet)> = vec![(Loc::L0(port), pkt)];
-        let mut budget = 256u32;
-        while let Some((loc, pkt)) = queue.pop() {
-            if budget == 0 {
-                self.trace.count("fabric_loop_drops", 1);
-                break;
+        match self.port_id(port_name) {
+            Some(id) => self.inject_batch(vec![(id, pkt)]),
+            None => {
+                self.trace.count("inject_unknown_port", 1);
+                NodeIo::default()
             }
-            budget -= 1;
+        }
+    }
+
+    /// Inject a burst of frames and run the whole burst to completion.
+    ///
+    /// This is the run-to-completion fast path: frames are bucketed by
+    /// fabric location, so each hop resolves its LSI / graph / NF
+    /// instance once per burst instead of once per frame. Every frame
+    /// carries its own hop TTL — a looping (but non-amplifying) frame
+    /// is dropped alone (counted as `fabric_loop_drops`) and cannot
+    /// starve the rest of the burst. A total work budget of
+    /// `batch × TTL` fabric steps additionally bounds *amplifying*
+    /// workloads — a flood rule in a virtual-link cycle, or loop-free
+    /// fan-out multiplying one frame past the budget — which the
+    /// per-frame depth limit alone would let grow exponentially. The
+    /// valve is a last resort: once tripped it drops everything still
+    /// in flight, including well-behaved batchmates, counted as
+    /// `fabric_work_exhausted` so the two drop causes stay
+    /// distinguishable.
+    pub fn inject_batch(&mut self, batch: Vec<(PortId, Packet)>) -> NodeIo {
+        let mut io = NodeIo::default();
+        let mut work_budget: u64 = (batch.len() as u64).saturating_mul(u64::from(FABRIC_TTL));
+        let mut pending: BTreeMap<LocKey, Vec<(Packet, u32)>> = BTreeMap::new();
+        for (PortId(port), pkt) in batch {
+            pending
+                .entry(LocKey::L0(port.0))
+                .or_default()
+                .push((pkt, FABRIC_TTL));
+        }
+        while let Some((&loc, _)) = pending.iter().next() {
+            let burst = pending.remove(&loc).expect("key just observed");
             match loc {
-                Loc::L0(p) => {
-                    let res = self.lsi0.process(p, pkt, &self.costs);
-                    io.cost += res.cost;
-                    for (out, out_pkt) in res.outputs {
-                        match self.l0_ports.get(&out).cloned() {
-                            Some(L0Port::Physical(name)) => {
-                                io.emitted.push((name, out_pkt));
-                            }
-                            Some(L0Port::Vlink { graph_slot, peer }) => {
-                                io.cost += Cost::from_nanos(self.costs.virtual_link_ns);
-                                queue.push((Loc::Graph(graph_slot, peer), out_pkt));
-                            }
-                            Some(L0Port::SharedAttach(inst)) => {
-                                let mut env = NodeEnv {
-                                    host: &mut self.host,
-                                    ledger: &mut self.ledger,
-                                    costs: &self.costs,
-                                };
-                                let out_io: IoOutcome =
-                                    self.compute.deliver(&mut env, inst, 0, out_pkt);
-                                io.cost += out_io.cost;
-                                for (_p, p2) in out_io.outputs {
-                                    queue.push((Loc::L0(out), p2));
+                LocKey::L0(p) => {
+                    for (pkt, ttl) in burst {
+                        if ttl == 0 {
+                            self.trace.count("fabric_loop_drops", 1);
+                            continue;
+                        }
+                        if work_budget == 0 {
+                            self.trace.count("fabric_work_exhausted", 1);
+                            continue;
+                        }
+                        work_budget -= 1;
+                        let res = self.lsi0.process(PortNo(p), pkt, &self.costs);
+                        io.cost += res.cost;
+                        for (out, out_pkt) in res.outputs {
+                            match self.l0_ports.get(&out) {
+                                Some(L0Port::Physical(name)) => {
+                                    io.emitted.push((name.clone(), out_pkt));
                                 }
-                            }
-                            None => {
-                                self.trace.count("l0_unmapped_port", 1);
+                                Some(L0Port::Vlink { graph_slot, peer }) => {
+                                    io.cost += Cost::from_nanos(self.costs.virtual_link_ns);
+                                    pending
+                                        .entry(LocKey::Graph(*graph_slot, peer.0))
+                                        .or_default()
+                                        .push((out_pkt, ttl - 1));
+                                }
+                                Some(L0Port::SharedAttach(inst)) => {
+                                    let inst = *inst;
+                                    let mut env = NodeEnv {
+                                        host: &mut self.host,
+                                        ledger: &mut self.ledger,
+                                        costs: &self.costs,
+                                    };
+                                    let out_io: IoOutcome =
+                                        self.compute.deliver(&mut env, inst, 0, out_pkt);
+                                    io.cost += out_io.cost;
+                                    for (_p, p2) in out_io.outputs {
+                                        pending
+                                            .entry(LocKey::L0(out.0))
+                                            .or_default()
+                                            .push((p2, ttl - 1));
+                                    }
+                                }
+                                None => {
+                                    self.trace.count("l0_unmapped_port", 1);
+                                }
                             }
                         }
                     }
                 }
-                Loc::Graph(slot, p) => {
+                LocKey::Graph(slot, p) => {
                     let Some(gid) = self.slots.get(slot as usize).and_then(|s| s.clone()) else {
                         continue;
                     };
-                    // Collect port kinds first so the graph borrow ends
-                    // before packets are delivered to instances.
-                    let mapped: Vec<(Option<GPort>, Packet)> = {
+                    // Run the whole burst through the graph LSI under a
+                    // single borrow, then deliver to instances.
+                    let mut mapped: Vec<(Option<GPort>, Packet, u32)> = Vec::new();
+                    {
                         let graph = self.graphs.get_mut(&gid).expect("slot consistent");
-                        let res = graph.lsi.process(p, pkt, &self.costs);
-                        io.cost += res.cost;
-                        res.outputs
-                            .into_iter()
-                            .map(|(out, out_pkt)| (graph.ports.get(&out).cloned(), out_pkt))
-                            .collect()
-                    };
-                    for (kind, out_pkt) in mapped {
+                        for (pkt, ttl) in burst {
+                            if ttl == 0 {
+                                self.trace.count("fabric_loop_drops", 1);
+                                continue;
+                            }
+                            if work_budget == 0 {
+                                self.trace.count("fabric_work_exhausted", 1);
+                                continue;
+                            }
+                            work_budget -= 1;
+                            let res = graph.lsi.process(PortNo(p), pkt, &self.costs);
+                            io.cost += res.cost;
+                            for (out, out_pkt) in res.outputs {
+                                mapped.push((graph.ports.get(&out).cloned(), out_pkt, ttl));
+                            }
+                        }
+                    }
+                    for (kind, out_pkt, ttl) in mapped {
                         match kind {
                             Some(GPort::Vlink { l0_port }) => {
                                 io.cost += Cost::from_nanos(self.costs.virtual_link_ns);
-                                queue.push((Loc::L0(l0_port), out_pkt));
+                                pending
+                                    .entry(LocKey::L0(l0_port.0))
+                                    .or_default()
+                                    .push((out_pkt, ttl - 1));
                             }
                             Some(GPort::Nf(inst, nf_port)) => {
                                 let mut env = NodeEnv {
@@ -1145,7 +1325,10 @@ impl UniversalNode {
                                 let graph = self.graphs.get(&gid).expect("still there");
                                 for (p2, pkt2) in out_io.outputs {
                                     if let Some(&gp) = graph.rev_nf.get(&(inst, p2)) {
-                                        queue.push((Loc::Graph(slot, gp), pkt2));
+                                        pending
+                                            .entry(LocKey::Graph(slot, gp.0))
+                                            .or_default()
+                                            .push((pkt2, ttl - 1));
                                     }
                                 }
                             }
@@ -1166,6 +1349,7 @@ impl UniversalNode {
 
     /// The node's self-description.
     pub fn describe(&self) -> NodeDescription {
+        let cache_stats = self.flow_cache_stats();
         NodeDescription {
             name: self.name.clone(),
             flavors: vec!["vm".into(), "docker".into(), "dpdk".into(), "native".into()],
@@ -1193,6 +1377,8 @@ impl UniversalNode {
                 .collect(),
             memory_used: self.memory_used(),
             memory_capacity: self.mem_capacity,
+            flow_cache_hits: cache_stats.cache_hits,
+            flow_cache_misses: cache_stats.cache_misses,
         }
     }
 

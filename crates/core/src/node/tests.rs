@@ -262,3 +262,69 @@ fn three_node_chain_firewall_router_bridge() {
     assert_eq!(io.emitted.len(), 1);
     assert_eq!(io.emitted[0].0, "eth1");
 }
+
+#[test]
+fn inject_batch_equals_sequential_injects() {
+    let mut seq = node();
+    seq.deploy(&bridge_graph("g1")).unwrap();
+    let mut seq_emitted: Vec<(Name, Packet)> = Vec::new();
+    let mut seq_cost = un_sim::Cost::ZERO;
+    for i in 0..10u8 {
+        let io = seq.inject("eth0", frame(&[i]));
+        seq_emitted.extend(io.emitted);
+        seq_cost += io.cost;
+    }
+
+    let mut batched = node();
+    batched.deploy(&bridge_graph("g1")).unwrap();
+    let lan = batched.port_id("eth0").unwrap();
+    let io = batched.inject_batch((0..10u8).map(|i| (lan, frame(&[i]))).collect());
+
+    let flat = |v: &[(Name, Packet)]| -> Vec<(String, Vec<u8>)> {
+        let mut out: Vec<(String, Vec<u8>)> = v
+            .iter()
+            .map(|(p, pkt)| (p.to_string(), pkt.data().to_vec()))
+            .collect();
+        out.sort();
+        out
+    };
+    assert_eq!(flat(&io.emitted), flat(&seq_emitted));
+    assert_eq!(io.cost, seq_cost, "batching must not change charged time");
+}
+
+#[test]
+fn port_ids_resolve_physical_ports_only() {
+    let n = node();
+    assert!(n.port_id("eth0").is_some());
+    assert!(n.port_id("eth1").is_some());
+    assert!(n.port_id("ghost").is_none());
+    assert_ne!(n.port_id("eth0"), n.port_id("eth1"));
+}
+
+#[test]
+fn flow_cache_stats_surface_in_description() {
+    let mut n = node();
+    n.deploy(&bridge_graph("g1")).unwrap();
+    for i in 0..4u8 {
+        n.inject("eth0", frame(&[i]));
+    }
+    let stats = n.flow_cache_stats();
+    assert!(stats.cache_hits > 0, "repeat flows must hit the cache");
+    assert!(stats.cache_misses > 0, "first packet must miss");
+    assert!(stats.hit_rate() > 0.0);
+    let json = n.describe().to_json();
+    assert!(json.contains("\"flow_cache_hits\""), "{json}");
+    assert!(json.contains("\"flow_cache_misses\""), "{json}");
+}
+
+#[test]
+fn linear_classifier_mode_forwards_identically() {
+    let mut n = node();
+    n.set_classifier_mode(un_switch::ClassifierMode::Linear);
+    n.deploy(&bridge_graph("g1")).unwrap();
+    let io = n.inject("eth0", frame(b"linear"));
+    assert_eq!(io.emitted.len(), 1);
+    assert_eq!(io.emitted[0].0, "eth1");
+    let stats = n.flow_cache_stats();
+    assert_eq!(stats.cache_hits, 0, "linear mode bypasses the cache");
+}

@@ -8,17 +8,22 @@
 //! encrypt/verify per shuttled frame, so corruption on the inter-node
 //! wire can never deliver wrong bytes).
 //!
-//! The data plane is the same synchronous work-queue style as the node
-//! fabric one layer down: [`Domain::inject`] drives a frame through a
-//! node, and every frame the node emits on the fabric port is carried
-//! to the link's peer node and re-injected until the packet leaves the
-//! domain on a real egress or dies.
+//! The data plane is a **batched shuttle**: [`Domain::inject_batch`]
+//! drains a node's whole pending burst through the node's
+//! run-to-completion batch path, buckets fabric-bound egress by VLAN
+//! link, seals/verifies ESP per burst, and hands each peer node its
+//! burst at once — optionally sharded across `std::thread` workers
+//! (every node is an isolated state machine; per-link locks guard the
+//! only shared state). [`Domain::inject`] is the single-frame wrapper.
 
+use std::cmp::Reverse;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-use un_core::{DeployReport, UniversalNode};
+use un_core::{DeployReport, Name, PortId, UniversalNode};
 use un_ipsec::{esp, SecurityAssociation};
 use un_nffg::{validate, NfFg, ValidationError};
 use un_packet::Packet;
@@ -50,6 +55,15 @@ pub struct DomainConfig {
     pub strategy: PlacementStrategy,
     /// Seed for overlay SA key derivation.
     pub seed: u64,
+    /// Per-injected-frame overlay hop budget: how many node-to-node
+    /// crossings one frame may make before being dropped as a loop
+    /// (`overlay_loop_drops`). Per frame, not per burst, so a large
+    /// batch of well-behaved frames is never culled by a shared
+    /// counter. A separate last-resort valve of `batch × overlay_ttl`
+    /// total crossings bounds *amplifying* loops; once tripped it
+    /// drops every further crossing in the call (counted as
+    /// `overlay_work_exhausted`).
+    pub overlay_ttl: u32,
 }
 
 impl Default for DomainConfig {
@@ -63,6 +77,7 @@ impl Default for DomainConfig {
             heartbeat_timeout_ns: 3_000_000_000, // 3 virtual seconds
             strategy: PlacementStrategy::Pack,
             seed: 0x5eed_d0ca_1000_0001,
+            overlay_ttl: 64,
         }
     }
 }
@@ -150,11 +165,11 @@ pub struct DomainReport {
     pub overlay_links: usize,
 }
 
-/// Result of injecting one frame at a domain ingress.
+/// Result of injecting frames at domain ingresses.
 #[derive(Debug, Default)]
 pub struct DomainIo {
     /// Frames leaving the domain: (node, physical port, packet).
-    pub emitted: Vec<(String, String, Packet)>,
+    pub emitted: Vec<(Name, Name, Packet)>,
     /// Total virtual time consumed, across nodes and overlay hops.
     pub cost: Cost,
     /// Overlay link traversals.
@@ -872,81 +887,368 @@ impl Domain {
 
     /// Inject a frame on a node's physical port and run it across the
     /// domain until every resulting frame left on a real egress.
+    ///
+    /// Thin wrapper over [`Domain::inject_batch`] with a one-frame
+    /// burst and a single worker. Each call pays the shuttle's
+    /// per-call setup (an O(fleet) reference map plus O(links) lock
+    /// wrappers — pointer work, no per-node allocation); high-rate
+    /// callers should batch frames into `inject_batch` instead, which
+    /// amortizes that setup across the whole burst.
     pub fn inject(&mut self, node: &str, port: &str, pkt: Packet) -> DomainIo {
+        self.inject_batch(vec![(node.to_string(), port.to_string(), pkt)], 1)
+    }
+
+    /// Inject a burst of `(node, port, frame)` triples and drain the
+    /// whole burst across the domain, optionally sharded over
+    /// `workers` OS threads.
+    ///
+    /// The shuttle is batched end to end: each node's pending frames
+    /// are drained through [`UniversalNode::inject_batch`] in one call,
+    /// fabric-bound egress is bucketed by VLAN link, ESP links
+    /// seal/verify per burst under one lock, and the peer node receives
+    /// its whole burst at once. With `workers > 1` the fleet is sharded
+    /// across scoped threads: every node is an isolated state machine,
+    /// so any idle worker may claim any node with pending frames (a
+    /// work-stealing drain); link counters and SAs are the only shared
+    /// state and sit behind per-link locks.
+    ///
+    /// Every frame carries its own overlay-hop TTL
+    /// ([`DomainConfig::overlay_ttl`]), so a large burst can never be
+    /// spuriously dropped as a loop — only genuinely circulating frames
+    /// die (counted as `overlay_loop_drops`).
+    pub fn inject_batch(
+        &mut self,
+        ingress: Vec<(String, String, Packet)>,
+        workers: usize,
+    ) -> DomainIo {
         let mut io = DomainIo::default();
-        let mut queue: Vec<(String, String, Packet)> = vec![(node.into(), port.into(), pkt)];
-        let mut budget = 64u32;
-        while let Some((node_name, port_name, pkt)) = queue.pop() {
-            if budget == 0 {
-                self.trace.count("overlay_loop_drops", 1);
-                break;
+        let ttl = self.config.overlay_ttl.max(1);
+        let fabric = self.config.fabric_port.clone();
+        let overlay_link_ns = self.config.overlay_link_ns;
+        let esp_fixed_ns = self.config.esp_fixed_ns;
+        let esp_ns_per_byte = self.config.esp_ns_per_byte;
+
+        // One cell per *touched* node; the cell owns the node state
+        // while no worker is driving it. Untouched nodes stay as bare
+        // references in `spare`, so a single-frame inject on a large
+        // fleet does no per-node interning or port resolution.
+        struct NodeCell<'a> {
+            managed: Option<&'a mut ManagedNode>,
+            fabric_id: Option<PortId>,
+            name: Name,
+            /// Pending bursts keyed by remaining TTL, freshest first.
+            pending: BTreeMap<Reverse<u32>, Vec<(PortId, Packet)>>,
+            queued: usize,
+        }
+
+        fn make_cell<'a>(managed: &'a mut ManagedNode, fabric: &str) -> NodeCell<'a> {
+            NodeCell {
+                fabric_id: managed.node.port_id(fabric),
+                name: Name::new(&managed.node.name),
+                managed: Some(managed),
+                pending: BTreeMap::new(),
+                queued: 0,
             }
-            budget -= 1;
-            let Some(managed) = self.nodes.get_mut(&node_name) else {
-                self.trace.count("inject_unknown_node", 1);
+        }
+
+        struct Pool<'a> {
+            cells: BTreeMap<&'a str, NodeCell<'a>>,
+            spare: BTreeMap<&'a str, &'a mut ManagedNode>,
+        }
+
+        impl<'a> Pool<'a> {
+            /// The cell for `node`, creating it from `spare` on first
+            /// touch. `None` when the node is unknown or failed.
+            fn cell(&mut self, node: &str, fabric: &str) -> Option<&mut NodeCell<'a>> {
+                if !self.cells.contains_key(node) {
+                    let (key, managed) = self.spare.remove_entry(node)?;
+                    self.cells.insert(key, make_cell(managed, fabric));
+                }
+                self.cells.get_mut(node)
+            }
+        }
+
+        #[derive(Default)]
+        struct WorkerOut {
+            emitted: Vec<(Name, Name, Packet)>,
+            cost: Cost,
+            overlay_hops: u32,
+            protected_bytes: u64,
+            counters: BTreeMap<&'static str, u64>,
+        }
+        impl WorkerOut {
+            fn count(&mut self, name: &'static str, n: u64) {
+                if n > 0 {
+                    *self.counters.entry(name).or_insert(0) += n;
+                }
+            }
+        }
+
+        let mut dead: Vec<&str> = Vec::new();
+        let mut state = Pool {
+            cells: BTreeMap::new(),
+            spare: BTreeMap::new(),
+        };
+        for (name, managed) in self.nodes.iter_mut() {
+            if managed.health != NodeHealth::Alive {
+                dead.push(name);
+                continue;
+            }
+            state.spare.insert(name.as_str(), managed);
+        }
+
+        // Seed the ingress queues, resolving each port name once.
+        let mut seeded = 0usize;
+        let mut seed_counts: Vec<(&'static str, u64)> = Vec::new();
+        for (node, port, pkt) in ingress {
+            let Some(cell) = state.cell(node.as_str(), &fabric) else {
+                seed_counts.push(if dead.iter().any(|d| *d == node) {
+                    ("inject_dead_node", 1)
+                } else {
+                    ("inject_unknown_node", 1)
+                });
                 continue;
             };
-            if managed.health != NodeHealth::Alive {
-                self.trace.count("inject_dead_node", 1);
+            let managed = cell.managed.as_mut().expect("no worker running yet");
+            let Some(pid) = managed.node.port_id(&port) else {
+                managed.node.trace.count("inject_unknown_port", 1);
                 continue;
-            }
-            let node_io = managed.node.inject(&port_name, pkt);
-            io.cost += node_io.cost;
-            for (out_port, out_pkt) in node_io.emitted {
-                if out_port != self.config.fabric_port {
-                    io.emitted.push((node_name.clone(), out_port, out_pkt));
-                    continue;
+            };
+            cell.pending
+                .entry(Reverse(ttl))
+                .or_default()
+                .push((pid, pkt));
+            cell.queued += 1;
+            seeded += 1;
+        }
+        for (name, n) in seed_counts {
+            self.trace.count(name, n);
+        }
+        if seeded == 0 {
+            return io;
+        }
+
+        let pool = Mutex::new(state);
+        let in_flight = AtomicUsize::new(seeded);
+        // Last-resort bound on total overlay crossings per call:
+        // single-path traffic needs at most `seeded × ttl` (each frame
+        // crosses at most `ttl` times). Workloads that multiply frames
+        // — a flood rule around an overlay cycle, or extreme loop-free
+        // fan-out past `seeded × ttl` copies — trip it, and everything
+        // still crossing is dropped (`overlay_work_exhausted`). The
+        // per-frame TTL alone would let amplification grow
+        // exponentially; this valve trades completeness under
+        // amplification for a hard bound.
+        let crossing_cap: u64 = (seeded as u64).saturating_mul(u64::from(ttl));
+        let crossings = AtomicU64::new(0);
+        // A worker that panics can never decrement `in_flight`; this
+        // flag (set by the unwinding worker's drop guard) releases its
+        // peers from the idle spin so the panic propagates through
+        // `join` instead of hanging the scope.
+        let aborted = std::sync::atomic::AtomicBool::new(false);
+        struct AbortGuard<'a>(&'a std::sync::atomic::AtomicBool);
+        impl Drop for AbortGuard<'_> {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    self.0.store(true, Ordering::Release);
                 }
-                // Overlay shuttle: the VLAN tag is the link identity.
-                let Some(vid) = out_pkt.vlan_id() else {
-                    self.trace.count("overlay_untagged_drop", 1);
-                    continue;
-                };
-                let Some(state) = self.links.get_mut(&vid) else {
-                    self.trace.count("overlay_unroutable_drop", 1);
-                    continue;
-                };
-                let peer = if state.link.from_node == node_name {
-                    state.link.to_node.clone()
-                } else if state.link.to_node == node_name {
-                    state.link.from_node.clone()
-                } else {
-                    self.trace.count("overlay_foreign_drop", 1);
-                    continue;
-                };
-                let len = out_pkt.len();
-                state.packets += 1;
-                state.bytes += len as u64;
-                io.overlay_hops += 1;
-                io.cost += Cost::from_nanos(self.config.overlay_link_ns);
-                if let Some(sas) = state.sas.as_deref_mut() {
-                    // Protect the wire: real ESP seal on egress, real
-                    // verify+open on ingress. A frame that fails to
-                    // verify never reaches the peer.
-                    let (sa_out, sa_in) = sas;
-                    let per_dir =
-                        self.config.esp_fixed_ns as f64 + self.config.esp_ns_per_byte * len as f64;
-                    io.cost += Cost::from_nanos((2.0 * per_dir) as u64);
-                    let sealed = match esp::encapsulate(sa_out, out_pkt.data()) {
-                        Ok(s) => s,
-                        Err(_) => {
-                            self.trace.count("overlay_esp_seal_fail", 1);
-                            continue;
+            }
+        }
+        let links: BTreeMap<u16, Mutex<&mut LinkState>> = self
+            .links
+            .iter_mut()
+            .map(|(vid, s)| (*vid, Mutex::new(s)))
+            .collect();
+
+        let work_ready = std::sync::Condvar::new();
+
+        let drain = || -> WorkerOut {
+            let _abort_guard = AbortGuard(&aborted);
+            let mut out = WorkerOut::default();
+            loop {
+                // Claim the first node with pending frames whose state
+                // is free — any worker may drive any node. Idle workers
+                // park on the condvar instead of spinning on the pool
+                // lock; the short timeout is a safety net against a
+                // missed wakeup, not a poll interval.
+                let job = {
+                    let mut pool = pool.lock().expect("shuttle pool poisoned");
+                    'claim: loop {
+                        for cell in pool.cells.values_mut() {
+                            if cell.queued > 0 && cell.managed.is_some() {
+                                let (&Reverse(t), _) =
+                                    cell.pending.iter().next().expect("queued > 0");
+                                let burst = cell.pending.remove(&Reverse(t)).expect("present");
+                                cell.queued -= burst.len();
+                                break 'claim Some((
+                                    cell.name.clone(),
+                                    cell.managed.take().expect("checked above"),
+                                    t,
+                                    burst,
+                                ));
+                            }
                         }
-                    };
-                    match esp::decapsulate(sa_in, &sealed) {
-                        Ok(inner) if inner == out_pkt.data() => {
-                            io.protected_bytes += len as u64;
+                        if in_flight.load(Ordering::Acquire) == 0 || aborted.load(Ordering::Acquire)
+                        {
+                            break 'claim None;
                         }
-                        _ => {
-                            self.trace.count("overlay_esp_verify_fail", 1);
-                            continue;
-                        }
+                        pool = work_ready
+                            .wait_timeout(pool, std::time::Duration::from_millis(1))
+                            .expect("shuttle pool poisoned")
+                            .0;
+                    }
+                };
+                let Some((name, managed, ttl_left, burst)) = job else {
+                    break;
+                };
+                let consumed = burst.len();
+                let node_io = managed.node.inject_batch(burst);
+                out.cost += node_io.cost;
+                // Hand the node back before shuttling so another worker
+                // can claim it for frames already heading its way.
+                {
+                    let mut pool = pool.lock().expect("shuttle pool poisoned");
+                    pool.cells
+                        .get_mut(name.as_str())
+                        .expect("cell exists")
+                        .managed = Some(managed);
+                }
+                work_ready.notify_all();
+                // Split node egress: real egress vs fabric-bound,
+                // bucketed by VLAN link identity.
+                let mut fabric_bursts: BTreeMap<u16, Vec<Packet>> = BTreeMap::new();
+                for (port, pkt) in node_io.emitted {
+                    if port.as_str() != fabric.as_str() {
+                        out.emitted.push((name.clone(), port, pkt));
+                        continue;
+                    }
+                    match pkt.vlan_id() {
+                        Some(vid) => fabric_bursts.entry(vid).or_default().push(pkt),
+                        None => out.count("overlay_untagged_drop", 1),
                     }
                 }
-                self.trace.count("overlay_frames", 1);
-                let fabric = self.config.fabric_port.clone();
-                queue.push((peer, fabric, out_pkt));
+                for (vid, frames) in fabric_bursts {
+                    let n = frames.len() as u64;
+                    let Some(link_mx) = links.get(&vid) else {
+                        out.count("overlay_unroutable_drop", n);
+                        continue;
+                    };
+                    let mut survivors: Vec<Packet> = Vec::with_capacity(frames.len());
+                    let peer: String;
+                    {
+                        let mut state = link_mx.lock().expect("link lock poisoned");
+                        peer = if state.link.from_node == name.as_str() {
+                            state.link.to_node.clone()
+                        } else if state.link.to_node == name.as_str() {
+                            state.link.from_node.clone()
+                        } else {
+                            out.count("overlay_foreign_drop", n);
+                            continue;
+                        };
+                        for pkt in frames {
+                            let len = pkt.len();
+                            state.packets += 1;
+                            state.bytes += len as u64;
+                            out.overlay_hops += 1;
+                            out.cost += Cost::from_nanos(overlay_link_ns);
+                            if let Some(sas) = state.sas.as_deref_mut() {
+                                // Protect the wire: real ESP seal on
+                                // egress, real verify+open on ingress. A
+                                // frame that fails to verify never
+                                // reaches the peer.
+                                let (sa_out, sa_in) = sas;
+                                let per_dir = esp_fixed_ns as f64 + esp_ns_per_byte * len as f64;
+                                out.cost += Cost::from_nanos((2.0 * per_dir) as u64);
+                                let sealed = match esp::encapsulate(sa_out, pkt.data()) {
+                                    Ok(s) => s,
+                                    Err(_) => {
+                                        out.count("overlay_esp_seal_fail", 1);
+                                        continue;
+                                    }
+                                };
+                                match esp::decapsulate(sa_in, &sealed) {
+                                    Ok(inner) if inner == pkt.data() => {
+                                        out.protected_bytes += len as u64;
+                                    }
+                                    _ => {
+                                        out.count("overlay_esp_verify_fail", 1);
+                                        continue;
+                                    }
+                                }
+                            }
+                            out.count("overlay_frames", 1);
+                            survivors.push(pkt);
+                        }
+                    }
+                    if survivors.is_empty() {
+                        continue;
+                    }
+                    let k = survivors.len();
+                    // ttl_left counts remaining crossings: a frame
+                    // seeded with overlay_ttl may cross exactly that
+                    // many times.
+                    if ttl_left == 0 {
+                        out.count("overlay_loop_drops", k as u64);
+                        continue;
+                    }
+                    if crossings.fetch_add(k as u64, Ordering::AcqRel) >= crossing_cap {
+                        out.count("overlay_work_exhausted", k as u64);
+                        continue;
+                    }
+                    let mut pool = pool.lock().expect("shuttle pool poisoned");
+                    let Some(cell) = pool.cell(peer.as_str(), &fabric) else {
+                        out.count(
+                            if dead.contains(&peer.as_str()) {
+                                "inject_dead_node"
+                            } else {
+                                "inject_unknown_node"
+                            },
+                            k as u64,
+                        );
+                        continue;
+                    };
+                    let Some(fid) = cell.fabric_id else {
+                        out.count("overlay_unroutable_drop", k as u64);
+                        continue;
+                    };
+                    in_flight.fetch_add(k, Ordering::Release);
+                    cell.pending
+                        .entry(Reverse(ttl_left - 1))
+                        .or_default()
+                        .extend(survivors.into_iter().map(|p| (fid, p)));
+                    cell.queued += k;
+                    drop(pool);
+                    work_ready.notify_all();
+                }
+                in_flight.fetch_sub(consumed, Ordering::Release);
+                work_ready.notify_all();
+            }
+            out
+        };
+
+        let mut outs: Vec<WorkerOut> = if workers <= 1 {
+            vec![drain()]
+        } else {
+            std::thread::scope(|s| {
+                // `&drain` on purpose: the same closure is spawned once
+                // per worker, so it must be borrowed, not moved.
+                #[allow(clippy::needless_borrows_for_generic_args)]
+                let handles: Vec<_> = (0..workers).map(|_| s.spawn(&drain)).collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shuttle worker panicked"))
+                    .collect()
+            })
+        };
+        drop(links);
+        drop(pool);
+        for mut worker in outs.drain(..) {
+            io.emitted.append(&mut worker.emitted);
+            io.cost += worker.cost;
+            io.overlay_hops += worker.overlay_hops;
+            io.protected_bytes += worker.protected_bytes;
+            for (name, n) in worker.counters {
+                self.trace.count(name, n);
             }
         }
         io
@@ -983,11 +1285,14 @@ impl Domain {
                     self.nodes
                         .values()
                         .map(|m| {
+                            let cache = m.node.flow_cache_stats();
                             Json::obj()
                                 .set("name", m.node.name.as_str())
                                 .set("alive", m.health == NodeHealth::Alive)
                                 .set("memory_used", m.node.memory_used())
                                 .set("memory_capacity", m.node.mem_capacity())
+                                .set("flow_cache_hits", cache.cache_hits)
+                                .set("flow_cache_misses", cache.cache_misses)
                                 .set(
                                     "graphs",
                                     Json::Arr(

@@ -406,6 +406,129 @@ fn rejects_bad_requests() {
 }
 
 #[test]
+fn large_bursts_are_not_spuriously_dropped_as_loops() {
+    // The pre-batch shuttle had a flat budget of 64 hops shared by the
+    // whole cascade — a 200-frame burst would have been culled. The TTL
+    // is per injected frame now, so every frame of the burst crosses.
+    let mut d = two_node_domain();
+    d.deploy_with(&split_bridge_chain(), &split_hints())
+        .unwrap();
+    let ingress: Vec<(String, String, un_packet::Packet)> = (0..200)
+        .map(|_| ("n1".to_string(), "eth0".to_string(), frame()))
+        .collect();
+    let io = d.inject_batch(ingress, 1);
+    assert_eq!(io.emitted.len(), 200, "whole burst must forward");
+    assert_eq!(io.overlay_hops, 200);
+    assert_eq!(d.trace.counter("overlay_loop_drops"), 0);
+    assert_eq!(d.trace.counter("overlay_frames"), 200);
+}
+
+#[test]
+fn overlay_ttl_exhaustion_is_counted_per_frame() {
+    let ttl_domain = |ttl: u32| {
+        let mut d = Domain::new(DomainConfig {
+            overlay_ttl: ttl,
+            ..DomainConfig::default()
+        });
+        let mut n1 = UniversalNode::new("n1", mb(2048));
+        n1.add_physical_port("eth0");
+        let mut n2 = UniversalNode::new("n2", mb(2048));
+        n2.add_physical_port("eth1");
+        d.add_node(n1);
+        d.add_node(n2);
+        d
+    };
+    // overlay_ttl counts crossings exactly: the standard split needs
+    // one crossing, so ttl = 1 suffices.
+    let mut d = ttl_domain(1);
+    d.deploy_with(&split_bridge_chain(), &split_hints())
+        .unwrap();
+    let io = d.inject("n1", "eth0", frame());
+    assert_eq!(io.emitted.len(), 1, "one crossing fits in ttl = 1");
+    assert_eq!(d.trace.counter("overlay_loop_drops"), 0);
+
+    // Reversed placement (br1 on n2, br2 on n1) needs three crossings:
+    // the frame dies mid-path and the drop is visible as a counter.
+    let mut d = ttl_domain(1);
+    let reversed = DeployHints {
+        nf_node: [
+            ("br1".to_string(), "n2".to_string()),
+            ("br2".to_string(), "n1".to_string()),
+        ]
+        .into(),
+        strategy: Some(PlacementStrategy::Spread),
+        ..Default::default()
+    };
+    d.deploy_with(&split_bridge_chain(), &reversed).unwrap();
+    let io = d.inject("n1", "eth0", frame());
+    assert!(io.emitted.is_empty(), "frame must die mid-path");
+    assert_eq!(d.trace.counter("overlay_loop_drops"), 1);
+    // ttl = 3 lets the same path complete.
+    let mut d = ttl_domain(3);
+    d.deploy_with(&split_bridge_chain(), &reversed).unwrap();
+    let io = d.inject("n1", "eth0", frame());
+    assert_eq!(io.emitted.len(), 1, "three crossings fit in ttl = 3");
+    assert_eq!(io.overlay_hops, 3);
+}
+
+#[test]
+fn sharded_inject_batch_matches_sequential_workers() {
+    let build = || {
+        let mut d = two_node_domain();
+        d.node_mut("n1").unwrap().add_physical_port("eth1");
+        d.deploy_with(&split_bridge_chain(), &split_hints())
+            .unwrap();
+        d
+    };
+    let ingress = |n: usize| -> Vec<(String, String, un_packet::Packet)> {
+        (0..n)
+            .map(|_| ("n1".to_string(), "eth0".to_string(), frame()))
+            .collect()
+    };
+    let mut seq = build();
+    let seq_io = seq.inject_batch(ingress(64), 1);
+    for workers in [2usize, 4, 8] {
+        let mut sharded = build();
+        let io = sharded.inject_batch(ingress(64), workers);
+        assert_eq!(io.emitted.len(), seq_io.emitted.len(), "{workers} workers");
+        assert_eq!(io.cost, seq_io.cost);
+        assert_eq!(io.overlay_hops, seq_io.overlay_hops);
+        let mut a: Vec<(String, String, Vec<u8>)> = io
+            .emitted
+            .iter()
+            .map(|(n, p, pkt)| (n.to_string(), p.to_string(), pkt.data().to_vec()))
+            .collect();
+        let mut b: Vec<(String, String, Vec<u8>)> = seq_io
+            .emitted
+            .iter()
+            .map(|(n, p, pkt)| (n.to_string(), p.to_string(), pkt.data().to_vec()))
+            .collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "{workers} workers");
+    }
+}
+
+#[test]
+fn batch_ingress_to_unknown_and_dead_nodes_is_counted() {
+    let mut d = two_node_domain();
+    d.node_mut("n1").unwrap().add_physical_port("eth1");
+    d.deploy_with(&split_bridge_chain(), &split_hints())
+        .unwrap();
+    d.fail_node("n2").unwrap();
+    let io = d.inject_batch(
+        vec![
+            ("ghost".to_string(), "eth0".to_string(), frame()),
+            ("n2".to_string(), "eth1".to_string(), frame()),
+        ],
+        1,
+    );
+    assert!(io.emitted.is_empty());
+    assert_eq!(d.trace.counter("inject_unknown_node"), 1);
+    assert_eq!(d.trace.counter("inject_dead_node"), 1);
+}
+
+#[test]
 fn describe_reports_fleet_and_links() {
     let mut d = two_node_domain();
     d.deploy_with(&split_bridge_chain(), &split_hints())

@@ -214,6 +214,12 @@ impl From<u64> for Json {
     }
 }
 
+impl From<f64> for Json {
+    fn from(n: f64) -> Json {
+        Json::Num(n)
+    }
+}
+
 impl From<u32> for Json {
     fn from(n: u32) -> Json {
         Json::Num(f64::from(n))

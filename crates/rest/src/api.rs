@@ -241,6 +241,9 @@ mod tests {
         assert_eq!(r.status, StatusCode::Ok);
         assert!(r.body.contains("\"native\""));
         assert!(r.body.contains("rest-cpe"));
+        // Data-plane fast-path counters ride the same document.
+        assert!(r.body.contains("\"flow_cache_hits\""), "{}", r.body);
+        assert!(r.body.contains("\"flow_cache_misses\""), "{}", r.body);
     }
 
     #[test]

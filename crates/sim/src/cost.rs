@@ -154,6 +154,9 @@ pub struct CostModel {
     pub flow_lookup_ns: u64,
     /// Flow-table lookup, cached exact-match fast path.
     pub flow_cache_hit_ns: u64,
+    /// Flow-table lookup served by a hash-bucketed exact-match table
+    /// (slower than the microflow cache, far cheaper than the scan).
+    pub flow_exact_hit_ns: u64,
     /// Applying one flow action (output/set-field).
     pub flow_action_ns: u64,
     /// VLAN push or pop.
@@ -203,6 +206,7 @@ impl Default for CostModel {
             l4_processing_ns: 90,
             flow_lookup_ns: 160,
             flow_cache_hit_ns: 55,
+            flow_exact_hit_ns: 75,
             flow_action_ns: 25,
             vlan_op_ns: 30,
             virtual_link_ns: 90,
@@ -237,6 +241,7 @@ impl CostModel {
             l4_processing_ns: 0,
             flow_lookup_ns: 0,
             flow_cache_hit_ns: 0,
+            flow_exact_hit_ns: 0,
             flow_action_ns: 0,
             vlan_op_ns: 0,
             virtual_link_ns: 0,

@@ -13,9 +13,10 @@
 //!   with statistics.
 //! * [`key`] — one-pass packet header extraction into a hashable
 //!   [`key::PacketKey`], the equivalent of OvS's miniflow.
-//! * [`table`] — a priority-ordered flow table with an exact-match
-//!   microflow cache (the OvS fast path) that is invalidated on
-//!   modification.
+//! * [`table`] — a priority-ordered flow table fronted by a two-stage
+//!   fast path: a generation-stamped exact-match microflow cache (the
+//!   OvS fast path) plus hash-bucketed exact-match shape tables, with
+//!   the linear scan demoted to wildcard-only entries.
 //! * [`lsi`] — the switch itself: ports, a pipeline of one or more
 //!   tables, per-port and per-switch counters, controller punts.
 //!   Two pipeline personalities mirror the paper's driver diversity:
@@ -36,4 +37,4 @@ pub use controller::{Controller, ControllerCmd, LearningController};
 pub use flow::{FlowAction, FlowEntry, FlowMatch, VlanSpec};
 pub use key::PacketKey;
 pub use lsi::{Backend, LogicalSwitch, PortNo, SwitchStats};
-pub use table::FlowTable;
+pub use table::{ClassifierMode, FlowTable, LookupPath, TableStats};

@@ -13,7 +13,7 @@ use un_sim::{Cost, CostModel};
 
 use crate::flow::{FlowAction, FlowEntry};
 use crate::key::PacketKey;
-use crate::table::{FlowTable, LookupPath};
+use crate::table::{ClassifierMode, FlowTable, LookupPath, TableStats};
 
 /// A switch port number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -198,6 +198,22 @@ impl LogicalSwitch {
         self.tables.get(idx as usize)
     }
 
+    /// Switch every table's classifier pipeline (fast path on/off).
+    pub fn set_classifier_mode(&mut self, mode: ClassifierMode) {
+        for t in &mut self.tables {
+            t.set_mode(mode);
+        }
+    }
+
+    /// Aggregated fast-path counters across all tables.
+    pub fn cache_stats(&self) -> TableStats {
+        let mut stats = TableStats::default();
+        for t in &self.tables {
+            stats.merge(&t.stats());
+        }
+        stats
+    }
+
     /// Process one packet arriving on `in_port`.
     ///
     /// Returns the emitted packets, any controller punt, and the virtual
@@ -240,6 +256,7 @@ impl LogicalSwitch {
             matched_any = true;
             cost += match path {
                 LookupPath::CacheHit => Cost::from_nanos(costs.flow_cache_hit_ns),
+                LookupPath::ExactHit => Cost::from_nanos(costs.flow_exact_hit_ns),
                 LookupPath::Miss => Cost::from_nanos(costs.flow_lookup_ns),
             };
 

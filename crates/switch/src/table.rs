@@ -1,24 +1,276 @@
-//! A priority-ordered flow table with an exact-match microflow cache.
+//! A priority-ordered flow table with a two-stage fast path.
 //!
-//! The slow path scans entries in (priority desc, insertion order): the
-//! first match wins, as in OpenFlow with distinct priorities. The fast
-//! path memoizes `PacketKey → entry index` — the moral equivalent of the
-//! Open vSwitch microflow cache — and is invalidated wholesale whenever
-//! the table is modified.
+//! Lookup tries three classifiers, cheapest first:
+//!
+//! 1. **Microflow cache** — `PacketKey → entry index`, the moral
+//!    equivalent of the Open vSwitch microflow cache. Entries are
+//!    validated against the table's generation counter (the insertion
+//!    sequence number, which also advances on removal), so a table
+//!    mutation invalidates every cached decision without an O(cache)
+//!    clear.
+//! 2. **Exact-match shape tables** — entries whose match constrains
+//!    only exactly-comparable fields (a port, a MAC, a /32 prefix, a
+//!    specific VLAN id, …) are hash-bucketed by their *shape* (the set
+//!    of constrained fields). One hash probe per distinct shape replaces
+//!    the linear scan for the overwhelmingly common non-wildcard rules.
+//! 3. **Wildcard scan** — the remaining entries (CIDR prefixes shorter
+//!    than /32, any-tagged VLAN specs) are scanned linearly, stopping as
+//!    soon as a better exact candidate is already known.
+//!
+//! Entries are kept sorted by (priority desc, insertion seq asc), so
+//! "first match wins" reduces to "smallest index wins" across all three
+//! classifiers. [`ClassifierMode::Linear`] disables stages 1–2 and
+//! reproduces the pre-optimization scan — kept for benchmarking the
+//! fast path against its baseline.
 
 use std::collections::HashMap;
 
-use crate::flow::{FlowEntry, FlowMatch};
+use crate::flow::{FlowEntry, FlowMatch, VlanSpec};
 use crate::key::PacketKey;
+use crate::lsi::PortNo;
+use un_packet::ethernet::MacAddr;
 
 /// Result of a lookup, distinguishing the path taken (for cost charging).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LookupPath {
-    /// Served by the exact-match cache.
+    /// Served by the microflow cache.
     CacheHit,
-    /// Required a linear scan.
+    /// Served by a hash-bucketed exact-match shape table.
+    ExactHit,
+    /// Required a linear scan over wildcard entries.
     Miss,
 }
+
+/// Which classifier pipeline a table runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClassifierMode {
+    /// Microflow cache + exact-match shape tables + wildcard scan.
+    #[default]
+    Indexed,
+    /// Pure linear scan (the pre-optimization baseline; benchmarking).
+    Linear,
+}
+
+/// Aggregated lookup counters of one or more tables. Counters advance
+/// only under [`ClassifierMode::Indexed`]; the linear baseline mode
+/// leaves them untouched so mode A/B comparisons stay clean.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Lookups served by the microflow cache.
+    pub cache_hits: u64,
+    /// Lookups that fell through the microflow cache.
+    pub cache_misses: u64,
+    /// Fall-throughs resolved by an exact-match shape table.
+    pub exact_hits: u64,
+    /// Fall-throughs resolved by the wildcard linear scan.
+    pub wildcard_hits: u64,
+}
+
+impl TableStats {
+    /// Merge another stats block into this one.
+    pub fn merge(&mut self, other: &TableStats) {
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.exact_hits += other.exact_hits;
+        self.wildcard_hits += other.wildcard_hits;
+    }
+
+    /// Cache hit rate in [0, 1]; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
+    }
+}
+
+/// Bitmask of constrained [`FlowMatch`] fields (one bit per field).
+type FieldMask = u16;
+
+const F_IN_PORT: FieldMask = 1 << 0;
+const F_ETH_SRC: FieldMask = 1 << 1;
+const F_ETH_DST: FieldMask = 1 << 2;
+const F_ETH_TYPE: FieldMask = 1 << 3;
+const F_VLAN: FieldMask = 1 << 4;
+const F_IP_SRC: FieldMask = 1 << 5;
+const F_IP_DST: FieldMask = 1 << 6;
+const F_IP_PROTO: FieldMask = 1 << 7;
+const F_L4_SRC: FieldMask = 1 << 8;
+const F_L4_DST: FieldMask = 1 << 9;
+const F_FWMARK: FieldMask = 1 << 10;
+
+/// The canonical "nothing" key that projections start from: every field
+/// a shape does not constrain stays at this value on both the entry and
+/// the packet side, so per-shape hash equality is exact.
+const fn zero_key() -> PacketKey {
+    PacketKey {
+        in_port: PortNo(0),
+        eth_src: MacAddr::ZERO,
+        eth_dst: MacAddr::ZERO,
+        eth_type: 0,
+        vlan: None,
+        ip_src: None,
+        ip_dst: None,
+        ip_proto: None,
+        l4_src: None,
+        l4_dst: None,
+        fwmark: 0,
+    }
+}
+
+/// If `m` constrains only exactly-comparable fields, return its shape
+/// mask and its projection (the key any matching packet must project
+/// to). CIDR prefixes shorter than /32 and `VlanSpec::AnyTagged` are
+/// not exactly comparable — those entries stay on the wildcard path.
+fn exact_shape(m: &FlowMatch) -> Option<(FieldMask, PacketKey)> {
+    // Exhaustive destructuring (no `..`): adding a field to FlowMatch
+    // is a compile error here, so a new matchable field can never be
+    // silently ignored by the exact-match index.
+    let FlowMatch {
+        in_port,
+        eth_src,
+        eth_dst,
+        eth_type,
+        vlan,
+        ip_src,
+        ip_dst,
+        ip_proto,
+        l4_src,
+        l4_dst,
+        fwmark,
+    } = m;
+    let mut mask: FieldMask = 0;
+    let mut proj = zero_key();
+    if let Some(p) = *in_port {
+        mask |= F_IN_PORT;
+        proj.in_port = p;
+    }
+    if let Some(mac) = *eth_src {
+        mask |= F_ETH_SRC;
+        proj.eth_src = mac;
+    }
+    if let Some(mac) = *eth_dst {
+        mask |= F_ETH_DST;
+        proj.eth_dst = mac;
+    }
+    if let Some(t) = *eth_type {
+        mask |= F_ETH_TYPE;
+        proj.eth_type = t;
+    }
+    match vlan {
+        None => {}
+        Some(VlanSpec::Untagged) => {
+            mask |= F_VLAN;
+            proj.vlan = None;
+        }
+        Some(VlanSpec::Id(v)) => {
+            mask |= F_VLAN;
+            proj.vlan = Some(*v);
+        }
+        Some(VlanSpec::AnyTagged) => return None,
+    }
+    if let Some(cidr) = *ip_src {
+        if cidr.prefix_len() != 32 {
+            return None;
+        }
+        mask |= F_IP_SRC;
+        proj.ip_src = Some(cidr.addr());
+    }
+    if let Some(cidr) = *ip_dst {
+        if cidr.prefix_len() != 32 {
+            return None;
+        }
+        mask |= F_IP_DST;
+        proj.ip_dst = Some(cidr.addr());
+    }
+    if let Some(p) = *ip_proto {
+        mask |= F_IP_PROTO;
+        proj.ip_proto = Some(p);
+    }
+    if let Some(p) = *l4_src {
+        mask |= F_L4_SRC;
+        proj.l4_src = Some(p);
+    }
+    if let Some(p) = *l4_dst {
+        mask |= F_L4_DST;
+        proj.l4_dst = Some(p);
+    }
+    if let Some(mark) = *fwmark {
+        mask |= F_FWMARK;
+        proj.fwmark = mark;
+    }
+    Some((mask, proj))
+}
+
+/// Project a packet's key onto a shape: constrained fields are kept,
+/// everything else is zeroed to the canonical value.
+fn project(key: &PacketKey, mask: FieldMask) -> PacketKey {
+    // Exhaustive destructuring (no `..`): a new PacketKey field must be
+    // handled here before this compiles again.
+    let PacketKey {
+        in_port,
+        eth_src,
+        eth_dst,
+        eth_type,
+        vlan,
+        ip_src,
+        ip_dst,
+        ip_proto,
+        l4_src,
+        l4_dst,
+        fwmark,
+    } = *key;
+    let mut proj = zero_key();
+    if mask & F_IN_PORT != 0 {
+        proj.in_port = in_port;
+    }
+    if mask & F_ETH_SRC != 0 {
+        proj.eth_src = eth_src;
+    }
+    if mask & F_ETH_DST != 0 {
+        proj.eth_dst = eth_dst;
+    }
+    if mask & F_ETH_TYPE != 0 {
+        proj.eth_type = eth_type;
+    }
+    if mask & F_VLAN != 0 {
+        proj.vlan = vlan;
+    }
+    if mask & F_IP_SRC != 0 {
+        proj.ip_src = ip_src;
+    }
+    if mask & F_IP_DST != 0 {
+        proj.ip_dst = ip_dst;
+    }
+    if mask & F_IP_PROTO != 0 {
+        proj.ip_proto = ip_proto;
+    }
+    if mask & F_L4_SRC != 0 {
+        proj.l4_src = l4_src;
+    }
+    if mask & F_L4_DST != 0 {
+        proj.l4_dst = l4_dst;
+    }
+    if mask & F_FWMARK != 0 {
+        proj.fwmark = fwmark;
+    }
+    proj
+}
+
+/// One exact-match bucket: all entries sharing a field mask, hashed by
+/// their projected key. On duplicate projections the smallest entry
+/// index (= best priority, then earliest insertion) is kept.
+#[derive(Debug, Default)]
+struct ShapeTable {
+    mask: FieldMask,
+    map: HashMap<PacketKey, usize>,
+}
+
+/// Bound on the microflow cache before it is recycled wholesale; stale
+/// generations are dropped lazily, so without a bound a long-lived
+/// churning table would accumulate dead keys.
+const CACHE_CAP: usize = 8_192;
 
 /// A single flow table.
 #[derive(Debug, Default)]
@@ -27,12 +279,24 @@ pub struct FlowTable {
     entries: Vec<FlowEntry>,
     /// Insertion sequence numbers parallel to `entries`.
     seqs: Vec<u64>,
+    /// Next sequence number; doubles as the table generation (advanced
+    /// on *every* mutation, including removals) that stamps and
+    /// invalidates cache entries and the exact-match index.
     next_seq: u64,
-    cache: HashMap<PacketKey, usize>,
+    cache: HashMap<PacketKey, (u64, usize)>,
+    /// Shape tables + wildcard entry list, rebuilt lazily per generation.
+    shapes: Vec<ShapeTable>,
+    wildcard: Vec<usize>,
+    index_gen: u64,
+    mode: ClassifierMode,
     /// Cache hits since creation.
     pub cache_hits: u64,
     /// Cache misses since creation.
     pub cache_misses: u64,
+    /// Exact-match shape-table hits since creation.
+    pub exact_hits: u64,
+    /// Wildcard-scan hits since creation.
+    pub wildcard_hits: u64,
 }
 
 impl FlowTable {
@@ -51,10 +315,36 @@ impl FlowTable {
         self.entries.is_empty()
     }
 
+    /// Switch the classifier pipeline (counters keep accumulating).
+    pub fn set_mode(&mut self, mode: ClassifierMode) {
+        self.mode = mode;
+    }
+
+    /// The classifier pipeline currently in use.
+    pub fn mode(&self) -> ClassifierMode {
+        self.mode
+    }
+
+    /// Lookup counters as one block.
+    pub fn stats(&self) -> TableStats {
+        TableStats {
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            exact_hits: self.exact_hits,
+            wildcard_hits: self.wildcard_hits,
+        }
+    }
+
+    /// Advance the generation: every cached decision and the exact
+    /// index become stale.
+    fn touch(&mut self) {
+        self.next_seq += 1;
+    }
+
     /// Install an entry, keeping priority order. Invalidates the cache.
     pub fn insert(&mut self, entry: FlowEntry) {
         let seq = self.next_seq;
-        self.next_seq += 1;
+        self.touch();
         // Find insert position: after all entries with priority >= new
         // (stable among equal priorities).
         let pos = self
@@ -64,7 +354,6 @@ impl FlowTable {
             .unwrap_or(self.entries.len());
         self.entries.insert(pos, entry);
         self.seqs.insert(pos, seq);
-        self.cache.clear();
     }
 
     /// Remove all entries with the given cookie; returns how many.
@@ -81,7 +370,7 @@ impl FlowTable {
         }
         let removed = before - self.entries.len();
         if removed > 0 {
-            self.cache.clear();
+            self.touch();
         }
         removed
     }
@@ -90,7 +379,68 @@ impl FlowTable {
     pub fn clear(&mut self) {
         self.entries.clear();
         self.seqs.clear();
-        self.cache.clear();
+        self.touch();
+    }
+
+    /// Rebuild the exact-match index if the table changed since it was
+    /// last built.
+    fn ensure_index(&mut self) {
+        if self.index_gen == self.next_seq {
+            return;
+        }
+        self.shapes.clear();
+        self.wildcard.clear();
+        let mut by_mask: HashMap<FieldMask, usize> = HashMap::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            match exact_shape(&e.matches) {
+                Some((mask, proj)) => {
+                    let slot = *by_mask.entry(mask).or_insert_with(|| {
+                        self.shapes.push(ShapeTable {
+                            mask,
+                            map: HashMap::new(),
+                        });
+                        self.shapes.len() - 1
+                    });
+                    // First (smallest) index wins on identical matches.
+                    self.shapes[slot].map.entry(proj).or_insert(i);
+                }
+                None => self.wildcard.push(i),
+            }
+        }
+        self.index_gen = self.next_seq;
+    }
+
+    /// Find the winning entry index for `key` via the indexed
+    /// classifier, or `None` on table miss.
+    fn classify(&mut self, key: &PacketKey) -> Option<(usize, LookupPath)> {
+        self.ensure_index();
+        // Candidates are indices into the sorted entry vector, so the
+        // smallest index is the best (priority desc, insertion asc).
+        let mut best: Option<usize> = None;
+        for shape in &self.shapes {
+            if let Some(&i) = shape.map.get(&project(key, shape.mask)) {
+                if best.is_none_or(|b| i < b) {
+                    best = Some(i);
+                }
+            }
+        }
+        let exact_best = best;
+        for &i in &self.wildcard {
+            if best.is_some_and(|b| b < i) {
+                break; // a better exact candidate already wins
+            }
+            if self.entries[i].matches.matches(key) {
+                best = Some(i);
+                break;
+            }
+        }
+        let idx = best?;
+        let path = if exact_best == Some(idx) {
+            LookupPath::ExactHit
+        } else {
+            LookupPath::Miss
+        };
+        Some((idx, path))
     }
 
     /// Look up the best entry for `key`, updating its counters by
@@ -101,10 +451,21 @@ impl FlowTable {
         key: &PacketKey,
         bytes: usize,
     ) -> Option<(Vec<crate::flow::FlowAction>, LookupPath)> {
-        if let Some(&idx) = self.cache.get(key) {
-            // Defensive: the cache is cleared on every mutation, so idx
-            // is always in range, but stay safe.
-            if let Some(entry) = self.entries.get_mut(idx) {
+        if self.mode == ClassifierMode::Linear {
+            // Baseline scan: no cache, no index, and no fast-path
+            // counter updates — the stats describe the indexed pipeline
+            // only, so an A/B mode toggle cannot pollute them.
+            let idx = self.entries.iter().position(|e| e.matches.matches(key))?;
+            let entry = &mut self.entries[idx];
+            entry.packet_count += 1;
+            entry.byte_count += bytes as u64;
+            return Some((entry.actions.clone(), LookupPath::Miss));
+        }
+        if let Some(&(gen, idx)) = self.cache.get(key) {
+            if gen == self.next_seq {
+                // Generation match ⇒ the table is untouched since
+                // this decision was cached, so idx is valid.
+                let entry = &mut self.entries[idx];
                 self.cache_hits += 1;
                 entry.packet_count += 1;
                 entry.byte_count += bytes as u64;
@@ -112,13 +473,20 @@ impl FlowTable {
             }
         }
         self.cache_misses += 1;
-        let idx = self.entries.iter().position(|e| e.matches.matches(key))?;
+        let (idx, path) = self.classify(key)?;
+        match path {
+            LookupPath::ExactHit => self.exact_hits += 1,
+            _ => self.wildcard_hits += 1,
+        }
         let entry = &mut self.entries[idx];
         entry.packet_count += 1;
         entry.byte_count += bytes as u64;
         let actions = entry.actions.clone();
-        self.cache.insert(*key, idx);
-        Some((actions, LookupPath::Miss))
+        if self.cache.len() >= CACHE_CAP {
+            self.cache.clear();
+        }
+        self.cache.insert(*key, (self.next_seq, idx));
+        Some((actions, path))
     }
 
     /// Find entries matching a predicate over (priority, match).
@@ -145,6 +513,7 @@ mod tests {
     use crate::flow::FlowAction;
     use crate::lsi::PortNo;
     use un_packet::ethernet::MacAddr;
+    use un_packet::Ipv4Cidr;
 
     fn key(port: u32) -> PacketKey {
         PacketKey {
@@ -195,16 +564,85 @@ mod tests {
         let mut t = FlowTable::new();
         t.insert(entry(1, Some(1), 2));
         let (_, path) = t.lookup(&key(1), 1).unwrap();
-        assert_eq!(path, LookupPath::Miss);
+        assert_eq!(path, LookupPath::ExactHit, "in-port match is exact-shaped");
         let (_, path) = t.lookup(&key(1), 1).unwrap();
         assert_eq!(path, LookupPath::CacheHit);
         assert_eq!(t.cache_hits, 1);
 
-        // Any modification invalidates.
+        // Any modification invalidates (via the generation stamp).
         t.insert(entry(9, Some(1), 3));
         let (actions, path) = t.lookup(&key(1), 1).unwrap();
-        assert_eq!(path, LookupPath::Miss);
+        assert_ne!(path, LookupPath::CacheHit);
         assert_eq!(actions, vec![FlowAction::Output(PortNo(3))]);
+    }
+
+    #[test]
+    fn wildcard_entry_takes_slow_path() {
+        let mut t = FlowTable::new();
+        let m = FlowMatch::any().with_ip_dst(Ipv4Cidr::new("10.0.0.0".parse().unwrap(), 8));
+        t.insert(FlowEntry::new(3, m, vec![FlowAction::Output(PortNo(7))]));
+        let mut k = key(1);
+        k.ip_dst = Some("10.1.2.3".parse().unwrap());
+        let (_, path) = t.lookup(&k, 1).unwrap();
+        assert_eq!(path, LookupPath::Miss);
+        assert_eq!(t.wildcard_hits, 1);
+        // Second lookup of the same key is cached.
+        let (_, path) = t.lookup(&k, 1).unwrap();
+        assert_eq!(path, LookupPath::CacheHit);
+    }
+
+    #[test]
+    fn exact_and_wildcard_priority_interleave() {
+        let mut t = FlowTable::new();
+        // Wildcard /8 at high priority beats an exact in-port entry.
+        let wide = FlowMatch::any().with_ip_dst(Ipv4Cidr::new("10.0.0.0".parse().unwrap(), 8));
+        t.insert(FlowEntry::new(9, wide, vec![FlowAction::Output(PortNo(1))]));
+        t.insert(entry(5, Some(4), 2));
+        let mut k = key(4);
+        k.ip_dst = Some("10.9.9.9".parse().unwrap());
+        let (actions, _) = t.lookup(&k, 1).unwrap();
+        assert_eq!(actions, vec![FlowAction::Output(PortNo(1))]);
+        // Non-10/8 traffic falls through to the exact entry.
+        let mut k2 = key(4);
+        k2.ip_dst = Some("172.16.0.1".parse().unwrap());
+        let (actions, path) = t.lookup(&k2, 1).unwrap();
+        assert_eq!(actions, vec![FlowAction::Output(PortNo(2))]);
+        assert_eq!(path, LookupPath::ExactHit);
+    }
+
+    #[test]
+    fn slash32_prefix_is_exact_indexed() {
+        let mut t = FlowTable::new();
+        let m = FlowMatch::any().with_ip_dst(Ipv4Cidr::new("10.0.0.9".parse().unwrap(), 32));
+        t.insert(FlowEntry::new(2, m, vec![FlowAction::Output(PortNo(3))]));
+        let mut k = key(1);
+        k.ip_dst = Some("10.0.0.9".parse().unwrap());
+        let (_, path) = t.lookup(&k, 1).unwrap();
+        assert_eq!(path, LookupPath::ExactHit);
+        k.ip_dst = Some("10.0.0.10".parse().unwrap());
+        assert!(t.lookup(&k, 1).is_none());
+    }
+
+    #[test]
+    fn linear_mode_matches_indexed_mode() {
+        let mut a = FlowTable::new();
+        let mut b = FlowTable::new();
+        b.set_mode(ClassifierMode::Linear);
+        for t in [&mut a, &mut b] {
+            t.insert(entry(1, None, 99));
+            t.insert(entry(10, Some(1), 2));
+            t.insert(entry(5, Some(2), 3));
+        }
+        for port in 0..4 {
+            let ka = a.lookup(&key(port), 1).map(|(acts, _)| acts);
+            let kb = b.lookup(&key(port), 1).map(|(acts, _)| acts);
+            assert_eq!(ka, kb, "port {port}");
+        }
+        assert_eq!(
+            b.stats(),
+            TableStats::default(),
+            "linear mode must not touch the fast-path counters"
+        );
     }
 
     #[test]
@@ -217,6 +655,11 @@ mod tests {
         assert_eq!(e.packet_count, 2);
         assert_eq!(e.byte_count, 150);
         assert_eq!(t.total_packets(), 2);
+        let s = t.stats();
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.exact_hits, 1);
+        assert!(s.hit_rate() > 0.0);
     }
 
     #[test]
@@ -229,6 +672,20 @@ mod tests {
         assert_eq!(t.len(), 1);
         assert!(t.lookup(&key(1), 1).is_none());
         assert!(t.lookup(&key(3), 1).is_some());
+    }
+
+    #[test]
+    fn removal_invalidates_cached_decision() {
+        let mut t = FlowTable::new();
+        t.insert(entry(5, Some(1), 2).with_cookie(0xAA));
+        t.insert(entry(1, None, 99));
+        t.lookup(&key(1), 1); // caches → port 2
+        t.lookup(&key(1), 1);
+        assert_eq!(t.cache_hits, 1);
+        t.remove_by_cookie(0xAA);
+        let (actions, path) = t.lookup(&key(1), 1).unwrap();
+        assert_ne!(path, LookupPath::CacheHit, "stale decision must not serve");
+        assert_eq!(actions, vec![FlowAction::Output(PortNo(99))]);
     }
 
     #[test]

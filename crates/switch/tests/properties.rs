@@ -3,24 +3,33 @@
 
 use proptest::prelude::*;
 use un_packet::ethernet::MacAddr;
-use un_switch::{FlowAction, FlowEntry, FlowMatch, FlowTable, PacketKey, PortNo};
+use un_packet::Ipv4Cidr;
+use un_switch::{
+    ClassifierMode, FlowAction, FlowEntry, FlowMatch, FlowTable, PacketKey, PortNo, VlanSpec,
+};
 
 fn key_strategy() -> impl Strategy<Value = PacketKey> {
-    (0u32..4, any::<u16>(), prop::option::of(0u8..4), 0u32..3).prop_map(
-        |(port, dport, proto, mark)| PacketKey {
+    (
+        0u32..4,
+        any::<u16>(),
+        prop::option::of(0u8..4),
+        0u32..3,
+        prop::option::of(0u16..3),
+        0u8..4,
+    )
+        .prop_map(|(port, dport, proto, mark, vlan, last_octet)| PacketKey {
             in_port: PortNo(port),
             eth_src: MacAddr::local(1),
             eth_dst: MacAddr::local(2),
             eth_type: 0x0800,
-            vlan: None,
+            vlan,
             ip_src: Some(std::net::Ipv4Addr::new(10, 0, 0, 1)),
-            ip_dst: Some(std::net::Ipv4Addr::new(10, 0, 0, 2)),
+            ip_dst: Some(std::net::Ipv4Addr::new(10, 0, last_octet, 2)),
             ip_proto: proto.map(|p| p + 6),
             l4_src: Some(1000),
             l4_dst: Some(dport % 8), // small space → frequent matches
             fwmark: mark,
-        },
-    )
+        })
 }
 
 #[derive(Debug, Clone)]
@@ -29,6 +38,10 @@ struct RuleSpec {
     in_port: Option<u32>,
     l4_dst: Option<u16>,
     fwmark: Option<u32>,
+    /// 0 = no VLAN constraint, 1 = untagged, 2 = any-tagged, else Id.
+    vlan: u8,
+    /// ip_dst constraint: None, or (third octet, prefix length).
+    ip_dst: Option<(u8, u8)>,
     out: u32,
 }
 
@@ -38,15 +51,21 @@ fn rule_strategy() -> impl Strategy<Value = RuleSpec> {
         prop::option::of(0u32..4),
         prop::option::of(0u16..8),
         prop::option::of(0u32..3),
+        0u8..5,
+        prop::option::of((0u8..4, prop::sample::select(vec![8u8, 24, 32]))),
         0u32..16,
     )
-        .prop_map(|(priority, in_port, l4_dst, fwmark, out)| RuleSpec {
-            priority,
-            in_port,
-            l4_dst,
-            fwmark,
-            out,
-        })
+        .prop_map(
+            |(priority, in_port, l4_dst, fwmark, vlan, ip_dst, out)| RuleSpec {
+                priority,
+                in_port,
+                l4_dst,
+                fwmark,
+                vlan,
+                ip_dst,
+                out,
+            },
+        )
 }
 
 fn to_match(spec: &RuleSpec) -> FlowMatch {
@@ -54,6 +73,15 @@ fn to_match(spec: &RuleSpec) -> FlowMatch {
     m.in_port = spec.in_port.map(PortNo);
     m.l4_dst = spec.l4_dst;
     m.fwmark = spec.fwmark;
+    m.vlan = match spec.vlan {
+        0 => None,
+        1 => Some(VlanSpec::Untagged),
+        2 => Some(VlanSpec::AnyTagged),
+        v => Some(VlanSpec::Id(u16::from(v) - 3)),
+    };
+    m.ip_dst = spec
+        .ip_dst
+        .map(|(octet, prefix)| Ipv4Cidr::new(std::net::Ipv4Addr::new(10, 0, octet, 2), prefix));
     m
 }
 
@@ -83,8 +111,17 @@ proptest! {
                 vec![FlowAction::Output(PortNo(r.out))],
             ));
         }
+        let mut linear = FlowTable::new();
+        linear.set_mode(ClassifierMode::Linear);
+        for r in &rules {
+            linear.insert(FlowEntry::new(
+                r.priority,
+                to_match(r),
+                vec![FlowAction::Output(PortNo(r.out))],
+            ));
+        }
         for key in &keys {
-            // Look each key up twice: slow path then cache path.
+            // Look each key up twice: classifier path then cache path.
             for _ in 0..2 {
                 let got = table.lookup(key, 100).map(|(actions, _)| {
                     match &actions[0] {
@@ -93,6 +130,14 @@ proptest! {
                     }
                 });
                 prop_assert_eq!(got, reference_lookup(&rules, key));
+                // The linear baseline must agree with the indexed path.
+                let base = linear
+                    .lookup(key, 100)
+                    .map(|(actions, _)| match &actions[0] {
+                        FlowAction::Output(p) => p.0,
+                        other => panic!("unexpected action {other:?}"),
+                    });
+                prop_assert_eq!(got, base);
             }
         }
     }

@@ -165,9 +165,25 @@ fn main() {
             .map(|v| v.len() as u64)
             .unwrap_or(0)
     };
-    for _ in 0..frames {
+    // Drive the traffic through the batched shuttle in bursts: the
+    // whole burst crosses the overlay (and is ESP-sealed per link)
+    // in one `inject_batch` call.
+    const BURST: u64 = 50;
+    let mut sent = 0u64;
+    while sent < frames {
         domain.set_time(clock);
-        let io = domain.inject("edge-a", "eth0", generator.next_frame());
+        let n = BURST.min(frames - sent);
+        sent += n;
+        let ingress: Vec<(String, String, Packet)> = (0..n)
+            .map(|_| {
+                (
+                    "edge-a".to_string(),
+                    "eth0".to_string(),
+                    generator.next_frame(),
+                )
+            })
+            .collect();
+        let io = domain.inject_batch(ingress, 1);
         clock += io.cost.duration();
         overlay_hops += u64::from(io.overlay_hops);
         for (_node, port, pkt) in &io.emitted {

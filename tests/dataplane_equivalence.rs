@@ -1,0 +1,178 @@
+//! Sharded/batched data-plane equivalence.
+//!
+//! The batched shuttle (`Domain::inject_batch`), with any worker count,
+//! must emit the same multiset of `(node, port, frame)` egresses, the
+//! same overlay per-link byte counters, and the same total virtual-time
+//! cost as driving every frame through the sequential single-packet
+//! `Domain::inject` path — on random chain graphs, random splits across
+//! the fleet, random traffic, with and without ESP-protected overlay
+//! links.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+use un_core::UniversalNode;
+use un_domain::{DeployHints, Domain, DomainConfig, PlacementStrategy};
+use un_nffg::{NfFg, NfFgBuilder};
+use un_packet::ethernet::MacAddr;
+use un_packet::{Packet, PacketBuilder};
+use un_sim::mem::mb;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    /// Chain length (NFs).
+    len: usize,
+    /// Per-NF node choice (index into ["n1", "n2"]).
+    split: Vec<u8>,
+    /// ESP-protect the overlay links.
+    protect: bool,
+    /// Traffic: (destination last octet, payload length) per frame.
+    frames: Vec<(u8, u16)>,
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        1usize..4,
+        prop::collection::vec(0u8..2, 3),
+        any::<bool>(),
+        prop::collection::vec((0u8..4, 32u16..400), 1..24),
+    )
+        .prop_map(|(len, split, protect, frames)| Scenario {
+            len,
+            split,
+            protect,
+            frames,
+        })
+}
+
+fn chain_graph(len: usize) -> NfFg {
+    let ids: Vec<String> = (0..len).map(|i| format!("br{i}")).collect();
+    let mut b = NfFgBuilder::new("g-eq", "chain")
+        .interface_endpoint("lan", "eth0")
+        .interface_endpoint("wan", "eth1");
+    for id in &ids {
+        b = b.nf(id, "bridge", 2);
+    }
+    let refs: Vec<&str> = ids.iter().map(|s| s.as_str()).collect();
+    b.chain("lan", &refs, "wan").build()
+}
+
+fn build_domain(s: &Scenario) -> Domain {
+    let mut d = Domain::new(DomainConfig {
+        protect_overlay: s.protect,
+        ..DomainConfig::default()
+    });
+    let mut n1 = UniversalNode::new("n1", mb(2048));
+    n1.add_physical_port("eth0");
+    let mut n2 = UniversalNode::new("n2", mb(2048));
+    n2.add_physical_port("eth1");
+    d.add_node(n1);
+    d.add_node(n2);
+    let nf_node: BTreeMap<String, String> = (0..s.len)
+        .map(|i| {
+            // The last NF must sit with the wan endpoint's owner only if
+            // placement cannot route it — it can (overlay links), so any
+            // random split is legal.
+            let node = if s.split[i] == 0 { "n1" } else { "n2" };
+            (format!("br{i}"), node.to_string())
+        })
+        .collect();
+    let hints = DeployHints {
+        nf_node,
+        strategy: Some(PlacementStrategy::Spread),
+        ..Default::default()
+    };
+    d.deploy_with(&chain_graph(s.len), &hints)
+        .expect("random split chain deploys");
+    d
+}
+
+fn frame(last_octet: u8, payload: u16) -> Packet {
+    PacketBuilder::new()
+        .ethernet(MacAddr::local(1), MacAddr::local(2))
+        .ipv4(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(192, 0, 2, last_octet),
+        )
+        .udp(5000, 5001)
+        .payload(&vec![0x5A; payload as usize])
+        .build()
+}
+
+/// Canonical, order-independent view of a domain run.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    /// Sorted multiset of (node, port, frame bytes).
+    emitted: Vec<(String, String, Vec<u8>)>,
+    /// Sorted per-link (vid, packets, bytes) counters.
+    links: Vec<(u16, u64, u64)>,
+    overlay_hops: u32,
+    protected_bytes: u64,
+    cost_ns: u64,
+}
+
+fn outcome(d: &Domain, io: &un_domain::DomainIo) -> Outcome {
+    let mut emitted: Vec<(String, String, Vec<u8>)> = io
+        .emitted
+        .iter()
+        .map(|(n, p, pkt)| (n.to_string(), p.to_string(), pkt.data().to_vec()))
+        .collect();
+    emitted.sort();
+    let mut links: Vec<(u16, u64, u64)> = d
+        .link_stats()
+        .iter()
+        .map(|(vid, _, _, _, pkts, bytes)| (*vid, *pkts, *bytes))
+        .collect();
+    links.sort();
+    Outcome {
+        emitted,
+        links,
+        overlay_hops: io.overlay_hops,
+        protected_bytes: io.protected_bytes,
+        cost_ns: io.cost.as_nanos(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// inject_batch(workers = 1, 2, 4) ≡ sequential per-packet inject.
+    #[test]
+    fn sharded_batch_equals_sequential(s in scenario_strategy()) {
+        // Reference: one frame at a time through the single-packet API.
+        let mut seq = build_domain(&s);
+        let mut seq_io = un_domain::DomainIo::default();
+        for &(octet, len) in &s.frames {
+            let io = seq.inject("n1", "eth0", frame(octet, len));
+            seq_io.emitted.extend(io.emitted);
+            seq_io.cost += io.cost;
+            seq_io.overlay_hops += io.overlay_hops;
+            seq_io.protected_bytes += io.protected_bytes;
+        }
+        let reference = outcome(&seq, &seq_io);
+        prop_assert!(
+            !reference.emitted.is_empty(),
+            "chains must forward: {s:?}"
+        );
+
+        for workers in [1usize, 2, 4] {
+            let mut batched = build_domain(&s);
+            let ingress: Vec<(String, String, Packet)> = s
+                .frames
+                .iter()
+                .map(|&(octet, len)| {
+                    ("n1".to_string(), "eth0".to_string(), frame(octet, len))
+                })
+                .collect();
+            let io = batched.inject_batch(ingress, workers);
+            prop_assert_eq!(
+                &outcome(&batched, &io),
+                &reference,
+                "workers = {}, scenario = {:?}",
+                workers,
+                s
+            );
+        }
+    }
+}
