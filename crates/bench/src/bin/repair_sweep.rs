@@ -1,0 +1,297 @@
+//! Repair sweep: incremental repair vs from-scratch re-placement.
+//!
+//! The scenario is a **split chain**: a bridge chain spread two-NFs-
+//! per-rack-node (capacity shaped by VM "filler" NFs that are removed
+//! after the deploy, so the placer *had* to spread but a later re-plan
+//! is free to consolidate). The rack hosting the chain tail — and the
+//! `wan` endpoint — then fails, and the same failure is repaired twice
+//! on identical fleets:
+//!
+//! * [`RepairPolicy::Incremental`] — survivors pinned, overlay vids
+//!   inherited, only the lost sub-partition moves;
+//! * [`RepairPolicy::FromScratch`] — the pre-incremental baseline:
+//!   tear everything down and re-plan, which happily consolidates the
+//!   whole chain onto the emptied lan node, moving every survivor.
+//!
+//! Reported per chain length: NFs moved (the **blast radius**), NFs
+//! preserved, overlay links rewired vs kept, nodes touched, and the
+//! wall-clock repair latency. Writes `BENCH_repair.json` and asserts
+//! the invariant CI smoke-checks: incremental repair moves strictly
+//! fewer NFs than from-scratch on the longer chains (and never more).
+//!
+//! ```sh
+//! cargo run --release -p un-bench --bin repair_sweep
+//! ```
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+use un_core::UniversalNode;
+use un_domain::{DeployHints, Domain, DomainConfig, RepairOutcome, RepairPolicy};
+use un_nffg::{Json, NfFg, NfFgBuilder};
+use un_packet::ethernet::MacAddr;
+use un_packet::PacketBuilder;
+use un_sim::mem::mb;
+
+/// Chain lengths measured (even: two NFs per rack node).
+const LENGTHS: [usize; 3] = [4, 6, 8];
+
+fn chain(len: usize) -> NfFg {
+    let ids: Vec<String> = (0..len).map(|i| format!("br{i}")).collect();
+    let mut b = NfFgBuilder::new("svc", "chain")
+        .interface_endpoint("lan", "eth0")
+        .interface_endpoint("wan", "eth1");
+    for id in &ids {
+        b = b.nf(id, "bridge", 2);
+    }
+    let refs: Vec<&str> = ids.iter().map(|s| s.as_str()).collect();
+    b.chain("lan", &refs, "wan").build()
+}
+
+/// A capacity filler: one VM-flavored bridge behind VLAN endpoints on
+/// the management interface (no conflict with the service chain).
+fn filler(id: &str, vid: u16) -> NfFg {
+    NfFgBuilder::new(id, "filler")
+        .vlan_endpoint("in", "mgmt", vid)
+        .vlan_endpoint("out", "mgmt", vid + 1)
+        .nf("f0", "bridge", 2)
+        .with_flavor("vm")
+        .chain("in", &["f0"], "out")
+        .build()
+}
+
+/// Measure what the scheduler and the ledger think one NF costs.
+fn probe_costs() -> (u64, u64) {
+    let mut probe = UniversalNode::new("probe", mb(8192));
+    probe.add_physical_port("mgmt");
+    let native_est = probe
+        .estimate_nf_ram("bridge", None)
+        .expect("bridge template");
+    let before = probe.memory_used();
+    probe.deploy(&filler("probe-f", 100)).expect("vm filler");
+    let vm_actual = probe.memory_used() - before;
+    (native_est, vm_actual)
+}
+
+struct Scenario {
+    domain: Domain,
+    victim: String,
+    assignment_before: BTreeMap<String, String>,
+}
+
+/// Build the fleet, shape capacity with fillers, deploy the chain
+/// unpinned (it is forced to spread), then free the filler capacity.
+fn build(len: usize, policy: RepairPolicy, native_est: u64, vm_actual: u64) -> Scenario {
+    let racks = len / 2;
+    // Enough filler headroom that a free re-plan could consolidate the
+    // whole chain on one node, plus room for exactly two natives while
+    // the fillers are in place (2.5 estimates: the third does not fit).
+    let fillers_per_node =
+        1 + (len as u64 * native_est).saturating_sub(native_est * 5 / 2) / vm_actual;
+    let capacity = fillers_per_node * vm_actual + native_est * 5 / 2;
+
+    let mut d = Domain::new(DomainConfig {
+        repair: policy,
+        ..DomainConfig::default()
+    });
+    let mut names: Vec<String> = Vec::new();
+    for i in 1..=racks {
+        let mut n = UniversalNode::new(&format!("n{i}"), capacity);
+        n.add_physical_port("mgmt");
+        if i == 1 {
+            n.add_physical_port("eth0");
+        }
+        if i == racks {
+            n.add_physical_port("eth1");
+        }
+        names.push(d.add_node(n));
+    }
+    let mut spare = UniversalNode::new("spare", capacity);
+    spare.add_physical_port("mgmt");
+    spare.add_physical_port("eth1");
+    names.push(d.add_node(spare));
+
+    // Fillers: pin one batch per node, globally unique VLAN ids.
+    let mut vid = 200u16;
+    for name in &names {
+        for f in 0..fillers_per_node {
+            let fid = format!("fill-{name}-{f}");
+            let hints = DeployHints {
+                endpoint_node: [
+                    ("in".to_string(), name.clone()),
+                    ("out".to_string(), name.clone()),
+                ]
+                .into(),
+                nf_node: [("f0".to_string(), name.clone())].into(),
+                ..Default::default()
+            };
+            d.deploy_with(&filler(&fid, vid), &hints).expect("filler");
+            vid += 2;
+        }
+    }
+
+    // The chain deploys unpinned: capacity forces two NFs per rack.
+    d.deploy(&chain(len)).expect("chain deploys");
+    let assignment_before = d.assignment_of("svc").expect("deployed").clone();
+    let spread: std::collections::BTreeSet<&String> = assignment_before.values().collect();
+    assert!(
+        spread.len() >= racks,
+        "chain must spread across the racks: {assignment_before:?}"
+    );
+
+    // Free the filler capacity: a later re-plan may now consolidate.
+    let filler_ids: Vec<String> = d
+        .graph_ids()
+        .into_iter()
+        .filter(|g| g.starts_with("fill-"))
+        .collect();
+    for fid in filler_ids {
+        d.undeploy(&fid).expect("filler undeploy");
+    }
+
+    Scenario {
+        domain: d,
+        victim: format!("n{racks}"),
+        assignment_before,
+    }
+}
+
+struct Measured {
+    outcome: RepairOutcome,
+    latency_us: f64,
+}
+
+fn run_policy(len: usize, policy: RepairPolicy, native_est: u64, vm_actual: u64) -> Measured {
+    let Scenario {
+        mut domain,
+        victim,
+        assignment_before,
+    } = build(len, policy, native_est, vm_actual);
+    let start = Instant::now();
+    let report = domain.fail_node(&victim).expect("victim exists");
+    let latency_us = start.elapsed().as_secs_f64() * 1e6;
+    assert_eq!(report.replaced, vec!["svc".to_string()], "{policy:?}");
+    assert!(report.stranded.is_empty());
+    let outcome = report.repairs.into_iter().next().expect("one repair");
+
+    // Post-repair validity: nothing lives on the dead node and the
+    // chain still forwards lan → wan end to end.
+    let after = domain.assignment_of("svc").expect("still deployed");
+    assert!(
+        after.values().all(|n| *n != victim),
+        "{policy:?}: {after:?}"
+    );
+    let moved = after
+        .iter()
+        .filter(|(nf, node)| assignment_before.get(*nf) != Some(node))
+        .count();
+    assert_eq!(moved, outcome.nfs_moved, "report must match observation");
+    let frame = PacketBuilder::new()
+        .ethernet(MacAddr::local(1), MacAddr::local(2))
+        .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(192, 0, 2, 9))
+        .udp(5000, 5001)
+        .payload(&[0x5A; 256])
+        .build();
+    let io = domain.inject("n1", "eth0", frame);
+    assert_eq!(io.emitted.len(), 1, "{policy:?} chain must forward");
+    assert_eq!(io.emitted[0].1, "eth1");
+
+    Measured {
+        outcome,
+        latency_us,
+    }
+}
+
+fn outcome_json(m: &Measured) -> Json {
+    Json::obj()
+        .set("nfs_moved", m.outcome.nfs_moved)
+        .set("nfs_preserved", m.outcome.nfs_preserved)
+        .set("links_rewired", m.outcome.links_rewired)
+        .set("links_kept", m.outcome.links_kept)
+        .set("nodes_touched", m.outcome.nodes_touched)
+        .set("full_replace", m.outcome.full_replace)
+        .set("latency_us", m.latency_us)
+}
+
+fn main() {
+    let (native_est, vm_actual) = probe_costs();
+    println!("Repair sweep: incremental vs from-scratch (split chain, tail rack dies)\n");
+    println!(
+        "{:<6} {:>6} | {:>9} {:>10} {:>8} {:>11} | {:>9} {:>10} {:>8} {:>11}",
+        "chain",
+        "racks",
+        "inc-moved",
+        "inc-touch",
+        "inc-us",
+        "inc-rewired",
+        "fs-moved",
+        "fs-touch",
+        "fs-us",
+        "fs-rewired",
+    );
+
+    let mut rows: Vec<Json> = Vec::new();
+    let (mut total_inc, mut total_fs) = (0usize, 0usize);
+    for len in LENGTHS {
+        let inc = run_policy(len, RepairPolicy::Incremental, native_est, vm_actual);
+        let fs = run_policy(len, RepairPolicy::FromScratch, native_est, vm_actual);
+        assert!(!inc.outcome.full_replace, "incremental must not fall back");
+        assert!(fs.outcome.full_replace);
+        assert!(
+            inc.outcome.nfs_moved <= fs.outcome.nfs_moved,
+            "incremental repair must never move more NFs"
+        );
+        if len >= 6 {
+            assert!(
+                inc.outcome.nfs_moved < fs.outcome.nfs_moved,
+                "incremental repair must shrink the blast radius \
+                 (len {len}: {} vs {})",
+                inc.outcome.nfs_moved,
+                fs.outcome.nfs_moved
+            );
+        }
+        total_inc += inc.outcome.nfs_moved;
+        total_fs += fs.outcome.nfs_moved;
+        println!(
+            "{:<6} {:>6} | {:>9} {:>10} {:>8.0} {:>11} | {:>9} {:>10} {:>8.0} {:>11}",
+            len,
+            len / 2,
+            inc.outcome.nfs_moved,
+            inc.outcome.nodes_touched,
+            inc.latency_us,
+            inc.outcome.links_rewired,
+            fs.outcome.nfs_moved,
+            fs.outcome.nodes_touched,
+            fs.latency_us,
+            fs.outcome.links_rewired,
+        );
+        rows.push(
+            Json::obj()
+                .set("chain_len", len)
+                .set("racks", len / 2)
+                .set("incremental", outcome_json(&inc))
+                .set("from_scratch", outcome_json(&fs)),
+        );
+    }
+    assert!(
+        total_inc < total_fs,
+        "blast radius must shrink overall ({total_inc} vs {total_fs})"
+    );
+    println!(
+        "\ntotal NFs moved: incremental {total_inc} vs from-scratch {total_fs} \
+         ({:.1}x blast-radius reduction)",
+        total_fs as f64 / total_inc as f64
+    );
+
+    let json = Json::obj()
+        .set("scenario", "split-chain, tail rack fails")
+        .set("native_estimate_bytes", native_est)
+        .set("vm_filler_bytes", vm_actual)
+        .set("lengths", Json::Arr(rows))
+        .set("total_moved_incremental", total_inc)
+        .set("total_moved_from_scratch", total_fs)
+        .set("blast_radius_reduction", total_fs as f64 / total_inc as f64);
+    std::fs::write("BENCH_repair.json", json.render_pretty()).expect("write BENCH_repair.json");
+    println!("wrote BENCH_repair.json");
+}

@@ -1126,6 +1126,32 @@ impl UniversalNode {
         Ok(())
     }
 
+    /// Undeploy every graph whose id is **not** in `keep`, releasing
+    /// its instances, LSI-0 ports and memory; returns the ids removed.
+    ///
+    /// The domain layer uses this when a failed node rejoins the fleet:
+    /// partitions that were re-placed elsewhere (or parked) while the
+    /// node was unreachable are stale state whose capacity must be
+    /// released before new work is admitted here.
+    pub fn retain_graphs(&mut self, keep: &[String]) -> Vec<String> {
+        let stale: Vec<String> = self
+            .graphs
+            .keys()
+            .filter(|g| !keep.contains(g))
+            .cloned()
+            .collect();
+        for gid in &stale {
+            let _ = self.undeploy(gid);
+        }
+        stale
+    }
+
+    /// Number of live compute instances across all flavors (repair
+    /// blast-radius introspection: an untouched node keeps its count).
+    pub fn total_instances(&self) -> usize {
+        self.compute.len()
+    }
+
     /// Update a deployed graph.
     ///
     /// Rule-only changes are applied in place (remove + reinstall flow
@@ -1137,12 +1163,7 @@ impl UniversalNode {
             .get(&nffg.id)
             .ok_or_else(|| DeployError::NoSuchGraph(nffg.id.clone()))?;
         let diff = un_nffg::diff(&old.nffg, nffg);
-        let structural = !diff.added_nfs.is_empty()
-            || !diff.removed_nfs.is_empty()
-            || !diff.changed_nfs.is_empty()
-            || !diff.added_endpoints.is_empty()
-            || !diff.removed_endpoints.is_empty();
-        if structural {
+        if diff.is_structural() {
             self.undeploy(&nffg.id)?;
             self.trace.count("graph_updates_structural", 1);
             return self.deploy(nffg);

@@ -15,6 +15,17 @@
 //! burst at once — optionally sharded across `std::thread` workers
 //! (every node is an isolated state machine; per-link locks guard the
 //! only shared state). [`Domain::inject`] is the single-frame wrapper.
+//!
+//! Failure handling is **incremental repair**: a stale heartbeat first
+//! marks a node [`NodeHealth::Suspect`] (it keeps serving; a late
+//! heartbeat cancels the pending repair), and only grace-window expiry
+//! — or an explicit [`Domain::fail_node`] — fails it. The repair then
+//! moves *only the lost sub-partition*: surviving NF/endpoint
+//! assignments are pinned, cut edges with one surviving side inherit
+//! their overlay VLAN id (so the survivor's part stays byte-identical
+//! and its LSIs/NNFs are never touched), and each repair returns a
+//! [`RepairOutcome`] measuring the blast radius (NFs moved vs
+//! preserved, links rewired vs kept, nodes touched).
 
 use std::cmp::Reverse;
 use std::collections::BTreeMap;
@@ -49,8 +60,17 @@ pub struct DomainConfig {
     pub esp_fixed_ns: u64,
     /// Per-byte ESP cost (each direction), in nanoseconds.
     pub esp_ns_per_byte: f64,
-    /// Heartbeats older than this mark a node failed at [`Domain::tick`].
+    /// Heartbeats older than this mark a node **suspect** at
+    /// [`Domain::tick`] (slow, not yet dead: it keeps serving and no
+    /// repair runs).
     pub heartbeat_timeout_ns: u64,
+    /// Extra staleness beyond `heartbeat_timeout_ns` a suspect node is
+    /// granted before [`Domain::tick`] declares it failed and repairs
+    /// its partitions. A heartbeat arriving inside the window cancels
+    /// the pending repair (the node returns to `Alive`).
+    pub suspect_grace_ns: u64,
+    /// How a node failure is repaired (incremental vs from-scratch).
+    pub repair: RepairPolicy,
     /// Placement tie-break goal.
     pub strategy: PlacementStrategy,
     /// Seed for overlay SA key derivation.
@@ -75,6 +95,8 @@ impl Default for DomainConfig {
             esp_fixed_ns: 700,
             esp_ns_per_byte: 2.0,
             heartbeat_timeout_ns: 3_000_000_000, // 3 virtual seconds
+            suspect_grace_ns: 1_000_000_000,     // 1 more before repair
+            repair: RepairPolicy::Incremental,
             strategy: PlacementStrategy::Pack,
             seed: 0x5eed_d0ca_1000_0001,
             overlay_ttl: 64,
@@ -183,17 +205,70 @@ pub struct DomainIo {
 pub enum NodeHealth {
     /// Heartbeating normally.
     Alive,
-    /// Declared failed (by timeout or explicitly).
+    /// Heartbeat stale: slow or dead, undecided. The node keeps
+    /// serving (traffic, existing partitions) and is still a pinning
+    /// target, but a repair is pending — a heartbeat inside the grace
+    /// window cancels it, expiry of the window fails the node.
+    Suspect,
+    /// Declared failed (by grace-window expiry or explicitly).
     Failed,
 }
 
-/// Outcome of a node failure: which graphs were re-placed.
+impl NodeHealth {
+    /// True while the node can host partitions and carry traffic
+    /// (`Alive` or `Suspect`).
+    pub fn is_serving(&self) -> bool {
+        !matches!(self, NodeHealth::Failed)
+    }
+}
+
+/// How [`Domain`] repairs graphs when a node fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RepairPolicy {
+    /// Move only the lost sub-partition: surviving NF assignments are
+    /// pinned, surviving overlay links keep their VLAN ids (so
+    /// untouched nodes' LSIs/NNFs are not redeployed), and only the
+    /// cut edges into the dead node are rewired. Falls back to
+    /// [`RepairPolicy::FromScratch`] when the pinned plan cannot be
+    /// placed or installed.
+    #[default]
+    Incremental,
+    /// Tear down every surviving part and re-plan the whole graph
+    /// (the pre-incremental baseline, kept for A/B measurement).
+    FromScratch,
+}
+
+/// Per-graph repair measurement: what one node failure actually cost.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// The repaired graph.
+    pub graph: String,
+    /// NFs whose node assignment changed (the repair blast radius).
+    pub nfs_moved: usize,
+    /// NFs left running exactly where they were.
+    pub nfs_preserved: usize,
+    /// Overlay links rewired: fresh VLAN id or a changed endpoint pair.
+    pub links_rewired: usize,
+    /// Overlay links whose VLAN id *and* node pair survived untouched.
+    pub links_kept: usize,
+    /// Nodes whose deployment changed (redeployed, updated, or newly
+    /// hosting a part). Untouched survivors are not counted.
+    pub nodes_touched: usize,
+    /// True if the repair fell back to (or was configured as) a full
+    /// from-scratch re-placement.
+    pub full_replace: bool,
+}
+
+/// Outcome of a node failure: which graphs were re-placed, and what
+/// each repair cost.
 #[derive(Debug, Clone, Default)]
 pub struct ReplacementReport {
     /// Graphs successfully re-deployed on the surviving fleet.
     pub replaced: Vec<String>,
     /// Graphs that could not be re-placed (kept as pending specs).
     pub stranded: Vec<String>,
+    /// Per-graph repair measurements (one entry per replaced graph).
+    pub repairs: Vec<RepairOutcome>,
 }
 
 struct ManagedNode {
@@ -215,7 +290,72 @@ struct DomainGraph {
     original: NfFg,
     hints: DeployHints,
     assignment: BTreeMap<String, String>,
+    /// Endpoint id → node name (kept so a repair can pin surviving
+    /// endpoints without re-deriving them from the partition).
+    endpoints: BTreeMap<String, String>,
     partition: Partition,
+}
+
+/// A computed (but not yet installed) deployment of one graph.
+struct Plan {
+    assignment: BTreeMap<String, String>,
+    endpoints: BTreeMap<String, String>,
+    partition: Partition,
+}
+
+/// VLAN-id reuse directives for re-planning a live graph. Keys are
+/// cut-edge identities; a hit keeps the vid — and with it the
+/// synthesized `ovl-<vid>` endpoint id — stable, which is what lets a
+/// surviving part come out of re-partitioning byte-identical.
+#[derive(Default)]
+struct VidReuse {
+    /// `(from, to, target)` → vid: both sides survive unchanged.
+    exact: BTreeMap<(String, String, un_nffg::PortRef), u16>,
+    /// `(from, target)` → vid: the sending side survives but the
+    /// target's host died — the new receiver inherits the wire, so the
+    /// sender's part (rules retargeted at `ovl-<vid>`) is untouched.
+    from_side: BTreeMap<(String, un_nffg::PortRef), u16>,
+    /// `(to, target)` → vid: the receiving side survives but the
+    /// sender's host died — the receiver keeps its delivery rule and
+    /// endpoint, the re-placed sender inherits the wire.
+    to_side: BTreeMap<(String, un_nffg::PortRef), u16>,
+}
+
+impl VidReuse {
+    /// Reuse map keeping only exactly-unchanged cut edges (the update
+    /// path: no node died, so no side-inheritance applies).
+    fn exact_only(exact: BTreeMap<(String, String, un_nffg::PortRef), u16>) -> Self {
+        VidReuse {
+            exact,
+            ..VidReuse::default()
+        }
+    }
+
+    /// The vid a new cut edge `(from, to, target)` should inherit.
+    ///
+    /// Side-map hits are **consumed**: two re-placed cut edges can
+    /// legitimately share a surviving side (fan-in from two dead
+    /// source nodes to one target), and handing the same vid to both
+    /// would collide their synthesized endpoints — the second edge
+    /// must take a fresh vid instead.
+    fn lookup(&mut self, from: &str, to: &str, target: &un_nffg::PortRef) -> Option<u16> {
+        if let Some(vid) = self
+            .exact
+            .get(&(from.to_string(), to.to_string(), target.clone()))
+        {
+            return Some(*vid);
+        }
+        self.from_side
+            .remove(&(from.to_string(), target.clone()))
+            .or_else(|| self.to_side.remove(&(to.to_string(), target.clone())))
+    }
+}
+
+/// NFs whose assignment differs between two plans of the same graph.
+fn moved_count(old: &BTreeMap<String, String>, new: &BTreeMap<String, String>) -> usize {
+    new.iter()
+        .filter(|(nf, node)| old.get(*nf) != Some(node))
+        .count()
 }
 
 /// The domain orchestrator.
@@ -277,7 +417,7 @@ impl Domain {
         }
         let name = node.name.clone();
         match self.nodes.get(&name) {
-            Some(m) if m.health == NodeHealth::Alive => {
+            Some(m) if m.health.is_serving() => {
                 panic!("node '{name}' is already registered and alive")
             }
             Some(_) => self.trace.count("nodes_rejoined", 1),
@@ -299,11 +439,35 @@ impl Domain {
         self.nodes.len()
     }
 
-    /// Names of alive nodes.
+    /// Names of every registered node, including failed carcasses.
+    pub fn node_names(&self) -> Vec<String> {
+        self.nodes.keys().cloned().collect()
+    }
+
+    /// Names of alive nodes (excluding suspects).
     pub fn alive_nodes(&self) -> Vec<String> {
         self.nodes
             .iter()
             .filter(|(_, m)| m.health == NodeHealth::Alive)
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    /// Names of nodes that can host partitions and carry traffic
+    /// (`Alive` or `Suspect` — a suspect is slow, not dead).
+    pub fn serving_nodes(&self) -> Vec<String> {
+        self.nodes
+            .iter()
+            .filter(|(_, m)| m.health.is_serving())
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    /// Names of nodes currently in the suspect grace window.
+    pub fn suspect_nodes(&self) -> Vec<String> {
+        self.nodes
+            .iter()
+            .filter(|(_, m)| m.health == NodeHealth::Suspect)
             .map(|(n, _)| n.clone())
             .collect()
     }
@@ -323,50 +487,70 @@ impl Domain {
         self.nodes.get(name).map(|m| m.health.clone())
     }
 
-    /// Advance the domain clock (propagates to alive nodes).
+    /// Advance the domain clock (propagates to serving nodes).
     pub fn set_time(&mut self, now: SimTime) {
         self.clock = now;
         for managed in self.nodes.values_mut() {
-            if managed.health == NodeHealth::Alive {
+            if managed.health.is_serving() {
                 managed.node.set_time(now);
             }
         }
     }
 
-    /// Record a node heartbeat.
+    /// Record a node heartbeat. A heartbeat from a **suspect** node
+    /// clears the suspicion and cancels its pending repair; a
+    /// heartbeat from a **failed** node is recorded but does not
+    /// resurrect it — its partitions are already gone, so rejoining
+    /// takes an explicit [`Domain::recover_node`] (or `add_node`).
     pub fn heartbeat(&mut self, name: &str, now: SimTime) -> Result<(), DomainError> {
         let managed = self
             .nodes
             .get_mut(name)
             .ok_or_else(|| DomainError::NoSuchNode(name.to_string()))?;
         managed.last_heartbeat = now;
+        if managed.health == NodeHealth::Suspect {
+            managed.health = NodeHealth::Alive;
+            self.trace.count("suspects_cleared", 1);
+        }
         Ok(())
     }
 
-    /// Advance time and fail every node whose heartbeat is stale.
-    /// Returns the re-placement outcome per newly failed node.
+    /// Advance time and run the failure detector:
+    ///
+    /// * alive nodes whose heartbeat is older than
+    ///   `heartbeat_timeout_ns` become **suspect** — no repair yet;
+    /// * suspect nodes (and alive nodes that skipped the window
+    ///   entirely) staler than `heartbeat_timeout_ns +
+    ///   suspect_grace_ns` become **failed** and their partitions are
+    ///   repaired per [`DomainConfig::repair`].
+    ///
+    /// Already-failed nodes are ignored, so repeated ticks are
+    /// idempotent: a node's failure is reported (and repaired) exactly
+    /// once. Returns the repair outcome per newly failed node.
     pub fn tick(&mut self, now: SimTime) -> Vec<(String, ReplacementReport)> {
         self.set_time(now);
         let timeout = self.config.heartbeat_timeout_ns;
-        let stale: Vec<String> = self
-            .nodes
-            .iter()
-            .filter(|(_, m)| {
-                m.health == NodeHealth::Alive
-                    && now.duration_since(m.last_heartbeat).as_nanos() > timeout
-            })
-            .map(|(n, _)| n.clone())
-            .collect();
+        let dead_after = timeout.saturating_add(self.config.suspect_grace_ns);
         // Mark the whole stale set failed *before* re-placing anything,
         // so a graph from the first dead node is never re-placed onto a
         // node that the same sweep is about to declare dead.
-        for name in &stale {
-            if let Some(m) = self.nodes.get_mut(name) {
-                m.health = NodeHealth::Failed;
-                self.trace.count("nodes_failed", 1);
+        let mut newly_failed: Vec<String> = Vec::new();
+        for (name, m) in self.nodes.iter_mut() {
+            let stale_ns = now.duration_since(m.last_heartbeat).as_nanos();
+            match m.health {
+                NodeHealth::Alive | NodeHealth::Suspect if stale_ns > dead_after => {
+                    m.health = NodeHealth::Failed;
+                    self.trace.count("nodes_failed", 1);
+                    newly_failed.push(name.clone());
+                }
+                NodeHealth::Alive if stale_ns > timeout => {
+                    m.health = NodeHealth::Suspect;
+                    self.trace.count("nodes_suspected", 1);
+                }
+                _ => {}
             }
         }
-        stale
+        newly_failed
             .into_iter()
             .map(|n| {
                 let report = self.replace_lost_partitions(&n);
@@ -375,7 +559,56 @@ impl Domain {
             .collect()
     }
 
-    /// The scheduler's view of the fleet.
+    /// Bring a **failed** node back into service under its old name,
+    /// reusing the node object that stayed registered as a carcass.
+    ///
+    /// Stale graph state still deployed on the node (partitions the
+    /// domain re-placed elsewhere, or parked, while the node was dead)
+    /// is purged first so its capacity is released and a later deploy
+    /// of the same graph id cannot collide. Recovering a **suspect**
+    /// node just clears the suspicion (its state is current). Returns
+    /// the pending graphs the recovered capacity let
+    /// [`Domain::retry_pending`] re-deploy.
+    pub fn recover_node(&mut self, name: &str) -> Result<Vec<String>, DomainError> {
+        let clock = self.clock;
+        let managed = self
+            .nodes
+            .get_mut(name)
+            .ok_or_else(|| DomainError::NoSuchNode(name.to_string()))?;
+        match managed.health {
+            NodeHealth::Alive => Ok(Vec::new()),
+            NodeHealth::Suspect => {
+                managed.health = NodeHealth::Alive;
+                managed.last_heartbeat = clock;
+                self.trace.count("suspects_cleared", 1);
+                Ok(Vec::new())
+            }
+            NodeHealth::Failed => {
+                managed.health = NodeHealth::Alive;
+                managed.last_heartbeat = clock;
+                managed.node.set_time(clock);
+                // Defensive: a partition that still names this node
+                // (impossible today — failure always moves them) must
+                // not be purged.
+                let keep: Vec<String> = self
+                    .graphs
+                    .iter()
+                    .filter(|(_, g)| g.partition.parts.contains_key(name))
+                    .map(|(id, _)| id.clone())
+                    .collect();
+                let dropped = managed.node.retain_graphs(&keep);
+                self.trace
+                    .count("recover_purged_graphs", dropped.len() as u64);
+                self.trace.count("nodes_recovered", 1);
+                Ok(self.retry_pending())
+            }
+        }
+    }
+
+    /// The scheduler's view of the fleet. Suspect nodes still count as
+    /// placeable (`alive`): suspicion is a short grace window, not a
+    /// quarantine, and quarantining them would force every concurrent
+    /// update to migrate off a node that is probably just slow.
     pub fn views(&self) -> Vec<NodeView> {
         self.nodes
             .values()
@@ -391,7 +624,7 @@ impl Domain {
                     .into_iter()
                     .filter(|p| *p != self.config.fabric_port)
                     .collect(),
-                alive: m.health == NodeHealth::Alive,
+                alive: m.health.is_serving(),
             })
             .collect()
     }
@@ -418,8 +651,14 @@ impl Domain {
         if self.graphs.contains_key(&graph.id) {
             return Err(DomainError::AlreadyDeployed(graph.id.clone()));
         }
-        let (assignment, part) = self.plan(graph, hints, &BTreeMap::new(), &BTreeMap::new())?;
-        let report = self.install(graph, hints, assignment, part)?;
+        let plan = self.plan(
+            graph,
+            hints,
+            &BTreeMap::new(),
+            &BTreeMap::new(),
+            VidReuse::default(),
+        )?;
+        let report = self.install(graph, hints, plan)?;
         // An explicit deploy supersedes any copy parked by an earlier
         // failure; otherwise retry_pending could double-deploy it.
         self.pending.remove(&graph.id);
@@ -429,23 +668,29 @@ impl Domain {
 
     /// Compute assignment + partition without touching any node.
     ///
-    /// `reuse` maps cut-edge identities to the VLAN ids a live
-    /// deployment of this graph already uses, so re-planning keeps
-    /// unchanged overlay links (and their synthesized endpoint ids)
-    /// stable — the property that lets rule-only updates apply in
-    /// place instead of forcing a structural redeploy per node.
+    /// `nf_pins` / `ep_pins` force NFs and endpoints onto specific
+    /// nodes (used to keep survivors in place across updates and
+    /// repairs; they override the caller's hints). `reuse` maps
+    /// cut-edge identities to the VLAN ids a live deployment of this
+    /// graph already uses, so re-planning keeps unchanged overlay
+    /// links (and their synthesized endpoint ids) stable — the
+    /// property that lets rule-only updates apply in place, and that
+    /// lets a repair leave surviving nodes' parts byte-identical.
     fn plan(
         &mut self,
         graph: &NfFg,
         hints: &DeployHints,
-        pins: &BTreeMap<String, String>,
-        reuse: &BTreeMap<(String, String, un_nffg::PortRef), u16>,
-    ) -> Result<(BTreeMap<String, String>, Partition), DomainError> {
+        nf_pins: &BTreeMap<String, String>,
+        ep_pins: &BTreeMap<String, String>,
+        mut reuse: VidReuse,
+    ) -> Result<Plan, DomainError> {
         let views = self.views();
-        let endpoint_node = assign_endpoints(graph, &views, &hints.endpoint_node)?;
+        let mut merged_ep_pins = hints.endpoint_node.clone();
+        merged_ep_pins.extend(ep_pins.clone());
+        let endpoint_node = assign_endpoints(graph, &views, &merged_ep_pins)?;
         let estimates = self.estimates(graph);
-        let mut merged_pins = pins.clone();
-        merged_pins.extend(hints.nf_node.clone());
+        let mut merged_pins = hints.nf_node.clone();
+        merged_pins.extend(nf_pins.clone());
         let assignment = assign(
             graph,
             &views,
@@ -463,8 +708,8 @@ impl Domain {
             let free_vids = &mut self.free_vids;
             let next_vid = &mut self.next_vid;
             let mut alloc = |from: &str, to: &str, target: &un_nffg::PortRef| {
-                if let Some(vid) = reuse.get(&(from.to_string(), to.to_string(), target.clone())) {
-                    return Some(*vid);
+                if let Some(vid) = reuse.lookup(from, to, target) {
+                    return Some(vid);
                 }
                 let vid = free_vids.pop().or_else(|| {
                     if *next_vid > 4094 {
@@ -481,7 +726,11 @@ impl Domain {
             partition(graph, &assignment, &endpoint_node, &fabric, &mut alloc)
         };
         match part {
-            Ok(part) => Ok((assignment, part)),
+            Ok(part) => Ok(Plan {
+                assignment,
+                endpoints: endpoint_node,
+                partition: part,
+            }),
             Err(e) => {
                 self.free_vids.extend(taken);
                 Err(e.into())
@@ -494,9 +743,13 @@ impl Domain {
         &mut self,
         graph: &NfFg,
         hints: &DeployHints,
-        assignment: BTreeMap<String, String>,
-        part: Partition,
+        plan: Plan,
     ) -> Result<DomainReport, DomainError> {
+        let Plan {
+            assignment,
+            endpoints,
+            partition: part,
+        } = plan;
         let mut per_node: Vec<(String, DeployReport)> = Vec::new();
         let mut deployed: Vec<String> = Vec::new();
         for (node_name, sub) in &part.parts {
@@ -536,6 +789,7 @@ impl Domain {
                 original: graph.clone(),
                 hints: hints.clone(),
                 assignment,
+                endpoints,
                 partition: part,
             },
         );
@@ -570,7 +824,7 @@ impl Domain {
         let probe = self
             .nodes
             .values()
-            .find(|m| m.health == NodeHealth::Alive)
+            .find(|m| m.health.is_serving())
             .map(|m| &m.node);
         graph
             .nfs
@@ -603,13 +857,8 @@ impl Domain {
                 overlay_links: existing.partition.links.len(),
             });
         }
-        let structural = !diff.added_nfs.is_empty()
-            || !diff.removed_nfs.is_empty()
-            || !diff.changed_nfs.is_empty()
-            || !diff.added_endpoints.is_empty()
-            || !diff.removed_endpoints.is_empty();
         self.trace.count(
-            if structural {
+            if diff.is_structural() {
                 "graph_updates_structural"
             } else {
                 "graph_updates_rules"
@@ -618,12 +867,13 @@ impl Domain {
         );
 
         let hints = existing.hints.clone();
-        // Keep surviving NFs where they run today.
-        let alive: Vec<String> = self.alive_nodes();
+        // Keep surviving NFs where they run today (suspect nodes are
+        // still "today" — an unrelated update must not migrate them).
+        let serving: Vec<String> = self.serving_nodes();
         let pins: BTreeMap<String, String> = existing
             .assignment
             .iter()
-            .filter(|(nf, node)| graph.nf(nf).is_some() && alive.iter().any(|a| a == *node))
+            .filter(|(nf, node)| graph.nf(nf).is_some() && serving.iter().any(|a| a == *node))
             .map(|(nf, node)| (nf.clone(), node.clone()))
             .collect();
         let old_parts: BTreeMap<String, NfFg> = existing.partition.parts.clone();
@@ -631,19 +881,26 @@ impl Domain {
         // Unchanged cut edges keep their VLAN id (and thus their
         // synthesized endpoint id), so a rules-only update leaves the
         // parts' endpoint sets intact and applies in place per node.
-        let reuse: BTreeMap<(String, String, un_nffg::PortRef), u16> = existing
-            .partition
-            .links
-            .iter()
-            .map(|l| {
-                (
-                    (l.from_node.clone(), l.to_node.clone(), l.dst_target.clone()),
-                    l.vid,
-                )
-            })
-            .collect();
+        let reuse = VidReuse::exact_only(
+            existing
+                .partition
+                .links
+                .iter()
+                .map(|l| {
+                    (
+                        (l.from_node.clone(), l.to_node.clone(), l.dst_target.clone()),
+                        l.vid,
+                    )
+                })
+                .collect(),
+        );
 
-        let (assignment, part) = self.plan(graph, &hints, &pins, &reuse)?;
+        let plan = self.plan(graph, &hints, &pins, &BTreeMap::new(), reuse)?;
+        let Plan {
+            assignment,
+            endpoints,
+            partition: part,
+        } = plan;
 
         // Reconcile per node.
         let mut per_node: Vec<(String, DeployReport)> = Vec::new();
@@ -720,6 +977,7 @@ impl Domain {
                 original: graph.clone(),
                 hints,
                 assignment,
+                endpoints,
                 partition: part,
             },
         );
@@ -743,7 +1001,7 @@ impl Domain {
         };
         for node_name in entry.partition.parts.keys() {
             if let Some(m) = self.nodes.get_mut(node_name) {
-                if m.health == NodeHealth::Alive {
+                if m.health.is_serving() {
                     let _ = m.node.undeploy(graph_id);
                 }
             }
@@ -785,14 +1043,19 @@ impl Domain {
     // Failure handling
     // ------------------------------------------------------------------
 
-    /// Declare a node failed and re-place every partition it hosted
-    /// onto the surviving fleet.
+    /// Declare a node failed and repair every partition it hosted per
+    /// [`DomainConfig::repair`] (incremental by default: only the lost
+    /// sub-partition moves; survivors keep their placements, their
+    /// overlay VLAN ids, and — where their part is byte-identical —
+    /// their entire local deployment).
     pub fn fail_node(&mut self, name: &str) -> Result<ReplacementReport, DomainError> {
         let managed = self
             .nodes
             .get_mut(name)
             .ok_or_else(|| DomainError::NoSuchNode(name.to_string()))?;
         if managed.health == NodeHealth::Failed {
+            // Idempotent: the partitions were already repaired when the
+            // node first failed; there is nothing left to move.
             return Ok(ReplacementReport::default());
         }
         managed.health = NodeHealth::Failed;
@@ -800,8 +1063,8 @@ impl Domain {
         Ok(self.replace_lost_partitions(name))
     }
 
-    /// Re-place every graph hosting a part on the (already marked
-    /// failed) node `name` onto the surviving fleet.
+    /// Repair every graph hosting a part on the (already marked
+    /// failed) node `name`.
     fn replace_lost_partitions(&mut self, name: &str) -> ReplacementReport {
         // Graphs with a part on the dead node.
         let affected: Vec<String> = self
@@ -814,39 +1077,40 @@ impl Domain {
         let mut report = ReplacementReport::default();
         for gid in affected {
             let entry = self.graphs.remove(&gid).expect("listed above");
-            // Tear down surviving parts; the dead node's state is gone
-            // with the node.
-            for node_name in entry.partition.parts.keys() {
-                if node_name == name {
-                    continue;
-                }
-                if let Some(m) = self.nodes.get_mut(node_name) {
-                    if m.health == NodeHealth::Alive {
-                        let _ = m.node.undeploy(&gid);
-                    }
-                }
-            }
-            for link in &entry.partition.links {
-                self.links.remove(&link.vid);
-                self.free_vids.push(link.vid);
-            }
-            // Drop pins that no longer point at an alive node (this one
-            // or any other casualty of the same sweep) so the scheduler
-            // may move them (interface availability decides).
-            let alive = self.alive_nodes();
-            let mut hints = entry.hints.clone();
-            hints.endpoint_node.retain(|_, n| alive.contains(n));
-            hints.nf_node.retain(|_, n| alive.contains(n));
-            match self
-                .plan(&entry.original, &hints, &BTreeMap::new(), &BTreeMap::new())
-                .and_then(|(assignment, part)| {
-                    self.install(&entry.original, &hints, assignment, part)
-                }) {
-                Ok(_) => {
+            let outcome = match self.config.repair {
+                // When incremental repair cannot hold the pinned plan,
+                // tear everything down and re-plan with full freedom —
+                // a repack may fit where the pinned increment could not.
+                RepairPolicy::Incremental => self
+                    .repair_incremental(&gid, &entry)
+                    .or_else(|_| self.replace_from_scratch(&gid, &entry)),
+                RepairPolicy::FromScratch => self.replace_from_scratch(&gid, &entry),
+            };
+            match outcome {
+                Ok(o) => {
                     self.trace.count("graphs_replaced", 1);
+                    self.trace.count("repair_nfs_moved", o.nfs_moved as u64);
+                    self.trace
+                        .count("repair_nfs_preserved", o.nfs_preserved as u64);
+                    self.trace
+                        .count("repair_links_rewired", o.links_rewired as u64);
+                    self.trace.count("repair_links_kept", o.links_kept as u64);
+                    if o.full_replace {
+                        self.trace.count("repairs_full", 1);
+                    } else {
+                        self.trace.count("repairs_incremental", 1);
+                    }
                     report.replaced.push(gid);
+                    report.repairs.push(o);
                 }
                 Err(_) => {
+                    // Park the spec with pins pruned to the surviving
+                    // fleet so retry_pending can re-place it once
+                    // capacity returns.
+                    let serving = self.serving_nodes();
+                    let mut hints = entry.hints.clone();
+                    hints.endpoint_node.retain(|_, n| serving.contains(n));
+                    hints.nf_node.retain(|_, n| serving.contains(n));
                     self.trace.count("graphs_stranded", 1);
                     self.pending.insert(gid.clone(), (entry.original, hints));
                     report.stranded.push(gid);
@@ -854,6 +1118,249 @@ impl Domain {
             }
         }
         report
+    }
+
+    /// Incremental repair of one graph: pin everything that survives,
+    /// inherit overlay VLAN ids across the cut, and touch only the
+    /// nodes whose part actually changed.
+    ///
+    /// On success the graph is re-registered and the outcome returned.
+    /// On failure the graph is fully undeployed from serving nodes and
+    /// **old overlay link state is left registered** — the from-scratch
+    /// fallback (which the caller always runs next) owns tearing it
+    /// down, so each vid is freed exactly once.
+    fn repair_incremental(
+        &mut self,
+        gid: &str,
+        entry: &DomainGraph,
+    ) -> Result<RepairOutcome, DomainError> {
+        let serving = self.serving_nodes();
+        // Survivor pins: NFs and endpoints whose node still serves.
+        let nf_pins: BTreeMap<String, String> = entry
+            .assignment
+            .iter()
+            .filter(|(_, node)| serving.contains(node))
+            .map(|(nf, node)| (nf.clone(), node.clone()))
+            .collect();
+        let ep_pins: BTreeMap<String, String> = entry
+            .endpoints
+            .iter()
+            .filter(|(_, node)| serving.contains(node))
+            .map(|(ep, node)| (ep.clone(), node.clone()))
+            .collect();
+        let mut hints = entry.hints.clone();
+        hints.endpoint_node.retain(|_, n| serving.contains(n));
+        hints.nf_node.retain(|_, n| serving.contains(n));
+        // Overlay vid inheritance: a cut edge with one surviving side
+        // keeps its vid, so the survivor's synthesized `ovl-<vid>`
+        // endpoint (and every rule referencing it) stays identical.
+        let mut reuse = VidReuse::default();
+        for link in &entry.partition.links {
+            let key_target = link.dst_target.clone();
+            match (
+                serving.contains(&link.from_node),
+                serving.contains(&link.to_node),
+            ) {
+                (true, true) => {
+                    reuse.exact.insert(
+                        (link.from_node.clone(), link.to_node.clone(), key_target),
+                        link.vid,
+                    );
+                }
+                (true, false) => {
+                    reuse
+                        .from_side
+                        .insert((link.from_node.clone(), key_target), link.vid);
+                }
+                (false, true) => {
+                    reuse
+                        .to_side
+                        .insert((link.to_node.clone(), key_target), link.vid);
+                }
+                (false, false) => {}
+            }
+        }
+
+        let plan = self.plan(&entry.original, &hints, &nf_pins, &ep_pins, reuse)?;
+
+        // Reconcile per node: untouched parts are skipped entirely.
+        let mut nodes_touched = 0usize;
+        let mut failure: Option<DomainError> = None;
+        for (node_name, sub) in &plan.partition.parts {
+            let old_part = entry.partition.parts.get(node_name);
+            if let Some(old) = old_part {
+                if un_nffg::diff(old, sub).is_empty() {
+                    continue; // survivor untouched: no node call at all
+                }
+            }
+            nodes_touched += 1;
+            let managed = self
+                .nodes
+                .get_mut(node_name)
+                .expect("assignment uses fleet");
+            let result = if old_part.is_some() {
+                managed.node.update(sub)
+            } else {
+                managed.node.deploy(sub)
+            };
+            if let Err(e) = result {
+                failure = Some(DomainError::Deploy {
+                    node: node_name.clone(),
+                    error: e.to_string(),
+                });
+                break;
+            }
+        }
+        if let Some(err) = failure {
+            // Clean up for the from-scratch fallback: drop the graph
+            // from every serving node involved and return *fresh* vids
+            // to the pool. Old vids stay registered — the fallback's
+            // teardown frees them (exactly once).
+            for node_name in plan
+                .partition
+                .parts
+                .keys()
+                .chain(entry.partition.parts.keys())
+            {
+                if let Some(m) = self.nodes.get_mut(node_name) {
+                    if m.health.is_serving() {
+                        let _ = m.node.undeploy(gid);
+                    }
+                }
+            }
+            let old_vids: std::collections::BTreeSet<u16> =
+                entry.partition.links.iter().map(|l| l.vid).collect();
+            for link in &plan.partition.links {
+                if !old_vids.contains(&link.vid) {
+                    self.free_vids.push(link.vid);
+                }
+            }
+            self.trace.count("repairs_rolled_back", 1);
+            return Err(err);
+        }
+        // Survivor parts that lost their last NF/endpoint (cannot
+        // happen with pins honored, but stay defensive).
+        for node_name in entry.partition.parts.keys() {
+            if !plan.partition.parts.contains_key(node_name) {
+                if let Some(m) = self.nodes.get_mut(node_name) {
+                    if m.health.is_serving() {
+                        let _ = m.node.undeploy(gid);
+                    }
+                }
+            }
+        }
+
+        // Swap overlay link state: free vids the new partition no
+        // longer uses. Surviving vids keep their `LinkState` in place —
+        // packet/byte counters and SA material (incl. replay windows)
+        // carry across the repair, honoring the survivor-untouched
+        // contract — with only the peer routing updated for inherited
+        // wires; genuinely new vids register fresh.
+        let kept: std::collections::BTreeSet<u16> =
+            plan.partition.links.iter().map(|l| l.vid).collect();
+        for link in &entry.partition.links {
+            if !kept.contains(&link.vid) {
+                self.links.remove(&link.vid);
+                self.free_vids.push(link.vid);
+            }
+        }
+        let fresh: Vec<OverlayLink> = plan
+            .partition
+            .links
+            .iter()
+            .filter(|link| match self.links.get_mut(&link.vid) {
+                Some(state) => {
+                    state.link = (*link).clone();
+                    false
+                }
+                None => true,
+            })
+            .cloned()
+            .collect();
+        self.register_links(gid, &fresh);
+
+        let old_by_vid: BTreeMap<u16, &OverlayLink> =
+            entry.partition.links.iter().map(|l| (l.vid, l)).collect();
+        let (mut links_kept, mut links_rewired) = (0usize, 0usize);
+        for link in &plan.partition.links {
+            match old_by_vid.get(&link.vid) {
+                Some(o) if o.from_node == link.from_node && o.to_node == link.to_node => {
+                    links_kept += 1;
+                }
+                _ => links_rewired += 1,
+            }
+        }
+        let nfs_moved = moved_count(&entry.assignment, &plan.assignment);
+        let nfs_preserved = plan.assignment.len() - nfs_moved;
+        self.graphs.insert(
+            gid.to_string(),
+            DomainGraph {
+                original: entry.original.clone(),
+                hints,
+                assignment: plan.assignment,
+                endpoints: plan.endpoints,
+                partition: plan.partition,
+            },
+        );
+        Ok(RepairOutcome {
+            graph: gid.to_string(),
+            nfs_moved,
+            nfs_preserved,
+            links_rewired,
+            links_kept,
+            nodes_touched,
+            full_replace: false,
+        })
+    }
+
+    /// From-scratch re-placement of one graph (the baseline, and the
+    /// fallback when the incremental plan cannot be held): tear down
+    /// every surviving part, free every overlay vid, re-plan with only
+    /// the caller's (pruned) hints, and install.
+    fn replace_from_scratch(
+        &mut self,
+        gid: &str,
+        entry: &DomainGraph,
+    ) -> Result<RepairOutcome, DomainError> {
+        for node_name in entry.partition.parts.keys() {
+            if let Some(m) = self.nodes.get_mut(node_name) {
+                if m.health.is_serving() {
+                    let _ = m.node.undeploy(gid);
+                }
+            }
+        }
+        for link in &entry.partition.links {
+            self.links.remove(&link.vid);
+            self.free_vids.push(link.vid);
+        }
+        // Drop pins that no longer point at a serving node (this one
+        // or any other casualty of the same sweep) so the scheduler
+        // may move them (interface availability decides).
+        let serving = self.serving_nodes();
+        let mut hints = entry.hints.clone();
+        hints.endpoint_node.retain(|_, n| serving.contains(n));
+        hints.nf_node.retain(|_, n| serving.contains(n));
+        let plan = self.plan(
+            &entry.original,
+            &hints,
+            &BTreeMap::new(),
+            &BTreeMap::new(),
+            VidReuse::default(),
+        )?;
+        let nfs_moved = moved_count(&entry.assignment, &plan.assignment);
+        let nfs_preserved = plan.assignment.len() - nfs_moved;
+        let nodes_touched = plan.partition.parts.len();
+        let links_rewired = plan.partition.links.len();
+        self.install(&entry.original, &hints, plan)?;
+        Ok(RepairOutcome {
+            graph: gid.to_string(),
+            nfs_moved,
+            nfs_preserved,
+            links_rewired,
+            links_kept: 0,
+            nodes_touched,
+            full_replace: true,
+        })
     }
 
     /// Try to deploy graphs stranded by earlier failures (call after
@@ -869,8 +1376,14 @@ impl Domain {
                 continue;
             }
             match self
-                .plan(&graph, &hints, &BTreeMap::new(), &BTreeMap::new())
-                .and_then(|(assignment, part)| self.install(&graph, &hints, assignment, part))
+                .plan(
+                    &graph,
+                    &hints,
+                    &BTreeMap::new(),
+                    &BTreeMap::new(),
+                    VidReuse::default(),
+                )
+                .and_then(|plan| self.install(&graph, &hints, plan))
             {
                 Ok(_) => deployed.push(gid),
                 Err(_) => {
@@ -990,7 +1503,8 @@ impl Domain {
             spare: BTreeMap::new(),
         };
         for (name, managed) in self.nodes.iter_mut() {
-            if managed.health != NodeHealth::Alive {
+            // Suspect nodes keep forwarding: they are slow, not dead.
+            if managed.health == NodeHealth::Failed {
                 dead.push(name);
                 continue;
             }
@@ -1286,9 +1800,15 @@ impl Domain {
                         .values()
                         .map(|m| {
                             let cache = m.node.flow_cache_stats();
+                            let health = match m.health {
+                                NodeHealth::Alive => "alive",
+                                NodeHealth::Suspect => "suspect",
+                                NodeHealth::Failed => "failed",
+                            };
                             Json::obj()
                                 .set("name", m.node.name.as_str())
-                                .set("alive", m.health == NodeHealth::Alive)
+                                .set("alive", m.health.is_serving())
+                                .set("health", health)
                                 .set("memory_used", m.node.memory_used())
                                 .set("memory_capacity", m.node.mem_capacity())
                                 .set("flow_cache_hits", cache.cache_hits)

@@ -167,6 +167,13 @@ fn node_failure_replaces_partition() {
     let report = d.fail_node("n2").unwrap();
     assert_eq!(report.replaced, vec!["g1".to_string()]);
     assert!(report.stranded.is_empty());
+    // The repair was incremental: only the lost NF moved.
+    assert_eq!(report.repairs.len(), 1);
+    let repair = &report.repairs[0];
+    assert_eq!(repair.graph, "g1");
+    assert_eq!(repair.nfs_moved, 1, "only br2 was lost");
+    assert_eq!(repair.nfs_preserved, 1, "br1 never moved");
+    assert!(!repair.full_replace);
     // Everything now runs on n1, no overlay needed.
     let assignment = d.assignment_of("g1").unwrap();
     assert!(assignment.values().all(|n| n == "n1"));
@@ -177,6 +184,246 @@ fn node_failure_replaces_partition() {
     assert_eq!(io.emitted[0].0, "n1");
     assert_eq!(io.emitted[0].1, "eth1");
     assert_eq!(io.overlay_hops, 0);
+}
+
+/// A 4-node chain: br1@n1, br2@n2, br3@n3, spare n4. Failing n3 must
+/// move br3 only, and n1 — whose cut edges all connect to survivors —
+/// must not see a single control-plane call: same instances, no
+/// undeploy, no update, and its overlay VLAN ids intact.
+#[test]
+fn incremental_repair_leaves_unaffected_survivors_untouched() {
+    let mut d = Domain::with_defaults();
+    for (name, ports) in [
+        ("n1", &["eth0"][..]),
+        ("n2", &[][..]),
+        ("n3", &["eth1"][..]),
+        ("n4", &["eth1"][..]),
+    ] {
+        let mut n = UniversalNode::new(name, mb(2048));
+        for p in ports {
+            n.add_physical_port(p);
+        }
+        d.add_node(n);
+    }
+    let g = NfFgBuilder::new("g1", "chain3")
+        .interface_endpoint("lan", "eth0")
+        .interface_endpoint("wan", "eth1")
+        .nf("br1", "bridge", 2)
+        .nf("br2", "bridge", 2)
+        .nf("br3", "bridge", 2)
+        .chain("lan", &["br1", "br2", "br3"], "wan")
+        .build();
+    let hints = DeployHints {
+        nf_node: [
+            ("br1".to_string(), "n1".to_string()),
+            ("br2".to_string(), "n2".to_string()),
+            ("br3".to_string(), "n3".to_string()),
+        ]
+        .into(),
+        strategy: Some(PlacementStrategy::Spread),
+        ..Default::default()
+    };
+    d.deploy_with(&g, &hints).unwrap();
+    let vids_n1: Vec<u16> = d
+        .link_stats()
+        .iter()
+        .filter(|(_, _, from, to, ..)| from == "n1" || to == "n1")
+        .map(|(vid, ..)| *vid)
+        .collect();
+    let n1_instances = d.node("n1").unwrap().total_instances();
+    let n2_instances = d.node("n2").unwrap().total_instances();
+
+    let report = d.fail_node("n3").unwrap();
+    let repair = &report.repairs[0];
+    assert_eq!(repair.nfs_moved, 1, "only br3 lost: {repair:?}");
+    assert_eq!(repair.nfs_preserved, 2);
+    assert!(!repair.full_replace);
+    let assignment = d.assignment_of("g1").unwrap();
+    assert_eq!(assignment["br1"], "n1");
+    assert_eq!(assignment["br2"], "n2");
+    assert_ne!(assignment["br3"], "n3");
+
+    // n1's part is byte-identical (its cut edges n1↔n2 kept their
+    // vids), so the repair made *zero* calls into n1.
+    let n1 = d.node("n1").unwrap();
+    assert_eq!(n1.trace.counter("graphs_undeployed"), 0);
+    assert_eq!(n1.trace.counter("graph_updates_structural"), 0);
+    assert_eq!(n1.trace.counter("graph_updates_rules"), 0);
+    assert_eq!(n1.total_instances(), n1_instances, "n1 NFs untouched");
+    let vids_n1_after: Vec<u16> = d
+        .link_stats()
+        .iter()
+        .filter(|(_, _, from, to, ..)| from == "n1" || to == "n1")
+        .map(|(vid, ..)| *vid)
+        .collect();
+    assert_eq!(vids_n1, vids_n1_after, "n1 overlay vids stable");
+    // n2 gained the cut edges to br3's new home but kept its instances
+    // where the node-level reconcile allowed.
+    assert!(repair.links_kept >= 2, "n1↔n2 wires survive: {repair:?}");
+    let _ = n2_instances;
+
+    // End-to-end traffic still flows through the repaired chain.
+    let io = d.inject("n1", "eth0", frame());
+    assert_eq!(io.emitted.len(), 1, "{:?}", d.trace);
+    assert_eq!(io.emitted[0].1, "eth1");
+}
+
+/// Fan-in repair: two source NFs on two *simultaneously* failing nodes
+/// feed the same target port on a survivor. Each old cut edge offers
+/// the survivor-side vid for inheritance under the same `(to, target)`
+/// key — the second re-placed edge must take a fresh vid, not collide
+/// (a collision duplicates the survivor's `ovl-<vid>` endpoint and
+/// forces a from-scratch fallback).
+#[test]
+fn simultaneous_fan_in_failures_do_not_collide_overlay_vids() {
+    let mut d = Domain::with_defaults();
+    for (name, ports, mem) in [
+        ("n1", &["eth0"][..], mb(256)),
+        ("n2", &["eth2"][..], mb(256)),
+        // Roomiest node: Pack prefers the fuller spares for the moved
+        // sources, keeping the two fan-in edges on distinct nodes.
+        ("n3", &["eth1"][..], mb(8192)),
+        ("n4", &["eth0"][..], mb(256)),
+        ("n5", &["eth2"][..], mb(256)),
+    ] {
+        let mut n = UniversalNode::new(name, mem);
+        for p in ports {
+            n.add_physical_port(p);
+        }
+        d.add_node(n);
+    }
+    let g = NfFgBuilder::new("fan", "fan-in")
+        .interface_endpoint("lan1", "eth0")
+        .interface_endpoint("lan2", "eth2")
+        .interface_endpoint("wan", "eth1")
+        .nf("s1", "bridge", 2)
+        .nf("s2", "bridge", 2)
+        .nf("d", "bridge", 2)
+        .rule_through("a1", 10, "lan1", ("s1", 0))
+        .rule_through("a2", 10, ("s1", 1), ("d", 0))
+        .rule_through("b1", 10, "lan2", ("s2", 0))
+        .rule_through("b2", 10, ("s2", 1), ("d", 0))
+        .rule_through("out", 10, ("d", 1), "wan")
+        .build();
+    let hints = DeployHints {
+        nf_node: [
+            ("s1".to_string(), "n1".to_string()),
+            ("s2".to_string(), "n2".to_string()),
+            ("d".to_string(), "n3".to_string()),
+        ]
+        .into(),
+        ..Default::default()
+    };
+    d.deploy_with(&g, &hints).unwrap();
+    assert_eq!(d.link_stats().len(), 2, "two fan-in overlay wires");
+
+    // n1 and n2 go silent together; one tick fails both before any
+    // repair runs, so the repair sees both sources lost at once.
+    let later = SimTime::from_nanos(d.config.heartbeat_timeout_ns + d.config.suspect_grace_ns + 1);
+    for alive in ["n3", "n4", "n5"] {
+        d.heartbeat(alive, later).unwrap();
+    }
+    let failed = d.tick(later);
+    assert_eq!(failed.len(), 2);
+    let repair = failed
+        .iter()
+        .flat_map(|(_, r)| r.repairs.iter())
+        .find(|o| o.graph == "fan")
+        .expect("fan repaired");
+    assert!(
+        !repair.full_replace,
+        "incremental must survive the fan-in: {repair:?}"
+    );
+    assert_eq!(repair.nfs_moved, 2, "{repair:?}");
+
+    // The two re-placed wires carry distinct vids into n3 and traffic
+    // from both ingress sides still reaches the wan.
+    let assignment = d.assignment_of("fan").unwrap();
+    assert_ne!(assignment["s1"], assignment["s2"], "{assignment:?}");
+    let into_n3: Vec<u16> = d
+        .link_stats()
+        .iter()
+        .filter(|(_, _, _, to, ..)| to == "n3")
+        .map(|(vid, ..)| *vid)
+        .collect();
+    assert_eq!(into_n3.len(), 2, "{:?}", d.link_stats());
+    let s1_node = assignment["s1"].clone();
+    let s2_node = assignment["s2"].clone();
+    let io = d.inject(&s1_node, "eth0", frame());
+    assert_eq!(io.emitted.len(), 1, "lan1 side must forward");
+    assert_eq!(io.emitted[0].1, "eth1");
+    let io = d.inject(&s2_node, "eth2", frame());
+    assert_eq!(io.emitted.len(), 1, "lan2 side must forward");
+}
+
+/// fail → recover → fail again: the recovered carcass must shed its
+/// stale partitions (capacity release) so later repairs can land work
+/// on it without graph-id collisions.
+#[test]
+fn fail_recover_fail_cycles_cleanly() {
+    let mut d = two_node_domain();
+    d.node_mut("n1").unwrap().add_physical_port("eth1");
+    d.node_mut("n2").unwrap().add_physical_port("eth0");
+    d.deploy_with(&split_bridge_chain(), &split_hints())
+        .unwrap();
+
+    // First failure: everything consolidates on n1.
+    d.fail_node("n2").unwrap();
+    assert!(d.assignment_of("g1").unwrap().values().all(|n| n == "n1"));
+    // Double-fail is a no-op.
+    let again = d.fail_node("n2").unwrap();
+    assert!(again.replaced.is_empty() && again.stranded.is_empty());
+
+    // Recover n2: its stale g1 part is purged, memory released.
+    let retried = d.recover_node("n2").unwrap();
+    assert!(retried.is_empty());
+    assert_eq!(d.health("n2"), Some(NodeHealth::Alive));
+    assert!(d.node("n2").unwrap().graph_ids().is_empty());
+    assert_eq!(d.node("n2").unwrap().memory_used(), 0);
+    assert_eq!(d.trace.counter("nodes_recovered"), 1);
+    assert_eq!(d.trace.counter("recover_purged_graphs"), 1);
+
+    // Now fail n1: the graph must land cleanly on the recovered n2
+    // (a stale part would collide with AlreadyDeployed here).
+    let report = d.fail_node("n1").unwrap();
+    assert_eq!(report.replaced, vec!["g1".to_string()]);
+    assert!(d.assignment_of("g1").unwrap().values().all(|n| n == "n2"));
+    let io = d.inject("n2", "eth0", frame());
+    assert_eq!(io.emitted.len(), 1);
+
+    // recover on alive / unknown nodes behaves.
+    assert!(d.recover_node("n2").unwrap().is_empty());
+    assert!(matches!(
+        d.recover_node("ghost"),
+        Err(DomainError::NoSuchNode(_))
+    ));
+}
+
+/// The from-scratch policy (the baseline) still repairs correctly and
+/// reports itself as a full replace.
+#[test]
+fn from_scratch_policy_repairs_with_full_replace() {
+    let mut d = Domain::new(DomainConfig {
+        repair: RepairPolicy::FromScratch,
+        ..DomainConfig::default()
+    });
+    let mut n1 = UniversalNode::new("n1", mb(2048));
+    n1.add_physical_port("eth0");
+    n1.add_physical_port("eth1");
+    let mut n2 = UniversalNode::new("n2", mb(2048));
+    n2.add_physical_port("eth1");
+    d.add_node(n1);
+    d.add_node(n2);
+    d.deploy_with(&split_bridge_chain(), &split_hints())
+        .unwrap();
+
+    let report = d.fail_node("n2").unwrap();
+    assert_eq!(report.replaced, vec!["g1".to_string()]);
+    assert!(report.repairs[0].full_replace);
+    assert_eq!(d.trace.counter("repairs_full"), 1);
+    assert_eq!(d.trace.counter("repairs_incremental"), 0);
+    let io = d.inject("n1", "eth0", frame());
+    assert_eq!(io.emitted.len(), 1);
 }
 
 #[test]
@@ -261,21 +508,67 @@ fn failed_node_may_rejoin_alive_duplicate_panics() {
 }
 
 #[test]
-fn heartbeat_timeout_detects_failure() {
+fn heartbeat_timeout_suspects_then_fails() {
     let mut d = two_node_domain();
     d.node_mut("n1").unwrap().add_physical_port("eth1");
     d.deploy_with(&split_bridge_chain(), &split_hints())
         .unwrap();
 
-    // n1 heartbeats; n2 goes silent past the timeout.
+    // n1 heartbeats; n2 goes silent past the timeout — that only makes
+    // it *suspect*: it keeps its partition and no repair runs yet.
     let later = SimTime::from_nanos(d.config.heartbeat_timeout_ns + 1);
     d.heartbeat("n1", later).unwrap();
     let failed = d.tick(later);
+    assert!(failed.is_empty(), "suspects are not failures");
+    assert_eq!(d.health("n2"), Some(NodeHealth::Suspect));
+    assert_eq!(d.suspect_nodes(), vec!["n2".to_string()]);
+    assert_eq!(d.assignment_of("g1").unwrap()["br2"], "n2");
+    // A suspect node still forwards traffic.
+    let io = d.inject("n1", "eth0", frame());
+    assert_eq!(io.emitted.len(), 1);
+
+    // The grace window expires: now it fails and the repair runs.
+    let expiry = SimTime::from_nanos(d.config.heartbeat_timeout_ns + d.config.suspect_grace_ns + 2);
+    d.heartbeat("n1", expiry).unwrap();
+    let failed = d.tick(expiry);
     assert_eq!(failed.len(), 1);
     assert_eq!(failed[0].0, "n2");
     assert_eq!(d.health("n2"), Some(NodeHealth::Failed));
     assert_eq!(d.health("n1"), Some(NodeHealth::Alive));
     assert_eq!(failed[0].1.replaced, vec!["g1".to_string()]);
+    // Repeated ticks are idempotent: the failure is never re-reported
+    // and the repair never re-runs (n1 keeps heartbeating).
+    let much_later = SimTime::from_nanos(expiry.as_nanos() * 3);
+    d.heartbeat("n1", much_later).unwrap();
+    assert!(d.tick(expiry).is_empty());
+    assert!(d.tick(much_later).is_empty());
+    assert_eq!(d.trace.counter("graphs_replaced"), 1);
+    assert_eq!(d.trace.counter("nodes_failed"), 1);
+}
+
+#[test]
+fn late_heartbeat_cancels_pending_repair() {
+    let mut d = two_node_domain();
+    d.node_mut("n1").unwrap().add_physical_port("eth1");
+    d.deploy_with(&split_bridge_chain(), &split_hints())
+        .unwrap();
+
+    let later = SimTime::from_nanos(d.config.heartbeat_timeout_ns + 1);
+    d.heartbeat("n1", later).unwrap();
+    d.tick(later);
+    assert_eq!(d.health("n2"), Some(NodeHealth::Suspect));
+
+    // The slow node's heartbeat arrives inside the grace window: the
+    // pending repair is cancelled — nothing ever moved.
+    let in_grace = SimTime::from_nanos(later.as_nanos() + d.config.suspect_grace_ns / 2);
+    d.heartbeat("n2", in_grace).unwrap();
+    assert_eq!(d.health("n2"), Some(NodeHealth::Alive));
+    assert_eq!(d.trace.counter("suspects_cleared"), 1);
+    d.heartbeat("n1", in_grace).unwrap();
+    assert!(d.tick(in_grace).is_empty());
+    assert_eq!(d.trace.counter("graphs_replaced"), 0);
+    assert_eq!(d.trace.counter("nodes_failed"), 0);
+    assert_eq!(d.assignment_of("g1").unwrap()["br2"], "n2");
 }
 
 #[test]
@@ -338,8 +631,10 @@ fn tick_with_correlated_failures_never_places_on_a_stale_node() {
     d.deploy_with(&split_bridge_chain(), &split_hints())
         .unwrap();
 
-    // n1 and n2 both go silent; only n3 heartbeats.
-    let later = SimTime::from_nanos(d.config.heartbeat_timeout_ns + 1);
+    // n1 and n2 both go silent; only n3 heartbeats. One giant staleness
+    // jump skips the suspect window entirely (too stale even for the
+    // grace), so a single tick fails both.
+    let later = SimTime::from_nanos(d.config.heartbeat_timeout_ns + d.config.suspect_grace_ns + 1);
     d.heartbeat("n3", later).unwrap();
     let failed = d.tick(later);
     assert_eq!(failed.len(), 2);

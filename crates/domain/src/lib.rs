@@ -36,7 +36,7 @@ pub mod placement;
 
 pub use domain::{
     DeployHints, Domain, DomainConfig, DomainError, DomainIo, DomainReport, NodeHealth,
-    ReplacementReport,
+    RepairOutcome, RepairPolicy, ReplacementReport,
 };
 pub use partition::{partition, reassemble, OverlayLink, Partition, PartitionError};
 pub use placement::{assign, assign_endpoints, NodeView, PlaceError, PlacementStrategy};

@@ -32,6 +32,23 @@ pub struct GraphDiff {
 }
 
 impl GraphDiff {
+    /// True if the change is **structural**: the NF set, an NF's
+    /// definition, or the endpoint set changed. Structural changes
+    /// force the affected parts to be re-instantiated; non-structural
+    /// (rule-only) changes apply in place on a live deployment.
+    pub fn is_structural(&self) -> bool {
+        !self.added_nfs.is_empty()
+            || !self.removed_nfs.is_empty()
+            || !self.changed_nfs.is_empty()
+            || !self.added_endpoints.is_empty()
+            || !self.removed_endpoints.is_empty()
+    }
+
+    /// True if something changed but only at the flow-rule level.
+    pub fn is_rules_only(&self) -> bool {
+        !self.is_empty() && !self.is_structural()
+    }
+
     /// True if nothing changed.
     pub fn is_empty(&self) -> bool {
         self.added_nfs.is_empty()
@@ -162,6 +179,29 @@ mod tests {
         assert_eq!(d.changed_rules.len(), 1);
         assert_eq!(d.removed_rules.len(), 1);
         assert!(d.added_rules.is_empty());
+    }
+
+    #[test]
+    fn classifies_structural_vs_rules_only() {
+        let old = base();
+        assert!(!diff(&old, &old).is_structural());
+        assert!(!diff(&old, &old).is_rules_only());
+
+        let mut rules = base();
+        rules.flow_rules[0].priority = 42;
+        let d = diff(&old, &rules);
+        assert!(!d.is_structural());
+        assert!(d.is_rules_only());
+
+        let mut structural = base();
+        structural.nfs[0].config = NfConfig::default().with_param("policy", "drop");
+        let d = diff(&old, &structural);
+        assert!(d.is_structural());
+        assert!(!d.is_rules_only());
+
+        let mut eps = base();
+        eps.endpoints.remove(0);
+        assert!(diff(&old, &eps).is_structural());
     }
 
     #[test]

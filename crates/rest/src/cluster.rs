@@ -2,15 +2,21 @@
 //!
 //! Mirrors the per-node API one layer up:
 //!
-//! | Method | Path                       | Meaning                          |
-//! |--------|----------------------------|----------------------------------|
-//! | GET    | `/domain`                  | fleet + graphs + links document  |
-//! | GET    | `/domain/nodes`            | node names with liveness         |
-//! | POST   | `/domain/nodes/<n>/fail`   | declare a node failed (re-place) |
-//! | GET    | `/domain/nffg`             | deployed graph ids               |
-//! | GET    | `/domain/nffg/<id>`        | the original (whole) NF-FG       |
-//! | PUT    | `/domain/nffg/<id>`        | deploy or update a graph         |
-//! | DELETE | `/domain/nffg/<id>`        | undeploy everywhere              |
+//! | Method | Path                        | Meaning                            |
+//! |--------|-----------------------------|------------------------------------|
+//! | GET    | `/domain`                   | fleet + graphs + links document    |
+//! | GET    | `/domain/nodes`             | nodes with health (alive/suspect/failed) |
+//! | POST   | `/domain/nodes/<n>/fail`    | declare a node failed (repair)     |
+//! | POST   | `/domain/nodes/<n>/recover` | bring a failed node back, retry pending |
+//! | GET    | `/domain/nffg`              | deployed graph ids                 |
+//! | GET    | `/domain/nffg/<id>`         | the original (whole) NF-FG         |
+//! | PUT    | `/domain/nffg/<id>`         | deploy or update a graph           |
+//! | DELETE | `/domain/nffg/<id>`         | undeploy everywhere                |
+//!
+//! The fail response carries the per-graph [`un_domain::RepairOutcome`]
+//! (`repairs`: NFs moved/preserved, links rewired/kept, nodes touched,
+//! whether the repair fell back to a full re-place) so operators can
+//! see each failure's blast radius.
 
 use std::io;
 use std::net::{TcpListener, TcpStream};
@@ -18,13 +24,59 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use un_domain::Domain;
+use un_domain::{Domain, NodeHealth, ReplacementReport};
 use un_nffg::Json;
 
 use crate::http::{read_request, write_response, Request, Response, StatusCode};
 
 /// A shareable handle to the domain.
 pub type DomainHandle = Arc<Mutex<Domain>>;
+
+/// Serialize a failure's repair report (the blast-radius document).
+fn repair_report_json(name: &str, report: &ReplacementReport) -> String {
+    Json::obj()
+        .set("failed", name)
+        .set(
+            "replaced",
+            Json::Arr(
+                report
+                    .replaced
+                    .iter()
+                    .map(|g| Json::from(g.as_str()))
+                    .collect(),
+            ),
+        )
+        .set(
+            "stranded",
+            Json::Arr(
+                report
+                    .stranded
+                    .iter()
+                    .map(|g| Json::from(g.as_str()))
+                    .collect(),
+            ),
+        )
+        .set(
+            "repairs",
+            Json::Arr(
+                report
+                    .repairs
+                    .iter()
+                    .map(|r| {
+                        Json::obj()
+                            .set("graph", r.graph.as_str())
+                            .set("nfs-moved", r.nfs_moved)
+                            .set("nfs-preserved", r.nfs_preserved)
+                            .set("links-rewired", r.links_rewired)
+                            .set("links-kept", r.links_kept)
+                            .set("nodes-touched", r.nodes_touched)
+                            .set("full-replace", r.full_replace)
+                    })
+                    .collect(),
+            ),
+        )
+        .render()
+}
 
 /// Handle one request against the domain (pure function; used directly
 /// by unit tests and by the TCP server loop).
@@ -34,36 +86,35 @@ pub fn handle_cluster(domain: &DomainHandle, req: &Request) -> Response {
         ("GET", ["domain"]) => Response::json(StatusCode::Ok, domain.lock().describe().render()),
         ("GET", ["domain", "nodes"]) => {
             let domain = domain.lock();
-            let alive = domain.alive_nodes();
-            let body = Json::Arr(alive.iter().map(|n| Json::from(n.as_str())).collect());
-            Response::json(StatusCode::Ok, body.render())
+            let nodes: Vec<Json> = domain
+                .node_names()
+                .iter()
+                .map(|name| {
+                    let health = match domain.health(name) {
+                        Some(NodeHealth::Alive) => "alive",
+                        Some(NodeHealth::Suspect) => "suspect",
+                        _ => "failed",
+                    };
+                    Json::obj().set("name", name.as_str()).set("health", health)
+                })
+                .collect();
+            Response::json(StatusCode::Ok, Json::Arr(nodes).render())
         }
         ("POST", ["domain", "nodes", name, "fail"]) => {
             let mut domain = domain.lock();
             match domain.fail_node(name) {
-                Ok(report) => {
-                    let body = Json::obj()
-                        .set("failed", *name)
-                        .set(
-                            "replaced",
-                            Json::Arr(
-                                report
-                                    .replaced
-                                    .iter()
-                                    .map(|g| Json::from(g.as_str()))
-                                    .collect(),
-                            ),
-                        )
-                        .set(
-                            "stranded",
-                            Json::Arr(
-                                report
-                                    .stranded
-                                    .iter()
-                                    .map(|g| Json::from(g.as_str()))
-                                    .collect(),
-                            ),
-                        );
+                Ok(report) => Response::json(StatusCode::Ok, repair_report_json(name, &report)),
+                Err(e) => Response::error(StatusCode::NotFound, &e.to_string()),
+            }
+        }
+        ("POST", ["domain", "nodes", name, "recover"]) => {
+            let mut domain = domain.lock();
+            match domain.recover_node(name) {
+                Ok(retried) => {
+                    let body = Json::obj().set("recovered", *name).set(
+                        "retried",
+                        Json::Arr(retried.iter().map(|g| Json::from(g.as_str())).collect()),
+                    );
                     Response::json(StatusCode::Ok, body.render())
                 }
                 Err(e) => Response::error(StatusCode::NotFound, &e.to_string()),
@@ -289,7 +340,23 @@ mod tests {
         let r = handle_cluster(&d, &req("POST", "/domain/nodes/n2/fail", ""));
         assert_eq!(r.status, StatusCode::Ok, "{}", r.body);
         assert!(r.body.contains("\"replaced\":[\"g1\"]"), "{}", r.body);
+        // The blast-radius document rides along: one NF moved, one kept.
+        assert!(r.body.contains("\"nfs-moved\":1"), "{}", r.body);
+        assert!(r.body.contains("\"nfs-preserved\":1"), "{}", r.body);
+        assert!(r.body.contains("\"full-replace\":false"), "{}", r.body);
         let r = handle_cluster(&d, &req("POST", "/domain/nodes/ghost/fail", ""));
+        assert_eq!(r.status, StatusCode::NotFound);
+
+        // Health listing shows the carcass; recover brings it back.
+        let r = handle_cluster(&d, &req("GET", "/domain/nodes", ""));
+        assert!(r.body.contains("\"n2\""), "{}", r.body);
+        assert!(r.body.contains("\"failed\""), "{}", r.body);
+        let r = handle_cluster(&d, &req("POST", "/domain/nodes/n2/recover", ""));
+        assert_eq!(r.status, StatusCode::Ok, "{}", r.body);
+        assert!(r.body.contains("\"recovered\":\"n2\""), "{}", r.body);
+        let r = handle_cluster(&d, &req("GET", "/domain/nodes", ""));
+        assert!(!r.body.contains("\"failed\""), "{}", r.body);
+        let r = handle_cluster(&d, &req("POST", "/domain/nodes/ghost/recover", ""));
         assert_eq!(r.status, StatusCode::NotFound);
     }
 

@@ -5,7 +5,8 @@ use proptest::prelude::*;
 use un_packet::ethernet::MacAddr;
 use un_packet::Ipv4Cidr;
 use un_switch::{
-    ClassifierMode, FlowAction, FlowEntry, FlowMatch, FlowTable, PacketKey, PortNo, VlanSpec,
+    ClassifierMode, FlowAction, FlowEntry, FlowMatch, FlowTable, LookupPath, PacketKey, PortNo,
+    TableStats, VlanSpec,
 };
 
 fn key_strategy() -> impl Strategy<Value = PacketKey> {
@@ -142,6 +143,52 @@ proptest! {
         }
     }
 
+    /// TableStats accounting identities hold on any table under any
+    /// traffic, and the linear baseline never touches the counters.
+    #[test]
+    fn stats_accounting_identities(
+        rules in prop::collection::vec(rule_strategy(), 0..24),
+        keys in prop::collection::vec(key_strategy(), 1..48),
+        repeats in 1usize..3,
+    ) {
+        let mut table = FlowTable::new();
+        let mut linear = FlowTable::new();
+        linear.set_mode(ClassifierMode::Linear);
+        for r in &rules {
+            for t in [&mut table, &mut linear] {
+                t.insert(FlowEntry::new(
+                    r.priority,
+                    to_match(r),
+                    vec![FlowAction::Output(PortNo(r.out))],
+                ));
+            }
+        }
+        let mut lookups = 0u64;
+        let mut resolved_misses = 0u64;
+        for key in &keys {
+            for _ in 0..repeats {
+                lookups += 1;
+                if let Some((_, path)) = table.lookup(key, 64) {
+                    if path != LookupPath::CacheHit {
+                        resolved_misses += 1;
+                    }
+                }
+                linear.lookup(key, 64);
+            }
+        }
+        let s = table.stats();
+        // Every lookup is a cache hit or a cache miss — no third bucket.
+        prop_assert_eq!(s.cache_hits + s.cache_misses, lookups);
+        // Every *resolved* miss is exactly one of exact / wildcard;
+        // unresolved misses (table miss) bump neither.
+        prop_assert_eq!(s.exact_hits + s.wildcard_hits, resolved_misses);
+        prop_assert!(s.exact_hits + s.wildcard_hits <= s.cache_misses);
+        prop_assert!(s.hit_rate() >= 0.0 && s.hit_rate() <= 1.0);
+        // The linear baseline leaves the fast-path counters untouched,
+        // so an A/B mode comparison cannot pollute them.
+        prop_assert_eq!(linear.stats(), TableStats::default());
+    }
+
     /// Removing by cookie removes exactly the matching entries.
     #[test]
     fn cookie_removal(
@@ -159,4 +206,204 @@ proptest! {
         prop_assert_eq!(table.remove_by_cookie(victim), expect_removed);
         prop_assert_eq!(table.len(), rules.len() - expect_removed);
     }
+}
+
+/// A key hitting `10.0.<octet>.2` on `in_port`.
+fn dst_key(port: u32, octet: u8) -> PacketKey {
+    PacketKey {
+        in_port: PortNo(port),
+        eth_src: MacAddr::local(1),
+        eth_dst: MacAddr::local(2),
+        eth_type: 0x0800,
+        vlan: None,
+        ip_src: Some(std::net::Ipv4Addr::new(10, 0, 0, 1)),
+        ip_dst: Some(std::net::Ipv4Addr::new(10, 0, octet, 2)),
+        ip_proto: Some(17),
+        l4_src: Some(1000),
+        l4_dst: Some(7),
+        fwmark: 0,
+    }
+}
+
+/// The wildcard-demoted path: short CIDR prefixes and any-tagged VLAN
+/// specs never reach the exact-match index — they resolve as `Miss`
+/// and bump `wildcard_hits` — while /32 prefixes stay exact-indexed.
+#[test]
+fn wildcard_demotion_is_observable_in_stats() {
+    let mut t = FlowTable::new();
+    let cidr =
+        FlowMatch::any().with_ip_dst(Ipv4Cidr::new(std::net::Ipv4Addr::new(10, 0, 0, 0), 16));
+    t.insert(FlowEntry::new(5, cidr, vec![FlowAction::Output(PortNo(1))]));
+    let mut tagged = FlowMatch::any();
+    tagged.vlan = Some(VlanSpec::AnyTagged);
+    t.insert(FlowEntry::new(
+        4,
+        tagged,
+        vec![FlowAction::Output(PortNo(2))],
+    ));
+    let slash32 =
+        FlowMatch::any().with_ip_dst(Ipv4Cidr::new(std::net::Ipv4Addr::new(10, 0, 3, 2), 32));
+    t.insert(FlowEntry::new(
+        3,
+        slash32,
+        vec![FlowAction::Output(PortNo(3))],
+    ));
+
+    // CIDR win: wildcard scan path.
+    let (actions, path) = t.lookup(&dst_key(9, 1), 64).unwrap();
+    assert_eq!(actions, vec![FlowAction::Output(PortNo(1))]);
+    assert_eq!(path, LookupPath::Miss);
+    assert_eq!(t.stats().wildcard_hits, 1);
+    assert_eq!(t.stats().exact_hits, 0);
+
+    // Any-tagged win on a tagged frame: also the wildcard path.
+    let mut k = dst_key(9, 1);
+    k.ip_dst = Some(std::net::Ipv4Addr::new(172, 16, 0, 1));
+    k.vlan = Some(7);
+    let (actions, path) = t.lookup(&k, 64).unwrap();
+    assert_eq!(actions, vec![FlowAction::Output(PortNo(2))]);
+    assert_eq!(path, LookupPath::Miss);
+    assert_eq!(t.stats().wildcard_hits, 2);
+
+    // The /32 stays on the exact path even though its priority is
+    // lowest: nothing wilder matches this untagged, non-10.0/16 key.
+    let mut k32 = dst_key(9, 3);
+    k32.ip_dst = Some(std::net::Ipv4Addr::new(10, 0, 3, 2));
+    // 10.0.3.2 is inside 10.0/16, so the CIDR (priority 5) wins...
+    let (actions, path) = t.lookup(&k32, 64).unwrap();
+    assert_eq!(actions, vec![FlowAction::Output(PortNo(1))]);
+    assert_eq!(path, LookupPath::Miss);
+    // ...so demote the CIDR out of the way and try again.
+    t.clear();
+    t.insert(FlowEntry::new(
+        3,
+        FlowMatch::any().with_ip_dst(Ipv4Cidr::new(std::net::Ipv4Addr::new(10, 0, 3, 2), 32)),
+        vec![FlowAction::Output(PortNo(3))],
+    ));
+    let (actions, path) = t.lookup(&k32, 64).unwrap();
+    assert_eq!(actions, vec![FlowAction::Output(PortNo(3))]);
+    assert_eq!(path, LookupPath::ExactHit);
+    assert_eq!(t.stats().exact_hits, 1);
+}
+
+/// Hit/miss counters across microflow-cache invalidation: a rule
+/// insert bumps the table generation, so the cached decision re-runs
+/// the classifier exactly once, then caches again.
+#[test]
+fn cache_counters_across_invalidation() {
+    let mut t = FlowTable::new();
+    t.insert(FlowEntry::new(
+        5,
+        FlowMatch::in_port(PortNo(9)),
+        vec![FlowAction::Output(PortNo(1))],
+    ));
+    let k = dst_key(9, 1);
+    assert_eq!(t.lookup(&k, 64).unwrap().1, LookupPath::ExactHit);
+    assert_eq!(t.lookup(&k, 64).unwrap().1, LookupPath::CacheHit);
+    assert_eq!(t.lookup(&k, 64).unwrap().1, LookupPath::CacheHit);
+    assert_eq!((t.stats().cache_hits, t.stats().cache_misses), (2, 1));
+
+    // Insert bumps the generation: the very next lookup must miss the
+    // cache (stale decision refused) and re-resolve via the index.
+    t.insert(FlowEntry::new(
+        8,
+        FlowMatch::in_port(PortNo(9)),
+        vec![FlowAction::Output(PortNo(2))],
+    ));
+    let (actions, path) = t.lookup(&k, 64).unwrap();
+    assert_eq!(actions, vec![FlowAction::Output(PortNo(2))]);
+    assert_ne!(path, LookupPath::CacheHit);
+    assert_eq!((t.stats().cache_hits, t.stats().cache_misses), (2, 2));
+    assert_eq!(t.lookup(&k, 64).unwrap().1, LookupPath::CacheHit);
+    assert_eq!((t.stats().cache_hits, t.stats().cache_misses), (3, 2));
+    assert_eq!(t.stats().exact_hits, 2);
+    assert_eq!(t.stats().wildcard_hits, 0);
+}
+
+/// `TableStats::merge` sums every counter; `hit_rate` is safe on the
+/// empty block and correct on merged ones.
+#[test]
+fn table_stats_merge_and_hit_rate() {
+    assert_eq!(TableStats::default().hit_rate(), 0.0);
+    let mut a = TableStats {
+        cache_hits: 3,
+        cache_misses: 1,
+        exact_hits: 1,
+        wildcard_hits: 0,
+    };
+    let b = TableStats {
+        cache_hits: 1,
+        cache_misses: 3,
+        exact_hits: 2,
+        wildcard_hits: 1,
+    };
+    a.merge(&b);
+    assert_eq!(a.cache_hits, 4);
+    assert_eq!(a.cache_misses, 4);
+    assert_eq!(a.exact_hits, 3);
+    assert_eq!(a.wildcard_hits, 1);
+    assert!((a.hit_rate() - 0.5).abs() < 1e-12);
+}
+
+/// `ClassifierMode::Linear` agrees with the indexed pipeline on
+/// wildcard-heavy tables (the PR 2 baseline stayed only indirectly
+/// covered) and switching modes mid-stream keeps results consistent.
+#[test]
+fn linear_baseline_agrees_on_wildcard_heavy_table() {
+    let build = |mode: ClassifierMode| {
+        let mut t = FlowTable::new();
+        t.set_mode(mode);
+        t.insert(FlowEntry::new(
+            9,
+            FlowMatch::any().with_ip_dst(Ipv4Cidr::new(std::net::Ipv4Addr::new(10, 0, 0, 0), 8)),
+            vec![FlowAction::Output(PortNo(1))],
+        ));
+        let mut tagged = FlowMatch::any();
+        tagged.vlan = Some(VlanSpec::AnyTagged);
+        t.insert(FlowEntry::new(
+            7,
+            tagged,
+            vec![FlowAction::Output(PortNo(2))],
+        ));
+        t.insert(FlowEntry::new(
+            5,
+            FlowMatch::in_port(PortNo(3)),
+            vec![FlowAction::Output(PortNo(3))],
+        ));
+        t.insert(FlowEntry::new(
+            1,
+            FlowMatch::any(),
+            vec![FlowAction::Output(PortNo(9))],
+        ));
+        t
+    };
+    let mut indexed = build(ClassifierMode::Indexed);
+    let mut linear = build(ClassifierMode::Linear);
+    assert_eq!(indexed.mode(), ClassifierMode::Indexed);
+    assert_eq!(linear.mode(), ClassifierMode::Linear);
+    let keys: Vec<PacketKey> = (0..6u32)
+        .flat_map(|port| {
+            (0..4u8).map(move |octet| {
+                let mut k = dst_key(port, octet);
+                if octet == 2 {
+                    k.vlan = Some(100);
+                }
+                if octet == 3 {
+                    k.ip_dst = Some(std::net::Ipv4Addr::new(172, 16, 0, 1));
+                }
+                k
+            })
+        })
+        .collect();
+    for k in &keys {
+        // Twice: classifier path, then (indexed-only) cache path.
+        for _ in 0..2 {
+            let a = indexed.lookup(k, 64).map(|(actions, _)| actions);
+            let b = linear.lookup(k, 64).map(|(actions, _)| actions);
+            assert_eq!(a, b, "key {k:?}");
+        }
+    }
+    assert_eq!(linear.stats(), TableStats::default());
+    assert!(indexed.stats().cache_hits > 0);
+    assert!(indexed.stats().wildcard_hits > 0);
 }

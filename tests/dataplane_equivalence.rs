@@ -7,6 +7,12 @@
 //! `Domain::inject` path — on random chain graphs, random splits across
 //! the fleet, random traffic, with and without ESP-protected overlay
 //! links.
+//!
+//! The same machinery also proves **repair equivalence**: a domain that
+//! lost a node and was incrementally repaired must forward traffic
+//! exactly like a fresh domain that deployed the equivalent placement
+//! directly — same egress multiset, same overlay hops, same virtual
+//! cost (overlay VLAN ids may differ; nothing observable may).
 
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
@@ -134,8 +140,151 @@ fn outcome(d: &Domain, io: &un_domain::DomainIo) -> Outcome {
     }
 }
 
+// ----------------------------------------------------------------------
+// Repair equivalence
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct RepairScenario {
+    /// Chain length (NFs).
+    len: usize,
+    /// Per-NF node choice (index into ["n1", "n2", "n3"]); n3 dies.
+    split: Vec<u8>,
+    /// ESP-protect the overlay links.
+    protect: bool,
+    /// Traffic: (destination last octet, payload length) per frame.
+    frames: Vec<(u8, u16)>,
+}
+
+fn repair_scenario_strategy() -> impl Strategy<Value = RepairScenario> {
+    (
+        1usize..5,
+        prop::collection::vec(0u8..3, 4),
+        any::<bool>(),
+        prop::collection::vec((0u8..4, 32u16..400), 1..16),
+    )
+        .prop_map(|(len, split, protect, frames)| RepairScenario {
+            len,
+            split,
+            protect,
+            frames,
+        })
+}
+
+/// Fleet for the repair scenario: lan rides n1, wan rides n3 (the
+/// victim, first eth1 owner in name order) with n4 as the standby
+/// eth1 owner the repair must fall over to.
+fn repair_fleet(protect: bool, with_victim: bool) -> Domain {
+    let mut d = Domain::new(DomainConfig {
+        protect_overlay: protect,
+        ..DomainConfig::default()
+    });
+    let mut n1 = UniversalNode::new("n1", mb(2048));
+    n1.add_physical_port("eth0");
+    d.add_node(n1);
+    d.add_node(UniversalNode::new("n2", mb(2048)));
+    if with_victim {
+        let mut n3 = UniversalNode::new("n3", mb(2048));
+        n3.add_physical_port("eth1");
+        d.add_node(n3);
+    }
+    let mut n4 = UniversalNode::new("n4", mb(2048));
+    n4.add_physical_port("eth1");
+    d.add_node(n4);
+    d
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Incremental repair ≡ fresh deploy of the equivalent placement:
+    /// end-to-end traffic through the repaired split chain produces
+    /// the same egress multiset (and hops, cost, protected bytes) as a
+    /// domain that never saw the failure.
+    #[test]
+    fn repaired_domain_equals_fresh_deploy(s in repair_scenario_strategy()) {
+        let graph = chain_graph(s.len);
+        // Deploy split across n1/n2/n3, then lose n3 (always affected:
+        // it anchors the wan endpoint, plus any NFs the split put there).
+        let mut repaired = repair_fleet(s.protect, true);
+        let nf_node: BTreeMap<String, String> = (0..s.len)
+            .map(|i| {
+                let node = ["n1", "n2", "n3"][s.split[i] as usize];
+                (format!("br{i}"), node.to_string())
+            })
+            .collect();
+        let lost: usize = nf_node.values().filter(|n| *n == "n3").count();
+        let hints = DeployHints {
+            nf_node,
+            strategy: Some(PlacementStrategy::Spread),
+            ..Default::default()
+        };
+        repaired.deploy_with(&graph, &hints).expect("split deploys");
+
+        let report = repaired.fail_node("n3").expect("victim exists");
+        prop_assert_eq!(report.replaced, vec![graph.id.clone()]);
+        prop_assert_eq!(report.repairs[0].nfs_moved, lost, "{:?}", report.repairs);
+        let after = repaired.assignment_of(&graph.id).expect("deployed").clone();
+        prop_assert!(after.values().all(|n| n != "n3"));
+
+        // The control: a fleet that never contained n3, deploying the
+        // repaired placement directly.
+        let mut fresh = repair_fleet(s.protect, false);
+        let fresh_hints = DeployHints {
+            nf_node: after,
+            strategy: Some(PlacementStrategy::Spread),
+            ..Default::default()
+        };
+        fresh.deploy_with(&graph, &fresh_hints).expect("fresh deploys");
+
+        let ingress = |s: &RepairScenario| -> Vec<(String, String, Packet)> {
+            s.frames
+                .iter()
+                .map(|&(octet, len)| {
+                    ("n1".to_string(), "eth0".to_string(), frame(octet, len))
+                })
+                .collect()
+        };
+        let io_repaired = repaired.inject_batch(ingress(&s), 1);
+        let io_fresh = fresh.inject_batch(ingress(&s), 1);
+        prop_assert!(
+            !io_fresh.emitted.is_empty(),
+            "chains must forward: {:?}",
+            s
+        );
+
+        // Same observable dataplane, modulo VLAN ids: egress multiset,
+        // overlay work, virtual cost, per-link counter multiset.
+        let canon = |io: &un_domain::DomainIo, d: &Domain| {
+            let mut emitted: Vec<(String, String, Vec<u8>)> = io
+                .emitted
+                .iter()
+                .map(|(n, p, pkt)| (n.to_string(), p.to_string(), pkt.data().to_vec()))
+                .collect();
+            emitted.sort();
+            let mut links: Vec<(String, String, u64, u64)> = d
+                .link_stats()
+                .iter()
+                .map(|(_, _, from, to, pkts, bytes)| {
+                    (from.clone(), to.clone(), *pkts, *bytes)
+                })
+                .collect();
+            links.sort();
+            (
+                emitted,
+                links,
+                io.overlay_hops,
+                io.protected_bytes,
+                io.cost.as_nanos(),
+            )
+        };
+        prop_assert_eq!(
+            canon(&io_repaired, &repaired),
+            canon(&io_fresh, &fresh),
+            "scenario: {:?}",
+            s
+        );
+    }
 
     /// inject_batch(workers = 1, 2, 4) ≡ sequential per-packet inject.
     #[test]

@@ -1,0 +1,411 @@
+//! Model-based chaos suite for the domain's failure handling.
+//!
+//! Random sequences of `deploy` / `update` / `undeploy` / `fail_node` /
+//! `recover_node` / `heartbeat` / `tick` / `retry_pending` are driven
+//! against **two** domains differing only in repair policy
+//! (incremental vs from-scratch) and checked, after every operation,
+//! against a simple in-test reference model of the health state
+//! machine plus a battery of invariants:
+//!
+//! * node health always matches the reference model (alive → suspect
+//!   on timeout, suspect → failed on grace expiry, late heartbeats
+//!   cancel, recovery resurrects);
+//! * no partition of a deployed graph lives on a failed node;
+//! * capacity accounting never goes negative (used ≤ capacity, on
+//!   every node, always);
+//! * every deployed graph's cut edges are backed by live overlay link
+//!   state attributed to that graph, and no overlay link state is
+//!   orphaned;
+//! * deployed and pending sets never intersect;
+//! * **incremental repair ≡ from-scratch** in observable placement
+//!   validity: both domains agree on which graphs are deployed and
+//!   which are parked, after every single operation;
+//! * parked graphs eventually re-place: once every node recovers,
+//!   `retry_pending` drains the pending set completely.
+//!
+//! The case count honors `UN_CHAOS_CASES` (CI pins it); the vendored
+//! proptest shim is deterministically seeded, so every run replays the
+//! same sequences.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use un_core::UniversalNode;
+use un_domain::{Domain, DomainConfig, NodeHealth, RepairPolicy};
+use un_nffg::{NfFg, NfFgBuilder};
+use un_sim::mem::mb;
+use un_sim::SimTime;
+
+const NODES: [&str; 3] = ["n1", "n2", "n3"];
+const GRAPHS: usize = 4;
+/// Per-op clock advance (well under the heartbeat timeout).
+const STEP_NS: u64 = 200_000_000;
+
+fn chaos_cases() -> u32 {
+    std::env::var("UN_CHAOS_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+/// Chain graph `g<i>` with `len` bridges behind per-graph VLAN
+/// endpoints (no untagged-interface conflicts between graphs).
+fn graph(i: usize, len: usize) -> NfFg {
+    let ids: Vec<String> = (0..len).map(|k| format!("g{i}br{k}")).collect();
+    let mut b = NfFgBuilder::new(&format!("g{i}"), "chaos")
+        .vlan_endpoint("lan", "eth0", 100 + 2 * i as u16)
+        .vlan_endpoint("wan", "eth1", 101 + 2 * i as u16);
+    for id in &ids {
+        b = b.nf(id, "bridge", 2);
+    }
+    let refs: Vec<&str> = ids.iter().map(|s| s.as_str()).collect();
+    b.chain("lan", &refs, "wan").build()
+}
+
+fn fleet(policy: RepairPolicy) -> Domain {
+    let mut d = Domain::new(DomainConfig {
+        repair: policy,
+        ..DomainConfig::default()
+    });
+    // eth0 lives on n1 and n3, eth1 everywhere: graphs strand only
+    // when both eth0 owners are down — identically in both domains.
+    for (name, ports) in [
+        ("n1", &["eth0", "eth1"][..]),
+        ("n2", &["eth1"][..]),
+        ("n3", &["eth0", "eth1"][..]),
+    ] {
+        let mut n = UniversalNode::new(name, mb(2048));
+        for p in ports {
+            n.add_physical_port(p);
+        }
+        d.add_node(n);
+    }
+    d
+}
+
+/// The reference health model: the test's own tiny copy of the
+/// suspect/failed state machine, advanced in lockstep with the domain.
+struct HealthModel {
+    last_heartbeat: [u64; 3],
+    health: [NodeHealth; 3],
+    timeout: u64,
+    grace: u64,
+}
+
+impl HealthModel {
+    fn new(d: &Domain) -> Self {
+        HealthModel {
+            last_heartbeat: [0; 3],
+            health: [NodeHealth::Alive, NodeHealth::Alive, NodeHealth::Alive],
+            timeout: d.config.heartbeat_timeout_ns,
+            grace: d.config.suspect_grace_ns,
+        }
+    }
+
+    fn heartbeat(&mut self, node: usize, now: u64) {
+        self.last_heartbeat[node] = now;
+        if self.health[node] == NodeHealth::Suspect {
+            self.health[node] = NodeHealth::Alive;
+        }
+    }
+
+    fn fail(&mut self, node: usize) {
+        self.health[node] = NodeHealth::Failed;
+    }
+
+    /// Mirrors `Domain::recover_node`: an already-alive node is left
+    /// untouched (in particular its heartbeat is *not* refreshed).
+    fn recover(&mut self, node: usize, now: u64) {
+        if self.health[node] != NodeHealth::Alive {
+            self.health[node] = NodeHealth::Alive;
+            self.last_heartbeat[node] = now;
+        }
+    }
+
+    fn tick(&mut self, now: u64) {
+        for i in 0..3 {
+            let stale = now.saturating_sub(self.last_heartbeat[i]);
+            match self.health[i] {
+                NodeHealth::Alive | NodeHealth::Suspect if stale > self.timeout + self.grace => {
+                    self.health[i] = NodeHealth::Failed;
+                }
+                NodeHealth::Alive if stale > self.timeout => {
+                    self.health[i] = NodeHealth::Suspect;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn serving(&self, node: usize) -> bool {
+        self.health[node].is_serving()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Deploy(usize),
+    Update(usize, usize),
+    Undeploy(usize),
+    FailNode(usize),
+    RecoverNode(usize),
+    Heartbeat(usize),
+    Tick(usize),
+    RetryPending,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..10, 0u8..8, 0u8..4).prop_map(|(kind, a, b)| match kind {
+        0 | 1 => Op::Deploy(a as usize % GRAPHS),
+        2 => Op::Update(a as usize % GRAPHS, b as usize),
+        3 => Op::Undeploy(a as usize % GRAPHS),
+        4 => Op::FailNode(a as usize % NODES.len()),
+        5 => Op::RecoverNode(a as usize % NODES.len()),
+        6 | 7 => Op::Heartbeat(a as usize % NODES.len()),
+        8 => Op::Tick(b as usize),
+        _ => Op::RetryPending,
+    })
+}
+
+/// All the invariants one domain must satisfy at every step.
+fn check_domain(d: &Domain, model: &HealthModel, tag: &str) {
+    // Health matches the reference model exactly.
+    for (i, name) in NODES.iter().enumerate() {
+        assert_eq!(
+            d.health(name).unwrap(),
+            model.health[i],
+            "{tag}: health model diverged on {name}"
+        );
+    }
+    let serving: BTreeSet<String> = NODES
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| model.serving(*i))
+        .map(|(_, n)| n.to_string())
+        .collect();
+
+    // Capacity accounting never goes negative, anywhere, ever.
+    for name in NODES {
+        let node = d.node(name).unwrap();
+        assert!(
+            node.memory_used() <= node.mem_capacity(),
+            "{tag}: {name} overcommitted: {} > {}",
+            node.memory_used(),
+            node.mem_capacity()
+        );
+    }
+
+    // Deployed and pending sets are disjoint.
+    let deployed: BTreeSet<String> = d.graph_ids().into_iter().collect();
+    let pending: BTreeSet<String> = d.pending_graphs().into_iter().collect();
+    assert!(
+        deployed.is_disjoint(&pending),
+        "{tag}: deployed ∩ pending: {deployed:?} vs {pending:?}"
+    );
+
+    // No partition of a deployed graph lives on a failed node, every
+    // NF is assigned to a hosting part's node, and every cut edge is
+    // backed by live overlay link state attributed to this graph.
+    let link_stats = d.link_stats();
+    let mut expected_links = 0usize;
+    for gid in &deployed {
+        let partition = d.partition_of(gid).unwrap();
+        for node in partition.parts.keys() {
+            assert!(
+                serving.contains(node),
+                "{tag}: {gid} has a part on dead node {node}"
+            );
+        }
+        for (nf, node) in d.assignment_of(gid).unwrap() {
+            assert!(
+                partition.parts.contains_key(node),
+                "{tag}: {gid}/{nf} assigned to partless node {node}"
+            );
+        }
+        for link in &partition.links {
+            assert!(
+                serving.contains(&link.from_node) && serving.contains(&link.to_node),
+                "{tag}: {gid} overlay link {} touches a dead node",
+                link.vid
+            );
+            let live = link_stats
+                .iter()
+                .find(|(vid, ..)| *vid == link.vid)
+                .unwrap_or_else(|| panic!("{tag}: {gid} link {} has no state", link.vid));
+            assert_eq!(&live.1, gid, "{tag}: link {} owned elsewhere", link.vid);
+            expected_links += 1;
+        }
+    }
+    // ... and no overlay link state is orphaned.
+    assert_eq!(
+        link_stats.len(),
+        expected_links,
+        "{tag}: orphaned overlay link state: {link_stats:?}"
+    );
+}
+
+/// Deterministic smoke sequence proving the chaos plumbing exercises
+/// real work: every graph deploys, a failure repairs across policies,
+/// and the invariant checker sees non-trivial state.
+#[test]
+fn chaos_smoke_sequence_deploys_and_repairs() {
+    let mut inc = fleet(RepairPolicy::Incremental);
+    let mut fs = fleet(RepairPolicy::FromScratch);
+    let mut model = HealthModel::new(&inc);
+    for i in 0..GRAPHS {
+        let g = graph(i, 1 + i % 3);
+        inc.deploy(&g).unwrap();
+        fs.deploy(&g).unwrap();
+    }
+    assert_eq!(inc.graph_ids().len(), GRAPHS);
+    check_domain(&inc, &model, "smoke");
+    check_domain(&fs, &model, "smoke");
+
+    model.fail(0);
+    let report = inc.fail_node("n1").unwrap();
+    fs.fail_node("n1").unwrap();
+    assert!(
+        !report.replaced.is_empty() || !report.stranded.is_empty(),
+        "n1 anchored work: {report:?}"
+    );
+    check_domain(&inc, &model, "smoke-inc");
+    check_domain(&fs, &model, "smoke-fs");
+    assert_eq!(inc.graph_ids(), fs.graph_ids());
+
+    let now = SimTime::from_nanos(STEP_NS);
+    inc.set_time(now);
+    fs.set_time(now);
+    inc.recover_node("n1").unwrap();
+    fs.recover_node("n1").unwrap();
+    model.recover(0, STEP_NS);
+    inc.retry_pending();
+    fs.retry_pending();
+    assert!(inc.pending_graphs().is_empty());
+    check_domain(&inc, &model, "smoke-final");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(chaos_cases()))]
+
+    #[test]
+    fn chaos_operations_hold_invariants(
+        ops in prop::collection::vec(op_strategy(), 1..16),
+    ) {
+        let mut inc = fleet(RepairPolicy::Incremental);
+        let mut fs = fleet(RepairPolicy::FromScratch);
+        let mut model = HealthModel::new(&inc);
+        let mut clock_ns: u64 = 0;
+
+        for op in &ops {
+            clock_ns += STEP_NS;
+            let now = SimTime::from_nanos(clock_ns);
+            inc.set_time(now);
+            fs.set_time(now);
+            match op {
+                Op::Deploy(i) => {
+                    let g = graph(*i, 1 + i % 3);
+                    let a = inc.deploy(&g);
+                    let b = fs.deploy(&g);
+                    prop_assert_eq!(a.is_ok(), b.is_ok(), "deploy g{} diverged", i);
+                }
+                Op::Update(i, v) => {
+                    let g = graph(*i, 1 + (i + v) % 3);
+                    let a = inc.update(&g);
+                    let b = fs.update(&g);
+                    prop_assert_eq!(a.is_ok(), b.is_ok(), "update g{} diverged", i);
+                }
+                Op::Undeploy(i) => {
+                    let gid = format!("g{i}");
+                    let a = inc.undeploy(&gid);
+                    let b = fs.undeploy(&gid);
+                    prop_assert_eq!(a.is_ok(), b.is_ok(), "undeploy g{} diverged", i);
+                }
+                Op::FailNode(n) => {
+                    // The *affected* graph sets may legitimately differ
+                    // (placements diverge between policies), so the
+                    // per-failure report is not compared — the post-op
+                    // deployed/pending equality below is the invariant.
+                    model.fail(*n);
+                    let a = inc.fail_node(NODES[*n]).unwrap();
+                    let b = fs.fail_node(NODES[*n]).unwrap();
+                    for outcome in &a.repairs {
+                        prop_assert!(!outcome.graph.is_empty());
+                    }
+                    let _ = b;
+                }
+                Op::RecoverNode(n) => {
+                    model.recover(*n, clock_ns);
+                    let a = inc.recover_node(NODES[*n]).unwrap();
+                    let b = fs.recover_node(NODES[*n]).unwrap();
+                    prop_assert_eq!(a, b, "recover retried different graphs");
+                }
+                Op::Heartbeat(n) => {
+                    model.heartbeat(*n, clock_ns);
+                    inc.heartbeat(NODES[*n], now).unwrap();
+                    fs.heartbeat(NODES[*n], now).unwrap();
+                }
+                Op::Tick(scale) => {
+                    // 0.5 / 1.6 / 2.7 / 3.8 virtual seconds: straddles
+                    // the timeout (3 s) and the grace window (+1 s).
+                    clock_ns += 500_000_000 + *scale as u64 * 1_100_000_000;
+                    let later = SimTime::from_nanos(clock_ns);
+                    model.tick(clock_ns);
+                    let a = inc.tick(later);
+                    let b = fs.tick(later);
+                    prop_assert_eq!(
+                        a.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+                        b.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+                        "tick failed different nodes"
+                    );
+                }
+                Op::RetryPending => {
+                    let a = inc.retry_pending();
+                    let b = fs.retry_pending();
+                    prop_assert_eq!(a, b, "retry_pending diverged");
+                }
+            }
+
+            check_domain(&inc, &model, "incremental");
+            check_domain(&fs, &model, "from-scratch");
+            // Observable placement validity is policy-independent.
+            prop_assert_eq!(inc.graph_ids(), fs.graph_ids(), "deployed sets diverged");
+            prop_assert_eq!(
+                inc.pending_graphs(),
+                fs.pending_graphs(),
+                "pending sets diverged"
+            );
+        }
+
+        // Closing act: heal the fleet. Every parked graph must
+        // eventually re-place once capacity returns.
+        clock_ns += STEP_NS;
+        let now = SimTime::from_nanos(clock_ns);
+        inc.set_time(now);
+        fs.set_time(now);
+        for (i, name) in NODES.iter().enumerate() {
+            if inc.health(name) == Some(NodeHealth::Failed) {
+                inc.recover_node(name).unwrap();
+            }
+            if fs.health(name) == Some(NodeHealth::Failed) {
+                fs.recover_node(name).unwrap();
+            }
+            model.recover(i, clock_ns);
+            inc.heartbeat(name, now).unwrap();
+            fs.heartbeat(name, now).unwrap();
+            model.heartbeat(i, clock_ns);
+        }
+        inc.retry_pending();
+        fs.retry_pending();
+        prop_assert!(
+            inc.pending_graphs().is_empty(),
+            "incremental: parked graphs must re-place on a healed fleet"
+        );
+        prop_assert!(
+            fs.pending_graphs().is_empty(),
+            "from-scratch: parked graphs must re-place on a healed fleet"
+        );
+        check_domain(&inc, &model, "incremental-final");
+        check_domain(&fs, &model, "from-scratch-final");
+        prop_assert_eq!(inc.graph_ids(), fs.graph_ids());
+    }
+}
