@@ -66,6 +66,7 @@ fn placement_scaling(c: &mut Criterion) {
                         &eps,
                         &BTreeMap::new(),
                         PlacementStrategy::Pack,
+                        None,
                     )
                     .unwrap(),
                 )
@@ -91,6 +92,7 @@ fn partition_cost(c: &mut Criterion) {
         &eps,
         &BTreeMap::new(),
         PlacementStrategy::Spread,
+        None,
     )
     .unwrap();
     c.bench_function("domain_partition_10nf_4nodes", |b| {

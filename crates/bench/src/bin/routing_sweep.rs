@@ -1,0 +1,249 @@
+//! Routing sweep: multi-hop overlay paths vs the full-mesh baseline.
+//!
+//! One split chain (`br1@n1`, `br2@n3`, ingress `eth0@n1`, egress
+//! `eth1@n3`) is deployed on four fabrics over the same fleet:
+//!
+//! * **full-mesh** — the pre-fabric baseline: every overlay link is a
+//!   direct wire (path stretch 1);
+//! * **line** — `n1–n2–n3–n4`: the cut edges transit n2;
+//! * **ring** — the line closed into a cycle: equal-hop detours exist,
+//!   the path engine picks deterministically;
+//! * **fat-tree-ish** — leaves `n1..n4` each wired to spines `s1`/`s2`
+//!   (lower-latency links): leaf-to-leaf goes via a spine.
+//!
+//! Per topology the sweep records the **path stretch** (overlay
+//! crossings per logical frame vs the mesh), the simulated end-to-end
+//! latency per frame, and the wall-clock shuttle time — and asserts
+//! the CI smoke invariant: every multi-hop fabric produces the *exact
+//! same egress* (node, port, payload) as the full mesh. Transit must
+//! route, never rewrite.
+//!
+//! Writes `BENCH_routing.json`.
+//!
+//! ```sh
+//! cargo run --release -p un-bench --bin routing_sweep
+//! ```
+
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+use un_core::UniversalNode;
+use un_domain::{DeployHints, Domain, DomainConfig, EdgeAttrs, Topology};
+use un_nffg::{Json, NfFg, NfFgBuilder};
+use un_packet::ethernet::MacAddr;
+use un_packet::{Packet, PacketBuilder};
+use un_sim::mem::mb;
+
+fn chain() -> NfFg {
+    NfFgBuilder::new("svc", "chain")
+        .interface_endpoint("lan", "eth0")
+        .interface_endpoint("wan", "eth1")
+        .nf("br1", "bridge", 2)
+        .nf("br2", "bridge", 2)
+        .chain("lan", &["br1", "br2"], "wan")
+        .build()
+}
+
+fn frame(seq: u32) -> Packet {
+    PacketBuilder::new()
+        .ethernet(MacAddr::local(1), MacAddr::local(2))
+        .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(192, 0, 2, 9))
+        .udp(5000, 5001)
+        .payload(&seq.to_be_bytes())
+        .build()
+}
+
+struct Fabric {
+    name: &'static str,
+    topology: Topology,
+    /// Spine nodes to add beyond the n1..n4 leaves.
+    spines: &'static [&'static str],
+}
+
+fn fabrics() -> Vec<Fabric> {
+    let leaf = EdgeAttrs::default();
+    let spine = EdgeAttrs {
+        latency_ns: 2_000,
+        ..EdgeAttrs::default()
+    };
+    let mut fat_tree = Topology::explicit();
+    for l in ["n1", "n2", "n3", "n4"] {
+        for s in ["s1", "s2"] {
+            fat_tree.add_edge(l, s, spine);
+        }
+    }
+    vec![
+        Fabric {
+            name: "full-mesh",
+            topology: Topology::full_mesh(),
+            spines: &[],
+        },
+        Fabric {
+            name: "line",
+            topology: Topology::line(&["n1", "n2", "n3", "n4"], leaf),
+            spines: &[],
+        },
+        Fabric {
+            name: "ring",
+            topology: Topology::ring(&["n1", "n2", "n3", "n4"], leaf),
+            spines: &[],
+        },
+        Fabric {
+            name: "fat-tree",
+            topology: fat_tree,
+            spines: &["s1", "s2"],
+        },
+    ]
+}
+
+struct Measured {
+    egress: Vec<(String, String, Vec<u8>)>,
+    links: usize,
+    avg_path_hops: f64,
+    overlay_hops: u32,
+    cost_ns_per_frame: f64,
+    wall_us: f64,
+    transit_nodes: usize,
+}
+
+fn run(fabric: &Fabric, frames: usize) -> Measured {
+    let mut d = Domain::new(DomainConfig {
+        topology: fabric.topology.clone(),
+        ..DomainConfig::default()
+    });
+    for name in ["n1", "n2", "n3", "n4"] {
+        let mut n = UniversalNode::new(name, mb(2048));
+        if name == "n1" {
+            n.add_physical_port("eth0");
+        }
+        if name == "n3" {
+            n.add_physical_port("eth1");
+        }
+        d.add_node(n);
+    }
+    for name in fabric.spines {
+        d.add_node(UniversalNode::new(name, mb(2048)));
+    }
+    let hints = DeployHints {
+        nf_node: [
+            ("br1".to_string(), "n1".to_string()),
+            ("br2".to_string(), "n3".to_string()),
+        ]
+        .into(),
+        ..DeployHints::default()
+    };
+    d.deploy_with(&chain(), &hints).expect("chain deploys");
+
+    let partition = d.partition_of("svc").expect("deployed");
+    let links = partition.links.len();
+    let total_hops: usize = partition
+        .links
+        .iter()
+        .map(|l| d.link_path(l.vid).expect("routed").len() - 1)
+        .sum();
+    let transit_nodes = partition
+        .parts
+        .values()
+        .filter(|p| p.nfs.is_empty() && p.endpoints.iter().all(|e| e.id.starts_with("ovl-")))
+        .count();
+
+    let ingress: Vec<(String, String, Packet)> = (0..frames)
+        .map(|i| ("n1".to_string(), "eth0".to_string(), frame(i as u32)))
+        .collect();
+    let start = Instant::now();
+    let io = d.inject_batch(ingress, 1);
+    let wall_us = start.elapsed().as_secs_f64() * 1e6;
+    assert_eq!(
+        io.emitted.len(),
+        frames,
+        "{}: every frame must egress",
+        fabric.name
+    );
+
+    let mut egress: Vec<(String, String, Vec<u8>)> = io
+        .emitted
+        .iter()
+        .map(|(n, p, pkt)| (n.to_string(), p.to_string(), pkt.data().to_vec()))
+        .collect();
+    egress.sort();
+    Measured {
+        egress,
+        links,
+        avg_path_hops: total_hops as f64 / links.max(1) as f64,
+        overlay_hops: io.overlay_hops,
+        cost_ns_per_frame: io.cost.as_nanos() as f64 / frames as f64,
+        wall_us,
+        transit_nodes,
+    }
+}
+
+fn main() {
+    let frames: usize = std::env::var("UN_ROUTING_FRAMES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000);
+    println!("Routing sweep: {frames} frames per fabric, chain split n1 → n3\n");
+    println!(
+        "{:<10} {:>6} {:>10} {:>8} {:>13} {:>14} {:>9}",
+        "fabric", "links", "path-hops", "transit", "overlay-hops", "cost-ns/frame", "wall-us"
+    );
+
+    let fabrics = fabrics();
+    let mut rows: Vec<Json> = Vec::new();
+    let mut baseline: Option<Measured> = None;
+    for fabric in &fabrics {
+        let m = run(fabric, frames);
+        if let Some(mesh) = &baseline {
+            // The CI smoke invariant: multi-hop egress ≡ full-mesh
+            // egress, frame for frame.
+            assert_eq!(
+                m.egress, mesh.egress,
+                "{}: egress must match the full mesh",
+                fabric.name
+            );
+            assert!(
+                m.avg_path_hops >= mesh.avg_path_hops,
+                "{}: stretch below 1",
+                fabric.name
+            );
+        } else {
+            assert_eq!(m.avg_path_hops, 1.0, "mesh paths are direct");
+            assert_eq!(m.transit_nodes, 0);
+        }
+        let stretch = baseline
+            .as_ref()
+            .map_or(1.0, |mesh| m.overlay_hops as f64 / mesh.overlay_hops as f64);
+        println!(
+            "{:<10} {:>6} {:>10.1} {:>8} {:>13} {:>14.0} {:>9.0}",
+            fabric.name,
+            m.links,
+            m.avg_path_hops,
+            m.transit_nodes,
+            m.overlay_hops,
+            m.cost_ns_per_frame,
+            m.wall_us,
+        );
+        rows.push(
+            Json::obj()
+                .set("fabric", fabric.name)
+                .set("overlay_links", m.links)
+                .set("avg_path_hops", m.avg_path_hops)
+                .set("path_stretch", stretch)
+                .set("transit_nodes", m.transit_nodes)
+                .set("overlay_hops", m.overlay_hops)
+                .set("cost_ns_per_frame", m.cost_ns_per_frame)
+                .set("wall_us", m.wall_us)
+                .set("egress_frames", m.egress.len()),
+        );
+        if baseline.is_none() {
+            baseline = Some(m);
+        }
+    }
+
+    let json = Json::obj()
+        .set("scenario", "split chain n1→n3, four fabrics, same fleet")
+        .set("frames", frames)
+        .set("topologies", Json::Arr(rows));
+    std::fs::write("BENCH_routing.json", json.render_pretty()).expect("write BENCH_routing.json");
+    println!("\nwrote BENCH_routing.json");
+}

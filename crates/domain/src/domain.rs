@@ -28,7 +28,7 @@
 //! preserved, links rewired vs kept, nodes touched).
 
 use std::cmp::Reverse;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -40,11 +40,14 @@ use un_nffg::{validate, NfFg, ValidationError};
 use un_packet::Packet;
 use un_sim::{Cost, DetRng, SimTime, TraceLog};
 
-use crate::partition::{partition, OverlayLink, Partition, PartitionError};
+use crate::partition::{install_transit, partition, OverlayLink, Partition, PartitionError};
 use crate::placement::{assign, assign_endpoints, NodeView, PlaceError, PlacementStrategy};
+use crate::topology::Topology;
 
-/// First VLAN id of the overlay pool (up to 4094 inclusive).
+/// Default first VLAN id of the overlay pool (up to 4094 inclusive).
 const OVERLAY_VID_BASE: u16 = 3000;
+/// Last valid VLAN id usable by the overlay pool.
+const OVERLAY_VID_MAX: u16 = 4094;
 
 /// Domain-wide settings.
 #[derive(Debug, Clone)]
@@ -54,8 +57,20 @@ pub struct DomainConfig {
     /// Protect overlay frames with ESP (encrypt on egress, verify on
     /// ingress) while crossing between nodes.
     pub protect_overlay: bool,
-    /// Propagation + switching cost of one overlay hop.
+    /// The fabric topology: which nodes are directly wired. The
+    /// default full mesh keeps every overlay path single-hop; an
+    /// explicit topology makes the path engine route cut edges over
+    /// shortest paths, installing transit rules on intermediate
+    /// nodes. Read at plan time — deployed graphs keep the paths they
+    /// were routed with until the next update/repair re-plans them.
+    pub topology: Topology,
+    /// Propagation + switching cost of one overlay hop (explicit
+    /// topology edges carry their own per-edge latency instead).
     pub overlay_link_ns: u64,
+    /// First VLAN id of the overlay pool (pool runs to 4094
+    /// inclusive). Lets operators reserve part of the VLAN space —
+    /// and lets tests exhaust the pool cheaply.
+    pub overlay_vid_base: u16,
     /// Fixed ESP cost per protected frame (each direction).
     pub esp_fixed_ns: u64,
     /// Per-byte ESP cost (each direction), in nanoseconds.
@@ -91,7 +106,9 @@ impl Default for DomainConfig {
         DomainConfig {
             fabric_port: "fab0".to_string(),
             protect_overlay: false,
+            topology: Topology::full_mesh(),
             overlay_link_ns: 5_000,
+            overlay_vid_base: OVERLAY_VID_BASE,
             esp_fixed_ns: 700,
             esp_ns_per_byte: 2.0,
             heartbeat_timeout_ns: 3_000_000_000, // 3 virtual seconds
@@ -130,6 +147,17 @@ pub enum DomainError {
     Place(PlaceError),
     /// Graph partitioning failed.
     Partition(PartitionError),
+    /// The overlay VLAN id pool (`overlay_vid_base..=4094`) has no
+    /// free id left for a new cut edge.
+    VidPoolExhausted,
+    /// The fabric topology offers no usable path between two nodes
+    /// that a cut edge must connect.
+    NoRoute {
+        /// Node hosting the sending side.
+        from: String,
+        /// Node hosting the receiving side.
+        to: String,
+    },
     /// A node rejected its part.
     Deploy {
         /// The node that failed.
@@ -157,6 +185,12 @@ impl fmt::Display for DomainError {
             DomainError::NoSuchNode(n) => write!(f, "no such node '{n}'"),
             DomainError::Place(e) => write!(f, "placement: {e}"),
             DomainError::Partition(e) => write!(f, "partition: {e}"),
+            DomainError::VidPoolExhausted => {
+                write!(f, "overlay VLAN id pool exhausted (base..=4094 all in use)")
+            }
+            DomainError::NoRoute { from, to } => {
+                write!(f, "no fabric path from '{from}' to '{to}'")
+            }
             DomainError::Deploy { node, error } => write!(f, "deploy on '{node}': {error}"),
         }
     }
@@ -280,6 +314,11 @@ struct ManagedNode {
 struct LinkState {
     link: OverlayLink,
     graph: String,
+    /// Pinned fabric path `[from_node, …, to_node]` this link rides;
+    /// length two when the nodes are adjacent (every full-mesh link).
+    path: Vec<String>,
+    /// Cost of each path hop, in ns (`path.len() - 1` entries).
+    hop_latency_ns: Vec<u64>,
     /// Outbound + inbound SA pair protecting this wire (ESP mode).
     sas: Option<Box<(SecurityAssociation, SecurityAssociation)>>,
     packets: u64,
@@ -301,6 +340,8 @@ struct Plan {
     assignment: BTreeMap<String, String>,
     endpoints: BTreeMap<String, String>,
     partition: Partition,
+    /// Fabric path per overlay link vid (`[from, …, to]`).
+    paths: BTreeMap<u16, Vec<String>>,
 }
 
 /// VLAN-id reuse directives for re-planning a live graph. Keys are
@@ -366,7 +407,11 @@ pub struct Domain {
     graphs: BTreeMap<String, DomainGraph>,
     /// Graphs lost in a failure that no surviving fleet could host.
     pending: BTreeMap<String, (NfFg, DeployHints)>,
-    links: BTreeMap<u16, LinkState>,
+    /// Overlay link state, each behind its own lock so the data-plane
+    /// shuttle can share the map across workers without building
+    /// per-call wrappers (the control plane goes through `get_mut`,
+    /// which is lock-free on `&mut self`).
+    links: BTreeMap<u16, Mutex<LinkState>>,
     free_vids: Vec<u16>,
     next_vid: u16,
     clock: SimTime,
@@ -377,6 +422,7 @@ pub struct Domain {
 impl Domain {
     /// An empty domain with the given settings.
     pub fn new(config: DomainConfig) -> Self {
+        let next_vid = config.overlay_vid_base;
         Domain {
             config,
             nodes: BTreeMap::new(),
@@ -384,7 +430,7 @@ impl Domain {
             pending: BTreeMap::new(),
             links: BTreeMap::new(),
             free_vids: Vec::new(),
-            next_vid: OVERLAY_VID_BASE,
+            next_vid,
             clock: SimTime::ZERO,
             trace: TraceLog::new(4096),
         }
@@ -685,12 +731,21 @@ impl Domain {
         mut reuse: VidReuse,
     ) -> Result<Plan, DomainError> {
         let views = self.views();
+        let serving: BTreeSet<String> = views
+            .iter()
+            .filter(|v| v.alive)
+            .map(|v| v.name.clone())
+            .collect();
         let mut merged_ep_pins = hints.endpoint_node.clone();
         merged_ep_pins.extend(ep_pins.clone());
         let endpoint_node = assign_endpoints(graph, &views, &merged_ep_pins)?;
         let estimates = self.estimates(graph);
         let mut merged_pins = hints.nf_node.clone();
         merged_pins.extend(nf_pins.clone());
+        // Hop distances feed the scorer's path-length term; `None` in
+        // full-mesh mode (every pair is one hop — skip the O(n²)
+        // matrix on big fleets).
+        let fabric_hops = self.config.topology.hop_matrix(&serving);
         let assignment = assign(
             graph,
             &views,
@@ -698,10 +753,11 @@ impl Domain {
             &endpoint_node,
             &merged_pins,
             hints.strategy.unwrap_or(self.config.strategy),
+            fabric_hops.as_ref(),
         )?;
         // Reserve VLAN ids (fresh ones only; reused ids stay owned by
         // the live deployment); fresh ids return to the pool if
-        // installation fails.
+        // routing or installation fails.
         let fabric = self.config.fabric_port.clone();
         let mut taken: Vec<u16> = Vec::new();
         let part = {
@@ -712,7 +768,7 @@ impl Domain {
                     return Some(vid);
                 }
                 let vid = free_vids.pop().or_else(|| {
-                    if *next_vid > 4094 {
+                    if *next_vid > OVERLAY_VID_MAX {
                         None
                     } else {
                         let v = *next_vid;
@@ -725,17 +781,61 @@ impl Domain {
             };
             partition(graph, &assignment, &endpoint_node, &fabric, &mut alloc)
         };
-        match part {
-            Ok(part) => Ok(Plan {
-                assignment,
-                endpoints: endpoint_node,
-                partition: part,
-            }),
+        let mut part = match part {
+            Ok(part) => part,
             Err(e) => {
                 self.free_vids.extend(taken);
-                Err(e.into())
+                return Err(match e {
+                    PartitionError::VidExhausted => DomainError::VidPoolExhausted,
+                    other => other.into(),
+                });
+            }
+        };
+        // Route every cut edge over the fabric: shortest usable path
+        // per link (no path may touch a non-serving node). Multi-hop
+        // paths get transit rules installed on intermediate nodes.
+        let usable = |n: &str| serving.contains(n);
+        let mut paths: BTreeMap<u16, Vec<String>> = BTreeMap::new();
+        for link in &part.links {
+            match self
+                .config
+                .topology
+                .shortest_path(&link.from_node, &link.to_node, &usable)
+            {
+                Some(path) => {
+                    paths.insert(link.vid, path);
+                }
+                None => {
+                    self.free_vids.extend(taken);
+                    return Err(DomainError::NoRoute {
+                        from: link.from_node.clone(),
+                        to: link.to_node.clone(),
+                    });
+                }
             }
         }
+        install_transit(graph, &mut part.parts, &part.links, &paths, &fabric);
+        Ok(Plan {
+            assignment,
+            endpoints: endpoint_node,
+            partition: part,
+            paths,
+        })
+    }
+
+    /// Per-hop cost of one routed path: explicit edges carry their own
+    /// latency, full-mesh (implicit) hops cost `overlay_link_ns`. (A
+    /// routed path in explicit mode only ever walks explicit edges, so
+    /// the default fires exactly for implicit full-mesh hops.)
+    fn hop_latencies(&self, path: &[String]) -> Vec<u64> {
+        path.windows(2)
+            .map(|w| {
+                self.config
+                    .topology
+                    .edge(&w[0], &w[1])
+                    .map_or(self.config.overlay_link_ns, |e| e.latency_ns)
+            })
+            .collect()
     }
 
     /// Deploy the parts of a planned graph; rolls back on failure.
@@ -749,6 +849,7 @@ impl Domain {
             assignment,
             endpoints,
             partition: part,
+            paths,
         } = plan;
         let mut per_node: Vec<(String, DeployReport)> = Vec::new();
         let mut deployed: Vec<String> = Vec::new();
@@ -777,7 +878,7 @@ impl Domain {
             }
         }
         // Stitch the overlay.
-        self.register_links(&graph.id, &part.links);
+        self.register_links(&graph.id, &part.links, &paths);
         let report = DomainReport {
             graph: graph.id.clone(),
             per_node,
@@ -797,22 +898,35 @@ impl Domain {
     }
 
     /// Register overlay link state (deriving SA pairs in ESP mode) for
-    /// a graph's freshly partitioned links.
-    fn register_links(&mut self, graph_id: &str, links: &[OverlayLink]) {
+    /// a graph's freshly partitioned links, pinning each to its routed
+    /// fabric path.
+    fn register_links(
+        &mut self,
+        graph_id: &str,
+        links: &[OverlayLink],
+        paths: &BTreeMap<u16, Vec<String>>,
+    ) {
         for link in links {
             let sas = self
                 .config
                 .protect_overlay
                 .then(|| Box::new(derive_link_sas(self.config.seed, link)));
+            let path = paths
+                .get(&link.vid)
+                .cloned()
+                .unwrap_or_else(|| vec![link.from_node.clone(), link.to_node.clone()]);
+            let hop_latency_ns = self.hop_latencies(&path);
             self.links.insert(
                 link.vid,
-                LinkState {
+                Mutex::new(LinkState {
                     link: link.clone(),
                     graph: graph_id.to_string(),
+                    path,
+                    hop_latency_ns,
                     sas,
                     packets: 0,
                     bytes: 0,
-                },
+                }),
             );
         }
         self.trace.count("overlay_links_up", links.len() as u64);
@@ -900,6 +1014,7 @@ impl Domain {
             assignment,
             endpoints,
             partition: part,
+            paths,
         } = plan;
 
         // Reconcile per node.
@@ -969,7 +1084,7 @@ impl Domain {
                 self.free_vids.push(vid);
             }
         }
-        self.register_links(&graph.id, &part.links);
+        self.register_links(&graph.id, &part.links, &paths);
         let overlay_links = part.links.len();
         self.graphs.insert(
             graph.id.clone(),
@@ -1238,13 +1353,16 @@ impl Domain {
             self.trace.count("repairs_rolled_back", 1);
             return Err(err);
         }
-        // Survivor parts that lost their last NF/endpoint (cannot
-        // happen with pins honored, but stay defensive).
+        // Serving nodes whose part disappeared from the plan: a
+        // transit-only node loses its part when the rerouted (or
+        // collapsed) path no longer crosses it. The undeploy is a node
+        // call, so it counts toward the blast radius.
         for node_name in entry.partition.parts.keys() {
             if !plan.partition.parts.contains_key(node_name) {
                 if let Some(m) = self.nodes.get_mut(node_name) {
                     if m.health.is_serving() {
                         let _ = m.node.undeploy(gid);
+                        nodes_touched += 1;
                     }
                 }
             }
@@ -1254,8 +1372,9 @@ impl Domain {
         // longer uses. Surviving vids keep their `LinkState` in place —
         // packet/byte counters and SA material (incl. replay windows)
         // carry across the repair, honoring the survivor-untouched
-        // contract — with only the peer routing updated for inherited
-        // wires; genuinely new vids register fresh.
+        // contract — with the peer routing and the pinned fabric path
+        // updated (a kept wire may have been rerouted around the dead
+        // node); genuinely new vids register fresh.
         let kept: std::collections::BTreeSet<u16> =
             plan.partition.links.iter().map(|l| l.vid).collect();
         for link in &entry.partition.links {
@@ -1264,20 +1383,39 @@ impl Domain {
                 self.free_vids.push(link.vid);
             }
         }
+        let mut rerouted: Vec<(u16, Vec<String>)> = Vec::new();
         let fresh: Vec<OverlayLink> = plan
             .partition
             .links
             .iter()
             .filter(|link| match self.links.get_mut(&link.vid) {
                 Some(state) => {
+                    let state = state.get_mut().expect("link lock poisoned");
                     state.link = (*link).clone();
+                    if let Some(path) = plan.paths.get(&link.vid) {
+                        if state.path != *path {
+                            rerouted.push((link.vid, path.clone()));
+                        }
+                    }
                     false
                 }
                 None => true,
             })
             .cloned()
             .collect();
-        self.register_links(gid, &fresh);
+        for (vid, path) in rerouted {
+            let lats = self.hop_latencies(&path);
+            let state = self
+                .links
+                .get_mut(&vid)
+                .expect("kept above")
+                .get_mut()
+                .expect("link lock poisoned");
+            state.path = path;
+            state.hop_latency_ns = lats;
+            self.trace.count("overlay_paths_rerouted", 1);
+        }
+        self.register_links(gid, &fresh, &plan.paths);
 
         let old_by_vid: BTreeMap<u16, &OverlayLink> =
             entry.partition.links.iter().map(|l| (l.vid, l)).collect();
@@ -1402,11 +1540,12 @@ impl Domain {
     /// domain until every resulting frame left on a real egress.
     ///
     /// Thin wrapper over [`Domain::inject_batch`] with a one-frame
-    /// burst and a single worker. Each call pays the shuttle's
-    /// per-call setup (an O(fleet) reference map plus O(links) lock
-    /// wrappers — pointer work, no per-node allocation); high-rate
-    /// callers should batch frames into `inject_batch` instead, which
-    /// amortizes that setup across the whole burst.
+    /// burst and a single worker. The shuttle's per-call setup is
+    /// O(touched nodes), not O(fleet): node state is claimed lazily
+    /// from the fleet map and link locks live on the domain itself, so
+    /// a single-frame inject on a large fleet costs a handful of map
+    /// lookups. High-rate callers should still batch frames into
+    /// `inject_batch`, which amortizes even that across the burst.
     pub fn inject(&mut self, node: &str, port: &str, pkt: Packet) -> DomainIo {
         self.inject_batch(vec![(node.to_string(), port.to_string(), pkt)], 1)
     }
@@ -1437,16 +1576,22 @@ impl Domain {
         let mut io = DomainIo::default();
         let ttl = self.config.overlay_ttl.max(1);
         let fabric = self.config.fabric_port.clone();
-        let overlay_link_ns = self.config.overlay_link_ns;
         let esp_fixed_ns = self.config.esp_fixed_ns;
         let esp_ns_per_byte = self.config.esp_ns_per_byte;
+        // Disjoint field borrows: the shuttle shares `links` (each
+        // entry is its own lock, hoisted onto the domain so no per-call
+        // wrapper map is built) immutably across workers while the
+        // fleet map is claimed node-by-node through the pool.
+        let nodes = &mut self.nodes;
+        let links = &self.links;
+        let trace = &mut self.trace;
 
         // One cell per *touched* node; the cell owns the node state
-        // while no worker is driving it. Untouched nodes stay as bare
-        // references in `spare`, so a single-frame inject on a large
-        // fleet does no per-node interning or port resolution.
-        struct NodeCell<'a> {
-            managed: Option<&'a mut ManagedNode>,
+        // while no worker is driving it. Untouched nodes stay in the
+        // fleet map itself — a single-frame inject pays O(log fleet)
+        // lookups for the nodes it crosses, nothing per-fleet-member.
+        struct NodeCell {
+            managed: Option<ManagedNode>,
             fabric_id: Option<PortId>,
             name: Name,
             /// Pending bursts keyed by remaining TTL, freshest first.
@@ -1454,30 +1599,40 @@ impl Domain {
             queued: usize,
         }
 
-        fn make_cell<'a>(managed: &'a mut ManagedNode, fabric: &str) -> NodeCell<'a> {
-            NodeCell {
-                fabric_id: managed.node.port_id(fabric),
-                name: Name::new(&managed.node.name),
-                managed: Some(managed),
-                pending: BTreeMap::new(),
-                queued: 0,
-            }
+        /// Why a node has no claimable cell.
+        #[derive(Clone, Copy)]
+        enum CellMiss {
+            Unknown,
+            Dead,
         }
 
         struct Pool<'a> {
-            cells: BTreeMap<&'a str, NodeCell<'a>>,
-            spare: BTreeMap<&'a str, &'a mut ManagedNode>,
+            cells: BTreeMap<String, NodeCell>,
+            nodes: &'a mut BTreeMap<String, ManagedNode>,
         }
 
-        impl<'a> Pool<'a> {
-            /// The cell for `node`, creating it from `spare` on first
-            /// touch. `None` when the node is unknown or failed.
-            fn cell(&mut self, node: &str, fabric: &str) -> Option<&mut NodeCell<'a>> {
+        impl Pool<'_> {
+            /// The cell for `node`, claiming it out of the fleet map on
+            /// first touch. Suspect nodes keep forwarding: they are
+            /// slow, not dead.
+            fn cell(&mut self, node: &str, fabric: &str) -> Result<&mut NodeCell, CellMiss> {
                 if !self.cells.contains_key(node) {
-                    let (key, managed) = self.spare.remove_entry(node)?;
-                    self.cells.insert(key, make_cell(managed, fabric));
+                    match self.nodes.get(node) {
+                        None => return Err(CellMiss::Unknown),
+                        Some(m) if m.health == NodeHealth::Failed => return Err(CellMiss::Dead),
+                        Some(_) => {}
+                    }
+                    let (key, managed) = self.nodes.remove_entry(node).expect("checked above");
+                    let cell = NodeCell {
+                        fabric_id: managed.node.port_id(fabric),
+                        name: Name::new(&managed.node.name),
+                        managed: Some(managed),
+                        pending: BTreeMap::new(),
+                        queued: 0,
+                    };
+                    self.cells.insert(key, cell);
                 }
-                self.cells.get_mut(node)
+                Ok(self.cells.get_mut(node).expect("inserted above"))
             }
         }
 
@@ -1497,31 +1652,24 @@ impl Domain {
             }
         }
 
-        let mut dead: Vec<&str> = Vec::new();
         let mut state = Pool {
             cells: BTreeMap::new(),
-            spare: BTreeMap::new(),
+            nodes,
         };
-        for (name, managed) in self.nodes.iter_mut() {
-            // Suspect nodes keep forwarding: they are slow, not dead.
-            if managed.health == NodeHealth::Failed {
-                dead.push(name);
-                continue;
-            }
-            state.spare.insert(name.as_str(), managed);
-        }
 
         // Seed the ingress queues, resolving each port name once.
         let mut seeded = 0usize;
-        let mut seed_counts: Vec<(&'static str, u64)> = Vec::new();
         for (node, port, pkt) in ingress {
-            let Some(cell) = state.cell(node.as_str(), &fabric) else {
-                seed_counts.push(if dead.iter().any(|d| *d == node) {
-                    ("inject_dead_node", 1)
-                } else {
-                    ("inject_unknown_node", 1)
-                });
-                continue;
+            let cell = match state.cell(node.as_str(), &fabric) {
+                Ok(cell) => cell,
+                Err(CellMiss::Dead) => {
+                    trace.count("inject_dead_node", 1);
+                    continue;
+                }
+                Err(CellMiss::Unknown) => {
+                    trace.count("inject_unknown_node", 1);
+                    continue;
+                }
             };
             let managed = cell.managed.as_mut().expect("no worker running yet");
             let Some(pid) = managed.node.port_id(&port) else {
@@ -1535,14 +1683,10 @@ impl Domain {
             cell.queued += 1;
             seeded += 1;
         }
-        for (name, n) in seed_counts {
-            self.trace.count(name, n);
-        }
-        if seeded == 0 {
-            return io;
-        }
 
         let pool = Mutex::new(state);
+        // Even a fully mis-addressed burst must hand claimed node state
+        // back to the fleet map, so the restore below runs regardless.
         let in_flight = AtomicUsize::new(seeded);
         // Last-resort bound on total overlay crossings per call:
         // single-path traffic needs at most `seeded × ttl` (each frame
@@ -1568,12 +1712,6 @@ impl Domain {
                 }
             }
         }
-        let links: BTreeMap<u16, Mutex<&mut LinkState>> = self
-            .links
-            .iter_mut()
-            .map(|(vid, s)| (*vid, Mutex::new(s)))
-            .collect();
-
         let work_ready = std::sync::Condvar::new();
 
         let drain = || -> WorkerOut {
@@ -1612,7 +1750,7 @@ impl Domain {
                             .0;
                     }
                 };
-                let Some((name, managed, ttl_left, burst)) = job else {
+                let Some((name, mut managed, ttl_left, burst)) = job else {
                     break;
                 };
                 let consumed = burst.len();
@@ -1651,20 +1789,41 @@ impl Domain {
                     let peer: String;
                     {
                         let mut state = link_mx.lock().expect("link lock poisoned");
-                        peer = if state.link.from_node == name.as_str() {
-                            state.link.to_node.clone()
-                        } else if state.link.to_node == name.as_str() {
-                            state.link.from_node.clone()
-                        } else {
-                            out.count("overlay_foreign_drop", n);
-                            continue;
+                        // Advance along the pinned path: the emitting
+                        // node's successor is the next hop. On a
+                        // two-node path a frame emitted by the tail
+                        // walks back to the head (the old peer
+                        // semantics, defensive — links deliver at the
+                        // tail, they don't send from it); on a longer
+                        // path a tail emission has no forward hop and
+                        // would ping-pong against the last transit
+                        // node, so it drops as foreign instead.
+                        let pos = state.path.iter().position(|p| p == name.as_str());
+                        let (next_idx, hop_idx) = match pos {
+                            Some(i) if i + 1 < state.path.len() => (i + 1, i),
+                            Some(1) if state.path.len() == 2 => (0, 0),
+                            _ => {
+                                out.count("overlay_foreign_drop", n);
+                                continue;
+                            }
                         };
+                        peer = state.path[next_idx].clone();
+                        let entering = pos == Some(0);
+                        let hop_ns = state
+                            .hop_latency_ns
+                            .get(hop_idx)
+                            .copied()
+                            .unwrap_or_default();
                         for pkt in frames {
                             let len = pkt.len();
-                            state.packets += 1;
-                            state.bytes += len as u64;
+                            if entering {
+                                // Wire counters count logical frames,
+                                // not transit hops.
+                                state.packets += 1;
+                                state.bytes += len as u64;
+                            }
                             out.overlay_hops += 1;
-                            out.cost += Cost::from_nanos(overlay_link_ns);
+                            out.cost += Cost::from_nanos(hop_ns);
                             if let Some(sas) = state.sas.as_deref_mut() {
                                 // Protect the wire: real ESP seal on
                                 // egress, real verify+open on ingress. A
@@ -1710,16 +1869,18 @@ impl Domain {
                         continue;
                     }
                     let mut pool = pool.lock().expect("shuttle pool poisoned");
-                    let Some(cell) = pool.cell(peer.as_str(), &fabric) else {
-                        out.count(
-                            if dead.contains(&peer.as_str()) {
-                                "inject_dead_node"
-                            } else {
-                                "inject_unknown_node"
-                            },
-                            k as u64,
-                        );
-                        continue;
+                    let cell = match pool.cell(peer.as_str(), &fabric) {
+                        Ok(cell) => cell,
+                        Err(miss) => {
+                            out.count(
+                                match miss {
+                                    CellMiss::Dead => "inject_dead_node",
+                                    CellMiss::Unknown => "inject_unknown_node",
+                                },
+                                k as u64,
+                            );
+                            continue;
+                        }
                     };
                     let Some(fid) = cell.fabric_id else {
                         out.count("overlay_unroutable_drop", k as u64);
@@ -1754,15 +1915,22 @@ impl Domain {
                     .collect()
             })
         };
-        drop(links);
-        drop(pool);
+        // Return claimed node state to the fleet map. (If a worker
+        // panicked, the expect above already propagated it — a node
+        // in flight at that instant is lost with the call.)
+        let state = pool.into_inner().expect("shuttle pool poisoned");
+        for (name, cell) in state.cells {
+            if let Some(managed) = cell.managed {
+                state.nodes.insert(name, managed);
+            }
+        }
         for mut worker in outs.drain(..) {
             io.emitted.append(&mut worker.emitted);
             io.cost += worker.cost;
             io.overlay_hops += worker.overlay_hops;
             io.protected_bytes += worker.protected_bytes;
             for (name, n) in worker.counters {
-                self.trace.count(name, n);
+                trace.count(name, n);
             }
         }
         io
@@ -1777,6 +1945,7 @@ impl Domain {
         self.links
             .values()
             .map(|s| {
+                let s = s.lock().expect("link lock poisoned");
                 (
                     s.link.vid,
                     s.graph.clone(),
@@ -1787,6 +1956,75 @@ impl Domain {
                 )
             })
             .collect()
+    }
+
+    /// The pinned fabric path of one overlay link (`[from, …, to]`).
+    pub fn link_path(&self, vid: u16) -> Option<Vec<String>> {
+        self.links
+            .get(&vid)
+            .map(|s| s.lock().expect("link lock poisoned").path.clone())
+    }
+
+    /// Overlay VLAN id accounting: `(base, next, free, in_use)`. Every
+    /// id in `base..next` is either free or in use, exactly once — the
+    /// chaos suite holds that as an invariant after every operation.
+    pub fn vid_accounting(&self) -> (u16, u16, Vec<u16>, Vec<u16>) {
+        let mut free = self.free_vids.clone();
+        free.sort_unstable();
+        let in_use: Vec<u16> = self.links.keys().copied().collect();
+        (self.config.overlay_vid_base, self.next_vid, free, in_use)
+    }
+
+    /// The fabric topology document: mode, explicit edges, and the
+    /// pinned path of every live overlay link.
+    pub fn topology_doc(&self) -> un_nffg::Json {
+        use un_nffg::Json;
+        let topo = &self.config.topology;
+        Json::obj()
+            .set(
+                "mode",
+                if topo.is_full_mesh() {
+                    "full-mesh"
+                } else {
+                    "explicit"
+                },
+            )
+            .set(
+                "edges",
+                Json::Arr(
+                    topo.edge_list()
+                        .into_iter()
+                        .map(|(a, b, attrs)| {
+                            Json::obj()
+                                .set("a", a.as_str())
+                                .set("b", b.as_str())
+                                .set("latency-ns", attrs.latency_ns)
+                                .set("capacity-bps", attrs.capacity_bps)
+                        })
+                        .collect(),
+                ),
+            )
+            .set(
+                "paths",
+                Json::Arr(
+                    self.links
+                        .values()
+                        .map(|s| {
+                            let s = s.lock().expect("link lock poisoned");
+                            Json::obj()
+                                .set("vid", s.link.vid)
+                                .set("graph", s.graph.as_str())
+                                .set(
+                                    "path",
+                                    Json::Arr(
+                                        s.path.iter().map(|n| Json::from(n.as_str())).collect(),
+                                    ),
+                                )
+                                .set("hops", s.path.len().saturating_sub(1))
+                        })
+                        .collect(),
+                ),
+            )
     }
 
     /// The domain's self-description as a JSON document.
@@ -1856,11 +2094,18 @@ impl Domain {
                     self.links
                         .values()
                         .map(|s| {
+                            let s = s.lock().expect("link lock poisoned");
                             Json::obj()
                                 .set("vid", s.link.vid)
                                 .set("graph", s.graph.as_str())
                                 .set("from", s.link.from_node.as_str())
                                 .set("to", s.link.to_node.as_str())
+                                .set(
+                                    "path",
+                                    Json::Arr(
+                                        s.path.iter().map(|n| Json::from(n.as_str())).collect(),
+                                    ),
+                                )
                                 .set("protected", s.sas.is_some())
                                 .set("packets", s.packets)
                                 .set("bytes", s.bytes)

@@ -9,6 +9,7 @@ use un_sim::mem::mb;
 use un_sim::SimTime;
 
 use super::*;
+use crate::topology::EdgeAttrs;
 use crate::PlacementStrategy;
 
 fn two_node_domain() -> Domain {
@@ -821,6 +822,332 @@ fn batch_ingress_to_unknown_and_dead_nodes_is_counted() {
     assert!(io.emitted.is_empty());
     assert_eq!(d.trace.counter("inject_unknown_node"), 1);
     assert_eq!(d.trace.counter("inject_dead_node"), 1);
+}
+
+/// A line fleet `n1 – n2 – n3`: eth0 on n1, eth1 on n3, chain split
+/// br1@n1 / br2@n3, so both overlay links must transit n2.
+fn line_domain(protect_overlay: bool) -> Domain {
+    let mut d = Domain::new(DomainConfig {
+        topology: Topology::line(&["n1", "n2", "n3"], EdgeAttrs::default()),
+        protect_overlay,
+        ..DomainConfig::default()
+    });
+    let mut n1 = UniversalNode::new("n1", mb(2048));
+    n1.add_physical_port("eth0");
+    let n2 = UniversalNode::new("n2", mb(2048));
+    let mut n3 = UniversalNode::new("n3", mb(2048));
+    n3.add_physical_port("eth1");
+    d.add_node(n1);
+    d.add_node(n2);
+    d.add_node(n3);
+    d
+}
+
+fn far_hints() -> DeployHints {
+    DeployHints {
+        nf_node: [
+            ("br1".to_string(), "n1".to_string()),
+            ("br2".to_string(), "n3".to_string()),
+        ]
+        .into(),
+        ..DeployHints::default()
+    }
+}
+
+#[test]
+fn line_topology_routes_cut_edge_through_transit_node() {
+    let mut d = line_domain(false);
+    let report = d.deploy_with(&split_bridge_chain(), &far_hints()).unwrap();
+    assert_eq!(report.overlay_links, 2, "fwd + rev cut");
+    // n2 hosts a transit-only part: no NFs, one endpoint + one
+    // forwarding rule per link riding through it.
+    let part = &d.partition_of("g1").unwrap().parts["n2"];
+    assert!(part.nfs.is_empty(), "transit part must host no NFs");
+    assert_eq!(part.endpoints.len(), 2);
+    assert_eq!(part.flow_rules.len(), 2);
+    assert!(part.flow_rules.iter().all(|r| r.id.ends_with("-transit")));
+    assert!(d
+        .node("n2")
+        .unwrap()
+        .graph_ids()
+        .contains(&"g1".to_string()));
+    // Both links are pinned to the 3-node path.
+    for (vid, ..) in d.link_stats() {
+        let path = d.link_path(vid).unwrap();
+        assert_eq!(path.len(), 3, "{path:?}");
+        assert_eq!(path[1], "n2");
+    }
+
+    // Traffic crosses two fabric hops per direction and still egresses
+    // at the far end; the wire counters count logical frames, not hops.
+    let io = d.inject("n1", "eth0", frame());
+    assert_eq!(io.emitted.len(), 1, "{:?}", d.trace);
+    assert_eq!(io.emitted[0].0, "n3");
+    assert_eq!(io.emitted[0].1, "eth1");
+    assert_eq!(io.overlay_hops, 2, "n1→n2 and n2→n3");
+    let fwd = d
+        .link_stats()
+        .into_iter()
+        .find(|(_, _, from, ..)| from == "n1")
+        .unwrap();
+    assert_eq!(fwd.4, 1, "one logical frame on the n1→n3 wire");
+    // Reverse direction works symmetrically.
+    let io = d.inject("n3", "eth1", frame());
+    assert_eq!(io.emitted.len(), 1);
+    assert_eq!(io.emitted[0].0, "n1");
+    assert_eq!(io.overlay_hops, 2);
+}
+
+#[test]
+fn multi_hop_egress_matches_full_mesh_egress() {
+    // Same logical graph, one domain full-mesh (n1/n2), one on a line
+    // with a transit middle. Payloads out must be identical.
+    let mut mesh = two_node_domain();
+    let mut line = line_domain(false);
+    let mesh_hints = DeployHints {
+        nf_node: [
+            ("br1".to_string(), "n1".to_string()),
+            ("br2".to_string(), "n2".to_string()),
+        ]
+        .into(),
+        ..DeployHints::default()
+    };
+    mesh.deploy_with(&split_bridge_chain(), &mesh_hints)
+        .unwrap();
+    line.deploy_with(&split_bridge_chain(), &far_hints())
+        .unwrap();
+    let a = mesh.inject("n1", "eth0", frame());
+    let b = line.inject("n1", "eth0", frame());
+    assert_eq!(a.emitted.len(), 1);
+    assert_eq!(b.emitted.len(), 1);
+    assert_eq!(
+        a.emitted[0].2.data(),
+        b.emitted[0].2.data(),
+        "transit must not alter payloads"
+    );
+    assert_eq!(a.emitted[0].1, b.emitted[0].1, "same egress interface");
+    assert!(b.overlay_hops > a.overlay_hops, "path stretch is visible");
+}
+
+#[test]
+fn esp_protection_covers_every_fabric_hop() {
+    let mut d = line_domain(true);
+    d.deploy_with(&split_bridge_chain(), &far_hints()).unwrap();
+    let io = d.inject("n1", "eth0", frame());
+    assert_eq!(io.emitted.len(), 1);
+    // Two hops, each sealed + verified: the protected byte count is
+    // twice what the wire itself carried (counted once per logical
+    // frame, at the head of the path).
+    let wire_bytes: u64 = d.link_stats().iter().map(|(.., bytes)| *bytes).sum();
+    assert!(wire_bytes > 0);
+    assert_eq!(io.protected_bytes, 2 * wire_bytes, "per-hop ESP");
+    assert_eq!(d.trace.counter("overlay_esp_verify_fail"), 0);
+}
+
+/// Diamond fabric n1–n2–n3 / n1–n4–n3: the pinned path rides n2; when
+/// n2 dies the repair must *reroute* the kept wires over n4 without
+/// moving any NF — and the transit-only casualty still counts as an
+/// affected graph with a visible blast radius.
+#[test]
+fn transit_node_failure_reroutes_kept_links() {
+    let mut topo = Topology::explicit();
+    topo.add_edge("n1", "n2", EdgeAttrs::default());
+    topo.add_edge("n2", "n3", EdgeAttrs::default());
+    topo.add_edge("n1", "n4", EdgeAttrs::default());
+    topo.add_edge("n4", "n3", EdgeAttrs::default());
+    let mut d = Domain::new(DomainConfig {
+        topology: topo,
+        ..DomainConfig::default()
+    });
+    let mut n1 = UniversalNode::new("n1", mb(2048));
+    n1.add_physical_port("eth0");
+    let n2 = UniversalNode::new("n2", mb(2048));
+    let mut n3 = UniversalNode::new("n3", mb(2048));
+    n3.add_physical_port("eth1");
+    let n4 = UniversalNode::new("n4", mb(2048));
+    d.add_node(n1);
+    d.add_node(n2);
+    d.add_node(n3);
+    d.add_node(n4);
+    d.deploy_with(&split_bridge_chain(), &far_hints()).unwrap();
+    let vids_before: Vec<u16> = d.link_stats().iter().map(|(v, ..)| *v).collect();
+    for vid in &vids_before {
+        assert_eq!(d.link_path(*vid).unwrap()[1], "n2", "lexicographic tie");
+    }
+
+    let report = d.fail_node("n2").unwrap();
+    assert_eq!(report.replaced, vec!["g1".to_string()]);
+    let repair = &report.repairs[0];
+    assert_eq!(repair.nfs_moved, 0, "transit failure moves no NF");
+    assert_eq!(repair.nfs_preserved, 2);
+    assert_eq!(repair.links_kept, 2, "wires keep vids: {repair:?}");
+    assert_eq!(repair.links_rewired, 0);
+    assert!(repair.nodes_touched >= 1, "n4 gains the transit part");
+    assert!(!repair.full_replace);
+    assert!(d.trace.counter("overlay_paths_rerouted") >= 2);
+
+    let vids_after: Vec<u16> = d.link_stats().iter().map(|(v, ..)| *v).collect();
+    assert_eq!(vids_before, vids_after, "vids survive the reroute");
+    for vid in &vids_after {
+        let path = d.link_path(*vid).unwrap();
+        assert_eq!(path[1], "n4", "rerouted around the casualty: {path:?}");
+    }
+    assert!(
+        !d.partition_of("g1").unwrap().parts.contains_key("n2"),
+        "no part may remain on the dead transit node"
+    );
+    // Traffic flows over the detour.
+    let io = d.inject("n1", "eth0", frame());
+    assert_eq!(io.emitted.len(), 1, "{:?}", d.trace);
+    assert_eq!(io.emitted[0].0, "n3");
+    assert_eq!(io.overlay_hops, 2);
+}
+
+/// Line fleet where the middle dies: the ends survive but are
+/// disconnected, so neither the incremental plan nor the from-scratch
+/// fallback can route the cut edge — the graph parks with its vid
+/// ledger balanced, and healing the middle restores transit service.
+#[test]
+fn transit_failure_with_no_detour_parks_then_heals() {
+    let mut d = line_domain(false);
+    d.deploy_with(&split_bridge_chain(), &far_hints()).unwrap();
+    let (base, next, free, in_use) = d.vid_accounting();
+    assert_eq!(in_use.len(), 2);
+    assert_eq!((next - base) as usize, free.len() + in_use.len());
+
+    let report = d.fail_node("n2").unwrap();
+    assert!(report.replaced.is_empty(), "no route, no repair");
+    assert_eq!(report.stranded, vec!["g1".to_string()]);
+    assert_eq!(d.pending_graphs(), vec!["g1".to_string()]);
+    // The surviving ends dropped their halves entirely.
+    assert!(d.node("n1").unwrap().graph_ids().is_empty());
+    assert!(d.node("n3").unwrap().graph_ids().is_empty());
+    // Ledger: every vid ever minted is free, exactly once.
+    let (base, next, free, in_use) = d.vid_accounting();
+    assert!(in_use.is_empty(), "parked graph owns no links");
+    assert_eq!((next - base) as usize, free.len());
+    let distinct: std::collections::BTreeSet<u16> = free.iter().copied().collect();
+    assert_eq!(distinct.len(), free.len(), "double-freed vid: {free:?}");
+
+    // The middle comes back: the parked graph re-places and transit
+    // service resumes over n2.
+    let retried = d.recover_node("n2").unwrap();
+    assert_eq!(retried, vec!["g1".to_string()]);
+    let io = d.inject("n1", "eth0", frame());
+    assert_eq!(io.emitted.len(), 1, "{:?}", d.trace);
+    assert_eq!(io.emitted[0].0, "n3");
+    assert_eq!(io.overlay_hops, 2, "transit path restored");
+}
+
+/// Double failure: the incremental repair fails (no route), and the
+/// from-scratch fallback *also* fails (no node carries eth1 anymore),
+/// parking the graph. Every vid must be freed exactly once, and the
+/// healed fleet must redeploy the parked graph cleanly.
+#[test]
+fn double_repair_failure_parks_graph_without_leaking_vids() {
+    let mut d = line_domain(false);
+    d.deploy_with(&split_bridge_chain(), &far_hints()).unwrap();
+    let minted = {
+        let (base, next, ..) = d.vid_accounting();
+        (next - base) as usize
+    };
+
+    // n3 dies first (the wan side), then n2: with eth1 gone entirely
+    // the fallback cannot re-place either, so g1 parks.
+    d.fail_node("n3").unwrap();
+    let report = d.fail_node("n2").unwrap();
+    assert!(report.replaced.is_empty());
+    assert_eq!(d.pending_graphs(), vec!["g1".to_string()]);
+
+    let (base, next, free, in_use) = d.vid_accounting();
+    assert!(in_use.is_empty(), "parked graph owns no links");
+    assert_eq!(
+        (next - base) as usize,
+        free.len(),
+        "vid leak: minted {minted}, free {free:?}"
+    );
+    let distinct: std::collections::BTreeSet<u16> = free.iter().copied().collect();
+    assert_eq!(distinct.len(), free.len(), "double-freed vid: {free:?}");
+
+    // Heal: both nodes recover; retry re-places the graph and the
+    // ledger still balances.
+    d.recover_node("n2").unwrap();
+    let retried = d.recover_node("n3").unwrap();
+    assert_eq!(retried, vec!["g1".to_string()]);
+    let (base, next, free, in_use) = d.vid_accounting();
+    assert_eq!((next - base) as usize, free.len() + in_use.len());
+    let io = d.inject("n1", "eth0", frame());
+    assert_eq!(io.emitted.len(), 1, "{:?}", d.trace);
+}
+
+#[test]
+fn vid_pool_exhaustion_is_a_typed_error() {
+    // A pool of exactly one id: the split chain needs two cut edges,
+    // so the deploy must fail with the typed error — and the one id
+    // taken mid-partition must return to the pool.
+    let mut d = Domain::new(DomainConfig {
+        overlay_vid_base: 4094,
+        ..DomainConfig::default()
+    });
+    let mut n1 = UniversalNode::new("n1", mb(2048));
+    n1.add_physical_port("eth0");
+    let mut n2 = UniversalNode::new("n2", mb(2048));
+    n2.add_physical_port("eth1");
+    d.add_node(n1);
+    d.add_node(n2);
+    let err = d
+        .deploy_with(&split_bridge_chain(), &split_hints())
+        .unwrap_err();
+    assert_eq!(err, DomainError::VidPoolExhausted);
+    assert!(d.graph_ids().is_empty());
+    let (_, _, free, in_use) = d.vid_accounting();
+    assert_eq!(free, vec![4094], "taken vid must come back");
+    assert!(in_use.is_empty());
+    // No id past 4094 may ever be minted silently.
+    let one_way = NfFgBuilder::new("ow", "one-way")
+        .interface_endpoint("lan", "eth0")
+        .interface_endpoint("wan", "eth1")
+        .nf("br", "bridge", 2)
+        .rule_through("r1", 10, "lan", ("br", 0))
+        .rule_through("r2", 10, ("br", 1), "wan")
+        .build();
+    let hints = DeployHints {
+        nf_node: [("br".to_string(), "n1".to_string())].into(),
+        ..DeployHints::default()
+    };
+    let report = d.deploy_with(&one_way, &hints).unwrap();
+    assert_eq!(report.overlay_links, 1, "one cut edge fits the pool");
+    let (_, _, _, in_use) = d.vid_accounting();
+    assert_eq!(in_use, vec![4094]);
+}
+
+#[test]
+fn no_route_is_a_typed_error() {
+    // Two explicit islands: a cut edge between them cannot be routed.
+    let mut topo = Topology::explicit();
+    topo.add_edge("n1", "nx", EdgeAttrs::default());
+    topo.add_edge("n2", "ny", EdgeAttrs::default());
+    let mut d = Domain::new(DomainConfig {
+        topology: topo,
+        ..DomainConfig::default()
+    });
+    let mut n1 = UniversalNode::new("n1", mb(2048));
+    n1.add_physical_port("eth0");
+    let mut n2 = UniversalNode::new("n2", mb(2048));
+    n2.add_physical_port("eth1");
+    d.add_node(n1);
+    d.add_node(n2);
+    let err = d
+        .deploy_with(&split_bridge_chain(), &split_hints())
+        .unwrap_err();
+    assert!(
+        matches!(err, DomainError::NoRoute { .. }),
+        "got {err:?} instead"
+    );
+    let (_, _, free, in_use) = d.vid_accounting();
+    assert!(in_use.is_empty());
+    let distinct: std::collections::BTreeSet<u16> = free.iter().copied().collect();
+    assert_eq!(distinct.len(), free.len());
 }
 
 #[test]

@@ -22,21 +22,32 @@
 //!   sub-graphs and synthesize endpoint pairs for every cut edge.
 //!   Reassembly ([`partition::reassemble`]) is the exact inverse,
 //!   which the property tests exploit.
+//! * [`topology`] — the fabric: an explicit node-adjacency graph
+//!   ([`topology::Topology`], per-edge latency/capacity, full mesh by
+//!   default) with a deterministic Dijkstra path engine. Overlay links
+//!   between non-adjacent nodes ride pinned multi-hop paths with
+//!   transit rules on the intermediate nodes.
 //! * [`domain`] — [`domain::Domain`]: owns the fleet, deploys /
 //!   updates / undeploys partitioned graphs, shuttles frames across
 //!   **inter-node overlay links** (VLAN-tagged virtual wires on a
-//!   dedicated fabric port, optionally ESP-protected via `un-ipsec`),
-//!   detects node failures and re-places the lost partitions.
+//!   dedicated fabric port, optionally ESP-protected via `un-ipsec`,
+//!   routed hop-by-hop over the fabric topology), detects node
+//!   failures and re-places the lost partitions — rerouting overlay
+//!   paths that traversed the casualty.
 
 #![forbid(unsafe_code)]
 
 pub mod domain;
 pub mod partition;
 pub mod placement;
+pub mod topology;
 
 pub use domain::{
     DeployHints, Domain, DomainConfig, DomainError, DomainIo, DomainReport, NodeHealth,
     RepairOutcome, RepairPolicy, ReplacementReport,
 };
-pub use partition::{partition, reassemble, OverlayLink, Partition, PartitionError};
+pub use partition::{
+    install_transit, partition, reassemble, OverlayLink, Partition, PartitionError,
+};
 pub use placement::{assign, assign_endpoints, NodeView, PlaceError, PlacementStrategy};
+pub use topology::{EdgeAttrs, Topology};

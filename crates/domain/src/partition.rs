@@ -11,10 +11,16 @@
 //! * the destination part gains one forwarding rule
 //!   `ovl-<vid> → <original target>`.
 //!
+//! When the fabric topology is not a full mesh, a cut edge between
+//! non-adjacent nodes rides a pinned multi-hop path: [`install_transit`]
+//! augments the parts with **transit flow rules** on every intermediate
+//! node (`ovl-<vid>` in → `ovl-<vid>` out on the fabric port), creating
+//! NF-less transit parts where the node hosts nothing else.
+//!
 //! [`reassemble`] is the exact inverse (drop synthesized endpoints and
-//! rules, retarget outputs back); the property tests check that
-//! `reassemble(partition(g)) == g` rule-for-rule and that every NF
-//! lands on exactly one node.
+//! rules — including transit state — and retarget outputs back); the
+//! property tests check that `reassemble(partition(g)) == g`
+//! rule-for-rule and that every NF lands on exactly one node.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -148,16 +154,7 @@ pub fn partition(
     let mut parts: BTreeMap<String, NfFg> = BTreeMap::new();
     let part_of = |parts: &mut BTreeMap<String, NfFg>, node: &str| {
         if !parts.contains_key(node) {
-            parts.insert(
-                node.to_string(),
-                NfFg {
-                    id: graph.id.clone(),
-                    name: format!("{}@{node}", graph.name),
-                    nfs: Vec::new(),
-                    endpoints: Vec::new(),
-                    flow_rules: Vec::new(),
-                },
-            );
+            parts.insert(node.to_string(), empty_part(graph, node));
         }
     };
 
@@ -271,6 +268,67 @@ pub fn partition(
     Ok(Partition { parts, links })
 }
 
+/// A fresh NF-less part for `node`. The id/name convention (graph id,
+/// `name@node`) is what update/repair reconciliation keys on, so every
+/// part — NF-bearing or transit-only — must be minted here.
+fn empty_part(graph: &NfFg, node: &str) -> NfFg {
+    NfFg {
+        id: graph.id.clone(),
+        name: format!("{}@{node}", graph.name),
+        nfs: Vec::new(),
+        endpoints: Vec::new(),
+        flow_rules: Vec::new(),
+    }
+}
+
+/// Install transit flow rules for every multi-hop overlay link.
+///
+/// `paths` maps each link's vid to its pinned node path (`[from, …,
+/// to]`, as produced by the topology's path engine). Every intermediate
+/// node gains the link's `ovl-<vid>` VLAN endpoint on the fabric port
+/// plus one forwarding rule `ovl-<vid>-transit: ovl-<vid> → ovl-<vid>`
+/// — the frame re-enters the fabric with its tag intact and the domain
+/// shuttle advances it to the next hop of the pinned path. Nodes that
+/// host nothing else get a fresh NF-less **transit part** (id/name
+/// follow the part convention), so the transit state participates in
+/// deploy/update/repair reconciliation like any other part.
+///
+/// Two-node paths (adjacent nodes, and every full-mesh path) are
+/// untouched.
+pub fn install_transit(
+    graph: &NfFg,
+    parts: &mut BTreeMap<String, NfFg>,
+    links: &[OverlayLink],
+    paths: &BTreeMap<u16, Vec<String>>,
+    fabric_port: &str,
+) {
+    for link in links {
+        let Some(path) = paths.get(&link.vid) else {
+            continue;
+        };
+        for node in path.iter().take(path.len().saturating_sub(1)).skip(1) {
+            let part = parts
+                .entry(node.clone())
+                .or_insert_with(|| empty_part(graph, node));
+            part.endpoints.push(Endpoint {
+                id: link.endpoint_id.clone(),
+                kind: EndpointKind::Vlan {
+                    if_name: fabric_port.to_string(),
+                    vlan_id: link.vid,
+                },
+            });
+            part.flow_rules.push(FlowRule {
+                id: format!("ovl-{}-transit", link.vid),
+                priority: OVERLAY_RULE_PRIORITY,
+                matches: TrafficMatch::from_port(PortRef::Endpoint(link.endpoint_id.clone())),
+                actions: vec![RuleAction::Output(PortRef::Endpoint(
+                    link.endpoint_id.clone(),
+                ))],
+            });
+        }
+    }
+}
+
 /// Reconstruct the original graph from its parts — the inverse of
 /// [`partition`]. `id`/`name` restore the original identity (part names
 /// carry a node suffix).
@@ -282,8 +340,6 @@ pub fn reassemble(
 ) -> NfFg {
     let by_endpoint: BTreeMap<&str, &OverlayLink> =
         links.iter().map(|l| (l.endpoint_id.as_str(), l)).collect();
-    let synthesized_rules: BTreeMap<&str, ()> =
-        links.iter().map(|l| (l.in_rule_id.as_str(), ())).collect();
 
     let mut out = NfFg {
         id: id.to_string(),
@@ -295,12 +351,16 @@ pub fn reassemble(
     for part in parts.values() {
         out.nfs.extend(part.nfs.iter().cloned());
         for ep in &part.endpoints {
-            if !by_endpoint.contains_key(ep.id.as_str()) {
+            if !ep.id.starts_with("ovl-") {
                 out.endpoints.push(ep.clone());
             }
         }
         for rule in &part.flow_rules {
-            if synthesized_rules.contains_key(rule.id.as_str()) {
+            // The whole `ovl-` namespace is synthesized (delivery and
+            // transit rules alike) and `partition` rejects tenant ids
+            // in it, so a prefix check drops exactly the cut-edge
+            // machinery.
+            if rule.id.starts_with("ovl-") {
                 continue;
             }
             let mut rule = rule.clone();
@@ -432,6 +492,52 @@ mod tests {
             &[("lan", "n1"), ("wan", "n2")],
         );
         let p = partition(&g, &nfs, &eps, "fab0", &mut vid_pool()).unwrap();
+        let back = reassemble(&p.parts, &p.links, &g.id, &g.name);
+        let mut want = g.clone();
+        want.nfs.sort_by(|a, b| a.id.cmp(&b.id));
+        want.endpoints.sort_by(|a, b| a.id.cmp(&b.id));
+        want.flow_rules.sort_by(|a, b| a.id.cmp(&b.id));
+        assert_eq!(back, want);
+    }
+
+    #[test]
+    fn transit_rules_install_and_reassembly_ignores_them() {
+        let g = chain();
+        let (nfs, eps) = assignments(
+            &[("fw", "n1"), ("gw", "n3")],
+            &[("lan", "n1"), ("wan", "n3")],
+        );
+        let mut p = partition(&g, &nfs, &eps, "fab0", &mut vid_pool()).unwrap();
+        // Both links ride n1–n2–n3 (resp. reversed).
+        let paths: BTreeMap<u16, Vec<String>> = p
+            .links
+            .iter()
+            .map(|l| {
+                (
+                    l.vid,
+                    vec![l.from_node.clone(), "n2".to_string(), l.to_node.clone()],
+                )
+            })
+            .collect();
+        install_transit(&g, &mut p.parts, &p.links, &paths, "fab0");
+        let transit = &p.parts["n2"];
+        assert!(transit.nfs.is_empty());
+        assert_eq!(transit.endpoints.len(), 2);
+        assert_eq!(transit.flow_rules.len(), 2);
+        for rule in &transit.flow_rules {
+            assert!(rule.id.starts_with("ovl-") && rule.id.ends_with("-transit"));
+            // In and out on the same synthesized endpoint.
+            assert_eq!(
+                rule.matches.port_in.as_ref().unwrap(),
+                match &rule.actions[0] {
+                    RuleAction::Output(p) => p,
+                    other => panic!("{other:?}"),
+                }
+            );
+        }
+        // The transit part deploys as-is (it must validate).
+        assert!(un_nffg::validate(transit).is_empty(), "{transit:?}");
+        // Reassembly drops all transit machinery: exact round trip.
         let back = reassemble(&p.parts, &p.links, &g.id, &g.name);
         let mut want = g.clone();
         want.nfs.sort_by(|a, b| a.id.cmp(&b.id));

@@ -8,7 +8,11 @@
 //!    free capacity — reuse it;
 //! 2. a node whose NNF catalog offers the type natively beats one that
 //!    would have to fall back to Docker/VM;
-//! 3. co-locating rule-adjacent NFs avoids overlay hops;
+//! 3. co-locating rule-adjacent NFs avoids overlay hops; when the
+//!    fabric is an explicit topology, a **path-length term** extends
+//!    this: placing an NF topologically far from an already-placed
+//!    neighbor is penalized per extra hop, so chained NFs drift toward
+//!    close racks even when they cannot share one node;
 //! 4. ties break by memory: [`PlacementStrategy::Pack`] fills the
 //!    fullest feasible node (classic bin-packing, frees whole nodes),
 //!    [`PlacementStrategy::Spread`] picks the emptiest (load balance).
@@ -137,12 +141,43 @@ pub fn assign_endpoints(
     Ok(out)
 }
 
+/// Per-peer score bonus for landing on the same node as an adjacent
+/// NF/endpoint (below shared/native preference, above the memory
+/// tie-break).
+const COLOCATE_BONUS: i64 = 10_000;
+/// Per-peer, per-extra-hop penalty when the candidate node is more
+/// than one fabric hop from an already-placed neighbor. Strong enough
+/// to beat the memory tie-break (max 9_999) from two extra hops on,
+/// and to dominate it even at one extra hop unless memory differs by
+/// gigabytes.
+const PATH_PENALTY_PER_HOP: i64 = 4_000;
+/// Hop distance assumed for a peer the candidate cannot reach at all
+/// (disconnected topology), used only among fallback candidates: far
+/// enough that a less-disconnected node wins.
+const UNREACHABLE_HOPS: u32 = 16;
+
 /// Assign every NF of `graph` to a node.
 ///
 /// `estimates` maps NF id → estimated RAM; `endpoint_node` is the
 /// (already computed) endpoint assignment, used for adjacency scoring;
 /// `pins` forces specific NFs onto specific nodes (used to keep
 /// surviving NFs in place across updates and re-placements).
+///
+/// `fabric_hops` is the hop-distance matrix of the fabric topology
+/// (`Topology::hop_matrix`): `None` means full mesh — every pair one
+/// hop apart, no path-length term. With an explicit topology, each
+/// already-placed neighbor at distance `d > 1` costs the candidate
+/// `PATH_PENALTY_PER_HOP × (d − 1)`, biasing chained NFs toward
+/// topologically close nodes. Reachability is a hard preference, not
+/// just a penalty: a candidate that can route to every node the graph
+/// already occupies (endpoint nodes and previously placed NFs — not
+/// just this NF's direct neighbors, which may all be unplaced when it
+/// is scored) beats any candidate that cannot, regardless of shared/
+/// native bonuses — otherwise the scorer could pick a fabric-isolated
+/// node and turn a feasible deploy into a `NoRoute` failure. Fully
+/// disconnected candidates stay eligible as a last resort (scored with
+/// `UNREACHABLE_HOPS` per unreachable peer) so an impossible placement
+/// still surfaces as the more descriptive routing error downstream.
 pub fn assign(
     graph: &NfFg,
     views: &[NodeView],
@@ -150,6 +185,7 @@ pub fn assign(
     endpoint_node: &BTreeMap<String, String>,
     pins: &BTreeMap<String, String>,
     strategy: PlacementStrategy,
+    fabric_hops: Option<&BTreeMap<String, BTreeMap<String, u32>>>,
 ) -> Result<BTreeMap<String, String>, PlaceError> {
     if !views.iter().any(|v| v.alive) {
         return Err(PlaceError::NoNodes);
@@ -207,7 +243,19 @@ pub fn assign(
             continue;
         }
 
-        let mut best: Option<(i64, &NodeView)> = None;
+        // Nodes the graph already occupies: this NF (or one placed
+        // after it) will eventually need overlay routes toward them,
+        // so reachability to all of them is the hard preference even
+        // when this NF's own neighbors are still unplaced.
+        let used: BTreeSet<&str> = endpoint_node
+            .values()
+            .chain(out.values())
+            .map(String::as_str)
+            .collect();
+        // (reaches every used node, score): reachability dominates, so
+        // no bonus stack can elect a fabric-isolated node while a
+        // routable one exists.
+        let mut best: Option<(bool, i64, &NodeView)> = None;
         for view in views.iter().filter(|v| v.alive) {
             let avail = free.get(view.name.as_str()).copied().unwrap_or(0);
             // A shared joinable instance costs nothing extra; otherwise
@@ -216,6 +264,14 @@ pub fn assign(
             if !reusable && avail < needed {
                 continue;
             }
+            let routable = match fabric_hops {
+                None => true,
+                Some(hops) => {
+                    let row = hops.get(view.name.as_str());
+                    used.iter()
+                        .all(|u| *u == view.name || row.is_some_and(|r| r.contains_key(*u)))
+                }
+            };
             let mut score: i64 = 0;
             if reusable {
                 score += 1_000_000;
@@ -223,13 +279,27 @@ pub fn assign(
             if view.native_types.contains(&nf.functional_type) {
                 score += 100_000;
             }
-            // Co-location: neighbors already resolved to this node.
+            // Co-location: neighbors already resolved to this node
+            // score a bonus; with an explicit fabric topology, distant
+            // neighbors charge a per-extra-hop path penalty.
             if let Some(peers) = adjacent.get(nf.id.as_str()) {
                 for peer in peers {
-                    let here = out.get(*peer).map(String::as_str) == Some(view.name.as_str())
-                        || endpoint_node.get(*peer).map(String::as_str) == Some(view.name.as_str());
-                    if here {
-                        score += 10_000;
+                    let peer_node = out
+                        .get(*peer)
+                        .or_else(|| endpoint_node.get(*peer))
+                        .map(String::as_str);
+                    let Some(peer_node) = peer_node else {
+                        continue; // peer not placed yet
+                    };
+                    if peer_node == view.name.as_str() {
+                        score += COLOCATE_BONUS;
+                    } else if let Some(hops) = fabric_hops {
+                        let d = hops
+                            .get(peer_node)
+                            .and_then(|row| row.get(view.name.as_str()))
+                            .copied()
+                            .unwrap_or(UNREACHABLE_HOPS);
+                        score -= PATH_PENALTY_PER_HOP * i64::from(d.saturating_sub(1));
                     }
                 }
             }
@@ -239,14 +309,13 @@ pub fn assign(
                 PlacementStrategy::Pack => -mem_term,
                 PlacementStrategy::Spread => mem_term,
             };
-            if best
-                .as_ref()
-                .is_none_or(|(s, b)| score > *s || (score == *s && view.name < b.name))
-            {
-                best = Some((score, view));
+            if best.as_ref().is_none_or(|(r, s, b)| {
+                (routable, score) > (*r, *s) || (routable, score) == (*r, *s) && view.name < b.name
+            }) {
+                best = Some((routable, score, view));
             }
         }
-        let Some((_, view)) = best else {
+        let Some((_, _, view)) = best else {
             return Err(PlaceError::NoCapacity {
                 nf: nf.id.clone(),
                 needed,
@@ -299,6 +368,20 @@ mod tests {
         graph.nfs.iter().map(|n| (n.id.clone(), mb << 20)).collect()
     }
 
+    /// Symmetric hop matrix from `(a, b, hops)` triples.
+    fn matrix(pairs: &[(&str, &str, u32)]) -> BTreeMap<String, BTreeMap<String, u32>> {
+        let mut m: BTreeMap<String, BTreeMap<String, u32>> = BTreeMap::new();
+        for (a, b, d) in pairs {
+            m.entry(a.to_string())
+                .or_default()
+                .insert(b.to_string(), *d);
+            m.entry(b.to_string())
+                .or_default()
+                .insert(a.to_string(), *d);
+        }
+        m
+    }
+
     #[test]
     fn prefers_shared_then_native() {
         let g = chain();
@@ -315,6 +398,7 @@ mod tests {
             &eps,
             &BTreeMap::new(),
             PlacementStrategy::Pack,
+            None,
         )
         .unwrap();
         // Shared reuse wins even though the sharing node is almost full.
@@ -340,6 +424,7 @@ mod tests {
             &eps,
             &BTreeMap::new(),
             PlacementStrategy::Pack,
+            None,
         )
         .unwrap_err();
         assert!(matches!(err, PlaceError::NoCapacity { .. }));
@@ -360,6 +445,7 @@ mod tests {
             &eps,
             &BTreeMap::new(),
             PlacementStrategy::Pack,
+            None,
         )
         .unwrap();
         // Pack: both NFs land together (adjacency + fullest node).
@@ -376,6 +462,7 @@ mod tests {
             &eps,
             &BTreeMap::new(),
             PlacementStrategy::Spread,
+            None,
         )
         .unwrap();
         assert_eq!(spread["fw"], "n2"); // emptiest first
@@ -397,6 +484,7 @@ mod tests {
             &eps,
             &pins,
             PlacementStrategy::Pack,
+            None,
         )
         .unwrap();
         assert_eq!(a["fw"], "n2");
@@ -409,9 +497,109 @@ mod tests {
             &eps,
             &pins,
             PlacementStrategy::Pack,
+            None,
         )
         .unwrap_err();
         assert!(matches!(err, PlaceError::BadPin { .. }));
+    }
+
+    #[test]
+    fn path_length_term_pulls_chained_nfs_toward_close_nodes() {
+        // fw must sit with the lan endpoint on n1 (interface); gw does
+        // not fit on n1. Candidates n2 (1 hop from n1) and n3 (3 hops)
+        // are otherwise identical — the path term must pick n2; without
+        // a matrix (full mesh) the memory tie-break favors n3.
+        let g = chain();
+        let views = vec![
+            view("n1", 600, &[], &[], &["eth0", "eth1"]),
+            view("n2", 4096, &[], &[], &["eth1"]),
+            view("n3", 8192, &[], &[], &["eth1"]),
+        ];
+        let eps =
+            assign_endpoints(&g, &views, &[("wan".to_string(), "n1".to_string())].into()).unwrap();
+        let hops = matrix(&[("n1", "n2", 1), ("n1", "n3", 3), ("n2", "n3", 2)]);
+        let place = |matrix: Option<&BTreeMap<String, BTreeMap<String, u32>>>| {
+            assign(
+                &g,
+                &views,
+                &est(&g, 512),
+                &eps,
+                &BTreeMap::new(),
+                PlacementStrategy::Spread,
+                matrix,
+            )
+            .unwrap()
+        };
+        assert_eq!(place(Some(&hops))["gw"], "n2", "path term: close rack");
+        assert_eq!(place(None)["gw"], "n3", "full mesh: memory tie-break");
+    }
+
+    #[test]
+    fn reachability_beats_native_and_shared_bonuses() {
+        // gw's neighbor fw is forced onto n1. Node "island" offers
+        // ipsec natively *and* shares a running instance, but has no
+        // fabric route to n1; plain node n2 does. The isolated node's
+        // bonus stack must not win — that placement would fail at plan
+        // time with NoRoute even though n2 works.
+        let g = chain();
+        let views = vec![
+            view("n1", 600, &[], &[], &["eth0", "eth1"]),
+            view("n2", 4096, &[], &[], &["eth1"]),
+            view("island", 4096, &["ipsec"], &["ipsec"], &["eth1"]),
+        ];
+        let eps =
+            assign_endpoints(&g, &views, &[("wan".to_string(), "n1".to_string())].into()).unwrap();
+        let pins: BTreeMap<String, String> = [("fw".to_string(), "n1".to_string())].into();
+        // Matrix from a topology where island has no edges: pairs
+        // involving it are simply absent.
+        let hops = matrix(&[("n1", "n2", 1)]);
+        let a = assign(
+            &g,
+            &views,
+            &est(&g, 512),
+            &eps,
+            &pins,
+            PlacementStrategy::Spread,
+            Some(&hops),
+        )
+        .unwrap();
+        assert_eq!(a["gw"], "n2", "routable node beats isolated bonuses");
+    }
+
+    #[test]
+    fn reachability_guard_covers_unplaced_peer_ordering() {
+        // b is declared (and scored) first, so both of its rule
+        // neighbors are still-unplaced NFs at that point. The guard
+        // must still keep b off the isolated island — the graph's
+        // endpoints already occupy n1, which island cannot reach.
+        let g = NfFgBuilder::new("g2", "chain3")
+            .interface_endpoint("lan", "eth0")
+            .interface_endpoint("wan", "eth1")
+            .nf("b", "bridge", 2)
+            .nf("a", "bridge", 2)
+            .nf("c", "bridge", 2)
+            .chain("lan", &["a", "b", "c"], "wan")
+            .build();
+        let views = vec![
+            view("n1", 4096, &[], &[], &["eth0", "eth1"]),
+            view("n2", 4096, &[], &[], &[]),
+            view("island", 4096, &["bridge"], &["bridge"], &[]),
+        ];
+        let eps = assign_endpoints(&g, &views, &BTreeMap::new()).unwrap();
+        let hops = matrix(&[("n1", "n2", 1)]);
+        let a = assign(
+            &g,
+            &views,
+            &est(&g, 512),
+            &eps,
+            &BTreeMap::new(),
+            PlacementStrategy::Pack,
+            Some(&hops),
+        )
+        .unwrap();
+        for nf in ["a", "b", "c"] {
+            assert_ne!(a[nf], "island", "{nf} must land on a routable node");
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! | Method | Path                        | Meaning                            |
 //! |--------|-----------------------------|------------------------------------|
 //! | GET    | `/domain`                   | fleet + graphs + links document    |
+//! | GET    | `/domain/topology`          | fabric topology + per-link overlay paths |
 //! | GET    | `/domain/nodes`             | nodes with health (alive/suspect/failed) |
 //! | POST   | `/domain/nodes/<n>/fail`    | declare a node failed (repair)     |
 //! | POST   | `/domain/nodes/<n>/recover` | bring a failed node back, retry pending |
@@ -84,6 +85,9 @@ pub fn handle_cluster(domain: &DomainHandle, req: &Request) -> Response {
     let segments: Vec<&str> = req.path.trim_matches('/').split('/').collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["domain"]) => Response::json(StatusCode::Ok, domain.lock().describe().render()),
+        ("GET", ["domain", "topology"]) => {
+            Response::json(StatusCode::Ok, domain.lock().topology_doc().render())
+        }
         ("GET", ["domain", "nodes"]) => {
             let domain = domain.lock();
             let nodes: Vec<Json> = domain
@@ -358,6 +362,56 @@ mod tests {
         assert!(!r.body.contains("\"failed\""), "{}", r.body);
         let r = handle_cluster(&d, &req("POST", "/domain/nodes/ghost/recover", ""));
         assert_eq!(r.status, StatusCode::NotFound);
+    }
+
+    #[test]
+    fn cluster_reports_topology_and_paths() {
+        use un_domain::{DomainConfig, EdgeAttrs, Topology};
+        use un_sim::mem::mb as mbytes;
+        let mut d = Domain::new(DomainConfig {
+            topology: Topology::line(&["n1", "n2", "n3"], EdgeAttrs::default()),
+            ..DomainConfig::default()
+        });
+        let mut n1 = UniversalNode::new("n1", mbytes(2048));
+        n1.add_physical_port("eth0");
+        let n2 = UniversalNode::new("n2", mbytes(2048));
+        let mut n3 = UniversalNode::new("n3", mbytes(2048));
+        n3.add_physical_port("eth1");
+        d.add_node(n1);
+        d.add_node(n2);
+        d.add_node(n3);
+        let d: DomainHandle = Arc::new(Mutex::new(d));
+
+        // Before any deploy: mode + edges, no paths.
+        let r = handle_cluster(&d, &req("GET", "/domain/topology", ""));
+        assert_eq!(r.status, StatusCode::Ok, "{}", r.body);
+        assert!(r.body.contains("\"explicit\""), "{}", r.body);
+        assert!(r.body.contains("\"latency-ns\""), "{}", r.body);
+        assert!(r.body.contains("\"capacity-bps\""), "{}", r.body);
+
+        // A deploy split across the ends pins multi-hop paths over n2.
+        {
+            let g = un_nffg::from_json(&chain_json("g1")).unwrap();
+            let hints = DeployHints {
+                nf_node: [
+                    ("br1".to_string(), "n1".to_string()),
+                    ("br2".to_string(), "n3".to_string()),
+                ]
+                .into(),
+                ..DeployHints::default()
+            };
+            d.lock().deploy_with(&g, &hints).unwrap();
+        }
+        let r = handle_cluster(&d, &req("GET", "/domain/topology", ""));
+        assert!(
+            r.body.contains("\"path\":[\"n1\",\"n2\",\"n3\"]"),
+            "{}",
+            r.body
+        );
+        assert!(r.body.contains("\"hops\":2"), "{}", r.body);
+        // The links section of /domain carries the path too.
+        let r = handle_cluster(&d, &req("GET", "/domain", ""));
+        assert!(r.body.contains("\"path\""), "{}", r.body);
     }
 
     #[test]

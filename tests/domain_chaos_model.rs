@@ -16,6 +16,14 @@
 //! * every deployed graph's cut edges are backed by live overlay link
 //!   state attributed to that graph, and no overlay link state is
 //!   orphaned;
+//! * **vid conservation**: every VLAN id the pool ever minted is
+//!   either free or backing a live link, exactly once — no leak, no
+//!   double-free, across every deploy/update/repair/park cycle;
+//! * **topology-aware routing**: every overlay link's pinned path is a
+//!   valid walk through the fabric topology, starts and ends at the
+//!   link's node pair, and never touches a failed node (checked in a
+//!   dedicated line-topology suite below, where multi-hop transit and
+//!   `NoRoute` parking actually occur);
 //! * deployed and pending sets never intersect;
 //! * **incremental repair ≡ from-scratch** in observable placement
 //!   validity: both domains agree on which graphs are deployed and
@@ -31,7 +39,7 @@ use std::collections::BTreeSet;
 
 use proptest::prelude::*;
 use un_core::UniversalNode;
-use un_domain::{Domain, DomainConfig, NodeHealth, RepairPolicy};
+use un_domain::{Domain, DomainConfig, EdgeAttrs, NodeHealth, RepairPolicy, Topology};
 use un_nffg::{NfFg, NfFgBuilder};
 use un_sim::mem::mb;
 use un_sim::SimTime;
@@ -242,6 +250,39 @@ fn check_domain(d: &Domain, model: &HealthModel, tag: &str) {
         expected_links,
         "{tag}: orphaned overlay link state: {link_stats:?}"
     );
+
+    // Vid conservation: every id the pool ever minted (base..next) is
+    // free or in use, exactly once — a leak leaves a hole, a
+    // double-free a duplicate.
+    let (base, next, free, in_use) = d.vid_accounting();
+    let mut all: Vec<u16> = free.iter().chain(in_use.iter()).copied().collect();
+    all.sort_unstable();
+    let minted: Vec<u16> = (base..next).collect();
+    assert_eq!(
+        all, minted,
+        "{tag}: vid ledger broken (free {free:?} ∪ in_use {in_use:?} ≠ minted)"
+    );
+
+    // Every live overlay link rides a valid path: endpoints match the
+    // link, consecutive nodes are adjacent in the fabric topology, and
+    // no failed node is on the walk.
+    for (vid, _, from, to, ..) in &link_stats {
+        let path = d
+            .link_path(*vid)
+            .unwrap_or_else(|| panic!("{tag}: link {vid} has no path"));
+        assert_eq!(&path[0], from, "{tag}: link {vid} path head");
+        assert_eq!(path.last().unwrap(), to, "{tag}: link {vid} path tail");
+        assert!(
+            d.config.topology.validates_path(&path),
+            "{tag}: link {vid} path {path:?} is not a fabric walk"
+        );
+        for node in &path {
+            assert!(
+                serving.contains(node),
+                "{tag}: link {vid} path {path:?} rides dead node {node}"
+            );
+        }
+    }
 }
 
 /// Deterministic smoke sequence proving the chaos plumbing exercises
@@ -284,8 +325,149 @@ fn chaos_smoke_sequence_deploys_and_repairs() {
     check_domain(&inc, &model, "smoke-final");
 }
 
+/// A line fleet `n1 – n2 – n3` with the ingress interface only on n1
+/// and the egress interface only on n3: every deployed graph is forced
+/// to split across the ends, so its overlay links must transit n2 —
+/// and n2's death makes the ends unroutable (graphs park) until it
+/// heals. The topology-aware invariants in `check_domain` (paths are
+/// fabric walks avoiding failed nodes, vid conservation) get exercised
+/// with real multi-hop state here.
+fn line_fleet() -> Domain {
+    let mut d = Domain::new(DomainConfig {
+        topology: Topology::line(&["n1", "n2", "n3"], EdgeAttrs::default()),
+        ..DomainConfig::default()
+    });
+    for (name, ports) in [
+        ("n1", &["eth0"][..]),
+        ("n2", &[][..]),
+        ("n3", &["eth1"][..]),
+    ] {
+        let mut n = UniversalNode::new(name, mb(2048));
+        for p in ports {
+            n.add_physical_port(p);
+        }
+        d.add_node(n);
+    }
+    d
+}
+
+/// Deterministic multi-hop smoke: deploy over the line, verify transit
+/// service end to end, kill the middle (graphs park, ledger balanced),
+/// heal it (service resumes) — with the full invariant battery after
+/// every step.
+#[test]
+fn topology_chaos_smoke_transits_parks_and_heals() {
+    let mut d = line_fleet();
+    let mut model = HealthModel::new(&d);
+    for i in 0..GRAPHS {
+        d.deploy(&graph(i, 1 + i % 3)).unwrap();
+    }
+    check_domain(&d, &model, "line-smoke");
+    // Every graph crosses the fabric, pinned over the middle.
+    for gid in d.graph_ids() {
+        let partition = d.partition_of(&gid).unwrap();
+        assert!(!partition.links.is_empty(), "{gid} must split");
+        for link in &partition.links {
+            let path = d.link_path(link.vid).unwrap();
+            assert!(path.len() >= 2, "{path:?}");
+        }
+    }
+
+    model.fail(1);
+    let report = d.fail_node("n2").unwrap();
+    check_domain(&d, &model, "line-smoke-failed");
+    // Graphs that spanned the cut park; none may claim a repair that
+    // routes through the carcass.
+    assert!(
+        d.graph_ids()
+            .iter()
+            .all(|g| d.partition_of(g).unwrap().links.is_empty()),
+        "no overlay link can survive the partition of the line"
+    );
+    let _ = report;
+
+    let now = SimTime::from_nanos(STEP_NS);
+    d.set_time(now);
+    d.recover_node("n2").unwrap();
+    model.recover(1, STEP_NS);
+    d.retry_pending();
+    assert!(d.pending_graphs().is_empty(), "healed line must re-place");
+    check_domain(&d, &model, "line-smoke-healed");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(chaos_cases()))]
+
+    #[test]
+    fn topology_chaos_operations_hold_invariants(
+        ops in prop::collection::vec(op_strategy(), 1..16),
+    ) {
+        let mut d = line_fleet();
+        let mut model = HealthModel::new(&d);
+        let mut clock_ns: u64 = 0;
+
+        for op in &ops {
+            clock_ns += STEP_NS;
+            let now = SimTime::from_nanos(clock_ns);
+            d.set_time(now);
+            match op {
+                Op::Deploy(i) => {
+                    // May fail with NoRoute / NoSuchInterface while
+                    // nodes are down — the invariants below are the
+                    // contract, not the outcome.
+                    let _ = d.deploy(&graph(*i, 1 + i % 3));
+                }
+                Op::Update(i, v) => {
+                    let _ = d.update(&graph(*i, 1 + (i + v) % 3));
+                }
+                Op::Undeploy(i) => {
+                    let _ = d.undeploy(&format!("g{i}"));
+                }
+                Op::FailNode(n) => {
+                    model.fail(*n);
+                    d.fail_node(NODES[*n]).unwrap();
+                }
+                Op::RecoverNode(n) => {
+                    model.recover(*n, clock_ns);
+                    d.recover_node(NODES[*n]).unwrap();
+                }
+                Op::Heartbeat(n) => {
+                    model.heartbeat(*n, clock_ns);
+                    d.heartbeat(NODES[*n], now).unwrap();
+                }
+                Op::Tick(scale) => {
+                    clock_ns += 500_000_000 + *scale as u64 * 1_100_000_000;
+                    let later = SimTime::from_nanos(clock_ns);
+                    model.tick(clock_ns);
+                    d.tick(later);
+                }
+                Op::RetryPending => {
+                    let _ = d.retry_pending();
+                }
+            }
+            check_domain(&d, &model, "line");
+        }
+
+        // Heal the whole line: every parked graph must re-place and
+        // every overlay link must ride a live fabric walk again.
+        clock_ns += STEP_NS;
+        let now = SimTime::from_nanos(clock_ns);
+        d.set_time(now);
+        for (i, name) in NODES.iter().enumerate() {
+            if d.health(name) == Some(NodeHealth::Failed) {
+                d.recover_node(name).unwrap();
+            }
+            model.recover(i, clock_ns);
+            d.heartbeat(name, now).unwrap();
+            model.heartbeat(i, clock_ns);
+        }
+        d.retry_pending();
+        prop_assert!(
+            d.pending_graphs().is_empty(),
+            "healed line must re-place parked graphs"
+        );
+        check_domain(&d, &model, "line-final");
+    }
 
     #[test]
     fn chaos_operations_hold_invariants(
