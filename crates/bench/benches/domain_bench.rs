@@ -25,6 +25,7 @@ fn fleet_views(n: usize) -> Vec<NodeView> {
             } else {
                 Default::default()
             },
+            sharable_types: ["nat".to_string()].into_iter().collect(),
             ports: ["eth0".to_string(), "eth1".to_string()]
                 .into_iter()
                 .collect(),
@@ -55,7 +56,7 @@ fn placement_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("domain_placement_10nf");
     for fleet in [10usize, 100, 1000] {
         let views = fleet_views(fleet);
-        let eps = assign_endpoints(&graph, &views, &BTreeMap::new()).unwrap();
+        let eps = assign_endpoints(&graph, &views, &BTreeMap::new(), None).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(fleet), &fleet, |b, _| {
             b.iter(|| {
                 std::hint::black_box(
@@ -64,6 +65,7 @@ fn placement_scaling(c: &mut Criterion) {
                         &views,
                         &estimates,
                         &eps,
+                        &BTreeMap::new(),
                         &BTreeMap::new(),
                         PlacementStrategy::Pack,
                         None,
@@ -79,7 +81,7 @@ fn placement_scaling(c: &mut Criterion) {
 fn partition_cost(c: &mut Criterion) {
     let graph = chain_graph(10);
     let views = fleet_views(4);
-    let eps = assign_endpoints(&graph, &views, &BTreeMap::new()).unwrap();
+    let eps = assign_endpoints(&graph, &views, &BTreeMap::new(), None).unwrap();
     let estimates: BTreeMap<String, u64> = graph
         .nfs
         .iter()
@@ -90,6 +92,7 @@ fn partition_cost(c: &mut Criterion) {
         &views,
         &estimates,
         &eps,
+        &BTreeMap::new(),
         &BTreeMap::new(),
         PlacementStrategy::Spread,
         None,

@@ -533,6 +533,30 @@ impl UniversalNode {
         self.shared.keys().cloned().collect()
     }
 
+    /// Functional types whose catalog descriptor marks a single native
+    /// instance *sharable* across graphs — the types this node could
+    /// host a domain-shared instance of (whether or not one runs yet).
+    pub fn sharable_nnf_types(&self) -> Vec<String> {
+        self.compute
+            .native
+            .catalog
+            .iter()
+            .filter(|d| d.sharable)
+            .map(|d| d.functional_type.to_string())
+            .collect()
+    }
+
+    /// Graph ids currently bound to the running shared instance of a
+    /// functional type (empty when no shared instance runs). The
+    /// domain's lease-conservation invariant cross-checks its registry
+    /// against this node-level truth.
+    pub fn shared_nnf_graphs(&self, functional_type: &str) -> Vec<String> {
+        self.shared
+            .get(functional_type)
+            .map(|info| info.graphs.clone())
+            .unwrap_or_default()
+    }
+
     /// Rough RAM a new NF of this type would consume, for fleet-level
     /// bin-packing. Mirrors the placement policy: a joinable shared
     /// instance costs ~nothing extra, native instances are cheap, VNF

@@ -42,6 +42,9 @@ use un_sim::{Cost, DetRng, SimTime, TraceLog};
 
 use crate::partition::{install_transit, partition, OverlayLink, Partition, PartitionError};
 use crate::placement::{assign, assign_endpoints, NodeView, PlaceError, PlacementStrategy};
+use crate::sharing::{
+    elect, ShareKey, SharedClaim, SharedInstance, SharedRegistry, SharingConfig, SharingError,
+};
 use crate::topology::Topology;
 
 /// Default first VLAN id of the overlay pool (up to 4094 inclusive).
@@ -86,6 +89,10 @@ pub struct DomainConfig {
     pub suspect_grace_ns: u64,
     /// How a node failure is repaired (incremental vs from-scratch).
     pub repair: RepairPolicy,
+    /// Domain-wide sharable-NNF registry settings (disabled by
+    /// default: sharing stays strictly per-node, the pre-registry
+    /// behavior). See [`crate::sharing`].
+    pub sharing: SharingConfig,
     /// Placement tie-break goal.
     pub strategy: PlacementStrategy,
     /// Seed for overlay SA key derivation.
@@ -114,6 +121,7 @@ impl Default for DomainConfig {
             heartbeat_timeout_ns: 3_000_000_000, // 3 virtual seconds
             suspect_grace_ns: 1_000_000_000,     // 1 more before repair
             repair: RepairPolicy::Incremental,
+            sharing: SharingConfig::default(),
             strategy: PlacementStrategy::Pack,
             seed: 0x5eed_d0ca_1000_0001,
             overlay_ttl: 64,
@@ -145,6 +153,9 @@ pub enum DomainError {
     NoSuchNode(String),
     /// Fleet-level placement failed.
     Place(PlaceError),
+    /// The sharable-NNF registry rejected the plan (no usable host,
+    /// pinned host dead, or the instance is at its tenant capacity).
+    Sharing(SharingError),
     /// Graph partitioning failed.
     Partition(PartitionError),
     /// The overlay VLAN id pool (`overlay_vid_base..=4094`) has no
@@ -184,6 +195,7 @@ impl fmt::Display for DomainError {
             DomainError::NoSuchGraph(g) => write!(f, "no such graph '{g}'"),
             DomainError::NoSuchNode(n) => write!(f, "no such node '{n}'"),
             DomainError::Place(e) => write!(f, "placement: {e}"),
+            DomainError::Sharing(e) => write!(f, "sharing: {e}"),
             DomainError::Partition(e) => write!(f, "partition: {e}"),
             DomainError::VidPoolExhausted => {
                 write!(f, "overlay VLAN id pool exhausted (base..=4094 all in use)")
@@ -207,6 +219,12 @@ impl From<PlaceError> for DomainError {
 impl From<PartitionError> for DomainError {
     fn from(e: PartitionError) -> Self {
         DomainError::Partition(e)
+    }
+}
+
+impl From<SharingError> for DomainError {
+    fn from(e: SharingError) -> Self {
+        DomainError::Sharing(e)
     }
 }
 
@@ -291,6 +309,13 @@ pub struct RepairOutcome {
     /// True if the repair fell back to (or was configured as) a full
     /// from-scratch re-placement.
     pub full_replace: bool,
+    /// Of `nfs_moved`, how many moved because the **shared instance**
+    /// they ride was re-hosted — blast radius attributed to shared
+    /// tenancy rather than to this graph's own placement.
+    pub shared_nfs_moved: usize,
+    /// Shared instances whose host changed for this graph:
+    /// `(share key, new host)`.
+    pub shared_migrated: Vec<(String, String)>,
 }
 
 /// Outcome of a node failure: which graphs were re-placed, and what
@@ -333,6 +358,9 @@ struct DomainGraph {
     /// endpoints without re-deriving them from the partition).
     endpoints: BTreeMap<String, String>,
     partition: Partition,
+    /// Leases this graph holds on domain-shared instances (mirrors the
+    /// registry's lease table; the chaos suite balances the two).
+    shared: BTreeMap<ShareKey, SharedClaim>,
 }
 
 /// A computed (but not yet installed) deployment of one graph.
@@ -342,6 +370,9 @@ struct Plan {
     partition: Partition,
     /// Fabric path per overlay link vid (`[from, …, to]`).
     paths: BTreeMap<u16, Vec<String>>,
+    /// Shared-instance claims this plan rides (committed as leases once
+    /// the plan installs).
+    shared: BTreeMap<ShareKey, SharedClaim>,
 }
 
 /// VLAN-id reuse directives for re-planning a live graph. Keys are
@@ -399,6 +430,28 @@ fn moved_count(old: &BTreeMap<String, String>, new: &BTreeMap<String, String>) -
         .count()
 }
 
+/// Shared-tenancy blast radius of a repair: how many of the moved NFs
+/// moved because the shared instance they ride was re-hosted, and
+/// which instances migrated (`(key, new host)`).
+fn shared_blast(entry: &DomainGraph, plan: &Plan) -> (usize, Vec<(String, String)>) {
+    let migrated: Vec<(String, String)> = plan
+        .shared
+        .iter()
+        .filter(|(key, claim)| entry.shared.get(key).map(|old| &old.host) != Some(&claim.host))
+        .map(|(key, claim)| (key.render(), claim.host.clone()))
+        .collect();
+    let moved = entry
+        .original
+        .nfs
+        .iter()
+        .filter(|nf| {
+            plan.shared.contains_key(&ShareKey::of_nf(nf))
+                && entry.assignment.get(&nf.id) != plan.assignment.get(&nf.id)
+        })
+        .count();
+    (moved, migrated)
+}
+
 /// The domain orchestrator.
 pub struct Domain {
     /// Settings.
@@ -412,6 +465,9 @@ pub struct Domain {
     /// per-call wrappers (the control plane goes through `get_mut`,
     /// which is lock-free on `&mut self`).
     links: BTreeMap<u16, Mutex<LinkState>>,
+    /// The domain-wide sharable-NNF registry (instances, hosts,
+    /// leases).
+    sharing: SharedRegistry,
     free_vids: Vec<u16>,
     next_vid: u16,
     clock: SimTime,
@@ -429,6 +485,7 @@ impl Domain {
             graphs: BTreeMap::new(),
             pending: BTreeMap::new(),
             links: BTreeMap::new(),
+            sharing: SharedRegistry::default(),
             free_vids: Vec::new(),
             next_vid,
             clock: SimTime::ZERO,
@@ -664,6 +721,7 @@ impl Domain {
                 capacity: m.node.mem_capacity(),
                 native_types: m.node.native_nnf_types().into_iter().collect(),
                 shared_running: m.node.shared_nnf_types().into_iter().collect(),
+                sharable_types: m.node.sharable_nnf_types().into_iter().collect(),
                 ports: m
                     .node
                     .physical_port_names()
@@ -736,22 +794,117 @@ impl Domain {
             .filter(|v| v.alive)
             .map(|v| v.name.clone())
             .collect();
+        // Hop distances feed the scorer's path-length term and the
+        // topology-aware endpoint/host choices; `None` in full-mesh
+        // mode (every pair is one hop — skip the O(n²) matrix on big
+        // fleets).
+        let fabric_hops = self.config.topology.hop_matrix(&serving);
         let mut merged_ep_pins = hints.endpoint_node.clone();
         merged_ep_pins.extend(ep_pins.clone());
-        let endpoint_node = assign_endpoints(graph, &views, &merged_ep_pins)?;
+        let endpoint_node = assign_endpoints(graph, &views, &merged_ep_pins, fabric_hops.as_ref())?;
         let estimates = self.estimates(graph);
         let mut merged_pins = hints.nf_node.clone();
         merged_pins.extend(nf_pins.clone());
-        // Hop distances feed the scorer's path-length term; `None` in
-        // full-mesh mode (every pair is one hop — skip the O(n²)
-        // matrix on big fleets).
-        let fabric_hops = self.config.topology.hop_matrix(&serving);
+        // Fleet-level sharable-NNF claims: every enabled-type NF is
+        // pinned onto the registry's host for its share key — the host
+        // a live instance already has, or a freshly elected one. The
+        // partitioner then cuts the tenant's edges toward that node
+        // and the path engine routes them (multi-hop included), so the
+        // graph rides the shared instance instead of instantiating its
+        // own. An explicit `hints.nf_node` pin opts the NF out of the
+        // registry; survivor pins are overridden (tenants converge on
+        // the elected host).
+        let mut shared: BTreeMap<ShareKey, SharedClaim> = BTreeMap::new();
+        if self.config.sharing.enabled {
+            let demand: BTreeSet<String> = endpoint_node.values().cloned().collect();
+            for nf in &graph.nfs {
+                if !self.config.sharing.types.contains(&nf.functional_type)
+                    || hints.nf_node.contains_key(&nf.id)
+                {
+                    continue;
+                }
+                let key = ShareKey::of_nf(nf);
+                if let Some(claim) = shared.get_mut(&key) {
+                    // Second NF of the same key: same host, same lease.
+                    merged_pins.insert(nf.id.clone(), claim.host.clone());
+                    claim.nfs += 1;
+                    continue;
+                }
+                let host = match self.sharing.get(&key) {
+                    Some(inst) if serving.contains(&inst.host) => {
+                        // Capacity counts tenant graphs. A graph that
+                        // already holds the lease never double-counts
+                        // it — re-planning a full instance's tenant
+                        // must not exhaust the instance.
+                        if !inst.leases.contains_key(&graph.id) {
+                            if let Some(max) = self.config.sharing.max_leases {
+                                if inst.leases.len() >= max {
+                                    return Err(DomainError::Sharing(
+                                        SharingError::CapacityExhausted {
+                                            key: key.render(),
+                                            host: inst.host.clone(),
+                                            max_leases: max,
+                                        },
+                                    ));
+                                }
+                            }
+                        }
+                        inst.host.clone()
+                    }
+                    _ => {
+                        // No live instance (or its host died and
+                        // re-election could not save it): elect one.
+                        // Node-level NNF singletons cannot host two
+                        // instances of one type, so hosts of sibling
+                        // capability pools are excluded — registered
+                        // ones AND the ones this very plan claimed a
+                        // few NFs ago (a graph demanding two pools in
+                        // one deploy must not co-elect them).
+                        let occupied: BTreeSet<String> = self
+                            .sharing
+                            .instances()
+                            .filter(|i| {
+                                i.key != key && i.key.functional_type == key.functional_type
+                            })
+                            .map(|i| i.host.clone())
+                            .chain(
+                                shared
+                                    .iter()
+                                    .filter(|(k, _)| k.functional_type == key.functional_type)
+                                    .map(|(_, c)| c.host.clone()),
+                            )
+                            .collect();
+                        elect(
+                            &key,
+                            &self.config.sharing.election,
+                            &views,
+                            fabric_hops.as_ref(),
+                            &demand,
+                            &occupied,
+                        )?
+                    }
+                };
+                merged_pins.insert(nf.id.clone(), host.clone());
+                shared.insert(key, SharedClaim { host, nfs: 1 });
+            }
+        }
+        // Leases the graph already holds confine the scorer's per-node
+        // shared-reuse bonus to the lease hosts (no double-counting;
+        // one entry per capability pool).
+        let mut held_leases: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for (key, claim) in self.sharing.leases_of(&graph.id) {
+            held_leases
+                .entry(key.functional_type)
+                .or_default()
+                .insert(claim.host);
+        }
         let assignment = assign(
             graph,
             &views,
             &estimates,
             &endpoint_node,
             &merged_pins,
+            &held_leases,
             hints.strategy.unwrap_or(self.config.strategy),
             fabric_hops.as_ref(),
         )?;
@@ -820,7 +973,35 @@ impl Domain {
             endpoints: endpoint_node,
             partition: part,
             paths,
+            shared,
         })
+    }
+
+    /// Commit a successfully installed plan's shared claims as leases,
+    /// releasing leases the graph no longer claims (dropping instances
+    /// whose last tenant left).
+    fn commit_shared(&mut self, gid: &str, claims: &BTreeMap<ShareKey, SharedClaim>) {
+        let keep: BTreeSet<ShareKey> = claims.keys().cloned().collect();
+        let dropped = self.sharing.release_except(gid, &keep);
+        self.trace
+            .count("shared_instances_dropped", dropped.len() as u64);
+        for (key, claim) in claims {
+            let (instance_new, lease_new) = self.sharing.commit(gid, key, &claim.host, claim.nfs);
+            if instance_new {
+                self.trace.count("shared_instances_registered", 1);
+            }
+            if lease_new {
+                self.trace.count("shared_leases_acquired", 1);
+            }
+        }
+    }
+
+    /// Release every shared lease a graph holds (undeploy, park, or
+    /// failed update), dropping instances whose last tenant left.
+    fn release_shared(&mut self, gid: &str) {
+        let dropped = self.sharing.release_graph(gid);
+        self.trace
+            .count("shared_instances_dropped", dropped.len() as u64);
     }
 
     /// Per-hop cost of one routed path: explicit edges carry their own
@@ -850,6 +1031,7 @@ impl Domain {
             endpoints,
             partition: part,
             paths,
+            shared,
         } = plan;
         let mut per_node: Vec<(String, DeployReport)> = Vec::new();
         let mut deployed: Vec<String> = Vec::new();
@@ -884,6 +1066,7 @@ impl Domain {
             per_node,
             overlay_links: part.links.len(),
         };
+        self.commit_shared(&graph.id, &shared);
         self.graphs.insert(
             graph.id.clone(),
             DomainGraph {
@@ -892,6 +1075,7 @@ impl Domain {
                 assignment,
                 endpoints,
                 partition: part,
+                shared,
             },
         );
         Ok(report)
@@ -1015,6 +1199,7 @@ impl Domain {
             endpoints,
             partition: part,
             paths,
+            shared,
         } = plan;
 
         // Reconcile per node.
@@ -1069,6 +1254,7 @@ impl Domain {
                 self.free_vids.push(vid);
             }
             self.graphs.remove(&graph.id);
+            self.release_shared(&graph.id);
             self.trace.count("updates_failed", 1);
             return Err(err);
         }
@@ -1086,6 +1272,7 @@ impl Domain {
         }
         self.register_links(&graph.id, &part.links, &paths);
         let overlay_links = part.links.len();
+        self.commit_shared(&graph.id, &shared);
         self.graphs.insert(
             graph.id.clone(),
             DomainGraph {
@@ -1094,6 +1281,7 @@ impl Domain {
                 assignment,
                 endpoints,
                 partition: part,
+                shared,
             },
         );
         Ok(DomainReport {
@@ -1125,6 +1313,7 @@ impl Domain {
             self.links.remove(&link.vid);
             self.free_vids.push(link.vid);
         }
+        self.release_shared(graph_id);
         self.trace.count("graphs_undeployed", 1);
         Ok(())
     }
@@ -1181,6 +1370,50 @@ impl Domain {
     /// Repair every graph hosting a part on the (already marked
     /// failed) node `name`.
     fn replace_lost_partitions(&mut self, name: &str) -> ReplacementReport {
+        // Shared instances the casualty hosted are re-elected **once**
+        // at registry level before any tenant is repaired, so every
+        // tenant plan converges on the same new home (demand = the
+        // surviving nodes its tenants occupy). If no candidate exists,
+        // the host stays dead: each tenant plan fails, the tenants
+        // park, and the last released lease drops the instance.
+        if self.config.sharing.enabled {
+            let orphaned = self.sharing.hosted_on(name);
+            if !orphaned.is_empty() {
+                let views = self.views();
+                let serving: BTreeSet<String> = self.serving_nodes().into_iter().collect();
+                let fabric_hops = self.config.topology.hop_matrix(&serving);
+                for key in orphaned {
+                    let demand: BTreeSet<String> = self
+                        .sharing
+                        .get(&key)
+                        .map(|inst| inst.leases.keys())
+                        .into_iter()
+                        .flatten()
+                        .filter_map(|gid| self.graphs.get(gid))
+                        .flat_map(|g| g.assignment.values().chain(g.endpoints.values()))
+                        .filter(|n| serving.contains(*n))
+                        .cloned()
+                        .collect();
+                    let occupied: BTreeSet<String> = self
+                        .sharing
+                        .instances()
+                        .filter(|i| i.key != key && i.key.functional_type == key.functional_type)
+                        .map(|i| i.host.clone())
+                        .collect();
+                    if let Ok(host) = elect(
+                        &key,
+                        &self.config.sharing.election,
+                        &views,
+                        fabric_hops.as_ref(),
+                        &demand,
+                        &occupied,
+                    ) {
+                        self.sharing.set_host(&key, &host);
+                        self.trace.count("shared_hosts_reelected", 1);
+                    }
+                }
+            }
+        }
         // Graphs with a part on the dead node.
         let affected: Vec<String> = self
             .graphs
@@ -1221,11 +1454,14 @@ impl Domain {
                 Err(_) => {
                     // Park the spec with pins pruned to the surviving
                     // fleet so retry_pending can re-place it once
-                    // capacity returns.
+                    // capacity returns. A parked tenant is no live wire:
+                    // its shared leases are released (the instance drops
+                    // with its last tenant and re-registers on retry).
                     let serving = self.serving_nodes();
                     let mut hints = entry.hints.clone();
                     hints.endpoint_node.retain(|_, n| serving.contains(n));
                     hints.nf_node.retain(|_, n| serving.contains(n));
+                    self.release_shared(&gid);
                     self.trace.count("graphs_stranded", 1);
                     self.pending.insert(gid.clone(), (entry.original, hints));
                     report.stranded.push(gid);
@@ -1430,6 +1666,8 @@ impl Domain {
         }
         let nfs_moved = moved_count(&entry.assignment, &plan.assignment);
         let nfs_preserved = plan.assignment.len() - nfs_moved;
+        let (shared_nfs_moved, shared_migrated) = shared_blast(entry, &plan);
+        self.commit_shared(gid, &plan.shared);
         self.graphs.insert(
             gid.to_string(),
             DomainGraph {
@@ -1438,6 +1676,7 @@ impl Domain {
                 assignment: plan.assignment,
                 endpoints: plan.endpoints,
                 partition: plan.partition,
+                shared: plan.shared,
             },
         );
         Ok(RepairOutcome {
@@ -1448,6 +1687,8 @@ impl Domain {
             links_kept,
             nodes_touched,
             full_replace: false,
+            shared_nfs_moved,
+            shared_migrated,
         })
     }
 
@@ -1489,6 +1730,7 @@ impl Domain {
         let nfs_preserved = plan.assignment.len() - nfs_moved;
         let nodes_touched = plan.partition.parts.len();
         let links_rewired = plan.partition.links.len();
+        let (shared_nfs_moved, shared_migrated) = shared_blast(entry, &plan);
         self.install(&entry.original, &hints, plan)?;
         Ok(RepairOutcome {
             graph: gid.to_string(),
@@ -1498,6 +1740,8 @@ impl Domain {
             links_kept: 0,
             nodes_touched,
             full_replace: true,
+            shared_nfs_moved,
+            shared_migrated,
         })
     }
 
@@ -2027,6 +2271,95 @@ impl Domain {
             )
     }
 
+    /// Toggle the domain-wide sharable-NNF registry at runtime.
+    /// Deployed graphs keep the leases they hold; new plans (deploys,
+    /// updates, repairs) follow the switch.
+    pub fn set_sharing_enabled(&mut self, enabled: bool) {
+        if self.config.sharing.enabled != enabled {
+            self.config.sharing.enabled = enabled;
+            self.trace.count(
+                if enabled {
+                    "sharing_enabled"
+                } else {
+                    "sharing_disabled"
+                },
+                1,
+            );
+        }
+    }
+
+    /// Is the fleet-level sharing registry currently consulted?
+    pub fn sharing_enabled(&self) -> bool {
+        self.config.sharing.enabled
+    }
+
+    /// Snapshot of every live shared instance (key, host, leases).
+    pub fn shared_instances(&self) -> Vec<SharedInstance> {
+        self.sharing.instances().cloned().collect()
+    }
+
+    /// The shared leases a deployed graph holds (`None` for unknown
+    /// graphs; an empty map for tenants of nothing).
+    pub fn graph_shared_leases(&self, id: &str) -> Option<BTreeMap<ShareKey, SharedClaim>> {
+        self.graphs.get(id).map(|g| g.shared.clone())
+    }
+
+    /// The shared-NNF registry document (`GET /domain/shared`):
+    /// settings plus every instance with its host and tenant leases.
+    pub fn shared_doc(&self) -> un_nffg::Json {
+        use un_nffg::Json;
+        Json::obj()
+            .set("enabled", self.config.sharing.enabled)
+            .set("election", self.config.sharing.election.name())
+            .set(
+                "types",
+                Json::Arr(
+                    self.config
+                        .sharing
+                        .types
+                        .iter()
+                        .map(|t| Json::from(t.as_str()))
+                        .collect(),
+                ),
+            )
+            .set(
+                "max-leases",
+                match self.config.sharing.max_leases {
+                    Some(max) => Json::from(max),
+                    None => Json::Null,
+                },
+            )
+            .set(
+                "instances",
+                Json::Arr(
+                    self.sharing
+                        .instances()
+                        .map(|inst| {
+                            Json::obj()
+                                .set("type", inst.key.functional_type.as_str())
+                                .set("capability", inst.key.capability.as_str())
+                                .set("host", inst.host.as_str())
+                                .set("tenants", inst.tenant_count())
+                                .set("wires", inst.wires())
+                                .set(
+                                    "leases",
+                                    Json::Arr(
+                                        inst.leases
+                                            .iter()
+                                            .map(|(graph, nfs)| {
+                                                Json::obj()
+                                                    .set("graph", graph.as_str())
+                                                    .set("nfs", *nfs)
+                                            })
+                                            .collect(),
+                                    ),
+                                )
+                        })
+                        .collect(),
+                ),
+            )
+    }
+
     /// The domain's self-description as a JSON document.
     pub fn describe(&self) -> un_nffg::Json {
         use un_nffg::Json;
@@ -2084,6 +2417,21 @@ impl Domain {
                                     ),
                                 )
                                 .set("overlay_links", g.partition.links.len())
+                                .set(
+                                    "shared-leases",
+                                    Json::Arr(
+                                        g.shared
+                                            .iter()
+                                            .map(|(key, claim)| {
+                                                Json::obj()
+                                                    .set("type", key.functional_type.as_str())
+                                                    .set("capability", key.capability.as_str())
+                                                    .set("host", claim.host.as_str())
+                                                    .set("nfs", claim.nfs)
+                                            })
+                                            .collect(),
+                                    ),
+                                )
                         })
                         .collect(),
                 ),

@@ -1161,3 +1161,369 @@ fn describe_reports_fleet_and_links() {
     assert!(json.contains("\"g1\""));
     assert!(json.contains("\"vid\""));
 }
+
+// ----------------------------------------------------------------------
+// Domain-wide sharable-NNF registry
+// ----------------------------------------------------------------------
+
+use crate::sharing::{ElectionPolicy, SharingConfig, SharingError};
+
+/// One tenant NAT service: `lan`/`wan` VLAN endpoints (per-tenant vid)
+/// around a single NAT NF carrying the config its shared binding needs.
+fn nat_graph(id: &str, vid: u16, wan_cidr: &str) -> NfFg {
+    let cfg = un_nffg::NfConfig::default()
+        .with_param("lan-addr", "192.168.1.1/24")
+        .with_param("wan-addr", wan_cidr);
+    NfFgBuilder::new(id, "nat service")
+        .vlan_endpoint("lan", "eth0", vid)
+        .vlan_endpoint("wan", "eth1", vid)
+        .nf_with_config("nat", "nat", 2, cfg)
+        .chain("lan", &["nat"], "wan")
+        .build()
+}
+
+/// Endpoint hints pinning one tenant onto its home node.
+fn tenant_hints(node: &str) -> DeployHints {
+    DeployHints {
+        endpoint_node: [
+            ("lan".to_string(), node.to_string()),
+            ("wan".to_string(), node.to_string()),
+        ]
+        .into(),
+        ..DeployHints::default()
+    }
+}
+
+/// A full-mesh fleet of `n` nodes (`n1..`), every node exposing
+/// `eth0`/`eth1`, with the given sharing settings.
+fn sharing_fleet(n: usize, sharing: SharingConfig) -> Domain {
+    let mut d = Domain::new(DomainConfig {
+        sharing,
+        ..DomainConfig::default()
+    });
+    for i in 1..=n {
+        let mut node = UniversalNode::new(&format!("n{i}"), mb(2048));
+        node.add_physical_port("eth0");
+        node.add_physical_port("eth1");
+        d.add_node(node);
+    }
+    d
+}
+
+/// Make the host's shared-NAT namespace able to resolve 8.8.8.8 (the
+/// upstream neighbor every tenant's traffic heads for).
+fn nat_neigh(d: &mut Domain, host: &str, gid: &str) {
+    let node = d.node_mut(host).unwrap();
+    let (inst, _) = node.instance_of(gid, "nat").unwrap();
+    let ns = node.compute.native.namespace_of(inst.0).unwrap();
+    node.host
+        .neigh_add(ns, "8.8.8.8".parse().unwrap(), MacAddr::local(0x99))
+        .unwrap();
+}
+
+fn tenant_frame(vid: u16) -> un_packet::Packet {
+    PacketBuilder::new()
+        .ethernet(MacAddr::local(5), MacAddr::BROADCAST)
+        .vlan(vid)
+        .ipv4("192.168.1.10".parse().unwrap(), "8.8.8.8".parse().unwrap())
+        .udp(5000, 53)
+        .payload(b"dns?")
+        .build()
+}
+
+/// The acceptance scenario: a tenant on node A rides a shared NAT
+/// pinned to the non-adjacent node C of a line fabric (multi-hop over
+/// the transit middle), and its egress is byte-identical to a private
+/// (sharing-disabled) deployment of the same graph.
+#[test]
+fn remote_shared_nnf_over_multihop_is_byte_identical_to_private() {
+    let line = |sharing: SharingConfig| {
+        let mut d = Domain::new(DomainConfig {
+            topology: Topology::line(&["n1", "n2", "n3"], EdgeAttrs::default()),
+            sharing,
+            ..DomainConfig::default()
+        });
+        let mut n1 = UniversalNode::new("n1", mb(2048));
+        n1.add_physical_port("eth0");
+        n1.add_physical_port("eth1");
+        d.add_node(n1);
+        d.add_node(UniversalNode::new("n2", mb(2048)));
+        d.add_node(UniversalNode::new("n3", mb(2048)));
+        d
+    };
+    let mut shared = line(SharingConfig {
+        election: ElectionPolicy::Pinned([("nat".to_string(), "n3".to_string())].into()),
+        ..SharingConfig::for_types(&["nat"])
+    });
+    let mut private = line(SharingConfig::default());
+    let g = nat_graph("t1", 11, "203.0.113.1/24");
+    shared.deploy(&g).unwrap();
+    private.deploy(&g).unwrap();
+
+    // Shared: NAT landed on the pinned non-adjacent host, the lease is
+    // registered, and every overlay link rides the 3-node path.
+    assert_eq!(shared.assignment_of("t1").unwrap()["nat"], "n3");
+    let instances = shared.shared_instances();
+    assert_eq!(instances.len(), 1);
+    assert_eq!(instances[0].host, "n3");
+    assert_eq!(instances[0].leases.get("t1"), Some(&1));
+    assert_eq!(
+        shared.graph_shared_leases("t1").unwrap()[&ShareKey::new("nat", "")],
+        SharedClaim {
+            host: "n3".to_string(),
+            nfs: 1
+        }
+    );
+    assert_eq!(
+        shared.node("n3").unwrap().shared_nnf_graphs("nat"),
+        vec!["t1".to_string()]
+    );
+    for (vid, ..) in shared.link_stats() {
+        assert_eq!(shared.link_path(vid).unwrap().len(), 3, "multi-hop via n2");
+    }
+    // Private: everything stays on n1.
+    assert!(private
+        .assignment_of("t1")
+        .unwrap()
+        .values()
+        .all(|n| n == "n1"));
+    assert!(private.shared_instances().is_empty());
+
+    nat_neigh(&mut shared, "n3", "t1");
+    nat_neigh(&mut private, "n1", "t1");
+    let a = shared.inject("n1", "eth0", tenant_frame(11));
+    let b = private.inject("n1", "eth0", tenant_frame(11));
+    assert_eq!(a.emitted.len(), 1, "{:?}", shared.trace);
+    assert_eq!(b.emitted.len(), 1, "{:?}", private.trace);
+    assert_eq!(a.emitted[0].0, "n1");
+    assert_eq!(a.emitted[0].1, b.emitted[0].1, "same egress interface");
+    assert_eq!(
+        a.emitted[0].2.data(),
+        b.emitted[0].2.data(),
+        "remote shared instance must be transparent byte-for-byte"
+    );
+    assert_eq!(a.overlay_hops, 4, "2 fabric hops to the NAT, 2 back");
+    assert_eq!(b.overlay_hops, 0, "private deployment stays local");
+}
+
+#[test]
+fn shared_host_failure_reelects_and_reroutes_every_tenant() {
+    let mut d = sharing_fleet(3, SharingConfig::for_types(&["nat"]));
+    for (i, node) in ["n1", "n2", "n3"].iter().enumerate() {
+        let gid = format!("t{}", i + 1);
+        let g = nat_graph(&gid, 11 + i as u16, "203.0.113.1/24");
+        d.deploy_with(&g, &tenant_hints(node)).unwrap();
+    }
+    // First demand elected n1; every tenant leases the one instance.
+    let inst = &d.shared_instances()[0];
+    assert_eq!(inst.host, "n1");
+    assert_eq!(inst.tenant_count(), 3);
+    assert_eq!(
+        d.node("n1").unwrap().shared_nnf_graphs("nat").len(),
+        3,
+        "one node-level instance binds all three tenants"
+    );
+    // Tenants off-host reach the instance remotely.
+    assert_eq!(d.assignment_of("t2").unwrap()["nat"], "n1");
+    assert_eq!(d.assignment_of("t3").unwrap()["nat"], "n1");
+
+    let report = d.fail_node("n1").unwrap();
+    assert_eq!(report.replaced.len(), 3, "{report:?}");
+    assert!(report.stranded.is_empty());
+    // The registry re-elected once; every tenant converged on the new
+    // host, and each repair attributes the move to the shared instance.
+    let inst = &d.shared_instances()[0];
+    assert_eq!(inst.host, "n2", "deterministic re-election");
+    assert_eq!(inst.tenant_count(), 3);
+    for outcome in &report.repairs {
+        assert_eq!(outcome.shared_nfs_moved, 1, "{outcome:?}");
+        assert_eq!(
+            outcome.shared_migrated,
+            vec![("nat".to_string(), "n2".to_string())],
+            "{outcome:?}"
+        );
+        assert!(outcome.nfs_moved >= outcome.shared_nfs_moved);
+    }
+    for gid in ["t1", "t2", "t3"] {
+        assert_eq!(d.assignment_of(gid).unwrap()["nat"], "n2");
+    }
+    assert_eq!(d.node("n2").unwrap().shared_nnf_graphs("nat").len(), 3);
+
+    // The re-homed instance still serves every tenant end to end
+    // (their endpoints stayed home: t2 on n2, t3 on n3 — t3's traffic
+    // now crosses the overlay to n2's instance).
+    nat_neigh(&mut d, "n2", "t2");
+    for (gid, home, vid) in [("t2", "n2", 12u16), ("t3", "n3", 13)] {
+        let io = d.inject(home, "eth0", tenant_frame(vid));
+        assert_eq!(io.emitted.len(), 1, "{gid} must still forward");
+        assert_eq!(io.emitted[0].0, home, "{gid} egresses at home");
+    }
+}
+
+#[test]
+fn lease_capacity_is_typed_and_never_double_counts_a_held_lease() {
+    let mut d = sharing_fleet(
+        2,
+        SharingConfig {
+            max_leases: Some(1),
+            ..SharingConfig::for_types(&["nat"])
+        },
+    );
+    let t1 = nat_graph("t1", 11, "203.0.113.1/24");
+    d.deploy_with(&t1, &tenant_hints("n1")).unwrap();
+    // Second tenant: the instance is full — a typed error, no deploy.
+    let err = d
+        .deploy_with(&nat_graph("t2", 12, "198.51.100.1/24"), &tenant_hints("n2"))
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            DomainError::Sharing(SharingError::CapacityExhausted { max_leases: 1, .. })
+        ),
+        "got {err:?}"
+    );
+    // Regression: re-planning the tenant that holds the lease must not
+    // count its own lease against the capacity.
+    let mut tweaked = t1.clone();
+    tweaked.flow_rules[0].priority += 1;
+    d.update(&tweaked).unwrap();
+    assert_eq!(d.shared_instances()[0].tenant_count(), 1);
+    // The freed lease admits the waiting tenant.
+    d.undeploy("t1").unwrap();
+    assert!(d.shared_instances().is_empty(), "last lease drops instance");
+    d.deploy_with(&nat_graph("t2", 12, "198.51.100.1/24"), &tenant_hints("n2"))
+        .unwrap();
+    assert_eq!(d.shared_instances()[0].tenant_count(), 1);
+}
+
+#[test]
+fn sharing_toggle_applies_to_new_plans_only() {
+    let mut d = sharing_fleet(
+        2,
+        SharingConfig {
+            enabled: false,
+            ..SharingConfig::for_types(&["nat"])
+        },
+    );
+    assert!(!d.sharing_enabled());
+    let t1 = nat_graph("t1", 11, "203.0.113.1/24");
+    d.deploy_with(&t1, &tenant_hints("n1")).unwrap();
+    assert!(d.shared_instances().is_empty(), "disabled: no leases");
+    assert_eq!(d.assignment_of("t1").unwrap()["nat"], "n1");
+
+    d.set_sharing_enabled(true);
+    d.deploy_with(&nat_graph("t2", 12, "198.51.100.1/24"), &tenant_hints("n2"))
+        .unwrap();
+    let inst = &d.shared_instances()[0];
+    assert_eq!(inst.host, "n2", "first demand after the toggle");
+    assert_eq!(inst.tenant_count(), 1, "t1 predates the registry");
+
+    // Updating the pre-registry tenant converges it onto the shared
+    // instance (and acquires its lease).
+    let mut tweaked = t1.clone();
+    tweaked.flow_rules[0].priority += 1;
+    d.update(&tweaked).unwrap();
+    assert_eq!(d.assignment_of("t1").unwrap()["nat"], "n2");
+    assert_eq!(d.shared_instances()[0].tenant_count(), 2);
+
+    // Toggling off releases on the next re-plan, never retroactively.
+    d.set_sharing_enabled(false);
+    assert_eq!(d.shared_instances()[0].tenant_count(), 2);
+    let mut tweaked2 = tweaked.clone();
+    tweaked2.flow_rules[0].priority += 1;
+    d.update(&tweaked2).unwrap();
+    let inst = &d.shared_instances()[0];
+    assert_eq!(inst.tenant_count(), 1, "t1 released its lease");
+    assert_eq!(
+        d.assignment_of("t1").unwrap()["nat"],
+        "n2",
+        "survivor pin keeps the NF in place without a lease"
+    );
+}
+
+#[test]
+fn pinned_host_death_parks_tenants_until_recovery() {
+    let mut d = sharing_fleet(
+        3,
+        SharingConfig {
+            election: ElectionPolicy::Pinned([("nat".to_string(), "n2".to_string())].into()),
+            ..SharingConfig::for_types(&["nat"])
+        },
+    );
+    d.deploy_with(&nat_graph("t1", 11, "203.0.113.1/24"), &tenant_hints("n1"))
+        .unwrap();
+    d.deploy_with(&nat_graph("t3", 13, "198.51.100.1/24"), &tenant_hints("n3"))
+        .unwrap();
+    assert_eq!(d.shared_instances()[0].host, "n2");
+
+    // The pinned host dies: no re-election is possible, every tenant
+    // parks, and the last released lease drops the instance.
+    let report = d.fail_node("n2").unwrap();
+    assert!(report.replaced.is_empty(), "{report:?}");
+    assert_eq!(report.stranded.len(), 2);
+    assert!(d.shared_instances().is_empty(), "no orphan instance");
+    assert_eq!(d.pending_graphs().len(), 2);
+
+    // Recovery re-places the parked tenants and restores the leases.
+    let retried = d.recover_node("n2").unwrap();
+    assert_eq!(retried.len(), 2, "{retried:?}");
+    let inst = &d.shared_instances()[0];
+    assert_eq!(inst.host, "n2");
+    assert_eq!(inst.tenant_count(), 2);
+}
+
+#[test]
+fn shared_docs_surface_instances_and_leases() {
+    let mut d = sharing_fleet(2, SharingConfig::for_types(&["nat"]));
+    d.deploy_with(&nat_graph("t1", 11, "203.0.113.1/24"), &tenant_hints("n1"))
+        .unwrap();
+    d.deploy_with(&nat_graph("t2", 12, "198.51.100.1/24"), &tenant_hints("n2"))
+        .unwrap();
+    let doc = d.shared_doc().render();
+    assert!(doc.contains("\"enabled\":true"), "{doc}");
+    assert!(doc.contains("\"election\":\"first-demand\""), "{doc}");
+    assert!(doc.contains("\"type\":\"nat\""), "{doc}");
+    assert!(doc.contains("\"host\":\"n1\""), "{doc}");
+    assert!(doc.contains("\"tenants\":2"), "{doc}");
+    assert!(doc.contains("\"graph\":\"t1\""), "{doc}");
+    // The fleet document carries per-graph lease docs.
+    let fleet = d.describe().render();
+    assert!(fleet.contains("\"shared-leases\""), "{fleet}");
+    assert!(fleet.contains("\"host\":\"n1\""), "{fleet}");
+}
+
+#[test]
+fn sibling_capability_pools_never_co_elect_one_host() {
+    // One graph demands TWO NAT pools (default + cgnat) in a single
+    // deploy. Node-level NAT is a singleton, so the registry must put
+    // the pools on different hosts — including when both elections
+    // happen inside one plan (the registry is still empty for both).
+    let mut d = sharing_fleet(2, SharingConfig::for_types(&["nat"]));
+    let cfg = |cap: Option<&str>, wan: &str| {
+        let mut c = un_nffg::NfConfig::default()
+            .with_param("lan-addr", "192.168.1.1/24")
+            .with_param("wan-addr", wan);
+        if let Some(cap) = cap {
+            c = c.with_param("share-capability", cap);
+        }
+        c
+    };
+    let g = NfFgBuilder::new("t1", "two pools")
+        .vlan_endpoint("lan", "eth0", 11)
+        .vlan_endpoint("wan", "eth1", 11)
+        .nf_with_config("nat-a", "nat", 2, cfg(None, "203.0.113.1/24"))
+        .nf_with_config("nat-b", "nat", 2, cfg(Some("cgnat"), "198.51.100.1/24"))
+        .chain("lan", &["nat-a", "nat-b"], "wan")
+        .build();
+    d.deploy_with(&g, &tenant_hints("n1")).unwrap();
+    let instances = d.shared_instances();
+    assert_eq!(instances.len(), 2);
+    assert_ne!(
+        instances[0].host, instances[1].host,
+        "sibling pools must not share a node-level singleton"
+    );
+    let a = d.assignment_of("t1").unwrap();
+    assert_ne!(a["nat-a"], a["nat-b"]);
+    // One graph, one lease per pool.
+    assert_eq!(d.graph_shared_leases("t1").unwrap().len(), 2);
+}

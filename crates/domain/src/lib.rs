@@ -22,6 +22,10 @@
 //!   sub-graphs and synthesize endpoint pairs for every cut edge.
 //!   Reassembly ([`partition::reassemble`]) is the exact inverse,
 //!   which the property tests exploit.
+//! * [`sharing`] — the domain-wide sharable-NNF registry: one native
+//!   instance serving tenant graphs across the whole fleet, with
+//!   explicit per-graph leases, host election (first-demand /
+//!   topology-centroid / pinned), and host re-election on failure.
 //! * [`topology`] — the fabric: an explicit node-adjacency graph
 //!   ([`topology::Topology`], per-edge latency/capacity, full mesh by
 //!   default) with a deterministic Dijkstra path engine. Overlay links
@@ -40,6 +44,7 @@
 pub mod domain;
 pub mod partition;
 pub mod placement;
+pub mod sharing;
 pub mod topology;
 
 pub use domain::{
@@ -50,4 +55,7 @@ pub use partition::{
     install_transit, partition, reassemble, OverlayLink, Partition, PartitionError,
 };
 pub use placement::{assign, assign_endpoints, NodeView, PlaceError, PlacementStrategy};
+pub use sharing::{
+    ElectionPolicy, ShareKey, SharedClaim, SharedInstance, SharingConfig, SharingError,
+};
 pub use topology::{EdgeAttrs, Topology};

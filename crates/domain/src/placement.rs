@@ -22,6 +22,8 @@ use std::fmt;
 
 use un_nffg::{NfFg, PortRef};
 
+use crate::topology::Topology;
+
 /// What the domain scheduler knows about one node.
 #[derive(Debug, Clone)]
 pub struct NodeView {
@@ -35,6 +37,10 @@ pub struct NodeView {
     pub native_types: BTreeSet<String>,
     /// Functional types with a running, joinable shared NNF.
     pub shared_running: BTreeSet<String>,
+    /// Functional types whose catalog descriptor marks a single
+    /// instance *sharable* across graphs (the nodes eligible to host a
+    /// domain-shared instance).
+    pub sharable_types: BTreeSet<String>,
     /// Physical interface names (for endpoint placement).
     pub ports: BTreeSet<String>,
     /// False once the node is considered failed.
@@ -91,15 +97,31 @@ impl fmt::Display for PlaceError {
 
 impl std::error::Error for PlaceError {}
 
+/// Interface name an endpoint needs, if any.
+fn endpoint_iface(ep: &un_nffg::Endpoint) -> Option<&str> {
+    match &ep.kind {
+        un_nffg::EndpointKind::Interface { if_name }
+        | un_nffg::EndpointKind::Vlan { if_name, .. } => Some(if_name.as_str()),
+        un_nffg::EndpointKind::Internal { .. } => None,
+    }
+}
+
 /// Assign every endpoint of `graph` to a node.
 ///
-/// Pinned endpoints are honored (and verified); interface/VLAN
-/// endpoints otherwise go to the first alive node exposing the
-/// interface, internal endpoints to the anchor (first alive) node.
+/// Pinned endpoints are honored (and verified). With an explicit
+/// fabric topology (`fabric_hops` is the hop matrix), an unpinned
+/// interface/VLAN endpoint goes to the **topologically closest** alive
+/// owner of the interface — closest meaning minimum total hop distance
+/// to the endpoints already assigned (pins first, then declaration
+/// order), so a graph's endpoints cluster and the overlay paths
+/// between them stay short. Ties, the very first endpoint, and
+/// full-mesh mode (`None`) keep the old first-alive-owner choice;
+/// internal endpoints go to the anchor (first alive) node.
 pub fn assign_endpoints(
     graph: &NfFg,
     views: &[NodeView],
     pins: &BTreeMap<String, String>,
+    fabric_hops: Option<&BTreeMap<String, BTreeMap<String, u32>>>,
 ) -> Result<BTreeMap<String, String>, PlaceError> {
     let anchor = views
         .iter()
@@ -107,32 +129,58 @@ pub fn assign_endpoints(
         .map(|v| v.name.clone())
         .ok_or(PlaceError::NoNodes)?;
     let mut out = BTreeMap::new();
+    // Pinned endpoints first: they anchor the distance scoring below.
     for ep in &graph.endpoints {
-        let if_name = match &ep.kind {
-            un_nffg::EndpointKind::Interface { if_name }
-            | un_nffg::EndpointKind::Vlan { if_name, .. } => Some(if_name.clone()),
-            un_nffg::EndpointKind::Internal { .. } => None,
+        let Some(pin) = pins.get(&ep.id) else {
+            continue;
         };
-        let node = if let Some(pin) = pins.get(&ep.id) {
-            let ok = views.iter().any(|v| {
-                v.alive && v.name == *pin && if_name.as_ref().is_none_or(|i| v.ports.contains(i))
+        let if_name = endpoint_iface(ep);
+        let ok = views
+            .iter()
+            .any(|v| v.alive && v.name == *pin && if_name.is_none_or(|i| v.ports.contains(i)));
+        if !ok {
+            return Err(PlaceError::BadEndpointPin {
+                endpoint: ep.id.clone(),
+                node: pin.clone(),
             });
-            if !ok {
-                return Err(PlaceError::BadEndpointPin {
+        }
+        out.insert(ep.id.clone(), pin.clone());
+    }
+    for ep in &graph.endpoints {
+        if out.contains_key(&ep.id) {
+            continue;
+        }
+        let node = if let Some(if_name) = endpoint_iface(ep) {
+            let owners: Vec<&NodeView> = views
+                .iter()
+                .filter(|v| v.alive && v.ports.contains(if_name))
+                .collect();
+            if owners.is_empty() {
+                return Err(PlaceError::NoSuchInterface {
                     endpoint: ep.id.clone(),
-                    node: pin.clone(),
+                    if_name: if_name.to_string(),
                 });
             }
-            pin.clone()
-        } else if let Some(if_name) = &if_name {
-            views
-                .iter()
-                .find(|v| v.alive && v.ports.contains(if_name))
-                .map(|v| v.name.clone())
-                .ok_or_else(|| PlaceError::NoSuchInterface {
-                    endpoint: ep.id.clone(),
-                    if_name: if_name.clone(),
-                })?
+            match fabric_hops {
+                // Full mesh: every owner is one hop from everything.
+                None => owners[0].name.clone(),
+                Some(_) => {
+                    // Closest owner to the endpoints placed so far;
+                    // stable (first-owner) on ties and when nothing is
+                    // placed yet.
+                    let mut best: (&NodeView, u64) = (owners[0], u64::MAX);
+                    for owner in &owners {
+                        let score: u64 = out
+                            .values()
+                            .map(|n| u64::from(Topology::hop_distance(fabric_hops, &owner.name, n)))
+                            .sum();
+                        if score < best.1 {
+                            best = (owner, score);
+                        }
+                    }
+                    best.0.name.clone()
+                }
+            }
         } else {
             anchor.clone()
         };
@@ -151,17 +199,21 @@ const COLOCATE_BONUS: i64 = 10_000;
 /// and to dominate it even at one extra hop unless memory differs by
 /// gigabytes.
 const PATH_PENALTY_PER_HOP: i64 = 4_000;
-/// Hop distance assumed for a peer the candidate cannot reach at all
-/// (disconnected topology), used only among fallback candidates: far
-/// enough that a less-disconnected node wins.
-const UNREACHABLE_HOPS: u32 = 16;
-
 /// Assign every NF of `graph` to a node.
 ///
 /// `estimates` maps NF id → estimated RAM; `endpoint_node` is the
 /// (already computed) endpoint assignment, used for adjacency scoring;
 /// `pins` forces specific NFs onto specific nodes (used to keep
 /// surviving NFs in place across updates and re-placements).
+///
+/// `held_leases` maps each functional type to the hosts whose
+/// domain-shared instances this graph **already holds a lease on**
+/// (one per capability pool). The per-node shared-reuse bonus (and
+/// its free-capacity treatment) then applies only on those hosts:
+/// without the restriction, two NFs of one sharable type could be
+/// scattered across *different* nodes' shared instances — the graph
+/// would hold one lease but consume two instances, double-counting
+/// the reuse the lease accounts for.
 ///
 /// `fabric_hops` is the hop-distance matrix of the fabric topology
 /// (`Topology::hop_matrix`): `None` means full mesh — every pair one
@@ -178,18 +230,29 @@ const UNREACHABLE_HOPS: u32 = 16;
 /// disconnected candidates stay eligible as a last resort (scored with
 /// `UNREACHABLE_HOPS` per unreachable peer) so an impossible placement
 /// still surfaces as the more descriptive routing error downstream.
+#[allow(clippy::too_many_arguments)] // a scheduler input per concern, all orthogonal
 pub fn assign(
     graph: &NfFg,
     views: &[NodeView],
     estimates: &BTreeMap<String, u64>,
     endpoint_node: &BTreeMap<String, String>,
     pins: &BTreeMap<String, String>,
+    held_leases: &BTreeMap<String, BTreeSet<String>>,
     strategy: PlacementStrategy,
     fabric_hops: Option<&BTreeMap<String, BTreeMap<String, u32>>>,
 ) -> Result<BTreeMap<String, String>, PlaceError> {
     if !views.iter().any(|v| v.alive) {
         return Err(PlaceError::NoNodes);
     }
+    // A node's shared instance is only "free reuse" for this graph if
+    // the graph does not already hold a lease on the same type
+    // elsewhere (see `held_leases` above).
+    let joinable = |view: &NodeView, functional_type: &String| {
+        view.shared_running.contains(functional_type)
+            && held_leases
+                .get(functional_type)
+                .is_none_or(|hosts| hosts.contains(&view.name))
+    };
     // Running free-memory picture as NFs are placed.
     let mut free: BTreeMap<&str, u64> = views
         .iter()
@@ -260,7 +323,7 @@ pub fn assign(
             let avail = free.get(view.name.as_str()).copied().unwrap_or(0);
             // A shared joinable instance costs nothing extra; otherwise
             // the estimate must fit.
-            let reusable = view.shared_running.contains(&nf.functional_type);
+            let reusable = joinable(view, &nf.functional_type);
             if !reusable && avail < needed {
                 continue;
             }
@@ -293,12 +356,8 @@ pub fn assign(
                     };
                     if peer_node == view.name.as_str() {
                         score += COLOCATE_BONUS;
-                    } else if let Some(hops) = fabric_hops {
-                        let d = hops
-                            .get(peer_node)
-                            .and_then(|row| row.get(view.name.as_str()))
-                            .copied()
-                            .unwrap_or(UNREACHABLE_HOPS);
+                    } else if fabric_hops.is_some() {
+                        let d = Topology::hop_distance(fabric_hops, peer_node, view.name.as_str());
                         score -= PATH_PENALTY_PER_HOP * i64::from(d.saturating_sub(1));
                     }
                 }
@@ -321,7 +380,7 @@ pub fn assign(
                 needed,
             });
         };
-        let reusable = view.shared_running.contains(&nf.functional_type);
+        let reusable = joinable(view, &nf.functional_type);
         if !reusable {
             let slot = free.get_mut(view.name.as_str()).expect("alive node");
             *slot = slot.saturating_sub(needed);
@@ -349,6 +408,7 @@ mod tests {
             capacity: free_mb << 20,
             native_types: native.iter().map(|s| s.to_string()).collect(),
             shared_running: shared.iter().map(|s| s.to_string()).collect(),
+            sharable_types: shared.iter().map(|s| s.to_string()).collect(),
             ports: ports.iter().map(|s| s.to_string()).collect(),
             alive: true,
         }
@@ -390,12 +450,13 @@ mod tests {
             view("native", 4096, &["firewall", "ipsec"], &[], &[]),
             view("sharing", 64, &[], &["firewall", "ipsec"], &[]),
         ];
-        let eps = assign_endpoints(&g, &views, &BTreeMap::new()).unwrap();
+        let eps = assign_endpoints(&g, &views, &BTreeMap::new(), None).unwrap();
         let a = assign(
             &g,
             &views,
             &est(&g, 512),
             &eps,
+            &BTreeMap::new(),
             &BTreeMap::new(),
             PlacementStrategy::Pack,
             None,
@@ -416,12 +477,13 @@ mod tests {
             &[],
             &["eth0", "eth1"],
         )];
-        let eps = assign_endpoints(&g, &views, &BTreeMap::new()).unwrap();
+        let eps = assign_endpoints(&g, &views, &BTreeMap::new(), None).unwrap();
         let err = assign(
             &g,
             &views,
             &est(&g, 512),
             &eps,
+            &BTreeMap::new(),
             &BTreeMap::new(),
             PlacementStrategy::Pack,
             None,
@@ -437,12 +499,13 @@ mod tests {
             view("n1", 4096, &["firewall", "ipsec"], &[], &["eth0", "eth1"]),
             view("n2", 8192, &["firewall", "ipsec"], &[], &[]),
         ];
-        let eps = assign_endpoints(&g, &views, &BTreeMap::new()).unwrap();
+        let eps = assign_endpoints(&g, &views, &BTreeMap::new(), None).unwrap();
         let pack = assign(
             &g,
             &views,
             &est(&g, 512),
             &eps,
+            &BTreeMap::new(),
             &BTreeMap::new(),
             PlacementStrategy::Pack,
             None,
@@ -461,6 +524,7 @@ mod tests {
             &est(&g, 512),
             &eps,
             &BTreeMap::new(),
+            &BTreeMap::new(),
             PlacementStrategy::Spread,
             None,
         )
@@ -475,7 +539,7 @@ mod tests {
             view("n1", 4096, &[], &[], &["eth0", "eth1"]),
             view("n2", 4096, &[], &[], &[]),
         ];
-        let eps = assign_endpoints(&g, &views, &BTreeMap::new()).unwrap();
+        let eps = assign_endpoints(&g, &views, &BTreeMap::new(), None).unwrap();
         let pins: BTreeMap<String, String> = [("fw".to_string(), "n2".to_string())].into();
         let a = assign(
             &g,
@@ -483,6 +547,7 @@ mod tests {
             &est(&g, 64),
             &eps,
             &pins,
+            &BTreeMap::new(),
             PlacementStrategy::Pack,
             None,
         )
@@ -496,6 +561,7 @@ mod tests {
             &est(&g, 64),
             &eps,
             &pins,
+            &BTreeMap::new(),
             PlacementStrategy::Pack,
             None,
         )
@@ -515,8 +581,13 @@ mod tests {
             view("n2", 4096, &[], &[], &["eth1"]),
             view("n3", 8192, &[], &[], &["eth1"]),
         ];
-        let eps =
-            assign_endpoints(&g, &views, &[("wan".to_string(), "n1".to_string())].into()).unwrap();
+        let eps = assign_endpoints(
+            &g,
+            &views,
+            &[("wan".to_string(), "n1".to_string())].into(),
+            None,
+        )
+        .unwrap();
         let hops = matrix(&[("n1", "n2", 1), ("n1", "n3", 3), ("n2", "n3", 2)]);
         let place = |matrix: Option<&BTreeMap<String, BTreeMap<String, u32>>>| {
             assign(
@@ -524,6 +595,7 @@ mod tests {
                 &views,
                 &est(&g, 512),
                 &eps,
+                &BTreeMap::new(),
                 &BTreeMap::new(),
                 PlacementStrategy::Spread,
                 matrix,
@@ -547,8 +619,13 @@ mod tests {
             view("n2", 4096, &[], &[], &["eth1"]),
             view("island", 4096, &["ipsec"], &["ipsec"], &["eth1"]),
         ];
-        let eps =
-            assign_endpoints(&g, &views, &[("wan".to_string(), "n1".to_string())].into()).unwrap();
+        let eps = assign_endpoints(
+            &g,
+            &views,
+            &[("wan".to_string(), "n1".to_string())].into(),
+            None,
+        )
+        .unwrap();
         let pins: BTreeMap<String, String> = [("fw".to_string(), "n1".to_string())].into();
         // Matrix from a topology where island has no edges: pairs
         // involving it are simply absent.
@@ -559,6 +636,7 @@ mod tests {
             &est(&g, 512),
             &eps,
             &pins,
+            &BTreeMap::new(),
             PlacementStrategy::Spread,
             Some(&hops),
         )
@@ -585,13 +663,14 @@ mod tests {
             view("n2", 4096, &[], &[], &[]),
             view("island", 4096, &["bridge"], &["bridge"], &[]),
         ];
-        let eps = assign_endpoints(&g, &views, &BTreeMap::new()).unwrap();
+        let eps = assign_endpoints(&g, &views, &BTreeMap::new(), None).unwrap();
         let hops = matrix(&[("n1", "n2", 1)]);
         let a = assign(
             &g,
             &views,
             &est(&g, 512),
             &eps,
+            &BTreeMap::new(),
             &BTreeMap::new(),
             PlacementStrategy::Pack,
             Some(&hops),
@@ -609,15 +688,93 @@ mod tests {
             view("n1", 1024, &[], &[], &["eth0"]),
             view("n2", 1024, &[], &[], &["eth1"]),
         ];
-        let eps = assign_endpoints(&g, &views, &BTreeMap::new()).unwrap();
+        let eps = assign_endpoints(&g, &views, &BTreeMap::new(), None).unwrap();
         assert_eq!(eps["lan"], "n1");
         assert_eq!(eps["wan"], "n2");
         let err = assign_endpoints(
             &g,
             &[view("n1", 1024, &[], &[], &["eth0"])],
             &BTreeMap::new(),
+            None,
         )
         .unwrap_err();
         assert!(matches!(err, PlaceError::NoSuchInterface { .. }));
+    }
+
+    #[test]
+    fn endpoints_prefer_the_topologically_closest_owner() {
+        // Line a–b–c–d. eth0 only on a; eth1 on d (listed first) and b.
+        // The old rule takes the first alive owner (d, three hops from
+        // the lan endpoint); the topology-aware rule must take b (one
+        // hop). Full-mesh mode keeps the old choice.
+        let g = chain();
+        let views = vec![
+            view("a", 1024, &[], &[], &["eth0"]),
+            view("d", 1024, &[], &[], &["eth1"]),
+            view("b", 1024, &[], &[], &["eth1"]),
+        ];
+        let hops = matrix(&[
+            ("a", "b", 1),
+            ("a", "c", 2),
+            ("a", "d", 3),
+            ("b", "c", 1),
+            ("b", "d", 2),
+            ("c", "d", 1),
+        ]);
+        let eps = assign_endpoints(&g, &views, &BTreeMap::new(), Some(&hops)).unwrap();
+        assert_eq!(eps["lan"], "a");
+        assert_eq!(eps["wan"], "b", "closest owner over the line fabric");
+        let eps = assign_endpoints(&g, &views, &BTreeMap::new(), None).unwrap();
+        assert_eq!(eps["wan"], "d", "full mesh keeps first-owner order");
+        // A pinned peer anchors the choice the same way.
+        let pins: BTreeMap<String, String> = [("lan".to_string(), "a".to_string())].into();
+        let eps = assign_endpoints(&g, &views, &pins, Some(&hops)).unwrap();
+        assert_eq!(eps["wan"], "b");
+    }
+
+    #[test]
+    fn held_lease_restricts_shared_bonus_to_the_lease_host() {
+        // Two NFs of one sharable type; BOTH nodes run a joinable
+        // shared instance. Without the lease restriction, Spread's
+        // memory tie-break splits the NFs across the two instances —
+        // the graph would hold one lease but consume two shared
+        // instances. With the held lease on node a, both NFs must land
+        // there.
+        let g = NfFgBuilder::new("g", "two-nat")
+            .interface_endpoint("lan", "eth0")
+            .nf("x1", "nat", 2)
+            .nf("x2", "nat", 2)
+            .rule_through("r1", 10, "lan", ("x1", 0))
+            .build();
+        let views = vec![
+            view("a", 1024, &[], &["nat"], &["eth0"]),
+            view("b", 8192, &[], &["nat"], &[]),
+        ];
+        let eps = assign_endpoints(&g, &views, &BTreeMap::new(), None).unwrap();
+        let place = |held: &BTreeMap<String, BTreeSet<String>>| {
+            assign(
+                &g,
+                &views,
+                &est(&g, 64),
+                &eps,
+                &BTreeMap::new(),
+                held,
+                PlacementStrategy::Spread,
+                None,
+            )
+            .unwrap()
+        };
+        // The regression: no lease knowledge → the instances are
+        // double-counted (x1 pulled to a by adjacency, x2 drifts to
+        // b's emptier instance).
+        let split = place(&BTreeMap::new());
+        assert_eq!(split["x1"], "a");
+        assert_eq!(split["x2"], "b", "scenario must exhibit the split");
+        // Holding the lease on a confines the shared bonus there.
+        let held: BTreeMap<String, BTreeSet<String>> =
+            [("nat".to_string(), ["a".to_string()].into())].into();
+        let fixed = place(&held);
+        assert_eq!(fixed["x1"], "a");
+        assert_eq!(fixed["x2"], "a", "one lease, one instance");
     }
 }

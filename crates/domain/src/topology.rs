@@ -16,6 +16,11 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+/// Hop distance assumed between nodes a hop matrix reports no path
+/// for: far enough that any connected candidate wins every distance
+/// comparison, without overflowing summed scores.
+pub const UNREACHABLE_HOPS: u32 = 16;
+
 /// Properties of one fabric edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EdgeAttrs {
@@ -265,6 +270,30 @@ impl Topology {
             out.insert(src.clone(), row);
         }
         Some(out)
+    }
+
+    /// Hop distance between two nodes given an optional hop matrix
+    /// (`None` = full mesh): 0 to itself, 1 between any full-mesh
+    /// pair, the matrix entry otherwise, [`UNREACHABLE_HOPS`] when the
+    /// matrix has no path. One definition shared by the placement
+    /// scorer, endpoint assignment, and shared-NNF host election, so
+    /// the three can never disagree on what "unreachable" costs.
+    pub fn hop_distance(
+        fabric_hops: Option<&BTreeMap<String, BTreeMap<String, u32>>>,
+        a: &str,
+        b: &str,
+    ) -> u32 {
+        if a == b {
+            return 0;
+        }
+        match fabric_hops {
+            None => 1,
+            Some(hops) => hops
+                .get(a)
+                .and_then(|row| row.get(b))
+                .copied()
+                .unwrap_or(UNREACHABLE_HOPS),
+        }
     }
 
     /// Is `path` a valid walk through this topology (consecutive nodes

@@ -6,6 +6,7 @@
 //! |--------|-----------------------------|------------------------------------|
 //! | GET    | `/domain`                   | fleet + graphs + links document    |
 //! | GET    | `/domain/topology`          | fabric topology + per-link overlay paths |
+//! | GET    | `/domain/shared`            | shared-NNF registry: instances, hosts, leases |
 //! | GET    | `/domain/nodes`             | nodes with health (alive/suspect/failed) |
 //! | POST   | `/domain/nodes/<n>/fail`    | declare a node failed (repair)     |
 //! | POST   | `/domain/nodes/<n>/recover` | bring a failed node back, retry pending |
@@ -16,8 +17,10 @@
 //!
 //! The fail response carries the per-graph [`un_domain::RepairOutcome`]
 //! (`repairs`: NFs moved/preserved, links rewired/kept, nodes touched,
-//! whether the repair fell back to a full re-place) so operators can
-//! see each failure's blast radius.
+//! whether the repair fell back to a full re-place, and the
+//! shared-tenancy share — NFs that moved because a shared instance was
+//! re-hosted) so operators can see each failure's blast radius. The
+//! `/domain` document lists each graph's shared-NNF leases.
 
 use std::io;
 use std::net::{TcpListener, TcpStream};
@@ -72,6 +75,20 @@ fn repair_report_json(name: &str, report: &ReplacementReport) -> String {
                             .set("links-kept", r.links_kept)
                             .set("nodes-touched", r.nodes_touched)
                             .set("full-replace", r.full_replace)
+                            .set("shared-nfs-moved", r.shared_nfs_moved)
+                            .set(
+                                "shared-migrated",
+                                Json::Arr(
+                                    r.shared_migrated
+                                        .iter()
+                                        .map(|(key, host)| {
+                                            Json::obj()
+                                                .set("instance", key.as_str())
+                                                .set("host", host.as_str())
+                                        })
+                                        .collect(),
+                                ),
+                            )
                     })
                     .collect(),
             ),
@@ -87,6 +104,9 @@ pub fn handle_cluster(domain: &DomainHandle, req: &Request) -> Response {
         ("GET", ["domain"]) => Response::json(StatusCode::Ok, domain.lock().describe().render()),
         ("GET", ["domain", "topology"]) => {
             Response::json(StatusCode::Ok, domain.lock().topology_doc().render())
+        }
+        ("GET", ["domain", "shared"]) => {
+            Response::json(StatusCode::Ok, domain.lock().shared_doc().render())
         }
         ("GET", ["domain", "nodes"]) => {
             let domain = domain.lock();
@@ -412,6 +432,66 @@ mod tests {
         // The links section of /domain carries the path too.
         let r = handle_cluster(&d, &req("GET", "/domain", ""));
         assert!(r.body.contains("\"path\""), "{}", r.body);
+    }
+
+    #[test]
+    fn cluster_reports_shared_registry_and_lease_docs() {
+        use un_domain::{DomainConfig, SharingConfig};
+        let mut d = Domain::new(DomainConfig {
+            sharing: SharingConfig::for_types(&["nat"]),
+            ..DomainConfig::default()
+        });
+        for name in ["n1", "n2"] {
+            let mut n = UniversalNode::new(name, mb(2048));
+            n.add_physical_port("eth0");
+            n.add_physical_port("eth1");
+            d.add_node(n);
+        }
+        let d: DomainHandle = Arc::new(Mutex::new(d));
+
+        // Empty registry before any tenant.
+        let r = handle_cluster(&d, &req("GET", "/domain/shared", ""));
+        assert_eq!(r.status, StatusCode::Ok, "{}", r.body);
+        assert!(r.body.contains("\"enabled\":true"), "{}", r.body);
+        assert!(r.body.contains("\"instances\":[]"), "{}", r.body);
+
+        // Two tenants on two nodes share one instance.
+        for (i, node) in ["n1", "n2"].iter().enumerate() {
+            let cfg = un_nffg::NfConfig::default()
+                .with_param("lan-addr", "192.168.1.1/24")
+                .with_param("wan-addr", &format!("203.0.113.{}/24", i + 1));
+            let g = NfFgBuilder::new(&format!("t{}", i + 1), "nat service")
+                .vlan_endpoint("lan", "eth0", 11 + i as u16)
+                .vlan_endpoint("wan", "eth1", 11 + i as u16)
+                .nf_with_config("nat", "nat", 2, cfg)
+                .chain("lan", &["nat"], "wan")
+                .build();
+            let hints = DeployHints {
+                endpoint_node: [
+                    ("lan".to_string(), node.to_string()),
+                    ("wan".to_string(), node.to_string()),
+                ]
+                .into(),
+                ..DeployHints::default()
+            };
+            d.lock().deploy_with(&g, &hints).unwrap();
+        }
+        let r = handle_cluster(&d, &req("GET", "/domain/shared", ""));
+        assert!(r.body.contains("\"type\":\"nat\""), "{}", r.body);
+        assert!(r.body.contains("\"host\":\"n1\""), "{}", r.body);
+        assert!(r.body.contains("\"tenants\":2"), "{}", r.body);
+        assert!(r.body.contains("\"graph\":\"t2\""), "{}", r.body);
+        // Per-graph lease docs ride the fleet document.
+        let r = handle_cluster(&d, &req("GET", "/domain", ""));
+        assert!(r.body.contains("\"shared-leases\""), "{}", r.body);
+
+        // Failing the host surfaces the shared blast radius.
+        let r = handle_cluster(&d, &req("POST", "/domain/nodes/n1/fail", ""));
+        assert_eq!(r.status, StatusCode::Ok, "{}", r.body);
+        assert!(r.body.contains("\"shared-nfs-moved\":1"), "{}", r.body);
+        assert!(r.body.contains("\"instance\":\"nat\""), "{}", r.body);
+        let r = handle_cluster(&d, &req("GET", "/domain/shared", ""));
+        assert!(r.body.contains("\"host\":\"n2\""), "{}", r.body);
     }
 
     #[test]

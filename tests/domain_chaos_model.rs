@@ -24,6 +24,13 @@
 //!   link's node pair, and never touches a failed node (checked in a
 //!   dedicated line-topology suite below, where multi-hop transit and
 //!   `NoRoute` parking actually occur);
+//! * **lease conservation**: every shared-NNF lease belongs to a
+//!   deployed tenant, its wire count matches the tenant's NFs actually
+//!   assigned to the instance's host, the host is serving and carries
+//!   the node-level binding, no instance survives without a tenant,
+//!   and the registry's lease table balances the per-graph claim
+//!   ledger exactly (checked after every op, with `toggle_sharing`
+//!   flipping the registry on and off mid-sequence);
 //! * deployed and pending sets never intersect;
 //! * **incremental repair ≡ from-scratch** in observable placement
 //!   validity: both domains agree on which graphs are deployed and
@@ -39,7 +46,9 @@ use std::collections::BTreeSet;
 
 use proptest::prelude::*;
 use un_core::UniversalNode;
-use un_domain::{Domain, DomainConfig, EdgeAttrs, NodeHealth, RepairPolicy, Topology};
+use un_domain::{
+    Domain, DomainConfig, EdgeAttrs, NodeHealth, RepairPolicy, ShareKey, SharingConfig, Topology,
+};
 use un_nffg::{NfFg, NfFgBuilder};
 use un_sim::mem::mb;
 use un_sim::SimTime;
@@ -57,22 +66,44 @@ fn chaos_cases() -> u32 {
 }
 
 /// Chain graph `g<i>` with `len` bridges behind per-graph VLAN
-/// endpoints (no untagged-interface conflicts between graphs).
+/// endpoints (no untagged-interface conflicts between graphs). Odd
+/// graphs put a **NAT** — the domain-sharable type — at the head of
+/// the chain, so toggling the registry exercises real lease traffic.
 fn graph(i: usize, len: usize) -> NfFg {
-    let ids: Vec<String> = (0..len).map(|k| format!("g{i}br{k}")).collect();
+    let mut ids: Vec<String> = Vec::new();
     let mut b = NfFgBuilder::new(&format!("g{i}"), "chaos")
         .vlan_endpoint("lan", "eth0", 100 + 2 * i as u16)
         .vlan_endpoint("wan", "eth1", 101 + 2 * i as u16);
-    for id in &ids {
-        b = b.nf(id, "bridge", 2);
+    if i % 2 == 1 {
+        let id = format!("g{i}nat");
+        let cfg = un_nffg::NfConfig::default()
+            .with_param("lan-addr", "192.168.1.1/24")
+            .with_param("wan-addr", &format!("203.0.113.{}/24", i + 1));
+        b = b.nf_with_config(&id, "nat", 2, cfg);
+        ids.push(id);
+    }
+    for k in 0..len {
+        let id = format!("g{i}br{k}");
+        b = b.nf(&id, "bridge", 2);
+        ids.push(id);
     }
     let refs: Vec<&str> = ids.iter().map(|s| s.as_str()).collect();
     b.chain("lan", &refs, "wan").build()
 }
 
+/// The chaos sharing settings: registry known to both fleets, **off**
+/// until a `toggle_sharing` op flips it.
+fn chaos_sharing() -> SharingConfig {
+    SharingConfig {
+        enabled: false,
+        ..SharingConfig::for_types(&["nat"])
+    }
+}
+
 fn fleet(policy: RepairPolicy) -> Domain {
     let mut d = Domain::new(DomainConfig {
         repair: policy,
+        sharing: chaos_sharing(),
         ..DomainConfig::default()
     });
     // eth0 lives on n1 and n3, eth1 everywhere: graphs strand only
@@ -160,10 +191,11 @@ enum Op {
     Heartbeat(usize),
     Tick(usize),
     RetryPending,
+    ToggleSharing,
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    (0u8..10, 0u8..8, 0u8..4).prop_map(|(kind, a, b)| match kind {
+    (0u8..11, 0u8..8, 0u8..4).prop_map(|(kind, a, b)| match kind {
         0 | 1 => Op::Deploy(a as usize % GRAPHS),
         2 => Op::Update(a as usize % GRAPHS, b as usize),
         3 => Op::Undeploy(a as usize % GRAPHS),
@@ -171,6 +203,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         5 => Op::RecoverNode(a as usize % NODES.len()),
         6 | 7 => Op::Heartbeat(a as usize % NODES.len()),
         8 => Op::Tick(b as usize),
+        9 => Op::ToggleSharing,
         _ => Op::RetryPending,
     })
 }
@@ -263,6 +296,89 @@ fn check_domain(d: &Domain, model: &HealthModel, tag: &str) {
         "{tag}: vid ledger broken (free {free:?} ∪ in_use {in_use:?} ≠ minted)"
     );
 
+    // Shared-NNF lease conservation: every instance has tenants (no
+    // orphans), its host is serving and carries the node-level
+    // binding, every lease belongs to a deployed graph, and each
+    // lease's wire count equals the tenant's NFs actually assigned to
+    // the host. Σ registry wires must balance the per-graph claim
+    // ledger exactly.
+    let instances = d.shared_instances();
+    let mut registry_wires = 0usize;
+    for inst in &instances {
+        assert!(
+            !inst.leases.is_empty(),
+            "{tag}: orphan shared instance {}",
+            inst.key
+        );
+        assert!(
+            serving.contains(&inst.host),
+            "{tag}: shared instance {} hosted on dead node {}",
+            inst.key,
+            inst.host
+        );
+        let node_bound: BTreeSet<String> = d
+            .node(&inst.host)
+            .unwrap()
+            .shared_nnf_graphs(&inst.key.functional_type)
+            .into_iter()
+            .collect();
+        for (gid, count) in &inst.leases {
+            assert!(
+                deployed.contains(gid),
+                "{tag}: lease for undeployed graph {gid} on {}",
+                inst.key
+            );
+            assert!(
+                node_bound.contains(gid),
+                "{tag}: {gid} leases {} on {} but is not bound node-level",
+                inst.key,
+                inst.host
+            );
+            let assignment = d.assignment_of(gid).unwrap();
+            let wires = d
+                .graph(gid)
+                .unwrap()
+                .nfs
+                .iter()
+                .filter(|nf| {
+                    ShareKey::of_nf(nf) == inst.key && assignment.get(&nf.id) == Some(&inst.host)
+                })
+                .count();
+            assert_eq!(
+                wires, *count,
+                "{tag}: lease of {gid} on {} counts {count} wires, graph has {wires}",
+                inst.key
+            );
+            registry_wires += count;
+        }
+    }
+    let mut graph_wires = 0usize;
+    for gid in &deployed {
+        let claims = d
+            .graph_shared_leases(gid)
+            .unwrap_or_else(|| panic!("{tag}: deployed graph {gid} has no lease doc"));
+        for (key, claim) in claims {
+            let inst = instances
+                .iter()
+                .find(|i| i.key == key)
+                .unwrap_or_else(|| panic!("{tag}: {gid} claims unregistered {key}"));
+            assert_eq!(
+                inst.host, claim.host,
+                "{tag}: {gid} claims {key} on the wrong host"
+            );
+            assert_eq!(
+                inst.leases.get(gid.as_str()).copied(),
+                Some(claim.nfs),
+                "{tag}: registry lease of {gid} on {key} disagrees with the claim"
+            );
+            graph_wires += claim.nfs;
+        }
+    }
+    assert_eq!(
+        registry_wires, graph_wires,
+        "{tag}: lease ledger unbalanced (registry vs per-graph claims)"
+    );
+
     // Every live overlay link rides a valid path: endpoints match the
     // link, consecutive nodes are adjacent in the fabric topology, and
     // no failed node is on the walk.
@@ -335,6 +451,7 @@ fn chaos_smoke_sequence_deploys_and_repairs() {
 fn line_fleet() -> Domain {
     let mut d = Domain::new(DomainConfig {
         topology: Topology::line(&["n1", "n2", "n3"], EdgeAttrs::default()),
+        sharing: chaos_sharing(),
         ..DomainConfig::default()
     });
     for (name, ports) in [
@@ -444,6 +561,10 @@ proptest! {
                 Op::RetryPending => {
                     let _ = d.retry_pending();
                 }
+                Op::ToggleSharing => {
+                    let on = !d.sharing_enabled();
+                    d.set_sharing_enabled(on);
+                }
             }
             check_domain(&d, &model, "line");
         }
@@ -544,6 +665,12 @@ proptest! {
                     let a = inc.retry_pending();
                     let b = fs.retry_pending();
                     prop_assert_eq!(a, b, "retry_pending diverged");
+                }
+                Op::ToggleSharing => {
+                    let on = !inc.sharing_enabled();
+                    inc.set_sharing_enabled(on);
+                    fs.set_sharing_enabled(on);
+                    prop_assert_eq!(inc.sharing_enabled(), fs.sharing_enabled());
                 }
             }
 
