@@ -23,6 +23,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 use un_compute::{
     ComputeError, ComputeManager, Flavor, FlavorSpec, InstanceId, IoOutcome, NodeEnv,
@@ -365,6 +366,14 @@ pub struct UniversalNode {
     pub trace: TraceLog,
     mem_capacity: u64,
     classifier_mode: un_switch::ClassifierMode,
+    /// Observability handle; `None` when disabled so the hot path pays
+    /// only `Option` checks.
+    obs: Option<Arc<un_obs::Obs>>,
+    /// Cached per-instance deliver-latency histogram handles (avoids
+    /// registry lookups inside the fabric loop).
+    obs_nf_hist: BTreeMap<InstanceId, Arc<un_obs::Histogram>>,
+    /// Cached burst-size histogram handle.
+    obs_burst_hist: Option<Arc<un_obs::Histogram>>,
 }
 
 fn fnv1a(data: &str) -> u64 {
@@ -406,7 +415,46 @@ impl UniversalNode {
             trace: TraceLog::new(16_384),
             mem_capacity,
             classifier_mode: un_switch::ClassifierMode::default(),
+            obs: None,
+            obs_nf_hist: BTreeMap::new(),
+            obs_burst_hist: None,
         }
+    }
+
+    /// Attach an observability handle. A disabled handle is discarded so
+    /// the fabric loop keeps its zero-instrumentation fast path.
+    pub fn set_obs(&mut self, obs: Arc<un_obs::Obs>) {
+        self.obs_nf_hist.clear();
+        if obs.is_enabled() {
+            self.obs_burst_hist = Some(obs.registry().histogram(
+                "un_node_burst_frames",
+                &[("node", &self.name)],
+                &un_obs::Histogram::size_bounds(),
+            ));
+            self.obs = Some(obs);
+        } else {
+            self.obs_burst_hist = None;
+            self.obs = None;
+        }
+    }
+
+    /// Record one NF deliver latency into the per-(node, nf-type)
+    /// histogram, resolving and caching the series handle on first use.
+    fn record_nf_latency(&mut self, inst: InstanceId, ns: u64) {
+        let Some(obs) = &self.obs else { return };
+        let hist = self.obs_nf_hist.entry(inst).or_insert_with(|| {
+            let nf = self
+                .compute
+                .functional_type(inst)
+                .unwrap_or("unknown")
+                .to_string();
+            obs.registry().histogram(
+                "un_nf_deliver_ns",
+                &[("node", &self.name), ("nf", &nf)],
+                &un_obs::Histogram::latency_bounds(),
+            )
+        });
+        hist.record(ns);
     }
 
     /// Register a physical interface (e.g. `"eth0"`) as an LSI-0 port.
@@ -447,6 +495,17 @@ impl UniversalNode {
             stats.merge(&g.lsi.cache_stats());
         }
         stats
+    }
+
+    /// Total installed flow entries across LSI-0 and every graph LSI
+    /// (table occupancy, exported as a gauge through `/metrics`).
+    pub fn flow_table_occupancy(&self) -> usize {
+        self.lsi0.flow_count()
+            + self
+                .graphs
+                .values()
+                .map(|g| g.lsi.flow_count())
+                .sum::<usize>()
     }
 
     /// Advance the node clock (stamps traces, host time).
@@ -1264,6 +1323,19 @@ impl UniversalNode {
     /// distinguishable.
     pub fn inject_batch(&mut self, batch: Vec<(PortId, Packet)>) -> NodeIo {
         let mut io = NodeIo::default();
+        self.trace.count("fabric_frames_in", batch.len() as u64);
+        if let Some(h) = &self.obs_burst_hist {
+            h.record(batch.len() as u64);
+        }
+        let obs_on = self.obs.is_some();
+        // Conservation ledger terms, accumulated in locals so the fabric
+        // loop pays plain integer adds: every processing step consumes one
+        // frame and produces k — `fanout_extra` sums (k-1) for k >= 1,
+        // `absorbed` counts k == 0 steps (table miss, NF consumed it).
+        let mut absorbed: u64 = 0;
+        let mut fanout_extra: u64 = 0;
+        let mut unmapped_nf: u64 = 0;
+        let mut dead_slot: u64 = 0;
         let mut work_budget: u64 = (batch.len() as u64).saturating_mul(u64::from(FABRIC_TTL));
         let mut pending: BTreeMap<LocKey, Vec<(Packet, u32)>> = BTreeMap::new();
         for (PortId(port), pkt) in batch {
@@ -1288,6 +1360,10 @@ impl UniversalNode {
                         work_budget -= 1;
                         let res = self.lsi0.process(PortNo(p), pkt, &self.costs);
                         io.cost += res.cost;
+                        match res.outputs.len() {
+                            0 => absorbed += 1,
+                            k => fanout_extra += (k - 1) as u64,
+                        }
                         for (out, out_pkt) in res.outputs {
                             match self.l0_ports.get(&out) {
                                 Some(L0Port::Physical(name)) => {
@@ -1307,9 +1383,20 @@ impl UniversalNode {
                                         ledger: &mut self.ledger,
                                         costs: &self.costs,
                                     };
+                                    let t0 = obs_on.then(Instant::now);
                                     let out_io: IoOutcome =
                                         self.compute.deliver(&mut env, inst, 0, out_pkt);
+                                    if let Some(t0) = t0 {
+                                        self.record_nf_latency(
+                                            inst,
+                                            t0.elapsed().as_nanos() as u64,
+                                        );
+                                    }
                                     io.cost += out_io.cost;
+                                    match out_io.outputs.len() {
+                                        0 => absorbed += 1,
+                                        k => fanout_extra += (k - 1) as u64,
+                                    }
                                     for (_p, p2) in out_io.outputs {
                                         pending
                                             .entry(LocKey::L0(out.0))
@@ -1326,6 +1413,7 @@ impl UniversalNode {
                 }
                 LocKey::Graph(slot, p) => {
                     let Some(gid) = self.slots.get(slot as usize).and_then(|s| s.clone()) else {
+                        dead_slot += burst.len() as u64;
                         continue;
                     };
                     // Run the whole burst through the graph LSI under a
@@ -1345,6 +1433,10 @@ impl UniversalNode {
                             work_budget -= 1;
                             let res = graph.lsi.process(PortNo(p), pkt, &self.costs);
                             io.cost += res.cost;
+                            match res.outputs.len() {
+                                0 => absorbed += 1,
+                                k => fanout_extra += (k - 1) as u64,
+                            }
                             for (out, out_pkt) in res.outputs {
                                 mapped.push((graph.ports.get(&out).cloned(), out_pkt, ttl));
                             }
@@ -1365,8 +1457,16 @@ impl UniversalNode {
                                     ledger: &mut self.ledger,
                                     costs: &self.costs,
                                 };
+                                let t0 = obs_on.then(Instant::now);
                                 let out_io = self.compute.deliver(&mut env, inst, nf_port, out_pkt);
+                                if let Some(t0) = t0 {
+                                    self.record_nf_latency(inst, t0.elapsed().as_nanos() as u64);
+                                }
                                 io.cost += out_io.cost;
+                                match out_io.outputs.len() {
+                                    0 => absorbed += 1,
+                                    k => fanout_extra += (k - 1) as u64,
+                                }
                                 let graph = self.graphs.get(&gid).expect("still there");
                                 for (p2, pkt2) in out_io.outputs {
                                     if let Some(&gp) = graph.rev_nf.get(&(inst, p2)) {
@@ -1374,6 +1474,8 @@ impl UniversalNode {
                                             .entry(LocKey::Graph(slot, gp.0))
                                             .or_default()
                                             .push((pkt2, ttl - 1));
+                                    } else {
+                                        unmapped_nf += 1;
                                     }
                                 }
                             }
@@ -1384,6 +1486,20 @@ impl UniversalNode {
                     }
                 }
             }
+        }
+        self.trace
+            .count("fabric_frames_out", io.emitted.len() as u64);
+        if absorbed > 0 {
+            self.trace.count("fabric_absorbed", absorbed);
+        }
+        if fanout_extra > 0 {
+            self.trace.count("fabric_fanout_extra", fanout_extra);
+        }
+        if unmapped_nf > 0 {
+            self.trace.count("graph_unmapped_nf_port", unmapped_nf);
+        }
+        if dead_slot > 0 {
+            self.trace.count("fabric_dead_slot", dead_slot);
         }
         io
     }

@@ -32,7 +32,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use un_core::{DeployReport, Name, PortId, UniversalNode};
 use un_ipsec::{esp, SecurityAssociation};
@@ -106,6 +107,11 @@ pub struct DomainConfig {
     /// drops every further crossing in the call (counted as
     /// `overlay_work_exhausted`).
     pub overlay_ttl: u32,
+    /// Record metrics and control-plane spans (see [`crate::Domain::
+    /// metrics_prometheus`] and [`crate::Domain::recent_events`]). Off by
+    /// default: the hot path then pays only an `Option`/bool check per
+    /// batch, and `/metrics` serves scrape-derived series only.
+    pub observability: bool,
 }
 
 impl Default for DomainConfig {
@@ -125,6 +131,7 @@ impl Default for DomainConfig {
             strategy: PlacementStrategy::Pack,
             seed: 0x5eed_d0ca_1000_0001,
             overlay_ttl: 64,
+            observability: false,
         }
     }
 }
@@ -316,7 +323,90 @@ pub struct RepairOutcome {
     /// Shared instances whose host changed for this graph:
     /// `(share key, new host)`.
     pub shared_migrated: Vec<(String, String)>,
+    /// Wall-clock time this graph's repair took (plan + install),
+    /// measured on the monotonic clock.
+    pub repair_duration_ns: u64,
+    /// Estimated wall-clock downtime of this graph's service: from the
+    /// failure being declared until *this* graph's repair completed —
+    /// graphs repaired later in the sweep wait behind earlier ones, so
+    /// their estimate includes the queueing delay.
+    pub downtime_estimate_ns: u64,
 }
+
+/// Frame-conservation ledger across the whole domain.
+///
+/// Every frame instance the data plane ever created is accounted for:
+/// `ingress + fanout_extra == egress + absorbed + dropped()`. Fan-out
+/// (flood rules, multi-output NFs) mints `fanout_extra` new instances;
+/// `absorbed` counts instances consumed with no output (table miss, NF
+/// sink); every other death increments exactly one named drop counter.
+/// The chaos suite holds the balance as an invariant after every
+/// operation.
+#[derive(Debug, Clone, Default)]
+pub struct ConservationReport {
+    /// Frames handed to [`Domain::inject_batch`], pre-validation.
+    pub ingress: u64,
+    /// Frames that left the domain on a real egress port.
+    pub egress: u64,
+    /// Extra frame instances minted by fan-out.
+    pub fanout_extra: u64,
+    /// Frame instances consumed with no output.
+    pub absorbed: u64,
+    /// Every enumerated drop counter, by name (zero entries omitted).
+    pub drops: BTreeMap<&'static str, u64>,
+}
+
+impl ConservationReport {
+    /// Total frames that died to an enumerated drop cause.
+    pub fn dropped(&self) -> u64 {
+        self.drops.values().sum()
+    }
+
+    /// True when every frame instance is accounted for.
+    pub fn balanced(&self) -> bool {
+        self.ingress + self.fanout_extra == self.egress + self.absorbed + self.dropped()
+    }
+}
+
+/// Node-level counters that feed the conservation ledger. Folded into
+/// the domain trace when a node carcass is replaced on rejoin, so the
+/// ledger stays cumulative across the fleet's whole life.
+const NODE_LEDGER_COUNTERS: &[&str] = &[
+    "fabric_absorbed",
+    "fabric_fanout_extra",
+    "fabric_loop_drops",
+    "fabric_work_exhausted",
+    "fabric_dead_slot",
+    "inject_unknown_port",
+    "l0_unmapped_port",
+    "graph_unmapped_port",
+    "graph_unmapped_nf_port",
+];
+
+/// Of [`NODE_LEDGER_COUNTERS`], the ones that are drop causes (the
+/// other two are the fan-out/absorption terms of the balance).
+const NODE_DROP_COUNTERS: &[&str] = &[
+    "fabric_loop_drops",
+    "fabric_work_exhausted",
+    "fabric_dead_slot",
+    "inject_unknown_port",
+    "l0_unmapped_port",
+    "graph_unmapped_port",
+    "graph_unmapped_nf_port",
+];
+
+/// Domain-level drop causes of the conservation ledger.
+const DOMAIN_DROP_COUNTERS: &[&str] = &[
+    "inject_dead_node",
+    "inject_unknown_node",
+    "overlay_untagged_drop",
+    "overlay_unroutable_drop",
+    "overlay_foreign_drop",
+    "overlay_esp_seal_fail",
+    "overlay_esp_verify_fail",
+    "overlay_loop_drops",
+    "overlay_work_exhausted",
+];
 
 /// Outcome of a node failure: which graphs were re-placed, and what
 /// each repair cost.
@@ -346,8 +436,14 @@ struct LinkState {
     hop_latency_ns: Vec<u64>,
     /// Outbound + inbound SA pair protecting this wire (ESP mode).
     sas: Option<Box<(SecurityAssociation, SecurityAssociation)>>,
+    /// Logical frames carried, counted at **every** hop of the pinned
+    /// path (`path.len() - 1` hop crossings per end-to-end frame).
     packets: u64,
     bytes: u64,
+    /// Per-hop frame counts (`path.len() - 1` entries, hop i =
+    /// `path[i] → path[i+1]`). Reset when a repair reroutes the wire.
+    hop_packets: Vec<u64>,
+    hop_bytes: Vec<u64>,
 }
 
 struct DomainGraph {
@@ -473,12 +569,16 @@ pub struct Domain {
     clock: SimTime,
     /// Domain-level counters (`graphs_deployed`, `overlay_frames`, …).
     pub trace: TraceLog,
+    /// Observability: metric registry + recent-event ring. Inert (one
+    /// branch per record call) unless `config.observability` is set.
+    obs: Arc<un_obs::Obs>,
 }
 
 impl Domain {
     /// An empty domain with the given settings.
     pub fn new(config: DomainConfig) -> Self {
         let next_vid = config.overlay_vid_base;
+        let obs = un_obs::Obs::from_flag(config.observability);
         Domain {
             config,
             nodes: BTreeMap::new(),
@@ -490,7 +590,13 @@ impl Domain {
             next_vid,
             clock: SimTime::ZERO,
             trace: TraceLog::new(4096),
+            obs,
         }
+    }
+
+    /// The domain's observability handle (registry + event ring).
+    pub fn obs(&self) -> &Arc<un_obs::Obs> {
+        &self.obs
     }
 
     /// An empty domain with default settings.
@@ -518,12 +624,25 @@ impl Domain {
         if !node.has_physical_port(&self.config.fabric_port) {
             node.add_physical_port(&self.config.fabric_port);
         }
+        if self.obs.is_enabled() {
+            node.set_obs(self.obs.clone());
+        }
         let name = node.name.clone();
         match self.nodes.get(&name) {
             Some(m) if m.health.is_serving() => {
                 panic!("node '{name}' is already registered and alive")
             }
-            Some(_) => self.trace.count("nodes_rejoined", 1),
+            Some(old) => {
+                // The carcass's ledger counters must survive the rejoin
+                // or the cumulative conservation balance would break.
+                for &c in NODE_LEDGER_COUNTERS {
+                    let n = old.node.trace.counter(c);
+                    if n > 0 {
+                        self.trace.count(c, n);
+                    }
+                }
+                self.trace.count("nodes_rejoined", 1);
+            }
             None => self.trace.count("nodes_added", 1),
         }
         self.nodes.insert(
@@ -788,6 +907,7 @@ impl Domain {
         ep_pins: &BTreeMap<String, String>,
         mut reuse: VidReuse,
     ) -> Result<Plan, DomainError> {
+        let plan_started = Instant::now();
         let views = self.views();
         let serving: BTreeSet<String> = views
             .iter()
@@ -913,6 +1033,7 @@ impl Domain {
         // routing or installation fails.
         let fabric = self.config.fabric_port.clone();
         let mut taken: Vec<u16> = Vec::new();
+        let partition_started = Instant::now();
         let part = {
             let free_vids = &mut self.free_vids;
             let next_vid = &mut self.next_vid;
@@ -944,6 +1065,15 @@ impl Domain {
                 });
             }
         };
+        self.obs.span(
+            "domain.partition",
+            partition_started,
+            vec![
+                ("graph", graph.id.clone().into()),
+                ("parts", part.parts.len().into()),
+                ("links", part.links.len().into()),
+            ],
+        );
         // Route every cut edge over the fabric: shortest usable path
         // per link (no path may touch a non-serving node). Multi-hop
         // paths get transit rules installed on intermediate nodes.
@@ -967,7 +1097,29 @@ impl Domain {
                 }
             }
         }
+        let transit_started = Instant::now();
         install_transit(graph, &mut part.parts, &part.links, &paths, &fabric);
+        if self.obs.is_enabled() {
+            let multi_hop = paths.values().filter(|p| p.len() > 2).count();
+            self.obs.span(
+                "domain.install_transit",
+                transit_started,
+                vec![
+                    ("graph", graph.id.clone().into()),
+                    ("multi_hop_links", multi_hop.into()),
+                ],
+            );
+            self.obs.span(
+                "domain.plan",
+                plan_started,
+                vec![
+                    ("graph", graph.id.clone().into()),
+                    ("parts", part.parts.len().into()),
+                    ("links", part.links.len().into()),
+                    ("shared_claims", shared.len().into()),
+                ],
+            );
+        }
         Ok(Plan {
             assignment,
             endpoints: endpoint_node,
@@ -992,6 +1144,14 @@ impl Domain {
             }
             if lease_new {
                 self.trace.count("shared_leases_acquired", 1);
+                self.obs.event(
+                    "domain.lease.acquire",
+                    vec![
+                        ("graph", gid.into()),
+                        ("key", key.render().into()),
+                        ("host", claim.host.clone().into()),
+                    ],
+                );
             }
         }
     }
@@ -1000,6 +1160,17 @@ impl Domain {
     /// failed update), dropping instances whose last tenant left.
     fn release_shared(&mut self, gid: &str) {
         let dropped = self.sharing.release_graph(gid);
+        // Only graphs that actually ride shared instances are worth an
+        // event — every undeploy funnels through here.
+        if self.config.sharing.enabled {
+            self.obs.event(
+                "domain.lease.release",
+                vec![
+                    ("graph", gid.into()),
+                    ("instances_dropped", dropped.len().into()),
+                ],
+            );
+        }
         self.trace
             .count("shared_instances_dropped", dropped.len() as u64);
     }
@@ -1100,6 +1271,7 @@ impl Domain {
                 .cloned()
                 .unwrap_or_else(|| vec![link.from_node.clone(), link.to_node.clone()]);
             let hop_latency_ns = self.hop_latencies(&path);
+            let hops = path.len().saturating_sub(1);
             self.links.insert(
                 link.vid,
                 Mutex::new(LinkState {
@@ -1110,6 +1282,8 @@ impl Domain {
                     sas,
                     packets: 0,
                     bytes: 0,
+                    hop_packets: vec![0; hops],
+                    hop_bytes: vec![0; hops],
                 }),
             );
         }
@@ -1370,6 +1544,12 @@ impl Domain {
     /// Repair every graph hosting a part on the (already marked
     /// failed) node `name`.
     fn replace_lost_partitions(&mut self, name: &str) -> ReplacementReport {
+        // Downtime epoch: the failure is declared now; each graph's
+        // estimated downtime runs from here to the end of its own
+        // repair (so graphs later in the sweep include queueing delay).
+        let failed_at = Instant::now();
+        self.obs
+            .event("domain.node.failed", vec![("node", name.into())]);
         // Shared instances the casualty hosted are re-elected **once**
         // at registry level before any tenant is repaired, so every
         // tenant plan converges on the same new home (demand = the
@@ -1410,6 +1590,10 @@ impl Domain {
                     ) {
                         self.sharing.set_host(&key, &host);
                         self.trace.count("shared_hosts_reelected", 1);
+                        self.obs.event(
+                            "domain.shared.elect",
+                            vec![("key", key.render().into()), ("host", host.into())],
+                        );
                     }
                 }
             }
@@ -1424,6 +1608,7 @@ impl Domain {
 
         let mut report = ReplacementReport::default();
         for gid in affected {
+            let repair_started = Instant::now();
             let entry = self.graphs.remove(&gid).expect("listed above");
             let outcome = match self.config.repair {
                 // When incremental repair cannot hold the pinned plan,
@@ -1435,7 +1620,22 @@ impl Domain {
                 RepairPolicy::FromScratch => self.replace_from_scratch(&gid, &entry),
             };
             match outcome {
-                Ok(o) => {
+                Ok(mut o) => {
+                    o.repair_duration_ns = repair_started.elapsed().as_nanos() as u64;
+                    o.downtime_estimate_ns = failed_at.elapsed().as_nanos() as u64;
+                    self.obs.span(
+                        "domain.repair",
+                        repair_started,
+                        vec![
+                            ("graph", o.graph.clone().into()),
+                            ("nfs_moved", o.nfs_moved.into()),
+                            ("nfs_preserved", o.nfs_preserved.into()),
+                            ("links_rewired", o.links_rewired.into()),
+                            ("nodes_touched", o.nodes_touched.into()),
+                            ("full_replace", o.full_replace.into()),
+                            ("downtime_estimate_ns", o.downtime_estimate_ns.into()),
+                        ],
+                    );
                     self.trace.count("graphs_replaced", 1);
                     self.trace.count("repair_nfs_moved", o.nfs_moved as u64);
                     self.trace
@@ -1647,8 +1847,13 @@ impl Domain {
                 .expect("kept above")
                 .get_mut()
                 .expect("link lock poisoned");
+            let hops = path.len().saturating_sub(1);
             state.path = path;
             state.hop_latency_ns = lats;
+            // The hop axis changed identity; totals survive, per-hop
+            // counters restart on the new route.
+            state.hop_packets = vec![0; hops];
+            state.hop_bytes = vec![0; hops];
             self.trace.count("overlay_paths_rerouted", 1);
         }
         self.register_links(gid, &fresh, &plan.paths);
@@ -1689,6 +1894,9 @@ impl Domain {
             full_replace: false,
             shared_nfs_moved,
             shared_migrated,
+            // Stamped by the repair sweep, which owns the clocks.
+            repair_duration_ns: 0,
+            downtime_estimate_ns: 0,
         })
     }
 
@@ -1742,6 +1950,9 @@ impl Domain {
             full_replace: true,
             shared_nfs_moved,
             shared_migrated,
+            // Stamped by the repair sweep, which owns the clocks.
+            repair_duration_ns: 0,
+            downtime_estimate_ns: 0,
         })
     }
 
@@ -1818,6 +2029,8 @@ impl Domain {
         workers: usize,
     ) -> DomainIo {
         let mut io = DomainIo::default();
+        self.trace
+            .count("domain_frames_ingress", ingress.len() as u64);
         let ttl = self.config.overlay_ttl.max(1);
         let fabric = self.config.fabric_port.clone();
         let esp_fixed_ns = self.config.esp_fixed_ns;
@@ -2052,7 +2265,6 @@ impl Domain {
                             }
                         };
                         peer = state.path[next_idx].clone();
-                        let entering = pos == Some(0);
                         let hop_ns = state
                             .hop_latency_ns
                             .get(hop_idx)
@@ -2060,11 +2272,18 @@ impl Domain {
                             .unwrap_or_default();
                         for pkt in frames {
                             let len = pkt.len();
-                            if entering {
-                                // Wire counters count logical frames,
-                                // not transit hops.
-                                state.packets += 1;
-                                state.bytes += len as u64;
+                            // Wire counters count logical frames at
+                            // every hop of the pinned path: a frame
+                            // riding an n-hop wire adds n to `packets`
+                            // and one to each `hop_packets[i]` it is
+                            // presented to.
+                            state.packets += 1;
+                            state.bytes += len as u64;
+                            if let Some(hp) = state.hop_packets.get_mut(hop_idx) {
+                                *hp += 1;
+                            }
+                            if let Some(hb) = state.hop_bytes.get_mut(hop_idx) {
+                                *hb += len as u64;
                             }
                             out.overlay_hops += 1;
                             out.cost += Cost::from_nanos(hop_ns);
@@ -2177,6 +2396,7 @@ impl Domain {
                 trace.count(name, n);
             }
         }
+        trace.count("domain_frames_egress", io.emitted.len() as u64);
         io
     }
 
@@ -2200,6 +2420,233 @@ impl Domain {
                 )
             })
             .collect()
+    }
+
+    /// Per-hop link counters: for each live overlay link, `(vid, graph,
+    /// path, hop_packets, hop_bytes)` where hop `i` is the crossing
+    /// `path[i] → path[i+1]`.
+    #[allow(clippy::type_complexity)]
+    pub fn link_hop_stats(&self) -> Vec<(u16, String, Vec<String>, Vec<u64>, Vec<u64>)> {
+        self.links
+            .values()
+            .map(|s| {
+                let s = s.lock().expect("link lock poisoned");
+                (
+                    s.link.vid,
+                    s.graph.clone(),
+                    s.path.clone(),
+                    s.hop_packets.clone(),
+                    s.hop_bytes.clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// The domain-wide frame-conservation ledger (see
+    /// [`ConservationReport`]), summed from domain counters plus every
+    /// node's fabric counters (including counters folded into the
+    /// domain trace from replaced carcasses).
+    pub fn conservation_report(&self) -> ConservationReport {
+        let mut r = ConservationReport {
+            ingress: self.trace.counter("domain_frames_ingress"),
+            egress: self.trace.counter("domain_frames_egress"),
+            fanout_extra: self.trace.counter("fabric_fanout_extra"),
+            absorbed: self.trace.counter("fabric_absorbed"),
+            drops: BTreeMap::new(),
+        };
+        // NODE_DROP_COUNTERS appear in the domain trace too: counters
+        // folded in from replaced carcasses.
+        for &name in DOMAIN_DROP_COUNTERS.iter().chain(NODE_DROP_COUNTERS) {
+            let n = self.trace.counter(name);
+            if n > 0 {
+                *r.drops.entry(name).or_insert(0) += n;
+            }
+        }
+        for m in self.nodes.values() {
+            r.fanout_extra += m.node.trace.counter("fabric_fanout_extra");
+            r.absorbed += m.node.trace.counter("fabric_absorbed");
+            for &name in NODE_DROP_COUNTERS {
+                let n = m.node.trace.counter(name);
+                if n > 0 {
+                    *r.drops.entry(name).or_insert(0) += n;
+                }
+            }
+        }
+        r
+    }
+
+    /// Render every metric — scraped live state (classifier counters,
+    /// table occupancy, per-hop link counters, trace counters, the
+    /// conservation ledger) plus the observability registry's hot-path
+    /// histograms and span durations — in Prometheus text exposition
+    /// format. Always available; the registry section is empty when
+    /// `DomainConfig::observability` is off.
+    pub fn metrics_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let esc = un_obs::escape_label;
+        let mut out = String::with_capacity(4096);
+
+        // -- classifier stage outcomes + table occupancy + node health
+        let _ = writeln!(out, "# TYPE un_classifier_lookups_total counter");
+        for (name, m) in &self.nodes {
+            let s = m.node.flow_cache_stats();
+            for (path, v) in [
+                ("cache_hit", s.cache_hits),
+                ("cache_miss", s.cache_misses),
+                ("exact_hit", s.exact_hits),
+                ("wildcard_hit", s.wildcard_hits),
+                ("miss", s.misses),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "un_classifier_lookups_total{{node=\"{}\",path=\"{path}\"}} {v}",
+                    esc(name)
+                );
+            }
+        }
+        let _ = writeln!(out, "# TYPE un_flow_table_entries gauge");
+        for (name, m) in &self.nodes {
+            let _ = writeln!(
+                out,
+                "un_flow_table_entries{{node=\"{}\"}} {}",
+                esc(name),
+                m.node.flow_table_occupancy()
+            );
+        }
+        let _ = writeln!(out, "# TYPE un_node_serving gauge");
+        for (name, m) in &self.nodes {
+            let _ = writeln!(
+                out,
+                "un_node_serving{{node=\"{}\"}} {}",
+                esc(name),
+                u8::from(m.health.is_serving())
+            );
+        }
+
+        // -- per-link wire counters, totals and per hop
+        let _ = writeln!(out, "# TYPE un_link_frames_total counter");
+        let _ = writeln!(out, "# TYPE un_link_bytes_total counter");
+        for (vid, graph, _, _, packets, bytes) in self.link_stats() {
+            let _ = writeln!(
+                out,
+                "un_link_frames_total{{vid=\"{vid}\",graph=\"{}\"}} {packets}",
+                esc(&graph)
+            );
+            let _ = writeln!(
+                out,
+                "un_link_bytes_total{{vid=\"{vid}\",graph=\"{}\"}} {bytes}",
+                esc(&graph)
+            );
+        }
+        let _ = writeln!(out, "# TYPE un_link_hop_frames_total counter");
+        let _ = writeln!(out, "# TYPE un_link_hop_bytes_total counter");
+        for (vid, graph, path, hop_packets, hop_bytes) in self.link_hop_stats() {
+            for (i, (hp, hb)) in hop_packets.iter().zip(&hop_bytes).enumerate() {
+                let from = path.get(i).map(String::as_str).unwrap_or("?");
+                let to = path.get(i + 1).map(String::as_str).unwrap_or("?");
+                let _ = writeln!(
+                    out,
+                    "un_link_hop_frames_total{{vid=\"{vid}\",graph=\"{}\",hop=\"{i}\",\
+                     from=\"{}\",to=\"{}\"}} {hp}",
+                    esc(&graph),
+                    esc(from),
+                    esc(to)
+                );
+                let _ = writeln!(
+                    out,
+                    "un_link_hop_bytes_total{{vid=\"{vid}\",graph=\"{}\",hop=\"{i}\",\
+                     from=\"{}\",to=\"{}\"}} {hb}",
+                    esc(&graph),
+                    esc(from),
+                    esc(to)
+                );
+            }
+        }
+
+        // -- trace counters (drops, TTL expiries, control-plane events)
+        let _ = writeln!(out, "# TYPE un_domain_events_total counter");
+        for (event, n) in self.trace.counters() {
+            let _ = writeln!(
+                out,
+                "un_domain_events_total{{event=\"{}\"}} {n}",
+                esc(event)
+            );
+        }
+        let _ = writeln!(out, "# TYPE un_node_events_total counter");
+        for (name, m) in &self.nodes {
+            for (event, n) in m.node.trace.counters() {
+                let _ = writeln!(
+                    out,
+                    "un_node_events_total{{node=\"{}\",event=\"{}\"}} {n}",
+                    esc(name),
+                    esc(event)
+                );
+            }
+        }
+
+        // -- conservation ledger
+        let ledger = self.conservation_report();
+        let _ = writeln!(out, "# TYPE un_conservation_frames_total counter");
+        for (term, v) in [
+            ("ingress", ledger.ingress),
+            ("egress", ledger.egress),
+            ("fanout_extra", ledger.fanout_extra),
+            ("absorbed", ledger.absorbed),
+            ("dropped", ledger.dropped()),
+        ] {
+            let _ = writeln!(out, "un_conservation_frames_total{{term=\"{term}\"}} {v}");
+        }
+        let _ = writeln!(out, "# TYPE un_conservation_balanced gauge");
+        let _ = writeln!(
+            out,
+            "un_conservation_balanced {}",
+            u8::from(ledger.balanced())
+        );
+
+        // -- hot-path histograms + span durations from the registry
+        self.obs.registry().render_prometheus(&mut out);
+        out
+    }
+
+    /// Recent control-plane events/spans (newest last). Empty unless
+    /// `DomainConfig::observability` is on.
+    pub fn recent_events(&self) -> Vec<un_obs::Event> {
+        self.obs.events().snapshot()
+    }
+
+    /// The recent-event ring as a JSON document (for `GET
+    /// /domain/events`).
+    pub fn events_doc(&self) -> un_nffg::Json {
+        use un_nffg::Json;
+        let events: Vec<Json> = self
+            .recent_events()
+            .into_iter()
+            .map(|ev| {
+                let mut attrs = Json::obj();
+                for (k, v) in ev.attrs {
+                    attrs = match v {
+                        un_obs::AttrValue::Str(s) => attrs.set(k, s),
+                        un_obs::AttrValue::U64(n) => attrs.set(k, n),
+                        un_obs::AttrValue::I64(n) => attrs.set(k, n as f64),
+                        un_obs::AttrValue::F64(f) => attrs.set(k, f),
+                        un_obs::AttrValue::Bool(b) => attrs.set(k, b),
+                    };
+                }
+                let mut doc = Json::obj()
+                    .set("at-ns", ev.at_ns)
+                    .set("kind", ev.kind)
+                    .set("name", ev.name)
+                    .set("attributes", attrs);
+                if let Some(d) = ev.duration_ns {
+                    doc = doc.set("duration-ns", d);
+                }
+                doc
+            })
+            .collect();
+        un_nffg::Json::obj()
+            .set("enabled", self.obs.is_enabled())
+            .set("dropped", self.obs.events().dropped())
+            .set("events", events)
     }
 
     /// The pinned fabric path of one overlay link (`[from, …, to]`).

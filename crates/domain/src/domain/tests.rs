@@ -879,7 +879,8 @@ fn line_topology_routes_cut_edge_through_transit_node() {
     }
 
     // Traffic crosses two fabric hops per direction and still egresses
-    // at the far end; the wire counters count logical frames, not hops.
+    // at the far end; the wire counters count the logical frame at
+    // *every* hop of the pinned path, with a per-hop breakdown.
     let io = d.inject("n1", "eth0", frame());
     assert_eq!(io.emitted.len(), 1, "{:?}", d.trace);
     assert_eq!(io.emitted[0].0, "n3");
@@ -890,7 +891,15 @@ fn line_topology_routes_cut_edge_through_transit_node() {
         .into_iter()
         .find(|(_, _, from, ..)| from == "n1")
         .unwrap();
-    assert_eq!(fwd.4, 1, "one logical frame on the n1→n3 wire");
+    assert_eq!(fwd.4, 2, "one frame counted at each of the two hops");
+    let (.., path, hop_packets, hop_bytes) = d
+        .link_hop_stats()
+        .into_iter()
+        .find(|(vid, ..)| *vid == fwd.0)
+        .unwrap();
+    assert_eq!(path, vec!["n1", "n2", "n3"]);
+    assert_eq!(hop_packets, vec![1, 1], "each hop saw the frame once");
+    assert_eq!(hop_bytes.iter().sum::<u64>(), fwd.5);
     // Reverse direction works symmetrically.
     let io = d.inject("n3", "eth1", frame());
     assert_eq!(io.emitted.len(), 1);
@@ -935,12 +944,11 @@ fn esp_protection_covers_every_fabric_hop() {
     d.deploy_with(&split_bridge_chain(), &far_hints()).unwrap();
     let io = d.inject("n1", "eth0", frame());
     assert_eq!(io.emitted.len(), 1);
-    // Two hops, each sealed + verified: the protected byte count is
-    // twice what the wire itself carried (counted once per logical
-    // frame, at the head of the path).
+    // Two hops, each sealed + verified: wire counters now also count
+    // per hop, so protected bytes equal the hop-summed wire bytes.
     let wire_bytes: u64 = d.link_stats().iter().map(|(.., bytes)| *bytes).sum();
     assert!(wire_bytes > 0);
-    assert_eq!(io.protected_bytes, 2 * wire_bytes, "per-hop ESP");
+    assert_eq!(io.protected_bytes, wire_bytes, "per-hop ESP");
     assert_eq!(d.trace.counter("overlay_esp_verify_fail"), 0);
 }
 

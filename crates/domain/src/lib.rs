@@ -48,8 +48,8 @@ pub mod sharing;
 pub mod topology;
 
 pub use domain::{
-    DeployHints, Domain, DomainConfig, DomainError, DomainIo, DomainReport, NodeHealth,
-    RepairOutcome, RepairPolicy, ReplacementReport,
+    ConservationReport, DeployHints, Domain, DomainConfig, DomainError, DomainIo, DomainReport,
+    NodeHealth, RepairOutcome, RepairPolicy, ReplacementReport,
 };
 pub use partition::{
     install_transit, partition, reassemble, OverlayLink, Partition, PartitionError,

@@ -1,0 +1,444 @@
+//! Lock-free metric primitives and the registry that owns them.
+//!
+//! The hot path records into shard-local, cache-line-padded atomics with
+//! `Relaxed` ordering — roughly one uncontended `fetch_add` per event.
+//! Aggregation (summing shards, cumulative histogram buckets) happens only
+//! when a reader renders a snapshot, so the data plane never pays for the
+//! exposition format.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of shard slots per metric. Writers are spread across shards by a
+/// per-thread index, so concurrent workers rarely touch the same cache line.
+pub const SHARDS: usize = 16;
+
+/// A cache-line-padded atomic cell; padding prevents false sharing between
+/// adjacent shards when many worker threads record concurrently.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+/// Monotonic event counter with shard-local accumulation.
+#[derive(Default)]
+pub struct Counter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    /// Add `n` to the counter: one relaxed atomic on the caller's shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Aggregate-on-read: sum all shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A point-in-time signed value (occupancy, queue depth, ...). Gauges are
+/// set, not accumulated, so they are a single atomic cell.
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Replace the gauge value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the gauge by a signed delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bucket histogram with shard-local bucket counts.
+///
+/// Bucket upper bounds are chosen at registration time and never change, so
+/// recording is: binary-search the bound (on a small fixed slice), then one
+/// relaxed `fetch_add` on the shard-local bucket plus one on the shard-local
+/// sum. Reads fold the shards into cumulative Prometheus-style buckets.
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// Per shard: `bounds.len() + 1` bucket cells (last is +Inf overflow).
+    buckets: Vec<Vec<PaddedU64>>,
+    sums: [PaddedU64; SHARDS],
+}
+
+impl Histogram {
+    /// Build a histogram with the given ascending upper bounds.
+    pub fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        let buckets = (0..SHARDS)
+            .map(|_| (0..=bounds.len()).map(|_| PaddedU64::default()).collect())
+            .collect();
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets,
+            sums: Default::default(),
+        }
+    }
+
+    /// Doubling latency bounds: 256 ns up to ~8.4 ms, 16 buckets + overflow.
+    pub fn latency_bounds() -> Vec<u64> {
+        (0..16).map(|i| 256u64 << i).collect()
+    }
+
+    /// Doubling size bounds: 1 up to 32768, 16 buckets + overflow. Suits
+    /// burst sizes and other small cardinal observations.
+    pub fn size_bounds() -> Vec<u64> {
+        (0..16).map(|i| 1u64 << i).collect()
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        let shard = shard_index();
+        self.buckets[shard][idx].0.fetch_add(1, Ordering::Relaxed);
+        self.sums[shard].0.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Bucket upper bounds (exclusive of the implicit +Inf bucket).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Aggregate-on-read: non-cumulative per-bucket counts (last entry is
+    /// the +Inf overflow bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.bounds.len() + 1];
+        for shard in &self.buckets {
+            for (acc, cell) in out.iter_mut().zip(shard) {
+                *acc += cell.0.load(Ordering::Relaxed);
+            }
+        }
+        out
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.bucket_counts().iter().sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sums.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// Label set attached to a metric: sorted key/value pairs.
+pub type Labels = Vec<(String, String)>;
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Everything a reader needs to render or check one histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub labels: Labels,
+    pub bounds: Vec<u64>,
+    /// Non-cumulative per-bucket counts; last entry is the +Inf bucket.
+    pub buckets: Vec<u64>,
+    pub sum: u64,
+    pub count: u64,
+}
+
+/// Named metrics, keyed by `(name, labels)`. Registration is get-or-create
+/// behind an `RwLock`; hot paths hold the returned `Arc` handle so steady
+/// state never takes the lock.
+#[derive(Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<(String, Labels), Metric>>,
+}
+
+fn norm_labels(labels: &[(&str, &str)]) -> Labels {
+    let mut out: Labels = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    out.sort();
+    out
+}
+
+impl Registry {
+    /// Get or create a counter handle.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = (name.to_string(), norm_labels(labels));
+        if let Some(Metric::Counter(c)) = self.metrics.read().unwrap().get(&key) {
+            return c.clone();
+        }
+        let mut map = self.metrics.write().unwrap();
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name} re-registered with a different type"),
+        }
+    }
+
+    /// Get or create a gauge handle.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = (name.to_string(), norm_labels(labels));
+        if let Some(Metric::Gauge(g)) = self.metrics.read().unwrap().get(&key) {
+            return g.clone();
+        }
+        let mut map = self.metrics.write().unwrap();
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name} re-registered with a different type"),
+        }
+    }
+
+    /// Get or create a histogram handle with the given bucket bounds. The
+    /// bounds of the first registration win.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], bounds: &[u64]) -> Arc<Histogram> {
+        let key = (name.to_string(), norm_labels(labels));
+        if let Some(Metric::Histogram(h)) = self.metrics.read().unwrap().get(&key) {
+            return h.clone();
+        }
+        let mut map = self.metrics.write().unwrap();
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name} re-registered with a different type"),
+        }
+    }
+
+    /// Snapshot every histogram (for invariant checks: bucket sums must
+    /// equal event counts).
+    pub fn histograms(&self) -> Vec<HistogramSnapshot> {
+        let map = self.metrics.read().unwrap();
+        map.iter()
+            .filter_map(|((name, labels), m)| match m {
+                Metric::Histogram(h) => Some(HistogramSnapshot {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    bounds: h.bounds().to_vec(),
+                    buckets: h.bucket_counts(),
+                    sum: h.sum(),
+                    count: h.count(),
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Render every registered metric in Prometheus text exposition format.
+    pub fn render_prometheus(&self, out: &mut String) {
+        use std::fmt::Write;
+        let map = self.metrics.read().unwrap();
+        let mut last_name = String::new();
+        for ((name, labels), metric) in map.iter() {
+            let fresh = *name != last_name;
+            if fresh {
+                last_name = name.clone();
+            }
+            match metric {
+                Metric::Counter(c) => {
+                    if fresh {
+                        let _ = writeln!(out, "# TYPE {name} counter");
+                    }
+                    let _ = writeln!(out, "{}{} {}", name, fmt_labels(labels, &[]), c.get());
+                }
+                Metric::Gauge(g) => {
+                    if fresh {
+                        let _ = writeln!(out, "# TYPE {name} gauge");
+                    }
+                    let _ = writeln!(out, "{}{} {}", name, fmt_labels(labels, &[]), g.get());
+                }
+                Metric::Histogram(h) => {
+                    if fresh {
+                        let _ = writeln!(out, "# TYPE {name} histogram");
+                    }
+                    let buckets = h.bucket_counts();
+                    let mut cumulative = 0u64;
+                    for (i, count) in buckets.iter().enumerate() {
+                        cumulative += count;
+                        let le = match h.bounds().get(i) {
+                            Some(b) => b.to_string(),
+                            None => "+Inf".to_string(),
+                        };
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            name,
+                            fmt_labels(labels, &[("le", &le)]),
+                            cumulative
+                        );
+                    }
+                    let _ = writeln!(out, "{}_sum{} {}", name, fmt_labels(labels, &[]), h.sum());
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        name,
+                        fmt_labels(labels, &[]),
+                        cumulative
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Format a label set as `{k="v",...}`, appending `extra` pairs (used for
+/// the histogram `le` label). Returns an empty string for no labels.
+pub fn fmt_labels(labels: &Labels, extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    parts.extend(
+        extra
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))),
+    );
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Escape a label value per the Prometheus text format.
+pub fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let c = Arc::new(Counter::default());
+        thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+    }
+
+    #[test]
+    fn gauge_set_and_delta() {
+        let g = Gauge::default();
+        g.set(42);
+        g.add(-2);
+        assert_eq!(g.get(), 40);
+    }
+
+    #[test]
+    fn histogram_buckets_and_conservation() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        h.record(5);
+        h.record(10); // le="10" is inclusive
+        h.record(50);
+        h.record(5000); // overflow
+        assert_eq!(h.bucket_counts(), vec![2, 1, 0, 1]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 5065);
+    }
+
+    #[test]
+    fn histogram_concurrent_bucket_sum_equals_count() {
+        let h = Arc::new(Histogram::new(&Histogram::latency_bounds()));
+        thread::scope(|s| {
+            for t in 0..8u64 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), h.count());
+        assert_eq!(h.count(), 8000);
+    }
+
+    #[test]
+    fn registry_handles_are_shared() {
+        let r = Registry::default();
+        let a = r.counter("x_total", &[("node", "n1")]);
+        let b = r.counter("x_total", &[("node", "n1")]);
+        a.inc();
+        b.inc();
+        assert_eq!(r.counter("x_total", &[("node", "n1")]).get(), 2);
+        // Different labels are a different series.
+        assert_eq!(r.counter("x_total", &[("node", "n2")]).get(), 0);
+    }
+
+    #[test]
+    fn prometheus_rendering_shapes() {
+        let r = Registry::default();
+        r.counter("a_total", &[("node", "n1")]).add(3);
+        r.gauge("b", &[]).set(-7);
+        let h = r.histogram("c_ns", &[], &[100, 200]);
+        h.record(50);
+        h.record(150);
+        h.record(900);
+        let mut text = String::new();
+        r.render_prometheus(&mut text);
+        assert!(text.contains("# TYPE a_total counter"));
+        assert!(text.contains("a_total{node=\"n1\"} 3"));
+        assert!(text.contains("b -7"));
+        assert!(text.contains("c_ns_bucket{le=\"100\"} 1"));
+        assert!(text.contains("c_ns_bucket{le=\"200\"} 2"));
+        assert!(text.contains("c_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("c_ns_sum 1100"));
+        assert!(text.contains("c_ns_count 3"));
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,199 @@
+//! Structured tracing: spans with typed attributes and a bounded ring
+//! buffer of recent domain events.
+//!
+//! The ring is control-plane-only (plan, repair, election, leases), so a
+//! mutex-guarded `VecDeque` is plenty; durations come from the process
+//! monotonic clock (`Instant`), never wall time.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A typed attribute value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    Str(String),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::I64(v)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+/// One recorded span or point event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Nanoseconds since the owning [`EventRing`]'s epoch (monotonic).
+    pub at_ns: u64,
+    /// Event kind, e.g. `"span"` or `"event"`.
+    pub kind: &'static str,
+    /// Dotted name, e.g. `"domain.plan"` or `"domain.lease.acquire"`.
+    pub name: &'static str,
+    /// Span duration; `None` for point events.
+    pub duration_ns: Option<u64>,
+    /// Typed attributes (blast radius, graph names, counts, ...).
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+/// Bounded ring of recent events. When full, the oldest event is evicted
+/// and `dropped` is incremented so readers can tell the window slid.
+pub struct EventRing {
+    epoch: Instant,
+    capacity: usize,
+    inner: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        EventRing {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            inner: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The monotonic instant that `at_ns` offsets are relative to.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Nanoseconds elapsed since the ring's epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Record a point event.
+    pub fn event(&self, name: &'static str, attrs: Vec<(&'static str, AttrValue)>) {
+        self.push(Event {
+            at_ns: self.now_ns(),
+            kind: "event",
+            name,
+            duration_ns: None,
+            attrs,
+        });
+    }
+
+    /// Record a completed span that started at `started`.
+    pub fn span(
+        &self,
+        name: &'static str,
+        started: Instant,
+        attrs: Vec<(&'static str, AttrValue)>,
+    ) {
+        let duration_ns = started.elapsed().as_nanos() as u64;
+        self.push(Event {
+            at_ns: self.now_ns(),
+            kind: "span",
+            name,
+            duration_ns: Some(duration_ns),
+            attrs,
+        });
+    }
+
+    fn push(&self, ev: Event) {
+        let mut q = self.inner.lock().unwrap();
+        if q.len() == self.capacity {
+            q.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        q.push_back(ev);
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.inner.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let ring = EventRing::new(2);
+        ring.event("a", vec![]);
+        ring.event("b", vec![]);
+        ring.event("c", vec![("n", AttrValue::U64(1))]);
+        let evs = ring.snapshot();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].name, "b");
+        assert_eq!(evs[1].name, "c");
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn span_records_duration_and_attrs() {
+        let ring = EventRing::new(8);
+        let t0 = Instant::now();
+        ring.span("domain.plan", t0, vec![("graph", "g1".into())]);
+        let evs = ring.snapshot();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, "span");
+        assert!(evs[0].duration_ns.is_some());
+        assert_eq!(evs[0].attrs[0], ("graph", AttrValue::Str("g1".into())));
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let ring = EventRing::new(8);
+        ring.event("first", vec![]);
+        ring.event("second", vec![]);
+        let evs = ring.snapshot();
+        assert!(evs[0].at_ns <= evs[1].at_ns);
+    }
+}

@@ -14,13 +14,17 @@
 //! | GET    | `/domain/nffg/<id>`         | the original (whole) NF-FG         |
 //! | PUT    | `/domain/nffg/<id>`         | deploy or update a graph           |
 //! | DELETE | `/domain/nffg/<id>`         | undeploy everywhere                |
+//! | GET    | `/metrics`                  | Prometheus text exposition (fleet metrics) |
+//! | GET    | `/domain/events`            | recent control-plane events (JSON ring) |
 //!
 //! The fail response carries the per-graph [`un_domain::RepairOutcome`]
 //! (`repairs`: NFs moved/preserved, links rewired/kept, nodes touched,
-//! whether the repair fell back to a full re-place, and the
+//! whether the repair fell back to a full re-place, the
 //! shared-tenancy share — NFs that moved because a shared instance was
-//! re-hosted) so operators can see each failure's blast radius. The
-//! `/domain` document lists each graph's shared-NNF leases.
+//! re-hosted — plus the wall-clock `repair-duration-ns` and the
+//! `downtime-estimate-ns` from failure declaration to that graph's
+//! repair completing) so operators can see each failure's blast radius.
+//! The `/domain` document lists each graph's shared-NNF leases.
 
 use std::io;
 use std::net::{TcpListener, TcpStream};
@@ -76,6 +80,8 @@ fn repair_report_json(name: &str, report: &ReplacementReport) -> String {
                             .set("nodes-touched", r.nodes_touched)
                             .set("full-replace", r.full_replace)
                             .set("shared-nfs-moved", r.shared_nfs_moved)
+                            .set("repair-duration-ns", r.repair_duration_ns)
+                            .set("downtime-estimate-ns", r.downtime_estimate_ns)
                             .set(
                                 "shared-migrated",
                                 Json::Arr(
@@ -101,6 +107,10 @@ fn repair_report_json(name: &str, report: &ReplacementReport) -> String {
 pub fn handle_cluster(domain: &DomainHandle, req: &Request) -> Response {
     let segments: Vec<&str> = req.path.trim_matches('/').split('/').collect();
     match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["metrics"]) => Response::text(StatusCode::Ok, domain.lock().metrics_prometheus()),
+        ("GET", ["domain", "events"]) => {
+            Response::json(StatusCode::Ok, domain.lock().events_doc().render())
+        }
         ("GET", ["domain"]) => Response::json(StatusCode::Ok, domain.lock().describe().render()),
         ("GET", ["domain", "topology"]) => {
             Response::json(StatusCode::Ok, domain.lock().topology_doc().render())
@@ -368,6 +378,11 @@ mod tests {
         assert!(r.body.contains("\"nfs-moved\":1"), "{}", r.body);
         assert!(r.body.contains("\"nfs-preserved\":1"), "{}", r.body);
         assert!(r.body.contains("\"full-replace\":false"), "{}", r.body);
+        // Timing rides along: both clocks are stamped by the repair
+        // sweep, so they must be present (and the duration non-zero).
+        assert!(r.body.contains("\"repair-duration-ns\":"), "{}", r.body);
+        assert!(r.body.contains("\"downtime-estimate-ns\":"), "{}", r.body);
+        assert!(!r.body.contains("\"repair-duration-ns\":0,"), "{}", r.body);
         let r = handle_cluster(&d, &req("POST", "/domain/nodes/ghost/fail", ""));
         assert_eq!(r.status, StatusCode::NotFound);
 
@@ -382,6 +397,88 @@ mod tests {
         assert!(!r.body.contains("\"failed\""), "{}", r.body);
         let r = handle_cluster(&d, &req("POST", "/domain/nodes/ghost/recover", ""));
         assert_eq!(r.status, StatusCode::NotFound);
+    }
+
+    #[test]
+    fn cluster_metrics_and_events_endpoints() {
+        use un_domain::DomainConfig;
+        use un_packet::ethernet::MacAddr;
+        use un_packet::PacketBuilder;
+
+        let mut d = Domain::new(DomainConfig {
+            observability: true,
+            ..DomainConfig::default()
+        });
+        let mut n1 = UniversalNode::new("n1", mb(2048));
+        n1.add_physical_port("eth0");
+        n1.add_physical_port("eth1");
+        let mut n2 = UniversalNode::new("n2", mb(2048));
+        n2.add_physical_port("eth1");
+        d.add_node(n1);
+        d.add_node(n2);
+        let d: DomainHandle = Arc::new(Mutex::new(d));
+        {
+            let mut domain = d.lock();
+            let g = un_nffg::from_json(&chain_json("g1")).unwrap();
+            let hints = DeployHints {
+                nf_node: [
+                    ("br1".to_string(), "n1".to_string()),
+                    ("br2".to_string(), "n2".to_string()),
+                ]
+                .into(),
+                ..DeployHints::default()
+            };
+            domain.deploy_with(&g, &hints).unwrap();
+            // Drive one frame through so link/classifier series exist.
+            let pkt = PacketBuilder::new()
+                .ethernet(MacAddr::local(1), MacAddr::local(2))
+                .ipv4(
+                    std::net::Ipv4Addr::new(10, 0, 0, 1),
+                    std::net::Ipv4Addr::new(192, 0, 2, 9),
+                )
+                .udp(5000, 5001)
+                .payload(&[0xAB; 64])
+                .build();
+            domain.inject("n1", "eth0", pkt);
+        }
+        // Scrape before the failure: the repair moves br2 onto n1,
+        // which collapses the overlay link (and its hop series).
+        let r = handle_cluster(&d, &req("GET", "/metrics", ""));
+        assert_eq!(r.status, StatusCode::Ok);
+        assert!(
+            r.content_type.starts_with("text/plain"),
+            "{}",
+            r.content_type
+        );
+        for series in [
+            "# TYPE un_classifier_lookups_total counter",
+            "# TYPE un_link_frames_total counter",
+            "un_link_hop_frames_total{",
+            "# TYPE un_conservation_balanced gauge",
+            "un_conservation_balanced 1",
+            "un_span_duration_ns_bucket{",
+            "un_domain_events_total{",
+        ] {
+            assert!(r.body.contains(series), "missing {series} in:\n{}", r.body);
+        }
+
+        // A failure exercises the repair span + failure event.
+        let r = handle_cluster(&d, &req("POST", "/domain/nodes/n2/fail", ""));
+        assert_eq!(r.status, StatusCode::Ok, "{}", r.body);
+        let r = handle_cluster(&d, &req("GET", "/metrics", ""));
+        assert!(
+            r.body
+                .contains("un_span_duration_ns_bucket{span=\"domain.repair\""),
+            "{}",
+            r.body
+        );
+
+        let r = handle_cluster(&d, &req("GET", "/domain/events", ""));
+        assert_eq!(r.status, StatusCode::Ok);
+        assert!(r.body.contains("\"enabled\":true"), "{}", r.body);
+        assert!(r.body.contains("domain.plan"), "{}", r.body);
+        assert!(r.body.contains("domain.node.failed"), "{}", r.body);
+        assert!(r.body.contains("domain.repair"), "{}", r.body);
     }
 
     #[test]

@@ -51,6 +51,8 @@ pub struct Response {
     pub status: StatusCode,
     /// Body (JSON unless stated otherwise).
     pub body: String,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
 }
 
 impl Response {
@@ -59,6 +61,17 @@ impl Response {
         Response {
             status,
             body: body.into(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response (the Prometheus exposition format is
+    /// text/plain, not JSON).
+    pub fn text(status: StatusCode, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            body: body.into(),
+            content_type: "text/plain; version=0.0.4",
         }
     }
 
@@ -67,6 +80,7 @@ impl Response {
         Response {
             status,
             body: format!("{{\"error\":{}}}", un_nffg::jsonval::escape(msg)),
+            content_type: "application/json",
         }
     }
 }
@@ -111,7 +125,8 @@ pub fn write_response<W: Write>(mut stream: W, resp: &Response) -> std::io::Resu
     let (code, reason) = resp.status.parts();
     write!(
         stream,
-        "HTTP/1.1 {code} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        resp.content_type,
         resp.body.len(),
         resp.body
     )

@@ -19,7 +19,9 @@
 //! [`cluster`] is the same surface one layer up: a domain-level API
 //! (`/domain/…`) mapping onto a shared [`un_domain::Domain`] — deploy
 //! whole NF-FGs across the fleet, inspect the overlay, declare node
-//! failures.
+//! failures, scrape fleet metrics (`GET /metrics`, Prometheus text
+//! exposition), and read the recent control-plane event ring
+//! (`GET /domain/events`).
 
 #![forbid(unsafe_code)]
 

@@ -64,6 +64,8 @@ pub struct TableStats {
     pub exact_hits: u64,
     /// Fall-throughs resolved by the wildcard linear scan.
     pub wildcard_hits: u64,
+    /// Fall-throughs that matched no entry at all (table miss / drop).
+    pub misses: u64,
 }
 
 impl TableStats {
@@ -73,6 +75,7 @@ impl TableStats {
         self.cache_misses += other.cache_misses;
         self.exact_hits += other.exact_hits;
         self.wildcard_hits += other.wildcard_hits;
+        self.misses += other.misses;
     }
 
     /// Cache hit rate in [0, 1]; 0 when no lookups happened.
@@ -297,6 +300,8 @@ pub struct FlowTable {
     pub exact_hits: u64,
     /// Wildcard-scan hits since creation.
     pub wildcard_hits: u64,
+    /// Lookups that matched nothing since creation.
+    pub misses: u64,
 }
 
 impl FlowTable {
@@ -332,6 +337,7 @@ impl FlowTable {
             cache_misses: self.cache_misses,
             exact_hits: self.exact_hits,
             wildcard_hits: self.wildcard_hits,
+            misses: self.misses,
         }
     }
 
@@ -473,7 +479,10 @@ impl FlowTable {
             }
         }
         self.cache_misses += 1;
-        let (idx, path) = self.classify(key)?;
+        let Some((idx, path)) = self.classify(key) else {
+            self.misses += 1;
+            return None;
+        };
         match path {
             LookupPath::ExactHit => self.exact_hits += 1,
             _ => self.wildcard_hits += 1,

@@ -330,18 +330,21 @@ fn table_stats_merge_and_hit_rate() {
         cache_misses: 1,
         exact_hits: 1,
         wildcard_hits: 0,
+        misses: 0,
     };
     let b = TableStats {
         cache_hits: 1,
         cache_misses: 3,
         exact_hits: 2,
         wildcard_hits: 1,
+        misses: 2,
     };
     a.merge(&b);
     assert_eq!(a.cache_hits, 4);
     assert_eq!(a.cache_misses, 4);
     assert_eq!(a.exact_hits, 3);
     assert_eq!(a.wildcard_hits, 1);
+    assert_eq!(a.misses, 2);
     assert!((a.hit_rate() - 0.5).abs() < 1e-12);
 }
 

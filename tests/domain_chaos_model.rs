@@ -43,6 +43,7 @@
 //! same sequences.
 
 use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
 
 use proptest::prelude::*;
 use un_core::UniversalNode;
@@ -50,6 +51,8 @@ use un_domain::{
     Domain, DomainConfig, EdgeAttrs, NodeHealth, RepairPolicy, ShareKey, SharingConfig, Topology,
 };
 use un_nffg::{NfFg, NfFgBuilder};
+use un_packet::ethernet::MacAddr;
+use un_packet::PacketBuilder;
 use un_sim::mem::mb;
 use un_sim::SimTime;
 
@@ -100,10 +103,37 @@ fn chaos_sharing() -> SharingConfig {
     }
 }
 
+/// A frame addressed at graph `i`'s ingress: VLAN-tagged for its `lan`
+/// endpoint. Whether the graph is deployed (or the port even exists on
+/// the chosen node) is deliberately not a precondition — the
+/// conservation ledger must balance for misdirected traffic too.
+fn chaos_frame(i: usize) -> un_packet::Packet {
+    PacketBuilder::new()
+        .ethernet(MacAddr::local(1), MacAddr::local(2))
+        .vlan(100 + 2 * i as u16)
+        .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(192, 0, 2, 9))
+        .udp(4000, 4001)
+        .payload(&[0x5A; 48])
+        .build()
+}
+
+/// Inject a small burst for graph `i` at `node`'s `eth0` — the traffic
+/// arm of the chaos suite. Returns nothing: `check_domain` judges the
+/// outcome through the conservation ledger, not the io report.
+fn chaos_inject(d: &mut Domain, i: usize, node: usize) {
+    let burst = (0..3)
+        .map(|_| (NODES[node].to_string(), "eth0".to_string(), chaos_frame(i)))
+        .collect();
+    let _ = d.inject_batch(burst, 1);
+}
+
 fn fleet(policy: RepairPolicy) -> Domain {
     let mut d = Domain::new(DomainConfig {
         repair: policy,
         sharing: chaos_sharing(),
+        // The chaos fleets run with the metrics/tracing layer live, so
+        // every case doubles as an exerciser for the obs registry.
+        observability: true,
         ..DomainConfig::default()
     });
     // eth0 lives on n1 and n3, eth1 everywhere: graphs strand only
@@ -192,10 +222,13 @@ enum Op {
     Tick(usize),
     RetryPending,
     ToggleSharing,
+    /// Inject a burst for graph `.0` at node `.1` — exercises the
+    /// dataplane shuttle (and the conservation ledger) mid-chaos.
+    Inject(usize, usize),
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    (0u8..11, 0u8..8, 0u8..4).prop_map(|(kind, a, b)| match kind {
+    (0u8..13, 0u8..8, 0u8..4).prop_map(|(kind, a, b)| match kind {
         0 | 1 => Op::Deploy(a as usize % GRAPHS),
         2 => Op::Update(a as usize % GRAPHS, b as usize),
         3 => Op::Undeploy(a as usize % GRAPHS),
@@ -204,7 +237,8 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         6 | 7 => Op::Heartbeat(a as usize % NODES.len()),
         8 => Op::Tick(b as usize),
         9 => Op::ToggleSharing,
-        _ => Op::RetryPending,
+        10 => Op::RetryPending,
+        _ => Op::Inject(a as usize % GRAPHS, b as usize % NODES.len()),
     })
 }
 
@@ -379,6 +413,34 @@ fn check_domain(d: &Domain, model: &HealthModel, tag: &str) {
         "{tag}: lease ledger unbalanced (registry vs per-graph claims)"
     );
 
+    // Frame conservation: everything injected is accounted for —
+    // egressed, absorbed by an NF, multiplied by fan-out, or dropped
+    // with a named counter. This holds whether or not the traffic found
+    // a deployed graph; a leak here means a frame vanished untracked.
+    let ledger = d.conservation_report();
+    assert!(
+        ledger.balanced(),
+        "{tag}: conservation broken: ingress {} + fanout {} != egress {} + absorbed {} + dropped {} ({:?})",
+        ledger.ingress,
+        ledger.fanout_extra,
+        ledger.egress,
+        ledger.absorbed,
+        ledger.dropped(),
+        ledger.drops
+    );
+
+    // Histogram self-consistency: observations land in exactly one
+    // bucket, so per-series bucket sums must equal the event count.
+    for h in d.obs().registry().histograms() {
+        assert_eq!(
+            h.buckets.iter().sum::<u64>(),
+            h.count,
+            "{tag}: histogram {} {:?} buckets disagree with its count",
+            h.name,
+            h.labels
+        );
+    }
+
     // Every live overlay link rides a valid path: endpoints match the
     // link, consecutive nodes are adjacent in the fabric topology, and
     // no failed node is on the walk.
@@ -415,6 +477,14 @@ fn chaos_smoke_sequence_deploys_and_repairs() {
         fs.deploy(&g).unwrap();
     }
     assert_eq!(inc.graph_ids().len(), GRAPHS);
+    for i in 0..GRAPHS {
+        chaos_inject(&mut inc, i, 0);
+        chaos_inject(&mut fs, i, 0);
+    }
+    assert!(
+        inc.conservation_report().ingress > 0,
+        "smoke traffic must reach the ledger"
+    );
     check_domain(&inc, &model, "smoke");
     check_domain(&fs, &model, "smoke");
 
@@ -452,6 +522,7 @@ fn line_fleet() -> Domain {
     let mut d = Domain::new(DomainConfig {
         topology: Topology::line(&["n1", "n2", "n3"], EdgeAttrs::default()),
         sharing: chaos_sharing(),
+        observability: true,
         ..DomainConfig::default()
     });
     for (name, ports) in [
@@ -479,6 +550,16 @@ fn topology_chaos_smoke_transits_parks_and_heals() {
     for i in 0..GRAPHS {
         d.deploy(&graph(i, 1 + i % 3)).unwrap();
     }
+    // Real traffic over the transit: graph 0's frames must cross the
+    // overlay (n1 → n2 → n3) and egress — a balanced ledger with zero
+    // egress would only prove everything got dropped.
+    chaos_inject(&mut d, 0, 0);
+    let ledger = d.conservation_report();
+    assert!(ledger.ingress > 0, "line smoke traffic must be counted");
+    assert!(
+        ledger.egress > 0,
+        "graph 0's frames must transit the line and egress: {ledger:?}"
+    );
     check_domain(&d, &model, "line-smoke");
     // Every graph crosses the fabric, pinned over the middle.
     for gid in d.graph_ids() {
@@ -564,6 +645,9 @@ proptest! {
                 Op::ToggleSharing => {
                     let on = !d.sharing_enabled();
                     d.set_sharing_enabled(on);
+                }
+                Op::Inject(i, n) => {
+                    chaos_inject(&mut d, *i, *n);
                 }
             }
             check_domain(&d, &model, "line");
@@ -671,6 +755,13 @@ proptest! {
                     inc.set_sharing_enabled(on);
                     fs.set_sharing_enabled(on);
                     prop_assert_eq!(inc.sharing_enabled(), fs.sharing_enabled());
+                }
+                Op::Inject(i, n) => {
+                    // Same burst into both twins; the ledgers balance
+                    // independently (placements may differ, so the io
+                    // reports are not compared).
+                    chaos_inject(&mut inc, *i, *n);
+                    chaos_inject(&mut fs, *i, *n);
                 }
             }
 

@@ -1,0 +1,234 @@
+//! End-to-end observability: a live cluster REST server over real TCP,
+//! scraped like Prometheus would.
+//!
+//! Builds an observability-enabled two-node domain, deploys a split
+//! chain, drives traffic and a failure through it, then issues raw
+//! HTTP `GET /metrics` / `GET /domain/events` against the socket. The
+//! exposition body is run through a strict line-by-line parser (every
+//! non-comment line must be `name{labels} value`), and the key series
+//! the dashboards would sit on must be present.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, TcpStream};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use un_core::UniversalNode;
+use un_domain::{DeployHints, Domain, DomainConfig};
+use un_nffg::NfFgBuilder;
+use un_packet::ethernet::MacAddr;
+use un_packet::PacketBuilder;
+use un_rest::{serve_cluster, DomainHandle};
+use un_sim::mem::mb;
+
+/// Build the observed fleet: two nodes, a chain pinned across both,
+/// 16 frames through it. Failing n2 is left to the tests — the repair
+/// moves everything onto n1 and collapses the overlay link (and its
+/// wire series with it), so scrape order matters.
+fn observed_domain() -> DomainHandle {
+    let mut d = Domain::new(DomainConfig {
+        observability: true,
+        ..DomainConfig::default()
+    });
+    let mut n1 = UniversalNode::new("n1", mb(2048));
+    n1.add_physical_port("eth0");
+    n1.add_physical_port("eth1");
+    let mut n2 = UniversalNode::new("n2", mb(2048));
+    n2.add_physical_port("eth1");
+    d.add_node(n1);
+    d.add_node(n2);
+
+    let g = NfFgBuilder::new("svc", "observed")
+        .interface_endpoint("lan", "eth0")
+        .interface_endpoint("wan", "eth1")
+        .nf("acc", "bridge", 2)
+        .nf("upl", "bridge", 2)
+        .chain("lan", &["acc", "upl"], "wan")
+        .build();
+    let hints = DeployHints {
+        endpoint_node: BTreeMap::new(),
+        nf_node: [
+            ("acc".to_string(), "n1".to_string()),
+            ("upl".to_string(), "n2".to_string()),
+        ]
+        .into(),
+        strategy: None,
+    };
+    d.deploy_with(&g, &hints).expect("deploy");
+
+    let burst: Vec<_> = (0..16)
+        .map(|_| {
+            let pkt = PacketBuilder::new()
+                .ethernet(MacAddr::local(1), MacAddr::local(2))
+                .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(192, 0, 2, 9))
+                .udp(5000, 5001)
+                .payload(&[0x42; 128])
+                .build();
+            ("n1".to_string(), "eth0".to_string(), pkt)
+        })
+        .collect();
+    let io = d.inject_batch(burst, 1);
+    assert_eq!(io.emitted.len(), 16, "traffic must flow before scraping");
+
+    Arc::new(Mutex::new(d))
+}
+
+/// One raw HTTP/1.1 round trip; returns (status-line, headers, body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let (status, headers) = head.split_once("\r\n").unwrap_or((head, ""));
+    (status.to_string(), headers.to_string(), body.to_string())
+}
+
+/// Strict exposition-format check: every non-empty line is a comment
+/// (`# TYPE name counter|gauge|histogram`) or a sample
+/// (`name{labels} value` / `name value`) with a parseable number.
+/// Returns the set of sample series names seen.
+fn parse_exposition(body: &str) -> BTreeMap<String, usize> {
+    let mut series: BTreeMap<String, usize> = BTreeMap::new();
+    for (lineno, line) in body.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("type line has a name");
+            let kind = parts.next().expect("type line has a kind");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "line {lineno}: bad metric kind {kind:?}"
+            );
+            assert!(!name.is_empty());
+            continue;
+        }
+        assert!(
+            !line.starts_with('#'),
+            "line {lineno}: unexpected comment {line:?}"
+        );
+        let (series_part, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("line {lineno}: sample without a value: {line:?}"));
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("line {lineno}: unparseable value {value:?} in {line:?}"));
+        let name = series_part.split('{').next().unwrap();
+        assert!(
+            name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "line {lineno}: bad metric name {name:?}"
+        );
+        if let Some(labels) = series_part.strip_prefix(name) {
+            if !labels.is_empty() {
+                assert!(
+                    labels.starts_with('{') && labels.ends_with('}'),
+                    "line {lineno}: malformed labels {labels:?}"
+                );
+            }
+        }
+        *series.entry(name.to_string()).or_default() += 1;
+    }
+    series
+}
+
+#[test]
+fn metrics_endpoint_serves_parseable_exposition_over_tcp() {
+    let domain = observed_domain();
+    let server = serve_cluster(domain.clone(), "127.0.0.1:0").expect("bind");
+    let (status, headers, body) = http_get(server.addr(), "/metrics");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    assert!(
+        headers.contains("Content-Type: text/plain"),
+        "exposition is text, not JSON: {headers}"
+    );
+
+    let series = parse_exposition(&body);
+    for name in [
+        "un_classifier_lookups_total",
+        "un_flow_table_entries",
+        "un_node_serving",
+        "un_link_frames_total",
+        "un_link_hop_frames_total",
+        "un_domain_events_total",
+        "un_node_events_total",
+        "un_conservation_frames_total",
+        "un_conservation_balanced",
+        "un_nf_deliver_ns_bucket",
+        "un_nf_deliver_ns_sum",
+        "un_nf_deliver_ns_count",
+        "un_node_burst_frames_bucket",
+        "un_span_duration_ns_bucket",
+    ] {
+        assert!(
+            series.contains_key(name),
+            "missing series {name}; got {:?}",
+            series.keys().collect::<Vec<_>>()
+        );
+    }
+    // The deploy-time plan span is there; the ledger balanced over
+    // real traffic.
+    assert!(body.contains("un_span_duration_ns_count{span=\"domain.plan\"}"));
+    assert!(body.contains("un_conservation_balanced 1\n"), "{body}");
+
+    // A failure repairs the chain onto n1; the next scrape still
+    // parses, gains the repair span, and stays balanced.
+    domain.lock().fail_node("n2").expect("repairable failure");
+    let (status, _, body) = http_get(server.addr(), "/metrics");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    parse_exposition(&body);
+    assert!(body.contains("un_span_duration_ns_count{span=\"domain.repair\"}"));
+    assert!(body.contains("un_conservation_balanced 1\n"), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn events_endpoint_serves_the_ring_as_json() {
+    let domain = observed_domain();
+    domain.lock().fail_node("n2").expect("repairable failure");
+    let server = serve_cluster(domain, "127.0.0.1:0").expect("bind");
+    let (status, headers, body) = http_get(server.addr(), "/domain/events");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    assert!(
+        headers.contains("Content-Type: application/json"),
+        "{headers}"
+    );
+
+    let doc = un_nffg::jsonval::parse(&body).expect("events doc parses as JSON");
+    let rendered = doc.render();
+    assert!(rendered.contains("\"enabled\":true"), "{rendered}");
+    for name in [
+        "domain.plan",
+        "domain.partition",
+        "domain.node.failed",
+        "domain.repair",
+    ] {
+        assert!(rendered.contains(name), "missing event {name}: {rendered}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn disabled_observability_serves_empty_but_valid_documents() {
+    let mut d = Domain::with_defaults();
+    let mut n1 = UniversalNode::new("n1", mb(512));
+    n1.add_physical_port("eth0");
+    d.add_node(n1);
+    let server = serve_cluster(Arc::new(Mutex::new(d)), "127.0.0.1:0").expect("bind");
+
+    // Scrape-time series (health, tables, ledger) still render; the
+    // registry contributes nothing because no handle was ever created.
+    let (status, _, body) = http_get(server.addr(), "/metrics");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    let series = parse_exposition(&body);
+    assert!(series.contains_key("un_node_serving"));
+    assert!(!series.contains_key("un_span_duration_ns_bucket"));
+
+    let (status, _, body) = http_get(server.addr(), "/domain/events");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    let doc = un_nffg::jsonval::parse(&body).expect("valid JSON");
+    assert!(doc.render().contains("\"enabled\":false"));
+    server.shutdown();
+}
