@@ -46,6 +46,10 @@ use crate::placement::{assign, assign_endpoints, NodeView, PlaceError, Placement
 use crate::sharing::{
     elect, ShareKey, SharedClaim, SharedInstance, SharedRegistry, SharingConfig, SharingError,
 };
+use crate::standby::{
+    AvailabilityReport, GraphAvailability, GraphPrediction, GraphStandby, NodeStandby,
+    RepairCalibration, RepairKind, StandbyRegistry,
+};
 use crate::topology::Topology;
 
 /// Default first VLAN id of the overlay pool (up to 4094 inclusive).
@@ -90,6 +94,19 @@ pub struct DomainConfig {
     pub suspect_grace_ns: u64,
     /// How a node failure is repaired (incremental vs from-scratch).
     pub repair: RepairPolicy,
+    /// Make-before-break: when a node turns **suspect**, pre-compute a
+    /// standby repair plan per affected graph (placement with
+    /// survivors pinned, overlay vids pre-reserved, transit routes
+    /// pre-solved) so grace expiry or [`Domain::fail_node`] promotes
+    /// the staged plan instead of planning from scratch. A late
+    /// heartbeat or [`Domain::recover_node`] discards the standby and
+    /// returns its vids. Only meaningful with
+    /// [`RepairPolicy::Incremental`].
+    pub standby: bool,
+    /// Assumed mean time between failures of one node, feeding
+    /// [`Domain::availability_report`]'s predicted availability
+    /// (`A = 1 − exposed_nodes · predicted_repair_ns / node_mtbf_ns`).
+    pub node_mtbf_ns: u64,
     /// Domain-wide sharable-NNF registry settings (disabled by
     /// default: sharing stays strictly per-node, the pre-registry
     /// behavior). See [`crate::sharing`].
@@ -127,6 +144,8 @@ impl Default for DomainConfig {
             heartbeat_timeout_ns: 3_000_000_000, // 3 virtual seconds
             suspect_grace_ns: 1_000_000_000,     // 1 more before repair
             repair: RepairPolicy::Incremental,
+            standby: true,
+            node_mtbf_ns: 2_592_000_000_000_000, // 30 virtual days
             sharing: SharingConfig::default(),
             strategy: PlacementStrategy::Pack,
             seed: 0x5eed_d0ca_1000_0001,
@@ -331,6 +350,15 @@ pub struct RepairOutcome {
     /// graphs repaired later in the sweep wait behind earlier ones, so
     /// their estimate includes the queueing delay.
     pub downtime_estimate_ns: u64,
+    /// True when a make-before-break standby plan (staged while the
+    /// node was merely suspect) was promoted: the repair skipped the
+    /// whole planning phase and installed the pre-staged parts.
+    pub standby_promoted: bool,
+    /// What the availability model predicted this repair's downtime
+    /// would be, stamped *before* the repair ran (calibrated mean for
+    /// the repair kind, plus the sweep's queueing delay). The chaos
+    /// suites hold modeled-vs-measured within a bracket.
+    pub modeled_downtime_ns: u64,
 }
 
 /// Frame-conservation ledger across the whole domain.
@@ -446,6 +474,7 @@ struct LinkState {
     hop_bytes: Vec<u64>,
 }
 
+#[derive(Clone)]
 struct DomainGraph {
     original: NfFg,
     hints: DeployHints,
@@ -460,15 +489,20 @@ struct DomainGraph {
 }
 
 /// A computed (but not yet installed) deployment of one graph.
-struct Plan {
-    assignment: BTreeMap<String, String>,
-    endpoints: BTreeMap<String, String>,
-    partition: Partition,
+/// `pub(crate)` so [`crate::standby`] can hold pre-computed plans.
+pub(crate) struct Plan {
+    pub(crate) assignment: BTreeMap<String, String>,
+    pub(crate) endpoints: BTreeMap<String, String>,
+    pub(crate) partition: Partition,
     /// Fabric path per overlay link vid (`[from, …, to]`).
-    paths: BTreeMap<u16, Vec<String>>,
+    pub(crate) paths: BTreeMap<u16, Vec<String>>,
     /// Shared-instance claims this plan rides (committed as leases once
     /// the plan installs).
-    shared: BTreeMap<ShareKey, SharedClaim>,
+    pub(crate) shared: BTreeMap<ShareKey, SharedClaim>,
+    /// Vids this plan allocated fresh from the pool (reused vids stay
+    /// owned by the live deployment). While a standby plan is staged,
+    /// these are neither free nor in use: they are reserved.
+    pub(crate) taken: Vec<u16>,
 }
 
 /// VLAN-id reuse directives for re-planning a live graph. Keys are
@@ -564,6 +598,15 @@ pub struct Domain {
     /// The domain-wide sharable-NNF registry (instances, hosts,
     /// leases).
     sharing: SharedRegistry,
+    /// Make-before-break standby plans, staged per suspect node.
+    standby: StandbyRegistry,
+    /// Per-graph measured/modeled downtime ledgers (survive undeploy).
+    avail: BTreeMap<String, GraphAvailability>,
+    /// Running repair-cost calibration feeding the availability model.
+    calibration: RepairCalibration,
+    /// When each currently-parked graph lost service (park→drain
+    /// downtime is stamped when the graph is restored).
+    parked_at: BTreeMap<String, Instant>,
     free_vids: Vec<u16>,
     next_vid: u16,
     clock: SimTime,
@@ -586,6 +629,10 @@ impl Domain {
             pending: BTreeMap::new(),
             links: BTreeMap::new(),
             sharing: SharedRegistry::default(),
+            standby: StandbyRegistry::default(),
+            avail: BTreeMap::new(),
+            calibration: RepairCalibration::default(),
+            parked_at: BTreeMap::new(),
             free_vids: Vec::new(),
             next_vid,
             clock: SimTime::ZERO,
@@ -733,7 +780,26 @@ impl Domain {
         if managed.health == NodeHealth::Suspect {
             managed.health = NodeHealth::Alive;
             self.trace.count("suspects_cleared", 1);
+            self.discard_standby(name, "heartbeat");
         }
+        Ok(())
+    }
+
+    /// Explicitly mark an alive node **suspect** (operator signal or an
+    /// external failure detector), staging make-before-break standby
+    /// plans exactly as a stale heartbeat would. Idempotent no-op on
+    /// already-suspect or failed nodes.
+    pub fn suspect_node(&mut self, name: &str) -> Result<(), DomainError> {
+        let managed = self
+            .nodes
+            .get_mut(name)
+            .ok_or_else(|| DomainError::NoSuchNode(name.to_string()))?;
+        if managed.health != NodeHealth::Alive {
+            return Ok(());
+        }
+        managed.health = NodeHealth::Suspect;
+        self.trace.count("nodes_suspected", 1);
+        self.compute_standby(name);
         Ok(())
     }
 
@@ -757,6 +823,7 @@ impl Domain {
         // so a graph from the first dead node is never re-placed onto a
         // node that the same sweep is about to declare dead.
         let mut newly_failed: Vec<String> = Vec::new();
+        let mut newly_suspected: Vec<String> = Vec::new();
         for (name, m) in self.nodes.iter_mut() {
             let stale_ns = now.duration_since(m.last_heartbeat).as_nanos();
             match m.health {
@@ -768,17 +835,25 @@ impl Domain {
                 NodeHealth::Alive if stale_ns > timeout => {
                     m.health = NodeHealth::Suspect;
                     self.trace.count("nodes_suspected", 1);
+                    newly_suspected.push(name.clone());
                 }
                 _ => {}
             }
         }
-        newly_failed
+        let reports: Vec<(String, ReplacementReport)> = newly_failed
             .into_iter()
             .map(|n| {
                 let report = self.replace_lost_partitions(&n);
                 (n, report)
             })
-            .collect()
+            .collect();
+        // Stage standbys *after* the failure sweep: a plan computed
+        // before it could pin parts onto a node the same sweep is
+        // about to declare dead.
+        for n in newly_suspected {
+            self.compute_standby(&n);
+        }
+        reports
     }
 
     /// Bring a **failed** node back into service under its old name,
@@ -803,6 +878,7 @@ impl Domain {
                 managed.health = NodeHealth::Alive;
                 managed.last_heartbeat = clock;
                 self.trace.count("suspects_cleared", 1);
+                self.discard_standby(name, "recover");
                 Ok(Vec::new())
             }
             NodeHealth::Failed => {
@@ -822,6 +898,9 @@ impl Domain {
                 self.trace
                     .count("recover_purged_graphs", dropped.len() as u64);
                 self.trace.count("nodes_recovered", 1);
+                // Defensive: a failed node's standby was consumed at
+                // failure time; any leftover must return its vids.
+                self.discard_standby(name, "recover");
                 Ok(self.retry_pending())
             }
         }
@@ -883,8 +962,11 @@ impl Domain {
         )?;
         let report = self.install(graph, hints, plan)?;
         // An explicit deploy supersedes any copy parked by an earlier
-        // failure; otherwise retry_pending could double-deploy it.
-        self.pending.remove(&graph.id);
+        // failure; otherwise retry_pending could double-deploy it. The
+        // redeploy ends the park window, so stamp its downtime.
+        if self.pending.remove(&graph.id).is_some() {
+            self.stamp_park_drain(&graph.id);
+        }
         self.trace.count("graphs_deployed", 1);
         Ok(report)
     }
@@ -905,10 +987,35 @@ impl Domain {
         hints: &DeployHints,
         nf_pins: &BTreeMap<String, String>,
         ep_pins: &BTreeMap<String, String>,
+        reuse: VidReuse,
+    ) -> Result<Plan, DomainError> {
+        self.plan_ctx(graph, hints, nf_pins, ep_pins, reuse, None, None)
+    }
+
+    /// [`Domain::plan`] with standby-planning context: `exclude`
+    /// pretends one (suspect) node is already dead, so the plan routes
+    /// and places around it; `shared_standby` supplies pre-elected
+    /// replacement hosts for shared replicas the excluded node carries.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_ctx(
+        &mut self,
+        graph: &NfFg,
+        hints: &DeployHints,
+        nf_pins: &BTreeMap<String, String>,
+        ep_pins: &BTreeMap<String, String>,
         mut reuse: VidReuse,
+        exclude: Option<&str>,
+        shared_standby: Option<&BTreeMap<ShareKey, String>>,
     ) -> Result<Plan, DomainError> {
         let plan_started = Instant::now();
-        let views = self.views();
+        let mut views = self.views();
+        if let Some(x) = exclude {
+            for v in views.iter_mut() {
+                if v.name == x {
+                    v.alive = false;
+                }
+            }
+        }
         let serving: BTreeSet<String> = views
             .iter()
             .filter(|v| v.alive)
@@ -950,42 +1057,74 @@ impl Domain {
                     claim.nfs += 1;
                     continue;
                 }
-                let host = match self.sharing.get(&key) {
-                    Some(inst) if serving.contains(&inst.host) => {
-                        // Capacity counts tenant graphs. A graph that
-                        // already holds the lease never double-counts
-                        // it — re-planning a full instance's tenant
-                        // must not exhaust the instance.
-                        if !inst.leases.contains_key(&graph.id) {
-                            if let Some(max) = self.config.sharing.max_leases {
-                                if inst.leases.len() >= max {
-                                    return Err(DomainError::Sharing(
-                                        SharingError::CapacityExhausted {
-                                            key: key.render(),
-                                            host: inst.host.clone(),
-                                            max_leases: max,
-                                        },
-                                    ));
-                                }
-                            }
+                // Replica choice, in decreasing order of stability:
+                // (a) the replica this graph already leases (if its
+                // host serves) — re-planning never migrates a tenant
+                // gratuitously; (b) the serving replica with the most
+                // lease headroom (fewest leases, host-name tie-break);
+                // (c) a standby host pre-elected at Suspect time;
+                // (d) a fresh election — the first instance of the
+                // pool, a failover, or (when `scale_out` is on and
+                // every serving replica is full) a second instance
+                // that splits the tenancy instead of erroring.
+                let standby_host: Option<String> = shared_standby
+                    .and_then(|m| m.get(&key))
+                    .filter(|h| serving.contains(*h))
+                    .cloned();
+                let mut chosen: Option<String> = self
+                    .sharing
+                    .replicas(&key)
+                    .iter()
+                    .find(|i| i.leases.contains_key(&graph.id))
+                    .map(|i| i.host.clone())
+                    .filter(|h| serving.contains(h));
+                let mut full_host: Option<String> = None;
+                if chosen.is_none() {
+                    let mut best: Option<(usize, String)> = None;
+                    for inst in self.sharing.replicas(&key) {
+                        if !serving.contains(&inst.host) {
+                            continue;
                         }
-                        inst.host.clone()
+                        let leases = inst.leases.len();
+                        if self
+                            .config
+                            .sharing
+                            .max_leases
+                            .is_some_and(|max| leases >= max)
+                        {
+                            full_host = Some(inst.host.clone());
+                            continue;
+                        }
+                        let better = best
+                            .as_ref()
+                            .is_none_or(|(l, h)| leases < *l || (leases == *l && inst.host < *h));
+                        if better {
+                            best = Some((leases, inst.host.clone()));
+                        }
                     }
-                    _ => {
-                        // No live instance (or its host died and
-                        // re-election could not save it): elect one.
+                    chosen = best.map(|(_, h)| h).or(standby_host);
+                }
+                let host = match chosen {
+                    Some(h) => h,
+                    None => {
+                        let scale_out = full_host.is_some();
+                        if scale_out && !self.config.sharing.scale_out {
+                            return Err(DomainError::Sharing(SharingError::CapacityExhausted {
+                                key: key.render(),
+                                host: full_host.expect("checked above"),
+                                max_leases: self.config.sharing.max_leases.unwrap_or(0),
+                            }));
+                        }
                         // Node-level NNF singletons cannot host two
-                        // instances of one type, so hosts of sibling
-                        // capability pools are excluded — registered
-                        // ones AND the ones this very plan claimed a
-                        // few NFs ago (a graph demanding two pools in
-                        // one deploy must not co-elect them).
+                        // instances of one type, so every host already
+                        // carrying this functional type is excluded —
+                        // sibling capability pools, same-key replicas
+                        // (a scale-out must land elsewhere), AND the
+                        // hosts this very plan claimed a few NFs ago.
                         let occupied: BTreeSet<String> = self
                             .sharing
                             .instances()
-                            .filter(|i| {
-                                i.key != key && i.key.functional_type == key.functional_type
-                            })
+                            .filter(|i| i.key.functional_type == key.functional_type)
                             .map(|i| i.host.clone())
                             .chain(
                                 shared
@@ -994,14 +1133,25 @@ impl Domain {
                                     .map(|(_, c)| c.host.clone()),
                             )
                             .collect();
-                        elect(
+                        let elected = elect(
                             &key,
                             &self.config.sharing.election,
                             &views,
                             fabric_hops.as_ref(),
                             &demand,
                             &occupied,
-                        )?
+                        )?;
+                        if scale_out {
+                            self.trace.count("shared_scale_outs", 1);
+                            self.obs.event(
+                                "domain.shared.scale_out",
+                                vec![
+                                    ("key", key.render().into()),
+                                    ("host", elected.clone().into()),
+                                ],
+                            );
+                        }
+                        elected
                     }
                 };
                 merged_pins.insert(nf.id.clone(), host.clone());
@@ -1077,15 +1227,47 @@ impl Domain {
         // Route every cut edge over the fabric: shortest usable path
         // per link (no path may touch a non-serving node). Multi-hop
         // paths get transit rules installed on intermediate nodes.
+        // Routing is capacity-aware: edges already carrying pinned
+        // overlay paths repel new ones in proportion to how thin they
+        // are (see `Topology::shortest_path_loaded`). The graph's own
+        // live links are excluded from the load map so re-planning
+        // never repels a kept wire off the route it already rides.
         let usable = |n: &str| serving.contains(n);
+        let edge_key = |a: &str, b: &str| {
+            if a <= b {
+                (a.to_string(), b.to_string())
+            } else {
+                (b.to_string(), a.to_string())
+            }
+        };
+        let mut edge_paths: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for state in self.links.values() {
+            let state = state.lock().expect("link lock poisoned");
+            if state.graph == graph.id {
+                continue;
+            }
+            for w in state.path.windows(2) {
+                *edge_paths.entry(edge_key(&w[0], &w[1])).or_insert(0) += 1;
+            }
+        }
         let mut paths: BTreeMap<u16, Vec<String>> = BTreeMap::new();
         for link in &part.links {
-            match self
-                .config
-                .topology
-                .shortest_path(&link.from_node, &link.to_node, &usable)
-            {
+            let routed = {
+                let edge_load =
+                    |a: &str, b: &str| edge_paths.get(&edge_key(a, b)).copied().unwrap_or(0);
+                self.config.topology.shortest_path_loaded(
+                    &link.from_node,
+                    &link.to_node,
+                    &usable,
+                    &edge_load,
+                )
+            };
+            match routed {
                 Some(path) => {
+                    // Only *other* graphs' pinned paths load the map:
+                    // the links of one plan keep the old lexicographic
+                    // tie-break among themselves, so a graph's wires
+                    // stay co-routed (and re-plans stay stable).
                     paths.insert(link.vid, path);
                 }
                 None => {
@@ -1126,6 +1308,7 @@ impl Domain {
             partition: part,
             paths,
             shared,
+            taken,
         })
     }
 
@@ -1138,9 +1321,15 @@ impl Domain {
         self.trace
             .count("shared_instances_dropped", dropped.len() as u64);
         for (key, claim) in claims {
-            let (instance_new, lease_new) = self.sharing.commit(gid, key, &claim.host, claim.nfs);
+            let (instance_new, lease_new, replicas_dropped) =
+                self.sharing.commit(gid, key, &claim.host, claim.nfs);
             if instance_new {
                 self.trace.count("shared_instances_registered", 1);
+            }
+            if replicas_dropped > 0 {
+                // A lease move emptied sibling replica(s) of the pool.
+                self.trace
+                    .count("shared_instances_dropped", replicas_dropped as u64);
             }
             if lease_new {
                 self.trace.count("shared_leases_acquired", 1);
@@ -1203,6 +1392,7 @@ impl Domain {
             partition: part,
             paths,
             shared,
+            taken: _,
         } = plan;
         let mut per_node: Vec<(String, DeployReport)> = Vec::new();
         let mut deployed: Vec<String> = Vec::new();
@@ -1367,6 +1557,10 @@ impl Domain {
                 .collect(),
         );
 
+        // Any staged standby plan of this graph predates the update:
+        // discard it (returning its reserved vids) before re-planning.
+        self.discard_graph_standby(&graph.id);
+
         let plan = self.plan(graph, &hints, &pins, &BTreeMap::new(), reuse)?;
         let Plan {
             assignment,
@@ -1374,6 +1568,7 @@ impl Domain {
             partition: part,
             paths,
             shared,
+            taken: _,
         } = plan;
 
         // Reconcile per node.
@@ -1487,6 +1682,11 @@ impl Domain {
             self.links.remove(&link.vid);
             self.free_vids.push(link.vid);
         }
+        // Standby plans staged for this graph are moot; their reserved
+        // vids must return to the pool. The park window (if any) ends
+        // without a drain: the operator gave the graph up.
+        self.discard_graph_standby(graph_id);
+        self.parked_at.remove(graph_id);
         self.release_shared(graph_id);
         self.trace.count("graphs_undeployed", 1);
         Ok(())
@@ -1550,12 +1750,18 @@ impl Domain {
         let failed_at = Instant::now();
         self.obs
             .event("domain.node.failed", vec![("node", name.into())]);
+        // Standby plans staged while the node was merely suspect: the
+        // make-before-break payload. Graph plans promote below; shared
+        // standby hosts promote here.
+        let mut node_sb = self.standby.take(name).unwrap_or_default();
         // Shared instances the casualty hosted are re-elected **once**
         // at registry level before any tenant is repaired, so every
         // tenant plan converges on the same new home (demand = the
-        // surviving nodes its tenants occupy). If no candidate exists,
-        // the host stays dead: each tenant plan fails, the tenants
-        // park, and the last released lease drops the instance.
+        // surviving nodes its tenants occupy). A standby host elected
+        // at Suspect time short-circuits the election to a promotion.
+        // If no candidate exists, the host stays dead: each tenant
+        // plan fails, the tenants park, and the last released lease
+        // drops the instance.
         if self.config.sharing.enabled {
             let orphaned = self.sharing.hosted_on(name);
             if !orphaned.is_empty() {
@@ -1563,9 +1769,33 @@ impl Domain {
                 let serving: BTreeSet<String> = self.serving_nodes().into_iter().collect();
                 let fabric_hops = self.config.topology.hop_matrix(&serving);
                 for key in orphaned {
+                    if let Some(host) = node_sb.shared.remove(&key) {
+                        // Promote the pre-elected standby host if it
+                        // still serves and no sibling instance of the
+                        // type landed there since.
+                        let vacant = self
+                            .sharing
+                            .hosted_on(&host)
+                            .iter()
+                            .all(|k| k.functional_type != key.functional_type);
+                        if serving.contains(&host) && vacant {
+                            self.sharing.set_host(&key, name, &host);
+                            self.trace.count("shared_hosts_reelected", 1);
+                            self.trace.count("standby_shared_promoted", 1);
+                            self.obs.event(
+                                "domain.standby.promoted",
+                                vec![
+                                    ("kind", "shared".into()),
+                                    ("key", key.render().into()),
+                                    ("host", host.into()),
+                                ],
+                            );
+                            continue;
+                        }
+                    }
                     let demand: BTreeSet<String> = self
                         .sharing
-                        .get(&key)
+                        .replica_on(&key, name)
                         .map(|inst| inst.leases.keys())
                         .into_iter()
                         .flatten()
@@ -1577,7 +1807,7 @@ impl Domain {
                     let occupied: BTreeSet<String> = self
                         .sharing
                         .instances()
-                        .filter(|i| i.key != key && i.key.functional_type == key.functional_type)
+                        .filter(|i| i.key.functional_type == key.functional_type)
                         .map(|i| i.host.clone())
                         .collect();
                     if let Ok(host) = elect(
@@ -1588,7 +1818,7 @@ impl Domain {
                         &demand,
                         &occupied,
                     ) {
-                        self.sharing.set_host(&key, &host);
+                        self.sharing.set_host(&key, name, &host);
                         self.trace.count("shared_hosts_reelected", 1);
                         self.obs.event(
                             "domain.shared.elect",
@@ -1607,22 +1837,81 @@ impl Domain {
             .collect();
 
         let mut report = ReplacementReport::default();
+        // The model's running clock through the sweep: graph i's
+        // prediction includes the predicted queueing delay of the
+        // i-1 repairs before it, mirroring how `downtime_estimate_ns`
+        // accumulates on the measured side.
+        let mut queue_model_ns: u64 = 0;
         for gid in affected {
             let repair_started = Instant::now();
             let entry = self.graphs.remove(&gid).expect("listed above");
-            let outcome = match self.config.repair {
+            // A standby plan is only promotable under the incremental
+            // policy, and only while still valid (same wires, every
+            // planned node still serving). Invalid plans are discarded
+            // explicitly — their reserved vids must return to the pool.
+            let standby = if self.config.repair == RepairPolicy::Incremental {
+                match node_sb.graphs.remove(&gid) {
+                    Some(sb) if self.standby_valid(&sb, &entry) => Some(sb),
+                    Some(sb) => {
+                        self.discard_standby_plan(name, &gid, sb, "stale");
+                        None
+                    }
+                    None => None,
+                }
+            } else {
+                None
+            };
+            let predicted_kind = if standby.is_some() {
+                RepairKind::StandbySwap
+            } else {
+                match self.config.repair {
+                    RepairPolicy::Incremental => RepairKind::Reactive,
+                    RepairPolicy::FromScratch => RepairKind::FromScratch,
+                }
+            };
+            let modeled = queue_model_ns.saturating_add(self.calibration.predict(predicted_kind));
+            let outcome = match standby {
+                // A promotion failure falls straight to from-scratch:
+                // the failed install already tore the survivors down,
+                // so the incremental path's diff-skip assumption no
+                // longer holds.
+                Some(sb) => self
+                    .promote_standby(&gid, &entry, sb)
+                    .or_else(|_| self.replace_from_scratch(&gid, &entry)),
                 // When incremental repair cannot hold the pinned plan,
                 // tear everything down and re-plan with full freedom —
                 // a repack may fit where the pinned increment could not.
-                RepairPolicy::Incremental => self
-                    .repair_incremental(&gid, &entry)
-                    .or_else(|_| self.replace_from_scratch(&gid, &entry)),
-                RepairPolicy::FromScratch => self.replace_from_scratch(&gid, &entry),
+                None => match self.config.repair {
+                    RepairPolicy::Incremental => self
+                        .repair_incremental(&gid, &entry)
+                        .or_else(|_| self.replace_from_scratch(&gid, &entry)),
+                    RepairPolicy::FromScratch => self.replace_from_scratch(&gid, &entry),
+                },
             };
             match outcome {
                 Ok(mut o) => {
                     o.repair_duration_ns = repair_started.elapsed().as_nanos() as u64;
                     o.downtime_estimate_ns = failed_at.elapsed().as_nanos() as u64;
+                    o.modeled_downtime_ns = modeled;
+                    queue_model_ns = modeled;
+                    let actual_kind = if o.standby_promoted {
+                        RepairKind::StandbySwap
+                    } else if o.full_replace {
+                        RepairKind::FromScratch
+                    } else {
+                        RepairKind::Reactive
+                    };
+                    self.calibration.record(actual_kind, o.repair_duration_ns);
+                    let ledger = self
+                        .avail
+                        .entry(gid.clone())
+                        .or_insert_with(|| GraphAvailability::new(&gid));
+                    ledger.repairs += 1;
+                    ledger.measured_downtime_ns += o.downtime_estimate_ns;
+                    ledger.modeled_downtime_ns += modeled;
+                    if o.standby_promoted {
+                        ledger.standby_promotions += 1;
+                    }
                     self.obs.span(
                         "domain.repair",
                         repair_started,
@@ -1633,6 +1922,7 @@ impl Domain {
                             ("links_rewired", o.links_rewired.into()),
                             ("nodes_touched", o.nodes_touched.into()),
                             ("full_replace", o.full_replace.into()),
+                            ("standby_promoted", o.standby_promoted.into()),
                             ("downtime_estimate_ns", o.downtime_estimate_ns.into()),
                         ],
                     );
@@ -1663,11 +1953,30 @@ impl Domain {
                     hints.nf_node.retain(|_, n| serving.contains(n));
                     self.release_shared(&gid);
                     self.trace.count("graphs_stranded", 1);
+                    // Park epoch: the downtime ledger stamps the park→
+                    // drain window when the graph is restored.
+                    self.parked_at.insert(gid.clone(), Instant::now());
+                    self.avail
+                        .entry(gid.clone())
+                        .or_insert_with(|| GraphAvailability::new(&gid))
+                        .park_events += 1;
                     self.pending.insert(gid.clone(), (entry.original, hints));
                     report.stranded.push(gid);
                 }
             }
         }
+        // Standby plans for graphs the failure no longer touches (the
+        // graph was undeployed since, or the policy is from-scratch):
+        // discard, returning their reserved vids.
+        let leftover: Vec<(String, GraphStandby)> = node_sb.graphs.into_iter().collect();
+        for (gid, sb) in leftover {
+            self.discard_standby_plan(name, &gid, sb, "stale");
+        }
+        // Standbys staged for *other* suspect nodes may reference the
+        // casualty (as part host, transit hop, or shared host) or a
+        // graph this sweep re-planned: re-validate them all.
+        self.prune_stale_standbys();
+        self.update_standby_gauge();
         report
     }
 
@@ -1686,6 +1995,25 @@ impl Domain {
         entry: &DomainGraph,
     ) -> Result<RepairOutcome, DomainError> {
         let serving = self.serving_nodes();
+        let (nf_pins, ep_pins, hints, reuse) = Self::repair_inputs(entry, &serving);
+        let plan = self.plan(&entry.original, &hints, &nf_pins, &ep_pins, reuse)?;
+        self.install_repair_plan(gid, entry, plan, hints)
+    }
+
+    /// Survivor pins, pruned hints, and vid-inheritance directives for
+    /// re-planning `entry` onto the `serving` fleet — the inputs of an
+    /// incremental repair plan, shared between the reactive path and
+    /// Suspect-time standby planning.
+    #[allow(clippy::type_complexity)]
+    fn repair_inputs(
+        entry: &DomainGraph,
+        serving: &[String],
+    ) -> (
+        BTreeMap<String, String>,
+        BTreeMap<String, String>,
+        DeployHints,
+        VidReuse,
+    ) {
         // Survivor pins: NFs and endpoints whose node still serves.
         let nf_pins: BTreeMap<String, String> = entry
             .assignment
@@ -1731,9 +2059,27 @@ impl Domain {
                 (false, false) => {}
             }
         }
+        (nf_pins, ep_pins, hints, reuse)
+    }
 
-        let plan = self.plan(&entry.original, &hints, &nf_pins, &ep_pins, reuse)?;
-
+    /// Install an incremental repair plan over the live deployment of
+    /// `entry`: reconcile per node (skipping byte-identical survivor
+    /// parts), swap overlay link state, and re-register the graph.
+    /// The plan may be freshly computed (reactive repair) or a standby
+    /// staged at Suspect time (make-before-break promotion).
+    ///
+    /// On failure the graph is fully undeployed from serving nodes,
+    /// the plan's fresh vids return to the pool, and **old overlay
+    /// link state is left registered** — the from-scratch fallback
+    /// (which the caller always runs next) owns tearing it down, so
+    /// each vid is freed exactly once.
+    fn install_repair_plan(
+        &mut self,
+        gid: &str,
+        entry: &DomainGraph,
+        plan: Plan,
+        hints: DeployHints,
+    ) -> Result<RepairOutcome, DomainError> {
         // Reconcile per node: untouched parts are skipped entirely.
         let mut nodes_touched = 0usize;
         let mut failure: Option<DomainError> = None;
@@ -1894,9 +2240,12 @@ impl Domain {
             full_replace: false,
             shared_nfs_moved,
             shared_migrated,
-            // Stamped by the repair sweep, which owns the clocks.
+            // Stamped by the repair sweep, which owns the clocks and
+            // the model; `standby_promoted` by `promote_standby`.
             repair_duration_ns: 0,
             downtime_estimate_ns: 0,
+            standby_promoted: false,
+            modeled_downtime_ns: 0,
         })
     }
 
@@ -1953,7 +2302,277 @@ impl Domain {
             // Stamped by the repair sweep, which owns the clocks.
             repair_duration_ns: 0,
             downtime_estimate_ns: 0,
+            standby_promoted: false,
+            modeled_downtime_ns: 0,
         })
+    }
+
+    /// Promote a standby plan staged at Suspect time: install the
+    /// pre-computed parts directly, skipping the whole planning phase.
+    /// On failure the plan's reserved vids have already returned to
+    /// the pool (see [`Domain::install_repair_plan`]) and the caller
+    /// falls back to a from-scratch replacement.
+    fn promote_standby(
+        &mut self,
+        gid: &str,
+        entry: &DomainGraph,
+        sb: GraphStandby,
+    ) -> Result<RepairOutcome, DomainError> {
+        let serving = self.serving_nodes();
+        let mut hints = entry.hints.clone();
+        hints.endpoint_node.retain(|_, n| serving.contains(n));
+        hints.nf_node.retain(|_, n| serving.contains(n));
+        match self.install_repair_plan(gid, entry, sb.plan, hints) {
+            Ok(mut o) => {
+                o.standby_promoted = true;
+                self.trace.count("standby_plans_promoted", 1);
+                self.obs.event(
+                    "domain.standby.promoted",
+                    vec![("kind", "graph".into()), ("graph", gid.into())],
+                );
+                Ok(o)
+            }
+            Err(e) => {
+                self.trace.count("standby_promotes_failed", 1);
+                Err(e)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Make-before-break standby lifecycle
+    // ------------------------------------------------------------------
+
+    /// Pre-compute a standby repair plan per graph affected by the
+    /// newly suspect node `name` (and pre-elect replacement hosts for
+    /// shared replicas it carries), so a later failure is a swap
+    /// instead of a plan. Gated on `config.standby` and the
+    /// incremental repair policy; idempotent while the suspicion
+    /// lasts.
+    fn compute_standby(&mut self, name: &str) {
+        if !self.config.standby
+            || self.config.repair != RepairPolicy::Incremental
+            || self.standby.contains(name)
+        {
+            return;
+        }
+        let serving: Vec<String> = self
+            .serving_nodes()
+            .into_iter()
+            .filter(|n| n != name)
+            .collect();
+        let mut sb = NodeStandby::default();
+        // Pre-elect a replacement host per shared replica the suspect
+        // carries, so failure-time re-election is a promotion. The
+        // election mirrors `replace_lost_partitions` with the suspect
+        // counted dead.
+        if self.config.sharing.enabled {
+            let hosted = self.sharing.hosted_on(name);
+            if !hosted.is_empty() {
+                let mut views = self.views();
+                for v in views.iter_mut() {
+                    if v.name == name {
+                        v.alive = false;
+                    }
+                }
+                let serving_set: BTreeSet<String> = serving.iter().cloned().collect();
+                let fabric_hops = self.config.topology.hop_matrix(&serving_set);
+                for key in hosted {
+                    let demand: BTreeSet<String> = self
+                        .sharing
+                        .replica_on(&key, name)
+                        .map(|inst| inst.leases.keys())
+                        .into_iter()
+                        .flatten()
+                        .filter_map(|gid| self.graphs.get(gid))
+                        .flat_map(|g| g.assignment.values().chain(g.endpoints.values()))
+                        .filter(|n| serving_set.contains(*n))
+                        .cloned()
+                        .collect();
+                    let occupied: BTreeSet<String> = self
+                        .sharing
+                        .instances()
+                        .filter(|i| i.key.functional_type == key.functional_type)
+                        .map(|i| i.host.clone())
+                        .collect();
+                    if let Ok(host) = elect(
+                        &key,
+                        &self.config.sharing.election,
+                        &views,
+                        fabric_hops.as_ref(),
+                        &demand,
+                        &occupied,
+                    ) {
+                        sb.shared.insert(key, host);
+                    }
+                }
+            }
+        }
+        // One pre-computed repair plan per graph with a part on the
+        // suspect. The plan's fresh vids stay reserved (neither free
+        // nor in use) until the standby promotes or is discarded.
+        let affected: Vec<String> = self
+            .graphs
+            .iter()
+            .filter(|(_, g)| g.partition.parts.contains_key(name))
+            .map(|(id, _)| id.clone())
+            .collect();
+        for gid in affected {
+            let entry = self.graphs.get(&gid).expect("listed above").clone();
+            let (nf_pins, ep_pins, hints, reuse) = Self::repair_inputs(&entry, &serving);
+            match self.plan_ctx(
+                &entry.original,
+                &hints,
+                &nf_pins,
+                &ep_pins,
+                reuse,
+                Some(name),
+                Some(&sb.shared),
+            ) {
+                Ok(plan) => {
+                    self.trace.count("standby_plans_computed", 1);
+                    self.obs.event(
+                        "domain.standby.computed",
+                        vec![
+                            ("graph", gid.clone().into()),
+                            ("node", name.into()),
+                            ("vids_reserved", plan.taken.len().into()),
+                        ],
+                    );
+                    let old_vids: Vec<u16> = entry.partition.links.iter().map(|l| l.vid).collect();
+                    sb.graphs.insert(gid, GraphStandby { plan, old_vids });
+                }
+                Err(_) => {
+                    // The survivors cannot absorb this graph today; a
+                    // failure will park it (or from-scratch may still
+                    // find a repack the pinned plan could not).
+                    self.trace.count("standby_plans_unplannable", 1);
+                }
+            }
+        }
+        if !sb.graphs.is_empty() || !sb.shared.is_empty() {
+            self.standby.insert(name.to_string(), sb);
+        }
+        self.update_standby_gauge();
+    }
+
+    /// Is a staged standby plan still promotable over the live
+    /// deployment of its graph? The graph's wires must be exactly the
+    /// ones the plan was computed against, and every node the plan
+    /// uses (part hosts, transit hops, shared hosts) must still serve.
+    fn standby_valid(&self, sb: &GraphStandby, entry: &DomainGraph) -> bool {
+        let mut cur: Vec<u16> = entry.partition.links.iter().map(|l| l.vid).collect();
+        cur.sort_unstable();
+        let mut old = sb.old_vids.clone();
+        old.sort_unstable();
+        if cur != old {
+            return false;
+        }
+        let serving: BTreeSet<String> = self.serving_nodes().into_iter().collect();
+        sb.plan.partition.parts.keys().all(|n| serving.contains(n))
+            && sb
+                .plan
+                .paths
+                .values()
+                .flatten()
+                .all(|n| serving.contains(n))
+            && sb.plan.shared.values().all(|c| serving.contains(&c.host))
+    }
+
+    /// Return one standby plan's reserved vids to the pool.
+    fn discard_standby_plan(
+        &mut self,
+        node: &str,
+        gid: &str,
+        sb: GraphStandby,
+        reason: &'static str,
+    ) {
+        let vids = sb.plan.taken.len();
+        self.free_vids.extend(sb.plan.taken);
+        self.trace.count("standby_plans_discarded", 1);
+        self.obs.event(
+            "domain.standby.discarded",
+            vec![
+                ("graph", gid.into()),
+                ("node", node.into()),
+                ("reason", reason.into()),
+                ("vids_returned", vids.into()),
+            ],
+        );
+    }
+
+    /// Discard everything staged for `node` (late heartbeat or
+    /// explicit recovery ended the suspicion).
+    fn discard_standby(&mut self, node: &str, reason: &'static str) {
+        if let Some(sb) = self.standby.take(node) {
+            for (gid, g) in sb.graphs {
+                self.discard_standby_plan(node, &gid, g, reason);
+            }
+            self.update_standby_gauge();
+        }
+    }
+
+    /// Discard `gid`'s standby plan on every suspect node (the graph
+    /// was re-planned or undeployed, so those plans are stale).
+    fn discard_graph_standby(&mut self, gid: &str) {
+        let drained = self.standby.drain_graph(gid);
+        if !drained.is_empty() {
+            for (node, g) in drained {
+                self.discard_standby_plan(&node, gid, g, "replanned");
+            }
+            self.update_standby_gauge();
+        }
+    }
+
+    /// Re-validate every staged standby (after a repair sweep changed
+    /// the fleet or re-planned graphs) and discard the stale ones.
+    fn prune_stale_standbys(&mut self) {
+        let mut stale: Vec<(String, String)> = Vec::new();
+        for (node, sb) in self.standby.iter() {
+            for (gid, g) in &sb.graphs {
+                let valid = match self.graphs.get(gid) {
+                    Some(entry) => self.standby_valid(g, entry),
+                    None => false,
+                };
+                if !valid {
+                    stale.push((node.clone(), gid.clone()));
+                }
+            }
+        }
+        for (node, gid) in stale {
+            if let Some(g) = self.standby.remove_graph(&node, &gid) {
+                self.discard_standby_plan(&node, &gid, g, "stale");
+            }
+        }
+    }
+
+    /// Export how many standby graph plans are staged right now.
+    fn update_standby_gauge(&self) {
+        if self.obs.is_enabled() {
+            self.obs
+                .registry()
+                .gauge("un_standby_active", &[])
+                .set(self.standby.graph_plans() as i64);
+        }
+    }
+
+    /// Stamp the park→drain downtime of a just-restored graph into its
+    /// availability ledger (closing the blind spot where parked graphs
+    /// never stamped `downtime_estimate_ns`).
+    fn stamp_park_drain(&mut self, gid: &str) {
+        if let Some(at) = self.parked_at.remove(gid) {
+            let downtime_ns = at.elapsed().as_nanos() as u64;
+            let ledger = self
+                .avail
+                .entry(gid.to_string())
+                .or_insert_with(|| GraphAvailability::new(gid));
+            ledger.park_downtime_ns += downtime_ns;
+            self.trace.count("park_drains", 1);
+            self.obs.event(
+                "domain.park.drained",
+                vec![("graph", gid.into()), ("downtime_ns", downtime_ns.into())],
+            );
+        }
     }
 
     /// Try to deploy graphs stranded by earlier failures (call after
@@ -1965,7 +2584,9 @@ impl Domain {
         for (gid, (graph, hints)) in pending {
             if self.graphs.contains_key(&gid) {
                 // A live deployment supersedes the parked copy (the
-                // operator re-deployed it since the failure).
+                // operator re-deployed it since the failure; the park
+                // window was stamped then).
+                self.parked_at.remove(&gid);
                 continue;
             }
             match self
@@ -1978,7 +2599,10 @@ impl Domain {
                 )
                 .and_then(|plan| self.install(&graph, &hints, plan))
             {
-                Ok(_) => deployed.push(gid),
+                Ok(_) => {
+                    self.stamp_park_drain(&gid);
+                    deployed.push(gid);
+                }
                 Err(_) => {
                     self.pending.insert(gid, (graph, hints));
                 }
@@ -2656,14 +3280,147 @@ impl Domain {
             .map(|s| s.lock().expect("link lock poisoned").path.clone())
     }
 
-    /// Overlay VLAN id accounting: `(base, next, free, in_use)`. Every
-    /// id in `base..next` is either free or in use, exactly once — the
-    /// chaos suite holds that as an invariant after every operation.
-    pub fn vid_accounting(&self) -> (u16, u16, Vec<u16>, Vec<u16>) {
+    /// Overlay VLAN id accounting: `(base, next, free, in_use,
+    /// standby_reserved)`. Every id in `base..next` is free, in use,
+    /// or reserved by a staged standby plan — exactly once; the chaos
+    /// suites hold that as an invariant after every operation.
+    #[allow(clippy::type_complexity)]
+    pub fn vid_accounting(&self) -> (u16, u16, Vec<u16>, Vec<u16>, Vec<u16>) {
         let mut free = self.free_vids.clone();
         free.sort_unstable();
         let in_use: Vec<u16> = self.links.keys().copied().collect();
-        (self.config.overlay_vid_base, self.next_vid, free, in_use)
+        let mut standby_reserved = self.standby.reserved_vids();
+        standby_reserved.sort_unstable();
+        (
+            self.config.overlay_vid_base,
+            self.next_vid,
+            free,
+            in_use,
+            standby_reserved,
+        )
+    }
+
+    /// Graphs with a make-before-break standby plan staged right now.
+    pub fn standby_graphs(&self) -> Vec<String> {
+        self.standby.ready_graphs().into_iter().collect()
+    }
+
+    /// The measured/modeled downtime ledger of one graph (`None` if it
+    /// was never repaired or parked).
+    pub fn graph_availability(&self, id: &str) -> Option<GraphAvailability> {
+        self.avail.get(id).cloned()
+    }
+
+    /// The modeled-vs-measured availability report: per deployed
+    /// graph, predicted availability from exposure (nodes hosting
+    /// parts), redundancy (standby staged or not), and repair policy —
+    /// next to the measured downtime ledger the chaos suites validate
+    /// the model against.
+    pub fn availability_report(&self) -> AvailabilityReport {
+        let ready = self.standby.ready_graphs();
+        let reactive_kind = match self.config.repair {
+            RepairPolicy::Incremental => RepairKind::Reactive,
+            RepairPolicy::FromScratch => RepairKind::FromScratch,
+        };
+        let mtbf = self.config.node_mtbf_ns.max(1);
+        let graphs: Vec<GraphPrediction> = self
+            .graphs
+            .iter()
+            .map(|(gid, g)| {
+                let exposed = g.partition.parts.len();
+                let standby_ready = ready.contains(gid);
+                let predicted_reactive_ns = self.calibration.predict(reactive_kind);
+                let predicted_repair_ns = if standby_ready {
+                    self.calibration.predict(RepairKind::StandbySwap)
+                } else {
+                    predicted_reactive_ns
+                };
+                // Each exposed node fails once per MTBF on average,
+                // costing one predicted repair of downtime.
+                let downtime_frac = exposed as f64 * predicted_repair_ns as f64 / mtbf as f64;
+                GraphPrediction {
+                    graph: gid.clone(),
+                    exposed_nodes: exposed,
+                    standby_ready,
+                    predicted_repair_ns,
+                    predicted_reactive_ns,
+                    predicted_availability: (1.0 - downtime_frac).max(0.0),
+                    ledger: self
+                        .avail
+                        .get(gid)
+                        .cloned()
+                        .unwrap_or_else(|| GraphAvailability::new(gid)),
+                }
+            })
+            .collect();
+        let (mut modeled, mut measured, mut events) = (0u64, 0u64, 0u64);
+        for ledger in self.avail.values() {
+            modeled += ledger.modeled_downtime_ns;
+            measured += ledger.measured_downtime_ns;
+            events += ledger.repairs;
+        }
+        AvailabilityReport {
+            node_mtbf_ns: self.config.node_mtbf_ns,
+            calibration: self.calibration.clone(),
+            modeled_downtime_ns: modeled,
+            measured_downtime_ns: measured,
+            repair_events: events,
+            graphs,
+        }
+    }
+
+    /// [`Domain::availability_report`] as a JSON document (`GET
+    /// /domain/availability`).
+    pub fn availability_doc(&self) -> un_nffg::Json {
+        use un_nffg::Json;
+        let r = self.availability_report();
+        Json::obj()
+            .set("node-mtbf-ns", r.node_mtbf_ns)
+            .set("repair-events", r.repair_events)
+            .set("modeled-downtime-ns", r.modeled_downtime_ns)
+            .set("measured-downtime-ns", r.measured_downtime_ns)
+            .set(
+                "calibration",
+                Json::obj()
+                    .set("swap-events", r.calibration.swap_events)
+                    .set(
+                        "swap-mean-ns",
+                        r.calibration.predict(RepairKind::StandbySwap),
+                    )
+                    .set("reactive-events", r.calibration.reactive_events)
+                    .set(
+                        "reactive-mean-ns",
+                        r.calibration.predict(RepairKind::Reactive),
+                    )
+                    .set("scratch-events", r.calibration.scratch_events)
+                    .set(
+                        "scratch-mean-ns",
+                        r.calibration.predict(RepairKind::FromScratch),
+                    ),
+            )
+            .set(
+                "graphs",
+                Json::Arr(
+                    r.graphs
+                        .into_iter()
+                        .map(|g| {
+                            Json::obj()
+                                .set("id", g.graph.as_str())
+                                .set("exposed-nodes", g.exposed_nodes)
+                                .set("standby-ready", g.standby_ready)
+                                .set("predicted-repair-ns", g.predicted_repair_ns)
+                                .set("predicted-reactive-ns", g.predicted_reactive_ns)
+                                .set("predicted-availability", g.predicted_availability)
+                                .set("repairs", g.ledger.repairs)
+                                .set("standby-promotions", g.ledger.standby_promotions)
+                                .set("measured-downtime-ns", g.ledger.measured_downtime_ns)
+                                .set("modeled-downtime-ns", g.ledger.modeled_downtime_ns)
+                                .set("park-events", g.ledger.park_events)
+                                .set("park-downtime-ns", g.ledger.park_downtime_ns)
+                        })
+                        .collect(),
+                ),
+            )
     }
 
     /// The fabric topology document: mode, explicit edges, and the

@@ -1019,7 +1019,7 @@ fn transit_node_failure_reroutes_kept_links() {
 fn transit_failure_with_no_detour_parks_then_heals() {
     let mut d = line_domain(false);
     d.deploy_with(&split_bridge_chain(), &far_hints()).unwrap();
-    let (base, next, free, in_use) = d.vid_accounting();
+    let (base, next, free, in_use, _) = d.vid_accounting();
     assert_eq!(in_use.len(), 2);
     assert_eq!((next - base) as usize, free.len() + in_use.len());
 
@@ -1031,7 +1031,7 @@ fn transit_failure_with_no_detour_parks_then_heals() {
     assert!(d.node("n1").unwrap().graph_ids().is_empty());
     assert!(d.node("n3").unwrap().graph_ids().is_empty());
     // Ledger: every vid ever minted is free, exactly once.
-    let (base, next, free, in_use) = d.vid_accounting();
+    let (base, next, free, in_use, _) = d.vid_accounting();
     assert!(in_use.is_empty(), "parked graph owns no links");
     assert_eq!((next - base) as usize, free.len());
     let distinct: std::collections::BTreeSet<u16> = free.iter().copied().collect();
@@ -1067,7 +1067,7 @@ fn double_repair_failure_parks_graph_without_leaking_vids() {
     assert!(report.replaced.is_empty());
     assert_eq!(d.pending_graphs(), vec!["g1".to_string()]);
 
-    let (base, next, free, in_use) = d.vid_accounting();
+    let (base, next, free, in_use, _) = d.vid_accounting();
     assert!(in_use.is_empty(), "parked graph owns no links");
     assert_eq!(
         (next - base) as usize,
@@ -1082,7 +1082,7 @@ fn double_repair_failure_parks_graph_without_leaking_vids() {
     d.recover_node("n2").unwrap();
     let retried = d.recover_node("n3").unwrap();
     assert_eq!(retried, vec!["g1".to_string()]);
-    let (base, next, free, in_use) = d.vid_accounting();
+    let (base, next, free, in_use, _) = d.vid_accounting();
     assert_eq!((next - base) as usize, free.len() + in_use.len());
     let io = d.inject("n1", "eth0", frame());
     assert_eq!(io.emitted.len(), 1, "{:?}", d.trace);
@@ -1108,7 +1108,7 @@ fn vid_pool_exhaustion_is_a_typed_error() {
         .unwrap_err();
     assert_eq!(err, DomainError::VidPoolExhausted);
     assert!(d.graph_ids().is_empty());
-    let (_, _, free, in_use) = d.vid_accounting();
+    let (_, _, free, in_use, _) = d.vid_accounting();
     assert_eq!(free, vec![4094], "taken vid must come back");
     assert!(in_use.is_empty());
     // No id past 4094 may ever be minted silently.
@@ -1125,7 +1125,7 @@ fn vid_pool_exhaustion_is_a_typed_error() {
     };
     let report = d.deploy_with(&one_way, &hints).unwrap();
     assert_eq!(report.overlay_links, 1, "one cut edge fits the pool");
-    let (_, _, _, in_use) = d.vid_accounting();
+    let (_, _, _, in_use, _) = d.vid_accounting();
     assert_eq!(in_use, vec![4094]);
 }
 
@@ -1152,7 +1152,7 @@ fn no_route_is_a_typed_error() {
         matches!(err, DomainError::NoRoute { .. }),
         "got {err:?} instead"
     );
-    let (_, _, free, in_use) = d.vid_accounting();
+    let (_, _, free, in_use, _) = d.vid_accounting();
     assert!(in_use.is_empty());
     let distinct: std::collections::BTreeSet<u16> = free.iter().copied().collect();
     assert_eq!(distinct.len(), free.len());
@@ -1534,4 +1534,342 @@ fn sibling_capability_pools_never_co_elect_one_host() {
     assert_ne!(a["nat-a"], a["nat-b"]);
     // One graph, one lease per pool.
     assert_eq!(d.graph_shared_leases("t1").unwrap().len(), 2);
+}
+
+// ── Make-before-break standbys & the availability model ─────────────
+
+/// Full-mesh fleet where the whole graph sits on n2 (both physical
+/// ports), with n1 (`eth0`) and n3 (`eth1`) as survivors: repairing n2
+/// must split the graph across the ends and mint fresh overlay vids —
+/// the shape that exercises standby vid pre-reservation.
+fn hub_fleet() -> Domain {
+    let mut d = Domain::with_defaults();
+    let mut n1 = UniversalNode::new("n1", mb(2048));
+    n1.add_physical_port("eth0");
+    let mut n2 = UniversalNode::new("n2", mb(2048));
+    n2.add_physical_port("eth0");
+    n2.add_physical_port("eth1");
+    let mut n3 = UniversalNode::new("n3", mb(2048));
+    n3.add_physical_port("eth1");
+    d.add_node(n1);
+    d.add_node(n2);
+    d.add_node(n3);
+    d
+}
+
+fn hub_hints() -> DeployHints {
+    DeployHints {
+        endpoint_node: [
+            ("lan".to_string(), "n2".to_string()),
+            ("wan".to_string(), "n2".to_string()),
+        ]
+        .into(),
+        nf_node: [
+            ("br1".to_string(), "n2".to_string()),
+            ("br2".to_string(), "n2".to_string()),
+        ]
+        .into(),
+        ..DeployHints::default()
+    }
+}
+
+/// Every vid ever minted is in exactly one pool: free, in-use, or
+/// standby-reserved.
+fn assert_vid_conservation(d: &Domain) {
+    let (base, next, free, in_use, standby) = d.vid_accounting();
+    let minted = (next - base) as usize;
+    assert_eq!(
+        minted,
+        free.len() + in_use.len() + standby.len(),
+        "vid ledger out of balance: free={free:?} in_use={in_use:?} standby={standby:?}"
+    );
+    let mut all: Vec<u16> = free
+        .iter()
+        .chain(&in_use)
+        .chain(&standby)
+        .copied()
+        .collect();
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), minted, "a vid appears in two pools");
+}
+
+#[test]
+fn suspect_stages_standby_and_discard_returns_vids() {
+    let mut d = hub_fleet();
+    d.deploy_with(&split_bridge_chain(), &hub_hints()).unwrap();
+    // Single-node deployment: no overlay links yet.
+    let (_, _, _, in_use, _) = d.vid_accounting();
+    assert!(in_use.is_empty());
+
+    // Suspecting the hub pre-plans the split: two fresh vids reserved.
+    d.suspect_node("n2").unwrap();
+    assert_eq!(d.standby_graphs(), vec!["g1".to_string()]);
+    assert_eq!(d.trace.counter("standby_plans_computed"), 1);
+    let (_, _, _, _, standby) = d.vid_accounting();
+    assert_eq!(standby.len(), 2, "fwd + rev cut pre-reserved");
+    assert_vid_conservation(&d);
+
+    // A late heartbeat clears the suspicion and returns the vids.
+    d.heartbeat("n2", SimTime::from_nanos(1)).unwrap();
+    assert!(d.standby_graphs().is_empty());
+    assert_eq!(d.trace.counter("standby_plans_discarded"), 1);
+    let (_, _, free, _, standby) = d.vid_accounting();
+    assert!(standby.is_empty());
+    assert_eq!(free.len(), 2, "reserved vids returned to the pool");
+    assert_vid_conservation(&d);
+
+    // Same cycle via an explicit recover_node.
+    d.suspect_node("n2").unwrap();
+    assert_eq!(d.trace.counter("standby_plans_computed"), 2);
+    assert_vid_conservation(&d);
+    d.recover_node("n2").unwrap();
+    assert!(d.standby_graphs().is_empty());
+    assert_eq!(d.trace.counter("standby_plans_discarded"), 2);
+    assert_vid_conservation(&d);
+    assert_eq!(d.health("n2"), Some(NodeHealth::Alive));
+
+    // The graph never moved through any of it.
+    assert!(d.assignment_of("g1").unwrap().values().all(|n| n == "n2"));
+}
+
+#[test]
+fn promoted_standby_matches_reactive_repair_byte_for_byte() {
+    // Twin fleets, same graph. One is warned (suspect → standby →
+    // fail = swap), the other is surprised (fail = reactive plan).
+    // The deterministic planner must make the outcomes identical.
+    let mut warned = hub_fleet();
+    let mut surprised = hub_fleet();
+    warned
+        .deploy_with(&split_bridge_chain(), &hub_hints())
+        .unwrap();
+    surprised
+        .deploy_with(&split_bridge_chain(), &hub_hints())
+        .unwrap();
+
+    warned.suspect_node("n2").unwrap();
+    assert_eq!(warned.trace.counter("standby_plans_computed"), 1);
+    let report = warned.fail_node("n2").unwrap();
+    assert_eq!(report.replaced, vec!["g1".to_string()]);
+    assert!(
+        report.repairs[0].standby_promoted,
+        "{:?}",
+        report.repairs[0]
+    );
+    assert_eq!(warned.trace.counter("standby_plans_promoted"), 1);
+    assert!(warned.standby_graphs().is_empty(), "standby consumed");
+
+    let report = surprised.fail_node("n2").unwrap();
+    assert!(!report.repairs[0].standby_promoted);
+    assert_eq!(surprised.trace.counter("standby_plans_promoted"), 0);
+
+    // Identical placement, identical overlay vids, identical egress.
+    assert_eq!(
+        warned.assignment_of("g1").unwrap(),
+        surprised.assignment_of("g1").unwrap()
+    );
+    let vids = |d: &Domain| {
+        let mut v: Vec<u16> = d.link_stats().iter().map(|(v, ..)| *v).collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(vids(&warned), vids(&surprised));
+    assert_vid_conservation(&warned);
+    assert_vid_conservation(&surprised);
+
+    let a = warned.inject("n1", "eth0", frame());
+    let b = surprised.inject("n1", "eth0", frame());
+    assert_eq!(a.emitted.len(), 1, "{:?}", warned.trace);
+    assert_eq!(b.emitted.len(), 1, "{:?}", surprised.trace);
+    assert_eq!(a.emitted[0].0, b.emitted[0].0, "same egress node");
+    assert_eq!(a.emitted[0].1, b.emitted[0].1, "same egress port");
+    assert_eq!(
+        a.emitted[0].2.data(),
+        b.emitted[0].2.data(),
+        "promoted standby must be byte-identical to a reactive repair"
+    );
+}
+
+#[test]
+fn shared_standby_promotes_host_on_failure() {
+    let mut d = sharing_fleet(3, SharingConfig::for_types(&["nat"]));
+    for (i, node) in ["n1", "n2", "n3"].iter().enumerate() {
+        let gid = format!("t{}", i + 1);
+        d.deploy_with(
+            &nat_graph(&gid, 11 + i as u16, "203.0.113.1/24"),
+            &tenant_hints(node),
+        )
+        .unwrap();
+    }
+    assert_eq!(d.shared_instances()[0].host, "n1");
+
+    // Suspecting the shared host pre-elects its replacement and stages
+    // a standby plan per tenant graph.
+    d.suspect_node("n1").unwrap();
+    assert_eq!(d.standby_graphs().len(), 3, "{:?}", d.standby_graphs());
+    assert_vid_conservation(&d);
+
+    let report = d.fail_node("n1").unwrap();
+    assert_eq!(report.replaced.len(), 3, "{report:?}");
+    assert_eq!(d.trace.counter("standby_shared_promoted"), 1);
+    assert!(report.repairs.iter().all(|o| o.standby_promoted));
+    let inst = &d.shared_instances()[0];
+    assert_eq!(inst.host, "n2", "pre-elected host promoted");
+    assert_eq!(inst.tenant_count(), 3);
+    assert_vid_conservation(&d);
+}
+
+#[test]
+fn scale_out_splits_tenants_instead_of_rejecting() {
+    let mut d = sharing_fleet(
+        2,
+        SharingConfig {
+            max_leases: Some(1),
+            scale_out: true,
+            ..SharingConfig::for_types(&["nat"])
+        },
+    );
+    d.deploy_with(&nat_graph("t1", 11, "203.0.113.1/24"), &tenant_hints("n1"))
+        .unwrap();
+    // The instance is full, but scale-out elects a second replica
+    // instead of failing the deploy.
+    d.deploy_with(&nat_graph("t2", 12, "198.51.100.1/24"), &tenant_hints("n2"))
+        .unwrap();
+    assert_eq!(d.trace.counter("shared_scale_outs"), 1);
+    let instances = d.shared_instances();
+    assert_eq!(instances.len(), 2, "{instances:?}");
+    assert_ne!(instances[0].host, instances[1].host);
+    assert!(instances.iter().all(|i| i.tenant_count() == 1));
+    // Each tenant rides its own replica end to end.
+    let nat_host = |gid: &str| d.assignment_of(gid).unwrap()["nat"].clone();
+    assert_ne!(nat_host("t1"), nat_host("t2"));
+    for (gid, host) in [("t1", nat_host("t1")), ("t2", nat_host("t2"))] {
+        nat_neigh(&mut d, &host, gid);
+    }
+    for (home, vid) in [("n1", 11u16), ("n2", 12)] {
+        let io = d.inject(home, "eth0", tenant_frame(vid));
+        assert_eq!(io.emitted.len(), 1, "{:?}", d.trace);
+        assert_eq!(io.emitted[0].0, home);
+    }
+}
+
+#[test]
+fn loaded_edges_steer_second_graph_onto_other_branch() {
+    // Diamond n1–n2–n3 / n1–n4–n3, equal attrs: g1's wires take the
+    // lexicographic n2 branch and *load* it, so g2's wires — same
+    // hop count either way — are repelled onto n4.
+    let mut topo = Topology::explicit();
+    topo.add_edge("n1", "n2", EdgeAttrs::default());
+    topo.add_edge("n2", "n3", EdgeAttrs::default());
+    topo.add_edge("n1", "n4", EdgeAttrs::default());
+    topo.add_edge("n4", "n3", EdgeAttrs::default());
+    let mut d = Domain::new(DomainConfig {
+        topology: topo,
+        ..DomainConfig::default()
+    });
+    let mut n1 = UniversalNode::new("n1", mb(2048));
+    n1.add_physical_port("eth0");
+    n1.add_physical_port("eth2");
+    let n2 = UniversalNode::new("n2", mb(2048));
+    let mut n3 = UniversalNode::new("n3", mb(2048));
+    n3.add_physical_port("eth1");
+    n3.add_physical_port("eth3");
+    let n4 = UniversalNode::new("n4", mb(2048));
+    d.add_node(n1);
+    d.add_node(n2);
+    d.add_node(n3);
+    d.add_node(n4);
+
+    d.deploy_with(&split_bridge_chain(), &far_hints()).unwrap();
+    // Same chain on its own ports, so the endpoints don't collide.
+    let g2 = NfFgBuilder::new("g2", "split")
+        .interface_endpoint("lan", "eth2")
+        .interface_endpoint("wan", "eth3")
+        .nf("br1", "bridge", 2)
+        .nf("br2", "bridge", 2)
+        .chain("lan", &["br1", "br2"], "wan")
+        .build();
+    d.deploy_with(&g2, &far_hints()).unwrap();
+
+    let branch = |d: &Domain, gid: &str| -> Vec<String> {
+        let mut out: Vec<String> = d
+            .link_stats()
+            .iter()
+            .filter_map(|(vid, ..)| {
+                let path = d.link_path(*vid)?;
+                d.partition_of(gid)
+                    .unwrap()
+                    .parts
+                    .contains_key(&path[1])
+                    .then(|| path[1].clone())
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    };
+    assert_eq!(branch(&d, "g1"), vec!["n2".to_string()], "tie-break");
+    assert_eq!(branch(&d, "g2"), vec!["n4".to_string()], "load repulsion");
+}
+
+#[test]
+fn park_drain_downtime_is_stamped_on_retry() {
+    let mut d = line_domain(false);
+    d.deploy_with(&split_bridge_chain(), &far_hints()).unwrap();
+
+    // The transit middle dies with no detour: the graph parks.
+    let report = d.fail_node("n2").unwrap();
+    assert_eq!(report.stranded, vec!["g1".to_string()]);
+    let ledger = d.graph_availability("g1").unwrap();
+    assert_eq!(ledger.park_events, 1);
+    assert_eq!(ledger.park_downtime_ns, 0, "still parked — not stamped");
+
+    // Healing drains the park; the outage duration lands in the ledger.
+    let retried = d.recover_node("n2").unwrap();
+    assert_eq!(retried, vec!["g1".to_string()]);
+    assert_eq!(d.trace.counter("park_drains"), 1);
+    let ledger = d.graph_availability("g1").unwrap();
+    assert_eq!(ledger.park_events, 1);
+    assert!(ledger.park_downtime_ns > 0, "park→drain downtime stamped");
+}
+
+#[test]
+fn availability_report_predicts_and_records() {
+    let mut d = hub_fleet();
+    d.deploy_with(&split_bridge_chain(), &hub_hints()).unwrap();
+
+    // Before any repair: prediction runs on the calibration default.
+    let report = d.availability_report();
+    assert_eq!(report.repair_events, 0);
+    let g = &report.graphs[0];
+    assert_eq!(g.graph, "g1");
+    assert_eq!(g.exposed_nodes, 1, "whole graph on the hub");
+    assert!(!g.standby_ready);
+    assert_eq!(g.predicted_repair_ns, crate::standby::DEFAULT_REPAIR_NS);
+    assert!(g.predicted_availability < 1.0);
+    assert!(g.predicted_availability > 0.999);
+
+    // Staging a standby flips the prediction to the swap column.
+    d.suspect_node("n2").unwrap();
+    let report = d.availability_report();
+    assert!(report.graphs[0].standby_ready);
+
+    // A real failure populates both sides of the model.
+    d.fail_node("n2").unwrap();
+    let report = d.availability_report();
+    assert_eq!(report.repair_events, 1);
+    assert!(report.measured_downtime_ns > 0);
+    assert!(report.modeled_downtime_ns > 0);
+    assert_eq!(report.calibration.swap_events, 1, "swap was calibrated");
+    let g = &report.graphs[0];
+    assert_eq!(g.ledger.repairs, 1);
+    assert_eq!(g.ledger.standby_promotions, 1);
+    assert_eq!(g.exposed_nodes, 2, "now split across the ends");
+
+    // The JSON doc mirrors the report.
+    let doc = d.availability_doc().render();
+    assert!(doc.contains("\"node-mtbf-ns\""), "{doc}");
+    assert!(doc.contains("\"repair-events\":1"), "{doc}");
+    assert!(doc.contains("\"predicted-availability\""), "{doc}");
+    assert!(doc.contains("\"standby-promotions\":1"), "{doc}");
 }

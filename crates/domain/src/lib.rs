@@ -45,6 +45,7 @@ pub mod domain;
 pub mod partition;
 pub mod placement;
 pub mod sharing;
+pub mod standby;
 pub mod topology;
 
 pub use domain::{
@@ -57,5 +58,9 @@ pub use partition::{
 pub use placement::{assign, assign_endpoints, NodeView, PlaceError, PlacementStrategy};
 pub use sharing::{
     ElectionPolicy, ShareKey, SharedClaim, SharedInstance, SharingConfig, SharingError,
+};
+pub use standby::{
+    AvailabilityReport, GraphAvailability, GraphPrediction, RepairCalibration, RepairKind,
+    DEFAULT_REPAIR_NS,
 };
 pub use topology::{EdgeAttrs, Topology};

@@ -127,6 +127,12 @@ pub struct SharingConfig {
     /// single lease, and re-planning a graph never double-counts the
     /// lease it already holds.
     pub max_leases: Option<usize>,
+    /// When every replica of a key sits at `max_leases`, elect an
+    /// additional replica on a fresh host and split tenants across the
+    /// pool instead of returning
+    /// [`SharingError::CapacityExhausted`]. Off by default — rejection
+    /// stays the contract unless the operator opts in.
+    pub scale_out: bool,
 }
 
 impl SharingConfig {
@@ -138,6 +144,7 @@ impl SharingConfig {
             types: types.iter().map(|s| s.to_string()).collect(),
             election: ElectionPolicy::FirstDemand,
             max_leases: None,
+            scale_out: false,
         }
     }
 }
@@ -231,20 +238,26 @@ impl SharedInstance {
 }
 
 /// The domain-wide catalog of shared instances.
+///
+/// A key maps to a *pool* of replicas (one per host). The common case
+/// is a single replica; scale-out (see [`SharingConfig::scale_out`])
+/// adds more when every existing replica sits at `max_leases`. A graph
+/// holds at most one lease per key, on exactly one replica of the
+/// pool.
 #[derive(Debug, Default)]
 pub struct SharedRegistry {
-    instances: BTreeMap<ShareKey, SharedInstance>,
+    instances: BTreeMap<ShareKey, Vec<SharedInstance>>,
 }
 
 impl SharedRegistry {
-    /// Iterate live instances.
+    /// Iterate live instances (every replica of every key).
     pub fn instances(&self) -> impl Iterator<Item = &SharedInstance> {
-        self.instances.values()
+        self.instances.values().flatten()
     }
 
-    /// Number of live instances.
+    /// Number of live instances (replicas, not keys).
     pub fn len(&self) -> usize {
-        self.instances.len()
+        self.instances.values().map(Vec::len).sum()
     }
 
     /// True when no instance is registered.
@@ -252,24 +265,39 @@ impl SharedRegistry {
         self.instances.is_empty()
     }
 
-    /// The instance for a key, if registered.
+    /// The first replica for a key, if any is registered. Single-
+    /// replica pools (the common case) have exactly one.
     pub fn get(&self, key: &ShareKey) -> Option<&SharedInstance> {
-        self.instances.get(key)
+        self.instances.get(key).and_then(|pool| pool.first())
     }
 
-    /// Keys of every instance hosted on `node`.
+    /// Every replica of a key, in host order (empty slice when none).
+    pub fn replicas(&self, key: &ShareKey) -> &[SharedInstance] {
+        self.instances.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The replica of `key` living on `host`, if any.
+    pub fn replica_on(&self, key: &ShareKey, host: &str) -> Option<&SharedInstance> {
+        self.replicas(key).iter().find(|i| i.host == host)
+    }
+
+    /// Keys of every instance hosted on `node` (at most one replica of
+    /// a key lives on a given node, so keys are unique).
     pub fn hosted_on(&self, node: &str) -> Vec<ShareKey> {
         self.instances
             .values()
+            .flatten()
             .filter(|i| i.host == node)
             .map(|i| i.key.clone())
             .collect()
     }
 
-    /// Every lease `graph` holds, as per-graph claims.
+    /// Every lease `graph` holds, as per-graph claims. A graph leases
+    /// at most one replica per key.
     pub fn leases_of(&self, graph: &str) -> BTreeMap<ShareKey, SharedClaim> {
         self.instances
             .values()
+            .flatten()
             .filter_map(|i| {
                 i.leases.get(graph).map(|nfs| {
                     (
@@ -284,55 +312,67 @@ impl SharedRegistry {
             .collect()
     }
 
-    /// Move an instance to a new host (re-election after failure);
-    /// leases carry over untouched.
-    pub(crate) fn set_host(&mut self, key: &ShareKey, host: &str) {
-        if let Some(inst) = self.instances.get_mut(key) {
-            inst.host = host.to_string();
+    /// Move the replica of `key` living on `from` to a new host
+    /// (re-election / standby promotion after failure); leases carry
+    /// over untouched. No-op if no replica lives on `from`.
+    pub(crate) fn set_host(&mut self, key: &ShareKey, from: &str, to: &str) {
+        if let Some(pool) = self.instances.get_mut(key) {
+            if let Some(inst) = pool.iter_mut().find(|i| i.host == from) {
+                inst.host = to.to_string();
+            }
+            pool.sort_by(|a, b| a.host.cmp(&b.host));
         }
     }
 
-    /// Record (or refresh) `graph`'s lease on `key` hosted at `host`,
-    /// creating the instance on first demand. Returns `(instance_new,
-    /// lease_new)` for the caller's counters. Re-acquiring a lease the
-    /// graph already holds only updates its wire count — it never
-    /// consumes a second capacity slot.
+    /// Record (or refresh) `graph`'s lease on `key`'s replica at
+    /// `host`, creating the replica on first demand. A lease the graph
+    /// held on a *different* replica of the same key moves here (a
+    /// graph never double-leases a key); a replica emptied by such a
+    /// move is dropped. Returns `(instance_new, lease_new,
+    /// replicas_dropped)` for the caller's counters. Re-acquiring a
+    /// lease the graph already holds only updates its wire count — it
+    /// never consumes a second capacity slot.
     pub(crate) fn commit(
         &mut self,
         graph: &str,
         key: &ShareKey,
         host: &str,
         nfs: usize,
-    ) -> (bool, bool) {
-        let instance_new = !self.instances.contains_key(key);
-        let inst = self
-            .instances
-            .entry(key.clone())
-            .or_insert_with(|| SharedInstance {
+    ) -> (bool, bool, usize) {
+        let pool = self.instances.entry(key.clone()).or_default();
+        // Drop the graph's lease on any other replica of this key,
+        // discarding replicas the move empties.
+        let mut moved = false;
+        let before = pool.len();
+        pool.retain_mut(|inst| {
+            if inst.host != host && inst.leases.remove(graph).is_some() {
+                moved = true;
+            }
+            !inst.leases.is_empty() || inst.host == host
+        });
+        let dropped = before - pool.len();
+        let instance_new = !pool.iter().any(|i| i.host == host);
+        if instance_new {
+            pool.push(SharedInstance {
                 key: key.clone(),
                 host: host.to_string(),
                 leases: BTreeMap::new(),
             });
-        inst.host = host.to_string();
-        let lease_new = inst.leases.insert(graph.to_string(), nfs).is_none();
-        (instance_new, lease_new)
+            pool.sort_by(|a, b| a.host.cmp(&b.host));
+        }
+        let inst = pool
+            .iter_mut()
+            .find(|i| i.host == host)
+            .expect("replica at host exists");
+        let lease_new = inst.leases.insert(graph.to_string(), nfs).is_none() && !moved;
+        (instance_new, lease_new, dropped)
     }
 
-    /// Release every lease `graph` holds; instances left without
+    /// Release every lease `graph` holds; replicas left without
     /// tenants are dropped (no orphan instances). Returns the dropped
-    /// keys.
+    /// keys, one entry per dropped replica.
     pub(crate) fn release_graph(&mut self, graph: &str) -> Vec<ShareKey> {
-        let mut dropped = Vec::new();
-        self.instances.retain(|key, inst| {
-            inst.leases.remove(graph);
-            if inst.leases.is_empty() {
-                dropped.push(key.clone());
-                false
-            } else {
-                true
-            }
-        });
-        dropped
+        self.release_where(|_| true, graph)
     }
 
     /// Release `graph`'s leases on every key **not** in `keep` (the
@@ -342,17 +382,24 @@ impl SharedRegistry {
         graph: &str,
         keep: &BTreeSet<ShareKey>,
     ) -> Vec<ShareKey> {
+        self.release_where(|key| !keep.contains(key), graph)
+    }
+
+    fn release_where(&mut self, applies: impl Fn(&ShareKey) -> bool, graph: &str) -> Vec<ShareKey> {
         let mut dropped = Vec::new();
-        self.instances.retain(|key, inst| {
-            if !keep.contains(key) {
-                inst.leases.remove(graph);
+        self.instances.retain(|key, pool| {
+            if applies(key) {
+                pool.retain_mut(|inst| {
+                    inst.leases.remove(graph);
+                    if inst.leases.is_empty() {
+                        dropped.push(key.clone());
+                        false
+                    } else {
+                        true
+                    }
+                });
             }
-            if inst.leases.is_empty() {
-                dropped.push(key.clone());
-                false
-            } else {
-                true
-            }
+            !pool.is_empty()
         });
         dropped
     }
@@ -588,10 +635,10 @@ mod tests {
     fn registry_leases_are_per_graph_and_last_release_drops() {
         let mut r = SharedRegistry::default();
         let key = ShareKey::new("nat", "");
-        assert_eq!(r.commit("g1", &key, "n1", 1), (true, true));
+        assert_eq!(r.commit("g1", &key, "n1", 1), (true, true, 0));
         // Re-acquire by the same graph: no new lease, wires updated.
-        assert_eq!(r.commit("g1", &key, "n1", 2), (false, false));
-        assert_eq!(r.commit("g2", &key, "n1", 1), (false, true));
+        assert_eq!(r.commit("g1", &key, "n1", 2), (false, false, 0));
+        assert_eq!(r.commit("g2", &key, "n1", 1), (false, true, 0));
         let inst = r.get(&key).unwrap();
         assert_eq!(inst.tenant_count(), 2);
         assert_eq!(inst.wires(), 3);
@@ -600,6 +647,44 @@ mod tests {
         assert!(r.release_graph("g1").is_empty(), "g2 still leases");
         assert_eq!(r.release_graph("g2"), vec![key.clone()]);
         assert!(r.is_empty(), "no orphan instances");
+    }
+
+    #[test]
+    fn scale_out_pools_hold_one_lease_per_key_per_graph() {
+        let mut r = SharedRegistry::default();
+        let key = ShareKey::new("nat", "");
+        // Two replicas of one key (scale-out), tenants split.
+        assert_eq!(r.commit("g1", &key, "n1", 1), (true, true, 0));
+        assert_eq!(r.commit("g2", &key, "n2", 1), (true, true, 0));
+        assert_eq!(r.len(), 2, "two replicas");
+        assert_eq!(r.replicas(&key).len(), 2);
+        assert_eq!(r.replica_on(&key, "n2").unwrap().tenant_count(), 1);
+        assert_eq!(r.leases_of("g1")[&key].host, "n1");
+        assert_eq!(r.leases_of("g2")[&key].host, "n2");
+        assert_eq!(r.hosted_on("n2"), vec![key.clone()]);
+
+        // Re-committing g1 onto n2 *moves* the lease (never two leases
+        // on one key) and drops the replica the move emptied.
+        assert_eq!(r.commit("g1", &key, "n2", 1), (false, false, 1));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.leases_of("g1")[&key].host, "n2");
+        assert_eq!(r.replica_on(&key, "n2").unwrap().tenant_count(), 2);
+    }
+
+    #[test]
+    fn set_host_moves_only_the_named_replica() {
+        let mut r = SharedRegistry::default();
+        let key = ShareKey::new("nat", "");
+        r.commit("g1", &key, "n1", 1);
+        r.commit("g2", &key, "n2", 1);
+        r.set_host(&key, "n1", "n3");
+        assert!(r.replica_on(&key, "n1").is_none());
+        assert_eq!(r.leases_of("g1")[&key].host, "n3");
+        assert_eq!(
+            r.leases_of("g2")[&key].host,
+            "n2",
+            "other replica untouched"
+        );
     }
 
     #[test]

@@ -21,6 +21,17 @@ use std::collections::{BTreeMap, BTreeSet};
 /// comparison, without overflowing summed scores.
 pub const UNREACHABLE_HOPS: u32 = 16;
 
+/// Fixed-point congestion units charged per riding path on an edge of
+/// reference capacity. An edge of half the reference capacity charges
+/// twice as much per path, so thin pipes repel new overlay paths
+/// sooner than fat ones.
+pub const CONGESTION_SCALE: u64 = 1_000;
+
+/// The capacity at which one riding path costs exactly
+/// [`CONGESTION_SCALE`] congestion units (the `EdgeAttrs` default,
+/// 10 Gb/s).
+pub const REFERENCE_CAPACITY_BPS: u64 = 10_000_000_000;
+
 /// Properties of one fabric edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EdgeAttrs {
@@ -28,9 +39,10 @@ pub struct EdgeAttrs {
     /// nanoseconds. Used as the per-hop cost in the data plane and as
     /// the Dijkstra tie-break among equal-hop paths.
     pub latency_ns: u64,
-    /// Nominal capacity in bits per second. Advisory today: recorded,
-    /// surfaced over REST, not yet a routing constraint (capacity-aware
-    /// path selection is an open ROADMAP item).
+    /// Nominal capacity in bits per second. A routing input: the
+    /// congestion charge of [`Topology::shortest_path_loaded`] scales
+    /// inversely with capacity, so loaded or thin edges repel new
+    /// overlay paths.
     pub capacity_bps: u64,
 }
 
@@ -171,6 +183,27 @@ impl Topology {
         to: &str,
         usable: &dyn Fn(&str) -> bool,
     ) -> Option<Vec<String>> {
+        self.shortest_path_loaded(from, to, usable, &|_, _| 0)
+    }
+
+    /// Capacity-aware variant of [`Topology::shortest_path`].
+    ///
+    /// `edge_load(a, b)` reports how many overlay paths already ride
+    /// the `a – b` edge; each riding path charges
+    /// `CONGESTION_SCALE × REFERENCE_CAPACITY_BPS / capacity_bps`
+    /// congestion units, so loaded edges — and thin edges under equal
+    /// load — repel new paths. The cost order is `(hops, congestion,
+    /// latency, lexicographic frontier)`: hop count stays primary (a
+    /// detour is never taken just to dodge load), and with zero load
+    /// everywhere the result is byte-identical to `shortest_path`, so
+    /// the deterministic tie-break is preserved.
+    pub fn shortest_path_loaded(
+        &self,
+        from: &str,
+        to: &str,
+        usable: &dyn Fn(&str) -> bool,
+        edge_load: &dyn Fn(&str, &str) -> u64,
+    ) -> Option<Vec<String>> {
         if !usable(from) || !usable(to) {
             return None;
         }
@@ -180,20 +213,20 @@ impl Topology {
         if self.full_mesh {
             return Some(vec![from.to_string(), to.to_string()]);
         }
-        // (hops, latency, node) in a BTreeSet doubles as a deterministic
-        // priority queue; fleet sizes are small enough that the log-n
-        // set operations dwarf nothing.
-        let mut best: BTreeMap<&str, (u32, u64)> = BTreeMap::new();
+        // (hops, congestion, latency, node) in a BTreeSet doubles as a
+        // deterministic priority queue; fleet sizes are small enough
+        // that the log-n set operations dwarf nothing.
+        let mut best: BTreeMap<&str, (u32, u64, u64)> = BTreeMap::new();
         let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
-        let mut queue: BTreeSet<(u32, u64, &str)> = BTreeSet::new();
-        best.insert(from, (0, 0));
-        queue.insert((0, 0, from));
-        while let Some(&(hops, lat, node)) = queue.iter().next() {
-            queue.remove(&(hops, lat, node));
+        let mut queue: BTreeSet<(u32, u64, u64, &str)> = BTreeSet::new();
+        best.insert(from, (0, 0, 0));
+        queue.insert((0, 0, 0, from));
+        while let Some(&(hops, load, lat, node)) = queue.iter().next() {
+            queue.remove(&(hops, load, lat, node));
             if node == to {
                 break;
             }
-            if best.get(node) != Some(&(hops, lat)) {
+            if best.get(node) != Some(&(hops, load, lat)) {
                 continue; // stale queue entry
             }
             let Some(nbrs) = self.edges.get(node) else {
@@ -203,17 +236,22 @@ impl Topology {
                 if !usable(next) {
                     continue;
                 }
-                let cand = (hops + 1, lat.saturating_add(attrs.latency_ns));
+                let charge = Self::congestion_charge(attrs, edge_load(node, next));
+                let cand = (
+                    hops + 1,
+                    load.saturating_add(charge),
+                    lat.saturating_add(attrs.latency_ns),
+                );
                 let better = match best.get(next.as_str()) {
                     None => true,
                     Some(old) => cand < *old,
                 };
                 if better {
                     if let Some(old) = best.insert(next.as_str(), cand) {
-                        queue.remove(&(old.0, old.1, next.as_str()));
+                        queue.remove(&(old.0, old.1, old.2, next.as_str()));
                     }
                     prev.insert(next.as_str(), node);
-                    queue.insert((cand.0, cand.1, next.as_str()));
+                    queue.insert((cand.0, cand.1, cand.2, next.as_str()));
                 }
             }
         }
@@ -229,6 +267,18 @@ impl Topology {
         }
         path.reverse();
         Some(path)
+    }
+
+    /// Congestion units charged for crossing an edge already carrying
+    /// `riding_paths` overlay paths: linear in load, inverse in
+    /// capacity, fixed-point so the comparison stays integral and
+    /// deterministic.
+    fn congestion_charge(attrs: &EdgeAttrs, riding_paths: u64) -> u64 {
+        let per_path = CONGESTION_SCALE
+            .saturating_mul(REFERENCE_CAPACITY_BPS)
+            .checked_div(attrs.capacity_bps.max(1))
+            .unwrap_or(u64::MAX);
+        riding_paths.saturating_mul(per_path)
     }
 
     /// Hop distances from every node of `nodes` to every other, walking
@@ -390,6 +440,65 @@ mod tests {
         assert_eq!(
             t.shortest_path("a", "z", &usable_all).unwrap(),
             vec!["a", "y", "z"]
+        );
+    }
+
+    #[test]
+    fn loaded_edges_repel_equal_hop_paths() {
+        let t = Topology::ring(&["a", "b", "c", "d"], EdgeAttrs::default());
+        // Unloaded, a–b–c wins the lexicographic tie-break (same as
+        // shortest_path — zero load must be byte-identical).
+        assert_eq!(
+            t.shortest_path_loaded("a", "c", &usable_all, &|_, _| 0)
+                .unwrap(),
+            vec!["a", "b", "c"]
+        );
+        // One path already riding a–b pushes the next one to a–d–c.
+        let load = |x: &str, y: &str| u64::from((x, y) == ("a", "b") || (x, y) == ("b", "a"));
+        assert_eq!(
+            t.shortest_path_loaded("a", "c", &usable_all, &load)
+                .unwrap(),
+            vec!["a", "d", "c"]
+        );
+        // …but never at the cost of an extra hop: the direct a–b edge
+        // still beats a two-hop detour no matter how loaded it is.
+        let t2 = Topology::ring(&["a", "b", "c"], EdgeAttrs::default());
+        assert_eq!(
+            t2.shortest_path_loaded("a", "b", &usable_all, &|_, _| 1_000)
+                .unwrap(),
+            vec!["a", "b"]
+        );
+    }
+
+    #[test]
+    fn thin_edges_charge_more_per_riding_path() {
+        // Two equal-hop, equally-loaded routes; the one over the thin
+        // (1 Gb/s) edge charges 10x the congestion and loses, even
+        // though its latency tie-break would have won.
+        let mut t = Topology::explicit();
+        let thin_fast = EdgeAttrs {
+            latency_ns: 1,
+            capacity_bps: 1_000_000_000,
+        };
+        let fat_slow = EdgeAttrs {
+            latency_ns: 1_000,
+            ..EdgeAttrs::default()
+        };
+        t.add_edge("a", "b", thin_fast);
+        t.add_edge("b", "z", thin_fast);
+        t.add_edge("a", "y", fat_slow);
+        t.add_edge("y", "z", fat_slow);
+        assert_eq!(
+            t.shortest_path_loaded("a", "z", &usable_all, &|_, _| 0)
+                .unwrap(),
+            vec!["a", "b", "z"],
+            "unloaded: latency tie-break picks the fast thin route"
+        );
+        assert_eq!(
+            t.shortest_path_loaded("a", "z", &usable_all, &|_, _| 1)
+                .unwrap(),
+            vec!["a", "y", "z"],
+            "under load: the fat route's lower congestion charge wins"
         );
     }
 

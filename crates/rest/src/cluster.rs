@@ -7,6 +7,7 @@
 //! | GET    | `/domain`                   | fleet + graphs + links document    |
 //! | GET    | `/domain/topology`          | fabric topology + per-link overlay paths |
 //! | GET    | `/domain/shared`            | shared-NNF registry: instances, hosts, leases |
+//! | GET    | `/domain/availability`      | modeled vs measured availability per graph |
 //! | GET    | `/domain/nodes`             | nodes with health (alive/suspect/failed) |
 //! | POST   | `/domain/nodes/<n>/fail`    | declare a node failed (repair)     |
 //! | POST   | `/domain/nodes/<n>/recover` | bring a failed node back, retry pending |
@@ -80,8 +81,10 @@ fn repair_report_json(name: &str, report: &ReplacementReport) -> String {
                             .set("nodes-touched", r.nodes_touched)
                             .set("full-replace", r.full_replace)
                             .set("shared-nfs-moved", r.shared_nfs_moved)
+                            .set("standby-promoted", r.standby_promoted)
                             .set("repair-duration-ns", r.repair_duration_ns)
                             .set("downtime-estimate-ns", r.downtime_estimate_ns)
+                            .set("modeled-downtime-ns", r.modeled_downtime_ns)
                             .set(
                                 "shared-migrated",
                                 Json::Arr(
@@ -117,6 +120,9 @@ pub fn handle_cluster(domain: &DomainHandle, req: &Request) -> Response {
         }
         ("GET", ["domain", "shared"]) => {
             Response::json(StatusCode::Ok, domain.lock().shared_doc().render())
+        }
+        ("GET", ["domain", "availability"]) => {
+            Response::json(StatusCode::Ok, domain.lock().availability_doc().render())
         }
         ("GET", ["domain", "nodes"]) => {
             let domain = domain.lock();
@@ -589,6 +595,51 @@ mod tests {
         assert!(r.body.contains("\"instance\":\"nat\""), "{}", r.body);
         let r = handle_cluster(&d, &req("GET", "/domain/shared", ""));
         assert!(r.body.contains("\"host\":\"n2\""), "{}", r.body);
+    }
+
+    #[test]
+    fn cluster_reports_availability_and_standby_promotion() {
+        let d = domain_handle();
+        // n1 also carries eth1 so the repair can collapse onto it.
+        d.lock().node_mut("n1").unwrap().add_physical_port("eth1");
+        {
+            let mut domain = d.lock();
+            let g = un_nffg::from_json(&chain_json("g1")).unwrap();
+            let hints = DeployHints {
+                nf_node: [
+                    ("br1".to_string(), "n1".to_string()),
+                    ("br2".to_string(), "n2".to_string()),
+                ]
+                .into(),
+                ..DeployHints::default()
+            };
+            domain.deploy_with(&g, &hints).unwrap();
+        }
+        // Before any repair: predictions only.
+        let r = handle_cluster(&d, &req("GET", "/domain/availability", ""));
+        assert_eq!(r.status, StatusCode::Ok, "{}", r.body);
+        assert!(r.body.contains("\"node-mtbf-ns\""), "{}", r.body);
+        assert!(r.body.contains("\"repair-events\":0"), "{}", r.body);
+        assert!(r.body.contains("\"predicted-availability\""), "{}", r.body);
+        assert!(r.body.contains("\"standby-ready\":false"), "{}", r.body);
+
+        // Suspect → fail: the blast-radius doc reports the promotion
+        // and the availability doc records both downtime streams.
+        d.lock().suspect_node("n2").unwrap();
+        let r = handle_cluster(&d, &req("GET", "/domain/availability", ""));
+        assert!(r.body.contains("\"standby-ready\":true"), "{}", r.body);
+        let r = handle_cluster(&d, &req("POST", "/domain/nodes/n2/fail", ""));
+        assert_eq!(r.status, StatusCode::Ok, "{}", r.body);
+        assert!(r.body.contains("\"standby-promoted\":true"), "{}", r.body);
+        assert!(r.body.contains("\"modeled-downtime-ns\":"), "{}", r.body);
+        let r = handle_cluster(&d, &req("GET", "/domain/availability", ""));
+        assert!(r.body.contains("\"repair-events\":1"), "{}", r.body);
+        assert!(r.body.contains("\"standby-promotions\":1"), "{}", r.body);
+        assert!(
+            !r.body.contains("\"measured-downtime-ns\":0,"),
+            "{}",
+            r.body
+        );
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Model-based chaos suite for the domain's failure handling.
 //!
 //! Random sequences of `deploy` / `update` / `undeploy` / `fail_node` /
-//! `recover_node` / `heartbeat` / `tick` / `retry_pending` are driven
+//! `suspect_node` / `recover_node` / `heartbeat` / `tick` /
+//! `retry_pending` are driven
 //! against **two** domains differing only in repair policy
 //! (incremental vs from-scratch) and checked, after every operation,
 //! against a simple in-test reference model of the health state
@@ -16,9 +17,16 @@
 //! * every deployed graph's cut edges are backed by live overlay link
 //!   state attributed to that graph, and no overlay link state is
 //!   orphaned;
-//! * **vid conservation**: every VLAN id the pool ever minted is
-//!   either free or backing a live link, exactly once — no leak, no
-//!   double-free, across every deploy/update/repair/park cycle;
+//! * **vid conservation**: every VLAN id the pool ever minted is free,
+//!   backing a live link, or reserved by a staged standby plan —
+//!   exactly once — no leak, no double-free, across every
+//!   deploy/update/repair/park and suspect/discard/promote cycle;
+//! * **standby hygiene**: make-before-break plans exist only while a
+//!   node is suspect and only for deployed graphs — promotion consumes
+//!   them, late heartbeats and recovery discard them leak-free;
+//! * **availability model sanity**: predicted availabilities are
+//!   probabilities, and once repairs ran the modeled downtime stream
+//!   brackets the measured one within three orders of magnitude;
 //! * **topology-aware routing**: every overlay link's pinned path is a
 //!   valid walk through the fabric topology, starts and ends at the
 //!   link's node pair, and never touches a failed node (checked in a
@@ -182,6 +190,18 @@ impl HealthModel {
         self.health[node] = NodeHealth::Failed;
     }
 
+    /// Mirrors `Domain::suspect_node`: only an alive node becomes
+    /// suspect; suspect and failed nodes are untouched.
+    fn suspect(&mut self, node: usize) {
+        if self.health[node] == NodeHealth::Alive {
+            self.health[node] = NodeHealth::Suspect;
+        }
+    }
+
+    fn any_suspect(&self) -> bool {
+        self.health.contains(&NodeHealth::Suspect)
+    }
+
     /// Mirrors `Domain::recover_node`: an already-alive node is left
     /// untouched (in particular its heartbeat is *not* refreshed).
     fn recover(&mut self, node: usize, now: u64) {
@@ -225,10 +245,13 @@ enum Op {
     /// Inject a burst for graph `.0` at node `.1` — exercises the
     /// dataplane shuttle (and the conservation ledger) mid-chaos.
     Inject(usize, usize),
+    /// Explicitly suspect a node — stages make-before-break standby
+    /// plans that a later failure promotes or a heartbeat discards.
+    Suspect(usize),
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    (0u8..13, 0u8..8, 0u8..4).prop_map(|(kind, a, b)| match kind {
+    (0u8..15, 0u8..8, 0u8..4).prop_map(|(kind, a, b)| match kind {
         0 | 1 => Op::Deploy(a as usize % GRAPHS),
         2 => Op::Update(a as usize % GRAPHS, b as usize),
         3 => Op::Undeploy(a as usize % GRAPHS),
@@ -238,6 +261,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         8 => Op::Tick(b as usize),
         9 => Op::ToggleSharing,
         10 => Op::RetryPending,
+        13 | 14 => Op::Suspect(a as usize % NODES.len()),
         _ => Op::Inject(a as usize % GRAPHS, b as usize % NODES.len()),
     })
 }
@@ -319,16 +343,75 @@ fn check_domain(d: &Domain, model: &HealthModel, tag: &str) {
     );
 
     // Vid conservation: every id the pool ever minted (base..next) is
-    // free or in use, exactly once — a leak leaves a hole, a
-    // double-free a duplicate.
-    let (base, next, free, in_use) = d.vid_accounting();
-    let mut all: Vec<u16> = free.iter().chain(in_use.iter()).copied().collect();
+    // free, in use, or reserved by a staged standby plan — exactly
+    // once. A leak leaves a hole, a double-free (or a standby that
+    // kept a vid it returned) a duplicate.
+    let (base, next, free, in_use, standby) = d.vid_accounting();
+    let mut all: Vec<u16> = free
+        .iter()
+        .chain(in_use.iter())
+        .chain(standby.iter())
+        .copied()
+        .collect();
     all.sort_unstable();
     let minted: Vec<u16> = (base..next).collect();
     assert_eq!(
         all, minted,
-        "{tag}: vid ledger broken (free {free:?} ∪ in_use {in_use:?} ≠ minted)"
+        "{tag}: vid ledger broken (free {free:?} ∪ in_use {in_use:?} ∪ standby {standby:?} ≠ minted)"
     );
+
+    // Standby hygiene: plans exist only while some node is suspect
+    // (promotion consumes them, heartbeat/recovery discards them), and
+    // only for graphs that are still deployed.
+    let staged = d.standby_graphs();
+    if !model.any_suspect() {
+        assert!(
+            staged.is_empty(),
+            "{tag}: standby plans leaked past the suspicion: {staged:?}"
+        );
+    }
+    for gid in &staged {
+        assert!(
+            deployed.contains(gid),
+            "{tag}: standby staged for undeployed graph {gid}"
+        );
+    }
+
+    // Availability model sanity: predictions are probabilities, and
+    // once repairs happened the modeled and measured downtime streams
+    // are both live and within three orders of magnitude of each other
+    // (a wide bracket, robust to debug-build timing noise, that still
+    // catches unit errors and dead model paths).
+    let avail = d.availability_report();
+    for g in &avail.graphs {
+        assert!(
+            (0.0..=1.0).contains(&g.predicted_availability),
+            "{tag}: predicted availability of {} out of range: {}",
+            g.graph,
+            g.predicted_availability
+        );
+    }
+    if avail.repair_events >= 1 {
+        assert!(
+            avail.modeled_downtime_ns > 0,
+            "{tag}: repairs ran but the model predicted zero downtime"
+        );
+        assert!(
+            avail.measured_downtime_ns > 0,
+            "{tag}: repairs ran but measured zero downtime"
+        );
+        let hi = avail.modeled_downtime_ns.max(avail.measured_downtime_ns);
+        let lo = avail
+            .modeled_downtime_ns
+            .min(avail.measured_downtime_ns)
+            .max(1);
+        assert!(
+            hi / lo <= 1_000,
+            "{tag}: modeled {} vs measured {} downtime diverge past the ×1000 bracket",
+            avail.modeled_downtime_ns,
+            avail.measured_downtime_ns
+        );
+    }
 
     // Shared-NNF lease conservation: every instance has tenants (no
     // orphans), its host is serving and carries the node-level
@@ -649,6 +732,10 @@ proptest! {
                 Op::Inject(i, n) => {
                     chaos_inject(&mut d, *i, *n);
                 }
+                Op::Suspect(n) => {
+                    model.suspect(*n);
+                    d.suspect_node(NODES[*n]).unwrap();
+                }
             }
             check_domain(&d, &model, "line");
         }
@@ -762,6 +849,13 @@ proptest! {
                     // reports are not compared).
                     chaos_inject(&mut inc, *i, *n);
                     chaos_inject(&mut fs, *i, *n);
+                }
+                Op::Suspect(n) => {
+                    // Only the incremental twin stages standby plans;
+                    // the health transition itself is policy-agnostic.
+                    model.suspect(*n);
+                    inc.suspect_node(NODES[*n]).unwrap();
+                    fs.suspect_node(NODES[*n]).unwrap();
                 }
             }
 
