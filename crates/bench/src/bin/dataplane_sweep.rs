@@ -1,6 +1,7 @@
-//! Data-plane sweep: microflow fast path + sharded shuttle scaling.
+//! Data-plane sweep: microflow fast path, megaflow wildcard path, and
+//! sharded shuttle scaling.
 //!
-//! Two wall-clock measurements (real time, not virtual time — this
+//! Three wall-clock measurements (real time, not virtual time — this
 //! harness benchmarks the *simulator's* data plane itself):
 //!
 //! 1. **Fast path** — one LSI loaded with `RULES` exact-match entries,
@@ -8,14 +9,22 @@
 //!    the classifier forced to the pre-optimization linear scan, and
 //!    with the indexed pipeline (microflow cache + exact-match shape
 //!    tables). The ratio is the fast-path speedup.
-//! 2. **Shard scaling** — a fleet of nodes, each hosting its own
-//!    bridge-chain graph, driven through `Domain::inject_batch` with
-//!    1/2/4/8 workers. Per-node state is independent, so this measures
-//!    how well the work-stealing shuttle shards the fleet.
+//! 2. **Wildcard path** — the same switch loaded with CIDR and
+//!    `AnyTagged` rules (a wildcard-heavy table spanning a handful of
+//!    distinct masks) and traffic that never repeats a microflow key.
+//!    Linear pays an O(#rules) scan per frame; the megaflow layer pays
+//!    O(#masks) hash probes. The ratio is the megaflow speedup.
+//! 3. **Shard scaling** — a fleet of nodes, each hosting its own
+//!    bridge-chain graph, driven through `Domain::inject_batch` in
+//!    several bursts with 1/2/4/8 workers, so the domain's persistent
+//!    shard runtime is reused across calls the way a line-rate ingress
+//!    path would. Per-node state is independent, so this measures how
+//!    well the work-stealing shuttle shards the fleet.
 //!
 //! Writes machine-readable results to `BENCH_dataplane.json` and
 //! asserts the invariants CI smoke-checks: the microflow cache actually
-//! hits, and every sharded run delivers exactly the sequential output.
+//! hits, megaflow lookups actually hit and beat the linear scan, and
+//! every sharded run delivers exactly the sequential output.
 //!
 //! ```sh
 //! UN_SWEEP_FRAMES=2000 cargo run --release -p un-bench --bin dataplane_sweep
@@ -28,10 +37,13 @@ use un_core::UniversalNode;
 use un_domain::{DeployHints, Domain, PlacementStrategy};
 use un_nffg::{Json, NfFg, NfFgBuilder};
 use un_packet::ethernet::MacAddr;
+use un_packet::Ipv4Cidr;
 use un_packet::{Packet, PacketBuilder};
 use un_sim::mem::mb;
 use un_sim::CostModel;
-use un_switch::{Backend, ClassifierMode, FlowAction, FlowEntry, FlowMatch, LogicalSwitch, PortNo};
+use un_switch::{
+    Backend, ClassifierMode, FlowAction, FlowEntry, FlowMatch, LogicalSwitch, PortNo, VlanSpec,
+};
 
 /// Exact-match rules installed for the fast-path measurement.
 const RULES: u16 = 1024;
@@ -107,7 +119,81 @@ fn measure_switch(mode: ClassifierMode, frames: u64) -> (f64, f64) {
 }
 
 // ----------------------------------------------------------------------
-// Phase 2: shard scaling across a fleet
+// Phase 2: megaflow wildcard path vs linear scan
+// ----------------------------------------------------------------------
+
+/// Wildcard rules in the wildcard-path table (three distinct masks).
+const WC_SRC_RULES: u16 = 2048;
+const WC_DST_RULES: u16 = 256;
+const WC_VLAN_RULES: u16 = 8;
+
+/// A wildcard-heavy table: `WC_SRC_RULES` high-priority /16 source
+/// CIDRs (ACL-style, none match the test traffic), `WC_DST_RULES` /24
+/// destination CIDRs (the forwarding rules that do match), and a few
+/// VLAN-`AnyTagged` guards. 2312 entries, but only *three* distinct
+/// masks — the shape a megaflow classifier exploits.
+fn wildcard_switch(mode: ClassifierMode) -> LogicalSwitch {
+    let mut sw = LogicalSwitch::new("LSI-mega", 1, Backend::SingleTableCached);
+    sw.set_classifier_mode(mode);
+    sw.add_port(PortNo(1), "in").unwrap();
+    sw.add_port(PortNo(2), "out").unwrap();
+    for r in 0..WC_SRC_RULES {
+        let mut m = FlowMatch::in_port(PortNo(1));
+        // Distinct /16 prefixes in 64.0.0.0/5 — never match src 10.x.
+        m.ip_src = Some(Ipv4Cidr::new(
+            Ipv4Addr::new(64 + (r / 256) as u8, (r % 256) as u8, 0, 0),
+            16,
+        ));
+        sw.install(0, FlowEntry::new(30, m, vec![FlowAction::Controller]))
+            .unwrap();
+    }
+    for j in 0..WC_DST_RULES {
+        let mut m = FlowMatch::in_port(PortNo(1));
+        m.ip_dst = Some(Ipv4Cidr::new(Ipv4Addr::new(10, 0, j as u8, 0), 24));
+        sw.install(
+            0,
+            FlowEntry::new(20, m, vec![FlowAction::Output(PortNo(2))]),
+        )
+        .unwrap();
+    }
+    for p in 0..WC_VLAN_RULES {
+        let mut m = FlowMatch::in_port(PortNo(1));
+        m.vlan = Some(VlanSpec::AnyTagged);
+        sw.install(0, FlowEntry::new(p + 1, m, vec![FlowAction::Controller]))
+            .unwrap();
+    }
+    sw
+}
+
+/// Drive `frames` packets with *non-repeating* flow keys through the
+/// wildcard table; returns (pps, megaflow hits). Every key is new, so
+/// the microflow cache cannot help — linear pays the full rule scan,
+/// indexed pays O(#masks) megaflow probes.
+fn measure_wildcard(mode: ClassifierMode, frames: u64) -> (f64, u64) {
+    let mut sw = wildcard_switch(mode);
+    let costs = CostModel::default();
+    let mut delivered = 0u64;
+    let start = Instant::now();
+    for i in 0..frames {
+        let pkt = PacketBuilder::new()
+            .ethernet(MacAddr::local(1), MacAddr::local(2))
+            .ipv4(
+                Ipv4Addr::new(10, 9, 9, 9),
+                Ipv4Addr::new(10, 0, (i % 256) as u8, ((i / 256) % 256) as u8),
+            )
+            .udp(6_000, (i % 50_000) as u16)
+            .payload(&[0x5A; 64])
+            .build();
+        let res = sw.process(PortNo(1), pkt, &costs);
+        delivered += res.outputs.len() as u64;
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(delivered, frames, "every frame must match a /24 rule");
+    (frames as f64 / secs, sw.cache_stats().megaflow_hits)
+}
+
+// ----------------------------------------------------------------------
+// Phase 3: shard scaling across a fleet
 // ----------------------------------------------------------------------
 
 fn node_chain(node: &str) -> (NfFg, DeployHints) {
@@ -193,14 +279,28 @@ fn egress_digest(emitted: &[(un_core::Name, un_core::Name, Packet)]) -> (u64, u6
     (emitted.len() as u64, digest)
 }
 
-/// Run the fleet workload with `workers`; returns (pps, egress digest).
+/// Bursts the fleet workload is split into, so multi-worker runs
+/// exercise the persistent shard runtime across calls (workers park
+/// between bursts instead of being spawned per burst).
+const BURSTS: usize = 4;
+
+/// Run the fleet workload with `workers` in `BURSTS` inject_batch
+/// calls; returns (pps, egress digest).
 fn measure_fleet(workers: usize, frames: u64) -> (f64, (u64, u64)) {
     let mut d = fleet();
     let ingress = ingress_burst(frames);
+    let chunk = ingress.len().div_ceil(BURSTS).max(1);
+    let mut emitted = Vec::new();
     let start = Instant::now();
-    let io = d.inject_batch(ingress, workers);
+    let mut rest = ingress;
+    while !rest.is_empty() {
+        let tail = rest.split_off(chunk.min(rest.len()));
+        let io = d.inject_batch(rest, workers);
+        emitted.extend(io.emitted);
+        rest = tail;
+    }
     let secs = start.elapsed().as_secs_f64().max(1e-9);
-    (frames as f64 / secs, egress_digest(&io.emitted))
+    (frames as f64 / secs, egress_digest(&emitted))
 }
 
 /// The pre-batch baseline: one `Domain::inject` call per frame.
@@ -237,6 +337,25 @@ fn main() {
     );
 
     // ---- Phase 2 ----
+    let (wc_linear_pps, _) = measure_wildcard(ClassifierMode::Linear, frames);
+    let (wc_indexed_pps, megaflow_hits) = measure_wildcard(ClassifierMode::Indexed, frames);
+    let megaflow_speedup = wc_indexed_pps / wc_linear_pps.max(1.0);
+    let wc_rules = u64::from(WC_SRC_RULES + WC_DST_RULES + WC_VLAN_RULES);
+    println!("\nwildcard path ({wc_rules} CIDR/AnyTagged rules, 3 masks, no key reuse):");
+    println!("  linear scan : {wc_linear_pps:>12.0} pkts/s");
+    println!(
+        "  megaflow    : {wc_indexed_pps:>12.0} pkts/s   ({megaflow_speedup:.1}x, {megaflow_hits} megaflow hits)"
+    );
+    assert!(
+        megaflow_hits > 0,
+        "wildcard-heavy traffic must resolve through the megaflow layer"
+    );
+    assert!(
+        wc_indexed_pps > wc_linear_pps,
+        "megaflow (O(#masks) probes) must strictly beat the linear rule scan"
+    );
+
+    // ---- Phase 3 ----
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -283,11 +402,22 @@ fn main() {
                 .set("cache_hit_rate", hit_rate),
         )
         .set(
+            "megaflow",
+            Json::obj()
+                .set("rules", wc_rules)
+                .set("masks", 3u64)
+                .set("linear_pps", wc_linear_pps)
+                .set("indexed_pps", wc_indexed_pps)
+                .set("speedup", megaflow_speedup)
+                .set("megaflow_hits", megaflow_hits),
+        )
+        .set(
             "shard_scaling",
             Json::obj()
                 .set("nodes", NODES as u64)
                 .set("chain_len", CHAIN as u64)
                 .set("cpus", cpus as u64)
+                .set("bursts", BURSTS as u64)
                 .set("per_frame_pps", per_frame_pps)
                 .set("batching_speedup", batching_speedup)
                 .set(

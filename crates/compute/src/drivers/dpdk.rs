@@ -139,6 +139,41 @@ impl DpdkDriver {
             cost: Cost::from_nanos(costs.pmd_per_packet_ns),
         }
     }
+
+    /// Batched delivery: one PMD poll slot serves the whole burst —
+    /// the process resolves once, frames forward in order.
+    pub fn deliver_batch(
+        &mut self,
+        key: u64,
+        frames: Vec<(u32, Packet)>,
+        costs: &CostModel,
+    ) -> Vec<IoOutcome> {
+        let Some(p) = self.procs.get_mut(&key) else {
+            return frames.iter().map(|_| IoOutcome::default()).collect();
+        };
+        frames
+            .into_iter()
+            .map(|(port, pkt)| {
+                if p.state != ProcState::Running || (port as usize) >= p.n_ports {
+                    return IoOutcome::default();
+                }
+                p.rx_packets += 1;
+                let out = if p.n_ports >= 2 {
+                    if port == 0 {
+                        1
+                    } else {
+                        0
+                    }
+                } else {
+                    port
+                };
+                IoOutcome {
+                    outputs: vec![(out, pkt)],
+                    cost: Cost::from_nanos(costs.pmd_per_packet_ns),
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -268,9 +268,37 @@ impl NativeDriver {
         let Some(&iface) = inst.ports.get(port as usize) else {
             return IoOutcome::default();
         };
-        let res = host.inject(iface, pkt);
         let base = inst.base_tag;
         let n = inst.ports.len() as u64;
+        Self::tag_filter(base, n, host.inject(iface, pkt))
+    }
+
+    /// Batched delivery: resolve the instance and its port map once,
+    /// then inject the whole burst. Returns one `IoOutcome` per input
+    /// frame, in order, so callers keep per-frame accounting.
+    pub fn deliver_batch(
+        &mut self,
+        key: u64,
+        frames: Vec<(u32, Packet)>,
+        host: &mut Host,
+    ) -> Vec<IoOutcome> {
+        let Some(inst) = self.instances.get(&key) else {
+            return frames.iter().map(|_| IoOutcome::default()).collect();
+        };
+        let base = inst.base_tag;
+        let n = inst.ports.len() as u64;
+        frames
+            .into_iter()
+            .map(|(port, pkt)| match inst.ports.get(port as usize) {
+                Some(&iface) => Self::tag_filter(base, n, host.inject(iface, pkt)),
+                None => IoOutcome::default(),
+            })
+            .collect()
+    }
+
+    /// Keep only the emissions tagged into this instance's port range,
+    /// rebased to instance-local port numbers.
+    fn tag_filter(base: u64, n: u64, res: un_linux::IoResult) -> IoOutcome {
         IoOutcome {
             outputs: res
                 .emitted

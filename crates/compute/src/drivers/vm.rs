@@ -139,6 +139,21 @@ impl VmDriver {
         }
     }
 
+    /// Batched delivery: the guest keeps per-frame virtio semantics,
+    /// but the VM handle resolves once per burst at the manager layer.
+    /// One `IoOutcome` per input frame, in order.
+    pub fn deliver_batch(
+        &mut self,
+        vm: VmId,
+        frames: Vec<(u32, Packet)>,
+        costs: &un_sim::CostModel,
+    ) -> Vec<IoOutcome> {
+        frames
+            .into_iter()
+            .map(|(port, pkt)| self.deliver(vm, port, pkt, costs))
+            .collect()
+    }
+
     /// Disk image footprint for an instance's image.
     pub fn image_footprint(&self, image: &str) -> u64 {
         self.hypervisor

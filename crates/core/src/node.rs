@@ -25,9 +25,7 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
-use un_compute::{
-    ComputeError, ComputeManager, Flavor, FlavorSpec, InstanceId, IoOutcome, NodeEnv,
-};
+use un_compute::{ComputeError, ComputeManager, Flavor, FlavorSpec, InstanceId, NodeEnv};
 use un_linux::Host;
 use un_nffg::{validate, EndpointKind, NfFg, PortRef, RuleAction, TrafficMatch};
 use un_nnf::GraphBinding;
@@ -147,6 +145,12 @@ impl From<String> for Name {
 
 impl std::borrow::Borrow<str> for Name {
     fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Name {
+    fn as_ref(&self) -> &str {
         &self.0
     }
 }
@@ -1348,6 +1352,9 @@ impl UniversalNode {
             let burst = pending.remove(&loc).expect("key just observed");
             match loc {
                 LocKey::L0(p) => {
+                    // Stage 1: classify the whole burst through LSI-0
+                    // under one borrow, preserving (frame, output) order.
+                    let mut routed: Vec<(PortNo, Packet, u32)> = Vec::new();
                     for (pkt, ttl) in burst {
                         if ttl == 0 {
                             self.trace.count("fabric_loop_drops", 1);
@@ -1365,33 +1372,49 @@ impl UniversalNode {
                             k => fanout_extra += (k - 1) as u64,
                         }
                         for (out, out_pkt) in res.outputs {
-                            match self.l0_ports.get(&out) {
-                                Some(L0Port::Physical(name)) => {
-                                    io.emitted.push((name.clone(), out_pkt));
+                            routed.push((out, out_pkt, ttl));
+                        }
+                    }
+                    // Stage 2: dispatch in the same order; consecutive
+                    // frames bound for the same shared-NF attach port
+                    // cross the boundary as one `deliver_batch` burst.
+                    let mut it = routed.into_iter().peekable();
+                    while let Some((out, out_pkt, ttl)) = it.next() {
+                        match self.l0_ports.get(&out) {
+                            Some(L0Port::Physical(name)) => {
+                                io.emitted.push((name.clone(), out_pkt));
+                            }
+                            Some(L0Port::Vlink { graph_slot, peer }) => {
+                                io.cost += Cost::from_nanos(self.costs.virtual_link_ns);
+                                pending
+                                    .entry(LocKey::Graph(*graph_slot, peer.0))
+                                    .or_default()
+                                    .push((out_pkt, ttl - 1));
+                            }
+                            Some(L0Port::SharedAttach(inst)) => {
+                                let inst = *inst;
+                                let mut frames: Vec<(u32, Packet)> = vec![(0, out_pkt)];
+                                let mut ttls: Vec<u32> = vec![ttl];
+                                while matches!(it.peek(), Some((next, _, _)) if *next == out) {
+                                    let (_, p2, t2) = it.next().expect("just peeked");
+                                    frames.push((0, p2));
+                                    ttls.push(t2);
                                 }
-                                Some(L0Port::Vlink { graph_slot, peer }) => {
-                                    io.cost += Cost::from_nanos(self.costs.virtual_link_ns);
-                                    pending
-                                        .entry(LocKey::Graph(*graph_slot, peer.0))
-                                        .or_default()
-                                        .push((out_pkt, ttl - 1));
-                                }
-                                Some(L0Port::SharedAttach(inst)) => {
-                                    let inst = *inst;
-                                    let mut env = NodeEnv {
-                                        host: &mut self.host,
-                                        ledger: &mut self.ledger,
-                                        costs: &self.costs,
-                                    };
-                                    let t0 = obs_on.then(Instant::now);
-                                    let out_io: IoOutcome =
-                                        self.compute.deliver(&mut env, inst, 0, out_pkt);
-                                    if let Some(t0) = t0 {
-                                        self.record_nf_latency(
-                                            inst,
-                                            t0.elapsed().as_nanos() as u64,
-                                        );
+                                let n = frames.len() as u64;
+                                let mut env = NodeEnv {
+                                    host: &mut self.host,
+                                    ledger: &mut self.ledger,
+                                    costs: &self.costs,
+                                };
+                                let t0 = obs_on.then(Instant::now);
+                                let outs = self.compute.deliver_batch(&mut env, inst, frames);
+                                if let Some(t0) = t0 {
+                                    let per = t0.elapsed().as_nanos() as u64 / n;
+                                    for _ in 0..n {
+                                        self.record_nf_latency(inst, per);
                                     }
+                                }
+                                for (out_io, ttl) in outs.into_iter().zip(ttls) {
                                     io.cost += out_io.cost;
                                     match out_io.outputs.len() {
                                         0 => absorbed += 1,
@@ -1404,9 +1427,9 @@ impl UniversalNode {
                                             .push((p2, ttl - 1));
                                     }
                                 }
-                                None => {
-                                    self.trace.count("l0_unmapped_port", 1);
-                                }
+                            }
+                            None => {
+                                self.trace.count("l0_unmapped_port", 1);
                             }
                         }
                     }
@@ -1442,7 +1465,11 @@ impl UniversalNode {
                             }
                         }
                     }
-                    for (kind, out_pkt, ttl) in mapped {
+                    // Dispatch in order; consecutive frames bound for
+                    // the same NF instance (any of its ports) cross the
+                    // boundary as one `deliver_batch` burst.
+                    let mut it = mapped.into_iter().peekable();
+                    while let Some((kind, out_pkt, ttl)) = it.next() {
                         match kind {
                             Some(GPort::Vlink { l0_port }) => {
                                 io.cost += Cost::from_nanos(self.costs.virtual_link_ns);
@@ -1452,30 +1479,48 @@ impl UniversalNode {
                                     .push((out_pkt, ttl - 1));
                             }
                             Some(GPort::Nf(inst, nf_port)) => {
+                                let mut frames: Vec<(u32, Packet)> = vec![(nf_port, out_pkt)];
+                                let mut ttls: Vec<u32> = vec![ttl];
+                                while matches!(
+                                    it.peek(),
+                                    Some((Some(GPort::Nf(ni, _)), _, _)) if *ni == inst
+                                ) {
+                                    let Some((Some(GPort::Nf(_, np)), p2, t2)) = it.next() else {
+                                        unreachable!("just peeked an NF frame");
+                                    };
+                                    frames.push((np, p2));
+                                    ttls.push(t2);
+                                }
+                                let n = frames.len() as u64;
                                 let mut env = NodeEnv {
                                     host: &mut self.host,
                                     ledger: &mut self.ledger,
                                     costs: &self.costs,
                                 };
                                 let t0 = obs_on.then(Instant::now);
-                                let out_io = self.compute.deliver(&mut env, inst, nf_port, out_pkt);
+                                let outs = self.compute.deliver_batch(&mut env, inst, frames);
                                 if let Some(t0) = t0 {
-                                    self.record_nf_latency(inst, t0.elapsed().as_nanos() as u64);
-                                }
-                                io.cost += out_io.cost;
-                                match out_io.outputs.len() {
-                                    0 => absorbed += 1,
-                                    k => fanout_extra += (k - 1) as u64,
+                                    let per = t0.elapsed().as_nanos() as u64 / n;
+                                    for _ in 0..n {
+                                        self.record_nf_latency(inst, per);
+                                    }
                                 }
                                 let graph = self.graphs.get(&gid).expect("still there");
-                                for (p2, pkt2) in out_io.outputs {
-                                    if let Some(&gp) = graph.rev_nf.get(&(inst, p2)) {
-                                        pending
-                                            .entry(LocKey::Graph(slot, gp.0))
-                                            .or_default()
-                                            .push((pkt2, ttl - 1));
-                                    } else {
-                                        unmapped_nf += 1;
+                                for (out_io, ttl) in outs.into_iter().zip(ttls) {
+                                    io.cost += out_io.cost;
+                                    match out_io.outputs.len() {
+                                        0 => absorbed += 1,
+                                        k => fanout_extra += (k - 1) as u64,
+                                    }
+                                    for (p2, pkt2) in out_io.outputs {
+                                        if let Some(&gp) = graph.rev_nf.get(&(inst, p2)) {
+                                            pending
+                                                .entry(LocKey::Graph(slot, gp.0))
+                                                .or_default()
+                                                .push((pkt2, ttl - 1));
+                                        } else {
+                                            unmapped_nf += 1;
+                                        }
                                     }
                                 }
                             }

@@ -28,7 +28,7 @@
 //! preserved, links rewired vs kept, nodes touched).
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -43,6 +43,7 @@ use un_sim::{Cost, DetRng, SimTime, TraceLog};
 
 use crate::partition::{install_transit, partition, OverlayLink, Partition, PartitionError};
 use crate::placement::{assign, assign_endpoints, NodeView, PlaceError, PlacementStrategy};
+use crate::runtime::ShardRuntime;
 use crate::sharing::{
     elect, ShareKey, SharedClaim, SharedInstance, SharedRegistry, SharingConfig, SharingError,
 };
@@ -615,6 +616,11 @@ pub struct Domain {
     /// Observability: metric registry + recent-event ring. Inert (one
     /// branch per record call) unless `config.observability` is set.
     obs: Arc<un_obs::Obs>,
+    /// Persistent shard workers for the data-plane shuttle. Built on
+    /// the first multi-worker `inject_batch` call and reused (rebuilt
+    /// only if the requested worker count changes); single-worker
+    /// injects drain inline and never touch it.
+    runtime: Option<ShardRuntime>,
 }
 
 impl Domain {
@@ -638,6 +644,7 @@ impl Domain {
             clock: SimTime::ZERO,
             trace: TraceLog::new(4096),
             obs,
+            runtime: None,
         }
     }
 
@@ -2623,48 +2630,65 @@ impl Domain {
     /// O(touched nodes), not O(fleet): node state is claimed lazily
     /// from the fleet map and link locks live on the domain itself, so
     /// a single-frame inject on a large fleet costs a handful of map
-    /// lookups. High-rate callers should still batch frames into
-    /// `inject_batch`, which amortizes even that across the burst.
+    /// lookups — and no allocations: the borrowed names flow straight
+    /// into the seeding loop. High-rate callers should still batch
+    /// frames into `inject_batch`, which amortizes even that across
+    /// the burst.
     pub fn inject(&mut self, node: &str, port: &str, pkt: Packet) -> DomainIo {
-        self.inject_batch(vec![(node.to_string(), port.to_string(), pkt)], 1)
+        self.inject_batch(std::iter::once((node, port, pkt)), 1)
     }
 
     /// Inject a burst of `(node, port, frame)` triples and drain the
     /// whole burst across the domain, optionally sharded over
-    /// `workers` OS threads.
+    /// `workers` persistent OS threads.
     ///
     /// The shuttle is batched end to end: each node's pending frames
     /// are drained through [`UniversalNode::inject_batch`] in one call,
     /// fabric-bound egress is bucketed by VLAN link, ESP links
     /// seal/verify per burst under one lock, and the peer node receives
-    /// its whole burst at once. With `workers > 1` the fleet is sharded
-    /// across scoped threads: every node is an isolated state machine,
-    /// so any idle worker may claim any node with pending frames (a
-    /// work-stealing drain); link counters and SAs are the only shared
-    /// state and sit behind per-link locks.
+    /// its whole burst at once. With `workers > 1` the burst runs on
+    /// the domain's persistent shard runtime — long-lived workers that
+    /// park between calls, so a line-rate ingress path pays no thread
+    /// spawn/join per burst. Each touched node hashes to a home shard
+    /// whose ingress ring feeds that worker first; an idle worker
+    /// steals from other rings, so the work-conserving any-worker-may-
+    /// drive-any-node drain is preserved. Link counters and SAs are
+    /// the only cross-shard state and sit behind per-link locks.
+    ///
+    /// Ingress keys are borrowed (`AsRef<str>`): callers can pass
+    /// `&str`, `String`, or interned [`Name`] without allocating per
+    /// frame.
     ///
     /// Every frame carries its own overlay-hop TTL
     /// ([`DomainConfig::overlay_ttl`]), so a large burst can never be
     /// spuriously dropped as a loop — only genuinely circulating frames
     /// die (counted as `overlay_loop_drops`).
-    pub fn inject_batch(
+    pub fn inject_batch<N, P>(
         &mut self,
-        ingress: Vec<(String, String, Packet)>,
+        ingress: impl IntoIterator<Item = (N, P, Packet)>,
         workers: usize,
-    ) -> DomainIo {
+    ) -> DomainIo
+    where
+        N: AsRef<str>,
+        P: AsRef<str>,
+    {
         let mut io = DomainIo::default();
-        self.trace
-            .count("domain_frames_ingress", ingress.len() as u64);
         let ttl = self.config.overlay_ttl.max(1);
         let fabric = self.config.fabric_port.clone();
         let esp_fixed_ns = self.config.esp_fixed_ns;
         let esp_ns_per_byte = self.config.esp_ns_per_byte;
-        // Disjoint field borrows: the shuttle shares `links` (each
-        // entry is its own lock, hoisted onto the domain so no per-call
-        // wrapper map is built) immutably across workers while the
-        // fleet map is claimed node-by-node through the pool.
-        let nodes = &mut self.nodes;
-        let links = &self.links;
+        let shards = workers.max(1);
+        // Build (or resize) the persistent worker pool up front;
+        // single-worker calls drain inline and never touch it.
+        if workers > 1
+            && self
+                .runtime
+                .as_ref()
+                .is_none_or(|r| r.workers() != workers)
+        {
+            self.runtime = Some(ShardRuntime::new(workers));
+        }
+        let obs = Arc::clone(&self.obs);
         let trace = &mut self.trace;
 
         // One cell per *touched* node; the cell owns the node state
@@ -2678,6 +2702,10 @@ impl Domain {
             /// Pending bursts keyed by remaining TTL, freshest first.
             pending: BTreeMap<Reverse<u32>, Vec<(PortId, Packet)>>,
             queued: usize,
+            /// Home shard: whose ingress ring this node's work lands on.
+            home: usize,
+            /// The node currently sits in a ready ring (dedup flag).
+            enqueued: bool,
         }
 
         /// Why a node has no claimable cell.
@@ -2687,12 +2715,25 @@ impl Domain {
             Dead,
         }
 
-        struct Pool<'a> {
-            cells: BTreeMap<String, NodeCell>,
-            nodes: &'a mut BTreeMap<String, ManagedNode>,
+        /// Stable node→shard assignment (deterministic across calls).
+        fn shard_of(node: &str, shards: usize) -> usize {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            node.hash(&mut h);
+            (h.finish() % shards.max(1) as u64) as usize
         }
 
-        impl Pool<'_> {
+        struct Pool {
+            cells: BTreeMap<String, NodeCell>,
+            /// The fleet map, moved out of the domain for the call so
+            /// persistent workers need no borrowed lifetimes.
+            nodes: BTreeMap<String, ManagedNode>,
+            /// Per-shard ingress rings of ready nodes. A worker pops
+            /// its own ring first, then steals from the others.
+            rings: Vec<VecDeque<Name>>,
+        }
+
+        impl Pool {
             /// The cell for `node`, claiming it out of the fleet map on
             /// first touch. Suspect nodes keep forwarding: they are
             /// slow, not dead.
@@ -2707,13 +2748,70 @@ impl Domain {
                     let cell = NodeCell {
                         fabric_id: managed.node.port_id(fabric),
                         name: Name::new(&managed.node.name),
+                        home: shard_of(node, self.rings.len()),
                         managed: Some(managed),
                         pending: BTreeMap::new(),
                         queued: 0,
+                        enqueued: false,
                     };
                     self.cells.insert(key, cell);
                 }
                 Ok(self.cells.get_mut(node).expect("inserted above"))
+            }
+
+            /// Put `node` on its home shard's ring if it has claimable
+            /// work (pending frames + free node state) and is not
+            /// already enqueued. Every path that adds work or hands a
+            /// node back calls this, so a ready node is always in some
+            /// ring.
+            fn mark_ready(&mut self, node: &str) {
+                let Some(cell) = self.cells.get_mut(node) else {
+                    return;
+                };
+                if !cell.enqueued && cell.queued > 0 && cell.managed.is_some() {
+                    cell.enqueued = true;
+                    let home = cell.home;
+                    let name = cell.name.clone();
+                    self.rings[home].push_back(name);
+                }
+            }
+
+            /// Claim a ready node: pop the worker's own ring first,
+            /// then steal round-robin from the others. Ring entries go
+            /// stale when another worker drains or claims the node
+            /// first — they are skipped (flag cleared); `mark_ready`
+            /// re-enqueues when work lands again. Returns the claimed
+            /// node, its freshest pending burst, and whether the claim
+            /// was stolen from a foreign ring.
+            #[allow(clippy::type_complexity)]
+            fn claim(
+                &mut self,
+                shard: usize,
+            ) -> Option<(Name, ManagedNode, u32, Vec<(PortId, Packet)>, bool)> {
+                let shards = self.rings.len();
+                for d in 0..shards {
+                    let ring = (shard + d) % shards;
+                    while let Some(name) = self.rings[ring].pop_front() {
+                        let Some(cell) = self.cells.get_mut(name.as_str()) else {
+                            continue;
+                        };
+                        cell.enqueued = false;
+                        if cell.queued == 0 || cell.managed.is_none() {
+                            continue;
+                        }
+                        let (&Reverse(t), _) = cell.pending.iter().next().expect("queued > 0");
+                        let burst = cell.pending.remove(&Reverse(t)).expect("present");
+                        cell.queued -= burst.len();
+                        return Some((
+                            cell.name.clone(),
+                            cell.managed.take().expect("checked above"),
+                            t,
+                            burst,
+                            d != 0,
+                        ));
+                    }
+                }
+                None
             }
         }
 
@@ -2724,6 +2822,12 @@ impl Domain {
             overlay_hops: u32,
             protected_bytes: u64,
             counters: BTreeMap<&'static str, u64>,
+            /// The shard index this worker drained as.
+            shard: usize,
+            /// Claims served from the worker's own ring / stolen from
+            /// foreign rings (utilization signal).
+            claims_home: u64,
+            claims_stolen: u64,
         }
         impl WorkerOut {
             fn count(&mut self, name: &'static str, n: u64) {
@@ -2735,39 +2839,71 @@ impl Domain {
 
         let mut state = Pool {
             cells: BTreeMap::new(),
-            nodes,
+            nodes: std::mem::take(&mut self.nodes),
+            rings: (0..shards).map(|_| VecDeque::new()).collect(),
         };
 
         // Seed the ingress queues, resolving each port name once.
         let mut seeded = 0usize;
+        let mut ingressed = 0u64;
         for (node, port, pkt) in ingress {
-            let cell = match state.cell(node.as_str(), &fabric) {
-                Ok(cell) => cell,
-                Err(CellMiss::Dead) => {
-                    trace.count("inject_dead_node", 1);
+            ingressed += 1;
+            let node = node.as_ref();
+            {
+                let cell = match state.cell(node, &fabric) {
+                    Ok(cell) => cell,
+                    Err(CellMiss::Dead) => {
+                        trace.count("inject_dead_node", 1);
+                        continue;
+                    }
+                    Err(CellMiss::Unknown) => {
+                        trace.count("inject_unknown_node", 1);
+                        continue;
+                    }
+                };
+                let managed = cell.managed.as_mut().expect("no worker running yet");
+                let Some(pid) = managed.node.port_id(port.as_ref()) else {
+                    managed.node.trace.count("inject_unknown_port", 1);
                     continue;
-                }
-                Err(CellMiss::Unknown) => {
-                    trace.count("inject_unknown_node", 1);
-                    continue;
-                }
-            };
-            let managed = cell.managed.as_mut().expect("no worker running yet");
-            let Some(pid) = managed.node.port_id(&port) else {
-                managed.node.trace.count("inject_unknown_port", 1);
-                continue;
-            };
-            cell.pending
-                .entry(Reverse(ttl))
-                .or_default()
-                .push((pid, pkt));
-            cell.queued += 1;
-            seeded += 1;
+                };
+                cell.pending
+                    .entry(Reverse(ttl))
+                    .or_default()
+                    .push((pid, pkt));
+                cell.queued += 1;
+                seeded += 1;
+            }
+            state.mark_ready(node);
+        }
+        trace.count("domain_frames_ingress", ingressed);
+
+        // Ring-depth gauges: how the seeded burst spread across shard
+        // ingress rings (refreshed per call; inert unless obs is on).
+        if obs.is_enabled() {
+            let reg = obs.registry();
+            reg.gauge("un_shuttle_workers", &[]).set(shards as i64);
+            for (i, ring) in state.rings.iter().enumerate() {
+                reg.gauge("un_shuttle_ring_depth", &[("shard", &i.to_string())])
+                    .set(ring.len() as i64);
+            }
+        }
+        // The cross-worker shuttle state. It *owns* the fleet cells
+        // and the link-lock map (moved out of the domain above) so the
+        // drain job is `'static` and can run on persistent workers;
+        // everything moves back into the domain after the round — even
+        // a fully mis-addressed burst, so the restore below runs
+        // regardless.
+        struct Shuttle {
+            pool: Mutex<Pool>,
+            links: BTreeMap<u16, Mutex<LinkState>>,
+            work_ready: std::sync::Condvar,
+            in_flight: AtomicUsize,
+            crossings: AtomicU64,
+            crossing_cap: u64,
+            aborted: std::sync::atomic::AtomicBool,
+            outs: Mutex<Vec<WorkerOut>>,
         }
 
-        let pool = Mutex::new(state);
-        // Even a fully mis-addressed burst must hand claimed node state
-        // back to the fleet map, so the restore below runs regardless.
         let in_flight = AtomicUsize::new(seeded);
         // Last-resort bound on total overlay crossings per call:
         // single-path traffic needs at most `seeded × ttl` (each frame
@@ -2784,7 +2920,6 @@ impl Domain {
         // flag (set by the unwinding worker's drop guard) releases its
         // peers from the idle spin so the panic propagates through
         // `join` instead of hanging the scope.
-        let aborted = std::sync::atomic::AtomicBool::new(false);
         struct AbortGuard<'a>(&'a std::sync::atomic::AtomicBool);
         impl Drop for AbortGuard<'_> {
             fn drop(&mut self) {
@@ -2793,234 +2928,294 @@ impl Domain {
                 }
             }
         }
-        let work_ready = std::sync::Condvar::new();
+        let shuttle = Arc::new(Shuttle {
+            pool: Mutex::new(state),
+            links: std::mem::take(&mut self.links),
+            work_ready: std::sync::Condvar::new(),
+            in_flight,
+            crossings,
+            crossing_cap,
+            aborted: std::sync::atomic::AtomicBool::new(false),
+            outs: Mutex::new(Vec::with_capacity(shards)),
+        });
 
-        let drain = || -> WorkerOut {
-            let _abort_guard = AbortGuard(&aborted);
-            let mut out = WorkerOut::default();
-            loop {
-                // Claim the first node with pending frames whose state
-                // is free — any worker may drive any node. Idle workers
-                // park on the condvar instead of spinning on the pool
-                // lock; the short timeout is a safety net against a
-                // missed wakeup, not a poll interval.
-                let job = {
-                    let mut pool = pool.lock().expect("shuttle pool poisoned");
-                    'claim: loop {
-                        for cell in pool.cells.values_mut() {
-                            if cell.queued > 0 && cell.managed.is_some() {
-                                let (&Reverse(t), _) =
-                                    cell.pending.iter().next().expect("queued > 0");
-                                let burst = cell.pending.remove(&Reverse(t)).expect("present");
-                                cell.queued -= burst.len();
-                                break 'claim Some((
-                                    cell.name.clone(),
-                                    cell.managed.take().expect("checked above"),
-                                    t,
-                                    burst,
-                                ));
+        let drain = {
+            let shuttle = Arc::clone(&shuttle);
+            move |shard: usize| {
+                let sh = &*shuttle;
+                let pool = &sh.pool;
+                let links = &sh.links;
+                let work_ready = &sh.work_ready;
+                let in_flight = &sh.in_flight;
+                let crossings = &sh.crossings;
+                let crossing_cap = sh.crossing_cap;
+                let _abort_guard = AbortGuard(&sh.aborted);
+                let mut out = WorkerOut {
+                    shard,
+                    ..WorkerOut::default()
+                };
+                loop {
+                    // Claim a ready node — own ring first, steal
+                    // otherwise; any worker may drive any node. Idle
+                    // workers park on the condvar instead of spinning
+                    // on the pool lock; the short timeout is a safety
+                    // net against a missed wakeup, not a poll interval.
+                    let job = {
+                        let mut pool = pool.lock().expect("shuttle pool poisoned");
+                        'claim: loop {
+                            if let Some(claim) = pool.claim(shard) {
+                                break 'claim Some(claim);
+                            }
+                            if in_flight.load(Ordering::Acquire) == 0
+                                || sh.aborted.load(Ordering::Acquire)
+                            {
+                                break 'claim None;
+                            }
+                            pool = work_ready
+                                .wait_timeout(pool, std::time::Duration::from_millis(1))
+                                .expect("shuttle pool poisoned")
+                                .0;
+                        }
+                    };
+                    let Some((name, mut managed, ttl_left, burst, stolen)) = job else {
+                        break;
+                    };
+                    if stolen {
+                        out.claims_stolen += 1;
+                    } else {
+                        out.claims_home += 1;
+                    }
+                    let consumed = burst.len();
+                    let node_io = managed.node.inject_batch(burst);
+                    out.cost += node_io.cost;
+                    // Hand the node back before shuttling so another worker
+                    // can claim it for frames already heading its way.
+                    {
+                        let mut pool = pool.lock().expect("shuttle pool poisoned");
+                        pool.cells
+                            .get_mut(name.as_str())
+                            .expect("cell exists")
+                            .managed = Some(managed);
+                        pool.mark_ready(name.as_str());
+                    }
+                    work_ready.notify_all();
+                    // Split node egress: real egress vs fabric-bound,
+                    // bucketed by VLAN link identity.
+                    let mut fabric_bursts: BTreeMap<u16, Vec<Packet>> = BTreeMap::new();
+                    for (port, pkt) in node_io.emitted {
+                        if port.as_str() != fabric.as_str() {
+                            out.emitted.push((name.clone(), port, pkt));
+                            continue;
+                        }
+                        match pkt.vlan_id() {
+                            Some(vid) => fabric_bursts.entry(vid).or_default().push(pkt),
+                            None => out.count("overlay_untagged_drop", 1),
+                        }
+                    }
+                    for (vid, frames) in fabric_bursts {
+                        let n = frames.len() as u64;
+                        let Some(link_mx) = links.get(&vid) else {
+                            out.count("overlay_unroutable_drop", n);
+                            continue;
+                        };
+                        let mut survivors: Vec<Packet> = Vec::with_capacity(frames.len());
+                        let peer: String;
+                        {
+                            let mut state = link_mx.lock().expect("link lock poisoned");
+                            // Advance along the pinned path: the emitting
+                            // node's successor is the next hop. On a
+                            // two-node path a frame emitted by the tail
+                            // walks back to the head (the old peer
+                            // semantics, defensive — links deliver at the
+                            // tail, they don't send from it); on a longer
+                            // path a tail emission has no forward hop and
+                            // would ping-pong against the last transit
+                            // node, so it drops as foreign instead.
+                            let pos = state.path.iter().position(|p| p == name.as_str());
+                            let (next_idx, hop_idx) = match pos {
+                                Some(i) if i + 1 < state.path.len() => (i + 1, i),
+                                Some(1) if state.path.len() == 2 => (0, 0),
+                                _ => {
+                                    out.count("overlay_foreign_drop", n);
+                                    continue;
+                                }
+                            };
+                            peer = state.path[next_idx].clone();
+                            let hop_ns = state
+                                .hop_latency_ns
+                                .get(hop_idx)
+                                .copied()
+                                .unwrap_or_default();
+                            for pkt in frames {
+                                let len = pkt.len();
+                                // Wire counters count logical frames at
+                                // every hop of the pinned path: a frame
+                                // riding an n-hop wire adds n to `packets`
+                                // and one to each `hop_packets[i]` it is
+                                // presented to.
+                                state.packets += 1;
+                                state.bytes += len as u64;
+                                if let Some(hp) = state.hop_packets.get_mut(hop_idx) {
+                                    *hp += 1;
+                                }
+                                if let Some(hb) = state.hop_bytes.get_mut(hop_idx) {
+                                    *hb += len as u64;
+                                }
+                                out.overlay_hops += 1;
+                                out.cost += Cost::from_nanos(hop_ns);
+                                if let Some(sas) = state.sas.as_deref_mut() {
+                                    // Protect the wire: real ESP seal on
+                                    // egress, real verify+open on ingress. A
+                                    // frame that fails to verify never
+                                    // reaches the peer.
+                                    let (sa_out, sa_in) = sas;
+                                    let per_dir =
+                                        esp_fixed_ns as f64 + esp_ns_per_byte * len as f64;
+                                    out.cost += Cost::from_nanos((2.0 * per_dir) as u64);
+                                    let sealed = match esp::encapsulate(sa_out, pkt.data()) {
+                                        Ok(s) => s,
+                                        Err(_) => {
+                                            out.count("overlay_esp_seal_fail", 1);
+                                            continue;
+                                        }
+                                    };
+                                    match esp::decapsulate(sa_in, &sealed) {
+                                        Ok(inner) if inner == pkt.data() => {
+                                            out.protected_bytes += len as u64;
+                                        }
+                                        _ => {
+                                            out.count("overlay_esp_verify_fail", 1);
+                                            continue;
+                                        }
+                                    }
+                                }
+                                out.count("overlay_frames", 1);
+                                survivors.push(pkt);
                             }
                         }
-                        if in_flight.load(Ordering::Acquire) == 0 || aborted.load(Ordering::Acquire)
-                        {
-                            break 'claim None;
+                        if survivors.is_empty() {
+                            continue;
                         }
-                        pool = work_ready
-                            .wait_timeout(pool, std::time::Duration::from_millis(1))
-                            .expect("shuttle pool poisoned")
-                            .0;
-                    }
-                };
-                let Some((name, mut managed, ttl_left, burst)) = job else {
-                    break;
-                };
-                let consumed = burst.len();
-                let node_io = managed.node.inject_batch(burst);
-                out.cost += node_io.cost;
-                // Hand the node back before shuttling so another worker
-                // can claim it for frames already heading its way.
-                {
-                    let mut pool = pool.lock().expect("shuttle pool poisoned");
-                    pool.cells
-                        .get_mut(name.as_str())
-                        .expect("cell exists")
-                        .managed = Some(managed);
-                }
-                work_ready.notify_all();
-                // Split node egress: real egress vs fabric-bound,
-                // bucketed by VLAN link identity.
-                let mut fabric_bursts: BTreeMap<u16, Vec<Packet>> = BTreeMap::new();
-                for (port, pkt) in node_io.emitted {
-                    if port.as_str() != fabric.as_str() {
-                        out.emitted.push((name.clone(), port, pkt));
-                        continue;
-                    }
-                    match pkt.vlan_id() {
-                        Some(vid) => fabric_bursts.entry(vid).or_default().push(pkt),
-                        None => out.count("overlay_untagged_drop", 1),
-                    }
-                }
-                for (vid, frames) in fabric_bursts {
-                    let n = frames.len() as u64;
-                    let Some(link_mx) = links.get(&vid) else {
-                        out.count("overlay_unroutable_drop", n);
-                        continue;
-                    };
-                    let mut survivors: Vec<Packet> = Vec::with_capacity(frames.len());
-                    let peer: String;
-                    {
-                        let mut state = link_mx.lock().expect("link lock poisoned");
-                        // Advance along the pinned path: the emitting
-                        // node's successor is the next hop. On a
-                        // two-node path a frame emitted by the tail
-                        // walks back to the head (the old peer
-                        // semantics, defensive — links deliver at the
-                        // tail, they don't send from it); on a longer
-                        // path a tail emission has no forward hop and
-                        // would ping-pong against the last transit
-                        // node, so it drops as foreign instead.
-                        let pos = state.path.iter().position(|p| p == name.as_str());
-                        let (next_idx, hop_idx) = match pos {
-                            Some(i) if i + 1 < state.path.len() => (i + 1, i),
-                            Some(1) if state.path.len() == 2 => (0, 0),
-                            _ => {
-                                out.count("overlay_foreign_drop", n);
+                        let k = survivors.len();
+                        // ttl_left counts remaining crossings: a frame
+                        // seeded with overlay_ttl may cross exactly that
+                        // many times.
+                        if ttl_left == 0 {
+                            out.count("overlay_loop_drops", k as u64);
+                            continue;
+                        }
+                        if crossings.fetch_add(k as u64, Ordering::AcqRel) >= crossing_cap {
+                            out.count("overlay_work_exhausted", k as u64);
+                            continue;
+                        }
+                        let mut pool = pool.lock().expect("shuttle pool poisoned");
+                        let cell = match pool.cell(peer.as_str(), &fabric) {
+                            Ok(cell) => cell,
+                            Err(miss) => {
+                                out.count(
+                                    match miss {
+                                        CellMiss::Dead => "inject_dead_node",
+                                        CellMiss::Unknown => "inject_unknown_node",
+                                    },
+                                    k as u64,
+                                );
                                 continue;
                             }
                         };
-                        peer = state.path[next_idx].clone();
-                        let hop_ns = state
-                            .hop_latency_ns
-                            .get(hop_idx)
-                            .copied()
-                            .unwrap_or_default();
-                        for pkt in frames {
-                            let len = pkt.len();
-                            // Wire counters count logical frames at
-                            // every hop of the pinned path: a frame
-                            // riding an n-hop wire adds n to `packets`
-                            // and one to each `hop_packets[i]` it is
-                            // presented to.
-                            state.packets += 1;
-                            state.bytes += len as u64;
-                            if let Some(hp) = state.hop_packets.get_mut(hop_idx) {
-                                *hp += 1;
-                            }
-                            if let Some(hb) = state.hop_bytes.get_mut(hop_idx) {
-                                *hb += len as u64;
-                            }
-                            out.overlay_hops += 1;
-                            out.cost += Cost::from_nanos(hop_ns);
-                            if let Some(sas) = state.sas.as_deref_mut() {
-                                // Protect the wire: real ESP seal on
-                                // egress, real verify+open on ingress. A
-                                // frame that fails to verify never
-                                // reaches the peer.
-                                let (sa_out, sa_in) = sas;
-                                let per_dir = esp_fixed_ns as f64 + esp_ns_per_byte * len as f64;
-                                out.cost += Cost::from_nanos((2.0 * per_dir) as u64);
-                                let sealed = match esp::encapsulate(sa_out, pkt.data()) {
-                                    Ok(s) => s,
-                                    Err(_) => {
-                                        out.count("overlay_esp_seal_fail", 1);
-                                        continue;
-                                    }
-                                };
-                                match esp::decapsulate(sa_in, &sealed) {
-                                    Ok(inner) if inner == pkt.data() => {
-                                        out.protected_bytes += len as u64;
-                                    }
-                                    _ => {
-                                        out.count("overlay_esp_verify_fail", 1);
-                                        continue;
-                                    }
-                                }
-                            }
-                            out.count("overlay_frames", 1);
-                            survivors.push(pkt);
-                        }
-                    }
-                    if survivors.is_empty() {
-                        continue;
-                    }
-                    let k = survivors.len();
-                    // ttl_left counts remaining crossings: a frame
-                    // seeded with overlay_ttl may cross exactly that
-                    // many times.
-                    if ttl_left == 0 {
-                        out.count("overlay_loop_drops", k as u64);
-                        continue;
-                    }
-                    if crossings.fetch_add(k as u64, Ordering::AcqRel) >= crossing_cap {
-                        out.count("overlay_work_exhausted", k as u64);
-                        continue;
-                    }
-                    let mut pool = pool.lock().expect("shuttle pool poisoned");
-                    let cell = match pool.cell(peer.as_str(), &fabric) {
-                        Ok(cell) => cell,
-                        Err(miss) => {
-                            out.count(
-                                match miss {
-                                    CellMiss::Dead => "inject_dead_node",
-                                    CellMiss::Unknown => "inject_unknown_node",
-                                },
-                                k as u64,
-                            );
+                        let Some(fid) = cell.fabric_id else {
+                            out.count("overlay_unroutable_drop", k as u64);
                             continue;
-                        }
-                    };
-                    let Some(fid) = cell.fabric_id else {
-                        out.count("overlay_unroutable_drop", k as u64);
-                        continue;
-                    };
-                    in_flight.fetch_add(k, Ordering::Release);
-                    cell.pending
-                        .entry(Reverse(ttl_left - 1))
-                        .or_default()
-                        .extend(survivors.into_iter().map(|p| (fid, p)));
-                    cell.queued += k;
-                    drop(pool);
+                        };
+                        in_flight.fetch_add(k, Ordering::Release);
+                        cell.pending
+                            .entry(Reverse(ttl_left - 1))
+                            .or_default()
+                            .extend(survivors.into_iter().map(|p| (fid, p)));
+                        cell.queued += k;
+                        pool.mark_ready(peer.as_str());
+                        drop(pool);
+                        work_ready.notify_all();
+                    }
+                    in_flight.fetch_sub(consumed, Ordering::Release);
                     work_ready.notify_all();
                 }
-                in_flight.fetch_sub(consumed, Ordering::Release);
-                work_ready.notify_all();
+                sh.outs.lock().expect("shuttle outs poisoned").push(out);
             }
-            out
         };
 
-        let mut outs: Vec<WorkerOut> = if workers <= 1 {
-            vec![drain()]
-        } else {
-            std::thread::scope(|s| {
-                // `&drain` on purpose: the same closure is spawned once
-                // per worker, so it must be borrowed, not moved.
-                #[allow(clippy::needless_borrows_for_generic_args)]
-                let handles: Vec<_> = (0..workers).map(|_| s.spawn(&drain)).collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shuttle worker panicked"))
-                    .collect()
-            })
-        };
-        // Return claimed node state to the fleet map. (If a worker
-        // panicked, the expect above already propagated it — a node
-        // in flight at that instant is lost with the call.)
-        let state = pool.into_inner().expect("shuttle pool poisoned");
+        // Dispatch: inline for one worker (no runtime, no allocation),
+        // one round on the persistent shard pool otherwise. A worker
+        // panic is caught so claimed state is still restored to the
+        // fleet map below, then re-raised.
+        let round = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if workers <= 1 {
+                drain(0);
+            } else {
+                self.runtime
+                    .as_mut()
+                    .expect("runtime built above")
+                    .run(drain);
+            }
+        }));
+
+        // Move the shuttle state back into the domain. The runtime
+        // round is over (even on panic `run` waits out the stragglers),
+        // so ours is the last reference.
+        let shuttle = Arc::try_unwrap(shuttle)
+            .ok()
+            .expect("all shard workers released the shuttle");
+        let state = shuttle
+            .pool
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        self.nodes = state.nodes;
         for (name, cell) in state.cells {
             if let Some(managed) = cell.managed {
-                state.nodes.insert(name, managed);
+                self.nodes.insert(name, managed);
             }
         }
-        for mut worker in outs.drain(..) {
+        self.links = shuttle.links;
+        if let Err(panic) = round {
+            // State is restored (minus any node in flight at that
+            // instant — lost with the call, as under the old scoped-
+            // thread shuttle); now the panic propagates.
+            std::panic::resume_unwind(panic);
+        }
+        let outs = shuttle
+            .outs
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut claims_home = 0u64;
+        let mut claims_stolen = 0u64;
+        for mut worker in outs {
             io.emitted.append(&mut worker.emitted);
             io.cost += worker.cost;
             io.overlay_hops += worker.overlay_hops;
             io.protected_bytes += worker.protected_bytes;
+            claims_home += worker.claims_home;
+            claims_stolen += worker.claims_stolen;
+            // Per-worker utilization gauge: how many node-bursts this
+            // shard drove last round (home + stolen).
+            if obs.is_enabled() {
+                obs.registry()
+                    .gauge(
+                        "un_shuttle_worker_claims",
+                        &[("shard", &worker.shard.to_string())],
+                    )
+                    .set((worker.claims_home + worker.claims_stolen) as i64);
+            }
             for (name, n) in worker.counters {
-                trace.count(name, n);
+                self.trace.count(name, n);
             }
         }
-        trace.count("domain_frames_egress", io.emitted.len() as u64);
+        if claims_home > 0 {
+            self.trace.count("shuttle_claims_home", claims_home);
+        }
+        if claims_stolen > 0 {
+            self.trace.count("shuttle_claims_stolen", claims_stolen);
+        }
+        self.trace
+            .count("domain_frames_egress", io.emitted.len() as u64);
         io
     }
 
@@ -3118,6 +3313,7 @@ impl Domain {
                 ("cache_hit", s.cache_hits),
                 ("cache_miss", s.cache_misses),
                 ("exact_hit", s.exact_hits),
+                ("megaflow_hit", s.megaflow_hits),
                 ("wildcard_hit", s.wildcard_hits),
                 ("miss", s.misses),
             ] {

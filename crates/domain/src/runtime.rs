@@ -1,0 +1,235 @@
+//! Persistent shard runtime for the data-plane shuttle.
+//!
+//! The shuttle used to spawn a scoped OS thread per worker on *every*
+//! `inject_batch` call — fine for a benchmark loop, but a line-rate
+//! ingress path pays thread creation and teardown per burst. The
+//! [`ShardRuntime`] keeps one long-lived worker per shard: each call
+//! publishes a job (an `Arc`'d closure owning its shared shuttle
+//! state), every worker runs it once with its shard index, and the
+//! caller blocks until the whole round completes. Workers never die
+//! between calls; shutdown is explicit on [`Drop`].
+//!
+//! Worker panics are caught so the round's completion counter always
+//! reaches zero, then re-raised on the calling thread — a panicking
+//! shard can never hang its peers or the caller.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A shard job: run once per worker with the worker's shard index.
+/// `Arc`-owned so persistent threads need no borrowed lifetimes.
+type Job = Arc<dyn Fn(usize) + Send + Sync>;
+
+struct Slot {
+    /// The published job for the current round, if one is live.
+    job: Option<Job>,
+    /// Monotonic round number; workers run each round exactly once.
+    epoch: u64,
+    /// Workers that have not yet finished the current round.
+    remaining: usize,
+    /// A worker's job panicked this round (re-raised by the caller).
+    panicked: bool,
+    /// The runtime is being dropped; workers exit.
+    shutdown: bool,
+}
+
+struct Shared {
+    slot: Mutex<Slot>,
+    /// Wakes workers when a job is published (or shutdown).
+    job_ready: Condvar,
+    /// Wakes the caller when the last worker finishes the round.
+    job_done: Condvar,
+}
+
+/// A pool of persistent shard workers driving the shuttle drain.
+///
+/// Construction spawns the workers; they park between rounds and are
+/// joined when the runtime drops. One runtime serves any number of
+/// `inject_batch` calls with the same worker count.
+pub(crate) struct ShardRuntime {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ShardRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardRuntime")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl ShardRuntime {
+    /// Spawn `workers` persistent shard threads (at least one).
+    pub(crate) fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(Slot {
+                job: None,
+                epoch: 0,
+                remaining: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            job_done: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|shard| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("un-shard-{shard}"))
+                    .spawn(move || worker_loop(&shared, shard))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        ShardRuntime { shared, handles }
+    }
+
+    /// Number of persistent workers.
+    pub(crate) fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Run `job` once on every worker (each receives its shard index)
+    /// and block until all of them finish. The job is dropped before
+    /// this returns. Panics from worker jobs are re-raised here after
+    /// the round completes, so a caller that catches the panic still
+    /// observes a quiesced runtime.
+    pub(crate) fn run<F: Fn(usize) + Send + Sync + 'static>(&mut self, job: F) {
+        {
+            let mut s = self.shared.slot.lock().expect("shard slot poisoned");
+            s.epoch += 1;
+            s.job = Some(Arc::new(job));
+            s.remaining = self.handles.len();
+            s.panicked = false;
+        }
+        self.shared.job_ready.notify_all();
+        let panicked = {
+            let mut s = self.shared.slot.lock().expect("shard slot poisoned");
+            while s.remaining > 0 {
+                s = self.shared.job_done.wait(s).expect("shard slot poisoned");
+            }
+            // Every worker has dropped its clone by now (they drop
+            // before decrementing), so clearing the slot releases the
+            // job's captured state back to the caller.
+            s.job = None;
+            s.panicked
+        };
+        if panicked {
+            panic!("shuttle worker panicked");
+        }
+    }
+}
+
+impl Drop for ShardRuntime {
+    fn drop(&mut self) {
+        {
+            let mut s = self.shared.slot.lock().expect("shard slot poisoned");
+            s.shutdown = true;
+        }
+        self.shared.job_ready.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, shard: usize) {
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut s = shared.slot.lock().expect("shard slot poisoned");
+            loop {
+                if s.shutdown {
+                    return;
+                }
+                match &s.job {
+                    // A round this worker has not run yet.
+                    Some(job) if s.epoch != last_epoch => {
+                        last_epoch = s.epoch;
+                        break Arc::clone(job);
+                    }
+                    _ => {
+                        s = shared.job_ready.wait(s).expect("shard slot poisoned");
+                    }
+                }
+            }
+        };
+        // Catch panics so `remaining` always reaches zero — a worker
+        // that unwound past the decrement would hang the caller.
+        let result = catch_unwind(AssertUnwindSafe(|| job(shard)));
+        // Drop our clone *before* signalling completion: once
+        // `remaining` hits zero the caller reclaims the job's state.
+        drop(job);
+        let mut s = shared.slot.lock().expect("shard slot poisoned");
+        if result.is_err() {
+            s.panicked = true;
+        }
+        s.remaining -= 1;
+        if s.remaining == 0 {
+            shared.job_done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_worker_runs_every_round() {
+        let mut rt = ShardRuntime::new(4);
+        assert_eq!(rt.workers(), 4);
+        for _ in 0..50 {
+            let hits = Arc::new(AtomicUsize::new(0));
+            let seen = Arc::new(Mutex::new(Vec::new()));
+            let (h, s) = (Arc::clone(&hits), Arc::clone(&seen));
+            rt.run(move |shard| {
+                h.fetch_add(1, Ordering::SeqCst);
+                s.lock().unwrap().push(shard);
+            });
+            assert_eq!(hits.load(Ordering::SeqCst), 4);
+            let mut shards = seen.lock().unwrap().clone();
+            shards.sort_unstable();
+            assert_eq!(shards, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn job_state_is_released_after_the_round() {
+        let mut rt = ShardRuntime::new(3);
+        let tallies = Arc::new(Mutex::new(vec![0usize; 3]));
+        let t = Arc::clone(&tallies);
+        rt.run(move |shard| {
+            t.lock().unwrap()[shard] += shard + 1;
+        });
+        // The job (and its captured clone) dropped with the round, so
+        // the caller holds the only reference again.
+        let tallies = Arc::try_unwrap(tallies).expect("job released its state");
+        let total: usize = tallies.into_inner().unwrap().iter().sum();
+        assert_eq!(total, 1 + 2 + 3);
+    }
+
+    #[test]
+    fn worker_panic_propagates_without_deadlock() {
+        let mut rt = ShardRuntime::new(2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            rt.run(|shard| {
+                if shard == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(r.is_err(), "panic re-raised on the caller");
+        // The runtime is still usable for the next round.
+        let ok = Arc::new(AtomicUsize::new(0));
+        let o = Arc::clone(&ok);
+        rt.run(move |_| {
+            o.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ok.load(Ordering::SeqCst), 2);
+    }
+}

@@ -157,6 +157,10 @@ pub struct CostModel {
     /// Flow-table lookup served by a hash-bucketed exact-match table
     /// (slower than the microflow cache, far cheaper than the scan).
     pub flow_exact_hit_ns: u64,
+    /// Flow-table lookup served by a mask-aware megaflow table: one
+    /// hash probe per distinct wildcard mask (pricier than one exact
+    /// probe, far cheaper than the linear scan it replaces).
+    pub flow_megaflow_hit_ns: u64,
     /// Applying one flow action (output/set-field).
     pub flow_action_ns: u64,
     /// VLAN push or pop.
@@ -207,6 +211,7 @@ impl Default for CostModel {
             flow_lookup_ns: 160,
             flow_cache_hit_ns: 55,
             flow_exact_hit_ns: 75,
+            flow_megaflow_hit_ns: 95,
             flow_action_ns: 25,
             vlan_op_ns: 30,
             virtual_link_ns: 90,
@@ -242,6 +247,7 @@ impl CostModel {
             flow_lookup_ns: 0,
             flow_cache_hit_ns: 0,
             flow_exact_hit_ns: 0,
+            flow_megaflow_hit_ns: 0,
             flow_action_ns: 0,
             vlan_op_ns: 0,
             virtual_link_ns: 0,

@@ -257,6 +257,7 @@ impl LogicalSwitch {
             cost += match path {
                 LookupPath::CacheHit => Cost::from_nanos(costs.flow_cache_hit_ns),
                 LookupPath::ExactHit => Cost::from_nanos(costs.flow_exact_hit_ns),
+                LookupPath::MegaflowHit => Cost::from_nanos(costs.flow_megaflow_hit_ns),
                 LookupPath::Miss => Cost::from_nanos(costs.flow_lookup_ns),
             };
 

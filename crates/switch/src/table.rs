@@ -1,4 +1,4 @@
-//! A priority-ordered flow table with a two-stage fast path.
+//! A priority-ordered flow table with a three-stage fast path.
 //!
 //! Lookup tries three classifiers, cheapest first:
 //!
@@ -13,22 +13,33 @@
 //!    specific VLAN id, …) are hash-bucketed by their *shape* (the set
 //!    of constrained fields). One hash probe per distinct shape replaces
 //!    the linear scan for the overwhelmingly common non-wildcard rules.
-//! 3. **Wildcard scan** — the remaining entries (CIDR prefixes shorter
-//!    than /32, any-tagged VLAN specs) are scanned linearly, stopping as
-//!    soon as a better exact candidate is already known.
+//! 3. **Megaflow tables** — the remaining entries (CIDR prefixes
+//!    shorter than /32, any-tagged VLAN specs) are hash-bucketed by
+//!    their *mega-mask*: the exact field set plus the source/destination
+//!    prefix lengths and the tagged-any marker. The packet key is
+//!    masked (IPs truncated to the prefix, VLAN presence canonicalised)
+//!    and probed once per distinct mask, so a table with thousands of
+//!    wildcard entries over a handful of masks costs O(#masks) per
+//!    classification instead of O(#entries). Like the other two stages
+//!    the index is stamped with the table generation and rebuilt lazily
+//!    after any mutation, so a rule delete/modify can never serve a
+//!    stale action.
 //!
 //! Entries are kept sorted by (priority desc, insertion seq asc), so
 //! "first match wins" reduces to "smallest index wins" across all three
-//! classifiers. [`ClassifierMode::Linear`] disables stages 1–2 and
+//! classifiers. [`ClassifierMode::Linear`] disables all stages and
 //! reproduces the pre-optimization scan — kept for benchmarking the
 //! fast path against its baseline.
 
 use std::collections::HashMap;
 
+use std::net::Ipv4Addr;
+
 use crate::flow::{FlowEntry, FlowMatch, VlanSpec};
 use crate::key::PacketKey;
 use crate::lsi::PortNo;
 use un_packet::ethernet::MacAddr;
+use un_packet::Ipv4Cidr;
 
 /// Result of a lookup, distinguishing the path taken (for cost charging).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,7 +48,11 @@ pub enum LookupPath {
     CacheHit,
     /// Served by a hash-bucketed exact-match shape table.
     ExactHit,
-    /// Required a linear scan over wildcard entries.
+    /// Served by a mask-aware megaflow table (one probe per distinct
+    /// wildcard mask).
+    MegaflowHit,
+    /// Required a linear scan (only the [`ClassifierMode::Linear`]
+    /// baseline and the residual wildcard fallback take this path).
     Miss,
 }
 
@@ -62,7 +77,12 @@ pub struct TableStats {
     pub cache_misses: u64,
     /// Fall-throughs resolved by an exact-match shape table.
     pub exact_hits: u64,
-    /// Fall-throughs resolved by the wildcard linear scan.
+    /// Fall-throughs resolved by a mask-aware megaflow table.
+    pub megaflow_hits: u64,
+    /// Fall-throughs resolved by the residual wildcard linear scan
+    /// (zero today: every expressible match is either exact-shaped or
+    /// megaflow-maskable; the counter stays for exporters and for the
+    /// day a non-maskable match field appears).
     pub wildcard_hits: u64,
     /// Fall-throughs that matched no entry at all (table miss / drop).
     pub misses: u64,
@@ -74,17 +94,24 @@ impl TableStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.exact_hits += other.exact_hits;
+        self.megaflow_hits += other.megaflow_hits;
         self.wildcard_hits += other.wildcard_hits;
         self.misses += other.misses;
     }
 
-    /// Cache hit rate in [0, 1]; 0 when no lookups happened.
+    /// Fraction of lookups resolved by *any* classifier stage
+    /// (microflow, exact, megaflow or wildcard), in [0, 1]; 0 when no
+    /// lookups happened. A cache fall-through that still matched an
+    /// entry counts as a hit — only true table misses drag the rate
+    /// down, so a table served entirely by the exact or megaflow paths
+    /// reports 1.0, not 0.0.
     pub fn hit_rate(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
         if total == 0 {
             return 0.0;
         }
-        self.cache_hits as f64 / total as f64
+        let matched = self.cache_hits + self.exact_hits + self.megaflow_hits + self.wildcard_hits;
+        matched as f64 / total as f64
     }
 }
 
@@ -270,6 +297,175 @@ struct ShapeTable {
     map: HashMap<PacketKey, usize>,
 }
 
+/// Canonical VLAN-id marker used by `AnyTagged` megaflow projections.
+/// VLAN ids are 12-bit, so no real tag collides with it, and entries
+/// constraining a specific id live in a different mega-mask anyway.
+const VLAN_ANY_MARK: u16 = 0xFFFF;
+
+/// A megaflow mask: the exactly-constrained field set plus how the
+/// non-exact fields are masked. Two wildcard entries land in the same
+/// megaflow table iff their masks are identical, so lookup cost is one
+/// hash probe per *distinct mask*, not per entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MegaMask {
+    /// Fields compared exactly (projected via [`project`]).
+    exact: FieldMask,
+    /// Source prefix length when `ip_src` is a CIDR shorter than /32.
+    src_plen: Option<u8>,
+    /// Destination prefix length when `ip_dst` is shorter than /32.
+    dst_plen: Option<u8>,
+    /// Entry requires a VLAN tag with any id (`VlanSpec::AnyTagged`).
+    vlan_any: bool,
+}
+
+/// Truncate `addr` to its leading `plen` bits.
+fn mask_ip(addr: Ipv4Addr, plen: u8) -> Ipv4Addr {
+    let mask: u32 = if plen == 0 {
+        0
+    } else {
+        u32::MAX << (32 - u32::from(plen))
+    };
+    Ipv4Addr::from(u32::from(addr) & mask)
+}
+
+/// Mega-mask and projection of an entry that failed [`exact_shape`].
+/// Total over today's `FlowMatch`: every field is either exactly
+/// comparable or maskable (CIDR prefix, tagged-any presence). The
+/// exhaustive destructuring keeps it that way — a new match field must
+/// be classified here before this compiles again.
+fn mega_shape(m: &FlowMatch) -> (MegaMask, PacketKey) {
+    let FlowMatch {
+        in_port,
+        eth_src,
+        eth_dst,
+        eth_type,
+        vlan,
+        ip_src,
+        ip_dst,
+        ip_proto,
+        l4_src,
+        l4_dst,
+        fwmark,
+    } = m;
+    let mut mask = MegaMask {
+        exact: 0,
+        src_plen: None,
+        dst_plen: None,
+        vlan_any: false,
+    };
+    let mut proj = zero_key();
+    if let Some(p) = *in_port {
+        mask.exact |= F_IN_PORT;
+        proj.in_port = p;
+    }
+    if let Some(mac) = *eth_src {
+        mask.exact |= F_ETH_SRC;
+        proj.eth_src = mac;
+    }
+    if let Some(mac) = *eth_dst {
+        mask.exact |= F_ETH_DST;
+        proj.eth_dst = mac;
+    }
+    if let Some(t) = *eth_type {
+        mask.exact |= F_ETH_TYPE;
+        proj.eth_type = t;
+    }
+    match vlan {
+        None => {}
+        Some(VlanSpec::Untagged) => {
+            mask.exact |= F_VLAN;
+            proj.vlan = None;
+        }
+        Some(VlanSpec::Id(v)) => {
+            mask.exact |= F_VLAN;
+            proj.vlan = Some(*v);
+        }
+        Some(VlanSpec::AnyTagged) => {
+            mask.vlan_any = true;
+            proj.vlan = Some(VLAN_ANY_MARK);
+        }
+    }
+    if let Some(cidr) = *ip_src {
+        mask_cidr(
+            cidr,
+            F_IP_SRC,
+            &mut mask.exact,
+            &mut mask.src_plen,
+            &mut proj.ip_src,
+        );
+    }
+    if let Some(cidr) = *ip_dst {
+        mask_cidr(
+            cidr,
+            F_IP_DST,
+            &mut mask.exact,
+            &mut mask.dst_plen,
+            &mut proj.ip_dst,
+        );
+    }
+    if let Some(p) = *ip_proto {
+        mask.exact |= F_IP_PROTO;
+        proj.ip_proto = Some(p);
+    }
+    if let Some(p) = *l4_src {
+        mask.exact |= F_L4_SRC;
+        proj.l4_src = Some(p);
+    }
+    if let Some(p) = *l4_dst {
+        mask.exact |= F_L4_DST;
+        proj.l4_dst = Some(p);
+    }
+    if let Some(mark) = *fwmark {
+        mask.exact |= F_FWMARK;
+        proj.fwmark = mark;
+    }
+    (mask, proj)
+}
+
+/// Classify one CIDR constraint into the mega-mask: /32 is exact, a
+/// shorter prefix records its length and projects the truncated net.
+fn mask_cidr(
+    cidr: Ipv4Cidr,
+    bit: FieldMask,
+    exact: &mut FieldMask,
+    plen: &mut Option<u8>,
+    proj: &mut Option<Ipv4Addr>,
+) {
+    if cidr.prefix_len() == 32 {
+        *exact |= bit;
+        *proj = Some(cidr.addr());
+    } else {
+        *plen = Some(cidr.prefix_len());
+        *proj = Some(mask_ip(cidr.addr(), cidr.prefix_len()));
+    }
+}
+
+/// Project a packet key onto a mega-mask: exact fields kept, prefix
+/// fields truncated, VLAN presence canonicalised. A packet lacking a
+/// field the mask constrains projects to `None` there and can never
+/// collide with an entry projection (which is always `Some`).
+fn project_mega(key: &PacketKey, mask: &MegaMask) -> PacketKey {
+    let mut proj = project(key, mask.exact);
+    if let Some(p) = mask.src_plen {
+        proj.ip_src = key.ip_src.map(|a| mask_ip(a, p));
+    }
+    if let Some(p) = mask.dst_plen {
+        proj.ip_dst = key.ip_dst.map(|a| mask_ip(a, p));
+    }
+    if mask.vlan_any {
+        proj.vlan = key.vlan.map(|_| VLAN_ANY_MARK);
+    }
+    proj
+}
+
+/// One megaflow bucket: all wildcard entries sharing a mega-mask,
+/// hashed by their masked projection; smallest entry index wins.
+#[derive(Debug)]
+struct MegaTable {
+    mask: MegaMask,
+    map: HashMap<PacketKey, usize>,
+}
+
 /// Bound on the microflow cache before it is recycled wholesale; stale
 /// generations are dropped lazily, so without a bound a long-lived
 /// churning table would accumulate dead keys.
@@ -287,9 +483,9 @@ pub struct FlowTable {
     /// invalidates cache entries and the exact-match index.
     next_seq: u64,
     cache: HashMap<PacketKey, (u64, usize)>,
-    /// Shape tables + wildcard entry list, rebuilt lazily per generation.
+    /// Shape + megaflow tables, rebuilt lazily per generation.
     shapes: Vec<ShapeTable>,
-    wildcard: Vec<usize>,
+    mega: Vec<MegaTable>,
     index_gen: u64,
     mode: ClassifierMode,
     /// Cache hits since creation.
@@ -298,10 +494,15 @@ pub struct FlowTable {
     pub cache_misses: u64,
     /// Exact-match shape-table hits since creation.
     pub exact_hits: u64,
-    /// Wildcard-scan hits since creation.
+    /// Megaflow-table hits since creation.
+    pub megaflow_hits: u64,
+    /// Wildcard-scan hits since creation (see [`TableStats`]).
     pub wildcard_hits: u64,
     /// Lookups that matched nothing since creation.
     pub misses: u64,
+    /// Megaflow hash probes issued since creation: one per distinct
+    /// mega-mask per classification, the O(#masks) evidence.
+    pub megaflow_probes: u64,
 }
 
 impl FlowTable {
@@ -336,9 +537,18 @@ impl FlowTable {
             cache_hits: self.cache_hits,
             cache_misses: self.cache_misses,
             exact_hits: self.exact_hits,
+            megaflow_hits: self.megaflow_hits,
             wildcard_hits: self.wildcard_hits,
             misses: self.misses,
         }
+    }
+
+    /// Number of distinct megaflow masks in the current index (builds
+    /// the index if stale). Lookup cost for wildcard traffic is one
+    /// hash probe per mask, regardless of how many entries share them.
+    pub fn megaflow_mask_count(&mut self) -> usize {
+        self.ensure_index();
+        self.mega.len()
     }
 
     /// Advance the generation: every cached decision and the exact
@@ -395,8 +605,9 @@ impl FlowTable {
             return;
         }
         self.shapes.clear();
-        self.wildcard.clear();
+        self.mega.clear();
         let mut by_mask: HashMap<FieldMask, usize> = HashMap::new();
+        let mut by_mega: HashMap<MegaMask, usize> = HashMap::new();
         for (i, e) in self.entries.iter().enumerate() {
             match exact_shape(&e.matches) {
                 Some((mask, proj)) => {
@@ -410,7 +621,17 @@ impl FlowTable {
                     // First (smallest) index wins on identical matches.
                     self.shapes[slot].map.entry(proj).or_insert(i);
                 }
-                None => self.wildcard.push(i),
+                None => {
+                    let (mask, proj) = mega_shape(&e.matches);
+                    let slot = *by_mega.entry(mask).or_insert_with(|| {
+                        self.mega.push(MegaTable {
+                            mask,
+                            map: HashMap::new(),
+                        });
+                        self.mega.len() - 1
+                    });
+                    self.mega[slot].map.entry(proj).or_insert(i);
+                }
             }
         }
         self.index_gen = self.next_seq;
@@ -431,20 +652,19 @@ impl FlowTable {
             }
         }
         let exact_best = best;
-        for &i in &self.wildcard {
-            if best.is_some_and(|b| b < i) {
-                break; // a better exact candidate already wins
-            }
-            if self.entries[i].matches.matches(key) {
-                best = Some(i);
-                break;
+        self.megaflow_probes += self.mega.len() as u64;
+        for mega in &self.mega {
+            if let Some(&i) = mega.map.get(&project_mega(key, &mega.mask)) {
+                if best.is_none_or(|b| i < b) {
+                    best = Some(i);
+                }
             }
         }
         let idx = best?;
         let path = if exact_best == Some(idx) {
             LookupPath::ExactHit
         } else {
-            LookupPath::Miss
+            LookupPath::MegaflowHit
         };
         Some((idx, path))
     }
@@ -485,6 +705,7 @@ impl FlowTable {
         };
         match path {
             LookupPath::ExactHit => self.exact_hits += 1,
+            LookupPath::MegaflowHit => self.megaflow_hits += 1,
             _ => self.wildcard_hits += 1,
         }
         let entry = &mut self.entries[idx];
@@ -586,18 +807,75 @@ mod tests {
     }
 
     #[test]
-    fn wildcard_entry_takes_slow_path() {
+    fn wildcard_entry_takes_megaflow_path() {
         let mut t = FlowTable::new();
         let m = FlowMatch::any().with_ip_dst(Ipv4Cidr::new("10.0.0.0".parse().unwrap(), 8));
         t.insert(FlowEntry::new(3, m, vec![FlowAction::Output(PortNo(7))]));
         let mut k = key(1);
         k.ip_dst = Some("10.1.2.3".parse().unwrap());
         let (_, path) = t.lookup(&k, 1).unwrap();
-        assert_eq!(path, LookupPath::Miss);
-        assert_eq!(t.wildcard_hits, 1);
+        assert_eq!(path, LookupPath::MegaflowHit);
+        assert_eq!(t.megaflow_hits, 1);
+        assert_eq!(t.wildcard_hits, 0, "no linear fallback anymore");
         // Second lookup of the same key is cached.
         let (_, path) = t.lookup(&k, 1).unwrap();
         assert_eq!(path, LookupPath::CacheHit);
+    }
+
+    #[test]
+    fn megaflow_probe_count_is_masks_not_entries() {
+        let mut t = FlowTable::new();
+        // 64 /24 entries + 64 /16 entries: 128 wildcard rules, 2 masks.
+        for i in 0..64u32 {
+            let net: std::net::Ipv4Addr = u32::to_be_bytes(0x0a00_0000 | (i << 8)).into();
+            let m = FlowMatch::any().with_ip_dst(Ipv4Cidr::new(net, 24));
+            t.insert(FlowEntry::new(5, m, vec![FlowAction::Output(PortNo(i))]));
+            let net16: std::net::Ipv4Addr = u32::to_be_bytes(0xac10_0000 | (i << 16)).into();
+            let m = FlowMatch::any().with_ip_dst(Ipv4Cidr::new(net16, 16));
+            t.insert(FlowEntry::new(4, m, vec![FlowAction::Output(PortNo(i))]));
+        }
+        assert_eq!(t.megaflow_mask_count(), 2);
+        let before = t.megaflow_probes;
+        // Distinct keys so the microflow cache never short-circuits.
+        for i in 0..32u32 {
+            let mut k = key(1);
+            k.ip_dst = Some(u32::to_be_bytes(0x0a00_0005 | (i << 8)).into());
+            let (_, path) = t.lookup(&k, 1).unwrap();
+            assert_eq!(path, LookupPath::MegaflowHit);
+        }
+        assert_eq!(
+            t.megaflow_probes - before,
+            32 * 2,
+            "each classification probes once per distinct mask"
+        );
+    }
+
+    #[test]
+    fn any_tagged_vlan_is_megaflow_indexed() {
+        let mut t = FlowTable::new();
+        let m = FlowMatch::any().with_vlan(VlanSpec::AnyTagged);
+        t.insert(FlowEntry::new(3, m, vec![FlowAction::Output(PortNo(7))]));
+        let mut k = key(1);
+        k.vlan = Some(42);
+        let (_, path) = t.lookup(&k, 1).unwrap();
+        assert_eq!(path, LookupPath::MegaflowHit);
+        // An untagged frame must not match the tagged-any entry.
+        assert!(t.lookup(&key(1), 1).is_none());
+    }
+
+    #[test]
+    fn megaflow_entry_mutation_invalidates_index() {
+        let mut t = FlowTable::new();
+        let m = FlowMatch::any().with_ip_dst(Ipv4Cidr::new("10.0.0.0".parse().unwrap(), 8));
+        t.insert(FlowEntry::new(3, m, vec![FlowAction::Output(PortNo(7))]).with_cookie(0xAA));
+        let mut k = key(1);
+        k.ip_dst = Some("10.1.2.3".parse().unwrap());
+        assert!(t.lookup(&k, 1).is_some());
+        t.remove_by_cookie(0xAA);
+        assert!(
+            t.lookup(&k, 1).is_none(),
+            "deleted wildcard rule must not serve from megaflow or microflow"
+        );
     }
 
     #[test]

@@ -179,10 +179,10 @@ proptest! {
         let s = table.stats();
         // Every lookup is a cache hit or a cache miss — no third bucket.
         prop_assert_eq!(s.cache_hits + s.cache_misses, lookups);
-        // Every *resolved* miss is exactly one of exact / wildcard;
-        // unresolved misses (table miss) bump neither.
-        prop_assert_eq!(s.exact_hits + s.wildcard_hits, resolved_misses);
-        prop_assert!(s.exact_hits + s.wildcard_hits <= s.cache_misses);
+        // Every *resolved* miss is exactly one of exact / megaflow /
+        // wildcard; unresolved misses (table miss) bump none of them.
+        prop_assert_eq!(s.exact_hits + s.megaflow_hits + s.wildcard_hits, resolved_misses);
+        prop_assert!(s.exact_hits + s.megaflow_hits + s.wildcard_hits <= s.cache_misses);
         prop_assert!(s.hit_rate() >= 0.0 && s.hit_rate() <= 1.0);
         // The linear baseline leaves the fast-path counters untouched,
         // so an A/B mode comparison cannot pollute them.
@@ -225,11 +225,11 @@ fn dst_key(port: u32, octet: u8) -> PacketKey {
     }
 }
 
-/// The wildcard-demoted path: short CIDR prefixes and any-tagged VLAN
-/// specs never reach the exact-match index — they resolve as `Miss`
-/// and bump `wildcard_hits` — while /32 prefixes stay exact-indexed.
+/// The megaflow path: short CIDR prefixes and any-tagged VLAN specs
+/// never reach the exact-match index — they resolve as `MegaflowHit`
+/// and bump `megaflow_hits` — while /32 prefixes stay exact-indexed.
 #[test]
-fn wildcard_demotion_is_observable_in_stats() {
+fn megaflow_demotion_is_observable_in_stats() {
     let mut t = FlowTable::new();
     let cidr =
         FlowMatch::any().with_ip_dst(Ipv4Cidr::new(std::net::Ipv4Addr::new(10, 0, 0, 0), 16));
@@ -249,21 +249,21 @@ fn wildcard_demotion_is_observable_in_stats() {
         vec![FlowAction::Output(PortNo(3))],
     ));
 
-    // CIDR win: wildcard scan path.
+    // CIDR win: megaflow path.
     let (actions, path) = t.lookup(&dst_key(9, 1), 64).unwrap();
     assert_eq!(actions, vec![FlowAction::Output(PortNo(1))]);
-    assert_eq!(path, LookupPath::Miss);
-    assert_eq!(t.stats().wildcard_hits, 1);
+    assert_eq!(path, LookupPath::MegaflowHit);
+    assert_eq!(t.stats().megaflow_hits, 1);
     assert_eq!(t.stats().exact_hits, 0);
 
-    // Any-tagged win on a tagged frame: also the wildcard path.
+    // Any-tagged win on a tagged frame: also the megaflow path.
     let mut k = dst_key(9, 1);
     k.ip_dst = Some(std::net::Ipv4Addr::new(172, 16, 0, 1));
     k.vlan = Some(7);
     let (actions, path) = t.lookup(&k, 64).unwrap();
     assert_eq!(actions, vec![FlowAction::Output(PortNo(2))]);
-    assert_eq!(path, LookupPath::Miss);
-    assert_eq!(t.stats().wildcard_hits, 2);
+    assert_eq!(path, LookupPath::MegaflowHit);
+    assert_eq!(t.stats().megaflow_hits, 2);
 
     // The /32 stays on the exact path even though its priority is
     // lowest: nothing wilder matches this untagged, non-10.0/16 key.
@@ -272,7 +272,7 @@ fn wildcard_demotion_is_observable_in_stats() {
     // 10.0.3.2 is inside 10.0/16, so the CIDR (priority 5) wins...
     let (actions, path) = t.lookup(&k32, 64).unwrap();
     assert_eq!(actions, vec![FlowAction::Output(PortNo(1))]);
-    assert_eq!(path, LookupPath::Miss);
+    assert_eq!(path, LookupPath::MegaflowHit);
     // ...so demote the CIDR out of the way and try again.
     t.clear();
     t.insert(FlowEntry::new(
@@ -321,31 +321,47 @@ fn cache_counters_across_invalidation() {
 }
 
 /// `TableStats::merge` sums every counter; `hit_rate` is safe on the
-/// empty block and correct on merged ones.
+/// empty block, truthful about non-cache resolutions, and correct on
+/// merged ones.
 #[test]
 fn table_stats_merge_and_hit_rate() {
     assert_eq!(TableStats::default().hit_rate(), 0.0);
+    // The historical bug: a table served entirely by the exact or
+    // megaflow stages (zero cache hits) must report 1.0, not 0.0.
+    let no_cache = TableStats {
+        cache_hits: 0,
+        cache_misses: 5,
+        exact_hits: 3,
+        megaflow_hits: 2,
+        wildcard_hits: 0,
+        misses: 0,
+    };
+    assert!((no_cache.hit_rate() - 1.0).abs() < 1e-12);
     let mut a = TableStats {
         cache_hits: 3,
         cache_misses: 1,
         exact_hits: 1,
+        megaflow_hits: 0,
         wildcard_hits: 0,
         misses: 0,
     };
     let b = TableStats {
         cache_hits: 1,
         cache_misses: 3,
-        exact_hits: 2,
-        wildcard_hits: 1,
-        misses: 2,
+        exact_hits: 1,
+        megaflow_hits: 1,
+        wildcard_hits: 0,
+        misses: 1,
     };
     a.merge(&b);
     assert_eq!(a.cache_hits, 4);
     assert_eq!(a.cache_misses, 4);
-    assert_eq!(a.exact_hits, 3);
-    assert_eq!(a.wildcard_hits, 1);
-    assert_eq!(a.misses, 2);
-    assert!((a.hit_rate() - 0.5).abs() < 1e-12);
+    assert_eq!(a.exact_hits, 2);
+    assert_eq!(a.megaflow_hits, 1);
+    assert_eq!(a.wildcard_hits, 0);
+    assert_eq!(a.misses, 1);
+    // 4 cache + 2 exact + 1 megaflow resolved out of 8 lookups.
+    assert!((a.hit_rate() - 7.0 / 8.0).abs() < 1e-12);
 }
 
 /// `ClassifierMode::Linear` agrees with the indexed pipeline on
@@ -408,5 +424,130 @@ fn linear_baseline_agrees_on_wildcard_heavy_table() {
     }
     assert_eq!(linear.stats(), TableStats::default());
     assert!(indexed.stats().cache_hits > 0);
-    assert!(indexed.stats().wildcard_hits > 0);
+    assert!(indexed.stats().megaflow_hits > 0);
+}
+
+/// One step of table churn: install a rule, delete a cookie, or look a
+/// key up. The lookup steps interleave with the mutations, so cached
+/// and indexed decisions are exercised right after generation bumps.
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    Insert(RuleSpec, u64),
+    RemoveCookie(u64),
+    Lookup(PacketKey),
+}
+
+fn churn_strategy() -> impl Strategy<Value = ChurnOp> {
+    // (The vendored proptest shim has no `prop_oneof`; pick the op kind
+    // with a discriminant and feed every alternative its inputs.)
+    (0u8..4, rule_strategy(), 0u64..4, key_strategy()).prop_map(|(kind, rule, cookie, key)| {
+        match kind {
+            0 => ChurnOp::Insert(rule, cookie),
+            1 => ChurnOp::RemoveCookie(cookie),
+            _ => ChurnOp::Lookup(key), // lookups twice as likely
+        }
+    })
+}
+
+proptest! {
+    /// Megaflow/microflow invalidation: across any interleaving of rule
+    /// inserts and deletes, a lookup can never serve a stale action —
+    /// every result (including cache and megaflow hits) must equal what
+    /// a from-scratch scan of the *current* rule set produces.
+    #[test]
+    fn no_stale_action_survives_generation_bumps(
+        ops in prop::collection::vec(churn_strategy(), 1..64),
+    ) {
+        let mut table = FlowTable::new();
+        let mut live: Vec<(RuleSpec, u64)> = Vec::new();
+        for op in &ops {
+            match op {
+                ChurnOp::Insert(r, cookie) => {
+                    table.insert(
+                        FlowEntry::new(
+                            r.priority,
+                            to_match(r),
+                            vec![FlowAction::Output(PortNo(r.out))],
+                        )
+                        .with_cookie(*cookie),
+                    );
+                    live.push((r.clone(), *cookie));
+                }
+                ChurnOp::RemoveCookie(cookie) => {
+                    let removed = table.remove_by_cookie(*cookie);
+                    let before = live.len();
+                    live.retain(|(_, c)| c != cookie);
+                    prop_assert_eq!(removed, before - live.len());
+                }
+                ChurnOp::Lookup(key) => {
+                    // Twice: classifier path, then the freshly-cached
+                    // decision — both must match the current rule set.
+                    for _ in 0..2 {
+                        let got = table.lookup(key, 64).map(|(actions, _)| {
+                            match &actions[0] {
+                                FlowAction::Output(p) => p.0,
+                                other => panic!("unexpected action {other:?}"),
+                            }
+                        });
+                        let rules: Vec<RuleSpec> =
+                            live.iter().map(|(r, _)| r.clone()).collect();
+                        prop_assert_eq!(got, reference_lookup(&rules, key));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Wildcard-heavy scaling: hundreds of CIDR entries spread over a
+/// handful of masks cost one megaflow probe per *mask* per cold
+/// classification — O(#masks), not O(#entries).
+#[test]
+fn wildcard_heavy_lookup_is_bounded_by_mask_count() {
+    let mut t = FlowTable::new();
+    // 256 /24 nets, 128 /16 nets, 64 any-tagged+port rules: 448
+    // wildcard entries, exactly 3 distinct megaflow masks.
+    for i in 0..256u32 {
+        let net = std::net::Ipv4Addr::from(u32::to_be_bytes(0x0a00_0000 | (i << 8)));
+        t.insert(FlowEntry::new(
+            5,
+            FlowMatch::any().with_ip_dst(Ipv4Cidr::new(net, 24)),
+            vec![FlowAction::Output(PortNo(i % 8))],
+        ));
+    }
+    for i in 0..128u32 {
+        let net = std::net::Ipv4Addr::from(u32::to_be_bytes(0xac10_0000 | (i << 16)));
+        t.insert(FlowEntry::new(
+            4,
+            FlowMatch::any().with_ip_dst(Ipv4Cidr::new(net, 16)),
+            vec![FlowAction::Output(PortNo(i % 8))],
+        ));
+    }
+    for i in 0..64u32 {
+        let mut m = FlowMatch::in_port(PortNo(1000 + i));
+        m.vlan = Some(VlanSpec::AnyTagged);
+        t.insert(FlowEntry::new(
+            3,
+            m,
+            vec![FlowAction::Output(PortNo(i % 8))],
+        ));
+    }
+    assert_eq!(t.megaflow_mask_count(), 3);
+    let before = t.megaflow_probes;
+    let lookups = 200u64;
+    for i in 0..lookups {
+        // Distinct dst per lookup so the microflow cache never hits.
+        let mut k = dst_key(9, 0);
+        k.ip_dst = Some(std::net::Ipv4Addr::from(u32::to_be_bytes(
+            0x0a00_0007 | ((i as u32) << 8),
+        )));
+        let (_, path) = t.lookup(&k, 64).unwrap();
+        assert_eq!(path, LookupPath::MegaflowHit);
+    }
+    assert_eq!(
+        t.megaflow_probes - before,
+        lookups * 3,
+        "probe count scales with masks (3), not entries (448)"
+    );
+    assert_eq!(t.stats().megaflow_hits, lookups);
 }

@@ -129,9 +129,7 @@ fn chaos_frame(i: usize) -> un_packet::Packet {
 /// arm of the chaos suite. Returns nothing: `check_domain` judges the
 /// outcome through the conservation ledger, not the io report.
 fn chaos_inject(d: &mut Domain, i: usize, node: usize) {
-    let burst = (0..3)
-        .map(|_| (NODES[node].to_string(), "eth0".to_string(), chaos_frame(i)))
-        .collect();
+    let burst = (0..3).map(|_| (NODES[node], "eth0", chaos_frame(i)));
     let _ = d.inject_batch(burst, 1);
 }
 
