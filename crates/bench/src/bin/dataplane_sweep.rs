@@ -430,7 +430,18 @@ fn main() {
                     ),
                 )
                 .set("scaling_1_to_4", scaling)
-                .set("delivered", delivered),
+                .set("delivered", delivered)
+                .set(
+                    "note",
+                    if cpus < 4 {
+                        format!(
+                            "host exposes {cpus} cpu(s): worker scaling is \
+                             correctness coverage here, not a speedup claim"
+                        )
+                    } else {
+                        format!("host exposes {cpus} cpus")
+                    },
+                ),
         );
     std::fs::write("BENCH_dataplane.json", json.render_pretty())
         .expect("write BENCH_dataplane.json");

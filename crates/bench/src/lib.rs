@@ -19,6 +19,7 @@
 //! Criterion micro-benches live in `benches/`.
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 
 use std::net::Ipv4Addr;
 

@@ -22,6 +22,7 @@
 //!   fan-out, unified packet delivery, resource queries.
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 
 pub mod drivers;
 pub mod manager;

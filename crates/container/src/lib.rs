@@ -18,6 +18,7 @@
 //! [`un_sim::MemLedger`].
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 
 pub mod image;
 pub mod runtime;

@@ -24,11 +24,15 @@
 //!   admission, and the Figure 1 architecture description.
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 
 pub mod node;
 pub mod placement;
 pub mod repository;
 
-pub use node::{DeployError, DeployReport, Name, NodeDescription, NodeIo, PortId, UniversalNode};
+pub use node::{
+    graph_cookie, rule_cookie, DeployError, DeployReport, Name, NodeDescription, NodeIo, PortId,
+    UniversalNode,
+};
 pub use placement::{decide, Decision};
 pub use repository::{NfTemplate, VnfRepository};

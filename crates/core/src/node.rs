@@ -389,6 +389,20 @@ fn fnv1a(data: &str) -> u64 {
     h
 }
 
+/// The cookie stamped on a compiled graph rule (`<graph>/<rule>`), the
+/// contract between the orchestrator's install receipts and anything
+/// auditing the tables (rule-level updates and the static verifier key
+/// on it).
+pub fn rule_cookie(graph_id: &str, rule_id: &str) -> u64 {
+    fnv1a(&format!("{graph_id}/{rule_id}"))
+}
+
+/// The cookie stamped on a graph's LSI-0 plumbing rules (endpoint
+/// classification, internal groups, shared-NNF vlinks).
+pub fn graph_cookie(graph_id: &str) -> u64 {
+    fnv1a(graph_id)
+}
+
 impl UniversalNode {
     /// A node with the standard repository, catalogue and images, a
     /// given memory capacity, and LSI-0 using the OvS-like backend.
@@ -1661,6 +1675,17 @@ impl UniversalNode {
                 .values()
                 .map(|g| g.lsi.flow_count())
                 .sum::<usize>()
+    }
+
+    /// Iterate every LSI on the node — LSI-0 first, then one per
+    /// deployed graph (`Some(graph id)`). Read-only view for static
+    /// analysis and table dumps.
+    pub fn lsis(&self) -> impl Iterator<Item = (Option<&str>, &un_switch::LogicalSwitch)> {
+        std::iter::once((None, &self.lsi0)).chain(
+            self.graphs
+                .iter()
+                .map(|(id, g)| (Some(id.as_str()), &g.lsi)),
+        )
     }
 }
 

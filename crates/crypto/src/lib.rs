@@ -20,6 +20,7 @@
 //! reproduction — no side-channel hardening has been attempted.
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 
 pub mod aead;
 pub mod chacha20;

@@ -621,6 +621,10 @@ pub struct Domain {
     /// only if the requested worker count changes); single-worker
     /// injects drain inline and never touch it.
     runtime: Option<ShardRuntime>,
+    /// Dirty-set bookkeeping for incremental static verification
+    /// ([`Domain::verify`]); behind a lock so read-only verification
+    /// can update its caches through `&self`.
+    verify_cache: Mutex<verify::VerifyCache>,
 }
 
 impl Domain {
@@ -645,6 +649,7 @@ impl Domain {
             trace: TraceLog::new(4096),
             obs,
             runtime: None,
+            verify_cache: Mutex::new(verify::VerifyCache::default()),
         }
     }
 
@@ -707,6 +712,9 @@ impl Domain {
                 last_heartbeat: self.clock,
             },
         );
+        // Fleet membership changed (and a rejoin may have replaced a
+        // carcass wholesale) — re-verify everything.
+        self.verify_mark_all();
         name
     }
 
@@ -755,6 +763,9 @@ impl Domain {
 
     /// Borrow a node mutably (tests / harnesses).
     pub fn node_mut(&mut self, name: &str) -> Option<&mut UniversalNode> {
+        // The caller can rewrite arbitrary node state through this
+        // handle; assume the worst for the verification caches.
+        self.verify_mark_all();
         self.nodes.get_mut(name).map(|m| &mut m.node)
     }
 
@@ -854,6 +865,11 @@ impl Domain {
                 (n, report)
             })
             .collect();
+        if !reports.is_empty() {
+            // Same blast radius as an explicit fail_node: bystander
+            // graphs' overlay paths may have been rerouted.
+            self.verify_mark_all();
+        }
         // Stage standbys *after* the failure sweep: a plan computed
         // before it could pin parts onto a node the same sweep is
         // about to declare dead.
@@ -908,6 +924,9 @@ impl Domain {
                 // Defensive: a failed node's standby was consumed at
                 // failure time; any leftover must return its vids.
                 self.discard_standby(name, "recover");
+                // The node re-enters the audited set with freshly
+                // purged tables; cached results for it are stale.
+                self.verify_mark_all();
                 Ok(self.retry_pending())
             }
         }
@@ -1446,6 +1465,7 @@ impl Domain {
                 shared,
             },
         );
+        self.verify_mark_graph(&graph.id);
         Ok(report)
     }
 
@@ -1534,6 +1554,9 @@ impl Domain {
             },
             1,
         );
+        // Dirty the pre-update hosts now; the post-update hosts are
+        // dirtied when the new partition commits.
+        self.verify_mark_graph(&graph.id);
 
         let hints = existing.hints.clone();
         // Keep surviving NFs where they run today (suspect nodes are
@@ -1632,6 +1655,9 @@ impl Domain {
             self.graphs.remove(&graph.id);
             self.release_shared(&graph.id);
             self.trace.count("updates_failed", 1);
+            // The rollback touched the would-be hosts too, which were
+            // never marked — re-verify everything.
+            self.verify_mark_all();
             return Err(err);
         }
 
@@ -1660,6 +1686,7 @@ impl Domain {
                 shared,
             },
         );
+        self.verify_mark_graph(&graph.id);
         Ok(DomainReport {
             graph: graph.id.clone(),
             per_node,
@@ -1671,6 +1698,9 @@ impl Domain {
     /// drop any copy parked for re-placement — an undeployed graph
     /// must never resurrect through `retry_pending`).
     pub fn undeploy(&mut self, graph_id: &str) -> Result<(), DomainError> {
+        // Capture the current hosts in the dirty set before the entry
+        // is gone.
+        self.verify_mark_graph(graph_id);
         let was_pending = self.pending.remove(graph_id).is_some();
         let Some(entry) = self.graphs.remove(graph_id) else {
             if was_pending {
@@ -1745,6 +1775,10 @@ impl Domain {
         }
         managed.health = NodeHealth::Failed;
         self.trace.count("nodes_failed", 1);
+        // Repair reroutes overlay paths of *other* graphs riding the
+        // casualty (transit rules on bystander nodes), so per-graph
+        // dirty marks are not enough.
+        self.verify_mark_all();
         Ok(self.replace_lost_partitions(name))
     }
 
@@ -2768,10 +2802,21 @@ impl Domain {
                 let Some(cell) = self.cells.get_mut(node) else {
                     return;
                 };
+                debug_assert_eq!(
+                    cell.queued,
+                    cell.pending.values().map(Vec::len).sum::<usize>(),
+                    "ingress ring bookkeeping diverged for {node}: queued \
+                     count disagrees with pending bursts"
+                );
                 if !cell.enqueued && cell.queued > 0 && cell.managed.is_some() {
                     cell.enqueued = true;
                     let home = cell.home;
                     let name = cell.name.clone();
+                    debug_assert!(
+                        !self.rings.iter().any(|r| r.contains(&name)),
+                        "{node} enqueued twice: the dedup flag was clear but \
+                         the node already sits in a ready ring"
+                    );
                     self.rings[home].push_back(name);
                 }
             }
@@ -2801,7 +2846,20 @@ impl Domain {
                         }
                         let (&Reverse(t), _) = cell.pending.iter().next().expect("queued > 0");
                         let burst = cell.pending.remove(&Reverse(t)).expect("present");
+                        debug_assert!(
+                            cell.queued >= burst.len(),
+                            "claim of {} frames exceeds the {} queued on {}",
+                            burst.len(),
+                            cell.queued,
+                            name.as_str()
+                        );
                         cell.queued -= burst.len();
+                        debug_assert_eq!(
+                            cell.queued,
+                            cell.pending.values().map(Vec::len).sum::<usize>(),
+                            "claim left stale queued count on {}",
+                            name.as_str()
+                        );
                         return Some((
                             cell.name.clone(),
                             cell.managed.take().expect("checked above"),
@@ -3888,6 +3946,8 @@ fn derive_link_sas(seed: u64, link: &OverlayLink) -> (SecurityAssociation, Secur
         SecurityAssociation::inbound(spi, src, dst, key, salt),
     )
 }
+
+mod verify;
 
 #[cfg(test)]
 mod tests;

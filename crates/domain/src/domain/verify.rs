@@ -1,0 +1,302 @@
+//! Domain-side bridge to `un-verify` — snapshot extraction, the
+//! incremental re-verification cache, and [`Domain::verify`].
+//!
+//! The checker itself is orchestrator-free (it consumes the plain-data
+//! [`Snapshot`]); this module owns the two stateful halves:
+//!
+//! * **Extraction** — [`Domain::verify_snapshot`] lowers live fleet
+//!   state (installed LSI tables, partitions, overlay wires, shared
+//!   leases, the vid pool) into a snapshot that the checker, the REST
+//!   endpoint, and the negative tests all share.
+//! * **Incrementality** — mutations mark the graphs they touched (and
+//!   the nodes hosting their parts); [`Domain::verify`] re-checks only
+//!   the dirty portion and splices cached results in for the rest.
+//!   The ledger checks are global but cheap, so they always re-run;
+//!   fleet-wide mutations (membership, health, repair, sharing policy)
+//!   force a full pass because their blast radius is unbounded.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+use un_verify::check::{self, CheckStats, VerifyReport, Violation};
+use un_verify::snapshot::{
+    ExpectedRule, GraphLink, GraphState, LeaseInfo, LinkInfo, LsiState, NodeState, RuleState,
+    Snapshot, TableState,
+};
+
+use super::{Domain, DomainGraph};
+
+/// Dirty-set bookkeeping between verification passes.
+#[derive(Default)]
+pub(super) struct VerifyCache {
+    /// Re-check everything (fleet-wide mutation, or no pass yet).
+    dirty_all: bool,
+    /// Graphs touched since the last pass.
+    graphs_dirty: BTreeSet<String>,
+    /// Nodes hosting parts of a touched graph, captured both before
+    /// and after the mutation so vacated hosts are re-audited too.
+    nodes_dirty: BTreeSet<String>,
+    /// Per-graph results from the last pass.
+    graph_results: BTreeMap<String, (Vec<Violation>, CheckStats)>,
+    /// Per-node audits from the last pass.
+    node_results: BTreeMap<String, (Vec<Violation>, CheckStats)>,
+    /// False until a pass has populated the caches.
+    primed: bool,
+}
+
+/// Lower one deployed graph (intent, plan, install receipt) into the
+/// verifier's model. Expected-rule cookies reproduce the compiler's
+/// convention so the consistency check matches installed entries.
+fn snapshot_graph(id: &str, g: &DomainGraph) -> GraphState {
+    let expected_rules = g
+        .partition
+        .parts
+        .iter()
+        .flat_map(|(node, part)| {
+            part.flow_rules.iter().map(move |r| ExpectedRule {
+                node: node.clone(),
+                rule_id: r.id.clone(),
+                cookie: un_core::rule_cookie(id, &r.id),
+            })
+        })
+        .collect();
+    GraphState {
+        id: id.to_string(),
+        original: g.original.clone(),
+        parts: g.partition.parts.clone(),
+        links: g
+            .partition
+            .links
+            .iter()
+            .map(|l| GraphLink {
+                vid: l.vid,
+                from_node: l.from_node.clone(),
+                to_node: l.to_node.clone(),
+                endpoint_id: l.endpoint_id.clone(),
+                in_rule_id: l.in_rule_id.clone(),
+            })
+            .collect(),
+        expected_rules,
+    }
+}
+
+impl Domain {
+    /// Flag one graph — and the nodes hosting its parts *right now* —
+    /// for re-verification. Mutations call this before **and** after
+    /// changing a graph, so both the vacated and the new hosts get
+    /// re-audited on the next [`Domain::verify`].
+    pub(super) fn verify_mark_graph(&self, gid: &str) {
+        let mut c = self.verify_cache.lock().expect("verify cache poisoned");
+        c.graphs_dirty.insert(gid.to_string());
+        if let Some(g) = self.graphs.get(gid) {
+            c.nodes_dirty.extend(g.partition.parts.keys().cloned());
+        }
+    }
+
+    /// Flag the whole domain for re-verification.
+    pub(super) fn verify_mark_all(&self) {
+        self.verify_cache
+            .lock()
+            .expect("verify cache poisoned")
+            .dirty_all = true;
+    }
+
+    /// Lower live domain state into the verifier's plain-data model.
+    ///
+    /// Public so negative tests can corrupt a *real* snapshot and feed
+    /// it straight to [`un_verify::check::run`].
+    pub fn verify_snapshot(&self) -> Snapshot {
+        let (vid_base, vid_next, free_vids, _in_use, standby_vids) = self.vid_accounting();
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|(name, managed)| NodeState {
+                name: name.clone(),
+                serving: managed.health.is_serving(),
+                lsis: managed
+                    .node
+                    .lsis()
+                    .map(|(gid, lsi)| LsiState {
+                        name: lsi.name.clone(),
+                        graph: gid.map(str::to_string),
+                        ports: lsi.ports().map(|(no, _)| no.0).collect(),
+                        tables: lsi
+                            .tables()
+                            .map(|(index, table)| TableState {
+                                index,
+                                rules: table
+                                    .entries()
+                                    .map(|e| RuleState {
+                                        priority: e.priority,
+                                        matches: e.matches.clone(),
+                                        actions: e.actions.clone(),
+                                        cookie: e.cookie,
+                                    })
+                                    .collect(),
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        let graphs = self
+            .graphs
+            .iter()
+            .map(|(id, g)| snapshot_graph(id, g))
+            .collect();
+        let links = self
+            .links
+            .iter()
+            .map(|(vid, state)| {
+                let state = state.lock().expect("link lock poisoned");
+                LinkInfo {
+                    vid: *vid,
+                    graph: state.graph.clone(),
+                    path: state.path.clone(),
+                }
+            })
+            .collect();
+        let leases = self
+            .sharing
+            .instances()
+            .map(|inst| LeaseInfo {
+                key: inst.key.render(),
+                host: inst.host.clone(),
+                tenants: inst.leases.keys().cloned().collect(),
+            })
+            .collect();
+        Snapshot {
+            vid_base,
+            vid_next,
+            free_vids,
+            standby_vids,
+            nodes,
+            graphs,
+            links,
+            leases,
+        }
+    }
+
+    /// Statically verify the domain: reachability, loop-freedom,
+    /// blackhole-freedom, shadowed rules, and ledger consistency over
+    /// a snapshot of current state.
+    ///
+    /// Incremental: only graphs (and nodes) touched since the last
+    /// call are re-checked; cached results cover the rest. The first
+    /// call, and any call after a fleet-wide mutation, runs full.
+    pub fn verify(&self) -> VerifyReport {
+        self.verify_inner(false)
+    }
+
+    /// Statically verify the domain, re-checking everything.
+    pub fn verify_full(&self) -> VerifyReport {
+        self.verify_inner(true)
+    }
+
+    fn verify_inner(&self, force_full: bool) -> VerifyReport {
+        let started = Instant::now();
+        let snap = self.verify_snapshot();
+        let mut cache = self.verify_cache.lock().expect("verify cache poisoned");
+        let full = force_full || cache.dirty_all || !cache.primed;
+
+        let mut report = VerifyReport {
+            mode: if full { "full" } else { "incremental" },
+            ..VerifyReport::default()
+        };
+        report.violations.extend(check::check_ledger(&snap));
+
+        // Cached entries for graphs/nodes that left the domain are
+        // dead weight — drop them so they can never be spliced back.
+        cache.graph_results.retain(|id, _| snap.graph(id).is_some());
+        cache
+            .node_results
+            .retain(|name, _| snap.node(name).is_some());
+
+        for g in &snap.graphs {
+            if !full && !cache.graphs_dirty.contains(&g.id) {
+                if let Some((v, _)) = cache.graph_results.get(&g.id) {
+                    report.violations.extend(v.iter().cloned());
+                    report.graphs_reused += 1;
+                    continue;
+                }
+            }
+            let (v, stats) = check::check_graph(&snap, g);
+            report.violations.extend(v.iter().cloned());
+            report.stats.merge(stats);
+            report.graphs_checked += 1;
+            cache.graph_results.insert(g.id.clone(), (v, stats));
+        }
+
+        // Only serving nodes are audited: a failed carcass keeps its
+        // installed state (expected stale) until recovery purges it.
+        let in_use: BTreeSet<u16> = snap.links.iter().map(|l| l.vid).collect();
+        for node in snap.nodes.iter().filter(|n| n.serving) {
+            if !full && !cache.nodes_dirty.contains(&node.name) {
+                if let Some((v, _)) = cache.node_results.get(&node.name) {
+                    report.violations.extend(v.iter().cloned());
+                    report.nodes_reused += 1;
+                    continue;
+                }
+            }
+            let (v, stats) = check::audit_node(node, snap.vid_base, snap.vid_next, &in_use);
+            report.violations.extend(v.iter().cloned());
+            report.stats.merge(stats);
+            report.nodes_checked += 1;
+            cache.node_results.insert(node.name.clone(), (v, stats));
+        }
+
+        cache.graphs_dirty.clear();
+        cache.nodes_dirty.clear();
+        cache.dirty_all = false;
+        cache.primed = true;
+        drop(cache);
+
+        report.duration_ns = started.elapsed().as_nanos() as u64;
+        if self.obs.is_enabled() {
+            let reg = self.obs.registry();
+            reg.counter("un_verify_runs_total", &[("mode", report.mode)])
+                .inc();
+            reg.histogram(
+                "un_verify_duration_ns",
+                &[],
+                &un_obs::Histogram::latency_bounds(),
+            )
+            .record(report.duration_ns);
+            reg.gauge("un_verify_violations", &[])
+                .set(report.violations.len() as i64);
+        }
+        report
+    }
+
+    /// The verification report as a JSON document (`GET
+    /// /domain/verify`).
+    pub fn verify_doc(&self) -> un_nffg::Json {
+        use un_nffg::Json;
+        let report = self.verify();
+        let violations: Vec<Json> = report
+            .violations
+            .iter()
+            .map(|v| {
+                let mut doc = Json::obj().set("code", v.code);
+                if let Some(g) = &v.graph {
+                    doc = doc.set("graph", g.clone());
+                }
+                if let Some(n) = &v.node {
+                    doc = doc.set("node", n.clone());
+                }
+                doc.set("detail", v.detail.clone())
+            })
+            .collect();
+        Json::obj()
+            .set("ok", report.ok())
+            .set("mode", report.mode)
+            .set("graphs-checked", report.graphs_checked)
+            .set("graphs-reused", report.graphs_reused)
+            .set("nodes-checked", report.nodes_checked)
+            .set("nodes-reused", report.nodes_reused)
+            .set("rules-checked", report.stats.rules_checked)
+            .set("classes", report.stats.classes)
+            .set("duration-ns", report.duration_ns)
+            .set("violations", violations)
+    }
+}

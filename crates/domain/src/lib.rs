@@ -40,6 +40,7 @@
 //!   paths that traversed the casualty.
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 
 pub mod domain;
 pub mod partition;

@@ -19,6 +19,7 @@
 //! NICs and guest applications (userspace IPsec, L2 forwarder).
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 
 pub mod image;
 pub mod virtio;

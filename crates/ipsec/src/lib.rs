@@ -21,6 +21,7 @@
 //!   kernel SAs) and runs over UDP/500 in the simulation.
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 
 pub mod esp;
 pub mod ike;

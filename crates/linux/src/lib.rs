@@ -33,6 +33,7 @@
 //! `Host` is meaningful.
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 
 pub mod conntrack;
 pub mod host;

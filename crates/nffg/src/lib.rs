@@ -17,6 +17,7 @@
 //! incremental updates ([`diff`]) and an ergonomic builder ([`builder`]).
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 
 pub mod builder;
 pub mod diff;

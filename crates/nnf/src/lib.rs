@@ -24,6 +24,7 @@
 //!   (see DESIGN.md §6).
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 
 pub mod adaptation;
 pub mod catalog;

@@ -16,6 +16,9 @@
 //!   facade is inert: instrumentation sites check one boolean (or skip the
 //!   `Option<Arc<Obs>>` entirely) and touch nothing else.
 
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+
 mod metrics;
 mod trace;
 

@@ -20,6 +20,7 @@
 //! used by the NNF adaptation layer.
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 
 pub mod arp;
 pub mod builder;

@@ -17,6 +17,7 @@
 //! | DELETE | `/domain/nffg/<id>`         | undeploy everywhere                |
 //! | GET    | `/metrics`                  | Prometheus text exposition (fleet metrics) |
 //! | GET    | `/domain/events`            | recent control-plane events (JSON ring) |
+//! | GET    | `/domain/verify`            | static network-state verification report |
 //!
 //! The fail response carries the per-graph [`un_domain::RepairOutcome`]
 //! (`repairs`: NFs moved/preserved, links rewired/kept, nodes touched,
@@ -113,6 +114,9 @@ pub fn handle_cluster(domain: &DomainHandle, req: &Request) -> Response {
         ("GET", ["metrics"]) => Response::text(StatusCode::Ok, domain.lock().metrics_prometheus()),
         ("GET", ["domain", "events"]) => {
             Response::json(StatusCode::Ok, domain.lock().events_doc().render())
+        }
+        ("GET", ["domain", "verify"]) => {
+            Response::json(StatusCode::Ok, domain.lock().verify_doc().render())
         }
         ("GET", ["domain"]) => Response::json(StatusCode::Ok, domain.lock().describe().render()),
         ("GET", ["domain", "topology"]) => {
@@ -485,6 +489,31 @@ mod tests {
         assert!(r.body.contains("domain.plan"), "{}", r.body);
         assert!(r.body.contains("domain.node.failed"), "{}", r.body);
         assert!(r.body.contains("domain.repair"), "{}", r.body);
+    }
+
+    #[test]
+    fn cluster_verify_endpoint_reports_clean_state() {
+        let d = domain_handle();
+        let r = handle_cluster(&d, &req("PUT", "/domain/nffg/g1", &chain_json("g1")));
+        assert_eq!(r.status, StatusCode::Created, "{}", r.body);
+
+        let r = handle_cluster(&d, &req("GET", "/domain/verify", ""));
+        assert_eq!(r.status, StatusCode::Ok);
+        let doc = un_nffg::jsonval::parse(&r.body).expect("verify doc parses");
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(true)), "{}", r.body);
+        assert_eq!(doc.get("mode").unwrap().as_str(), Some("full"));
+        assert!(doc.req_u64("graphs-checked").unwrap() >= 1);
+        assert!(doc.req_u64("rules-checked").unwrap() > 0);
+        assert_eq!(doc.get("violations"), Some(&Json::Arr(Vec::new())));
+
+        // Nothing changed since: the second pass is incremental and
+        // reuses every cached result.
+        let r = handle_cluster(&d, &req("GET", "/domain/verify", ""));
+        let doc = un_nffg::jsonval::parse(&r.body).expect("verify doc parses");
+        assert_eq!(doc.get("mode").unwrap().as_str(), Some("incremental"));
+        assert_eq!(doc.req_u64("graphs-checked").unwrap(), 0);
+        assert!(doc.req_u64("graphs-reused").unwrap() >= 1);
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(true)), "{}", r.body);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! (`GET /domain/events`).
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 
 pub mod api;
 pub mod cluster;

@@ -22,6 +22,9 @@
 //!
 //! The simulation is single-threaded by design: determinism is a feature.
 
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+
 pub mod cost;
 pub mod event;
 pub mod mem;

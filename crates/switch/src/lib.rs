@@ -26,6 +26,7 @@
 //!   learning controller used by LSI-0 in several examples.
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 
 pub mod controller;
 pub mod flow;

@@ -198,6 +198,11 @@ impl LogicalSwitch {
         self.tables.get(idx as usize)
     }
 
+    /// Iterate tables in pipeline order (static analysis / dumps).
+    pub fn tables(&self) -> impl Iterator<Item = (u8, &FlowTable)> {
+        self.tables.iter().enumerate().map(|(i, t)| (i as u8, t))
+    }
+
     /// Switch every table's classifier pipeline (fast path on/off).
     pub fn set_classifier_mode(&mut self, mode: ClassifierMode) {
         for t in &mut self.tables {

@@ -22,6 +22,7 @@
 //! counted, exactly like iperf counting only received bytes.
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 
 pub mod fault;
 pub mod gen;

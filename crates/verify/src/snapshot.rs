@@ -1,0 +1,177 @@
+//! Plain-data model of domain state, as seen by the verifier.
+//!
+//! `un-domain` builds a [`Snapshot`] from live orchestrator state
+//! (`Domain::verify_snapshot`); negative tests build corrupted ones by
+//! mutating a real snapshot. Keeping the model free of orchestrator
+//! types means the checker in [`crate::check`] can be exercised on any
+//! state — live, replayed, or hand-seeded — through one entry point.
+
+use std::collections::BTreeMap;
+
+use un_nffg::NfFg;
+use un_switch::{FlowAction, FlowMatch};
+
+/// One installed flow entry (counters stripped: verification is about
+/// structure, not traffic).
+#[derive(Debug, Clone)]
+pub struct RuleState {
+    /// Entry priority (higher wins).
+    pub priority: u16,
+    /// The classifier.
+    pub matches: FlowMatch,
+    /// Action list, in order.
+    pub actions: Vec<FlowAction>,
+    /// The orchestrator's cookie (graph-rule hash or graph hash).
+    pub cookie: u64,
+}
+
+/// One flow table, rules in **match order** (priority descending,
+/// insertion order breaking ties) — the order the shadow analysis
+/// consumes.
+#[derive(Debug, Clone)]
+pub struct TableState {
+    /// Table index within the LSI pipeline.
+    pub index: u8,
+    /// Entries in match order.
+    pub rules: Vec<RuleState>,
+}
+
+/// One logical switch instance on a node.
+#[derive(Debug, Clone)]
+pub struct LsiState {
+    /// Switch name (`"LSI-0"`, `"LSI-g1"`, …).
+    pub name: String,
+    /// Owning graph id; `None` for the base LSI-0.
+    pub graph: Option<String>,
+    /// Port numbers present on the switch.
+    pub ports: Vec<u32>,
+    /// Tables in pipeline order.
+    pub tables: Vec<TableState>,
+}
+
+/// One fleet node.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    /// Node name.
+    pub name: String,
+    /// True while the node hosts partitions and carries traffic
+    /// (`Alive` or `Suspect`); failed nodes are snapshotted too so the
+    /// checker can tell "part on a dead node" from "part on no node".
+    pub serving: bool,
+    /// Every LSI on the node, LSI-0 first.
+    pub lsis: Vec<LsiState>,
+}
+
+/// One synthesized cut edge of a deployed graph (the graph-side view
+/// of an overlay link).
+#[derive(Debug, Clone)]
+pub struct GraphLink {
+    /// Fleet-unique VLAN id carrying the link.
+    pub vid: u16,
+    /// Node hosting the sending rule.
+    pub from_node: String,
+    /// Node hosting the delivery target.
+    pub to_node: String,
+    /// Synthesized endpoint id in both parts: `ovl-<vid>`.
+    pub endpoint_id: String,
+    /// Id of the delivery rule in the `to_node` part.
+    pub in_rule_id: String,
+}
+
+/// A rule the orchestrator claims to have installed: used by the
+/// compile-consistency check (`cookie` must exist on `node`).
+#[derive(Debug, Clone)]
+pub struct ExpectedRule {
+    /// Node the part (and hence the rule) was installed on.
+    pub node: String,
+    /// NF-FG rule id within the part.
+    pub rule_id: String,
+    /// Cookie the compiled entry carries on that node's graph LSI.
+    pub cookie: u64,
+}
+
+/// One deployed graph: intent (original), plan (parts + links), and
+/// the install receipt (expected rules).
+#[derive(Debug, Clone)]
+pub struct GraphState {
+    /// Graph id.
+    pub id: String,
+    /// The tenant's original, unpartitioned NF-FG.
+    pub original: NfFg,
+    /// Per-node sub-graphs the partitioner produced (node → part).
+    pub parts: BTreeMap<String, NfFg>,
+    /// Synthesized inter-node links.
+    pub links: Vec<GraphLink>,
+    /// Every compiled rule the orchestrator installed for this graph.
+    pub expected_rules: Vec<ExpectedRule>,
+}
+
+/// One live overlay wire, domain view (ties a vid to its pinned path).
+#[derive(Debug, Clone)]
+pub struct LinkInfo {
+    /// VLAN id.
+    pub vid: u16,
+    /// Owning graph.
+    pub graph: String,
+    /// Pinned fabric path `[from_node, …, to_node]`.
+    pub path: Vec<String>,
+}
+
+/// One shared-NNF instance and its tenancy.
+#[derive(Debug, Clone)]
+pub struct LeaseInfo {
+    /// Rendered share key (functional type + capability).
+    pub key: String,
+    /// Node hosting the instance.
+    pub host: String,
+    /// Tenant graph ids holding a lease.
+    pub tenants: Vec<String>,
+}
+
+/// A full, self-contained picture of domain state at one instant.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// First vid of the overlay pool (`base..next` have been minted).
+    pub vid_base: u16,
+    /// Next vid the pool would mint.
+    pub vid_next: u16,
+    /// Minted vids currently free for reuse.
+    pub free_vids: Vec<u16>,
+    /// Minted vids reserved by staged standby plans.
+    pub standby_vids: Vec<u16>,
+    /// Every fleet node (including failed ones, flagged not serving).
+    pub nodes: Vec<NodeState>,
+    /// Every deployed graph.
+    pub graphs: Vec<GraphState>,
+    /// Every live overlay link.
+    pub links: Vec<LinkInfo>,
+    /// Every shared-NNF instance with its leases.
+    pub leases: Vec<LeaseInfo>,
+}
+
+impl Snapshot {
+    /// The node with `name`, if present.
+    pub fn node(&self, name: &str) -> Option<&NodeState> {
+        self.nodes.iter().find(|n| n.name == name)
+    }
+
+    /// The live link carrying `vid`, if any.
+    pub fn link(&self, vid: u16) -> Option<&LinkInfo> {
+        self.links.iter().find(|l| l.vid == vid)
+    }
+
+    /// The deployed graph `id`, if any.
+    pub fn graph(&self, id: &str) -> Option<&GraphState> {
+        self.graphs.iter().find(|g| g.id == id)
+    }
+
+    /// Total installed rules across every node and LSI.
+    pub fn installed_rules(&self) -> usize {
+        self.nodes
+            .iter()
+            .flat_map(|n| &n.lsis)
+            .flat_map(|l| &l.tables)
+            .map(|t| t.rules.len())
+            .sum()
+    }
+}

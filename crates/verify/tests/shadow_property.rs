@@ -1,0 +1,91 @@
+//! Property test: a rule injected *below* a rule that fully covers it
+//! is always flagged by the dead-rule detector, no matter what else is
+//! in the table.
+//!
+//! The injected rule is either an exact duplicate of a random earlier
+//! rule or a strict narrowing of one (one extra constrained field) —
+//! both are fully shadowed by construction, so `shadowed_rules` must
+//! report the injected index every single time.
+
+use proptest::prelude::*;
+use un_switch::{FlowMatch, PortNo, VlanSpec};
+use un_verify::shadowed_rules;
+
+/// A random flow match over a small universe of values: every field is
+/// independently present or wildcarded, so tables mix broad and narrow
+/// rules and overlap in interesting ways.
+fn match_strategy() -> impl Strategy<Value = FlowMatch> {
+    (0u8..64, 0u8..4, 0u8..4, 0u8..3, 0u8..4).prop_map(|(mask, port, vlan, ip, small)| {
+        let mut m = FlowMatch::any();
+        if mask & 1 != 0 {
+            m.in_port = Some(PortNo(port as u32));
+        }
+        if mask & 2 != 0 {
+            m.vlan = Some(match vlan {
+                0 => VlanSpec::Untagged,
+                1 => VlanSpec::AnyTagged,
+                v => VlanSpec::Id(v as u16),
+            });
+        }
+        if mask & 4 != 0 {
+            m.eth_type = Some(0x0800);
+        }
+        if mask & 8 != 0 {
+            let nets = ["10.0.0.0/8", "10.1.0.0/16", "192.168.0.0/24"];
+            m.ip_dst = Some(nets[ip as usize].parse().unwrap());
+        }
+        if mask & 16 != 0 {
+            m.l4_dst = Some(80 + small as u16);
+        }
+        if mask & 32 != 0 {
+            m.fwmark = Some(small as u32);
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn injected_fully_shadowed_rule_is_always_flagged(
+        table in prop::collection::vec(match_strategy(), 1..12),
+        pick in any::<u16>(),
+        narrowing in 0u8..3,
+    ) {
+        let cover_idx = pick as usize % table.len();
+        let mut injected = table[cover_idx].clone();
+        // Optionally narrow the copy: constraining one more field
+        // keeps the region a non-empty subset of the cover's region.
+        match narrowing {
+            1 if injected.fwmark.is_none() => injected.fwmark = Some(9),
+            2 if injected.l4_dst.is_none() => injected.l4_dst = Some(443),
+            _ => {}
+        }
+
+        let mut matches: Vec<&FlowMatch> = table.iter().collect();
+        matches.push(&injected);
+        let injected_idx = matches.len() - 1;
+
+        let (shadowed, classes) = shadowed_rules(&matches, 4096);
+        let hit = shadowed.iter().find(|(i, _)| *i == injected_idx);
+        prop_assert!(
+            hit.is_some(),
+            "injected copy of rule #{cover_idx} not flagged (classes={classes}): {injected:?}"
+        );
+        // The covering set names real predecessors, including one that
+        // actually covers it on its own or as part of the union.
+        let (_, covering) = hit.unwrap();
+        prop_assert!(!covering.is_empty());
+        prop_assert!(covering.iter().all(|j| *j < injected_idx));
+    }
+
+    #[test]
+    fn detector_never_flags_the_first_rule(
+        table in prop::collection::vec(match_strategy(), 1..12),
+    ) {
+        let matches: Vec<&FlowMatch> = table.iter().collect();
+        let (shadowed, _) = shadowed_rules(&matches, 4096);
+        prop_assert!(shadowed.iter().all(|(i, _)| *i != 0));
+    }
+}

@@ -2,6 +2,9 @@
 //! roof so the top-level `tests/` and `examples/` have a single anchor
 //! package. See `README.md` for the workspace map.
 
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+
 pub use un_core as core;
 pub use un_domain as domain;
 pub use un_nffg as nffg;

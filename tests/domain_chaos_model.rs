@@ -542,6 +542,18 @@ fn check_domain(d: &Domain, model: &HealthModel, tag: &str) {
             );
         }
     }
+
+    // Static verification: reachability, loop-freedom, blackholes,
+    // shadowed/dangling rules, and ledger consistency must hold on
+    // every chaos-reachable state. Incremental on purpose — the dirty
+    // tracking itself is under test here; `verify_full` would hide a
+    // bad cache splice.
+    let report = d.verify();
+    assert!(
+        report.ok(),
+        "{tag}: static verification violations: {:#?}",
+        report.violations
+    );
 }
 
 /// Deterministic smoke sequence proving the chaos plumbing exercises

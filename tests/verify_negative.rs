@@ -1,0 +1,143 @@
+//! Negative verification tests: corrupt a *real* snapshot of a
+//! deployed domain and prove the static checker catches each seeded
+//! defect. The positive control (the uncorrupted snapshot verifies
+//! clean) pins down that every detection below is caused by the
+//! corruption, not by ambient noise.
+
+use un_core::UniversalNode;
+use un_domain::Domain;
+use un_nffg::NfFgBuilder;
+use un_sim::mem::mb;
+use un_verify::check::{code, run};
+use un_verify::Snapshot;
+
+/// A two-node domain with one chain split across both (lan on n1,
+/// wan on n2 — the partitioner must synthesize overlay links).
+fn deployed_domain() -> Domain {
+    let mut d = Domain::with_defaults();
+    let mut n1 = UniversalNode::new("n1", mb(2048));
+    n1.add_physical_port("eth0");
+    let mut n2 = UniversalNode::new("n2", mb(2048));
+    n2.add_physical_port("eth1");
+    d.add_node(n1);
+    d.add_node(n2);
+    let g = NfFgBuilder::new("g1", "chain")
+        .interface_endpoint("lan", "eth0")
+        .interface_endpoint("wan", "eth1")
+        .nf("fw", "bridge", 2)
+        .nf("nat", "bridge", 2)
+        .chain("lan", &["fw", "nat"], "wan")
+        .build();
+    d.deploy(&g).expect("split chain deploys");
+    d
+}
+
+fn codes(snap: &Snapshot) -> Vec<&'static str> {
+    run(snap).violations.iter().map(|v| v.code).collect()
+}
+
+#[test]
+fn uncorrupted_snapshot_is_clean() {
+    let d = deployed_domain();
+    let snap = d.verify_snapshot();
+    assert!(snap.installed_rules() > 0, "snapshot captured no rules");
+    assert!(
+        !snap.graphs.is_empty() && !snap.links.is_empty(),
+        "expected a split deployment with overlay links"
+    );
+    let report = run(&snap);
+    assert!(report.ok(), "clean domain flagged: {:#?}", report.violations);
+}
+
+#[test]
+fn seeded_shadowed_rule_is_detected() {
+    let d = deployed_domain();
+    let mut snap = d.verify_snapshot();
+
+    // Append an exact duplicate of an installed entry at equal
+    // priority: it sits after the original in match order, so its
+    // region is fully covered and it can never fire.
+    let table = snap
+        .nodes
+        .iter_mut()
+        .flat_map(|n| &mut n.lsis)
+        .flat_map(|l| &mut l.tables)
+        .find(|t| !t.rules.is_empty())
+        .expect("a populated table");
+    let mut dup = table.rules[0].clone();
+    dup.cookie = 0xdead_beef;
+    table.rules.push(dup);
+
+    let found = codes(&snap);
+    assert!(
+        found.contains(&code::SHADOWED_RULE),
+        "seeded shadowed rule not flagged: {found:?}"
+    );
+}
+
+#[test]
+fn dangling_vid_is_detected() {
+    let d = deployed_domain();
+    let mut snap = d.verify_snapshot();
+
+    // Drop one live link's state while its graph (and the installed
+    // PushVlan rules tagging its vid) still reference it — the vid is
+    // minted but now neither free, in use, nor standby-reserved.
+    assert!(!snap.links.is_empty());
+    snap.links.remove(0);
+
+    let found = codes(&snap);
+    assert!(
+        found.contains(&code::VID_LEDGER),
+        "leaked vid not flagged in the ledger: {found:?}"
+    );
+    assert!(
+        found.contains(&code::DANGLING_VID),
+        "installed rules tagging the leaked vid not flagged: {found:?}"
+    );
+}
+
+#[test]
+fn transit_loop_is_detected() {
+    let d = deployed_domain();
+    let mut snap = d.verify_snapshot();
+
+    // Stretch a link's pinned path so it revisits both endpoints:
+    // head and tail still match the link, but the walk loops.
+    let link = snap.links.first_mut().expect("an overlay link");
+    let from = link.path.first().expect("path head").clone();
+    let to = link.path.last().expect("path tail").clone();
+    link.path = vec![from.clone(), to.clone(), from, to];
+
+    let found = codes(&snap);
+    assert!(
+        found.contains(&code::TRANSIT_LOOP),
+        "looping transit path not flagged: {found:?}"
+    );
+}
+
+#[test]
+fn dropped_delivery_rule_is_detected() {
+    let d = deployed_domain();
+    let mut snap = d.verify_snapshot();
+
+    // Remove the overlay delivery rule from the receiving part: frames
+    // arriving on the synthesized endpoint have nowhere to go, and the
+    // original lan→wan path no longer exists in the installed state.
+    let g = snap.graphs.first_mut().expect("a deployed graph");
+    let link = g.links.first().expect("an overlay link").clone();
+    let part = g.parts.get_mut(&link.to_node).expect("receiving part");
+    let before = part.flow_rules.len();
+    part.flow_rules.retain(|r| r.id != link.in_rule_id);
+    assert!(part.flow_rules.len() < before, "delivery rule not found");
+
+    let found = codes(&snap);
+    assert!(
+        found.contains(&code::BLACKHOLE),
+        "orphaned overlay endpoint not flagged: {found:?}"
+    );
+    assert!(
+        found.contains(&code::UNREACHABLE),
+        "lost end-to-end path not flagged: {found:?}"
+    );
+}
