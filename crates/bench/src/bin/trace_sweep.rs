@@ -1,0 +1,173 @@
+//! Flight-recorder overhead: the same per-frame workload, metered with
+//! the recorder detached and attached.
+//!
+//! Drives one frame at a time through a fleet of per-node bridge
+//! chains — first through plain `Domain::inject_batch` (no sink; the
+//! recorder must cost nothing beyond a dead `Option` check), then
+//! through `Domain::inject_traced` (every frame records its full walk
+//! and lands in the recent-trace ring). Both configurations must stay
+//! lossless; the traced one must produce a walk with at least ingress,
+//! classify, and egress hops for every frame.
+//!
+//! Writes machine-readable results to `BENCH_trace.json`.
+//!
+//! ```sh
+//! UN_SWEEP_FRAMES=2000 cargo run --release -p un-bench --bin trace_sweep
+//! ```
+
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+use un_core::UniversalNode;
+use un_domain::{DeployHints, Domain, DomainConfig, PlacementStrategy};
+use un_nffg::{Json, NfFg, NfFgBuilder};
+use un_packet::{Packet, PacketBuilder};
+use un_sim::mem::mb;
+
+/// Fleet size (matches the dataplane sweep).
+const NODES: usize = 8;
+/// Chain length per node graph.
+const CHAIN: usize = 3;
+/// Repetitions per configuration; best-of is reported.
+const REPS: usize = 3;
+
+fn frames_budget() -> u64 {
+    std::env::var("UN_SWEEP_FRAMES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40_000)
+}
+
+fn node_chain(node: &str) -> (NfFg, DeployHints) {
+    let ids: Vec<String> = (0..CHAIN).map(|i| format!("{node}-br{i}")).collect();
+    let mut b = NfFgBuilder::new(&format!("g-{node}"), "chain")
+        .interface_endpoint("lan", "eth0")
+        .interface_endpoint("wan", "eth1");
+    for id in &ids {
+        b = b.nf(id, "bridge", 2);
+    }
+    let refs: Vec<&str> = ids.iter().map(|s| s.as_str()).collect();
+    let graph = b.chain("lan", &refs, "wan").build();
+    let hints = DeployHints {
+        endpoint_node: [
+            ("lan".to_string(), node.to_string()),
+            ("wan".to_string(), node.to_string()),
+        ]
+        .into(),
+        nf_node: ids
+            .iter()
+            .map(|id| (id.clone(), node.to_string()))
+            .collect(),
+        strategy: Some(PlacementStrategy::Spread),
+    };
+    (graph, hints)
+}
+
+fn fleet() -> Domain {
+    let mut d = Domain::new(DomainConfig::default());
+    for i in 0..NODES {
+        let mut n = UniversalNode::new(&format!("n{i}"), mb(2048));
+        n.add_physical_port("eth0");
+        n.add_physical_port("eth1");
+        d.add_node(n);
+    }
+    for i in 0..NODES {
+        let (graph, hints) = node_chain(&format!("n{i}"));
+        d.deploy_with(&graph, &hints)
+            .expect("per-node chain deploys");
+    }
+    d
+}
+
+fn frame(i: u64) -> (String, String, Packet) {
+    let node = format!("n{}", i as usize % NODES);
+    let pkt = PacketBuilder::new()
+        .ethernet(
+            un_packet::ethernet::MacAddr::local(1),
+            un_packet::ethernet::MacAddr::local(2),
+        )
+        .ipv4(
+            Ipv4Addr::new(10, 0, (i >> 8) as u8, i as u8),
+            Ipv4Addr::new(192, 0, 2, 9),
+        )
+        .udp(5000, 5001)
+        .payload(&[0xAB; 256])
+        .build();
+    (node, "eth0".to_string(), pkt)
+}
+
+/// One run: fresh fleet, one frame per injection (the per-frame shape
+/// is what the recorder attaches to). Returns pkts/s.
+fn measure(traced: bool, frames: u64) -> f64 {
+    let mut d = fleet();
+    let bursts: Vec<(String, String, Packet)> = (0..frames).map(frame).collect();
+    let mut emitted = 0u64;
+    let start = Instant::now();
+    for (node, port, pkt) in bursts {
+        if traced {
+            let (io, trace) = d.inject_traced(&node, &port, pkt, 1);
+            emitted += io.emitted.len() as u64;
+            debug_assert!(trace.hops.len() >= 3);
+        } else {
+            let io = d.inject_batch(vec![(node, port, pkt)], 1);
+            emitted += io.emitted.len() as u64;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(emitted, frames, "chains must be lossless");
+    if traced {
+        // Prove the recorder was actually live: the ring is full and
+        // the newest walk has real hops.
+        let ring = d.recent_traces();
+        assert_eq!(
+            ring.len(),
+            (frames as usize).min(un_obs::DEFAULT_TRACE_CAPACITY)
+        );
+        let last = ring.last().expect("a recorded walk");
+        assert!(
+            last.hops.len() >= 3 && last.egress_count() == 1,
+            "recorded walk too short: {}",
+            last.render()
+        );
+    }
+    frames as f64 / secs
+}
+
+fn main() {
+    let frames = frames_budget();
+    println!("Flight-recorder overhead ({frames} frames, best of {REPS})\n");
+
+    let mut off_runs = Vec::new();
+    let mut on_runs = Vec::new();
+    for _ in 0..REPS {
+        off_runs.push(measure(false, frames));
+        on_runs.push(measure(true, frames));
+    }
+    let best = |runs: &[f64]| runs.iter().cloned().fold(f64::MIN, f64::max);
+    let off_pps = best(&off_runs);
+    let on_pps = best(&on_runs);
+    let ratio = on_pps / off_pps.max(1.0);
+
+    println!("  recorder detached : {off_pps:>12.0} pkts/s");
+    println!("  recorder attached : {on_pps:>12.0} pkts/s");
+    println!("  on/off throughput ratio: {ratio:.3}");
+
+    let json = Json::obj()
+        .set("frames", frames)
+        .set("reps", REPS as u64)
+        .set("nodes", NODES as u64)
+        .set("chain_len", CHAIN as u64)
+        .set("off_pps", off_pps)
+        .set("on_pps", on_pps)
+        .set("on_off_ratio", ratio)
+        .set(
+            "off_runs",
+            Json::Arr(off_runs.iter().map(|&v| Json::from(v)).collect()),
+        )
+        .set(
+            "on_runs",
+            Json::Arr(on_runs.iter().map(|&v| Json::from(v)).collect()),
+        );
+    std::fs::write("BENCH_trace.json", json.render_pretty()).expect("write BENCH_trace.json");
+    println!("\nwrote BENCH_trace.json");
+}

@@ -145,16 +145,16 @@ fn main() {
                 .set("incremental_ns", incr_ns)
                 .set("incremental_graphs_checked", incr_report.graphs_checked)
                 .set("incremental_nodes_checked", incr_report.nodes_checked)
-                .set(
-                    "incremental_rules_checked",
-                    incr_report.stats.rules_checked,
-                )
+                .set("incremental_rules_checked", incr_report.stats.rules_checked)
                 .set("speedup", speedup),
         );
     }
 
     let json = Json::obj()
-        .set("scenario", "paired split chains; touch one graph, re-verify")
+        .set(
+            "scenario",
+            "paired split chains; touch one graph, re-verify",
+        )
         .set("cpus", cpus)
         .set("chain_len", CHAIN_LEN)
         .set("reps", REPS)

@@ -29,11 +29,15 @@ use un_compute::{ComputeError, ComputeManager, Flavor, FlavorSpec, InstanceId, N
 use un_linux::Host;
 use un_nffg::{validate, EndpointKind, NfFg, PortRef, RuleAction, TrafficMatch};
 use un_nnf::GraphBinding;
+use un_obs::{ClassifierStage, DropReason, HopKind, TraceSink};
 use un_packet::ethernet::MacAddr;
 use un_packet::{Ipv4Cidr, Packet};
 use un_sim::mem::format_bytes;
 use un_sim::{AccountId, Cost, CostModel, MemLedger, SimTime, TraceLog};
-use un_switch::{Backend, FlowAction, FlowEntry, FlowMatch, LogicalSwitch, PortNo, VlanSpec};
+use un_switch::{
+    Backend, FlowAction, FlowEntry, FlowMatch, LogicalSwitch, LookupPath, PipelineStep, PortNo,
+    ProcessOptions, VlanSpec,
+};
 
 use crate::placement::{decide, Decision, NativeStatus};
 use crate::repository::{provision_standard_images, VnfRepository};
@@ -401,6 +405,39 @@ pub fn rule_cookie(graph_id: &str, rule_id: &str) -> u64 {
 /// classification, internal groups, shared-NNF vlinks).
 pub fn graph_cookie(graph_id: &str) -> u64 {
     fnv1a(graph_id)
+}
+
+/// Translate an LSI pipeline's recorded steps into classify hops on an
+/// active flight-recorder sink.
+fn record_classify_hops(f: &TraceSink, node: &str, lsi: &str, steps: &[PipelineStep]) {
+    for s in steps {
+        let (stage, cookie, priority) = match &s.hit {
+            Some(h) => (
+                match h.path {
+                    LookupPath::CacheHit => ClassifierStage::Microflow,
+                    LookupPath::ExactHit => ClassifierStage::Exact,
+                    LookupPath::MegaflowHit => ClassifierStage::Megaflow,
+                    // `LookupPath::Miss` on a *hit* is the residual
+                    // wildcard/linear scan, not a table miss.
+                    LookupPath::Miss => ClassifierStage::Wildcard,
+                },
+                Some(h.cookie),
+                Some(h.priority),
+            ),
+            None => (ClassifierStage::Miss, None, None),
+        };
+        f.hop(
+            node,
+            HopKind::Classify {
+                lsi: lsi.to_string(),
+                table: s.table,
+                stage,
+                cookie,
+                priority,
+                outputs: s.outputs,
+            },
+        );
+    }
 }
 
 impl UniversalNode {
@@ -1340,10 +1377,32 @@ impl UniversalNode {
     /// `fabric_work_exhausted` so the two drop causes stay
     /// distinguishable.
     pub fn inject_batch(&mut self, batch: Vec<(PortId, Packet)>) -> NodeIo {
+        self.inject_batch_flight(batch, None)
+    }
+
+    /// [`UniversalNode::inject_batch`] with an optional flight-recorder
+    /// sink riding along. With a sink, every fabric crossing appends a
+    /// hop record (classifier provenance, NF delivery, typed drops,
+    /// egress). A *ghost* sink additionally freezes every counter —
+    /// trace counters, LSI port/table stats, microflow caches, NF
+    /// latency histograms — so a synthetic frame can walk the genuine
+    /// pipeline without leaving a statistical footprint.
+    pub fn inject_batch_flight(
+        &mut self,
+        batch: Vec<(PortId, Packet)>,
+        flight: Option<&TraceSink>,
+    ) -> NodeIo {
+        let ghost = flight.is_some_and(|f| f.ghost());
+        let popts = ProcessOptions {
+            ghost,
+            record: flight.is_some(),
+        };
         let mut io = NodeIo::default();
-        self.trace.count("fabric_frames_in", batch.len() as u64);
-        if let Some(h) = &self.obs_burst_hist {
-            h.record(batch.len() as u64);
+        if !ghost {
+            self.trace.count("fabric_frames_in", batch.len() as u64);
+            if let Some(h) = &self.obs_burst_hist {
+                h.record(batch.len() as u64);
+            }
         }
         let obs_on = self.obs.is_some();
         // Conservation ledger terms, accumulated in locals so the fabric
@@ -1371,15 +1430,18 @@ impl UniversalNode {
                     let mut routed: Vec<(PortNo, Packet, u32)> = Vec::new();
                     for (pkt, ttl) in burst {
                         if ttl == 0 {
-                            self.trace.count("fabric_loop_drops", 1);
+                            self.drop_hop(flight, ghost, DropReason::FabricLoop);
                             continue;
                         }
                         if work_budget == 0 {
-                            self.trace.count("fabric_work_exhausted", 1);
+                            self.drop_hop(flight, ghost, DropReason::FabricWorkExhausted);
                             continue;
                         }
                         work_budget -= 1;
-                        let res = self.lsi0.process(PortNo(p), pkt, &self.costs);
+                        let res = self.lsi0.process_opts(PortNo(p), pkt, &self.costs, popts);
+                        if let Some(f) = flight {
+                            record_classify_hops(f, &self.name, &self.lsi0.name, &res.steps);
+                        }
                         io.cost += res.cost;
                         match res.outputs.len() {
                             0 => absorbed += 1,
@@ -1396,6 +1458,14 @@ impl UniversalNode {
                     while let Some((out, out_pkt, ttl)) = it.next() {
                         match self.l0_ports.get(&out) {
                             Some(L0Port::Physical(name)) => {
+                                if let Some(f) = flight {
+                                    f.hop(
+                                        &self.name,
+                                        HopKind::Egress {
+                                            port: name.as_str().to_string(),
+                                        },
+                                    );
+                                }
                                 io.emitted.push((name.clone(), out_pkt));
                             }
                             Some(L0Port::Vlink { graph_slot, peer }) => {
@@ -1420,12 +1490,19 @@ impl UniversalNode {
                                     ledger: &mut self.ledger,
                                     costs: &self.costs,
                                 };
-                                let t0 = obs_on.then(Instant::now);
+                                let t0 = (obs_on || flight.is_some()).then(Instant::now);
                                 let outs = self.compute.deliver_batch(&mut env, inst, frames);
                                 if let Some(t0) = t0 {
                                     let per = t0.elapsed().as_nanos() as u64 / n;
-                                    for _ in 0..n {
-                                        self.record_nf_latency(inst, per);
+                                    if obs_on && !ghost {
+                                        for _ in 0..n {
+                                            self.record_nf_latency(inst, per);
+                                        }
+                                    }
+                                    if let Some(f) = flight {
+                                        for _ in 0..n {
+                                            self.nf_hop(f, inst, per);
+                                        }
                                     }
                                 }
                                 for (out_io, ttl) in outs.into_iter().zip(ttls) {
@@ -1443,7 +1520,7 @@ impl UniversalNode {
                                 }
                             }
                             None => {
-                                self.trace.count("l0_unmapped_port", 1);
+                                self.drop_hop(flight, ghost, DropReason::L0UnmappedPort);
                             }
                         }
                     }
@@ -1451,6 +1528,17 @@ impl UniversalNode {
                 LocKey::Graph(slot, p) => {
                     let Some(gid) = self.slots.get(slot as usize).and_then(|s| s.clone()) else {
                         dead_slot += burst.len() as u64;
+                        if let Some(f) = flight {
+                            for _ in 0..burst.len() {
+                                f.hop(
+                                    &self.name,
+                                    HopKind::Drop {
+                                        reason: DropReason::FabricDeadSlot,
+                                        detail: format!("graph slot {slot} is gone"),
+                                    },
+                                );
+                            }
+                        }
                         continue;
                     };
                     // Run the whole burst through the graph LSI under a
@@ -1460,15 +1548,41 @@ impl UniversalNode {
                         let graph = self.graphs.get_mut(&gid).expect("slot consistent");
                         for (pkt, ttl) in burst {
                             if ttl == 0 {
-                                self.trace.count("fabric_loop_drops", 1);
+                                if !ghost {
+                                    self.trace.count(DropReason::FabricLoop.as_str(), 1);
+                                }
+                                if let Some(f) = flight {
+                                    f.hop(
+                                        &self.name,
+                                        HopKind::Drop {
+                                            reason: DropReason::FabricLoop,
+                                            detail: String::new(),
+                                        },
+                                    );
+                                }
                                 continue;
                             }
                             if work_budget == 0 {
-                                self.trace.count("fabric_work_exhausted", 1);
+                                if !ghost {
+                                    self.trace
+                                        .count(DropReason::FabricWorkExhausted.as_str(), 1);
+                                }
+                                if let Some(f) = flight {
+                                    f.hop(
+                                        &self.name,
+                                        HopKind::Drop {
+                                            reason: DropReason::FabricWorkExhausted,
+                                            detail: String::new(),
+                                        },
+                                    );
+                                }
                                 continue;
                             }
                             work_budget -= 1;
-                            let res = graph.lsi.process(PortNo(p), pkt, &self.costs);
+                            let res = graph.lsi.process_opts(PortNo(p), pkt, &self.costs, popts);
+                            if let Some(f) = flight {
+                                record_classify_hops(f, &self.name, &graph.lsi.name, &res.steps);
+                            }
                             io.cost += res.cost;
                             match res.outputs.len() {
                                 0 => absorbed += 1,
@@ -1511,12 +1625,19 @@ impl UniversalNode {
                                     ledger: &mut self.ledger,
                                     costs: &self.costs,
                                 };
-                                let t0 = obs_on.then(Instant::now);
+                                let t0 = (obs_on || flight.is_some()).then(Instant::now);
                                 let outs = self.compute.deliver_batch(&mut env, inst, frames);
                                 if let Some(t0) = t0 {
                                     let per = t0.elapsed().as_nanos() as u64 / n;
-                                    for _ in 0..n {
-                                        self.record_nf_latency(inst, per);
+                                    if obs_on && !ghost {
+                                        for _ in 0..n {
+                                            self.record_nf_latency(inst, per);
+                                        }
+                                    }
+                                    if let Some(f) = flight {
+                                        for _ in 0..n {
+                                            self.nf_hop(f, inst, per);
+                                        }
                                     }
                                 }
                                 let graph = self.graphs.get(&gid).expect("still there");
@@ -1534,33 +1655,85 @@ impl UniversalNode {
                                                 .push((pkt2, ttl - 1));
                                         } else {
                                             unmapped_nf += 1;
+                                            if let Some(f) = flight {
+                                                f.hop(
+                                                    &self.name,
+                                                    HopKind::Drop {
+                                                        reason: DropReason::GraphUnmappedNfPort,
+                                                        detail: format!("nf port {p2}"),
+                                                    },
+                                                );
+                                            }
                                         }
                                     }
                                 }
                             }
                             None => {
-                                self.trace.count("graph_unmapped_port", 1);
+                                self.drop_hop(flight, ghost, DropReason::GraphUnmappedPort);
                             }
                         }
                     }
                 }
             }
         }
-        self.trace
-            .count("fabric_frames_out", io.emitted.len() as u64);
-        if absorbed > 0 {
-            self.trace.count("fabric_absorbed", absorbed);
-        }
-        if fanout_extra > 0 {
-            self.trace.count("fabric_fanout_extra", fanout_extra);
-        }
-        if unmapped_nf > 0 {
-            self.trace.count("graph_unmapped_nf_port", unmapped_nf);
-        }
-        if dead_slot > 0 {
-            self.trace.count("fabric_dead_slot", dead_slot);
+        if !ghost {
+            self.trace
+                .count("fabric_frames_out", io.emitted.len() as u64);
+            if absorbed > 0 {
+                self.trace.count("fabric_absorbed", absorbed);
+            }
+            if fanout_extra > 0 {
+                self.trace.count("fabric_fanout_extra", fanout_extra);
+            }
+            if unmapped_nf > 0 {
+                self.trace
+                    .count(DropReason::GraphUnmappedNfPort.as_str(), unmapped_nf);
+            }
+            if dead_slot > 0 {
+                self.trace
+                    .count(DropReason::FabricDeadSlot.as_str(), dead_slot);
+            }
         }
         io
+    }
+
+    /// Count one typed fabric drop and (when tracing) append the drop
+    /// hop; ghost walks record the hop but freeze the counter.
+    fn drop_hop(&mut self, flight: Option<&TraceSink>, ghost: bool, reason: DropReason) {
+        if !ghost {
+            self.trace.count(reason.as_str(), 1);
+        }
+        if let Some(f) = flight {
+            f.hop(
+                &self.name,
+                HopKind::Drop {
+                    reason,
+                    detail: String::new(),
+                },
+            );
+        }
+    }
+
+    /// Append one NF-delivery hop (instance, functional type, driver
+    /// flavor, measured latency) to an active trace.
+    fn nf_hop(&self, f: &TraceSink, inst: InstanceId, latency_ns: u64) {
+        f.hop(
+            &self.name,
+            HopKind::NfDeliver {
+                instance: self.compute.name(inst).unwrap_or("unknown").to_string(),
+                nf_type: self
+                    .compute
+                    .functional_type(inst)
+                    .unwrap_or("unknown")
+                    .to_string(),
+                flavor: self
+                    .compute
+                    .flavor(inst)
+                    .map(|fl| fl.to_string())
+                    .unwrap_or_else(|| "unknown".to_string()),
+                latency_ns,
+            },
+        );
     }
 
     // ------------------------------------------------------------------

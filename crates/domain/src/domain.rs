@@ -38,6 +38,7 @@ use std::time::Instant;
 use un_core::{DeployReport, Name, PortId, UniversalNode};
 use un_ipsec::{esp, SecurityAssociation};
 use un_nffg::{validate, NfFg, ValidationError};
+use un_obs::{DropReason, HopKind, PacketTrace, TraceRing, TraceSink};
 use un_packet::Packet;
 use un_sim::{Cost, DetRng, SimTime, TraceLog};
 
@@ -52,6 +53,38 @@ use crate::standby::{
     RepairCalibration, RepairKind, StandbyRegistry,
 };
 use crate::topology::Topology;
+
+/// Header spec of a synthetic flight-recorder probe frame
+/// ([`Domain::trace_probe`], `POST /domain/trace`). Defaults give a
+/// 64-byte-payload UDP frame on documentation addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeSpec {
+    /// IPv4 source address.
+    pub src_ip: Ipv4Addr,
+    /// IPv4 destination address.
+    pub dst_ip: Ipv4Addr,
+    /// UDP source port.
+    pub src_port: u16,
+    /// UDP destination port.
+    pub dst_port: u16,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+    /// Optional VLAN tag on the synthesized frame.
+    pub vlan: Option<u16>,
+}
+
+impl Default for ProbeSpec {
+    fn default() -> Self {
+        ProbeSpec {
+            src_ip: Ipv4Addr::new(10, 0, 0, 1),
+            dst_ip: Ipv4Addr::new(192, 0, 2, 9),
+            src_port: 5000,
+            dst_port: 5001,
+            payload_len: 64,
+            vlan: None,
+        }
+    }
+}
 
 /// Default first VLAN id of the overlay pool (up to 4094 inclusive).
 const OVERLAY_VID_BASE: u16 = 3000;
@@ -371,7 +404,7 @@ pub struct RepairOutcome {
 /// sink); every other death increments exactly one named drop counter.
 /// The chaos suite holds the balance as an invariant after every
 /// operation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ConservationReport {
     /// Frames handed to [`Domain::inject_batch`], pre-validation.
     pub ingress: u64,
@@ -397,45 +430,29 @@ impl ConservationReport {
     }
 }
 
+/// Node-level drop counter names of the conservation ledger, derived
+/// from the shared [`DropReason`] enum so ledger terms, metric labels
+/// and flight-recorder drop hops can never drift apart.
+fn node_drop_counters() -> impl Iterator<Item = &'static str> {
+    DropReason::NODE_DROPS.iter().map(|r| r.as_str())
+}
+
+/// Domain-level drop counter names of the conservation ledger (same
+/// single source of truth: [`DropReason::DOMAIN_DROPS`]).
+fn domain_drop_counters() -> impl Iterator<Item = &'static str> {
+    DropReason::DOMAIN_DROPS.iter().map(|r| r.as_str())
+}
+
 /// Node-level counters that feed the conservation ledger. Folded into
 /// the domain trace when a node carcass is replaced on rejoin, so the
-/// ledger stays cumulative across the fleet's whole life.
-const NODE_LEDGER_COUNTERS: &[&str] = &[
-    "fabric_absorbed",
-    "fabric_fanout_extra",
-    "fabric_loop_drops",
-    "fabric_work_exhausted",
-    "fabric_dead_slot",
-    "inject_unknown_port",
-    "l0_unmapped_port",
-    "graph_unmapped_port",
-    "graph_unmapped_nf_port",
-];
-
-/// Of [`NODE_LEDGER_COUNTERS`], the ones that are drop causes (the
-/// other two are the fan-out/absorption terms of the balance).
-const NODE_DROP_COUNTERS: &[&str] = &[
-    "fabric_loop_drops",
-    "fabric_work_exhausted",
-    "fabric_dead_slot",
-    "inject_unknown_port",
-    "l0_unmapped_port",
-    "graph_unmapped_port",
-    "graph_unmapped_nf_port",
-];
-
-/// Domain-level drop causes of the conservation ledger.
-const DOMAIN_DROP_COUNTERS: &[&str] = &[
-    "inject_dead_node",
-    "inject_unknown_node",
-    "overlay_untagged_drop",
-    "overlay_unroutable_drop",
-    "overlay_foreign_drop",
-    "overlay_esp_seal_fail",
-    "overlay_esp_verify_fail",
-    "overlay_loop_drops",
-    "overlay_work_exhausted",
-];
+/// ledger stays cumulative across the fleet's whole life. The first
+/// two are the fan-out/absorption terms of the balance; the rest are
+/// the drop causes.
+fn node_ledger_counters() -> impl Iterator<Item = &'static str> {
+    ["fabric_absorbed", "fabric_fanout_extra"]
+        .into_iter()
+        .chain(node_drop_counters())
+}
 
 /// Outcome of a node failure: which graphs were re-placed, and what
 /// each repair cost.
@@ -616,6 +633,10 @@ pub struct Domain {
     /// Observability: metric registry + recent-event ring. Inert (one
     /// branch per record call) unless `config.observability` is set.
     obs: Arc<un_obs::Obs>,
+    /// Flight recorder: bounded ring of recent real packet traces
+    /// (filled by [`Domain::inject_traced`], served by
+    /// `GET /domain/traces`). Ghost walks never land here.
+    traces: TraceRing,
     /// Persistent shard workers for the data-plane shuttle. Built on
     /// the first multi-worker `inject_batch` call and reused (rebuilt
     /// only if the requested worker count changes); single-worker
@@ -648,6 +669,7 @@ impl Domain {
             clock: SimTime::ZERO,
             trace: TraceLog::new(4096),
             obs,
+            traces: TraceRing::new(un_obs::DEFAULT_TRACE_CAPACITY),
             runtime: None,
             verify_cache: Mutex::new(verify::VerifyCache::default()),
         }
@@ -694,7 +716,7 @@ impl Domain {
             Some(old) => {
                 // The carcass's ledger counters must survive the rejoin
                 // or the cumulative conservation balance would break.
-                for &c in NODE_LEDGER_COUNTERS {
+                for c in node_ledger_counters() {
                     let n = old.node.trace.counter(c);
                     if n > 0 {
                         self.trace.count(c, n);
@@ -2706,6 +2728,92 @@ impl Domain {
         N: AsRef<str>,
         P: AsRef<str>,
     {
+        self.inject_batch_flight(ingress, workers, None)
+    }
+
+    /// Inject one frame with the flight recorder attached: the frame
+    /// runs the **real** data plane (every counter moves exactly as
+    /// under [`Domain::inject`]) while a [`TraceSink`] records one hop
+    /// record per crossing — ingress, per-table classifier verdicts
+    /// with matched-rule provenance, NF deliveries, overlay crossings,
+    /// egress and typed drops. The finished trace lands in the
+    /// domain's bounded recent-trace ring (`GET /domain/traces`) and
+    /// is returned alongside the io report.
+    pub fn inject_traced(
+        &mut self,
+        node: &str,
+        port: &str,
+        pkt: Packet,
+        workers: usize,
+    ) -> (DomainIo, PacketTrace) {
+        let sink = Arc::new(TraceSink::new(node, port, false));
+        let io = self.inject_batch_flight(
+            std::iter::once((node, port, pkt)),
+            workers,
+            Some(Arc::clone(&sink)),
+        );
+        let trace = sink.snapshot();
+        self.traces.push(trace.clone());
+        (io, trace)
+    }
+
+    /// Walk a synthetic frame through the domain in **ghost mode**: the
+    /// frame takes exactly the decisions the real data plane would take
+    /// (classifier lookups, NF processing, overlay routing, real ESP
+    /// seal/verify on cloned SAs) but moves **no counters** — node and
+    /// domain trace counters, switch/port statistics, microflow caches,
+    /// link wire counters and observability histograms are all left
+    /// untouched, so a trace probe is invisible to the conservation
+    /// ledger and to `/metrics`. Returns the recorded hop-by-hop trace
+    /// (served by `POST /domain/trace`); ghost walks never enter the
+    /// recent-trace ring.
+    pub fn trace_frame(&mut self, node: &str, port: &str, pkt: Packet) -> PacketTrace {
+        let sink = Arc::new(TraceSink::new(node, port, true));
+        let _ = self.inject_batch_flight(
+            std::iter::once((node, port, pkt)),
+            1,
+            Some(Arc::clone(&sink)),
+        );
+        sink.snapshot()
+    }
+
+    /// The bounded ring of recent real traces (newest last).
+    pub fn recent_traces(&self) -> Vec<PacketTrace> {
+        self.traces.snapshot()
+    }
+
+    /// Synthesize a probe frame from `spec` and ghost-walk it from
+    /// `(node, port)` (see [`Domain::trace_frame`]): the backing for
+    /// `POST /domain/trace`. The frame is built here — not by the REST
+    /// layer — so every caller gets identical header synthesis.
+    pub fn trace_probe(&mut self, node: &str, port: &str, spec: &ProbeSpec) -> PacketTrace {
+        let mut b = un_packet::PacketBuilder::new().ethernet(
+            un_packet::ethernet::MacAddr::local(1),
+            un_packet::ethernet::MacAddr::local(2),
+        );
+        if let Some(vid) = spec.vlan {
+            b = b.vlan(vid);
+        }
+        let payload = vec![0xA5u8; spec.payload_len];
+        let pkt = b
+            .ipv4(spec.src_ip, spec.dst_ip)
+            .udp(spec.src_port, spec.dst_port)
+            .payload(&payload)
+            .build();
+        self.trace_frame(node, port, pkt)
+    }
+
+    fn inject_batch_flight<N, P>(
+        &mut self,
+        ingress: impl IntoIterator<Item = (N, P, Packet)>,
+        workers: usize,
+        flight: Option<Arc<TraceSink>>,
+    ) -> DomainIo
+    where
+        N: AsRef<str>,
+        P: AsRef<str>,
+    {
+        let ghost = flight.as_ref().is_some_and(|f| f.ghost());
         let mut io = DomainIo::default();
         let ttl = self.config.overlay_ttl.max(1);
         let fabric = self.config.fabric_port.clone();
@@ -2714,12 +2822,7 @@ impl Domain {
         let shards = workers.max(1);
         // Build (or resize) the persistent worker pool up front;
         // single-worker calls drain inline and never touch it.
-        if workers > 1
-            && self
-                .runtime
-                .as_ref()
-                .is_none_or(|r| r.workers() != workers)
-        {
+        if workers > 1 && self.runtime.as_ref().is_none_or(|r| r.workers() != workers) {
             self.runtime = Some(ShardRuntime::new(workers));
         }
         let obs = Arc::clone(&self.obs);
@@ -2882,6 +2985,8 @@ impl Domain {
             counters: BTreeMap<&'static str, u64>,
             /// The shard index this worker drained as.
             shard: usize,
+            /// Ghost walk: decisions only, no counter movement.
+            ghost: bool,
             /// Claims served from the worker's own ring / stolen from
             /// foreign rings (utilization signal).
             claims_home: u64,
@@ -2889,7 +2994,7 @@ impl Domain {
         }
         impl WorkerOut {
             fn count(&mut self, name: &'static str, n: u64) {
-                if n > 0 {
+                if n > 0 && !self.ghost {
                     *self.counters.entry(name).or_insert(0) += n;
                 }
             }
@@ -2910,20 +3015,53 @@ impl Domain {
             {
                 let cell = match state.cell(node, &fabric) {
                     Ok(cell) => cell,
-                    Err(CellMiss::Dead) => {
-                        trace.count("inject_dead_node", 1);
-                        continue;
-                    }
-                    Err(CellMiss::Unknown) => {
-                        trace.count("inject_unknown_node", 1);
+                    Err(miss) => {
+                        let reason = match miss {
+                            CellMiss::Dead => DropReason::InjectDeadNode,
+                            CellMiss::Unknown => DropReason::InjectUnknownNode,
+                        };
+                        if !ghost {
+                            trace.count(reason.as_str(), 1);
+                        }
+                        if let Some(f) = &flight {
+                            f.hop(
+                                node,
+                                HopKind::Drop {
+                                    reason,
+                                    detail: String::new(),
+                                },
+                            );
+                        }
                         continue;
                     }
                 };
                 let managed = cell.managed.as_mut().expect("no worker running yet");
                 let Some(pid) = managed.node.port_id(port.as_ref()) else {
-                    managed.node.trace.count("inject_unknown_port", 1);
+                    if !ghost {
+                        managed
+                            .node
+                            .trace
+                            .count(DropReason::InjectUnknownPort.as_str(), 1);
+                    }
+                    if let Some(f) = &flight {
+                        f.hop(
+                            node,
+                            HopKind::Drop {
+                                reason: DropReason::InjectUnknownPort,
+                                detail: format!("no port '{}'", port.as_ref()),
+                            },
+                        );
+                    }
                     continue;
                 };
+                if let Some(f) = &flight {
+                    f.hop(
+                        node,
+                        HopKind::Ingress {
+                            port: port.as_ref().to_string(),
+                        },
+                    );
+                }
                 cell.pending
                     .entry(Reverse(ttl))
                     .or_default()
@@ -2933,11 +3071,13 @@ impl Domain {
             }
             state.mark_ready(node);
         }
-        trace.count("domain_frames_ingress", ingressed);
+        if !ghost {
+            trace.count("domain_frames_ingress", ingressed);
+        }
 
         // Ring-depth gauges: how the seeded burst spread across shard
         // ingress rings (refreshed per call; inert unless obs is on).
-        if obs.is_enabled() {
+        if !ghost && obs.is_enabled() {
             let reg = obs.registry();
             reg.gauge("un_shuttle_workers", &[]).set(shards as i64);
             for (i, ring) in state.rings.iter().enumerate() {
@@ -2999,6 +3139,7 @@ impl Domain {
 
         let drain = {
             let shuttle = Arc::clone(&shuttle);
+            let flight = flight.clone();
             move |shard: usize| {
                 let sh = &*shuttle;
                 let pool = &sh.pool;
@@ -3010,6 +3151,7 @@ impl Domain {
                 let _abort_guard = AbortGuard(&sh.aborted);
                 let mut out = WorkerOut {
                     shard,
+                    ghost,
                     ..WorkerOut::default()
                 };
                 loop {
@@ -3044,7 +3186,7 @@ impl Domain {
                         out.claims_home += 1;
                     }
                     let consumed = burst.len();
-                    let node_io = managed.node.inject_batch(burst);
+                    let node_io = managed.node.inject_batch_flight(burst, flight.as_deref());
                     out.cost += node_io.cost;
                     // Hand the node back before shuttling so another worker
                     // can claim it for frames already heading its way.
@@ -3067,13 +3209,35 @@ impl Domain {
                         }
                         match pkt.vlan_id() {
                             Some(vid) => fabric_bursts.entry(vid).or_default().push(pkt),
-                            None => out.count("overlay_untagged_drop", 1),
+                            None => {
+                                out.count(DropReason::OverlayUntagged.as_str(), 1);
+                                if let Some(f) = &flight {
+                                    f.hop(
+                                        name.as_str(),
+                                        HopKind::Drop {
+                                            reason: DropReason::OverlayUntagged,
+                                            detail: String::new(),
+                                        },
+                                    );
+                                }
+                            }
                         }
                     }
                     for (vid, frames) in fabric_bursts {
                         let n = frames.len() as u64;
                         let Some(link_mx) = links.get(&vid) else {
-                            out.count("overlay_unroutable_drop", n);
+                            out.count(DropReason::OverlayUnroutable.as_str(), n);
+                            if let Some(f) = &flight {
+                                for _ in 0..n {
+                                    f.hop(
+                                        name.as_str(),
+                                        HopKind::Drop {
+                                            reason: DropReason::OverlayUnroutable,
+                                            detail: format!("no overlay link for vid {vid}"),
+                                        },
+                                    );
+                                }
+                            }
                             continue;
                         };
                         let mut survivors: Vec<Packet> = Vec::with_capacity(frames.len());
@@ -3094,7 +3258,20 @@ impl Domain {
                                 Some(i) if i + 1 < state.path.len() => (i + 1, i),
                                 Some(1) if state.path.len() == 2 => (0, 0),
                                 _ => {
-                                    out.count("overlay_foreign_drop", n);
+                                    out.count(DropReason::OverlayForeign.as_str(), n);
+                                    if let Some(f) = &flight {
+                                        for _ in 0..n {
+                                            f.hop(
+                                                name.as_str(),
+                                                HopKind::Drop {
+                                                    reason: DropReason::OverlayForeign,
+                                                    detail: format!(
+                                                        "not on the pinned path of vid {vid}"
+                                                    ),
+                                                },
+                                            );
+                                        }
+                                    }
                                     continue;
                                 }
                             };
@@ -3104,6 +3281,12 @@ impl Domain {
                                 .get(hop_idx)
                                 .copied()
                                 .unwrap_or_default();
+                            let esp_on = state.sas.is_some();
+                            // Ghost walks exercise the real ESP path on
+                            // **cloned** SAs: seal/verify mutate sequence
+                            // numbers and replay windows, and a probe must
+                            // not advance the live wire's state.
+                            let mut ghost_sas = if ghost { state.sas.clone() } else { None };
                             for pkt in frames {
                                 let len = pkt.len();
                                 // Wire counters count logical frames at
@@ -3111,17 +3294,24 @@ impl Domain {
                                 // riding an n-hop wire adds n to `packets`
                                 // and one to each `hop_packets[i]` it is
                                 // presented to.
-                                state.packets += 1;
-                                state.bytes += len as u64;
-                                if let Some(hp) = state.hop_packets.get_mut(hop_idx) {
-                                    *hp += 1;
-                                }
-                                if let Some(hb) = state.hop_bytes.get_mut(hop_idx) {
-                                    *hb += len as u64;
+                                if !ghost {
+                                    state.packets += 1;
+                                    state.bytes += len as u64;
+                                    if let Some(hp) = state.hop_packets.get_mut(hop_idx) {
+                                        *hp += 1;
+                                    }
+                                    if let Some(hb) = state.hop_bytes.get_mut(hop_idx) {
+                                        *hb += len as u64;
+                                    }
                                 }
                                 out.overlay_hops += 1;
                                 out.cost += Cost::from_nanos(hop_ns);
-                                if let Some(sas) = state.sas.as_deref_mut() {
+                                let sas = if ghost {
+                                    ghost_sas.as_deref_mut()
+                                } else {
+                                    state.sas.as_deref_mut()
+                                };
+                                if let Some(sas) = sas {
                                     // Protect the wire: real ESP seal on
                                     // egress, real verify+open on ingress. A
                                     // frame that fails to verify never
@@ -3133,7 +3323,16 @@ impl Domain {
                                     let sealed = match esp::encapsulate(sa_out, pkt.data()) {
                                         Ok(s) => s,
                                         Err(_) => {
-                                            out.count("overlay_esp_seal_fail", 1);
+                                            out.count(DropReason::OverlayEspSealFail.as_str(), 1);
+                                            if let Some(f) = &flight {
+                                                f.hop(
+                                                    name.as_str(),
+                                                    HopKind::Drop {
+                                                        reason: DropReason::OverlayEspSealFail,
+                                                        detail: format!("vid {vid}"),
+                                                    },
+                                                );
+                                            }
                                             continue;
                                         }
                                     };
@@ -3142,12 +3341,34 @@ impl Domain {
                                             out.protected_bytes += len as u64;
                                         }
                                         _ => {
-                                            out.count("overlay_esp_verify_fail", 1);
+                                            out.count(DropReason::OverlayEspVerifyFail.as_str(), 1);
+                                            if let Some(f) = &flight {
+                                                f.hop(
+                                                    name.as_str(),
+                                                    HopKind::Drop {
+                                                        reason: DropReason::OverlayEspVerifyFail,
+                                                        detail: format!("vid {vid}"),
+                                                    },
+                                                );
+                                            }
                                             continue;
                                         }
                                     }
                                 }
                                 out.count("overlay_frames", 1);
+                                if let Some(f) = &flight {
+                                    f.hop(
+                                        name.as_str(),
+                                        HopKind::OverlayHop {
+                                            vid,
+                                            from: name.to_string(),
+                                            to: peer.clone(),
+                                            hop: hop_idx,
+                                            esp: esp_on,
+                                            ttl_left,
+                                        },
+                                    );
+                                }
                                 survivors.push(pkt);
                             }
                         }
@@ -3159,29 +3380,71 @@ impl Domain {
                         // seeded with overlay_ttl may cross exactly that
                         // many times.
                         if ttl_left == 0 {
-                            out.count("overlay_loop_drops", k as u64);
+                            out.count(DropReason::OverlayLoop.as_str(), k as u64);
+                            if let Some(f) = &flight {
+                                for _ in 0..k {
+                                    f.hop(
+                                        name.as_str(),
+                                        HopKind::Drop {
+                                            reason: DropReason::OverlayLoop,
+                                            detail: format!("overlay TTL expired on vid {vid}"),
+                                        },
+                                    );
+                                }
+                            }
                             continue;
                         }
                         if crossings.fetch_add(k as u64, Ordering::AcqRel) >= crossing_cap {
-                            out.count("overlay_work_exhausted", k as u64);
+                            out.count(DropReason::OverlayWorkExhausted.as_str(), k as u64);
+                            if let Some(f) = &flight {
+                                for _ in 0..k {
+                                    f.hop(
+                                        name.as_str(),
+                                        HopKind::Drop {
+                                            reason: DropReason::OverlayWorkExhausted,
+                                            detail: String::new(),
+                                        },
+                                    );
+                                }
+                            }
                             continue;
                         }
                         let mut pool = pool.lock().expect("shuttle pool poisoned");
                         let cell = match pool.cell(peer.as_str(), &fabric) {
                             Ok(cell) => cell,
                             Err(miss) => {
-                                out.count(
-                                    match miss {
-                                        CellMiss::Dead => "inject_dead_node",
-                                        CellMiss::Unknown => "inject_unknown_node",
-                                    },
-                                    k as u64,
-                                );
+                                let reason = match miss {
+                                    CellMiss::Dead => DropReason::InjectDeadNode,
+                                    CellMiss::Unknown => DropReason::InjectUnknownNode,
+                                };
+                                out.count(reason.as_str(), k as u64);
+                                if let Some(f) = &flight {
+                                    for _ in 0..k {
+                                        f.hop(
+                                            peer.as_str(),
+                                            HopKind::Drop {
+                                                reason,
+                                                detail: String::new(),
+                                            },
+                                        );
+                                    }
+                                }
                                 continue;
                             }
                         };
                         let Some(fid) = cell.fabric_id else {
-                            out.count("overlay_unroutable_drop", k as u64);
+                            out.count(DropReason::OverlayUnroutable.as_str(), k as u64);
+                            if let Some(f) = &flight {
+                                for _ in 0..k {
+                                    f.hop(
+                                        peer.as_str(),
+                                        HopKind::Drop {
+                                            reason: DropReason::OverlayUnroutable,
+                                            detail: "peer has no fabric port".to_string(),
+                                        },
+                                    );
+                                }
+                            }
                             continue;
                         };
                         in_flight.fetch_add(k, Ordering::Release);
@@ -3254,7 +3517,7 @@ impl Domain {
             claims_stolen += worker.claims_stolen;
             // Per-worker utilization gauge: how many node-bursts this
             // shard drove last round (home + stolen).
-            if obs.is_enabled() {
+            if !ghost && obs.is_enabled() {
                 obs.registry()
                     .gauge(
                         "un_shuttle_worker_claims",
@@ -3266,14 +3529,16 @@ impl Domain {
                 self.trace.count(name, n);
             }
         }
-        if claims_home > 0 {
-            self.trace.count("shuttle_claims_home", claims_home);
+        if !ghost {
+            if claims_home > 0 {
+                self.trace.count("shuttle_claims_home", claims_home);
+            }
+            if claims_stolen > 0 {
+                self.trace.count("shuttle_claims_stolen", claims_stolen);
+            }
+            self.trace
+                .count("domain_frames_egress", io.emitted.len() as u64);
         }
-        if claims_stolen > 0 {
-            self.trace.count("shuttle_claims_stolen", claims_stolen);
-        }
-        self.trace
-            .count("domain_frames_egress", io.emitted.len() as u64);
         io
     }
 
@@ -3331,9 +3596,9 @@ impl Domain {
             absorbed: self.trace.counter("fabric_absorbed"),
             drops: BTreeMap::new(),
         };
-        // NODE_DROP_COUNTERS appear in the domain trace too: counters
+        // Node drop counters appear in the domain trace too: counters
         // folded in from replaced carcasses.
-        for &name in DOMAIN_DROP_COUNTERS.iter().chain(NODE_DROP_COUNTERS) {
+        for name in domain_drop_counters().chain(node_drop_counters()) {
             let n = self.trace.counter(name);
             if n > 0 {
                 *r.drops.entry(name).or_insert(0) += n;
@@ -3342,7 +3607,7 @@ impl Domain {
         for m in self.nodes.values() {
             r.fanout_extra += m.node.trace.counter("fabric_fanout_extra");
             r.absorbed += m.node.trace.counter("fabric_absorbed");
-            for &name in NODE_DROP_COUNTERS {
+            for name in node_drop_counters() {
                 let n = m.node.trace.counter(name);
                 if n > 0 {
                     *r.drops.entry(name).or_insert(0) += n;
@@ -3481,6 +3746,15 @@ impl Domain {
             u8::from(ledger.balanced())
         );
 
+        // -- event-ring overflow: events evicted from the bounded
+        //    recent-event ring since the domain came up
+        let _ = writeln!(out, "# TYPE un_events_dropped_total counter");
+        let _ = writeln!(
+            out,
+            "un_events_dropped_total {}",
+            self.obs.events().dropped()
+        );
+
         // -- hot-path histograms + span durations from the registry
         self.obs.registry().render_prometheus(&mut out);
         out
@@ -3495,9 +3769,36 @@ impl Domain {
     /// The recent-event ring as a JSON document (for `GET
     /// /domain/events`).
     pub fn events_doc(&self) -> un_nffg::Json {
+        self.events_doc_filtered(None, None, None)
+    }
+
+    /// [`Domain::events_doc`] with the `GET /domain/events` query
+    /// filters applied: `since` keeps events strictly newer than the
+    /// given epoch offset (ns), `kind` keeps one event kind
+    /// (`"event"` / `"span"`), and `limit` bounds the page to the
+    /// **newest** N matches. The `matched` field counts matches before
+    /// pagination so a client can tell a short tail from a short ring.
+    pub fn events_doc_filtered(
+        &self,
+        since: Option<u64>,
+        kind: Option<&str>,
+        limit: Option<usize>,
+    ) -> un_nffg::Json {
         use un_nffg::Json;
-        let events: Vec<Json> = self
+        let mut matching: Vec<un_obs::Event> = self
             .recent_events()
+            .into_iter()
+            .filter(|ev| since.is_none_or(|s| ev.at_ns > s))
+            .filter(|ev| kind.is_none_or(|k| ev.kind == k))
+            .collect();
+        let matched = matching.len();
+        if let Some(n) = limit {
+            // Newest N: the ring is oldest-first, so trim the front.
+            if matching.len() > n {
+                matching.drain(..matching.len() - n);
+            }
+        }
+        let events: Vec<Json> = matching
             .into_iter()
             .map(|ev| {
                 let mut attrs = Json::obj();
@@ -3524,7 +3825,42 @@ impl Domain {
         un_nffg::Json::obj()
             .set("enabled", self.obs.is_enabled())
             .set("dropped", self.obs.events().dropped())
+            .set("matched", matched as u64)
             .set("events", events)
+    }
+
+    /// The flight recorder's recent-trace ring as a JSON document (for
+    /// `GET /domain/traces`): per trace the origin, hop count, drop
+    /// reasons and the rendered walk.
+    pub fn traces_doc(&self) -> un_nffg::Json {
+        use un_nffg::Json;
+        let traces: Vec<Json> = self
+            .recent_traces()
+            .into_iter()
+            .map(|t| Self::trace_doc(&t))
+            .collect();
+        Json::obj()
+            .set("capacity", un_obs::DEFAULT_TRACE_CAPACITY as u64)
+            .set("traces", traces)
+    }
+
+    /// One packet trace as a JSON document (shared by `POST
+    /// /domain/trace` and `GET /domain/traces`).
+    pub fn trace_doc(trace: &PacketTrace) -> un_nffg::Json {
+        use un_nffg::Json;
+        let drops: Vec<Json> = trace
+            .drops()
+            .into_iter()
+            .map(|r| Json::from(r.as_str()))
+            .collect();
+        Json::obj()
+            .set("origin-node", trace.origin_node.clone())
+            .set("origin-port", trace.origin_port.clone())
+            .set("ghost", trace.ghost)
+            .set("hops", trace.hops.len() as u64)
+            .set("egress", trace.egress_count() as u64)
+            .set("drops", drops)
+            .set("rendered", trace.render())
     }
 
     /// The pinned fabric path of one overlay link (`[from, …, to]`).

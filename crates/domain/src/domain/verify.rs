@@ -284,6 +284,9 @@ impl Domain {
                 if let Some(n) = &v.node {
                     doc = doc.set("node", n.clone());
                 }
+                if let Some(w) = &v.witness {
+                    doc = doc.set("witness", crate::domain::Domain::trace_doc(w));
+                }
                 doc.set("detail", v.detail.clone())
             })
             .collect();

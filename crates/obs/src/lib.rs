@@ -12,6 +12,9 @@
 //!   lock. Renders Prometheus text exposition format.
 //! * [`EventRing`] — bounded ring of recent control-plane spans/events
 //!   with typed attributes and monotonic-clock durations.
+//! * [`TraceSink`] / [`PacketTrace`] — the per-frame flight recorder:
+//!   hop-by-hop records (classifier provenance, NF delivery, overlay
+//!   crossings, typed [`DropReason`]s) that render as a readable walk.
 //! * [`Obs`] — the per-domain facade. When observability is disabled the
 //!   facade is inert: instrumentation sites check one boolean (or skip the
 //!   `Option<Arc<Obs>>` entirely) and touch nothing else.
@@ -19,12 +22,17 @@
 #![forbid(unsafe_code)]
 #![deny(warnings)]
 
+mod flight;
 mod metrics;
 mod trace;
 
+pub use flight::{
+    ClassifierStage, DropReason, HopKind, HopRecord, PacketTrace, TraceRing, TraceSink,
+    DEFAULT_TRACE_CAPACITY,
+};
 pub use metrics::{
     escape_label, fmt_labels, Counter, Gauge, Histogram, HistogramSnapshot, Labels, Registry,
-    SHARDS,
+    QUANTILES, SHARDS,
 };
 pub use trace::{AttrValue, Event, EventRing};
 

@@ -178,6 +178,49 @@ pub struct HistogramSnapshot {
     pub count: u64,
 }
 
+/// The quantiles exported per histogram in the Prometheus exposition.
+pub const QUANTILES: [f64; 3] = [0.50, 0.95, 0.99];
+
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`0 < q <= 1`) by linear interpolation
+    /// inside the bucket holding the target rank — the standard
+    /// Prometheus `histogram_quantile` scheme. The first bucket
+    /// interpolates from 0; the +Inf overflow bucket clamps to the last
+    /// finite bound (there is no upper edge to interpolate toward).
+    /// Returns `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if (cumulative as f64) < rank {
+                continue;
+            }
+            let upper = match self.bounds.get(i) {
+                Some(&b) => b as f64,
+                // +Inf bucket: clamp to the last finite bound.
+                None => return Some(self.bounds.last().copied().unwrap_or(0) as f64),
+            };
+            let lower = if i == 0 {
+                0.0
+            } else {
+                self.bounds[i - 1] as f64
+            };
+            let below = cumulative - n;
+            let within = if *n == 0 {
+                1.0
+            } else {
+                (rank - below as f64) / *n as f64
+            };
+            return Some(lower + (upper - lower) * within.clamp(0.0, 1.0));
+        }
+        Some(self.bounds.last().copied().unwrap_or(0) as f64)
+    }
+}
+
 /// Named metrics, keyed by `(name, labels)`. Registration is get-or-create
 /// behind an `RwLock`; hot paths hold the returned `Arc` handle so steady
 /// state never takes the lock.
@@ -290,6 +333,7 @@ impl Registry {
                 Metric::Histogram(h) => {
                     if fresh {
                         let _ = writeln!(out, "# TYPE {name} histogram");
+                        let _ = writeln!(out, "# TYPE {name}_q gauge");
                     }
                     let buckets = h.bucket_counts();
                     let mut cumulative = 0u64;
@@ -315,6 +359,26 @@ impl Registry {
                         fmt_labels(labels, &[]),
                         cumulative
                     );
+                    // Bucket-interpolated quantile estimates, as a
+                    // sibling gauge family with a `quantile` label.
+                    let snap = HistogramSnapshot {
+                        name: name.clone(),
+                        labels: labels.clone(),
+                        bounds: h.bounds().to_vec(),
+                        buckets,
+                        sum: h.sum(),
+                        count: cumulative,
+                    };
+                    for q in QUANTILES {
+                        if let Some(v) = snap.quantile(q) {
+                            let _ = writeln!(
+                                out,
+                                "{}_q{} {v}",
+                                name,
+                                fmt_labels(labels, &[("quantile", &format!("{q}"))]),
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -435,6 +499,72 @@ mod tests {
         assert!(text.contains("c_ns_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("c_ns_sum 1100"));
         assert!(text.contains("c_ns_count 3"));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let h = Histogram::new(&[100, 200, 400]);
+        for _ in 0..50 {
+            h.record(50); // first bucket
+        }
+        for _ in 0..50 {
+            h.record(150); // second bucket
+        }
+        let snap = HistogramSnapshot {
+            name: "x".into(),
+            labels: vec![],
+            bounds: h.bounds().to_vec(),
+            buckets: h.bucket_counts(),
+            sum: h.sum(),
+            count: h.count(),
+        };
+        // p50 sits exactly at the first bucket's upper edge.
+        assert_eq!(snap.quantile(0.5), Some(100.0));
+        // p75 is halfway through the second bucket: 100 + 0.5*(200-100).
+        assert_eq!(snap.quantile(0.75), Some(150.0));
+        // p100 clamps to the highest populated bound region.
+        assert_eq!(snap.quantile(1.0), Some(200.0));
+        // Empty histogram has no quantiles.
+        let empty = HistogramSnapshot {
+            buckets: vec![0, 0, 0, 0],
+            count: 0,
+            ..snap
+        };
+        assert_eq!(empty.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_clamps_to_last_bound() {
+        let h = Histogram::new(&[10, 20]);
+        h.record(5000);
+        h.record(9000);
+        let snap = HistogramSnapshot {
+            name: "x".into(),
+            labels: vec![],
+            bounds: h.bounds().to_vec(),
+            buckets: h.bucket_counts(),
+            sum: h.sum(),
+            count: h.count(),
+        };
+        assert_eq!(snap.quantile(0.99), Some(20.0));
+    }
+
+    #[test]
+    fn rendered_exposition_includes_quantile_gauges() {
+        let r = Registry::default();
+        let h = r.histogram("c_ns", &[("node", "n1")], &[100, 200]);
+        for _ in 0..10 {
+            h.record(50);
+        }
+        let mut text = String::new();
+        r.render_prometheus(&mut text);
+        assert!(text.contains("# TYPE c_ns_q gauge"), "{text}");
+        assert!(
+            text.contains("c_ns_q{node=\"n1\",quantile=\"0.5\"} "),
+            "{text}"
+        );
+        assert!(text.contains("quantile=\"0.95\""), "{text}");
+        assert!(text.contains("quantile=\"0.99\""), "{text}");
     }
 
     #[test]

@@ -16,8 +16,10 @@
 //! | PUT    | `/domain/nffg/<id>`         | deploy or update a graph           |
 //! | DELETE | `/domain/nffg/<id>`         | undeploy everywhere                |
 //! | GET    | `/metrics`                  | Prometheus text exposition (fleet metrics) |
-//! | GET    | `/domain/events`            | recent control-plane events (JSON ring) |
+//! | GET    | `/domain/events`            | recent control-plane events (JSON ring; `?since=&kind=&limit=`) |
 //! | GET    | `/domain/verify`            | static network-state verification report |
+//! | POST   | `/domain/trace`             | ghost-walk a synthetic frame, return its hop-by-hop trace |
+//! | GET    | `/domain/traces`            | ring of recent real traces ([`Domain::inject_traced`]) |
 //!
 //! The fail response carries the per-graph [`un_domain::RepairOutcome`]
 //! (`repairs`: NFs moved/preserved, links rewired/kept, nodes touched,
@@ -34,7 +36,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use un_domain::{Domain, NodeHealth, ReplacementReport};
+use un_domain::{Domain, NodeHealth, ProbeSpec, ReplacementReport};
 use un_nffg::Json;
 
 use crate::http::{read_request, write_response, Request, Response, StatusCode};
@@ -109,11 +111,99 @@ fn repair_report_json(name: &str, report: &ReplacementReport) -> String {
 /// Handle one request against the domain (pure function; used directly
 /// by unit tests and by the TCP server loop).
 pub fn handle_cluster(domain: &DomainHandle, req: &Request) -> Response {
-    let segments: Vec<&str> = req.path.trim_matches('/').split('/').collect();
+    let (path, query) = crate::http::split_query(&req.path);
+    let segments: Vec<&str> = path.trim_matches('/').split('/').collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["metrics"]) => Response::text(StatusCode::Ok, domain.lock().metrics_prometheus()),
         ("GET", ["domain", "events"]) => {
-            Response::json(StatusCode::Ok, domain.lock().events_doc().render())
+            let mut since = None;
+            let mut kind = None;
+            let mut limit = None;
+            for (k, v) in &query {
+                match *k {
+                    "since" => match v.parse::<u64>() {
+                        Ok(n) => since = Some(n),
+                        Err(_) => {
+                            return Response::error(
+                                StatusCode::BadRequest,
+                                &format!("bad 'since' value '{v}' (want ns offset)"),
+                            )
+                        }
+                    },
+                    "kind" => kind = Some(*v),
+                    "limit" => match v.parse::<usize>() {
+                        Ok(n) => limit = Some(n),
+                        Err(_) => {
+                            return Response::error(
+                                StatusCode::BadRequest,
+                                &format!("bad 'limit' value '{v}' (want a count)"),
+                            )
+                        }
+                    },
+                    other => {
+                        return Response::error(
+                            StatusCode::BadRequest,
+                            &format!("unknown query parameter '{other}'"),
+                        )
+                    }
+                }
+            }
+            Response::json(
+                StatusCode::Ok,
+                domain
+                    .lock()
+                    .events_doc_filtered(since, kind, limit)
+                    .render(),
+            )
+        }
+        ("GET", ["domain", "traces"]) => {
+            Response::json(StatusCode::Ok, domain.lock().traces_doc().render())
+        }
+        ("POST", ["domain", "trace"]) => {
+            let body = String::from_utf8_lossy(&req.body);
+            let doc = match un_nffg::jsonval::parse(&body) {
+                Ok(doc) => doc,
+                Err(e) => {
+                    return Response::error(StatusCode::BadRequest, &format!("bad probe spec: {e}"))
+                }
+            };
+            let (node, port) = match (doc.req_str("node"), doc.req_str("port")) {
+                (Ok(n), Ok(p)) => (n, p),
+                _ => {
+                    return Response::error(
+                        StatusCode::BadRequest,
+                        "probe spec needs 'node' and 'port'",
+                    )
+                }
+            };
+            let mut spec = ProbeSpec::default();
+            if let Some(n) = doc.get("payload-len").and_then(Json::as_u64) {
+                spec.payload_len = n as usize;
+            }
+            if let Some(n) = doc.get("src-port").and_then(Json::as_u64) {
+                spec.src_port = n as u16;
+            }
+            if let Some(n) = doc.get("dst-port").and_then(Json::as_u64) {
+                spec.dst_port = n as u16;
+            }
+            if let Some(n) = doc.get("vlan").and_then(Json::as_u64) {
+                spec.vlan = Some(n as u16);
+            }
+            for (key, slot) in [("src-ip", &mut spec.src_ip), ("dst-ip", &mut spec.dst_ip)] {
+                if let Some(s) = doc.get(key).and_then(Json::as_str) {
+                    match s.parse() {
+                        Ok(ip) => *slot = ip,
+                        Err(_) => {
+                            return Response::error(
+                                StatusCode::BadRequest,
+                                &format!("bad '{key}' value '{s}'"),
+                            )
+                        }
+                    }
+                }
+            }
+            let trace = domain.lock().trace_probe(&node, &port, &spec);
+            Response::json(StatusCode::Ok, Domain::trace_doc(&trace).render())
         }
         ("GET", ["domain", "verify"]) => {
             Response::json(StatusCode::Ok, domain.lock().verify_doc().render())
@@ -489,6 +579,156 @@ mod tests {
         assert!(r.body.contains("domain.plan"), "{}", r.body);
         assert!(r.body.contains("domain.node.failed"), "{}", r.body);
         assert!(r.body.contains("domain.repair"), "{}", r.body);
+    }
+
+    #[test]
+    fn cluster_events_filters_and_pagination() {
+        use un_domain::DomainConfig;
+        let mut d = Domain::new(DomainConfig {
+            observability: true,
+            ..DomainConfig::default()
+        });
+        let mut n1 = UniversalNode::new("n1", mb(2048));
+        n1.add_physical_port("eth0");
+        n1.add_physical_port("eth1");
+        d.add_node(n1);
+        let d: DomainHandle = Arc::new(Mutex::new(d));
+        let r = handle_cluster(&d, &req("PUT", "/domain/nffg/g1", &chain_json("g1")));
+        assert_eq!(r.status, StatusCode::Created, "{}", r.body);
+
+        // Unfiltered: plan + deploy spans are in the ring.
+        let r = handle_cluster(&d, &req("GET", "/domain/events", ""));
+        assert!(r.body.contains("domain.plan"), "{}", r.body);
+        let all = un_nffg::jsonval::parse(&r.body).unwrap();
+        let total = all.req_u64("matched").unwrap();
+        assert!(total >= 2, "{}", r.body);
+
+        // kind filter keeps only spans; a bogus kind matches nothing.
+        let r = handle_cluster(&d, &req("GET", "/domain/events?kind=span", ""));
+        let doc = un_nffg::jsonval::parse(&r.body).unwrap();
+        assert!(doc.req_u64("matched").unwrap() >= 1, "{}", r.body);
+        let r = handle_cluster(&d, &req("GET", "/domain/events?kind=nope", ""));
+        let doc = un_nffg::jsonval::parse(&r.body).unwrap();
+        assert_eq!(doc.req_u64("matched").unwrap(), 0, "{}", r.body);
+        assert!(r.body.contains("\"events\":[]"), "{}", r.body);
+
+        // limit pages down to the newest N but reports the full match
+        // count; since drops everything at/before the given offset.
+        let r = handle_cluster(&d, &req("GET", "/domain/events?limit=1", ""));
+        let doc = un_nffg::jsonval::parse(&r.body).unwrap();
+        assert_eq!(doc.req_u64("matched").unwrap(), total, "{}", r.body);
+        let Some(Json::Arr(events)) = doc.get("events") else {
+            panic!("no events array: {}", r.body);
+        };
+        assert_eq!(events.len(), 1, "{}", r.body);
+        let r = handle_cluster(
+            &d,
+            &req("GET", "/domain/events?since=18446744073709551614", ""),
+        );
+        let doc = un_nffg::jsonval::parse(&r.body).unwrap();
+        assert_eq!(doc.req_u64("matched").unwrap(), 0, "{}", r.body);
+
+        // Bad parameter values are a 400, not a silent full listing.
+        for bad in [
+            "/domain/events?since=soon",
+            "/domain/events?limit=-1",
+            "/domain/events?color=red",
+        ] {
+            let r = handle_cluster(&d, &req("GET", bad, ""));
+            assert_eq!(r.status, StatusCode::BadRequest, "{bad}: {}", r.body);
+        }
+
+        // The event-ring overflow counter is exported.
+        let r = handle_cluster(&d, &req("GET", "/metrics", ""));
+        assert!(
+            r.body.contains("# TYPE un_events_dropped_total counter"),
+            "{}",
+            r.body
+        );
+        assert!(r.body.contains("\nun_events_dropped_total "), "{}", r.body);
+    }
+
+    #[test]
+    fn cluster_trace_endpoints() {
+        let d = domain_handle();
+        d.lock().node_mut("n1").unwrap().add_physical_port("eth1");
+        {
+            let mut domain = d.lock();
+            let g = un_nffg::from_json(&chain_json("g1")).unwrap();
+            let hints = DeployHints {
+                nf_node: [
+                    ("br1".to_string(), "n1".to_string()),
+                    ("br2".to_string(), "n2".to_string()),
+                ]
+                .into(),
+                ..DeployHints::default()
+            };
+            domain.deploy_with(&g, &hints).unwrap();
+        }
+
+        // Ghost probe: full walk, counters untouched.
+        let before = d.lock().conservation_report();
+        let r = handle_cluster(
+            &d,
+            &req(
+                "POST",
+                "/domain/trace",
+                "{\"node\":\"n1\",\"port\":\"eth0\"}",
+            ),
+        );
+        assert_eq!(r.status, StatusCode::Ok, "{}", r.body);
+        let doc = un_nffg::jsonval::parse(&r.body).unwrap();
+        assert_eq!(doc.get("ghost"), Some(&Json::Bool(true)), "{}", r.body);
+        assert!(doc.req_u64("hops").unwrap() >= 3, "{}", r.body);
+        let rendered = doc.get("rendered").unwrap().as_str().unwrap();
+        assert!(rendered.contains("ingress"), "{rendered}");
+        assert!(rendered.contains("classify"), "{rendered}");
+        assert!(rendered.contains("overlay"), "{rendered}");
+        let after = d.lock().conservation_report();
+        assert_eq!(before.ingress, after.ingress, "ghost moved the ledger");
+        assert_eq!(before.egress, after.egress, "ghost moved the ledger");
+
+        // Ghost probes never land in the ring; a traced inject does.
+        let r = handle_cluster(&d, &req("GET", "/domain/traces", ""));
+        assert!(r.body.contains("\"traces\":[]"), "{}", r.body);
+        {
+            use un_packet::ethernet::MacAddr;
+            use un_packet::PacketBuilder;
+            let pkt = PacketBuilder::new()
+                .ethernet(MacAddr::local(1), MacAddr::local(2))
+                .ipv4(
+                    std::net::Ipv4Addr::new(10, 0, 0, 1),
+                    std::net::Ipv4Addr::new(192, 0, 2, 9),
+                )
+                .udp(5000, 5001)
+                .payload(&[0xAB; 64])
+                .build();
+            d.lock().inject_traced("n1", "eth0", pkt, 1);
+        }
+        let r = handle_cluster(&d, &req("GET", "/domain/traces", ""));
+        assert!(r.body.contains("\"ghost\":false"), "{}", r.body);
+        assert!(r.body.contains("\"origin-node\":\"n1\""), "{}", r.body);
+
+        // Bad probe specs are rejected.
+        for bad in [
+            "not json",
+            "{\"node\":\"n1\"}",
+            "{\"node\":\"n1\",\"port\":\"eth0\",\"src-ip\":\"home\"}",
+        ] {
+            let r = handle_cluster(&d, &req("POST", "/domain/trace", bad));
+            assert_eq!(r.status, StatusCode::BadRequest, "{bad}: {}", r.body);
+        }
+        // Probing an unknown node is a clean drop trace, not an error.
+        let r = handle_cluster(
+            &d,
+            &req(
+                "POST",
+                "/domain/trace",
+                "{\"node\":\"ghost\",\"port\":\"eth0\"}",
+            ),
+        );
+        assert_eq!(r.status, StatusCode::Ok, "{}", r.body);
+        assert!(r.body.contains("inject_unknown_node"), "{}", r.body);
     }
 
     #[test]

@@ -7,7 +7,8 @@ use std::io::{BufRead, BufReader, Read, Write};
 pub struct Request {
     /// Method (uppercased).
     pub method: String,
-    /// Path (no query parsing; the API doesn't need it).
+    /// Path, possibly carrying a raw query string (handlers split it
+    /// off with [`split_query`]).
     pub path: String,
     /// Body bytes (Content-Length respected).
     pub body: Vec<u8>,
@@ -85,6 +86,24 @@ impl Response {
     }
 }
 
+/// Split a request path into its route part and query parameters:
+/// `/a/b?x=1&y=2` → (`/a/b`, `[("x","1"), ("y","2")]`). Pairs keep
+/// request order; a key without `=` maps to an empty value. No
+/// percent-decoding — the API's parameter values never need it.
+pub fn split_query(path: &str) -> (&str, Vec<(&str, &str)>) {
+    match path.split_once('?') {
+        None => (path, Vec::new()),
+        Some((route, query)) => (
+            route,
+            query
+                .split('&')
+                .filter(|kv| !kv.is_empty())
+                .map(|kv| kv.split_once('=').unwrap_or((kv, "")))
+                .collect(),
+        ),
+    }
+}
+
 /// Parse one request from a stream. Returns `None` on EOF/garbage.
 pub fn read_request<R: Read>(stream: R) -> Option<Request> {
     let mut reader = BufReader::new(stream);
@@ -152,6 +171,20 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/node");
         assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn splits_query_strings() {
+        assert_eq!(split_query("/domain/events"), ("/domain/events", vec![]));
+        assert_eq!(
+            split_query("/domain/events?since=9&kind=span&limit=2"),
+            (
+                "/domain/events",
+                vec![("since", "9"), ("kind", "span"), ("limit", "2")]
+            )
+        );
+        assert_eq!(split_query("/x?flag"), ("/x", vec![("flag", "")]));
+        assert_eq!(split_query("/x?"), ("/x", vec![]));
     }
 
     #[test]

@@ -37,5 +37,7 @@ pub mod table;
 pub use controller::{Controller, ControllerCmd, LearningController};
 pub use flow::{FlowAction, FlowEntry, FlowMatch, VlanSpec};
 pub use key::PacketKey;
-pub use lsi::{Backend, LogicalSwitch, PortNo, SwitchStats};
-pub use table::{ClassifierMode, FlowTable, LookupPath, TableStats};
+pub use lsi::{
+    Backend, LogicalSwitch, PipelineStep, PortNo, ProcessOptions, ProcessResult, SwitchStats,
+};
+pub use table::{ClassifierMode, FlowTable, LookupHit, LookupPath, TableStats};

@@ -13,7 +13,7 @@ use un_sim::{Cost, CostModel};
 
 use crate::flow::{FlowAction, FlowEntry};
 use crate::key::PacketKey;
-use crate::table::{ClassifierMode, FlowTable, LookupPath, TableStats};
+use crate::table::{ClassifierMode, FlowTable, LookupHit, LookupPath, TableStats};
 
 /// A switch port number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -71,6 +71,35 @@ pub struct ProcessResult {
     pub punted: Option<Packet>,
     /// Virtual time charged.
     pub cost: Cost,
+    /// Per-table classification provenance, in pipeline order. Empty
+    /// unless [`ProcessOptions::record`] asked for it — the normal hot
+    /// path allocates nothing here.
+    pub steps: Vec<PipelineStep>,
+}
+
+/// How one pipeline table resolved the packet (flight-recorder
+/// provenance). A `hit` of `None` is a table miss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineStep {
+    /// Pipeline table index.
+    pub table: u8,
+    /// The winning rule's provenance (stage, cookie, priority), or
+    /// `None` when no rule matched.
+    pub hit: Option<LookupHit>,
+    /// Output copies this table's actions produced.
+    pub outputs: u32,
+}
+
+/// Knobs for [`LogicalSwitch::process_opts`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProcessOptions {
+    /// Ghost walk: take every decision the real pipeline would, but
+    /// move *no* counter — port/switch stats, flow-entry packet/byte
+    /// counts, classifier stats and the microflow cache all stay
+    /// untouched.
+    pub ghost: bool,
+    /// Record one [`PipelineStep`] per table visited.
+    pub record: bool,
 }
 
 /// Errors from control-plane operations on an LSI.
@@ -224,26 +253,41 @@ impl LogicalSwitch {
     /// Returns the emitted packets, any controller punt, and the virtual
     /// time charged. Unknown ingress port or a table miss counts as a
     /// drop (per OpenFlow default table-miss behaviour).
-    pub fn process(
+    pub fn process(&mut self, in_port: PortNo, pkt: Packet, costs: &CostModel) -> ProcessResult {
+        self.process_opts(in_port, pkt, costs, ProcessOptions::default())
+    }
+
+    /// [`LogicalSwitch::process`] with flight-recorder knobs: `ghost`
+    /// leaves every counter untouched, `record` captures one
+    /// [`PipelineStep`] per table visited.
+    pub fn process_opts(
         &mut self,
         in_port: PortNo,
         mut pkt: Packet,
         costs: &CostModel,
+        opts: ProcessOptions,
     ) -> ProcessResult {
+        let ghost = opts.ghost;
         let mut cost = Cost::ZERO;
         let len = pkt.len();
+        let mut steps: Vec<PipelineStep> = Vec::new();
 
         let Some(pinfo) = self.ports.get_mut(&in_port) else {
-            self.stats.dropped += 1;
+            if !ghost {
+                self.stats.dropped += 1;
+            }
             return ProcessResult {
                 outputs: Vec::new(),
                 punted: None,
                 cost,
+                steps,
             };
         };
-        pinfo.rx_packets += 1;
-        pinfo.rx_bytes += len as u64;
-        self.stats.rx_packets += 1;
+        if !ghost {
+            pinfo.rx_packets += 1;
+            pinfo.rx_bytes += len as u64;
+            self.stats.rx_packets += 1;
+        }
 
         let mut outputs: Vec<(PortNo, Packet)> = Vec::new();
         let mut punted: Option<Packet> = None;
@@ -255,7 +299,25 @@ impl LogicalSwitch {
             let Some(table) = self.tables.get_mut(table_idx as usize) else {
                 break;
             };
-            let Some((actions, path)) = table.lookup(&key, len) else {
+            let hit = if ghost {
+                table.lookup_ghost(&key)
+            } else {
+                table.lookup(&key, len)
+            };
+            let Some(LookupHit {
+                actions,
+                path,
+                cookie,
+                priority,
+            }) = hit
+            else {
+                if opts.record {
+                    steps.push(PipelineStep {
+                        table: table_idx,
+                        hit: None,
+                        outputs: 0,
+                    });
+                }
                 break; // table miss
             };
             matched_any = true;
@@ -266,17 +328,20 @@ impl LogicalSwitch {
                 LookupPath::Miss => Cost::from_nanos(costs.flow_lookup_ns),
             };
 
+            let outputs_before = outputs.len();
             let mut goto: Option<u8> = None;
-            for action in actions {
+            for action in &actions {
                 cost += Cost::from_nanos(costs.flow_action_ns);
-                match action {
+                match *action {
                     FlowAction::Output(out) => {
                         if let Some(op) = self.ports.get_mut(&out) {
-                            op.tx_packets += 1;
-                            op.tx_bytes += pkt.len() as u64;
-                            self.stats.tx_packets += 1;
+                            if !ghost {
+                                op.tx_packets += 1;
+                                op.tx_bytes += pkt.len() as u64;
+                                self.stats.tx_packets += 1;
+                            }
                             outputs.push((out, pkt.clone()));
-                        } else {
+                        } else if !ghost {
                             self.stats.dropped += 1;
                         }
                     }
@@ -288,16 +353,20 @@ impl LogicalSwitch {
                             .filter(|p| *p != in_port)
                             .collect();
                         for out in targets {
-                            if let Some(op) = self.ports.get_mut(&out) {
-                                op.tx_packets += 1;
-                                op.tx_bytes += pkt.len() as u64;
+                            if !ghost {
+                                if let Some(op) = self.ports.get_mut(&out) {
+                                    op.tx_packets += 1;
+                                    op.tx_bytes += pkt.len() as u64;
+                                }
+                                self.stats.tx_packets += 1;
                             }
-                            self.stats.tx_packets += 1;
                             outputs.push((out, pkt.clone()));
                         }
                     }
                     FlowAction::Controller => {
-                        self.stats.controller_punts += 1;
+                        if !ghost {
+                            self.stats.controller_punts += 1;
+                        }
                         punted = Some(pkt.clone());
                     }
                     FlowAction::PushVlan(vid) => {
@@ -338,13 +407,25 @@ impl LogicalSwitch {
                     }
                 }
             }
+            if opts.record {
+                steps.push(PipelineStep {
+                    table: table_idx,
+                    hit: Some(LookupHit {
+                        actions,
+                        path,
+                        cookie,
+                        priority,
+                    }),
+                    outputs: (outputs.len() - outputs_before) as u32,
+                });
+            }
             match goto {
                 Some(t) => table_idx = t,
                 None => break 'pipeline,
             }
         }
 
-        if !matched_any || (outputs.is_empty() && punted.is_none()) {
+        if !ghost && (!matched_any || (outputs.is_empty() && punted.is_none())) {
             self.stats.dropped += 1;
         }
 
@@ -352,6 +433,7 @@ impl LogicalSwitch {
             outputs,
             punted,
             cost,
+            steps,
         }
     }
 }

@@ -56,6 +56,23 @@ pub enum LookupPath {
     Miss,
 }
 
+/// A successful lookup: the matched entry's actions plus provenance —
+/// which classifier stage answered and which rule (cookie, priority)
+/// won. The provenance feeds the flight recorder and costs nothing
+/// extra: both fields are copied out of the entry the lookup already
+/// touched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupHit {
+    /// Clone of the matched entry's actions (cheap: small vectors).
+    pub actions: Vec<crate::flow::FlowAction>,
+    /// Which classifier stage resolved the lookup.
+    pub path: LookupPath,
+    /// The matched rule's cookie (the orchestrator's rule-id hash).
+    pub cookie: u64,
+    /// The matched rule's priority.
+    pub priority: u16,
+}
+
 /// Which classifier pipeline a table runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ClassifierMode {
@@ -638,8 +655,9 @@ impl FlowTable {
     }
 
     /// Find the winning entry index for `key` via the indexed
-    /// classifier, or `None` on table miss.
-    fn classify(&mut self, key: &PacketKey) -> Option<(usize, LookupPath)> {
+    /// classifier, or `None` on table miss. `quiet` suppresses the
+    /// probe-effort counter (ghost walks must not move it).
+    fn classify(&mut self, key: &PacketKey, quiet: bool) -> Option<(usize, LookupPath)> {
         self.ensure_index();
         // Candidates are indices into the sorted entry vector, so the
         // smallest index is the best (priority desc, insertion asc).
@@ -652,7 +670,9 @@ impl FlowTable {
             }
         }
         let exact_best = best;
-        self.megaflow_probes += self.mega.len() as u64;
+        if !quiet {
+            self.megaflow_probes += self.mega.len() as u64;
+        }
         for mega in &self.mega {
             if let Some(&i) = mega.map.get(&project_mega(key, &mega.mask)) {
                 if best.is_none_or(|b| i < b) {
@@ -670,13 +690,9 @@ impl FlowTable {
     }
 
     /// Look up the best entry for `key`, updating its counters by
-    /// `bytes`. Returns a clone of the matched actions (cheap: small
-    /// vectors) plus the path taken, or `None` on table miss.
-    pub fn lookup(
-        &mut self,
-        key: &PacketKey,
-        bytes: usize,
-    ) -> Option<(Vec<crate::flow::FlowAction>, LookupPath)> {
+    /// `bytes`. Returns the matched actions plus provenance (stage,
+    /// cookie, priority), or `None` on table miss.
+    pub fn lookup(&mut self, key: &PacketKey, bytes: usize) -> Option<LookupHit> {
         if self.mode == ClassifierMode::Linear {
             // Baseline scan: no cache, no index, and no fast-path
             // counter updates — the stats describe the indexed pipeline
@@ -685,7 +701,7 @@ impl FlowTable {
             let entry = &mut self.entries[idx];
             entry.packet_count += 1;
             entry.byte_count += bytes as u64;
-            return Some((entry.actions.clone(), LookupPath::Miss));
+            return Some(Self::hit(entry, LookupPath::Miss));
         }
         if let Some(&(gen, idx)) = self.cache.get(key) {
             if gen == self.next_seq {
@@ -695,11 +711,11 @@ impl FlowTable {
                 self.cache_hits += 1;
                 entry.packet_count += 1;
                 entry.byte_count += bytes as u64;
-                return Some((entry.actions.clone(), LookupPath::CacheHit));
+                return Some(Self::hit(entry, LookupPath::CacheHit));
             }
         }
         self.cache_misses += 1;
-        let Some((idx, path)) = self.classify(key) else {
+        let Some((idx, path)) = self.classify(key, false) else {
             self.misses += 1;
             return None;
         };
@@ -711,12 +727,40 @@ impl FlowTable {
         let entry = &mut self.entries[idx];
         entry.packet_count += 1;
         entry.byte_count += bytes as u64;
-        let actions = entry.actions.clone();
+        let result = Self::hit(entry, path);
         if self.cache.len() >= CACHE_CAP {
             self.cache.clear();
         }
         self.cache.insert(*key, (self.next_seq, idx));
-        Some((actions, path))
+        Some(result)
+    }
+
+    /// Ghost lookup: the same decision [`FlowTable::lookup`] would
+    /// take, with *zero* observable side effects — no stats, no entry
+    /// packet/byte counters, no microflow-cache insertion, no probe
+    /// effort accounting. (`&mut` only because a stale exact-match
+    /// index may need rebuilding, which is semantically invisible.)
+    pub fn lookup_ghost(&mut self, key: &PacketKey) -> Option<LookupHit> {
+        if self.mode == ClassifierMode::Linear {
+            let idx = self.entries.iter().position(|e| e.matches.matches(key))?;
+            return Some(Self::hit(&self.entries[idx], LookupPath::Miss));
+        }
+        if let Some(&(gen, idx)) = self.cache.get(key) {
+            if gen == self.next_seq {
+                return Some(Self::hit(&self.entries[idx], LookupPath::CacheHit));
+            }
+        }
+        let (idx, path) = self.classify(key, true)?;
+        Some(Self::hit(&self.entries[idx], path))
+    }
+
+    fn hit(entry: &FlowEntry, path: LookupPath) -> LookupHit {
+        LookupHit {
+            actions: entry.actions.clone(),
+            path,
+            cookie: entry.cookie,
+            priority: entry.priority,
+        }
     }
 
     /// Find entries matching a predicate over (priority, match).
@@ -774,9 +818,9 @@ mod tests {
         let mut t = FlowTable::new();
         t.insert(entry(1, None, 99)); // default
         t.insert(entry(10, Some(1), 2));
-        let (actions, _) = t.lookup(&key(1), 100).unwrap();
+        let LookupHit { actions, .. } = t.lookup(&key(1), 100).unwrap();
         assert_eq!(actions, vec![FlowAction::Output(PortNo(2))]);
-        let (actions, _) = t.lookup(&key(5), 100).unwrap();
+        let LookupHit { actions, .. } = t.lookup(&key(5), 100).unwrap();
         assert_eq!(actions, vec![FlowAction::Output(PortNo(99))]);
     }
 
@@ -785,7 +829,7 @@ mod tests {
         let mut t = FlowTable::new();
         t.insert(entry(5, Some(1), 10));
         t.insert(entry(5, Some(1), 20));
-        let (actions, _) = t.lookup(&key(1), 1).unwrap();
+        let LookupHit { actions, .. } = t.lookup(&key(1), 1).unwrap();
         assert_eq!(actions, vec![FlowAction::Output(PortNo(10))]);
     }
 
@@ -793,15 +837,15 @@ mod tests {
     fn cache_hit_after_miss_and_invalidation() {
         let mut t = FlowTable::new();
         t.insert(entry(1, Some(1), 2));
-        let (_, path) = t.lookup(&key(1), 1).unwrap();
+        let LookupHit { path, .. } = t.lookup(&key(1), 1).unwrap();
         assert_eq!(path, LookupPath::ExactHit, "in-port match is exact-shaped");
-        let (_, path) = t.lookup(&key(1), 1).unwrap();
+        let LookupHit { path, .. } = t.lookup(&key(1), 1).unwrap();
         assert_eq!(path, LookupPath::CacheHit);
         assert_eq!(t.cache_hits, 1);
 
         // Any modification invalidates (via the generation stamp).
         t.insert(entry(9, Some(1), 3));
-        let (actions, path) = t.lookup(&key(1), 1).unwrap();
+        let LookupHit { actions, path, .. } = t.lookup(&key(1), 1).unwrap();
         assert_ne!(path, LookupPath::CacheHit);
         assert_eq!(actions, vec![FlowAction::Output(PortNo(3))]);
     }
@@ -813,12 +857,12 @@ mod tests {
         t.insert(FlowEntry::new(3, m, vec![FlowAction::Output(PortNo(7))]));
         let mut k = key(1);
         k.ip_dst = Some("10.1.2.3".parse().unwrap());
-        let (_, path) = t.lookup(&k, 1).unwrap();
+        let LookupHit { path, .. } = t.lookup(&k, 1).unwrap();
         assert_eq!(path, LookupPath::MegaflowHit);
         assert_eq!(t.megaflow_hits, 1);
         assert_eq!(t.wildcard_hits, 0, "no linear fallback anymore");
         // Second lookup of the same key is cached.
-        let (_, path) = t.lookup(&k, 1).unwrap();
+        let LookupHit { path, .. } = t.lookup(&k, 1).unwrap();
         assert_eq!(path, LookupPath::CacheHit);
     }
 
@@ -840,7 +884,7 @@ mod tests {
         for i in 0..32u32 {
             let mut k = key(1);
             k.ip_dst = Some(u32::to_be_bytes(0x0a00_0005 | (i << 8)).into());
-            let (_, path) = t.lookup(&k, 1).unwrap();
+            let LookupHit { path, .. } = t.lookup(&k, 1).unwrap();
             assert_eq!(path, LookupPath::MegaflowHit);
         }
         assert_eq!(
@@ -857,7 +901,7 @@ mod tests {
         t.insert(FlowEntry::new(3, m, vec![FlowAction::Output(PortNo(7))]));
         let mut k = key(1);
         k.vlan = Some(42);
-        let (_, path) = t.lookup(&k, 1).unwrap();
+        let LookupHit { path, .. } = t.lookup(&k, 1).unwrap();
         assert_eq!(path, LookupPath::MegaflowHit);
         // An untagged frame must not match the tagged-any entry.
         assert!(t.lookup(&key(1), 1).is_none());
@@ -887,12 +931,12 @@ mod tests {
         t.insert(entry(5, Some(4), 2));
         let mut k = key(4);
         k.ip_dst = Some("10.9.9.9".parse().unwrap());
-        let (actions, _) = t.lookup(&k, 1).unwrap();
+        let LookupHit { actions, .. } = t.lookup(&k, 1).unwrap();
         assert_eq!(actions, vec![FlowAction::Output(PortNo(1))]);
         // Non-10/8 traffic falls through to the exact entry.
         let mut k2 = key(4);
         k2.ip_dst = Some("172.16.0.1".parse().unwrap());
-        let (actions, path) = t.lookup(&k2, 1).unwrap();
+        let LookupHit { actions, path, .. } = t.lookup(&k2, 1).unwrap();
         assert_eq!(actions, vec![FlowAction::Output(PortNo(2))]);
         assert_eq!(path, LookupPath::ExactHit);
     }
@@ -904,7 +948,7 @@ mod tests {
         t.insert(FlowEntry::new(2, m, vec![FlowAction::Output(PortNo(3))]));
         let mut k = key(1);
         k.ip_dst = Some("10.0.0.9".parse().unwrap());
-        let (_, path) = t.lookup(&k, 1).unwrap();
+        let LookupHit { path, .. } = t.lookup(&k, 1).unwrap();
         assert_eq!(path, LookupPath::ExactHit);
         k.ip_dst = Some("10.0.0.10".parse().unwrap());
         assert!(t.lookup(&k, 1).is_none());
@@ -921,8 +965,8 @@ mod tests {
             t.insert(entry(5, Some(2), 3));
         }
         for port in 0..4 {
-            let ka = a.lookup(&key(port), 1).map(|(acts, _)| acts);
-            let kb = b.lookup(&key(port), 1).map(|(acts, _)| acts);
+            let ka = a.lookup(&key(port), 1).map(|h| h.actions);
+            let kb = b.lookup(&key(port), 1).map(|h| h.actions);
             assert_eq!(ka, kb, "port {port}");
         }
         assert_eq!(
@@ -970,7 +1014,7 @@ mod tests {
         t.lookup(&key(1), 1);
         assert_eq!(t.cache_hits, 1);
         t.remove_by_cookie(0xAA);
-        let (actions, path) = t.lookup(&key(1), 1).unwrap();
+        let LookupHit { actions, path, .. } = t.lookup(&key(1), 1).unwrap();
         assert_ne!(path, LookupPath::CacheHit, "stale decision must not serve");
         assert_eq!(actions, vec![FlowAction::Output(PortNo(99))]);
     }

@@ -5,8 +5,8 @@ use proptest::prelude::*;
 use un_packet::ethernet::MacAddr;
 use un_packet::Ipv4Cidr;
 use un_switch::{
-    ClassifierMode, FlowAction, FlowEntry, FlowMatch, FlowTable, LookupPath, PacketKey, PortNo,
-    TableStats, VlanSpec,
+    ClassifierMode, FlowAction, FlowEntry, FlowMatch, FlowTable, LookupHit, LookupPath, PacketKey,
+    PortNo, TableStats, VlanSpec,
 };
 
 fn key_strategy() -> impl Strategy<Value = PacketKey> {
@@ -124,7 +124,7 @@ proptest! {
         for key in &keys {
             // Look each key up twice: classifier path then cache path.
             for _ in 0..2 {
-                let got = table.lookup(key, 100).map(|(actions, _)| {
+                let got = table.lookup(key, 100).map(|LookupHit { actions, .. }| {
                     match &actions[0] {
                         FlowAction::Output(p) => p.0,
                         other => panic!("unexpected action {other:?}"),
@@ -134,7 +134,7 @@ proptest! {
                 // The linear baseline must agree with the indexed path.
                 let base = linear
                     .lookup(key, 100)
-                    .map(|(actions, _)| match &actions[0] {
+                    .map(|LookupHit { actions, .. }| match &actions[0] {
                         FlowAction::Output(p) => p.0,
                         other => panic!("unexpected action {other:?}"),
                     });
@@ -168,7 +168,7 @@ proptest! {
         for key in &keys {
             for _ in 0..repeats {
                 lookups += 1;
-                if let Some((_, path)) = table.lookup(key, 64) {
+                if let Some(LookupHit { path, .. }) = table.lookup(key, 64) {
                     if path != LookupPath::CacheHit {
                         resolved_misses += 1;
                     }
@@ -250,7 +250,7 @@ fn megaflow_demotion_is_observable_in_stats() {
     ));
 
     // CIDR win: megaflow path.
-    let (actions, path) = t.lookup(&dst_key(9, 1), 64).unwrap();
+    let LookupHit { actions, path, .. } = t.lookup(&dst_key(9, 1), 64).unwrap();
     assert_eq!(actions, vec![FlowAction::Output(PortNo(1))]);
     assert_eq!(path, LookupPath::MegaflowHit);
     assert_eq!(t.stats().megaflow_hits, 1);
@@ -260,7 +260,7 @@ fn megaflow_demotion_is_observable_in_stats() {
     let mut k = dst_key(9, 1);
     k.ip_dst = Some(std::net::Ipv4Addr::new(172, 16, 0, 1));
     k.vlan = Some(7);
-    let (actions, path) = t.lookup(&k, 64).unwrap();
+    let LookupHit { actions, path, .. } = t.lookup(&k, 64).unwrap();
     assert_eq!(actions, vec![FlowAction::Output(PortNo(2))]);
     assert_eq!(path, LookupPath::MegaflowHit);
     assert_eq!(t.stats().megaflow_hits, 2);
@@ -270,7 +270,7 @@ fn megaflow_demotion_is_observable_in_stats() {
     let mut k32 = dst_key(9, 3);
     k32.ip_dst = Some(std::net::Ipv4Addr::new(10, 0, 3, 2));
     // 10.0.3.2 is inside 10.0/16, so the CIDR (priority 5) wins...
-    let (actions, path) = t.lookup(&k32, 64).unwrap();
+    let LookupHit { actions, path, .. } = t.lookup(&k32, 64).unwrap();
     assert_eq!(actions, vec![FlowAction::Output(PortNo(1))]);
     assert_eq!(path, LookupPath::MegaflowHit);
     // ...so demote the CIDR out of the way and try again.
@@ -280,7 +280,7 @@ fn megaflow_demotion_is_observable_in_stats() {
         FlowMatch::any().with_ip_dst(Ipv4Cidr::new(std::net::Ipv4Addr::new(10, 0, 3, 2), 32)),
         vec![FlowAction::Output(PortNo(3))],
     ));
-    let (actions, path) = t.lookup(&k32, 64).unwrap();
+    let LookupHit { actions, path, .. } = t.lookup(&k32, 64).unwrap();
     assert_eq!(actions, vec![FlowAction::Output(PortNo(3))]);
     assert_eq!(path, LookupPath::ExactHit);
     assert_eq!(t.stats().exact_hits, 1);
@@ -298,9 +298,9 @@ fn cache_counters_across_invalidation() {
         vec![FlowAction::Output(PortNo(1))],
     ));
     let k = dst_key(9, 1);
-    assert_eq!(t.lookup(&k, 64).unwrap().1, LookupPath::ExactHit);
-    assert_eq!(t.lookup(&k, 64).unwrap().1, LookupPath::CacheHit);
-    assert_eq!(t.lookup(&k, 64).unwrap().1, LookupPath::CacheHit);
+    assert_eq!(t.lookup(&k, 64).unwrap().path, LookupPath::ExactHit);
+    assert_eq!(t.lookup(&k, 64).unwrap().path, LookupPath::CacheHit);
+    assert_eq!(t.lookup(&k, 64).unwrap().path, LookupPath::CacheHit);
     assert_eq!((t.stats().cache_hits, t.stats().cache_misses), (2, 1));
 
     // Insert bumps the generation: the very next lookup must miss the
@@ -310,11 +310,11 @@ fn cache_counters_across_invalidation() {
         FlowMatch::in_port(PortNo(9)),
         vec![FlowAction::Output(PortNo(2))],
     ));
-    let (actions, path) = t.lookup(&k, 64).unwrap();
+    let LookupHit { actions, path, .. } = t.lookup(&k, 64).unwrap();
     assert_eq!(actions, vec![FlowAction::Output(PortNo(2))]);
     assert_ne!(path, LookupPath::CacheHit);
     assert_eq!((t.stats().cache_hits, t.stats().cache_misses), (2, 2));
-    assert_eq!(t.lookup(&k, 64).unwrap().1, LookupPath::CacheHit);
+    assert_eq!(t.lookup(&k, 64).unwrap().path, LookupPath::CacheHit);
     assert_eq!((t.stats().cache_hits, t.stats().cache_misses), (3, 2));
     assert_eq!(t.stats().exact_hits, 2);
     assert_eq!(t.stats().wildcard_hits, 0);
@@ -417,8 +417,8 @@ fn linear_baseline_agrees_on_wildcard_heavy_table() {
     for k in &keys {
         // Twice: classifier path, then (indexed-only) cache path.
         for _ in 0..2 {
-            let a = indexed.lookup(k, 64).map(|(actions, _)| actions);
-            let b = linear.lookup(k, 64).map(|(actions, _)| actions);
+            let a = indexed.lookup(k, 64).map(|h| h.actions);
+            let b = linear.lookup(k, 64).map(|h| h.actions);
             assert_eq!(a, b, "key {k:?}");
         }
     }
@@ -483,7 +483,7 @@ proptest! {
                     // Twice: classifier path, then the freshly-cached
                     // decision — both must match the current rule set.
                     for _ in 0..2 {
-                        let got = table.lookup(key, 64).map(|(actions, _)| {
+                        let got = table.lookup(key, 64).map(|LookupHit { actions, .. }| {
                             match &actions[0] {
                                 FlowAction::Output(p) => p.0,
                                 other => panic!("unexpected action {other:?}"),
@@ -541,7 +541,7 @@ fn wildcard_heavy_lookup_is_bounded_by_mask_count() {
         k.ip_dst = Some(std::net::Ipv4Addr::from(u32::to_be_bytes(
             0x0a00_0007 | ((i as u32) << 8),
         )));
-        let (_, path) = t.lookup(&k, 64).unwrap();
+        let LookupHit { path, .. } = t.lookup(&k, 64).unwrap();
         assert_eq!(path, LookupPath::MegaflowHit);
     }
     assert_eq!(

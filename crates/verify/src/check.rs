@@ -23,6 +23,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use un_nffg::{NfFg, PortRef, RuleAction};
+use un_obs::{ClassifierStage, DropReason, HopKind, HopRecord, PacketTrace};
 use un_switch::FlowAction;
 
 use crate::region::shadowed_rules;
@@ -73,8 +74,15 @@ pub struct Violation {
     pub graph: Option<String>,
     /// Node the violation sits on, when attributable.
     pub node: Option<String>,
-    /// Human-readable specifics.
+    /// Human-readable specifics. When a counterexample witness was
+    /// synthesized, its rendered walk is appended here too.
     pub detail: String,
+    /// Counterexample: a witness packet's hop-by-hop walk through the
+    /// violating region, synthesized statically from the snapshot
+    /// (reachability, blackhole and transit-loop codes). The walk's
+    /// final hop demonstrates the violation: a typed drop for lost
+    /// traffic, an egress for a phantom path.
+    pub witness: Option<PacketTrace>,
 }
 
 impl Violation {
@@ -84,6 +92,7 @@ impl Violation {
             graph: None,
             node: None,
             detail,
+            witness: None,
         }
     }
 
@@ -94,6 +103,12 @@ impl Violation {
 
     fn on_node(mut self, node: &str) -> Self {
         self.node = Some(node.to_string());
+        self
+    }
+
+    fn with_witness(mut self, w: PacketTrace) -> Self {
+        self.detail = format!("{}; counterexample:\n{}", self.detail, w.render());
+        self.witness = Some(w);
         self
     }
 }
@@ -332,6 +347,329 @@ impl PortGraph {
             .iter()
             .find_map(|(v, id)| (*id == target).then_some(v))
     }
+
+    /// BFS tree from `start`: per vertex, the predecessor it was first
+    /// reached from (`None` for the root and for unreached vertices)
+    /// plus whether it was reached at all.
+    fn bfs(&self, start: usize) -> (Vec<Option<usize>>, Vec<bool>, Vec<usize>) {
+        let mut parent = vec![None; self.edges.len()];
+        let mut seen = vec![false; self.edges.len()];
+        let mut order = Vec::new();
+        seen[start] = true;
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &w in &self.edges[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    parent[w] = Some(v);
+                    queue.push_back(w);
+                }
+            }
+        }
+        (parent, seen, order)
+    }
+
+    /// The vertex path `start → target` (inclusive), if reachable.
+    fn path_to(&self, start: usize, target: usize) -> Option<Vec<usize>> {
+        let (parent, seen, _) = self.bfs(start);
+        if !seen[target] {
+            return None;
+        }
+        let mut path = vec![target];
+        let mut v = target;
+        while let Some(p) = parent[v] {
+            path.push(p);
+            v = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// The deepest BFS path from `start`: how far any frame can get.
+    /// (BFS visits in depth order, so the last-visited vertex is a
+    /// deepest one.)
+    fn deepest_path(&self, start: usize) -> Vec<usize> {
+        let (parent, _, order) = self.bfs(start);
+        let Some(&last) = order.last() else {
+            return vec![start];
+        };
+        let mut path = vec![last];
+        let mut v = last;
+        while let Some(p) = parent[v] {
+            path.push(p);
+            v = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// The vertex behind an id (reverse lookup; witness paths only).
+    fn vertex(&self, id: usize) -> Option<&Vertex> {
+        self.verts.iter().find_map(|(v, i)| (*i == id).then_some(v))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Witness synthesis: counterexample packets
+// ---------------------------------------------------------------------
+
+/// Incremental builder for statically-synthesized witness traces.
+/// Witnesses are ghost walks by definition: nothing was injected.
+struct Witness {
+    trace: PacketTrace,
+}
+
+impl Witness {
+    fn new(node: &str, port: &str) -> Self {
+        Witness {
+            trace: PacketTrace {
+                origin_node: node.to_string(),
+                origin_port: port.to_string(),
+                ghost: true,
+                hops: Vec::new(),
+            },
+        }
+    }
+
+    fn hop(&mut self, node: &str, kind: HopKind) {
+        let seq = self.trace.hops.len() as u32;
+        self.trace.hops.push(HopRecord {
+            seq,
+            node: node.to_string(),
+            kind,
+        });
+    }
+
+    fn finish(self) -> PacketTrace {
+        self.trace
+    }
+}
+
+/// The vid behind a synthesized overlay endpoint id (`ovl-<vid>`).
+fn ovl_vid(ep: &str) -> u16 {
+    ep.strip_prefix("ovl-")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Witness for a transit loop: a frame rides the pinned path until it
+/// re-enters a node it already crossed.
+fn witness_transit_loop(vid: u16, endpoint: &str, path: &[String]) -> PacketTrace {
+    let origin = path.first().map(String::as_str).unwrap_or("?");
+    let mut w = Witness::new(origin, endpoint);
+    w.hop(
+        origin,
+        HopKind::Ingress {
+            port: endpoint.to_string(),
+        },
+    );
+    let mut seen: BTreeSet<&String> = BTreeSet::new();
+    if let Some(first) = path.first() {
+        seen.insert(first);
+    }
+    for (i, pair) in path.windows(2).enumerate() {
+        w.hop(
+            &pair[0],
+            HopKind::OverlayHop {
+                vid,
+                from: pair[0].clone(),
+                to: pair[1].clone(),
+                hop: i,
+                esp: false,
+                ttl_left: (path.len() - 1 - i) as u32,
+            },
+        );
+        if !seen.insert(&pair[1]) {
+            w.hop(
+                &pair[1],
+                HopKind::Drop {
+                    reason: DropReason::OverlayLoop,
+                    detail: format!("pinned path of vid {vid} revisits '{}'", pair[1]),
+                },
+            );
+            break;
+        }
+    }
+    w.finish()
+}
+
+/// Witness for a blackholed overlay wire: the frame crosses the pinned
+/// path and dies where the expected rule is missing — at the
+/// destination's tables (`transit_at: None`) or on an intermediate
+/// transit node.
+fn witness_blackhole_wire(
+    graph: &str,
+    vid: u16,
+    endpoint: &str,
+    path: &[String],
+    transit_at: Option<&str>,
+    missing: &str,
+) -> PacketTrace {
+    let origin = path.first().map(String::as_str).unwrap_or("?");
+    let mut w = Witness::new(origin, endpoint);
+    w.hop(
+        origin,
+        HopKind::Ingress {
+            port: endpoint.to_string(),
+        },
+    );
+    for (i, pair) in path.windows(2).enumerate() {
+        w.hop(
+            &pair[0],
+            HopKind::OverlayHop {
+                vid,
+                from: pair[0].clone(),
+                to: pair[1].clone(),
+                hop: i,
+                esp: false,
+                ttl_left: (path.len() - 1 - i) as u32,
+            },
+        );
+        if transit_at.is_some_and(|mid| mid == pair[1]) {
+            break;
+        }
+    }
+    let dies_on = transit_at
+        .or(path.last().map(String::as_str))
+        .unwrap_or("?");
+    w.hop(
+        dies_on,
+        HopKind::Classify {
+            lsi: format!("{graph}@{dies_on}"),
+            table: 0,
+            stage: ClassifierStage::Static,
+            cookie: None,
+            priority: None,
+            outputs: 0,
+        },
+    );
+    w.hop(
+        dies_on,
+        HopKind::Drop {
+            reason: DropReason::TableMiss,
+            detail: missing.to_string(),
+        },
+    );
+    w.finish()
+}
+
+/// Witness for a rule sending into an overlay endpoint with no wire:
+/// the frame matches the rule, then has nowhere to go.
+fn witness_blackhole_unknown_overlay(
+    graph: &str,
+    node: &str,
+    rule_id: &str,
+    port_in: &str,
+    ep: &str,
+) -> PacketTrace {
+    let mut w = Witness::new(node, port_in);
+    w.hop(
+        node,
+        HopKind::Ingress {
+            port: port_in.to_string(),
+        },
+    );
+    w.hop(
+        node,
+        HopKind::Classify {
+            lsi: format!("{graph}@{node}"),
+            table: 0,
+            stage: ClassifierStage::Static,
+            cookie: None,
+            priority: None,
+            outputs: 1,
+        },
+    );
+    w.hop(
+        node,
+        HopKind::Drop {
+            reason: DropReason::OverlayUnroutable,
+            detail: format!("rule '{rule_id}' sends into unknown overlay '{ep}'"),
+        },
+    );
+    w.finish()
+}
+
+/// Render a vertex path through the installed port graph as a witness
+/// walk, closed by `terminal` (built from the final node's name).
+fn witness_from_vertex_path(
+    g: &PortGraph,
+    part_names: &[&String],
+    graph_id: &str,
+    from_ep: &str,
+    vpath: &[usize],
+    terminal: impl FnOnce(&str) -> HopKind,
+) -> PacketTrace {
+    fn node_of<'a>(part_names: &[&'a String], v: &Vertex) -> &'a str {
+        let (Vertex::Emitted(pi, _) | Vertex::Arrived(pi, _)) = v;
+        part_names.get(*pi).map(|s| s.as_str()).unwrap_or("?")
+    }
+    let verts: Vec<&Vertex> = vpath.iter().filter_map(|id| g.vertex(*id)).collect();
+    let origin = verts.first().map(|v| node_of(part_names, v)).unwrap_or("?");
+    let mut w = Witness::new(origin, from_ep);
+    w.hop(
+        origin,
+        HopKind::Ingress {
+            port: from_ep.to_string(),
+        },
+    );
+    for pair in verts.windows(2) {
+        let (here, next) = (node_of(part_names, pair[0]), node_of(part_names, pair[1]));
+        match (pair[0], pair[1]) {
+            // A rule carried the frame from an emitted port to an
+            // arrived one inside the same part.
+            (Vertex::Emitted(pi, _), Vertex::Arrived(pj, _)) if pi == pj => {
+                w.hop(
+                    here,
+                    HopKind::Classify {
+                        lsi: format!("{graph_id}@{here}"),
+                        table: 0,
+                        stage: ClassifierStage::Static,
+                        cookie: None,
+                        priority: None,
+                        outputs: 1,
+                    },
+                );
+            }
+            // The frame traversed an NF (in one port, out another).
+            (Vertex::Arrived(pi, PortRef::Nf(nf, _)), Vertex::Emitted(pj, PortRef::Nf(nf2, _)))
+                if pi == pj && nf == nf2 =>
+            {
+                w.hop(
+                    here,
+                    HopKind::NfDeliver {
+                        instance: nf.clone(),
+                        nf_type: "static".to_string(),
+                        flavor: "static".to_string(),
+                        latency_ns: 0,
+                    },
+                );
+            }
+            // An overlay hop re-emitted the frame on the peer part.
+            (Vertex::Arrived(pi, PortRef::Endpoint(ep)), Vertex::Emitted(pj, _)) if pi != pj => {
+                w.hop(
+                    here,
+                    HopKind::OverlayHop {
+                        vid: ovl_vid(ep),
+                        from: here.to_string(),
+                        to: next.to_string(),
+                        hop: 0,
+                        esp: false,
+                        ttl_left: 0,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+    let last = verts
+        .last()
+        .map(|v| node_of(part_names, v))
+        .unwrap_or(origin);
+    let kind = terminal(last);
+    w.hop(last, kind);
+    w.finish()
 }
 
 /// Resolve whether `target` names a port the part actually carries.
@@ -356,19 +694,25 @@ pub fn check_graph(snap: &Snapshot, g: &GraphState) -> (Vec<Violation>, CheckSta
         .enumerate()
         .map(|(i, n)| (n.as_str(), i))
         .collect();
-    let link_by_ep: BTreeMap<&str, &crate::snapshot::GraphLink> =
-        g.links.iter().map(|l| (l.endpoint_id.as_str(), l)).collect();
+    let link_by_ep: BTreeMap<&str, &crate::snapshot::GraphLink> = g
+        .links
+        .iter()
+        .map(|l| (l.endpoint_id.as_str(), l))
+        .collect();
 
     // ---- Structural part checks ----
     for (node, part) in &g.parts {
         match snap.node(node) {
             None => v.push(
-                Violation::new(code::MISSING_PART, format!("part placed on unknown node"))
-                    .on_graph(&g.id)
-                    .on_node(node),
+                Violation::new(
+                    code::MISSING_PART,
+                    "part placed on unknown node".to_string(),
+                )
+                .on_graph(&g.id)
+                .on_node(node),
             ),
             Some(n) if !n.serving => v.push(
-                Violation::new(code::MISSING_PART, format!("part placed on failed node"))
+                Violation::new(code::MISSING_PART, "part placed on failed node".to_string())
                     .on_graph(&g.id)
                     .on_node(node),
             ),
@@ -412,13 +756,24 @@ pub fn check_graph(snap: &Snapshot, g: &GraphState) -> (Vec<Violation>, CheckSta
                 // Sending into an overlay endpoint requires the wire.
                 if let PortRef::Endpoint(ep) = target {
                     if ep.starts_with("ovl-") && !link_by_ep.contains_key(ep.as_str()) {
+                        let port_in = rule
+                            .matches
+                            .port_in
+                            .as_ref()
+                            .map(|p| p.to_string())
+                            .unwrap_or_else(|| "?".to_string());
                         v.push(
                             Violation::new(
                                 code::BLACKHOLE,
                                 format!("rule '{}' sends into unknown overlay '{ep}'", rule.id),
                             )
                             .on_graph(&g.id)
-                            .on_node(node),
+                            .on_node(node)
+                            .with_witness(
+                                witness_blackhole_unknown_overlay(
+                                    &g.id, node, &rule.id, &port_in, ep,
+                                ),
+                            ),
                         );
                     }
                 }
@@ -476,7 +831,12 @@ pub fn check_graph(snap: &Snapshot, g: &GraphState) -> (Vec<Violation>, CheckSta
                         code::TRANSIT_LOOP,
                         format!("link vid {} path {:?} revisits a node", link.vid, path),
                     )
-                    .on_graph(&g.id),
+                    .on_graph(&g.id)
+                    .with_witness(witness_transit_loop(
+                        link.vid,
+                        &link.endpoint_id,
+                        &path,
+                    )),
                 );
             }
         }
@@ -493,7 +853,18 @@ pub fn check_graph(snap: &Snapshot, g: &GraphState) -> (Vec<Violation>, CheckSta
                         ),
                     )
                     .on_graph(&g.id)
-                    .on_node(&link.to_node),
+                    .on_node(&link.to_node)
+                    .with_witness(witness_blackhole_wire(
+                        &g.id,
+                        link.vid,
+                        &link.endpoint_id,
+                        &path,
+                        None,
+                        &format!(
+                            "no delivery rule '{}' for vid {}",
+                            link.in_rule_id, link.vid
+                        ),
+                    )),
                 );
             }
         }
@@ -501,9 +872,9 @@ pub fn check_graph(snap: &Snapshot, g: &GraphState) -> (Vec<Violation>, CheckSta
             let has_transit = g.parts.get(mid).is_some_and(|p| {
                 p.flow_rules.iter().any(|r| {
                     r.matches.port_in == Some(PortRef::Endpoint(link.endpoint_id.clone()))
-                        && r.actions
-                            .iter()
-                            .any(|a| *a == RuleAction::Output(PortRef::Endpoint(link.endpoint_id.clone())))
+                        && r.actions.iter().any(|a| {
+                            *a == RuleAction::Output(PortRef::Endpoint(link.endpoint_id.clone()))
+                        })
                 })
             });
             if !has_transit {
@@ -513,7 +884,15 @@ pub fn check_graph(snap: &Snapshot, g: &GraphState) -> (Vec<Violation>, CheckSta
                         format!("overlay vid {} has no transit rule on '{mid}'", link.vid),
                     )
                     .on_graph(&g.id)
-                    .on_node(mid),
+                    .on_node(mid)
+                    .with_witness(witness_blackhole_wire(
+                        &g.id,
+                        link.vid,
+                        &link.endpoint_id,
+                        &path,
+                        Some(mid),
+                        &format!("no transit rule for vid {} on '{mid}'", link.vid),
+                    )),
                 );
             }
         }
@@ -535,12 +914,7 @@ pub fn check_graph(snap: &Snapshot, g: &GraphState) -> (Vec<Violation>, CheckSta
     }
 
     // ---- Reachability equivalence ----
-    let installed_parts: Vec<(usize, &NfFg)> = g
-        .parts
-        .values()
-        .enumerate()
-        .map(|(i, p)| (i, p))
-        .collect();
+    let installed_parts: Vec<(usize, &NfFg)> = g.parts.values().enumerate().collect();
     let installed = PortGraph::build(&installed_parts, &hops);
     let original = PortGraph::build(&[(0, &g.original)], &[]);
     stats.rules_checked += g.original.flow_rules.len();
@@ -548,22 +922,63 @@ pub fn check_graph(snap: &Snapshot, g: &GraphState) -> (Vec<Violation>, CheckSta
     let want = original.reach();
     let have = installed.reach();
     for (from, to) in want.difference(&have) {
-        v.push(
-            Violation::new(
-                code::UNREACHABLE,
-                format!("endpoint '{from}' no longer reaches '{to}'"),
-            )
-            .on_graph(&g.id),
-        );
+        // Witness: walk the installed graph from `from` as far as any
+        // frame can get; the walk dead-ends short of `to`.
+        let witness = installed
+            .ingress
+            .iter()
+            .find(|(ep, _)| ep == from)
+            .map(|(_, start)| {
+                let vpath = installed.deepest_path(*start);
+                witness_from_vertex_path(&installed, &part_names, &g.id, from, &vpath, |_| {
+                    HopKind::Drop {
+                        reason: DropReason::TableMiss,
+                        detail: format!("static walk dead-ends; '{to}' is unreachable"),
+                    }
+                })
+            });
+        let mut viol = Violation::new(
+            code::UNREACHABLE,
+            format!("endpoint '{from}' no longer reaches '{to}'"),
+        )
+        .on_graph(&g.id);
+        if let Some(w) = witness {
+            viol = viol.with_witness(w);
+        }
+        v.push(viol);
     }
     for (from, to) in have.difference(&want) {
-        v.push(
-            Violation::new(
-                code::PHANTOM_REACH,
-                format!("installed state lets '{from}' reach '{to}' but the graph does not"),
-            )
-            .on_graph(&g.id),
-        );
+        // Witness: the concrete installed walk that reaches `to` even
+        // though the tenant graph never connected the pair.
+        let witness = installed
+            .ingress
+            .iter()
+            .find(|(ep, _)| ep == from)
+            .and_then(|(_, start)| {
+                let target = installed
+                    .egress
+                    .iter()
+                    .find(|(_, label)| *label == to)
+                    .map(|(id, _)| *id)?;
+                let vpath = installed.path_to(*start, target)?;
+                Some(witness_from_vertex_path(
+                    &installed,
+                    &part_names,
+                    &g.id,
+                    from,
+                    &vpath,
+                    |_| HopKind::Egress { port: to.clone() },
+                ))
+            });
+        let mut viol = Violation::new(
+            code::PHANTOM_REACH,
+            format!("installed state lets '{from}' reach '{to}' but the graph does not"),
+        )
+        .on_graph(&g.id);
+        if let Some(w) = witness {
+            viol = viol.with_witness(w);
+        }
+        v.push(viol);
     }
 
     // ---- Loop freedom ----
@@ -727,7 +1142,11 @@ pub fn check_ledger(snap: &Snapshot) -> Vec<Violation> {
         let spots =
             free.contains(&vid) as u8 + standby.contains(&vid) as u8 + in_use.contains(&vid) as u8;
         if spots != 1 {
-            let state = if spots == 0 { "leaked" } else { "double-booked" };
+            let state = if spots == 0 {
+                "leaked"
+            } else {
+                "double-booked"
+            };
             v.push(Violation::new(
                 code::VID_LEDGER,
                 format!(
@@ -913,8 +1332,7 @@ mod tests {
             rule("ovl-3000-in", ep("ovl-3000"), nf("gw", 0)),
         ];
 
-        let parts: BTreeMap<String, NfFg> =
-            [("n1".to_string(), p1), ("n2".to_string(), p2)].into();
+        let parts: BTreeMap<String, NfFg> = [("n1".to_string(), p1), ("n2".to_string(), p2)].into();
         let links = vec![
             GraphLink {
                 vid: 3000,
@@ -1002,7 +1420,10 @@ mod tests {
             .flow_rules
             .retain(|r| r.id != victim);
         let report = run(&snap);
-        assert!(report.violations.iter().any(|v| v.code == code::UNREACHABLE));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.code == code::UNREACHABLE));
         assert!(report.violations.iter().any(|v| v.code == code::BLACKHOLE));
     }
 
@@ -1013,10 +1434,9 @@ mod tests {
         // The wire is gone but its vid is neither freed nor reserved.
         let report = run(&snap);
         assert!(
-            report
-                .violations
-                .iter()
-                .any(|v| v.code == code::DANGLING_VID && v.detail.contains(&dropped.vid.to_string())),
+            report.violations.iter().any(
+                |v| v.code == code::DANGLING_VID && v.detail.contains(&dropped.vid.to_string())
+            ),
             "{:#?}",
             report.violations
         );
@@ -1051,9 +1471,7 @@ mod tests {
         let rule = part
             .flow_rules
             .iter_mut()
-            .find(|r| {
-                r.matches.port_in == Some(un_nffg::PortRef::Endpoint("lan".into()))
-            })
+            .find(|r| r.matches.port_in == Some(un_nffg::PortRef::Endpoint("lan".into())))
             .expect("lan ingress rule lives on the from part");
         rule.actions = vec![RuleAction::Output(un_nffg::PortRef::Endpoint(ep))];
         let report = run(&snap);
@@ -1101,7 +1519,10 @@ mod tests {
             cookie: 2,
         });
         let report = run(&snap);
-        assert!(report.violations.iter().any(|v| v.code == code::DEAD_OUTPUT));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.code == code::DEAD_OUTPUT));
         assert!(report.violations.iter().any(|v| v.code == code::BAD_GOTO));
     }
 
@@ -1125,7 +1546,10 @@ mod tests {
             report.violations
         );
         // The dead host also strands the part placed on it.
-        assert!(report.violations.iter().any(|v| v.code == code::MISSING_PART));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.code == code::MISSING_PART));
     }
 
     #[test]
@@ -1137,6 +1561,9 @@ mod tests {
             cookie: 0xbeef,
         });
         let report = run(&snap);
-        assert!(report.violations.iter().any(|v| v.code == code::MISSING_RULE));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.code == code::MISSING_RULE));
     }
 }

@@ -277,7 +277,9 @@ impl VlanSet {
 }
 
 fn mac_bits(m: &MacAddr) -> u64 {
-    m.octets().iter().fold(0u64, |acc, b| (acc << 8) | *b as u64)
+    m.octets()
+        .iter()
+        .fold(0u64, |acc, b| (acc << 8) | *b as u64)
 }
 
 /// One header equivalence region: the cross product of its field sets.
@@ -468,7 +470,10 @@ impl Region {
         field!(
             m.ip_proto.is_some(),
             ip_proto,
-            carry.ip_proto.minus_eq(m.ip_proto.unwrap().into()).into_iter(),
+            carry
+                .ip_proto
+                .minus_eq(m.ip_proto.unwrap().into())
+                .into_iter(),
             carry.ip_proto.intersect_eq(m.ip_proto.unwrap().into())
         );
         field!(

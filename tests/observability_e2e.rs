@@ -85,6 +85,22 @@ fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String, String) 
     (status.to_string(), headers.to_string(), body.to_string())
 }
 
+/// One raw HTTP/1.1 POST round trip; returns (status-line, body).
+fn http_post(addr: std::net::SocketAddr, path: &str, body: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let (head, resp_body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let (status, _) = head.split_once("\r\n").unwrap_or((head, ""));
+    (status.to_string(), resp_body.to_string())
+}
+
 /// Strict exposition-format check: every non-empty line is a comment
 /// (`# TYPE name counter|gauge|histogram`) or a sample
 /// (`name{labels} value` / `name value`) with a parseable number.
@@ -161,11 +177,22 @@ fn metrics_endpoint_serves_parseable_exposition_over_tcp() {
         "un_nf_deliver_ns_count",
         "un_node_burst_frames_bucket",
         "un_span_duration_ns_bucket",
+        "un_nf_deliver_ns_q",
+        "un_span_duration_ns_q",
+        "un_events_dropped_total",
     ] {
         assert!(
             series.contains_key(name),
             "missing series {name}; got {:?}",
             series.keys().collect::<Vec<_>>()
+        );
+    }
+    // Every exported histogram carries the full p50/p95/p99 gauge
+    // family next to its buckets.
+    for q in ["0.5", "0.95", "0.99"] {
+        assert!(
+            body.contains(&format!("quantile=\"{q}\"")),
+            "missing quantile {q}: {body}"
         );
     }
     // The deploy-time plan span is there; the ledger balanced over
@@ -207,6 +234,89 @@ fn events_endpoint_serves_the_ring_as_json() {
     ] {
         assert!(rendered.contains(name), "missing event {name}: {rendered}");
     }
+    server.shutdown();
+}
+
+#[test]
+fn events_endpoint_filters_over_http() {
+    let domain = observed_domain();
+    domain.lock().fail_node("n2").expect("repairable failure");
+    let server = serve_cluster(domain, "127.0.0.1:0").expect("bind");
+
+    // kind= narrows to one event family; matched counts the full ring.
+    let (status, _, body) = http_get(server.addr(), "/domain/events?kind=span");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    let doc = un_nffg::jsonval::parse(&body).expect("filtered doc parses");
+    let rendered = doc.render();
+    assert!(rendered.contains("domain.plan"), "{rendered}");
+    assert!(!rendered.contains("domain.node.failed"), "{rendered}");
+
+    // limit= pages to the newest N, while matched reports the total.
+    let (status, _, body) = http_get(server.addr(), "/domain/events?limit=1");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    let doc = un_nffg::jsonval::parse(&body).expect("paged doc parses");
+    let events = doc.get("events").and_then(|e| e.as_arr()).expect("array");
+    assert_eq!(events.len(), 1);
+    let matched = doc
+        .get("matched")
+        .and_then(|m| m.as_u64())
+        .expect("matched");
+    assert!(matched > 1, "limit must not shrink matched: {matched}");
+
+    // A since= in the far future filters everything out.
+    let far = format!("/domain/events?since={}", u64::MAX - 1);
+    let (status, _, body) = http_get(server.addr(), &far);
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    let doc = un_nffg::jsonval::parse(&body).expect("empty doc parses");
+    let events = doc.get("events").and_then(|e| e.as_arr()).expect("array");
+    assert!(events.is_empty(), "{body}");
+
+    // Bad parameters are rejected, not ignored.
+    for bad in [
+        "/domain/events?since=yesterday",
+        "/domain/events?limit=-3",
+        "/domain/events?frobnicate=1",
+    ] {
+        let (status, _, _) = http_get(server.addr(), bad);
+        assert!(status.starts_with("HTTP/1.1 400"), "{bad}: {status}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn trace_endpoints_over_http() {
+    let domain = observed_domain();
+    let server = serve_cluster(domain.clone(), "127.0.0.1:0").expect("bind");
+
+    // A synthetic ghost probe renders the full walk...
+    let (status, body) = http_post(
+        server.addr(),
+        "/domain/trace",
+        "{\"node\":\"n1\",\"port\":\"eth0\"}",
+    );
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}: {body}");
+    let doc = un_nffg::jsonval::parse(&body).expect("trace doc parses");
+    let rendered = doc.render();
+    assert!(rendered.contains("\"ghost\":true"), "{rendered}");
+    assert!(rendered.contains("ingress"), "{rendered}");
+    let hops = doc.get("hops").and_then(|h| h.as_u64()).expect("hops");
+    assert!(hops >= 3, "walk too short: {rendered}");
+
+    // ...and moves no counters: the ledger still balances on exactly
+    // the 16 real frames the fixture injected.
+    let report = domain.lock().conservation_report();
+    assert_eq!(report.ingress, 16, "ghost probe leaked into the ledger");
+
+    // The ghost probe never lands in the recent-trace ring.
+    let (status, _, body) = http_get(server.addr(), "/domain/traces");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    let doc = un_nffg::jsonval::parse(&body).expect("ring doc parses");
+    let traces = doc.get("traces").and_then(|t| t.as_arr()).expect("array");
+    assert!(traces.is_empty(), "{body}");
+
+    // Malformed specs are rejected.
+    let (status, _) = http_post(server.addr(), "/domain/trace", "{\"node\":\"n1\"}");
+    assert!(status.starts_with("HTTP/1.1 400"), "{status}");
     server.shutdown();
 }
 

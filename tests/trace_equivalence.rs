@@ -1,0 +1,218 @@
+//! Flight-recorder equivalence: tracing is a pure observer.
+//!
+//! Attaching a `TraceSink` to an injection must not change anything
+//! observable — same egress multiset, same overlay per-link counters,
+//! same virtual-time cost — at any worker count. And a ghost probe
+//! (`Domain::trace_frame`) must move **zero** counters anywhere: the
+//! frame walks the full pipeline, the walk is recorded, and the
+//! domain's books are untouched.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+use un_core::UniversalNode;
+use un_domain::{DeployHints, Domain, DomainConfig, DomainIo, PlacementStrategy};
+use un_nffg::{NfFg, NfFgBuilder};
+use un_obs::HopKind;
+use un_packet::ethernet::MacAddr;
+use un_packet::{Packet, PacketBuilder};
+use un_sim::mem::mb;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    /// Chain length (NFs).
+    len: usize,
+    /// Per-NF node choice (index into ["n1", "n2"]).
+    split: Vec<u8>,
+    /// ESP-protect the overlay links.
+    protect: bool,
+    /// Traffic: (destination last octet, payload length) per frame.
+    frames: Vec<(u8, u16)>,
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        1usize..4,
+        prop::collection::vec(0u8..2, 3),
+        any::<bool>(),
+        prop::collection::vec((0u8..4, 32u16..400), 1..12),
+    )
+        .prop_map(|(len, split, protect, frames)| Scenario {
+            len,
+            split,
+            protect,
+            frames,
+        })
+}
+
+fn chain_graph(len: usize) -> NfFg {
+    let ids: Vec<String> = (0..len).map(|i| format!("br{i}")).collect();
+    let mut b = NfFgBuilder::new("g-tr", "chain")
+        .interface_endpoint("lan", "eth0")
+        .interface_endpoint("wan", "eth1");
+    for id in &ids {
+        b = b.nf(id, "bridge", 2);
+    }
+    let refs: Vec<&str> = ids.iter().map(|s| s.as_str()).collect();
+    b.chain("lan", &refs, "wan").build()
+}
+
+fn build_domain(s: &Scenario) -> Domain {
+    let mut d = Domain::new(DomainConfig {
+        protect_overlay: s.protect,
+        ..DomainConfig::default()
+    });
+    let mut n1 = UniversalNode::new("n1", mb(2048));
+    n1.add_physical_port("eth0");
+    let mut n2 = UniversalNode::new("n2", mb(2048));
+    n2.add_physical_port("eth1");
+    d.add_node(n1);
+    d.add_node(n2);
+    let nf_node: BTreeMap<String, String> = (0..s.len)
+        .map(|i| {
+            let node = if s.split[i] == 0 { "n1" } else { "n2" };
+            (format!("br{i}"), node.to_string())
+        })
+        .collect();
+    let hints = DeployHints {
+        nf_node,
+        strategy: Some(PlacementStrategy::Spread),
+        ..Default::default()
+    };
+    d.deploy_with(&chain_graph(s.len), &hints)
+        .expect("random split chain deploys");
+    d
+}
+
+fn frame(last_octet: u8, payload: u16) -> Packet {
+    PacketBuilder::new()
+        .ethernet(MacAddr::local(1), MacAddr::local(2))
+        .ipv4(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(192, 0, 2, last_octet),
+        )
+        .udp(5000, 5001)
+        .payload(&vec![0x5A; payload as usize])
+        .build()
+}
+
+/// Canonical, order-independent view of a domain run.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    emitted: Vec<(String, String, Vec<u8>)>,
+    links: Vec<(u16, u64, u64)>,
+    overlay_hops: u32,
+    protected_bytes: u64,
+    cost_ns: u64,
+}
+
+fn outcome(d: &Domain, io: &DomainIo) -> Outcome {
+    let mut emitted: Vec<(String, String, Vec<u8>)> = io
+        .emitted
+        .iter()
+        .map(|(n, p, pkt)| (n.to_string(), p.to_string(), pkt.data().to_vec()))
+        .collect();
+    emitted.sort();
+    let mut links: Vec<(u16, u64, u64)> = d
+        .link_stats()
+        .iter()
+        .map(|(vid, _, _, _, pkts, bytes)| (*vid, *pkts, *bytes))
+        .collect();
+    links.sort();
+    Outcome {
+        emitted,
+        links,
+        overlay_hops: io.overlay_hops,
+        protected_bytes: io.protected_bytes,
+        cost_ns: io.cost.as_nanos(),
+    }
+}
+
+fn fold(into: &mut DomainIo, io: DomainIo) {
+    into.emitted.extend(io.emitted);
+    into.cost += io.cost;
+    into.overlay_hops += io.overlay_hops;
+    into.protected_bytes += io.protected_bytes;
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `inject_traced` ≡ `inject_batch` of the same frame, at every
+    /// worker count: same egress multiset, link counters, and cost.
+    /// The recorder watches; it never steers.
+    #[test]
+    fn traced_equals_untraced(s in scenario_strategy()) {
+        for workers in [1usize, 2, 4] {
+            let mut plain = build_domain(&s);
+            let mut traced = build_domain(&s);
+            let mut plain_io = DomainIo::default();
+            let mut traced_io = DomainIo::default();
+            for &(octet, len) in &s.frames {
+                let io = plain.inject_batch(
+                    vec![("n1".to_string(), "eth0".to_string(), frame(octet, len))],
+                    workers,
+                );
+                fold(&mut plain_io, io);
+                let (io, trace) =
+                    traced.inject_traced("n1", "eth0", frame(octet, len), workers);
+                prop_assert!(!trace.ghost, "a real injection is not a ghost");
+                prop_assert!(
+                    matches!(
+                        trace.hops.first().map(|h| &h.kind),
+                        Some(HopKind::Ingress { .. })
+                    ),
+                    "trace must open with the ingress hop: {}",
+                    trace.render()
+                );
+                fold(&mut traced_io, io);
+            }
+            prop_assert_eq!(
+                &outcome(&plain, &plain_io),
+                &outcome(&traced, &traced_io),
+                "workers = {}, scenario = {:?}",
+                workers,
+                s
+            );
+            // Every traced walk landed in the recent-trace ring.
+            prop_assert_eq!(
+                traced.recent_traces().len(),
+                s.frames.len().min(un_obs::DEFAULT_TRACE_CAPACITY)
+            );
+            prop_assert!(plain.recent_traces().is_empty());
+        }
+    }
+
+    /// A ghost probe walks the full pipeline but moves no counters:
+    /// conservation ledger, per-link stats, and the recent-trace ring
+    /// are bit-identical before and after.
+    #[test]
+    fn ghost_probe_moves_no_counters(s in scenario_strategy()) {
+        let mut d = build_domain(&s);
+        let ingress: Vec<(String, String, Packet)> = s
+            .frames
+            .iter()
+            .map(|&(octet, len)| {
+                ("n1".to_string(), "eth0".to_string(), frame(octet, len))
+            })
+            .collect();
+        let io = d.inject_batch(ingress, 2);
+        prop_assert!(!io.emitted.is_empty(), "chains must forward: {s:?}");
+
+        let ledger_before = d.conservation_report();
+        let links_before = d.link_stats();
+        let ring_before = d.recent_traces();
+
+        let trace = d.trace_frame("n1", "eth0", frame(s.frames[0].0, 64));
+        prop_assert!(trace.ghost);
+        prop_assert!(
+            !trace.hops.is_empty(),
+            "ghost walks still record their hops"
+        );
+
+        prop_assert_eq!(d.conservation_report(), ledger_before);
+        prop_assert_eq!(d.link_stats(), links_before);
+        prop_assert_eq!(d.recent_traces().len(), ring_before.len());
+    }
+}

@@ -6,9 +6,10 @@
 
 use un_core::UniversalNode;
 use un_domain::Domain;
-use un_nffg::NfFgBuilder;
+use un_nffg::{FlowRule, NfFgBuilder, PortRef, RuleAction, TrafficMatch};
+use un_obs::{DropReason, HopKind, PacketTrace};
 use un_sim::mem::mb;
-use un_verify::check::{code, run};
+use un_verify::check::{code, run, VerifyReport};
 use un_verify::Snapshot;
 
 /// A two-node domain with one chain split across both (lan on n1,
@@ -36,6 +37,28 @@ fn codes(snap: &Snapshot) -> Vec<&'static str> {
     run(snap).violations.iter().map(|v| v.code).collect()
 }
 
+/// The counterexample walk attached to the first `code_` violation
+/// carrying one, asserting the shared witness invariants along the
+/// way: non-empty render, detail embeds the render, ghost marked.
+fn witness_of<'a>(report: &'a VerifyReport, code_: &str) -> &'a PacketTrace {
+    let viol = report
+        .violations
+        .iter()
+        .find(|v| v.code == code_ && v.witness.is_some())
+        .unwrap_or_else(|| panic!("no witness attached to any '{code_}' violation"));
+    let w = viol.witness.as_ref().unwrap();
+    assert!(!w.hops.is_empty(), "empty witness for '{code_}'");
+    let rendered = w.render();
+    assert!(!rendered.is_empty(), "blank render for '{code_}'");
+    assert!(
+        viol.detail.contains("counterexample:") && viol.detail.contains(&rendered),
+        "detail does not embed the rendered walk: {}",
+        viol.detail
+    );
+    assert!(w.ghost, "witness walks are synthesized, never injected");
+    w
+}
+
 #[test]
 fn uncorrupted_snapshot_is_clean() {
     let d = deployed_domain();
@@ -46,7 +69,11 @@ fn uncorrupted_snapshot_is_clean() {
         "expected a split deployment with overlay links"
     );
     let report = run(&snap);
-    assert!(report.ok(), "clean domain flagged: {:#?}", report.violations);
+    assert!(
+        report.ok(),
+        "clean domain flagged: {:#?}",
+        report.violations
+    );
 }
 
 #[test]
@@ -109,10 +136,29 @@ fn transit_loop_is_detected() {
     let to = link.path.last().expect("path tail").clone();
     link.path = vec![from.clone(), to.clone(), from, to];
 
-    let found = codes(&snap);
+    let report = run(&snap);
+    let found: Vec<_> = report.violations.iter().map(|v| v.code).collect();
     assert!(
         found.contains(&code::TRANSIT_LOOP),
         "looping transit path not flagged: {found:?}"
+    );
+
+    // The counterexample rides the pinned path and dies the moment it
+    // re-enters a node it already crossed.
+    let w = witness_of(&report, code::TRANSIT_LOOP);
+    assert!(matches!(
+        w.hops.last().unwrap().kind,
+        HopKind::Drop {
+            reason: DropReason::OverlayLoop,
+            ..
+        }
+    ));
+    assert!(
+        w.hops
+            .iter()
+            .any(|h| matches!(h.kind, HopKind::OverlayHop { .. })),
+        "loop witness shows no overlay hops: {}",
+        w.render()
     );
 }
 
@@ -140,4 +186,97 @@ fn dropped_delivery_rule_is_detected() {
         found.contains(&code::UNREACHABLE),
         "lost end-to-end path not flagged: {found:?}"
     );
+}
+
+#[test]
+fn blackhole_and_unreachable_carry_drop_witnesses() {
+    let d = deployed_domain();
+    let mut snap = d.verify_snapshot();
+
+    // Same corruption as above: remove the overlay delivery rule.
+    let g = snap.graphs.first_mut().expect("a deployed graph");
+    let link = g.links.first().expect("an overlay link").clone();
+    let part = g.parts.get_mut(&link.to_node).expect("receiving part");
+    part.flow_rules.retain(|r| r.id != link.in_rule_id);
+
+    let report = run(&snap);
+
+    // The blackhole counterexample crosses the wire and dies in the
+    // destination's tables.
+    let w = witness_of(&report, code::BLACKHOLE);
+    assert!(matches!(
+        w.hops.last().unwrap().kind,
+        HopKind::Drop {
+            reason: DropReason::TableMiss,
+            ..
+        }
+    ));
+    assert!(
+        w.hops
+            .iter()
+            .any(|h| matches!(h.kind, HopKind::OverlayHop { vid, .. } if vid == link.vid)),
+        "blackhole witness never crosses vid {}: {}",
+        link.vid,
+        w.render()
+    );
+    assert_eq!(w.hops.last().unwrap().node, link.to_node);
+
+    // The unreachable counterexample walks the installed state as far
+    // as any frame can get and dead-ends short of the egress.
+    let w = witness_of(&report, code::UNREACHABLE);
+    assert!(matches!(
+        w.hops.last().unwrap().kind,
+        HopKind::Drop {
+            reason: DropReason::TableMiss,
+            ..
+        }
+    ));
+    assert!(matches!(
+        w.hops.first().unwrap().kind,
+        HopKind::Ingress { .. }
+    ));
+}
+
+#[test]
+fn phantom_reach_carries_egress_witness() {
+    let d = deployed_domain();
+    let mut snap = d.verify_snapshot();
+
+    // Seed a hairpin in the installed state: traffic from lan turns
+    // straight around and egresses at lan — a reach the tenant graph
+    // never asked for.
+    let g = snap.graphs.first_mut().expect("a deployed graph");
+    let part = g
+        .parts
+        .values_mut()
+        .find(|p| p.endpoints.iter().any(|e| e.id == "lan"))
+        .expect("the part carrying lan");
+    part.flow_rules.push(FlowRule {
+        id: "seeded-hairpin".to_string(),
+        priority: 1,
+        matches: TrafficMatch::from_port(PortRef::Endpoint("lan".to_string())),
+        actions: vec![RuleAction::Output(PortRef::Endpoint("lan".to_string()))],
+    });
+
+    let report = run(&snap);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.code == code::PHANTOM_REACH),
+        "seeded hairpin not flagged: {:?}",
+        report.violations
+    );
+
+    // The counterexample is the concrete installed walk that makes it
+    // out at the phantom egress.
+    let w = witness_of(&report, code::PHANTOM_REACH);
+    assert!(matches!(
+        &w.hops.last().unwrap().kind,
+        HopKind::Egress { port } if port == "ep:lan"
+    ));
+    assert!(matches!(
+        w.hops.first().unwrap().kind,
+        HopKind::Ingress { .. }
+    ));
 }
